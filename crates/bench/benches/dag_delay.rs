@@ -1,0 +1,47 @@
+//! Ablation: Appendix C's dependency-graph estimator (`dag_delay`) versus
+//! Estimate Delay's independence approximation — accuracy is checked in
+//! tests; this measures the cost gap that justifies §4.1's simplification.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dtn_sim::{NodeId, PacketId};
+use dtn_stats::DiscreteDist;
+use rapid_core::{dag_delay, estimate_delay_reference, QueueState};
+use std::collections::HashMap;
+
+fn queues(nodes: usize, depth: usize) -> QueueState {
+    // Every node holds the same `depth` packets in order: worst-case
+    // sharing of the dependency graph.
+    QueueState {
+        queues: (0..nodes)
+            .map(|n| {
+                (
+                    NodeId(n as u32),
+                    (0..depth).map(|p| PacketId(p as u32)).collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dag_delay");
+    g.sample_size(10);
+    for (nodes, depth) in [(4usize, 4usize), (8, 8)] {
+        let q = queues(nodes, depth);
+        let meet_dist: HashMap<NodeId, DiscreteDist> = (0..nodes)
+            .map(|n| (NodeId(n as u32), DiscreteDist::exponential(0.01, 1200, 0.5)))
+            .collect();
+        let meet_mean: HashMap<NodeId, f64> =
+            (0..nodes).map(|n| (NodeId(n as u32), 100.0)).collect();
+        g.bench_function(format!("dag_delay_{nodes}x{depth}"), |b| {
+            b.iter(|| dag_delay(black_box(&q), black_box(&meet_dist)))
+        });
+        g.bench_function(format!("estimate_delay_{nodes}x{depth}"), |b| {
+            b.iter(|| estimate_delay_reference(black_box(&q), black_box(&meet_mean)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

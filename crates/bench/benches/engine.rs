@@ -1,0 +1,57 @@
+//! Engine throughput: contacts per second across protocols on a fixed
+//! synthetic scenario — the simulator substrate itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtn_mobility::UniformExponential;
+use dtn_sim::workload::pairwise_poisson;
+use dtn_sim::{NodeId, Routing, SimConfig, Simulation, Time, TimeDelta};
+use rapid_bench::Proto;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    let nodes = 12usize;
+    let horizon = Time::from_mins(10);
+    let mobility = UniformExponential {
+        nodes,
+        mean_inter_meeting: TimeDelta::from_secs(120),
+        opportunity_bytes: 20 * 1024,
+    };
+    let mut rng = dtn_stats::stream(5, "bench-engine");
+    let schedule = mobility.generate(horizon, &mut rng);
+    let ids: Vec<NodeId> = (0..nodes as u32).map(NodeId).collect();
+    let workload = pairwise_poisson(
+        &ids,
+        TimeDelta::from_secs(100),
+        1024,
+        horizon,
+        &mut rng,
+    );
+    let config = SimConfig {
+        nodes,
+        horizon,
+        deadline: Some(TimeDelta::from_secs(60)),
+        ..SimConfig::default()
+    };
+    for proto in [
+        Proto::RapidAvg,
+        Proto::MaxProp,
+        Proto::SprayWait,
+        Proto::Prophet,
+        Proto::Random,
+        Proto::Epidemic,
+    ] {
+        g.bench_function(proto.label(), |b| {
+            b.iter(|| {
+                let mut routing: Box<dyn Routing + Send> =
+                    proto.build(TimeDelta::from_secs(60), TimeDelta::from_mins(10));
+                Simulation::new(config.clone(), schedule.clone(), workload.clone())
+                    .run(routing.as_mut())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

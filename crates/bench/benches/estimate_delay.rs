@@ -1,0 +1,46 @@
+//! Microbenchmark: the Estimate Delay inner loop (Eqs. 7–9) and queue
+//! snapshot construction — the per-contact hot path of RAPID.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dtn_sim::{NodeId, PacketId, Time};
+use rapid_core::{expected_remaining_delay, prob_delivered_within, QueueSnapshot};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimate_delay");
+
+    for k in [2usize, 8, 32] {
+        let delays: Vec<f64> = (1..=k).map(|i| 100.0 * i as f64).collect();
+        g.bench_function(format!("eq8_combine_k{k}"), |b| {
+            b.iter(|| expected_remaining_delay(black_box(delays.iter().copied())))
+        });
+        g.bench_function(format!("eq7_prob_k{k}"), |b| {
+            b.iter(|| prob_delivered_within(black_box(delays.iter().copied()), 500.0))
+        });
+    }
+
+    for n in [1_000usize, 10_000] {
+        let packets: Vec<(PacketId, NodeId, u64, Time)> = (0..n)
+            .map(|i| {
+                (
+                    PacketId(i as u32),
+                    NodeId((i % 20) as u32),
+                    1024,
+                    Time::from_secs((i * 7 % 10_000) as u64),
+                )
+            })
+            .collect();
+        g.bench_function(format!("queue_snapshot_build_{n}"), |b| {
+            b.iter(|| QueueSnapshot::build(black_box(packets.iter().copied())))
+        });
+        let snap = QueueSnapshot::build(packets.iter().copied());
+        g.bench_function(format!("queue_snapshot_query_{n}"), |b| {
+            b.iter(|| {
+                black_box(&snap).bytes_ahead_if_inserted(NodeId(3), Time::from_secs(5_000))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

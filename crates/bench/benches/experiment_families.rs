@@ -1,0 +1,34 @@
+//! Reduced-scale smoke benches of each experiment family: one trace day
+//! and one synthetic run per protocol family, so regressions in end-to-end
+//! experiment cost are visible in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rapid_bench::runner::run_spec;
+use rapid_bench::synth::{Mobility, SynthLab};
+use rapid_bench::trace_exp::{TraceLab, WARMUP_DAYS};
+use rapid_bench::Proto;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiment_families");
+    g.sample_size(10);
+
+    let lab = TraceLab::load_sweep(7);
+    for proto in [Proto::RapidAvg, Proto::MaxProp] {
+        let spec = lab.day_spec(WARMUP_DAYS, 5.0, 0, None);
+        g.bench_function(format!("trace_day_load5_{}", proto.label()), |b| {
+            b.iter(|| run_spec(&spec, proto))
+        });
+    }
+
+    let synth = SynthLab::new(7);
+    for proto in [Proto::RapidAvg, Proto::MaxProp] {
+        let spec = synth.spec(Mobility::PowerLaw, 0, 20.0, None);
+        g.bench_function(format!("powerlaw_load20_{}", proto.label()), |b| {
+            b.iter(|| run_spec(&spec, proto))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

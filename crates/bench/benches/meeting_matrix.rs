@@ -1,0 +1,37 @@
+//! Microbenchmark: h-hop expected-meeting-time estimation (§4.1.2) — the
+//! Bellman–Ford relaxation every contact runs — including the ablation over
+//! the hop limit h (the paper fixes h = 3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dtn_sim::NodeId;
+use rand::Rng;
+use rapid_core::expected_meeting_times_from;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("meeting_matrix");
+    let mut rng = dtn_stats::stream(1, "bench-matrix");
+    for n in [20usize, 40] {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        if rng.gen::<f64>() < 0.4 {
+                            rng.gen_range(600.0..90_000.0)
+                        } else {
+                            f64::INFINITY
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        for h in [1usize, 2, 3, 4] {
+            g.bench_function(format!("n{n}_h{h}"), |b| {
+                b.iter(|| expected_meeting_times_from(black_box(&rows), NodeId(0), h))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Trace-generation throughput for the three mobility substrates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtn_mobility::{DieselNet, DieselNetConfig, PowerLaw, UniformExponential};
+use dtn_sim::{Time, TimeDelta};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mobility");
+    g.sample_size(20);
+    let horizon = Time::from_mins(15);
+
+    let exp = UniformExponential {
+        nodes: 20,
+        mean_inter_meeting: TimeDelta::from_secs(150),
+        opportunity_bytes: 100 * 1024,
+    };
+    g.bench_function("exponential_20n_15min", |b| {
+        let mut rng = dtn_stats::stream(1, "bench-mob-exp");
+        b.iter(|| exp.generate(horizon, &mut rng))
+    });
+
+    let pl = PowerLaw {
+        nodes: 20,
+        base_mean: TimeDelta::from_secs(150),
+        opportunity_bytes: 100 * 1024,
+    };
+    g.bench_function("powerlaw_20n_15min", |b| {
+        let mut rng = dtn_stats::stream(2, "bench-mob-pl");
+        b.iter(|| pl.generate(horizon, &mut rng))
+    });
+
+    let fleet = DieselNet::new(DieselNetConfig::default(), 3);
+    g.bench_function("dieselnet_day", |b| {
+        let mut day = 0u32;
+        b.iter(|| {
+            day = day.wrapping_add(1);
+            fleet.generate_day(day)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

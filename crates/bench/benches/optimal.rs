@@ -1,0 +1,69 @@
+//! Scaling of the optimal solvers: the exact branch and bound (Theorem 2
+//! says it must be exponential in the worst case) and the scalable bound
+//! pair used for Fig. 13.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtn_mobility::UniformExponential;
+use dtn_optimal::{solve_bounded, solve_exact, ExactLimits};
+use dtn_sim::workload::pairwise_poisson;
+use dtn_sim::{NodeId, Time, TimeDelta};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimal");
+    g.sample_size(10);
+    let nodes = 6usize;
+    let horizon = Time::from_mins(30);
+    let mobility = UniformExponential {
+        nodes,
+        mean_inter_meeting: TimeDelta::from_mins(6),
+        opportunity_bytes: 2048,
+    };
+    let mut rng = dtn_stats::stream(17, "bench-optimal");
+    let schedule = mobility.generate(horizon, &mut rng);
+    let ids: Vec<NodeId> = (0..nodes as u32).map(NodeId).collect();
+
+    // The exact solver is exponential in the worst case (Theorem 2!), so
+    // keep its instances small; the bounded solver gets the same ones for
+    // an apples-to-apples cost comparison, plus a larger one on its own.
+    for pkts_gap_mins in [90u64, 60, 40] {
+        let workload = pairwise_poisson(
+            &ids,
+            TimeDelta::from_mins(pkts_gap_mins),
+            1024,
+            Time::from_mins(12),
+            &mut rng.clone(),
+        );
+        let n = workload.len();
+        g.bench_function(format!("exact_{n}_packets"), |b| {
+            b.iter(|| {
+                solve_exact(
+                    &schedule,
+                    &workload,
+                    horizon,
+                    ExactLimits {
+                        max_journeys_per_packet: 300,
+                        max_hops: 4,
+                        max_packets: 16,
+                    },
+                )
+            })
+        });
+        g.bench_function(format!("bounded_{n}_packets"), |b| {
+            b.iter(|| solve_bounded(&schedule, &workload, horizon))
+        });
+    }
+    let big = pairwise_poisson(
+        &ids,
+        TimeDelta::from_mins(2),
+        1024,
+        Time::from_mins(15),
+        &mut rng.clone(),
+    );
+    g.bench_function(format!("bounded_{}_packets", big.len()), |b| {
+        b.iter(|| solve_bounded(&schedule, &big, horizon))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Calibration smoke-run: protocol ordering and runtime on small slices of
+//! each experiment family. Not a paper artifact — a health check used while
+//! tuning the substrate (kept because it doubles as a quickstart for the
+//! harness).
+
+use rapid_bench::synth::{aggregate as synth_agg, Mobility, SynthLab};
+use rapid_bench::trace_exp::{aggregate as trace_agg, TraceLab};
+use rapid_bench::{root_seed, Proto};
+use std::time::Instant;
+
+fn main() {
+    let seed = root_seed();
+    println!("# calibration (seed {seed})");
+
+    let lab = TraceLab::load_sweep(seed);
+    for load in [5.0, 20.0, 40.0] {
+        for proto in [Proto::RapidAvg, Proto::MaxProp, Proto::SprayWait, Proto::Random] {
+            let t0 = Instant::now();
+            let reports = lab.run_days(3, load, proto, None);
+            let agg = trace_agg(&reports);
+            println!(
+                "trace load={load:>4} {:<14} delay={:>7.1}min deliv={:.2} dl={:.2} util={:.3} meta/bw={:.4} [{:?}]",
+                proto.label(),
+                agg.avg_delay_min,
+                agg.delivery_rate,
+                agg.within_deadline,
+                agg.utilization,
+                agg.metadata_over_bandwidth,
+                t0.elapsed()
+            );
+        }
+    }
+
+    let synth = SynthLab::new(seed);
+    for load in [10.0, 40.0, 80.0] {
+        for proto in [Proto::RapidAvg, Proto::MaxProp, Proto::SprayWait, Proto::Random] {
+            let t0 = Instant::now();
+            let reports = synth.run_many(Mobility::PowerLaw, 2, load, None, proto);
+            let agg = synth_agg(&reports);
+            println!(
+                "powerlaw load={load:>4} {:<14} delay={:>6.1}s max={:>6.1}s deliv={:.2} dl={:.2} [{:?}]",
+                proto.label(),
+                agg.avg_delay_s,
+                agg.max_delay_s,
+                agg.delivery_rate,
+                agg.within_deadline,
+                t0.elapsed()
+            );
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Fig. 6 (Trace): maximum delay vs load, RAPID optimizing max delay
+//! (Eq. 3). Read the `max_delay_min` column.
+
+use rapid_bench::families::{trace_loads, trace_sweep};
+use rapid_bench::Proto;
+
+fn main() {
+    trace_sweep(
+        "fig06",
+        "Fig. 6 (Trace): max delay vs load; RAPID metric = max delay",
+        &trace_loads(),
+        &[
+            Proto::RapidMax,
+            Proto::MaxProp,
+            Proto::SprayWait,
+            Proto::Random,
+        ],
+    );
+}

@@ -1,0 +1,19 @@
+//! Fig. 7 (Trace): fraction delivered within the 2.7 h deadline vs load,
+//! RAPID optimizing missed deadlines (Eq. 2). Read `within_deadline`.
+
+use rapid_bench::families::{trace_loads, trace_sweep};
+use rapid_bench::Proto;
+
+fn main() {
+    trace_sweep(
+        "fig07",
+        "Fig. 7 (Trace): delivery within 2.7h deadline vs load; RAPID metric = deadline",
+        &trace_loads(),
+        &[
+            Proto::RapidDeadline,
+            Proto::MaxProp,
+            Proto::SprayWait,
+            Proto::Random,
+        ],
+    );
+}

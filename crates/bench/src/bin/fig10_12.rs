@@ -1,0 +1,21 @@
+//! Figs. 10–12 (Trace): the in-band control channel versus an instant
+//! global control channel (hybrid DTN, §6.2.3). Fig. 10 reads
+//! `avg_delay_min` (avg-delay metric), Fig. 11 `delivery_rate`, Fig. 12
+//! `within_deadline` (deadline metric — rows with the deadline variants).
+
+use rapid_bench::families::{trace_loads, trace_sweep};
+use rapid_bench::Proto;
+
+fn main() {
+    trace_sweep(
+        "fig10_12",
+        "Figs. 10-12 (Trace): in-band vs instant global control channel",
+        &trace_loads(),
+        &[
+            Proto::RapidAvg,
+            Proto::RapidAvgGlobal,
+            Proto::RapidDeadline,
+            Proto::RapidDeadlineGlobal,
+        ],
+    );
+}

@@ -1,0 +1,19 @@
+//! Fig. 14 (Trace): RAPID component decomposition — Random, Random with
+//! flooded acks, rapid-local (metadata about own buffer only), full RAPID.
+
+use rapid_bench::families::{trace_loads, trace_sweep};
+use rapid_bench::Proto;
+
+fn main() {
+    trace_sweep(
+        "fig14",
+        "Fig. 14 (Trace): components — Random, Random+acks, Rapid-Local, Rapid",
+        &trace_loads(),
+        &[
+            Proto::Random,
+            Proto::RandomAcks,
+            Proto::RapidAvgLocal,
+            Proto::RapidAvg,
+        ],
+    );
+}

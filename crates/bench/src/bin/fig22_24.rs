@@ -1,0 +1,14 @@
+//! Figs. 22–24 (Exponential): the three metrics vs load under uniform
+//! exponential mobility (§6.3.3).
+
+use rapid_bench::families::{synth_load_sweep, synth_loads};
+use rapid_bench::Mobility;
+
+fn main() {
+    synth_load_sweep(
+        "fig22_24",
+        "Figs. 22-24 (Exponential): avg delay / max delay / within-deadline vs load",
+        Mobility::Exponential,
+        &synth_loads(),
+    );
+}

@@ -1,0 +1,23 @@
+//! Runs every experiment binary in sequence (the full reproduction).
+//! Results land in `results/*.tsv`. Budget-minded defaults; see the
+//! environment knobs in the crate docs to go bigger.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table3", "fig03", "fig04_05", "fig06", "fig07", "fig08", "fig09",
+        "fig10_12", "fig13", "fig14", "fig15", "fig16_18", "fig19_21",
+        "fig22_24", "ttest",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        eprintln!("=== {bin} ===");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    eprintln!("all experiments complete; see results/*.tsv");
+}

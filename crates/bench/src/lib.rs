@@ -1,0 +1,59 @@
+//! Experiment harness: regenerates every table and figure in the paper's
+//! evaluation (§5–§6).
+//!
+//! Each binary under `src/bin/` reproduces one figure family and prints the
+//! same rows/series the paper reports, as TSV on stdout (also written to
+//! `results/`). Run `cargo run -p rapid-bench --release --bin fig_all` for
+//! everything; see DESIGN.md §5 for the experiment index and EXPERIMENTS.md
+//! for paper-vs-measured results.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `RAPID_DAYS` — trace days averaged per data point (default 8;
+//!   the deployment experiments always use 58).
+//! * `RAPID_RUNS` — synthetic-mobility runs per data point (default 5).
+//! * `RAPID_SEED` — root experiment seed (default 7).
+//! * `RAPID_JOBS` — worker threads (default: available parallelism).
+
+pub mod families;
+pub mod proto;
+pub mod runner;
+pub mod synth;
+pub mod trace_exp;
+pub mod tsv;
+
+pub use proto::Proto;
+pub use runner::{parallel_map, run_spec, RunSpec};
+pub use synth::{Mobility, SynthLab};
+pub use trace_exp::TraceLab;
+
+/// Reads an environment knob with a default.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Trace days per data point (deployment experiments override this).
+pub fn days_per_point() -> u32 {
+    env_u64("RAPID_DAYS", 8) as u32
+}
+
+/// Synthetic runs per data point.
+pub fn runs_per_point() -> u32 {
+    env_u64("RAPID_RUNS", 5) as u32
+}
+
+/// Root experiment seed.
+pub fn root_seed() -> u64 {
+    env_u64("RAPID_SEED", 7)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn env_defaults() {
+        assert_eq!(super::env_u64("RAPID_THIS_IS_UNSET_XYZ", 42), 42);
+    }
+}

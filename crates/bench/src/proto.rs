@@ -1,0 +1,149 @@
+//! The protocols under test, as the experiment binaries name them.
+
+use dtn_protocols::{Epidemic, MaxProp, Prophet, Random, SprayAndWait};
+use dtn_sim::{Routing, TimeDelta};
+use rapid_core::{ChannelMode, Rapid, RapidConfig};
+
+/// A protocol configuration an experiment can instantiate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Proto {
+    /// RAPID minimizing average delay, in-band channel (the default).
+    RapidAvg,
+    /// RAPID minimizing maximum delay.
+    RapidMax,
+    /// RAPID maximizing within-deadline deliveries.
+    RapidDeadline,
+    /// RAPID avg-delay with the instant global channel (§6.2.3).
+    RapidAvgGlobal,
+    /// RAPID max-delay with the instant global channel.
+    RapidMaxGlobal,
+    /// RAPID deadline with the instant global channel.
+    RapidDeadlineGlobal,
+    /// RAPID avg-delay, metadata restricted to own-buffer packets (§6.2.6).
+    RapidAvgLocal,
+    /// RAPID avg-delay with the in-band channel capped to this fraction of
+    /// each opportunity (Fig. 8).
+    RapidAvgCapped(f64),
+    /// MaxProp.
+    MaxProp,
+    /// Binary Spray and Wait, L = 12.
+    SprayWait,
+    /// PRoPHET.
+    Prophet,
+    /// Random replication.
+    Random,
+    /// Random replication with flooded acks.
+    RandomAcks,
+    /// Epidemic flooding.
+    Epidemic,
+}
+
+impl Proto {
+    /// Display label used in TSV output (matches the paper's series names).
+    pub fn label(&self) -> String {
+        match self {
+            Proto::RapidAvg | Proto::RapidMax | Proto::RapidDeadline => "Rapid".into(),
+            Proto::RapidAvgGlobal | Proto::RapidMaxGlobal | Proto::RapidDeadlineGlobal => {
+                "Rapid-Global".into()
+            }
+            Proto::RapidAvgLocal => "Rapid-Local".into(),
+            Proto::RapidAvgCapped(f) => format!("Rapid-Cap{f:.2}"),
+            Proto::MaxProp => "MaxProp".into(),
+            Proto::SprayWait => "SprayAndWait".into(),
+            Proto::Prophet => "Prophet".into(),
+            Proto::Random => "Random".into(),
+            Proto::RandomAcks => "Random+acks".into(),
+            Proto::Epidemic => "Epidemic".into(),
+        }
+    }
+
+    /// Whether this protocol needs `allow_global_knowledge`.
+    pub fn needs_global(&self) -> bool {
+        matches!(
+            self,
+            Proto::RapidAvgGlobal | Proto::RapidMaxGlobal | Proto::RapidDeadlineGlobal
+        )
+    }
+
+    /// Instantiates the protocol. `deadline` parameterizes the RAPID
+    /// deadline metric (Table 4's delivery deadline); `horizon` sets the
+    /// RAPID delay-estimate ceiling (replicas that cannot deliver within
+    /// ~1.5 horizons are as good as none — packets die at day end, §6.1).
+    pub fn build(&self, deadline: TimeDelta, horizon: TimeDelta) -> Box<dyn Routing + Send> {
+        let cap = 1.5 * horizon.as_secs_f64().max(1.0);
+        let rapid = |cfg: RapidConfig| -> Box<dyn Routing + Send> {
+            Box::new(Rapid::new(cfg.with_delay_cap(cap)))
+        };
+        match *self {
+            Proto::RapidAvg => rapid(RapidConfig::avg_delay()),
+            Proto::RapidMax => rapid(RapidConfig::max_delay()),
+            Proto::RapidDeadline => rapid(RapidConfig::deadline(deadline)),
+            Proto::RapidAvgGlobal => rapid(
+                RapidConfig::avg_delay().with_channel(ChannelMode::InstantGlobal),
+            ),
+            Proto::RapidMaxGlobal => rapid(
+                RapidConfig::max_delay().with_channel(ChannelMode::InstantGlobal),
+            ),
+            Proto::RapidDeadlineGlobal => rapid(
+                RapidConfig::deadline(deadline).with_channel(ChannelMode::InstantGlobal),
+            ),
+            Proto::RapidAvgLocal => rapid(
+                RapidConfig::avg_delay().with_channel(ChannelMode::LocalOnly),
+            ),
+            Proto::RapidAvgCapped(f) => rapid(
+                RapidConfig::avg_delay().with_channel(ChannelMode::InBand {
+                    cap_fraction: Some(f),
+                }),
+            ),
+            Proto::MaxProp => Box::new(MaxProp::new()),
+            Proto::SprayWait => Box::new(SprayAndWait::new()),
+            Proto::Prophet => Box::new(Prophet::new()),
+            Proto::Random => Box::new(Random::new()),
+            Proto::RandomAcks => Box::new(Random::with_acks()),
+            Proto::Epidemic => Box::new(Epidemic::new()),
+        }
+    }
+
+    /// The four-protocol comparison set used by most figures.
+    pub fn comparison_set() -> [Proto; 4] {
+        [Proto::RapidAvg, Proto::MaxProp, Proto::SprayWait, Proto::Random]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_global_flags() {
+        assert_eq!(Proto::RapidAvg.label(), "Rapid");
+        assert_eq!(Proto::RapidAvgGlobal.label(), "Rapid-Global");
+        assert!(Proto::RapidAvgGlobal.needs_global());
+        assert!(!Proto::MaxProp.needs_global());
+        assert_eq!(Proto::RapidAvgCapped(0.1).label(), "Rapid-Cap0.10");
+    }
+
+    #[test]
+    fn every_variant_builds() {
+        let deadline = TimeDelta::from_secs(20);
+        for p in [
+            Proto::RapidAvg,
+            Proto::RapidMax,
+            Proto::RapidDeadline,
+            Proto::RapidAvgGlobal,
+            Proto::RapidMaxGlobal,
+            Proto::RapidDeadlineGlobal,
+            Proto::RapidAvgLocal,
+            Proto::RapidAvgCapped(0.05),
+            Proto::MaxProp,
+            Proto::SprayWait,
+            Proto::Prophet,
+            Proto::Random,
+            Proto::RandomAcks,
+            Proto::Epidemic,
+        ] {
+            let r = p.build(deadline, TimeDelta::from_hours(19));
+            assert!(!r.name().is_empty());
+        }
+    }
+}

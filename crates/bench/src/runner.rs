@@ -1,0 +1,105 @@
+//! Run assembly and a small worker pool.
+
+use crate::proto::Proto;
+use dtn_sim::workload::Workload;
+use dtn_sim::{NoiseModel, Schedule, SimConfig, SimReport, Simulation, Time, TimeDelta};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fully specified simulation job.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Meeting schedule.
+    pub schedule: Schedule,
+    /// Packet workload.
+    pub workload: Workload,
+    /// Node-id space.
+    pub nodes: usize,
+    /// Per-node buffer capacity, bytes.
+    pub buffer: u64,
+    /// Delivery deadline (reporting and the RAPID deadline metric).
+    pub deadline: TimeDelta,
+    /// End of the run.
+    pub horizon: Time,
+    /// Run seed.
+    pub seed: u64,
+    /// Deployment-noise emulation, if any.
+    pub noise: Option<NoiseModel>,
+    /// Start of the measured window (contacts before it are warm-up).
+    pub measure_from: Time,
+}
+
+/// Executes one job with one protocol.
+pub fn run_spec(spec: &RunSpec, proto: Proto) -> SimReport {
+    let config = SimConfig {
+        nodes: spec.nodes,
+        buffer_capacity: spec.buffer,
+        deadline: Some(spec.deadline),
+        horizon: spec.horizon,
+        allow_global_knowledge: proto.needs_global(),
+        seed: spec.seed,
+        measure_from: spec.measure_from,
+    };
+    let mut sim = Simulation::new(config, spec.schedule.clone(), spec.workload.clone());
+    if let Some(noise) = spec.noise {
+        sim = sim.with_noise(noise);
+    }
+    let measured_len = TimeDelta(spec.horizon.0.saturating_sub(spec.measure_from.0));
+    let mut routing = proto.build(spec.deadline, measured_len);
+    sim.run(routing.as_mut())
+}
+
+/// Maps `f` over `0..n` on a small worker pool and returns results in
+/// index order. Worker count comes from `RAPID_JOBS` (default: available
+/// parallelism, capped at `n`).
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let default_jobs = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let jobs = crate::env_u64("RAPID_JOBS", default_jobs as u64) as usize;
+    let jobs = jobs.clamp(1, n);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let slots_ptr = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                let mut guard = slots_ptr.lock().expect("no poisoned workers");
+                guard[i] = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(100, |i| i * i);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<u32> = parallel_map(0, |_| unreachable!("no jobs"));
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! RAPID configuration: routing metric, control-channel mode, tuning knobs.
+
+use dtn_sim::TimeDelta;
+
+/// The administrator-specified routing metric RAPID optimizes (§3.5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoutingMetric {
+    /// Minimize average delivery delay: `U_i = −D(i)` (Eq. 1).
+    MinAvgDelay,
+    /// Minimize the number of packets that miss their deadline:
+    /// `U_i = P(a(i) < L(i) − T(i))` while within lifetime `L`, else 0
+    /// (Eq. 2).
+    MinMissedDeadlines {
+        /// Packet lifetime `L(i)` (Table 4: 2.7 h trace / 20 s synthetic).
+        lifetime: TimeDelta,
+    },
+    /// Minimize the maximum delay: only the packet with the largest
+    /// expected delay has non-zero utility (Eq. 3), evaluated
+    /// work-conservingly in decreasing order of expected delay.
+    MinMaxDelay,
+}
+
+/// How control metadata moves between nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChannelMode {
+    /// The default: metadata rides the same transfer opportunities as data
+    /// (§4.2), optionally capped to a fraction of each opportunity
+    /// (the Fig. 8 experiment).
+    InBand {
+        /// If set, metadata may use at most this fraction of each
+        /// opportunity's bytes (0.0 disables the control channel entirely).
+        cap_fraction: Option<f64>,
+    },
+    /// Like `InBand`, but nodes only describe packets in their own buffers —
+    /// no third-party gossip. This is the `rapid-local` ablation of §6.2.6.
+    LocalOnly,
+    /// An instant, zero-latency global control channel (§6.2.3): replica
+    /// locations, queue states and delivery acks are always current. Models
+    /// the hybrid DTN with a long-range control radio; requires the
+    /// simulation to enable `allow_global_knowledge`.
+    InstantGlobal,
+}
+
+impl ChannelMode {
+    /// The unrestricted in-band channel (the paper's default).
+    pub fn in_band() -> Self {
+        ChannelMode::InBand { cap_fraction: None }
+    }
+}
+
+/// Tuning parameters for RAPID. Defaults follow the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RapidConfig {
+    /// The metric to optimize.
+    pub metric: RoutingMetric,
+    /// Control-channel mode.
+    pub channel: ChannelMode,
+    /// Maximum hops for transitive meeting-time estimation
+    /// (§4.1.2: "In our implementation we restrict h = 3").
+    pub hop_limit: usize,
+    /// Fallback expected transfer-opportunity size (bytes) before any
+    /// transfer has been observed with a peer.
+    pub default_opportunity_bytes: u64,
+    /// Upper bound on control-state entries retained per node; stale
+    /// third-party entries are pruned beyond this (bounded control state —
+    /// an implementation necessity the paper leaves implicit).
+    pub meta_entry_cap: usize,
+    /// Ceiling (seconds) applied to per-replica delay estimates: a replica
+    /// that cannot reach the destination within this time is as good as
+    /// none (packets die at the end of the service day, §6.1). Keeps
+    /// marginal utilities finite and comparable; experiment labs set it to
+    /// ~1.5× the run horizon.
+    pub delay_cap_secs: f64,
+}
+
+impl RapidConfig {
+    /// RAPID minimizing average delay with the default in-band channel.
+    pub fn avg_delay() -> Self {
+        Self::with_metric(RoutingMetric::MinAvgDelay)
+    }
+
+    /// RAPID minimizing maximum delay.
+    pub fn max_delay() -> Self {
+        Self::with_metric(RoutingMetric::MinMaxDelay)
+    }
+
+    /// RAPID maximizing deliveries within `lifetime`.
+    pub fn deadline(lifetime: TimeDelta) -> Self {
+        Self::with_metric(RoutingMetric::MinMissedDeadlines { lifetime })
+    }
+
+    /// Default configuration for a metric.
+    pub fn with_metric(metric: RoutingMetric) -> Self {
+        Self {
+            metric,
+            channel: ChannelMode::in_band(),
+            hop_limit: 3,
+            default_opportunity_bytes: 100 * 1024,
+            meta_entry_cap: 200_000,
+            delay_cap_secs: 1e9,
+        }
+    }
+
+    /// Switches the channel mode.
+    pub fn with_channel(mut self, channel: ChannelMode) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Sets the per-replica delay-estimate ceiling.
+    pub fn with_delay_cap(mut self, secs: f64) -> Self {
+        assert!(secs > 0.0, "delay cap must be positive");
+        self.delay_cap_secs = secs;
+        self
+    }
+}
+
+/// Wire-size accounting constants for the in-band channel (bytes). These
+/// determine the metadata fractions reported in Table 3 / Figs. 8–9: an ack
+/// is a packet id; a packet entry is (packet id, holder id, delay estimate,
+/// staleness stamp); a meeting-vector row is (node id, n × mean, stamp).
+pub mod wire {
+    /// Bytes per acknowledged packet id.
+    pub const ACK_BYTES: u64 = 4;
+    /// Bytes per (packet, holder, delay, stamp) metadata entry.
+    pub const META_ENTRY_BYTES: u64 = 16;
+    /// Bytes per meeting-vector row entry (one peer's mean + stamp).
+    pub const MEETING_ENTRY_BYTES: u64 = 12;
+    /// Bytes for the "average size of past transfer opportunities" scalar.
+    pub const AVG_OPP_BYTES: u64 = 8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = RapidConfig::avg_delay();
+        assert_eq!(c.hop_limit, 3);
+        assert_eq!(c.channel, ChannelMode::InBand { cap_fraction: None });
+        assert_eq!(c.metric, RoutingMetric::MinAvgDelay);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = RapidConfig::deadline(TimeDelta::from_secs(20))
+            .with_channel(ChannelMode::InstantGlobal);
+        assert_eq!(c.channel, ChannelMode::InstantGlobal);
+        assert!(matches!(
+            c.metric,
+            RoutingMetric::MinMissedDeadlines { lifetime } if lifetime == TimeDelta::from_secs(20)
+        ));
+    }
+}

@@ -1,0 +1,314 @@
+//! Per-node control-plane state: the replica/delay tables the in-band
+//! channel gossips (§4.2).
+//!
+//! "For each encountered packet i, rapid maintains a list of nodes that
+//! carry the replica of i, and for each replica, an estimated time for
+//! direct delivery." Entries carry a change stamp so exchanges can be
+//! incremental ("The node only sends information about packets whose
+//! information changed since the last exchange"), and the table is bounded:
+//! beyond a cap, the stalest entries for packets not held locally are
+//! pruned — a real deployment cannot hold control state for every packet
+//! ever heard of.
+
+use dtn_sim::{NodeId, PacketId, Time};
+use std::collections::HashMap;
+
+/// One believed replica of a packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HolderEntry {
+    /// The node believed to hold a replica.
+    pub holder: NodeId,
+    /// That replica's estimated direct-delivery delay, seconds.
+    pub delay_secs: f64,
+    /// When this belief was formed (at the believed holder).
+    pub stamp: Time,
+}
+
+/// Everything a node believes about one packet's replicas.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PacketBelief {
+    /// Believed replicas, sorted by holder id.
+    pub entries: Vec<HolderEntry>,
+    /// Most recent stamp across entries (drives delta exchange).
+    pub changed_at: Time,
+}
+
+impl PacketBelief {
+    /// Per-replica delay estimates, for feeding Eq. 8.
+    pub fn replica_delays(&self) -> impl Iterator<Item = f64> + '_ {
+        self.entries.iter().map(|e| e.delay_secs)
+    }
+
+    /// The entry for a specific holder.
+    pub fn entry(&self, holder: NodeId) -> Option<&HolderEntry> {
+        self.entries
+            .binary_search_by_key(&holder, |e| e.holder)
+            .ok()
+            .map(|k| &self.entries[k])
+    }
+}
+
+/// A node's replica/delay table.
+#[derive(Debug, Clone, Default)]
+pub struct MetaTable {
+    beliefs: HashMap<u32, PacketBelief>,
+}
+
+impl MetaTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of packets with beliefs.
+    pub fn len(&self) -> usize {
+        self.beliefs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.beliefs.is_empty()
+    }
+
+    /// The belief about `id`, if any.
+    pub fn get(&self, id: PacketId) -> Option<&PacketBelief> {
+        self.beliefs.get(&id.0)
+    }
+
+    /// Records (or refreshes) the belief that `holder` carries `id` with
+    /// the given delay estimate. Newer stamps win; equal-stamp updates
+    /// overwrite (local refresh). Returns whether anything changed.
+    pub fn upsert(&mut self, id: PacketId, entry: HolderEntry) -> bool {
+        let belief = self.beliefs.entry(id.0).or_default();
+        match belief
+            .entries
+            .binary_search_by_key(&entry.holder, |e| e.holder)
+        {
+            Ok(k) => {
+                let existing = &mut belief.entries[k];
+                if entry.stamp < existing.stamp {
+                    return false;
+                }
+                if *existing == entry {
+                    return false;
+                }
+                *existing = entry;
+            }
+            Err(k) => belief.entries.insert(k, entry),
+        }
+        belief.changed_at = belief.changed_at.max(entry.stamp);
+        true
+    }
+
+    /// Forgets a packet entirely (on ack: "Metadata for delivered packets
+    /// is deleted when an ack is received").
+    pub fn remove_packet(&mut self, id: PacketId) {
+        self.beliefs.remove(&id.0);
+    }
+
+    /// Forgets one holder of a packet (local eviction).
+    pub fn remove_holder(&mut self, id: PacketId, holder: NodeId) {
+        if let Some(belief) = self.beliefs.get_mut(&id.0) {
+            if let Ok(k) = belief
+                .entries
+                .binary_search_by_key(&holder, |e| e.holder)
+            {
+                belief.entries.remove(k);
+                if belief.entries.is_empty() {
+                    self.beliefs.remove(&id.0);
+                }
+            }
+        }
+    }
+
+    /// Packets whose belief changed after `since`, with the number of
+    /// *entries* newer than `since` (what the channel actually ships) and
+    /// the belief's change stamp. Sorted by `(changed_at, id)` — oldest
+    /// changes first — so a truncated exchange can advance its watermark to
+    /// the last stamp it fully shipped.
+    pub fn changed_since(&self, since: Time) -> Vec<(PacketId, usize, Time)> {
+        let mut out: Vec<(PacketId, usize, Time)> = self
+            .beliefs
+            .iter()
+            .filter(|(_, b)| b.changed_at > since)
+            .map(|(&id, b)| {
+                let fresh = b.entries.iter().filter(|e| e.stamp > since).count();
+                (PacketId(id), fresh, b.changed_at)
+            })
+            .filter(|&(_, fresh, _)| fresh > 0)
+            .collect();
+        out.sort_unstable_by_key(|&(id, _, at)| (at, id));
+        out
+    }
+
+    /// Merges the entries of `other`'s belief about `id` that are newer
+    /// than `since` (stamp-wins per holder). Returns how many changed.
+    pub fn merge_packet_from(&mut self, id: PacketId, other: &PacketBelief, since: Time) -> usize {
+        let mut changed = 0;
+        for &e in &other.entries {
+            if e.stamp > since && self.upsert(id, e) {
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Bounds the table to `cap` beliefs: beliefs for packets *not* matched
+    /// by `keep` are pruned stalest-first until the size fits. Beliefs that
+    /// `keep` matches (typically: packets in the local buffer) survive.
+    pub fn prune(&mut self, cap: usize, mut keep: impl FnMut(PacketId) -> bool) {
+        if self.beliefs.len() <= cap {
+            return;
+        }
+        let mut removable: Vec<(Time, u32)> = self
+            .beliefs
+            .iter()
+            .filter(|(&id, _)| !keep(PacketId(id)))
+            .map(|(&id, b)| (b.changed_at, id))
+            .collect();
+        removable.sort_unstable();
+        let excess = self.beliefs.len() - cap;
+        for &(_, id) in removable.iter().take(excess) {
+            self.beliefs.remove(&id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(holder: u32, delay: f64, stamp: u64) -> HolderEntry {
+        HolderEntry {
+            holder: NodeId(holder),
+            delay_secs: delay,
+            stamp: Time::from_secs(stamp),
+        }
+    }
+
+    #[test]
+    fn upsert_insert_and_refresh() {
+        let mut t = MetaTable::new();
+        assert!(t.upsert(PacketId(1), e(3, 100.0, 10)));
+        assert!(t.upsert(PacketId(1), e(5, 50.0, 12)));
+        let b = t.get(PacketId(1)).unwrap();
+        assert_eq!(b.entries.len(), 2);
+        assert_eq!(b.changed_at, Time::from_secs(12));
+        // Stale update rejected.
+        assert!(!t.upsert(PacketId(1), e(3, 1.0, 5)));
+        assert!((t.get(PacketId(1)).unwrap().entry(NodeId(3)).unwrap().delay_secs - 100.0).abs() < 1e-9);
+        // Fresher update accepted.
+        assert!(t.upsert(PacketId(1), e(3, 80.0, 20)));
+        assert!((t.get(PacketId(1)).unwrap().entry(NodeId(3)).unwrap().delay_secs - 80.0).abs() < 1e-9);
+        // Identical update is a no-op.
+        assert!(!t.upsert(PacketId(1), e(3, 80.0, 20)));
+    }
+
+    #[test]
+    fn entries_stay_sorted_by_holder() {
+        let mut t = MetaTable::new();
+        for h in [9u32, 2, 5, 7, 1] {
+            t.upsert(PacketId(0), e(h, 10.0, 1));
+        }
+        let holders: Vec<u32> = t
+            .get(PacketId(0))
+            .unwrap()
+            .entries
+            .iter()
+            .map(|x| x.holder.0)
+            .collect();
+        assert_eq!(holders, vec![1, 2, 5, 7, 9]);
+    }
+
+    #[test]
+    fn remove_holder_and_packet() {
+        let mut t = MetaTable::new();
+        t.upsert(PacketId(1), e(3, 100.0, 10));
+        t.upsert(PacketId(1), e(4, 100.0, 10));
+        t.remove_holder(PacketId(1), NodeId(3));
+        assert_eq!(t.get(PacketId(1)).unwrap().entries.len(), 1);
+        t.remove_holder(PacketId(1), NodeId(4));
+        assert!(t.get(PacketId(1)).is_none(), "empty belief collapses");
+        t.upsert(PacketId(2), e(1, 5.0, 1));
+        t.remove_packet(PacketId(2));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn delta_exchange_listing() {
+        let mut t = MetaTable::new();
+        t.upsert(PacketId(1), e(3, 100.0, 10));
+        t.upsert(PacketId(2), e(3, 100.0, 20));
+        let changed = t.changed_since(Time::from_secs(15));
+        assert_eq!(changed, vec![(PacketId(2), 1, Time::from_secs(20))]);
+        assert_eq!(t.changed_since(Time::from_secs(0)).len(), 2);
+        assert!(t.changed_since(Time::from_secs(20)).is_empty());
+        // Only the entries newer than the watermark count.
+        t.upsert(PacketId(1), e(4, 50.0, 30));
+        let changed = t.changed_since(Time::from_secs(15));
+        assert_eq!(changed[0], (PacketId(2), 1, Time::from_secs(20)));
+        assert_eq!(changed[1], (PacketId(1), 1, Time::from_secs(30)));
+    }
+
+    #[test]
+    fn changed_listing_is_stamp_ordered() {
+        let mut t = MetaTable::new();
+        t.upsert(PacketId(9), e(1, 1.0, 50));
+        t.upsert(PacketId(2), e(1, 1.0, 10));
+        t.upsert(PacketId(5), e(1, 1.0, 30));
+        let order: Vec<u32> = t
+            .changed_since(Time::ZERO)
+            .iter()
+            .map(|&(id, _, _)| id.0)
+            .collect();
+        assert_eq!(order, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn merge_from_peer_belief() {
+        let mut a = MetaTable::new();
+        let mut b = MetaTable::new();
+        a.upsert(PacketId(7), e(1, 100.0, 10));
+        b.upsert(PacketId(7), e(1, 90.0, 15)); // fresher
+        b.upsert(PacketId(7), e(2, 40.0, 12)); // new holder
+        let changed =
+            a.merge_packet_from(PacketId(7), b.get(PacketId(7)).unwrap(), Time::ZERO);
+        assert_eq!(changed, 2);
+        assert_eq!(a.get(PacketId(7)).unwrap().entries.len(), 2);
+        // A merge bounded by a later watermark moves nothing.
+        let mut c = MetaTable::new();
+        let moved =
+            c.merge_packet_from(PacketId(7), b.get(PacketId(7)).unwrap(), Time::from_secs(20));
+        assert_eq!(moved, 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn prune_keeps_local_and_evicts_stalest() {
+        let mut t = MetaTable::new();
+        for id in 0..10u32 {
+            t.upsert(PacketId(id), e(1, 10.0, u64::from(id)));
+        }
+        // Keep even ids ("in local buffer"); cap 6 → drop 4 stalest odd ids.
+        t.prune(6, |p| p.0 % 2 == 0);
+        assert_eq!(t.len(), 6);
+        for id in [1u32, 3, 5, 7] {
+            assert!(t.get(PacketId(id)).is_none(), "p{id} should be pruned");
+        }
+        assert!(t.get(PacketId(9)).is_some(), "freshest odd survives");
+        // No-op when under cap.
+        t.prune(100, |_| false);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn replica_delays_feed_eq8() {
+        let mut t = MetaTable::new();
+        t.upsert(PacketId(1), e(3, 100.0, 10));
+        t.upsert(PacketId(1), e(4, 50.0, 10));
+        let delays: Vec<f64> = t.get(PacketId(1)).unwrap().replica_delays().collect();
+        assert_eq!(delays.len(), 2);
+        let a = crate::estimate::expected_remaining_delay(delays);
+        assert!((a - 1.0 / (1.0 / 100.0 + 1.0 / 50.0)).abs() < 1e-9);
+    }
+}

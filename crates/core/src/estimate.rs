@@ -1,0 +1,271 @@
+//! Estimate Delay — Algorithm 2 of the paper (§4.1, Eqs. 4–9).
+//!
+//! A node estimating the remaining delivery delay `a(i)` of packet `i`
+//! (destination `Z`) reasons per replica:
+//!
+//! 1. Each holder `n_j` sorts its packets for `Z` in delivery order; let
+//!    `b_j(i)` be the bytes queued ahead of `i` (Fig. 1).
+//! 2. With `B_j` the expected transfer opportunity between `n_j` and `Z`,
+//!    delivering `i` directly takes `n_j(i)` meetings — a gamma-distributed
+//!    wait which the paper approximates by an exponential with the same
+//!    mean `E(M_{n_j Z}) · n_j(i)` (§4.1.1, because the minimum of gammas
+//!    has no closed form).
+//! 3. Assuming independence across replicas (Assumption 2), the remaining
+//!    delay is the minimum of the per-replica exponentials:
+//!    `P(a(i) < t) = 1 − exp(−Σ_j t/a_j)` (Eq. 7) and
+//!    `A(i) = (Σ_j 1/a_j)^{-1}` (Eqs. 8–9).
+//!
+//! One deliberate deviation, noted in DESIGN.md: the paper writes
+//! `⌈b_j(i)/B_j⌉` meetings, which is 0 for the head-of-queue packet; we use
+//! `⌊b_j(i)/B_j⌋ + 1` so the head packet needs exactly one meeting.
+
+use dtn_sim::{NodeId, PacketId, Time};
+use std::collections::HashMap;
+
+/// Smallest representable per-replica delay (seconds); guards divisions.
+const MIN_DELAY_SECS: f64 = 1e-6;
+
+/// Number of meetings with the destination needed before `i`'s turn:
+/// `⌊bytes_ahead / B⌋ + 1`.
+pub fn meetings_needed(bytes_ahead: u64, avg_opportunity_bytes: f64) -> f64 {
+    let b = avg_opportunity_bytes.max(1.0);
+    (bytes_ahead as f64 / b).floor() + 1.0
+}
+
+/// Per-replica direct-delivery delay `a_j(i) = E(M_{jZ}) · n_j(i)` seconds.
+/// Infinite expected meeting time (unreachable within `h` hops, §4.1.2)
+/// yields an infinite delay — the replica contributes nothing.
+pub fn replica_delay(expected_meeting_secs: f64, meetings: f64) -> f64 {
+    if !expected_meeting_secs.is_finite() {
+        return f64::INFINITY;
+    }
+    (expected_meeting_secs * meetings).max(MIN_DELAY_SECS)
+}
+
+/// Combined expected remaining delay `A(i)` over replica delays (Eq. 8/9):
+/// the mean of the minimum of independent exponentials with those means.
+pub fn expected_remaining_delay(replica_delays: impl IntoIterator<Item = f64>) -> f64 {
+    let rate = total_rate(replica_delays);
+    if rate > 0.0 {
+        1.0 / rate
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// `P(a(i) < t)` for the combined replicas (Eq. 7).
+pub fn prob_delivered_within(replica_delays: impl IntoIterator<Item = f64>, t_secs: f64) -> f64 {
+    if t_secs <= 0.0 {
+        return 0.0;
+    }
+    let rate = total_rate(replica_delays);
+    if rate == 0.0 {
+        return 0.0;
+    }
+    1.0 - (-rate * t_secs).exp()
+}
+
+fn total_rate(replica_delays: impl IntoIterator<Item = f64>) -> f64 {
+    replica_delays
+        .into_iter()
+        .filter(|a| a.is_finite())
+        .map(|a| 1.0 / a.max(MIN_DELAY_SECS))
+        .sum()
+}
+
+/// A snapshot of one node's buffer organised as per-destination delivery
+/// queues (Fig. 1): packets sorted oldest-first (decreasing `T(i)`, the
+/// order Step 2 of Protocol RAPID would deliver them), with prefix byte
+/// sums so `b(i)` is O(log n) per query.
+#[derive(Debug, Clone, Default)]
+pub struct QueueSnapshot {
+    /// Per destination: (created_at, size, id) sorted by (created_at, id).
+    queues: HashMap<u32, Vec<(Time, u64, PacketId)>>,
+    /// Prefix sums aligned with `queues`: bytes strictly ahead of slot k.
+    prefix: HashMap<u32, Vec<u64>>,
+}
+
+impl QueueSnapshot {
+    /// Builds a snapshot from `(id, dst, size, created_at)` tuples.
+    pub fn build(packets: impl IntoIterator<Item = (PacketId, NodeId, u64, Time)>) -> Self {
+        let mut queues: HashMap<u32, Vec<(Time, u64, PacketId)>> = HashMap::new();
+        for (id, dst, size, created) in packets {
+            queues.entry(dst.0).or_default().push((created, size, id));
+        }
+        let mut prefix = HashMap::with_capacity(queues.len());
+        for (&dst, q) in queues.iter_mut() {
+            // Oldest first = smallest created_at first; PacketId tiebreak
+            // keeps the order deterministic.
+            q.sort_unstable_by_key(|&(t, _, id)| (t, id));
+            let mut acc = 0u64;
+            let sums = q
+                .iter()
+                .map(|&(_, size, _)| {
+                    let ahead = acc;
+                    acc += size;
+                    ahead
+                })
+                .collect();
+            prefix.insert(dst, sums);
+        }
+        Self { queues, prefix }
+    }
+
+    /// Bytes queued ahead of an *existing* packet in the `dst` queue.
+    ///
+    /// # Panics
+    /// If the packet is not in the snapshot.
+    pub fn bytes_ahead(&self, dst: NodeId, id: PacketId, created_at: Time) -> u64 {
+        let q = self
+            .queues
+            .get(&dst.0)
+            .unwrap_or_else(|| panic!("no queue for {dst}"));
+        let pos = q
+            .binary_search_by_key(&(created_at, id), |&(t, _, i)| (t, i))
+            .unwrap_or_else(|_| panic!("{id} not in queue for {dst}"));
+        self.prefix[&dst.0][pos]
+    }
+
+    /// Bytes that would be queued ahead of a *hypothetical* packet with the
+    /// given age, were it inserted (used to evaluate replicating onto this
+    /// node: older packets with the same destination go first).
+    pub fn bytes_ahead_if_inserted(&self, dst: NodeId, created_at: Time) -> u64 {
+        let Some(q) = self.queues.get(&dst.0) else {
+            return 0;
+        };
+        // All packets strictly older (created earlier) precede the insert.
+        let pos = q.partition_point(|&(t, _, _)| t < created_at);
+        if pos == 0 {
+            0
+        } else {
+            let (_, size, _) = q[pos - 1];
+            self.prefix[&dst.0][pos - 1] + size
+        }
+    }
+
+    /// Total queued bytes for `dst`.
+    pub fn total_bytes(&self, dst: NodeId) -> u64 {
+        match (self.queues.get(&dst.0), self.prefix.get(&dst.0)) {
+            (Some(q), Some(p)) if !q.is_empty() => p[q.len() - 1] + q[q.len() - 1].1,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} !~ {b} (tol {tol})");
+    }
+
+    #[test]
+    fn meetings_needed_head_of_queue_is_one() {
+        close(meetings_needed(0, 1000.0), 1.0, 1e-12);
+        close(meetings_needed(999, 1000.0), 1.0, 1e-12);
+        close(meetings_needed(1000, 1000.0), 2.0, 1e-12);
+        close(meetings_needed(2500, 1000.0), 3.0, 1e-12);
+    }
+
+    #[test]
+    fn eq8_uniform_example() {
+        // §4.1.1: without bandwidth restrictions, k replicas each needing
+        // one meeting with rate λ give A(i) = 1/(kλ).
+        let lambda = 0.02; // mean meeting time 50 s
+        let k = 4;
+        let delays = vec![1.0 / lambda; k];
+        close(
+            expected_remaining_delay(delays.clone()),
+            1.0 / (k as f64 * lambda),
+            1e-9,
+        );
+        // Eq. 7 at t = mean: P = 1 − e^{−kλt}.
+        let t = 10.0;
+        close(
+            prob_delivered_within(delays, t),
+            1.0 - (-(k as f64) * lambda * t).exp(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn eq9_non_uniform_rates() {
+        // A(i) = (λ1/n1 + λ2/n2)^-1 with a_j = n_j/λ_j.
+        let a1 = replica_delay(100.0, 2.0); // 200 s
+        let a2 = replica_delay(50.0, 1.0); // 50 s
+        close(expected_remaining_delay([a1, a2]), 40.0, 1e-9); // (1/200+1/50)^-1
+    }
+
+    #[test]
+    fn unreachable_replicas_contribute_nothing() {
+        let inf = replica_delay(f64::INFINITY, 1.0);
+        assert!(inf.is_infinite());
+        close(expected_remaining_delay([inf, 100.0]), 100.0, 1e-9);
+        assert!(expected_remaining_delay([inf]).is_infinite());
+        assert_eq!(prob_delivered_within([inf], 10.0), 0.0);
+    }
+
+    #[test]
+    fn more_replicas_never_hurt() {
+        let base = expected_remaining_delay([100.0, 200.0]);
+        let more = expected_remaining_delay([100.0, 200.0, 500.0]);
+        assert!(more < base);
+        let p_base = prob_delivered_within([100.0, 200.0], 30.0);
+        let p_more = prob_delivered_within([100.0, 200.0, 500.0], 30.0);
+        assert!(p_more > p_base);
+    }
+
+    #[test]
+    fn prob_edge_cases() {
+        assert_eq!(prob_delivered_within([100.0], 0.0), 0.0);
+        assert_eq!(prob_delivered_within([100.0], -5.0), 0.0);
+        assert_eq!(prob_delivered_within(std::iter::empty(), 10.0), 0.0);
+    }
+
+    fn q(entries: &[(u32, u32, u64, u64)]) -> QueueSnapshot {
+        // (id, dst, size, created_secs)
+        QueueSnapshot::build(entries.iter().map(|&(id, dst, size, t)| {
+            (PacketId(id), NodeId(dst), size, Time::from_secs(t))
+        }))
+    }
+
+    #[test]
+    fn queue_positions_oldest_first() {
+        let s = q(&[
+            (0, 9, 1000, 50), // newest
+            (1, 9, 1000, 10), // oldest → head
+            (2, 9, 1000, 30),
+            (3, 8, 500, 5), // other destination
+        ]);
+        let dst = NodeId(9);
+        assert_eq!(s.bytes_ahead(dst, PacketId(1), Time::from_secs(10)), 0);
+        assert_eq!(s.bytes_ahead(dst, PacketId(2), Time::from_secs(30)), 1000);
+        assert_eq!(s.bytes_ahead(dst, PacketId(0), Time::from_secs(50)), 2000);
+        assert_eq!(s.bytes_ahead(NodeId(8), PacketId(3), Time::from_secs(5)), 0);
+        assert_eq!(s.total_bytes(dst), 3000);
+        assert_eq!(s.total_bytes(NodeId(7)), 0);
+    }
+
+    #[test]
+    fn hypothetical_insertion_position() {
+        let s = q(&[(0, 9, 1000, 10), (1, 9, 1000, 30)]);
+        let dst = NodeId(9);
+        // Older than everything → head.
+        assert_eq!(s.bytes_ahead_if_inserted(dst, Time::from_secs(5)), 0);
+        // Between the two.
+        assert_eq!(s.bytes_ahead_if_inserted(dst, Time::from_secs(20)), 1000);
+        // Newest → tail.
+        assert_eq!(s.bytes_ahead_if_inserted(dst, Time::from_secs(99)), 2000);
+        // Unknown destination → empty queue.
+        assert_eq!(s.bytes_ahead_if_inserted(NodeId(1), Time::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn equal_timestamps_break_ties_by_id() {
+        let s = q(&[(5, 9, 100, 10), (2, 9, 100, 10)]);
+        let dst = NodeId(9);
+        assert_eq!(s.bytes_ahead(dst, PacketId(2), Time::from_secs(10)), 0);
+        assert_eq!(s.bytes_ahead(dst, PacketId(5), Time::from_secs(10)), 100);
+    }
+}

@@ -1,0 +1,53 @@
+//! RAPID — the Resource Allocation Protocol for Intentional DTN routing,
+//! from *DTN Routing as a Resource Allocation Problem* (Balasubramanian,
+//! Levine, Venkataramani; SIGCOMM 2007).
+//!
+//! RAPID treats DTN routing as a utility-driven resource allocation
+//! problem: an administrator-specified routing metric (average delay,
+//! missed deadlines, or maximum delay — [`config::RoutingMetric`]) is
+//! translated into per-packet utilities, and at every transfer opportunity
+//! the packet whose replication buys the most utility per byte is sent
+//! first.
+//!
+//! Crate layout, mapped to the paper:
+//!
+//! | module | paper | contents |
+//! |--------|-------|----------|
+//! | [`config`] | §3.5, §6 | metrics, channel modes, tuning |
+//! | [`protocol`] | §3.4 | the selection algorithm (Protocol RAPID) |
+//! | [`estimate`] | §4.1 | Estimate Delay: Eqs. 4–9 |
+//! | [`meetings`] | §4.1.2 | meeting-time learning, h-hop estimates |
+//! | [`control`] | §4.2 | the in-band control channel's replica tables |
+//! | [`mod@dag_delay`] | Appendix C | the idealized dependency-graph estimator |
+//!
+//! ```
+//! use rapid_core::{Rapid, RapidConfig};
+//! use dtn_sim::{Simulation, SimConfig, Schedule, Contact, NodeId, Time};
+//! use dtn_sim::workload::{Workload, PacketSpec};
+//!
+//! let config = SimConfig { nodes: 2, horizon: Time::from_secs(60), ..SimConfig::default() };
+//! let schedule = Schedule::new(vec![Contact::new(Time::from_secs(30), NodeId(0), NodeId(1), 4096)]);
+//! let workload = Workload::new(vec![PacketSpec {
+//!     time: Time::from_secs(1), src: NodeId(0), dst: NodeId(1), size_bytes: 1024,
+//! }]);
+//! let report = Simulation::new(config, schedule, workload)
+//!     .run(&mut Rapid::new(RapidConfig::avg_delay()));
+//! assert_eq!(report.delivered(), 1);
+//! ```
+
+pub mod config;
+pub mod control;
+pub mod dag_delay;
+pub mod estimate;
+pub mod meetings;
+pub mod protocol;
+
+pub use config::{ChannelMode, RapidConfig, RoutingMetric};
+pub use control::{HolderEntry, MetaTable, PacketBelief};
+pub use dag_delay::{dag_delay, estimate_delay_reference, QueueState};
+pub use estimate::{
+    expected_remaining_delay, meetings_needed, prob_delivered_within, replica_delay,
+    QueueSnapshot,
+};
+pub use meetings::{expected_meeting_times_from, MeetingView};
+pub use protocol::Rapid;

@@ -1,0 +1,248 @@
+//! Meeting-time estimation for unknown mobility distributions (§4.1.2).
+//!
+//! "Every node tabulates the average time to meet every other node based on
+//! past meeting times. Nodes exchange this table as part of metadata
+//! exchanges. A node combines the metadata into a meeting-time adjacency
+//! matrix ... E(M_XZ) is estimated as the expected time taken for X to meet
+//! Z in at most h hops" (h = 3); pairs unreachable in h hops get infinity.
+//!
+//! Each node owns *its* row of the matrix (the averages of its own direct
+//! meetings) and learns other rows through gossip; rows carry a
+//! last-updated stamp and merge by last-writer-wins, so delayed gossip can
+//! only ever be stale, never corrupting.
+
+use dtn_sim::{NodeId, Time};
+use dtn_stats::RunningMean;
+
+/// One node's view of the fleet-wide meeting-time matrix.
+#[derive(Debug, Clone)]
+pub struct MeetingView {
+    me: NodeId,
+    n: usize,
+    /// `rows[u][v]`: believed mean time (seconds) for `u` to meet `v`
+    /// directly; `INFINITY` = never observed.
+    rows: Vec<Vec<f64>>,
+    /// Stamp of the information in `rows[u]` (when `u` last updated it).
+    row_stamp: Vec<Time>,
+    /// My own direct-meeting averages (the ground truth for `rows[me]`).
+    my_avg: Vec<RunningMean>,
+    /// Last time I met each peer (to form inter-meeting gaps).
+    last_met: Vec<Option<Time>>,
+}
+
+impl MeetingView {
+    /// Creates an empty view for node `me` in an `n`-node fleet.
+    pub fn new(me: NodeId, n: usize) -> Self {
+        Self {
+            me,
+            n,
+            rows: vec![vec![f64::INFINITY; n]; n],
+            row_stamp: vec![Time::ZERO; n],
+            my_avg: vec![RunningMean::new(); n],
+            last_met: vec![None; n],
+        }
+    }
+
+    /// The owner of this view.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Records a direct meeting with `peer` at `now`, updating the
+    /// inter-meeting average (the first meeting only sets the baseline).
+    pub fn record_meeting(&mut self, peer: NodeId, now: Time) {
+        assert_ne!(peer, self.me, "cannot meet self");
+        let p = peer.index();
+        if let Some(last) = self.last_met[p] {
+            let gap = now.since(last).as_secs_f64();
+            self.my_avg[p].observe(gap);
+        }
+        self.last_met[p] = Some(now);
+        if let Some(mean) = self.my_avg[p].mean() {
+            self.rows[self.me.index()][p] = mean;
+        }
+        self.row_stamp[self.me.index()] = now;
+    }
+
+    /// My believed mean direct inter-meeting time with `peer`, seconds.
+    pub fn direct_mean(&self, peer: NodeId) -> f64 {
+        self.rows[self.me.index()][peer.index()]
+    }
+
+    /// My own ground-truth row: mean direct inter-meeting times I observed.
+    pub fn my_row(&self) -> &[f64] {
+        &self.rows[self.me.index()]
+    }
+
+    /// Any believed row (mine is ground truth; others are gossip).
+    pub fn row(&self, u: usize) -> &[f64] {
+        &self.rows[u]
+    }
+
+    /// Rows updated after `since`, for the delta metadata exchange
+    /// (§4.2: "only sends information about packets whose information
+    /// changed since the last exchange" — same discipline for meeting rows).
+    pub fn rows_changed_since(&self, since: Time) -> Vec<NodeId> {
+        (0..self.n)
+            .filter(|&u| self.row_stamp[u] > since && self.rows[u].iter().any(|v| v.is_finite()))
+            .map(|u| NodeId(u as u32))
+            .collect()
+    }
+
+    /// Merges `peer`'s view into mine: last-writer-wins per row, restricted
+    /// to `rows` (what the channel actually carried).
+    pub fn merge_rows_from(&mut self, other: &MeetingView, rows: &[NodeId]) {
+        for &u in rows {
+            let ui = u.index();
+            // Never overwrite my own ground-truth row.
+            if u == self.me {
+                continue;
+            }
+            if other.row_stamp[ui] > self.row_stamp[ui] {
+                self.rows[ui].clone_from(&other.rows[ui]);
+                self.row_stamp[ui] = other.row_stamp[ui];
+            }
+        }
+    }
+
+    /// Expected time (seconds) for me to meet every destination within
+    /// `hop_limit` hops: `h` rounds of relaxation over believed rows
+    /// (Bellman–Ford limited to `h` edges). Unreachable ⇒ `INFINITY`
+    /// (§4.1.2: "we set the expected inter-meeting time to infinity").
+    pub fn expected_meeting_times(&self, hop_limit: usize) -> Vec<f64> {
+        expected_meeting_times_from(&self.rows, self.me, hop_limit)
+    }
+}
+
+/// h-hop expected meeting times from `src` over an arbitrary matrix of
+/// believed direct means. Exposed for the ablation bench on `h`.
+pub fn expected_meeting_times_from(rows: &[Vec<f64>], src: NodeId, hop_limit: usize) -> Vec<f64> {
+    let n = rows.len();
+    assert!(hop_limit >= 1, "need at least one hop");
+    let mut dist = rows[src.index()].clone();
+    dist[src.index()] = 0.0;
+    for _ in 1..hop_limit {
+        let prev = dist.clone();
+        for (y, &dy) in prev.iter().enumerate() {
+            if !dy.is_finite() || y == src.index() {
+                continue;
+            }
+            for z in 0..n {
+                if z == src.index() {
+                    continue;
+                }
+                let via = dy + rows[y][z];
+                if via < dist[z] {
+                    dist[z] = via;
+                }
+            }
+        }
+    }
+    dist[src.index()] = 0.0;
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> Time {
+        Time::from_secs(s)
+    }
+
+    #[test]
+    fn averages_form_from_gaps() {
+        let mut v = MeetingView::new(NodeId(0), 3);
+        assert!(v.direct_mean(NodeId(1)).is_infinite());
+        v.record_meeting(NodeId(1), t(100));
+        // One meeting: no gap yet, still unknown.
+        assert!(v.direct_mean(NodeId(1)).is_infinite());
+        v.record_meeting(NodeId(1), t(160));
+        assert!((v.direct_mean(NodeId(1)) - 60.0).abs() < 1e-9);
+        v.record_meeting(NodeId(1), t(260));
+        assert!((v.direct_mean(NodeId(1)) - 80.0).abs() < 1e-9); // (60+100)/2
+    }
+
+    #[test]
+    fn transitive_estimate_via_intermediary() {
+        // 0 meets 1 every 50 s; 1 meets 2 every 70 s; 0 never meets 2.
+        let mut v = MeetingView::new(NodeId(0), 3);
+        v.record_meeting(NodeId(1), t(0));
+        v.record_meeting(NodeId(1), t(50));
+        // Gossip in node 1's row.
+        let mut v1 = MeetingView::new(NodeId(1), 3);
+        v1.record_meeting(NodeId(2), t(0));
+        v1.record_meeting(NodeId(2), t(70));
+        v.merge_rows_from(&v1, &[NodeId(1)]);
+
+        let est = v.expected_meeting_times(3);
+        assert!((est[1] - 50.0).abs() < 1e-9);
+        assert!((est[2] - 120.0).abs() < 1e-9, "0→1→2 = 50 + 70");
+        assert_eq!(est[0], 0.0);
+    }
+
+    #[test]
+    fn hop_limit_bounds_reachability() {
+        // Chain 0-1-2-3-4: with h=3, node 4 is 4 hops away → infinity.
+        let mut rows = vec![vec![f64::INFINITY; 5]; 5];
+        for i in 0..4usize {
+            rows[i][i + 1] = 10.0;
+            rows[i + 1][i] = 10.0;
+        }
+        let est3 = expected_meeting_times_from(&rows, NodeId(0), 3);
+        assert!((est3[3] - 30.0).abs() < 1e-9);
+        assert!(est3[4].is_infinite(), "4 hops exceeds h=3");
+        let est4 = expected_meeting_times_from(&rows, NodeId(0), 4);
+        assert!((est4[4] - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefers_direct_when_cheaper() {
+        let mut rows = vec![vec![f64::INFINITY; 3]; 3];
+        rows[0][2] = 40.0;
+        rows[0][1] = 10.0;
+        rows[1][2] = 10.0;
+        // Two-hop path 0→1→2 costs 20 < direct 40.
+        let est = expected_meeting_times_from(&rows, NodeId(0), 3);
+        assert!((est[2] - 20.0).abs() < 1e-9);
+        // With h=1, only the direct edge counts.
+        let est1 = expected_meeting_times_from(&rows, NodeId(0), 1);
+        assert!((est1[2] - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_last_writer_wins_and_protects_own_row() {
+        let mut a = MeetingView::new(NodeId(0), 3);
+        a.record_meeting(NodeId(1), t(0));
+        a.record_meeting(NodeId(1), t(100)); // own row: mean 100
+
+        let mut b = MeetingView::new(NodeId(1), 3);
+        b.record_meeting(NodeId(2), t(0));
+        b.record_meeting(NodeId(2), t(30));
+
+        // Forge a stale copy of b and a fresh one; fresh must win.
+        let stale = b.clone();
+        b.record_meeting(NodeId(2), t(500)); // mean now (30 + 470)/2 = 250
+
+        a.merge_rows_from(&b, &[NodeId(1)]);
+        assert!((a.rows[1][2] - 250.0).abs() < 1e-9);
+        a.merge_rows_from(&stale, &[NodeId(1)]);
+        assert!((a.rows[1][2] - 250.0).abs() < 1e-9, "stale must not regress");
+
+        // Merging someone's claim about MY row is ignored.
+        let mut foreign = MeetingView::new(NodeId(2), 3);
+        foreign.rows[0][1] = 1.0;
+        foreign.row_stamp[0] = t(9999);
+        a.merge_rows_from(&foreign, &[NodeId(0)]);
+        assert!((a.direct_mean(NodeId(1)) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn changed_rows_for_delta_exchange() {
+        let mut v = MeetingView::new(NodeId(0), 3);
+        v.record_meeting(NodeId(1), t(10));
+        v.record_meeting(NodeId(1), t(20));
+        assert_eq!(v.rows_changed_since(t(5)), vec![NodeId(0)]);
+        assert!(v.rows_changed_since(t(20)).is_empty());
+    }
+}

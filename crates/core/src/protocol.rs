@@ -1,0 +1,1257 @@
+//! Protocol RAPID (§3.4) — the selection algorithm over the inference
+//! machinery, wired to the simulator's [`Routing`] interface.
+//!
+//! At every transfer opportunity between `X` and `Y`:
+//!
+//! 1. **Initialization**: metadata exchange over the in-band channel
+//!    (acks, meeting-time rows, average opportunity sizes, changed replica
+//!    entries — §4.2), then purge of packets known to be delivered.
+//! 2. **Direct delivery**: packets destined to the peer, in decreasing
+//!    utility order.
+//! 3. **Replication**: every other buffered packet is scored by marginal
+//!    utility per byte `δU_i / s_i` (Eqs. 1–3 over Estimate Delay) and
+//!    replicated in decreasing order until the opportunity is exhausted.
+//! 4. **Termination**: implicit — the engine bounds each direction by the
+//!    opportunity size.
+//!
+//! Storage: when a buffer overflows, the lowest-utility packets are dropped
+//! first; a source never drops its own unacknowledged packet (§3.4).
+
+use crate::config::{wire, ChannelMode, RapidConfig, RoutingMetric};
+use crate::control::{HolderEntry, MetaTable};
+use crate::estimate::{
+    expected_remaining_delay, meetings_needed, prob_delivered_within, replica_delay,
+    QueueSnapshot,
+};
+use crate::meetings::{expected_meeting_times_from, MeetingView};
+use dtn_sim::{
+    ContactDriver, NodeBuffer, NodeId, Packet, PacketId, PacketSet, PacketStore, Routing,
+    SimConfig, Time, TransferOutcome,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Relative change below which a refreshed delay estimate is not
+/// republished (keeps the delta channel quiet when nothing moved).
+const PUBLISH_THRESHOLD: f64 = 1.0;
+
+/// Fraction of each opportunity available to third-party replica gossip
+/// ("information about other packets", §4.2). Bounding this class keeps
+/// total metadata at the paper's percent-of-data scale; see
+/// `exchange_metadata`.
+const THIRD_PARTY_FRACTION: f64 = 0.02;
+
+/// Score assigned when replication newly makes a destination reachable —
+/// larger than any finite delay gain, far below `f64::MAX` so age offsets
+/// and size divisions stay meaningful.
+const UNREACHABLE_GAIN: f64 = 1e18;
+
+/// Per-node protocol state (beliefs only — the world lives in the engine).
+#[derive(Debug, Clone)]
+struct NodeState {
+    meetings: MeetingView,
+    meta: MetaTable,
+    acks: PacketSet,
+    /// Watermark of the last *complete* metadata send to each peer.
+    last_sent: Vec<Time>,
+    /// Average opportunity size observed by this node (bytes).
+    avg_opp: dtn_stats::RunningMean,
+    /// Believed average opportunity size of every node, with stamp.
+    believed_opp: Vec<(f64, Time)>,
+    /// Cached h-hop expected meeting times (invalidated at each contact).
+    est_cache: Option<Vec<f64>>,
+}
+
+impl NodeState {
+    fn new(me: NodeId, n: usize) -> Self {
+        Self {
+            meetings: MeetingView::new(me, n),
+            meta: MetaTable::new(),
+            acks: PacketSet::new(),
+            last_sent: vec![Time::ZERO; n],
+            avg_opp: dtn_stats::RunningMean::new(),
+            believed_opp: vec![(0.0, Time::ZERO); n],
+            est_cache: None,
+        }
+    }
+}
+
+/// The RAPID routing protocol.
+pub struct Rapid {
+    cfg: RapidConfig,
+    sim: SimConfig,
+    states: Vec<NodeState>,
+}
+
+impl Rapid {
+    /// Creates a RAPID instance with the given configuration.
+    pub fn new(cfg: RapidConfig) -> Self {
+        Self {
+            cfg,
+            sim: SimConfig::default(),
+            states: Vec::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RapidConfig {
+        &self.cfg
+    }
+
+    fn is_global(&self) -> bool {
+        matches!(self.cfg.channel, ChannelMode::InstantGlobal)
+    }
+
+    /// Applies the delay-estimate ceiling: replicas that cannot deliver
+    /// within the cap are equivalent to the cap (see
+    /// [`RapidConfig::delay_cap_secs`]).
+    fn cap(&self, a: f64) -> f64 {
+        a.min(self.cfg.delay_cap_secs)
+    }
+
+    /// Believed average transfer-opportunity size of `node`, bytes.
+    fn opp_bytes(&self, believer: NodeId, node: NodeId) -> f64 {
+        let (v, stamp) = self.states[believer.index()].believed_opp[node.index()];
+        if stamp > Time::ZERO && v > 0.0 {
+            v
+        } else {
+            self.cfg.default_opportunity_bytes as f64
+        }
+    }
+
+    /// h-hop expected meeting times as believed by `believer`, evaluated
+    /// from `from`'s position (usually `believer` itself; evaluating the
+    /// peer's position uses the rows learned from that peer).
+    fn estimate_times(&self, believer: NodeId, from: NodeId) -> Vec<f64> {
+        if self.is_global() {
+            let n = self.states.len();
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|u| self.states[u].meetings.my_row().to_vec())
+                .collect();
+            expected_meeting_times_from(&rows, from, self.cfg.hop_limit)
+        } else if believer == from {
+            self.states[believer.index()]
+                .meetings
+                .expected_meeting_times(self.cfg.hop_limit)
+        } else {
+            // Seen through the believer's learned rows.
+            let state = &self.states[believer.index()];
+            let n = self.states.len();
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|u| {
+                    // MeetingView does not expose foreign rows directly;
+                    // rebuild through the public estimate when possible.
+                    state.meetings_row(u)
+                })
+                .collect();
+            expected_meeting_times_from(&rows, from, self.cfg.hop_limit)
+        }
+    }
+
+    fn ensure_est_cache(&mut self, node: NodeId) {
+        if self.states[node.index()].est_cache.is_none() {
+            let est = self.estimate_times(node, node);
+            self.states[node.index()].est_cache = Some(est);
+        }
+    }
+
+    /// Utility of a buffered packet at `node` (for eviction ordering and
+    /// direct-delivery ordering). Higher = more valuable to keep.
+    fn utility(
+        &self,
+        node: NodeId,
+        packet: &Packet,
+        bytes_ahead: u64,
+        now: Time,
+    ) -> f64 {
+        let state = &self.states[node.index()];
+        let est = state
+            .est_cache
+            .as_ref()
+            .expect("estimate cache must be built before utility queries");
+        let b_self = self.opp_bytes(node, node);
+        let a_self = self.cap(replica_delay(
+            est[packet.dst.index()],
+            meetings_needed(bytes_ahead, b_self),
+        ));
+        let remote: Vec<f64> = state
+            .meta
+            .get(packet.id)
+            .map(|b| {
+                b.entries
+                    .iter()
+                    .filter(|e| e.holder != node)
+                    .map(|e| self.cap(e.delay_secs))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let t = now.since(packet.created_at).as_secs_f64();
+        match self.cfg.metric {
+            RoutingMetric::MinAvgDelay | RoutingMetric::MinMaxDelay => {
+                let a = expected_remaining_delay(remote.into_iter().chain([a_self]));
+                -(t + a)
+            }
+            RoutingMetric::MinMissedDeadlines { lifetime } => {
+                let l = lifetime.as_secs_f64();
+                if t >= l {
+                    0.0
+                } else {
+                    prob_delivered_within(remote.into_iter().chain([a_self]), l - t)
+                }
+            }
+        }
+    }
+}
+
+// A private extension used by `estimate_times`: read a (possibly learned)
+// row out of a view. Implemented here to keep `MeetingView`'s public API
+// small.
+trait RowAccess {
+    fn meetings_row(&self, u: usize) -> Vec<f64>;
+}
+
+impl RowAccess for NodeState {
+    fn meetings_row(&self, u: usize) -> Vec<f64> {
+        self.meetings.row(u).to_vec()
+    }
+}
+
+/// One replication candidate, scored.
+struct Candidate {
+    id: PacketId,
+    score: f64,
+    size: u64,
+    a_self: f64,
+    a_peer: f64,
+}
+
+impl Routing for Rapid {
+    fn name(&self) -> String {
+        let metric = match self.cfg.metric {
+            RoutingMetric::MinAvgDelay => "avg-delay",
+            RoutingMetric::MinMissedDeadlines { .. } => "deadline",
+            RoutingMetric::MinMaxDelay => "max-delay",
+        };
+        let channel = match self.cfg.channel {
+            ChannelMode::InBand { cap_fraction: None } => "in-band".to_string(),
+            ChannelMode::InBand {
+                cap_fraction: Some(f),
+            } => format!("in-band:{f:.2}"),
+            ChannelMode::LocalOnly => "local".to_string(),
+            ChannelMode::InstantGlobal => "global".to_string(),
+        };
+        format!("RAPID({metric},{channel})")
+    }
+
+    fn on_init(&mut self, config: &SimConfig) {
+        assert!(
+            !matches!(self.cfg.channel, ChannelMode::InstantGlobal)
+                || config.allow_global_knowledge,
+            "InstantGlobal RAPID requires SimConfig::allow_global_knowledge"
+        );
+        self.sim = config.clone();
+        self.states = (0..config.nodes)
+            .map(|i| NodeState::new(NodeId(i as u32), config.nodes))
+            .collect();
+    }
+
+    fn make_room(
+        &mut self,
+        node: NodeId,
+        incoming: &Packet,
+        needed: u64,
+        buffer: &NodeBuffer,
+        packets: &PacketStore,
+        now: Time,
+    ) -> Vec<PacketId> {
+        self.ensure_est_cache(node);
+        let snap = QueueSnapshot::build(buffer.iter().map(|(id, _)| {
+            let p = packets.get(id);
+            (id, p.dst, p.size_bytes, p.created_at)
+        }));
+        // §3.4 protects a source's own unacked packets from being displaced
+        // by *incoming replicas*; when the incoming packet is the node's own
+        // creation, the source manages its own queue and may shed its own
+        // lowest-utility packets (otherwise a saturated source would drop
+        // every new packet at birth).
+        let own_creation = incoming.src == node;
+        let state = &self.states[node.index()];
+        let mut scored: Vec<(f64, PacketId, u64)> = buffer
+            .iter()
+            .filter(|&(id, _)| {
+                own_creation || {
+                    let p = packets.get(id);
+                    p.src != node || state.acks.contains(id)
+                }
+            })
+            .map(|(id, meta)| {
+                let p = packets.get(id);
+                let ahead = snap.bytes_ahead(p.dst, id, p.created_at);
+                (self.utility(node, p, ahead, now), id, meta.size_bytes)
+            })
+            .collect();
+        // Lowest utility evicted first; id tiebreak for determinism.
+        scored.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        let mut victims = Vec::new();
+        let mut freed = 0u64;
+        for (_, id, size) in scored {
+            if freed >= needed {
+                break;
+            }
+            victims.push(id);
+            freed += size;
+        }
+        if freed >= needed {
+            for &v in &victims {
+                self.states[node.index()].meta.remove_holder(v, node);
+            }
+            victims
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+        let (a, b) = driver.endpoints();
+        let now = driver.now();
+        let full_opp = driver.remaining_bytes(a);
+
+        // --- Record the meeting and the opportunity size.
+        for (x, y) in [(a, b), (b, a)] {
+            let xi = x.index();
+            self.states[xi].meetings.record_meeting(y, now);
+            self.states[xi].avg_opp.observe(full_opp as f64);
+            let avg = self.states[xi].avg_opp.mean_or(0.0);
+            self.states[xi].believed_opp[xi] = (avg, now);
+            self.states[xi].est_cache = None;
+        }
+
+        // --- Step 1: metadata exchange (in-band modes only).
+        match self.cfg.channel {
+            ChannelMode::InBand { cap_fraction } => {
+                let budget = cap_fraction
+                    .map(|f| (f * full_opp as f64) as u64)
+                    .unwrap_or(u64::MAX);
+                self.exchange_metadata(driver, a, b, budget, full_opp, false);
+                self.exchange_metadata(driver, b, a, budget, full_opp, false);
+            }
+            ChannelMode::LocalOnly => {
+                self.exchange_metadata(driver, a, b, u64::MAX, full_opp, true);
+                self.exchange_metadata(driver, b, a, u64::MAX, full_opp, true);
+            }
+            ChannelMode::InstantGlobal => {}
+        }
+
+        // --- Purge packets known to be delivered (acks / global truth).
+        for x in [a, b] {
+            let known: Vec<PacketId> = driver
+                .buffer(x)
+                .ids()
+                .into_iter()
+                .filter(|&id| {
+                    if self.is_global() {
+                        driver.global().is_delivered(id)
+                    } else {
+                        self.states[x.index()].acks.contains(id)
+                    }
+                })
+                .collect();
+            for id in known {
+                driver.evict(x, id);
+                self.states[x.index()].meta.remove_packet(id);
+            }
+        }
+
+        // --- Build per-side context: estimates and queue snapshots.
+        let est_a = self.estimate_times(a, a);
+        let est_b = self.estimate_times(b, b);
+        // How each side values the *peer's* position (for a_peer): seen
+        // through its own learned rows.
+        let est_b_from_a = self.estimate_times(a, b);
+        let est_a_from_b = self.estimate_times(b, a);
+        let snapshot = |driver: &ContactDriver<'_>, node: NodeId| {
+            QueueSnapshot::build(driver.buffer(node).iter().map(|(id, _)| {
+                let p = driver.packets().get(id);
+                (id, p.dst, p.size_bytes, p.created_at)
+            }))
+        };
+        let snap_a = snapshot(driver, a);
+        let snap_b = snapshot(driver, b);
+        self.states[a.index()].est_cache = Some(est_a.clone());
+        self.states[b.index()].est_cache = Some(est_b.clone());
+
+        // --- Step 2: direct delivery, both sides.
+        for (x, y) in [(a, b), (b, a)] {
+            self.direct_delivery(driver, x, y, now);
+        }
+
+        // --- Step 3: replication, both sides.
+        let mut stored_this_contact: HashSet<PacketId> = HashSet::new();
+        self.replicate_side(
+            driver, a, b, &est_a, &est_b_from_a, &snap_a, &snap_b, now,
+            &mut stored_this_contact,
+        );
+        self.replicate_side(
+            driver, b, a, &est_b, &est_a_from_b, &snap_b, &snap_a, now,
+            &mut stored_this_contact,
+        );
+
+        // --- Bound control state.
+        for x in [a, b] {
+            let cap = self.cfg.meta_entry_cap;
+            let buffered: HashSet<u32> =
+                driver.buffer(x).ids().iter().map(|p| p.0).collect();
+            self.states[x.index()]
+                .meta
+                .prune(cap, |id| buffered.contains(&id.0));
+        }
+    }
+}
+
+impl Rapid {
+    /// Step 2: deliver packets destined to the peer, highest utility first.
+    /// For the deadline metric, expired packets go last (their utility is
+    /// 0); otherwise the queue order is decreasing `T(i)` (§4.1).
+    fn direct_delivery(
+        &mut self,
+        driver: &mut ContactDriver<'_>,
+        x: NodeId,
+        y: NodeId,
+        now: Time,
+    ) {
+        let mut destined: Vec<(bool, Time, PacketId)> = driver
+            .buffer(x)
+            .ids()
+            .into_iter()
+            .filter(|&id| driver.packets().get(id).dst == y)
+            .map(|id| {
+                let p = driver.packets().get(id);
+                let expired = match self.cfg.metric {
+                    RoutingMetric::MinMissedDeadlines { lifetime } => {
+                        now.since(p.created_at) >= lifetime
+                    }
+                    _ => false,
+                };
+                (expired, p.created_at, id)
+            })
+            .collect();
+        destined.sort_unstable();
+        for (_, _, id) in destined {
+            match driver.try_transfer(x, id) {
+                TransferOutcome::Delivered | TransferOutcome::DeliveredDuplicate => {
+                    // Both endpoints witnessed the delivery: instant ack.
+                    self.states[x.index()].acks.insert(id);
+                    self.states[y.index()].acks.insert(id);
+                    self.states[x.index()].meta.remove_packet(id);
+                    self.states[y.index()].meta.remove_packet(id);
+                }
+                TransferOutcome::NoBandwidth => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Step 3 for one side: score candidates by marginal utility per byte
+    /// and replicate greedily.
+    #[allow(clippy::too_many_arguments)]
+    fn replicate_side(
+        &mut self,
+        driver: &mut ContactDriver<'_>,
+        x: NodeId,
+        y: NodeId,
+        est_x: &[f64],
+        est_y: &[f64],
+        snap_x: &QueueSnapshot,
+        snap_y: &QueueSnapshot,
+        now: Time,
+        stored_this_contact: &mut HashSet<PacketId>,
+    ) {
+        let b_x = self.opp_bytes(x, x);
+        let b_y = if self.is_global() {
+            let (v, stamp) = self.states[y.index()].believed_opp[y.index()];
+            if stamp > Time::ZERO && v > 0.0 {
+                v
+            } else {
+                self.cfg.default_opportunity_bytes as f64
+            }
+        } else {
+            self.opp_bytes(x, y)
+        };
+
+        // Global-mode caches: per-holder estimates and queue snapshots.
+        let mut global_est: HashMap<u32, Vec<f64>> = HashMap::new();
+        let mut global_snap: HashMap<u32, QueueSnapshot> = HashMap::new();
+
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for id in driver.buffer(x).ids() {
+            let p = *driver.packets().get(id);
+            if p.dst == y || driver.buffer(y).contains(id) {
+                continue;
+            }
+            if !self.is_global() && self.states[x.index()].acks.contains(id) {
+                continue; // known delivered but not yet purged (can't happen after purge, kept defensively)
+            }
+            let dst = p.dst.index();
+            let t = now.since(p.created_at).as_secs_f64();
+            let a_self = self.cap(replica_delay(
+                est_x[dst],
+                meetings_needed(snap_x.bytes_ahead(p.dst, id, p.created_at), b_x),
+            ));
+            let a_peer = self.cap(replica_delay(
+                est_y[dst],
+                meetings_needed(snap_y.bytes_ahead_if_inserted(p.dst, p.created_at), b_y),
+            ));
+
+            // Remote replica delays (believed or true, by channel mode).
+            let remote: Vec<f64> = if self.is_global() {
+                let g = driver.global();
+                g.holders(id)
+                    .iter()
+                    .filter(|&&h| h != x && h != y)
+                    .map(|&h| {
+                        let est_h = global_est.entry(h.0).or_insert_with(|| {
+                            self.estimate_times(x, h)
+                        });
+                        let snap_h = global_snap.entry(h.0).or_insert_with(|| {
+                            QueueSnapshot::build(g.buffer(h).iter().map(|(hid, _)| {
+                                let hp = driver.packets().get(hid);
+                                (hid, hp.dst, hp.size_bytes, hp.created_at)
+                            }))
+                        });
+                        let ahead = snap_h.bytes_ahead(p.dst, id, p.created_at);
+                        let b_h = {
+                            let (v, stamp) =
+                                self.states[h.index()].believed_opp[h.index()];
+                            if stamp > Time::ZERO && v > 0.0 {
+                                v
+                            } else {
+                                self.cfg.default_opportunity_bytes as f64
+                            }
+                        };
+                        self.cap(replica_delay(est_h[dst], meetings_needed(ahead, b_h)))
+                    })
+                    .collect()
+            } else {
+                self.states[x.index()]
+                    .meta
+                    .get(id)
+                    .map(|belief| {
+                        belief
+                            .entries
+                            .iter()
+                            .filter(|e| e.holder != x && e.holder != y)
+                            .map(|e| self.cap(e.delay_secs))
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            };
+
+            let score = match self.cfg.metric {
+                RoutingMetric::MinAvgDelay => {
+                    let before = expected_remaining_delay(
+                        remote.iter().copied().chain([a_self]),
+                    );
+                    let after = expected_remaining_delay(
+                        remote.iter().copied().chain([a_self, a_peer]),
+                    );
+                    delta_or_zero(before, after) / p.size_bytes as f64
+                }
+                RoutingMetric::MinMissedDeadlines { lifetime } => {
+                    let rem = lifetime.as_secs_f64() - t;
+                    if rem <= 0.0 {
+                        0.0
+                    } else {
+                        let before = prob_delivered_within(
+                            remote.iter().copied().chain([a_self]),
+                            rem,
+                        );
+                        let after = prob_delivered_within(
+                            remote.iter().copied().chain([a_self, a_peer]),
+                            rem,
+                        );
+                        (after - before) / p.size_bytes as f64
+                    }
+                }
+                RoutingMetric::MinMaxDelay => {
+                    // Work-conserving Eq. 3: replicate in decreasing order
+                    // of current expected delay D(i) = T(i) + A(i).
+                    let before = expected_remaining_delay(
+                        remote.iter().copied().chain([a_self]),
+                    );
+                    if before.is_finite() {
+                        t + before
+                    } else if a_peer.is_finite() {
+                        // No current replica can reach the destination but
+                        // the peer can: the largest possible gain. Age
+                        // preserves the work-conserving order among such
+                        // packets.
+                        UNREACHABLE_GAIN + t
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            if score > 0.0 {
+                candidates.push(Candidate {
+                    id,
+                    score,
+                    size: p.size_bytes,
+                    a_self,
+                    a_peer,
+                });
+            }
+            // Publish/refresh own delay estimate for the gossip channel —
+            // only for packets this node originated ("for each of its own
+            // packets", §4.2); carried replicas are already described by
+            // the entries created at replication time.
+            if !self.is_global() && p.src == x {
+                self.publish_estimate(x, id, a_self, now);
+            }
+        }
+
+        sort_candidates(&mut candidates, driver.remaining_bytes(x));
+
+        // Lazy eviction queue at the receiver: (utility, id, size),
+        // ascending utility; built on first NeedsSpace.
+        let mut evict_queue: Option<Vec<(f64, PacketId, u64)>> = None;
+
+        for cand in candidates {
+            if driver.remaining_bytes(x) < cand.size {
+                // Packets are uniform-size in the paper's workloads; a
+                // smaller later candidate could still fit, so keep going
+                // only while something could fit.
+                if driver.remaining_bytes(x) == 0 {
+                    break;
+                }
+                continue;
+            }
+            loop {
+                match driver.try_transfer(x, cand.id) {
+                    TransferOutcome::Replicated => {
+                        stored_this_contact.insert(cand.id);
+                        if !self.is_global() {
+                            let stamp = now;
+                            let entry_peer = HolderEntry {
+                                holder: y,
+                                delay_secs: cand.a_peer,
+                                stamp,
+                            };
+                            let entry_self = HolderEntry {
+                                holder: x,
+                                delay_secs: cand.a_self,
+                                stamp,
+                            };
+                            for node in [x, y] {
+                                let st = &mut self.states[node.index()];
+                                st.meta.upsert(cand.id, entry_peer);
+                                st.meta.upsert(cand.id, entry_self);
+                            }
+                        }
+                        break;
+                    }
+                    TransferOutcome::NeedsSpace(needed) => {
+                        if !self.evict_for(
+                            driver,
+                            y,
+                            needed,
+                            cand.score,
+                            stored_this_contact,
+                            snap_y,
+                            now,
+                            &mut evict_queue,
+                        ) {
+                            break; // could not make room: skip candidate
+                        }
+                        // Retry the transfer with space freed.
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    /// Buffer-overflow policy at the receiving node: evict lowest-utility
+    /// packets (never its own unacked source packets, never replicas stored
+    /// during this contact) until `needed` bytes are free. Returns whether
+    /// enough space was freed.
+    #[allow(clippy::too_many_arguments)]
+    fn evict_for(
+        &mut self,
+        driver: &mut ContactDriver<'_>,
+        y: NodeId,
+        needed: u64,
+        _incoming_score: f64,
+        stored_this_contact: &HashSet<PacketId>,
+        snap_y: &QueueSnapshot,
+        now: Time,
+        queue: &mut Option<Vec<(f64, PacketId, u64)>>,
+    ) -> bool {
+        if queue.is_none() {
+            let mut scored: Vec<(bool, f64, PacketId, u64)> = driver
+                .buffer(y)
+                .ids()
+                .into_iter()
+                .filter(|id| !stored_this_contact.contains(id))
+                .map(|id| {
+                    let p = driver.packets().get(id);
+                    // §3.4's own-packet protection, applied as a strict
+                    // preference: a node's own unacked packets are evicted
+                    // only after every other packet is gone.
+                    let own_unacked =
+                        p.src == y && !self.states[y.index()].acks.contains(id);
+                    let ahead = snap_y.bytes_ahead(p.dst, id, p.created_at);
+                    (
+                        own_unacked,
+                        self.utility(y, p, ahead, now),
+                        id,
+                        p.size_bytes,
+                    )
+                })
+                .collect();
+            // Pop order (from the back): non-own lowest-utility first,
+            // own-unacked packets last of all.
+            scored.sort_unstable_by(|a, b| {
+                b.0.cmp(&a.0)
+                    .then(
+                        b.1.partial_cmp(&a.1)
+                            .unwrap_or(std::cmp::Ordering::Equal),
+                    )
+                    .then(b.2.cmp(&a.2))
+            });
+            *queue = Some(
+                scored
+                    .into_iter()
+                    .map(|(_, u, id, size)| (u, id, size))
+                    .collect(),
+            );
+        }
+        let q = queue.as_mut().expect("just built");
+        let mut freed = 0u64;
+        while freed < needed {
+            let Some((_, victim, size)) = q.pop() else {
+                return false; // nothing evictable left
+            };
+            if driver.evict(y, victim) {
+                self.states[y.index()].meta.remove_holder(victim, y);
+                freed += size;
+            }
+        }
+        true
+    }
+
+    /// Refreshes this node's own delay estimate for a packet in the gossip
+    /// table, if it moved by more than [`PUBLISH_THRESHOLD`].
+    fn publish_estimate(&mut self, x: NodeId, id: PacketId, a_self: f64, now: Time) {
+        let st = &mut self.states[x.index()];
+        let stale = match st.meta.get(id).and_then(|b| b.entry(x)) {
+            Some(e) => {
+                let old = e.delay_secs;
+                !(old.is_finite() && a_self.is_finite())
+                    || (old - a_self).abs() > PUBLISH_THRESHOLD * old.abs().max(1.0)
+            }
+            None => true,
+        };
+        if stale && a_self.is_finite() {
+            st.meta.upsert(
+                id,
+                HolderEntry {
+                    holder: x,
+                    delay_secs: a_self,
+                    stamp: now,
+                },
+            );
+        }
+    }
+
+    /// Step 1: the in-band metadata exchange in one direction, within a
+    /// byte budget. Priority order: acks, meeting rows + opportunity
+    /// averages, replica entries (own-buffer packets first). The watermark
+    /// only advances when everything fit (§4.2's delta exchange).
+    fn exchange_metadata(
+        &mut self,
+        driver: &mut ContactDriver<'_>,
+        from: NodeId,
+        to: NodeId,
+        budget: u64,
+        full_opp: u64,
+        local_only: bool,
+    ) {
+        let now = driver.now();
+        let mut allowed = budget.min(driver.remaining_bytes(from));
+        let mut used = 0u64;
+        let mut truncated = false;
+        let since = self.states[from.index()].last_sent[to.index()];
+
+        // 1. Acknowledgments.
+        {
+            let (from_st, to_st) = two_states(&mut self.states, from, to);
+            let new_acks: Vec<PacketId> = from_st
+                .acks
+                .iter()
+                .filter(|&id| !to_st.acks.contains(id))
+                .collect();
+            for id in new_acks {
+                if allowed < wire::ACK_BYTES {
+                    truncated = true;
+                    break;
+                }
+                to_st.acks.insert(id);
+                to_st.meta.remove_packet(id);
+                allowed -= wire::ACK_BYTES;
+                used += wire::ACK_BYTES;
+            }
+        }
+
+        // 2. Meeting-time rows changed since the watermark.
+        {
+            let n = self.states.len() as u64;
+            let row_cost = n * wire::MEETING_ENTRY_BYTES;
+            let changed_rows = self.states[from.index()]
+                .meetings
+                .rows_changed_since(since);
+            for row in changed_rows {
+                if allowed < row_cost {
+                    truncated = true;
+                    break;
+                }
+                let (from_st, to_st) = two_states(&mut self.states, from, to);
+                to_st.meetings.merge_rows_from(&from_st.meetings, &[row]);
+                allowed -= row_cost;
+                used += row_cost;
+            }
+            // Opportunity averages changed since the watermark.
+            for u in 0..self.states.len() {
+                let (v, stamp) = self.states[from.index()].believed_opp[u];
+                if stamp <= since {
+                    continue;
+                }
+                if allowed < wire::AVG_OPP_BYTES {
+                    truncated = true;
+                    break;
+                }
+                let to_st = &mut self.states[to.index()];
+                if stamp > to_st.believed_opp[u].1 {
+                    to_st.believed_opp[u] = (v, stamp);
+                }
+                allowed -= wire::AVG_OPP_BYTES;
+                used += wire::AVG_OPP_BYTES;
+            }
+        }
+
+        // 3. Replica entries. Two classes, following §4.2:
+        //
+        //    * "For each of its own packets, the updated delivery delay
+        //      estimate" — packets this node originated (and, for
+        //      rapid-local, everything currently in its buffer). These are
+        //      few, so they go watermark-complete, oldest change first.
+        //    * "Information about other packets if modified since last
+        //      exchange" — the transitive gossip. Its global volume is
+        //      proportional to the network-wide replication rate, so it is
+        //      shipped newest-first under a small per-contact budget
+        //      (THIRD_PARTY_FRACTION of the opportunity); older changes age
+        //      out rather than queue forever. This bounding is what keeps
+        //      metadata at the paper's ~percent-of-data scale (Table 3) —
+        //      recorded as a design decision in DESIGN.md.
+        let mut entry_watermark = now;
+        {
+            let changed = self.states[from.index()].meta.changed_since(since);
+            let mut own: Vec<(PacketId, usize, Time)> = Vec::new();
+            let mut third: Vec<(PacketId, usize, Time)> = Vec::new();
+            for (id, n_entries, changed_at) in changed {
+                let buffered = driver.buffer(from).contains(id);
+                if local_only {
+                    if buffered {
+                        own.push((id, n_entries, changed_at));
+                    }
+                    continue;
+                }
+                if driver.packets().get(id).src == from {
+                    own.push((id, n_entries, changed_at));
+                } else {
+                    third.push((id, n_entries, changed_at));
+                }
+            }
+
+            // Own/buffered estimates: complete, oldest first, watermarked.
+            let mut sent_through = since;
+            let mut entries_truncated = false;
+            for &(id, n_entries, changed_at) in &own {
+                let cost = n_entries as u64 * wire::META_ENTRY_BYTES;
+                if allowed < cost {
+                    entries_truncated = true;
+                    break;
+                }
+                self.ship_belief(from, to, id, since);
+                allowed -= cost;
+                used += cost;
+                sent_through = sent_through.max(changed_at);
+            }
+            if entries_truncated {
+                truncated = true;
+                entry_watermark = sent_through;
+            }
+
+            // Third-party gossip: newest first, bounded.
+            let gossip_budget =
+                ((full_opp as f64 * THIRD_PARTY_FRACTION) as u64).min(allowed);
+            let mut gossip_left = gossip_budget;
+            for &(id, n_entries, _) in third.iter().rev() {
+                let cost = n_entries as u64 * wire::META_ENTRY_BYTES;
+                if gossip_left < cost {
+                    break;
+                }
+                self.ship_belief(from, to, id, since);
+                gossip_left -= cost;
+                used += cost;
+            }
+        }
+
+        driver.charge_metadata(from, used);
+        // Advance the watermark to cover everything actually shipped; a
+        // truncated exchange resumes from where it stopped next time.
+        self.states[from.index()].last_sent[to.index()] = if truncated {
+            entry_watermark.min(now)
+        } else {
+            now
+        };
+    }
+
+    /// Copies `from`'s belief entries about `id` newer than `since` into
+    /// `to`'s table (unless the peer already knows the packet delivered).
+    fn ship_belief(&mut self, from: NodeId, to: NodeId, id: PacketId, since: Time) {
+        let (from_st, to_st) = two_states(&mut self.states, from, to);
+        if let Some(belief) = from_st.meta.get(id) {
+            if !to_st.acks.contains(id) {
+                to_st.meta.merge_packet_from(id, belief, since);
+            }
+        }
+    }
+}
+
+/// `max(before − after, 0)`, handling infinities: replicating onto a
+/// reachable peer when no replica could previously reach the destination is
+/// an (arbitrarily) large gain, represented by the previous delay bound.
+fn delta_or_zero(before: f64, after: f64) -> f64 {
+    if !after.is_finite() {
+        return 0.0;
+    }
+    if !before.is_finite() {
+        // New reachability: treat as the largest finite gain available.
+        return UNREACHABLE_GAIN;
+    }
+    (before - after).max(0.0)
+}
+
+/// Sorts candidates by decreasing score (id ascending tiebreak); when many
+/// more candidates exist than could possibly fit in `remaining` bytes, a
+/// partial selection keeps the contact O(n + k log k).
+fn sort_candidates(c: &mut Vec<Candidate>, remaining: u64) {
+    let min_size = c.iter().map(|x| x.size.max(1)).min().unwrap_or(1);
+    let fit = (remaining / min_size) as usize;
+    let keep = fit.saturating_mul(2).saturating_add(64);
+    let by_score = |a: &Candidate, b: &Candidate| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    };
+    if c.len() > keep {
+        c.select_nth_unstable_by(keep - 1, by_score);
+        c.truncate(keep);
+    }
+    c.sort_unstable_by(by_score);
+}
+
+/// Split-borrows two distinct node states.
+fn two_states(
+    states: &mut [NodeState],
+    a: NodeId,
+    b: NodeId,
+) -> (&mut NodeState, &mut NodeState) {
+    let (ai, bi) = (a.index(), b.index());
+    assert_ne!(ai, bi);
+    if ai < bi {
+        let (lo, hi) = states.split_at_mut(bi);
+        (&mut lo[ai], &mut hi[0])
+    } else {
+        let (lo, hi) = states.split_at_mut(ai);
+        (&mut hi[0], &mut lo[bi])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::workload::{PacketSpec, Workload};
+    use dtn_sim::{Contact, Schedule, Simulation, TimeDelta};
+
+    fn spec(t: u64, src: u32, dst: u32) -> PacketSpec {
+        PacketSpec {
+            time: Time::from_secs(t),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            size_bytes: 1024,
+        }
+    }
+
+    fn contact(t: u64, a: u32, b: u32, bytes: u64) -> Contact {
+        Contact::new(Time::from_secs(t), NodeId(a), NodeId(b), bytes)
+    }
+
+    fn config(nodes: usize) -> SimConfig {
+        SimConfig {
+            nodes,
+            horizon: Time::from_secs(10_000),
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn direct_delivery_works() {
+        let sim = Simulation::new(
+            config(2),
+            Schedule::new(vec![contact(10, 0, 1, 1 << 20)]),
+            Workload::new(vec![spec(0, 0, 1)]),
+        );
+        let mut rapid = Rapid::new(RapidConfig::avg_delay());
+        let r = sim.run(&mut rapid);
+        assert_eq!(r.delivered(), 1);
+        assert!((r.avg_delay_secs().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replication_then_relay_delivery() {
+        // 0 meets 1, then 1 meets 2. Packet 0→2 should be replicated to 1
+        // and delivered by it.
+        let sim = Simulation::new(
+            config(3),
+            Schedule::new(vec![
+                // Teach the nodes their meeting averages first.
+                contact(10, 1, 2, 1 << 20),
+                contact(40, 1, 2, 1 << 20),
+                contact(70, 0, 1, 1 << 20),
+                contact(100, 1, 2, 1 << 20),
+            ]),
+            Workload::new(vec![spec(50, 0, 2)]),
+        );
+        let mut rapid = Rapid::new(RapidConfig::avg_delay());
+        let r = sim.run(&mut rapid);
+        assert_eq!(r.delivered(), 1, "relay delivery must happen");
+        assert!((r.avg_delay_secs().unwrap() - 50.0).abs() < 1e-9);
+        assert!(r.replications >= 1);
+        assert!(r.metadata_bytes > 0, "in-band channel must carry bytes");
+    }
+
+    #[test]
+    fn acks_purge_replicas() {
+        // After delivery, the ack must reach node 1 and purge its replica.
+        let sim = Simulation::new(
+            config(3),
+            Schedule::new(vec![
+                contact(1, 1, 2, 1 << 20),
+                contact(5, 1, 2, 1 << 20),   // node 1 now has a 1↔2 average
+                contact(20, 0, 1, 1 << 20),  // replicate 0→1
+                contact(30, 0, 2, 1 << 20),  // 0 delivers directly
+                contact(40, 0, 1, 1 << 20),  // ack flows 0→1 here
+                contact(50, 1, 2, 1 << 20),  // 1 must NOT re-send the packet
+            ]),
+            Workload::new(vec![spec(10, 0, 2)]),
+        );
+        let mut rapid = Rapid::new(RapidConfig::avg_delay());
+        let r = sim.run(&mut rapid);
+        assert_eq!(r.delivered(), 1);
+        // Data bytes: replication (0→1) + delivery (0→2) only; the purged
+        // replica at 1 must not cross to 2 at t=50.
+        assert_eq!(r.data_bytes, 2 * 1024);
+    }
+
+    #[test]
+    fn metadata_cap_zero_sends_nothing() {
+        let sim = Simulation::new(
+            config(3),
+            Schedule::new(vec![
+                contact(10, 0, 1, 1 << 20),
+                contact(20, 1, 2, 1 << 20),
+            ]),
+            Workload::new(vec![spec(0, 0, 2)]),
+        );
+        let mut rapid = Rapid::new(RapidConfig::avg_delay().with_channel(
+            ChannelMode::InBand {
+                cap_fraction: Some(0.0),
+            },
+        ));
+        let r = sim.run(&mut rapid);
+        assert_eq!(r.metadata_bytes, 0);
+    }
+
+    #[test]
+    fn global_channel_requires_flag() {
+        let sim = Simulation::new(
+            config(2),
+            Schedule::new(vec![contact(10, 0, 1, 1 << 20)]),
+            Workload::new(vec![spec(0, 0, 1)]),
+        );
+        let mut rapid =
+            Rapid::new(RapidConfig::avg_delay().with_channel(ChannelMode::InstantGlobal));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = sim.run(&mut rapid);
+        }));
+        assert!(result.is_err(), "must refuse to run without the flag");
+    }
+
+    #[test]
+    fn global_channel_runs_clean() {
+        let cfg = SimConfig {
+            allow_global_knowledge: true,
+            ..config(3)
+        };
+        let sim = Simulation::new(
+            cfg,
+            Schedule::new(vec![
+                contact(10, 1, 2, 1 << 20),
+                contact(40, 1, 2, 1 << 20),
+                contact(70, 0, 1, 1 << 20),
+                contact(100, 1, 2, 1 << 20),
+            ]),
+            Workload::new(vec![spec(50, 0, 2)]),
+        );
+        let mut rapid =
+            Rapid::new(RapidConfig::avg_delay().with_channel(ChannelMode::InstantGlobal));
+        let r = sim.run(&mut rapid);
+        assert_eq!(r.delivered(), 1);
+        assert_eq!(r.metadata_bytes, 0, "global channel is out of band");
+    }
+
+    #[test]
+    fn deadline_metric_skips_expired_packets() {
+        // Packet created at 0 with 10 s lifetime; contact at 100 s with a
+        // relay: no replication should happen for the expired packet.
+        let sim = Simulation::new(
+            config(3),
+            Schedule::new(vec![
+                contact(90, 1, 2, 1 << 20),
+                contact(100, 0, 1, 1 << 20),
+            ]),
+            Workload::new(vec![spec(0, 0, 2)]),
+        );
+        let mut rapid = Rapid::new(RapidConfig::deadline(TimeDelta::from_secs(10)));
+        let r = sim.run(&mut rapid);
+        assert_eq!(r.replications, 0, "expired packet must not replicate");
+    }
+
+    #[test]
+    fn max_delay_prefers_older_packets() {
+        // Two packets to the same destination; tiny opportunity fits one.
+        // Max-delay RAPID must replicate the older one.
+        let sim = Simulation::new(
+            config(3),
+            Schedule::new(vec![
+                contact(5, 1, 2, 1 << 20),
+                contact(35, 1, 2, 1 << 20),
+                // Room for one packet plus the metadata that precedes it.
+                contact(100, 0, 1, 2047),
+                contact(130, 1, 2, 1 << 20),
+            ]),
+            Workload::new(vec![spec(10, 0, 2), spec(60, 0, 2)]),
+        );
+        let mut rapid = Rapid::new(RapidConfig::max_delay());
+        let r = sim.run(&mut rapid);
+        // The replicated (and hence relayed) packet must be the older one.
+        let delivered: Vec<_> = r
+            .outcomes
+            .iter()
+            .filter(|o| o.delivered_at.is_some())
+            .collect();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].created_at, Time::from_secs(10));
+    }
+
+    #[test]
+    fn eviction_prefers_foreign_packets_over_own() {
+        // Node 1 (buffer = 2 packets) holds its own p0 and a replica of p1,
+        // both destined to node 3. An incoming replica (p2) must displace
+        // the foreign replica p1, never the own packet p0.
+        let cfg = SimConfig {
+            nodes: 4,
+            buffer_capacity: 2048,
+            horizon: Time::from_secs(10_000),
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(
+            cfg,
+            Schedule::new(vec![
+                contact(1, 1, 3, 1 << 20),
+                contact(6, 1, 3, 1 << 20), // node 1 knows it meets 3 often
+                contact(20, 0, 1, 1 << 20), // p1 replicated 0→1
+                contact(30, 2, 1, 1 << 20), // p2 incoming: must evict p1
+                contact(40, 1, 3, 1 << 20), // node 1 delivers what it kept
+            ]),
+            Workload::new(vec![
+                spec(10, 1, 3), // p0: node 1's own
+                spec(11, 0, 3), // p1: foreign replica at node 1
+                spec(25, 2, 3), // p2: incoming at t=30
+            ]),
+        );
+        let mut rapid = Rapid::new(RapidConfig::avg_delay());
+        let r = sim.run(&mut rapid);
+        let delivered: Vec<bool> = r
+            .outcomes
+            .iter()
+            .map(|o| o.delivered_at.is_some())
+            .collect();
+        assert!(delivered[0], "own packet survived eviction and delivered");
+        assert!(delivered[2], "incoming replica stored and delivered");
+    }
+
+    #[test]
+    fn name_reflects_configuration() {
+        assert_eq!(
+            Rapid::new(RapidConfig::avg_delay()).name(),
+            "RAPID(avg-delay,in-band)"
+        );
+        assert_eq!(
+            Rapid::new(RapidConfig::max_delay().with_channel(ChannelMode::LocalOnly)).name(),
+            "RAPID(max-delay,local)"
+        );
+        assert_eq!(
+            Rapid::new(
+                RapidConfig::deadline(TimeDelta::from_secs(20))
+                    .with_channel(ChannelMode::InstantGlobal)
+            )
+            .name(),
+            "RAPID(deadline,global)"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let mobility = dtn_mobility::UniformExponential {
+            nodes: 8,
+            mean_inter_meeting: TimeDelta::from_secs(60),
+            opportunity_bytes: 8 * 1024,
+        };
+        let build = || {
+            let mut rng = dtn_stats::stream(11, "rapid-det");
+            let sched = mobility.generate(Time::from_secs(900), &mut rng);
+            let wl = dtn_sim::workload::pairwise_poisson(
+                &(0..8).map(NodeId).collect::<Vec<_>>(),
+                TimeDelta::from_secs(120),
+                1024,
+                Time::from_secs(900),
+                &mut rng,
+            );
+            let cfg = SimConfig {
+                nodes: 8,
+                horizon: Time::from_secs(900),
+                ..SimConfig::default()
+            };
+            Simulation::new(cfg, sched, wl)
+        };
+        let r1 = build().run(&mut Rapid::new(RapidConfig::avg_delay()));
+        let r2 = build().run(&mut Rapid::new(RapidConfig::avg_delay()));
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for RAPID's inference machinery: the monotonicity and
+//! consistency facts the selection algorithm silently relies on.
+
+use dtn_sim::{NodeId, PacketId, Time};
+use proptest::prelude::*;
+use rapid_core::{
+    expected_meeting_times_from, expected_remaining_delay, meetings_needed,
+    prob_delivered_within, replica_delay, QueueSnapshot,
+};
+
+proptest! {
+    #[test]
+    fn combined_delay_never_exceeds_best_replica(
+        delays in prop::collection::vec(0.1f64..1e6, 1..20),
+    ) {
+        let combined = expected_remaining_delay(delays.iter().copied());
+        let best = delays.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(combined <= best + 1e-9);
+    }
+
+    #[test]
+    fn adding_a_replica_never_hurts(
+        delays in prop::collection::vec(0.1f64..1e6, 1..20),
+        extra in 0.1f64..1e6,
+    ) {
+        let before = expected_remaining_delay(delays.iter().copied());
+        let after = expected_remaining_delay(delays.iter().copied().chain([extra]));
+        prop_assert!(after <= before + 1e-9);
+        let p_before = prob_delivered_within(delays.iter().copied(), 100.0);
+        let p_after = prob_delivered_within(delays.iter().copied().chain([extra]), 100.0);
+        prop_assert!(p_after + 1e-12 >= p_before);
+    }
+
+    #[test]
+    fn prob_is_a_cdf_in_t(
+        delays in prop::collection::vec(1.0f64..1e4, 1..8),
+        t1 in 0.0f64..1e4,
+        dt in 0.0f64..1e4,
+    ) {
+        let p1 = prob_delivered_within(delays.iter().copied(), t1);
+        let p2 = prob_delivered_within(delays.iter().copied(), t1 + dt);
+        prop_assert!((0.0..=1.0).contains(&p1));
+        prop_assert!(p2 + 1e-12 >= p1);
+    }
+
+    #[test]
+    fn meetings_needed_monotone_in_backlog(b1 in 0u64..10_000_000, extra in 0u64..1_000_000, opp in 1.0f64..1e7) {
+        let m1 = meetings_needed(b1, opp);
+        let m2 = meetings_needed(b1 + extra, opp);
+        prop_assert!(m1 >= 1.0);
+        prop_assert!(m2 >= m1);
+    }
+
+    #[test]
+    fn deeper_queue_position_never_reduces_delay(
+        est in 1.0f64..1e5,
+        b in 0u64..1_000_000,
+        extra in 1u64..1_000_000,
+        opp in 1.0f64..1e6,
+    ) {
+        let shallow = replica_delay(est, meetings_needed(b, opp));
+        let deep = replica_delay(est, meetings_needed(b + extra, opp));
+        prop_assert!(deep + 1e-9 >= shallow);
+    }
+
+    #[test]
+    fn hop_limit_monotonicity(
+        seed in 0u64..1000,
+        n in 3usize..12,
+    ) {
+        // More hops can only improve (reduce) estimated meeting times.
+        use rand::Rng;
+        let mut rng = dtn_stats::stream(seed, "prop-matrix");
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        if rng.gen::<f64>() < 0.5 {
+                            rng.gen_range(1.0..1e4)
+                        } else {
+                            f64::INFINITY
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let h2 = expected_meeting_times_from(&rows, NodeId(0), 2);
+        let h3 = expected_meeting_times_from(&rows, NodeId(0), 3);
+        let h4 = expected_meeting_times_from(&rows, NodeId(0), 4);
+        for z in 0..n {
+            prop_assert!(h3[z] <= h2[z] + 1e-9);
+            prop_assert!(h4[z] <= h3[z] + 1e-9);
+            // And no estimate beats the direct row entry's best 1-hop value.
+            prop_assert!(h2[z] <= rows[0][z] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn queue_snapshot_prefix_sums_are_exact(
+        entries in prop::collection::vec(
+            (0u32..200, 0u32..5, 1u64..5_000, 0u64..10_000),
+            1..60,
+        ),
+    ) {
+        // Deduplicate ids (a buffer holds one replica per packet).
+        let mut seen = std::collections::HashSet::new();
+        let entries: Vec<_> = entries
+            .into_iter()
+            .filter(|(id, _, _, _)| seen.insert(*id))
+            .collect();
+        let snap = QueueSnapshot::build(entries.iter().map(|&(id, dst, size, t)| {
+            (PacketId(id), NodeId(dst), size, Time::from_secs(t))
+        }));
+        for &(id, dst, size, t) in &entries {
+            let _ = size;
+            let ahead = snap.bytes_ahead(NodeId(dst), PacketId(id), Time::from_secs(t));
+            // Model: sum of sizes of strictly earlier (time, id) pairs with
+            // the same destination.
+            let expect: u64 = entries
+                .iter()
+                .filter(|&&(oid, odst, _, ot)| {
+                    odst == dst && (ot, oid) < (t, id)
+                })
+                .map(|&(_, _, osize, _)| osize)
+                .sum();
+            prop_assert_eq!(ahead, expect);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Uniform exponential mobility (§4.1.1, §6.3.3).
+//!
+//! "Suppose all nodes meet according to a uniform exponential distribution
+//! with mean time 1/λ" — every unordered pair generates meetings as an
+//! independent Poisson process, each meeting offering a fixed transfer
+//! opportunity. This model has the closed forms Estimate Delay is built on
+//! (min of k i.i.d. exponentials is exponential with mean 1/kλ), which the
+//! integration tests verify the simulator recovers.
+
+use dtn_sim::{Contact, NodeId, Schedule, Time, TimeDelta};
+use dtn_stats::sample::poisson_process;
+use rand::Rng;
+
+/// Uniform exponential pairwise mobility.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformExponential {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Mean inter-meeting time per node pair (1/λ).
+    pub mean_inter_meeting: TimeDelta,
+    /// Transfer opportunity per meeting, in bytes (Table 4: 100 KB).
+    pub opportunity_bytes: u64,
+}
+
+impl UniformExponential {
+    /// Generates a meeting schedule over `[0, horizon)`.
+    pub fn generate<R: Rng + ?Sized>(&self, horizon: Time, rng: &mut R) -> Schedule {
+        assert!(self.nodes >= 2, "need at least two nodes");
+        assert!(
+            self.mean_inter_meeting > TimeDelta::ZERO,
+            "mean inter-meeting time must be positive"
+        );
+        let rate = 1.0 / self.mean_inter_meeting.as_secs_f64();
+        let mut contacts = Vec::new();
+        for i in 0..self.nodes {
+            for j in (i + 1)..self.nodes {
+                for t in poisson_process(rate, horizon.as_secs_f64(), rng) {
+                    contacts.push(Contact::new(
+                        Time::from_secs_f64(t),
+                        NodeId(i as u32),
+                        NodeId(j as u32),
+                        self.opportunity_bytes,
+                    ));
+                }
+            }
+        }
+        Schedule::new(contacts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_stats::stream;
+
+    #[test]
+    fn meeting_count_matches_rate() {
+        let model = UniformExponential {
+            nodes: 10,
+            mean_inter_meeting: TimeDelta::from_secs(100),
+            opportunity_bytes: 100 * 1024,
+        };
+        let mut rng = stream(1, "exp-mob");
+        let horizon = Time::from_secs(2000);
+        let s = model.generate(horizon, &mut rng);
+        // 45 pairs × 20 expected meetings each = 900.
+        let expected = 45.0 * 20.0;
+        let got = s.len() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.15,
+            "expected ~{expected}, got {got}"
+        );
+        assert!(s.contacts().windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(s.contacts().iter().all(|c| c.bytes == 100 * 1024));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = UniformExponential {
+            nodes: 5,
+            mean_inter_meeting: TimeDelta::from_secs(50),
+            opportunity_bytes: 1,
+        };
+        let a = model.generate(Time::from_secs(500), &mut stream(9, "m"));
+        let b = model.generate(Time::from_secs(500), &mut stream(9, "m"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_pairs_eventually_meet() {
+        let model = UniformExponential {
+            nodes: 6,
+            mean_inter_meeting: TimeDelta::from_secs(10),
+            opportunity_bytes: 1,
+        };
+        let s = model.generate(Time::from_secs(1000), &mut stream(3, "m"));
+        let mut seen = std::collections::BTreeSet::new();
+        for c in s.contacts() {
+            seen.insert((c.a.0.min(c.b.0), c.a.0.max(c.b.0)));
+        }
+        assert_eq!(seen.len(), 15, "every pair should meet");
+    }
+
+    #[test]
+    #[should_panic(expected = "two nodes")]
+    fn rejects_single_node() {
+        let model = UniformExponential {
+            nodes: 1,
+            mean_inter_meeting: TimeDelta::from_secs(1),
+            opportunity_bytes: 1,
+        };
+        let _ = model.generate(Time::from_secs(10), &mut stream(0, "m"));
+    }
+}

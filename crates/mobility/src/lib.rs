@@ -1,0 +1,26 @@
+//! Mobility models for the RAPID DTN reproduction.
+//!
+//! Three contact-generation substrates, matching §6 of the paper:
+//!
+//! * [`exponential::UniformExponential`] — every pair of nodes meets with
+//!   i.i.d. exponential inter-meeting times (§4.1.1's analytical model and
+//!   the §6.3.3 synthetic experiments).
+//! * [`powerlaw::PowerLaw`] — exponential pairwise meetings whose means are
+//!   skewed by node popularity (§6.3: "two nodes meet with an exponential
+//!   inter-meeting time, but the mean ... is determined by the popularity of
+//!   the nodes").
+//! * [`dieselnet::DieselNet`] — the synthetic substitute for the DieselNet
+//!   vehicular testbed traces (§5): 40 buses on overlapping routes, a
+//!   rotating subset scheduled each day, 19-hour days, heavy-tailed
+//!   per-meeting transfer opportunities, and bus pairs that never meet
+//!   directly (which §4.1.2's h-hop meeting-time estimation exists for).
+//!
+//! All generators are deterministic functions of their seed.
+
+pub mod dieselnet;
+pub mod exponential;
+pub mod powerlaw;
+
+pub use dieselnet::{DayTrace, DieselNet, DieselNetConfig};
+pub use exponential::UniformExponential;
+pub use powerlaw::PowerLaw;

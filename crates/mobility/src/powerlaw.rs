@@ -1,0 +1,157 @@
+//! Power-law (popularity-skewed) mobility (§6.3).
+//!
+//! "When mobility is modeled using power law, two nodes meet with an
+//! exponential inter-meeting time, but the mean of the exponential
+//! distribution is determined by the popularity of the nodes. For the 20
+//! nodes, we randomly set a popularity value of 1 to 20, with 1 being most
+//! popular." Prior studies (refs. 8 and 21 in the paper) motivate the skew:
+//! human-carried DTNs show heavy-tailed inter-meeting behaviour.
+//!
+//! Concretely, node popularity ranks `r ∈ {1..n}` are a random permutation;
+//! the pair `(i, j)` meets with mean inter-meeting time
+//! `base_mean · (r_i · r_j) / norm`, where `norm` is the average of
+//! `r_i · r_j` over all pairs — so `base_mean` is the *average* pairwise
+//! mean, but popular pairs meet far more often than unpopular ones
+//! (rank products span `1·2` to `(n−1)·n`, a ~two-decade spread).
+
+use dtn_sim::{Contact, NodeId, Schedule, Time, TimeDelta};
+use dtn_stats::sample::poisson_process;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Popularity-skewed exponential mobility.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLaw {
+    /// Number of nodes (the paper uses 20).
+    pub nodes: usize,
+    /// Average pairwise mean inter-meeting time.
+    pub base_mean: TimeDelta,
+    /// Transfer opportunity per meeting, in bytes (Table 4: 100 KB).
+    pub opportunity_bytes: u64,
+}
+
+impl PowerLaw {
+    /// Draws a popularity ranking (1 = most popular) as a random permutation.
+    pub fn draw_popularity<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u32> {
+        let mut ranks: Vec<u32> = (1..=self.nodes as u32).collect();
+        ranks.shuffle(rng);
+        ranks
+    }
+
+    /// Generates a meeting schedule over `[0, horizon)`.
+    pub fn generate<R: Rng + ?Sized>(&self, horizon: Time, rng: &mut R) -> Schedule {
+        assert!(self.nodes >= 2, "need at least two nodes");
+        assert!(self.base_mean > TimeDelta::ZERO, "base mean must be positive");
+        let ranks = self.draw_popularity(rng);
+
+        // Normalizer: average rank product over unordered pairs.
+        let mut sum = 0.0f64;
+        let mut pairs = 0.0f64;
+        for i in 0..self.nodes {
+            for j in (i + 1)..self.nodes {
+                sum += f64::from(ranks[i] * ranks[j]);
+                pairs += 1.0;
+            }
+        }
+        let norm = sum / pairs;
+
+        let mut contacts = Vec::new();
+        for i in 0..self.nodes {
+            for j in (i + 1)..self.nodes {
+                let mean = self.base_mean.as_secs_f64() * f64::from(ranks[i] * ranks[j]) / norm;
+                let rate = 1.0 / mean;
+                for t in poisson_process(rate, horizon.as_secs_f64(), rng) {
+                    contacts.push(Contact::new(
+                        Time::from_secs_f64(t),
+                        NodeId(i as u32),
+                        NodeId(j as u32),
+                        self.opportunity_bytes,
+                    ));
+                }
+            }
+        }
+        Schedule::new(contacts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_stats::stream;
+    use std::collections::BTreeMap;
+
+    fn model() -> PowerLaw {
+        PowerLaw {
+            nodes: 20,
+            base_mean: TimeDelta::from_secs(100),
+            opportunity_bytes: 100 * 1024,
+        }
+    }
+
+    #[test]
+    fn average_meeting_count_is_calibrated() {
+        // With mean pairwise inter-meeting = base_mean on average, total
+        // meetings ≈ pairs × horizon / base_mean... but the average of
+        // 1/mean is not 1/average-of-means for a skewed distribution, so we
+        // only check the count lies in a generous band and is dominated by
+        // popular pairs.
+        let mut rng = stream(1, "pl");
+        let s = model().generate(Time::from_secs(2000), &mut rng);
+        assert!(s.len() > 1000, "skew concentrates meetings: {}", s.len());
+    }
+
+    #[test]
+    fn popular_pairs_meet_more() {
+        let mut rng = stream(2, "pl");
+        let m = model();
+        let ranks = {
+            // Re-derive the ranks the generator will draw by using a clone
+            // of the RNG state.
+            let mut probe = stream(2, "pl");
+            m.draw_popularity(&mut probe)
+        };
+        let s = m.generate(Time::from_secs(5000), &mut rng);
+        let mut counts: BTreeMap<(u32, u32), usize> = BTreeMap::new();
+        for c in s.contacts() {
+            *counts.entry((c.a.0, c.b.0)).or_default() += 1;
+        }
+        // Identify the most and least popular pairs by rank product.
+        let mut best_pair = (0u32, 1u32);
+        let mut worst_pair = (0u32, 1u32);
+        let (mut best, mut worst) = (u32::MAX, 0u32);
+        for i in 0..m.nodes {
+            for j in (i + 1)..m.nodes {
+                let prod = ranks[i] * ranks[j];
+                if prod < best {
+                    best = prod;
+                    best_pair = (i as u32, j as u32);
+                }
+                if prod > worst {
+                    worst = prod;
+                    worst_pair = (i as u32, j as u32);
+                }
+            }
+        }
+        let popular = counts.get(&best_pair).copied().unwrap_or(0);
+        let unpopular = counts.get(&worst_pair).copied().unwrap_or(0);
+        assert!(
+            popular > unpopular.saturating_mul(5),
+            "popular {popular} vs unpopular {unpopular}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = model().generate(Time::from_secs(500), &mut stream(7, "pl"));
+        let b = model().generate(Time::from_secs(500), &mut stream(7, "pl"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn popularity_is_permutation() {
+        let mut rng = stream(3, "pl");
+        let mut ranks = model().draw_popularity(&mut rng);
+        ranks.sort_unstable();
+        assert_eq!(ranks, (1..=20).collect::<Vec<u32>>());
+    }
+}

@@ -1,0 +1,452 @@
+//! Exact optimal routing for small instances — the CPLEX stand-in.
+//!
+//! Solves the Appendix-D ILP for unit-size packets by branch and bound over
+//! per-packet journey assignments: each packet either takes one journey
+//! (consuming one capacity unit on each of its contacts) or stays
+//! undelivered (charged `horizon − created`, the paper's objective for
+//! undelivered packets). The conservation constraint of the ILP makes the
+//! optimum a forwarding schedule, so journeys are the complete decision
+//! space; with full journey enumeration the branch and bound is exact.
+//!
+//! Exponential in the worst case — exactly what Theorem 2 licenses — so
+//! instance size is guarded by [`ExactLimits`].
+
+use crate::journeys::{earliest_arrivals, enumerate_journeys, Journey};
+use dtn_sim::workload::Workload;
+use dtn_sim::{Schedule, Time};
+
+/// Size guards for the exact solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactLimits {
+    /// Maximum journeys enumerated per packet.
+    pub max_journeys_per_packet: usize,
+    /// Maximum hops per journey.
+    pub max_hops: usize,
+    /// Maximum packets.
+    pub max_packets: usize,
+}
+
+impl Default for ExactLimits {
+    fn default() -> Self {
+        Self {
+            max_journeys_per_packet: 2_000,
+            max_hops: 5,
+            max_packets: 64,
+        }
+    }
+}
+
+/// The exact solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactSolution {
+    /// Per packet: the chosen journey (`None` = undelivered).
+    pub assignment: Vec<Option<Journey>>,
+    /// Total delay objective, seconds (undelivered charged to horizon).
+    pub total_delay_secs: f64,
+    /// Number of packets delivered.
+    pub delivered: usize,
+    /// Average delay including undelivered (the Fig. 13 y-axis), seconds.
+    pub avg_delay_secs: f64,
+}
+
+/// Solves the instance exactly.
+///
+/// Capacities are in whole packets per contact *direction-agnostic*: the
+/// Appendix-D ILP's bandwidth constraint bounds the packets per edge; a
+/// contact with `s` bytes carries `⌊s / packet_size⌋` packets each way, and
+/// a journey uses one unit in one direction, so each contact contributes
+/// that many units per direction. All packets must share one size.
+///
+/// Returns `None` when the instance exceeds `limits` (too many packets or
+/// journeys) — callers fall back to [`crate::optimal::solve_bounded`].
+pub fn solve_exact(
+    schedule: &Schedule,
+    workload: &Workload,
+    horizon: Time,
+    limits: ExactLimits,
+) -> Option<ExactSolution> {
+    let specs = workload.specs();
+    if specs.is_empty() {
+        return Some(ExactSolution {
+            assignment: Vec::new(),
+            total_delay_secs: 0.0,
+            delivered: 0,
+            avg_delay_secs: 0.0,
+        });
+    }
+    if specs.len() > limits.max_packets {
+        return None;
+    }
+    let size = specs[0].size_bytes;
+    assert!(
+        specs.iter().all(|s| s.size_bytes == size),
+        "exact solver requires unit-size packets (Theorems hold for unit sizes)"
+    );
+    let nodes = schedule
+        .node_count_hint()
+        .max(specs.iter().map(|s| s.src.index().max(s.dst.index()) + 1).max().unwrap_or(0));
+
+    // Per-direction capacity in packets for each contact; a journey uses
+    // one unit of the contact in its traversal direction. Directions do
+    // not contend in the engine, and the dominant error of merging them
+    // would be understating capacity, so track both directions as one pool
+    // of 2·⌊s/size⌋ only when... — be faithful: two pools per contact.
+    // Journey direction: determined while enumerating (from → to). For
+    // simplicity and exactness we track per (contact, direction).
+    let per_dir: Vec<u64> = schedule
+        .contacts()
+        .iter()
+        .map(|c| c.bytes / size)
+        .collect();
+
+    // Enumerate journeys per packet.
+    let mut journeys: Vec<Vec<Journey>> = Vec::with_capacity(specs.len());
+    for s in specs {
+        let js = enumerate_journeys(
+            schedule,
+            s.src,
+            s.dst,
+            s.time,
+            limits.max_hops,
+            limits.max_journeys_per_packet,
+        )?;
+        journeys.push(js);
+    }
+
+    // Per-packet costs.
+    let undelivered_cost: Vec<f64> = specs
+        .iter()
+        .map(|s| horizon.since(s.time).as_secs_f64())
+        .collect();
+    let lower_bound: Vec<f64> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let arr = earliest_arrivals(schedule, nodes, s.src, s.time);
+            match arr[s.dst.index()] {
+                // Dropping is always available, so the bound is the better
+                // of earliest delivery and the undelivered charge.
+                Some((t, _)) => t.since(s.time).as_secs_f64().min(undelivered_cost[i]),
+                None => undelivered_cost[i],
+            }
+        })
+        .collect();
+
+    // Branch order: fewest options first (most constrained).
+    let mut order: Vec<usize> = (0..specs.len()).collect();
+    order.sort_by_key(|&i| journeys[i].len());
+    // Suffix sums of lower bounds in branch order, for pruning.
+    let mut suffix_lb = vec![0.0f64; order.len() + 1];
+    for k in (0..order.len()).rev() {
+        suffix_lb[k] = suffix_lb[k + 1] + lower_bound[order[k]];
+    }
+
+    // Greedy feasible solution as the incumbent.
+    let mut caps: Vec<(u64, u64)> = per_dir.iter().map(|&c| (c, c)).collect();
+    let mut incumbent: Vec<Option<usize>> = vec![None; specs.len()];
+    let mut incumbent_cost = 0.0;
+    for &i in &order {
+        let mut chosen = None;
+        for (j, journey) in journeys[i].iter().enumerate() {
+            if journey.arrival.since(specs[i].time).as_secs_f64() >= undelivered_cost[i] {
+                break; // dropping is cheaper than this and later journeys
+            }
+            if journey_fits(journey, specs[i].src, schedule, &caps) {
+                chosen = Some(j);
+                break;
+            }
+        }
+        match chosen {
+            Some(j) => {
+                apply_journey(&journeys[i][j], specs[i].src, schedule, &mut caps, true);
+                incumbent[i] = Some(j);
+                incumbent_cost += journeys[i][j].arrival.since(specs[i].time).as_secs_f64();
+            }
+            None => incumbent_cost += undelivered_cost[i],
+        }
+    }
+
+    // Branch and bound.
+    let mut best = incumbent_cost;
+    let mut best_assign = incumbent;
+    let mut caps: Vec<(u64, u64)> = per_dir.iter().map(|&c| (c, c)).collect();
+    let mut current: Vec<Option<usize>> = vec![None; specs.len()];
+    bnb(
+        0,
+        0.0,
+        &order,
+        &journeys,
+        specs,
+        schedule,
+        &undelivered_cost,
+        &suffix_lb,
+        &mut caps,
+        &mut current,
+        &mut best,
+        &mut best_assign,
+    );
+
+    let assignment: Vec<Option<Journey>> = best_assign
+        .iter()
+        .enumerate()
+        .map(|(i, j)| j.map(|j| journeys[i][j].clone()))
+        .collect();
+    let delivered = assignment.iter().filter(|a| a.is_some()).count();
+    Some(ExactSolution {
+        total_delay_secs: best,
+        delivered,
+        avg_delay_secs: best / specs.len() as f64,
+        assignment,
+    })
+}
+
+/// Walks a journey from `src`, yielding `(contact index, direction)` where
+/// direction 0 = a→b, 1 = b→a.
+fn journey_dirs<'a>(
+    journey: &'a Journey,
+    src: dtn_sim::NodeId,
+    schedule: &'a Schedule,
+) -> impl Iterator<Item = (usize, usize)> + 'a {
+    let mut at = src;
+    journey.contacts.iter().map(move |&idx| {
+        let c = schedule.contacts()[idx];
+        let dir = if c.a == at { 0 } else { 1 };
+        at = if c.a == at { c.b } else { c.a };
+        (idx, dir)
+    })
+}
+
+fn journey_fits(
+    journey: &Journey,
+    src: dtn_sim::NodeId,
+    schedule: &Schedule,
+    caps: &[(u64, u64)],
+) -> bool {
+    journey_dirs(journey, src, schedule).all(|(idx, dir)| {
+        let (ab, ba) = caps[idx];
+        if dir == 0 {
+            ab > 0
+        } else {
+            ba > 0
+        }
+    })
+}
+
+fn apply_journey(
+    journey: &Journey,
+    src: dtn_sim::NodeId,
+    schedule: &Schedule,
+    caps: &mut [(u64, u64)],
+    take: bool,
+) {
+    for (idx, dir) in journey_dirs(journey, src, schedule) {
+        let slot = if dir == 0 {
+            &mut caps[idx].0
+        } else {
+            &mut caps[idx].1
+        };
+        if take {
+            *slot -= 1;
+        } else {
+            *slot += 1;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bnb(
+    k: usize,
+    cost: f64,
+    order: &[usize],
+    journeys: &[Vec<Journey>],
+    specs: &[dtn_sim::workload::PacketSpec],
+    schedule: &Schedule,
+    undelivered_cost: &[f64],
+    suffix_lb: &[f64],
+    caps: &mut [(u64, u64)],
+    current: &mut [Option<usize>],
+    best: &mut f64,
+    best_assign: &mut Vec<Option<usize>>,
+) {
+    if cost + suffix_lb[k] >= *best - 1e-9 {
+        return;
+    }
+    if k == order.len() {
+        *best = cost;
+        best_assign.clone_from(&current.to_vec());
+        return;
+    }
+    let i = order[k];
+    // Options cheapest-first: journeys (sorted by arrival), then drop.
+    for (j, journey) in journeys[i].iter().enumerate() {
+        let delay = journey.arrival.since(specs[i].time).as_secs_f64();
+        if delay >= undelivered_cost[i] {
+            break; // journeys sorted by arrival: rest are no better than dropping
+        }
+        if !journey_fits(journey, specs[i].src, schedule, caps) {
+            continue;
+        }
+        apply_journey(journey, specs[i].src, schedule, caps, true);
+        current[i] = Some(j);
+        bnb(
+            k + 1,
+            cost + delay,
+            order,
+            journeys,
+            specs,
+            schedule,
+            undelivered_cost,
+            suffix_lb,
+            caps,
+            current,
+            best,
+            best_assign,
+        );
+        current[i] = None;
+        apply_journey(journey, specs[i].src, schedule, caps, false);
+    }
+    // Undelivered option.
+    bnb(
+        k + 1,
+        cost + undelivered_cost[i],
+        order,
+        journeys,
+        specs,
+        schedule,
+        undelivered_cost,
+        suffix_lb,
+        caps,
+        current,
+        best,
+        best_assign,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::workload::PacketSpec;
+    use dtn_sim::{Contact, NodeId};
+
+    fn contact(t: u64, a: u32, b: u32, bytes: u64) -> Contact {
+        Contact::new(Time::from_secs(t), NodeId(a), NodeId(b), bytes)
+    }
+
+    fn spec(t: u64, src: u32, dst: u32) -> PacketSpec {
+        PacketSpec {
+            time: Time::from_secs(t),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            size_bytes: 1024,
+        }
+    }
+
+    fn solve(contacts: Vec<Contact>, specs: Vec<PacketSpec>, horizon: u64) -> ExactSolution {
+        solve_exact(
+            &Schedule::new(contacts),
+            &Workload::new(specs),
+            Time::from_secs(horizon),
+            ExactLimits::default(),
+        )
+        .expect("instance within limits")
+    }
+
+    #[test]
+    fn single_packet_takes_earliest_journey() {
+        let sol = solve(
+            vec![
+                contact(10, 0, 1, 1024),
+                contact(20, 1, 2, 1024),
+                contact(50, 0, 2, 1024),
+            ],
+            vec![spec(0, 0, 2)],
+            100,
+        );
+        assert_eq!(sol.delivered, 1);
+        assert!((sol.total_delay_secs - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_conflict_resolved_optimally() {
+        // Two packets want the relay 1→2 at t=20 (capacity 1). One must use
+        // the slower direct contact at t=60. Optimal total = 20 + 60 = 80;
+        // a greedy that gives the early relay to packet 1 also yields 80
+        // here, so check the exact split.
+        let sol = solve(
+            vec![
+                contact(10, 0, 1, 2048), // both can reach the relay
+                contact(20, 1, 2, 1024), // capacity: ONE packet
+                contact(60, 0, 2, 2048),
+            ],
+            vec![spec(0, 0, 2), spec(0, 0, 2)],
+            100,
+        );
+        assert_eq!(sol.delivered, 2);
+        assert!((sol.total_delay_secs - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undelivered_charged_to_horizon() {
+        let sol = solve(
+            vec![contact(10, 0, 1, 1024)],
+            vec![spec(0, 0, 2)], // node 2 never reachable
+            100,
+        );
+        assert_eq!(sol.delivered, 0);
+        assert!((sol.total_delay_secs - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropping_beats_a_very_late_journey() {
+        // Journey arrives at t=90, horizon is 50: infeasible input guard —
+        // horizon must exceed arrival for delivery to count. Use horizon
+        // 80: delivery delay 90 > undelivered cost 80 → optimal drops.
+        let sol = solve(
+            vec![contact(90, 0, 1, 1024)],
+            vec![spec(0, 0, 1)],
+            80,
+        );
+        assert_eq!(sol.delivered, 0);
+        assert!((sol.total_delay_secs - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefers_deliveries_that_minimize_total_delay() {
+        // Three packets, shared bottleneck of capacity 2: the two early
+        // ones ride it; the third is undelivered (cost 100) vs... direct
+        // late contact (delay 70) → delivers all three.
+        let sol = solve(
+            vec![
+                contact(5, 0, 1, 4096),
+                contact(10, 1, 2, 2048),
+                contact(70, 0, 2, 1024),
+            ],
+            vec![spec(0, 0, 2), spec(0, 0, 2), spec(0, 0, 2)],
+            100,
+        );
+        assert_eq!(sol.delivered, 3);
+        assert!((sol.total_delay_secs - (10.0 + 10.0 + 70.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let sol = solve(vec![contact(10, 0, 1, 1024)], vec![], 100);
+        assert_eq!(sol.delivered, 0);
+        assert_eq!(sol.total_delay_secs, 0.0);
+    }
+
+    #[test]
+    fn too_many_packets_rejected() {
+        let specs: Vec<PacketSpec> = (0..100).map(|i| spec(i, 0, 2)).collect();
+        let r = solve_exact(
+            &Schedule::new(vec![contact(10, 0, 2, 1 << 20)]),
+            &Workload::new(specs),
+            Time::from_secs(100),
+            ExactLimits {
+                max_packets: 10,
+                ..ExactLimits::default()
+            },
+        );
+        assert!(r.is_none());
+    }
+}

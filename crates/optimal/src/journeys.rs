@@ -1,0 +1,285 @@
+//! Time-respecting journeys over a contact schedule.
+//!
+//! A *journey* for a packet is an increasing sequence of contacts that
+//! carries it from its source to its destination, respecting the engine's
+//! event semantics: a packet created at time `t` cannot ride a contact at
+//! exactly `t` (contacts precede creations at equal instants), while a
+//! packet received in contact `k` can ride a later-ordered contact at the
+//! same instant (the engine processes contacts in schedule order).
+
+use dtn_sim::{NodeId, Schedule, Time};
+
+/// A position in the day's event order: `(time, contact index)`.
+/// A creation at time `t` sits after every contact at `t`
+/// (`index = usize::MAX`).
+pub type EventPos = (Time, usize);
+
+/// The event position of a packet creation.
+pub fn creation_pos(created_at: Time) -> EventPos {
+    (created_at, usize::MAX)
+}
+
+/// One journey: indices into the schedule's contact list, strictly
+/// increasing, such that consecutive contacts share the relay node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Journey {
+    /// Contact indices, in order of traversal.
+    pub contacts: Vec<usize>,
+    /// Delivery time (time of the last contact).
+    pub arrival: Time,
+}
+
+/// Earliest arrival of a packet created at `src` at `created_at`, at every
+/// node, ignoring capacities — the per-packet lower bound the exact solver
+/// prunes with. Entries are `None` for unreachable nodes.
+pub fn earliest_arrivals(
+    schedule: &Schedule,
+    nodes: usize,
+    src: NodeId,
+    created_at: Time,
+) -> Vec<Option<EventPos>> {
+    let mut arrival: Vec<Option<EventPos>> = vec![None; nodes];
+    arrival[src.index()] = Some(creation_pos(created_at));
+    for (idx, c) in schedule.contacts().iter().enumerate() {
+        let pos = (c.time, idx);
+        let a_ok = arrival[c.a.index()].is_some_and(|p| p < pos);
+        let b_ok = arrival[c.b.index()].is_some_and(|p| p < pos);
+        if a_ok {
+            let slot = &mut arrival[c.b.index()];
+            if slot.is_none_or(|p| pos < p) {
+                *slot = Some(pos);
+            }
+        }
+        if b_ok {
+            let slot = &mut arrival[c.a.index()];
+            if slot.is_none_or(|p| pos < p) {
+                *slot = Some(pos);
+            }
+        }
+    }
+    arrival
+}
+
+/// Enumerates every journey from `src` (created at `created_at`) to `dst`
+/// with at most `max_hops` contacts, up to `max_journeys` of them.
+///
+/// Journeys never revisit a node (a revisit is never useful under the
+/// delay objective). Returns `None` if the enumeration would exceed
+/// `max_journeys` — the caller's instance is too large for exact solving.
+pub fn enumerate_journeys(
+    schedule: &Schedule,
+    src: NodeId,
+    dst: NodeId,
+    created_at: Time,
+    max_hops: usize,
+    max_journeys: usize,
+) -> Option<Vec<Journey>> {
+    assert_ne!(src, dst, "src and dst must differ");
+    let contacts = schedule.contacts();
+    let mut out: Vec<Journey> = Vec::new();
+    // DFS stack: (current node, event position, path, visited).
+    let mut path: Vec<usize> = Vec::new();
+    let mut visited: Vec<NodeId> = vec![src];
+    if !dfs(
+        contacts,
+        src,
+        creation_pos(created_at),
+        dst,
+        max_hops,
+        max_journeys,
+        &mut path,
+        &mut visited,
+        &mut out,
+    ) {
+        return None;
+    }
+    // Sort by arrival, then lexicographically — deterministic order for
+    // the branch and bound.
+    out.sort_by(|x, y| x.arrival.cmp(&y.arrival).then(x.contacts.cmp(&y.contacts)));
+    Some(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    contacts: &[dtn_sim::Contact],
+    at: NodeId,
+    pos: EventPos,
+    dst: NodeId,
+    hops_left: usize,
+    max_journeys: usize,
+    path: &mut Vec<usize>,
+    visited: &mut Vec<NodeId>,
+    out: &mut Vec<Journey>,
+) -> bool {
+    if hops_left == 0 {
+        return true;
+    }
+    // Scan contacts strictly after `pos` that touch `at`.
+    let start = contacts.partition_point(|c| (c.time, usize::MAX) < (pos.0, 0));
+    for (off, c) in contacts[start..].iter().enumerate() {
+        let idx = start + off;
+        if (c.time, idx) <= pos {
+            continue;
+        }
+        let next = if c.a == at {
+            c.b
+        } else if c.b == at {
+            c.a
+        } else {
+            continue;
+        };
+        if visited.contains(&next) {
+            continue;
+        }
+        path.push(idx);
+        if next == dst {
+            if out.len() >= max_journeys {
+                path.pop();
+                return false;
+            }
+            out.push(Journey {
+                contacts: path.clone(),
+                arrival: c.time,
+            });
+        } else {
+            visited.push(next);
+            let ok = dfs(
+                contacts,
+                next,
+                (c.time, idx),
+                dst,
+                hops_left - 1,
+                max_journeys,
+                path,
+                visited,
+                out,
+            );
+            visited.pop();
+            if !ok {
+                path.pop();
+                return false;
+            }
+        }
+        path.pop();
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::Contact;
+
+    fn contact(t: u64, a: u32, b: u32) -> Contact {
+        Contact::new(Time::from_secs(t), NodeId(a), NodeId(b), 1024)
+    }
+
+    fn schedule(cs: Vec<Contact>) -> Schedule {
+        Schedule::new(cs)
+    }
+
+    #[test]
+    fn earliest_arrival_chain() {
+        let s = schedule(vec![
+            contact(10, 0, 1),
+            contact(20, 1, 2),
+            contact(30, 2, 3),
+        ]);
+        let arr = earliest_arrivals(&s, 4, NodeId(0), Time::from_secs(0));
+        assert_eq!(arr[0].unwrap().0, Time::from_secs(0));
+        assert_eq!(arr[1].unwrap().0, Time::from_secs(10));
+        assert_eq!(arr[2].unwrap().0, Time::from_secs(20));
+        assert_eq!(arr[3].unwrap().0, Time::from_secs(30));
+    }
+
+    #[test]
+    fn creation_after_contact_at_same_instant() {
+        // Contact at t=10, packet created at t=10: unusable.
+        let s = schedule(vec![contact(10, 0, 1)]);
+        let arr = earliest_arrivals(&s, 2, NodeId(0), Time::from_secs(10));
+        assert!(arr[1].is_none());
+    }
+
+    #[test]
+    fn same_instant_relay_respects_schedule_order() {
+        // Two contacts at t=10 in order (0,1) then (1,2): relay possible.
+        let s = schedule(vec![contact(10, 0, 1), contact(10, 1, 2)]);
+        let arr = earliest_arrivals(&s, 3, NodeId(0), Time::from_secs(0));
+        assert_eq!(arr[2].unwrap().0, Time::from_secs(10));
+        // In the opposite order the relay is impossible.
+        let s2 = schedule(vec![contact(9, 1, 2), contact(10, 0, 1)]);
+        let arr2 = earliest_arrivals(&s2, 3, NodeId(0), Time::from_secs(0));
+        assert!(arr2[2].is_none());
+    }
+
+    #[test]
+    fn unreachable_nodes_are_none() {
+        let s = schedule(vec![contact(10, 0, 1)]);
+        let arr = earliest_arrivals(&s, 4, NodeId(0), Time::from_secs(0));
+        assert!(arr[2].is_none());
+        assert!(arr[3].is_none());
+    }
+
+    #[test]
+    fn enumerate_direct_and_relayed() {
+        let s = schedule(vec![
+            contact(10, 0, 1),
+            contact(20, 1, 2),
+            contact(30, 0, 2),
+        ]);
+        let js = enumerate_journeys(&s, NodeId(0), NodeId(2), Time::from_secs(0), 4, 100)
+            .unwrap();
+        // Two journeys: 0→1→2 arriving 20, and direct 0→2 arriving 30.
+        assert_eq!(js.len(), 2);
+        assert_eq!(js[0].arrival, Time::from_secs(20));
+        assert_eq!(js[0].contacts, vec![0, 1]);
+        assert_eq!(js[1].arrival, Time::from_secs(30));
+        assert_eq!(js[1].contacts, vec![2]);
+    }
+
+    #[test]
+    fn hop_limit_prunes() {
+        let s = schedule(vec![
+            contact(10, 0, 1),
+            contact(20, 1, 2),
+            contact(30, 2, 3),
+        ]);
+        let none = enumerate_journeys(&s, NodeId(0), NodeId(3), Time::from_secs(0), 2, 100)
+            .unwrap();
+        assert!(none.is_empty());
+        let some = enumerate_journeys(&s, NodeId(0), NodeId(3), Time::from_secs(0), 3, 100)
+            .unwrap();
+        assert_eq!(some.len(), 1);
+    }
+
+    #[test]
+    fn journey_budget_overflow_reports_none() {
+        // A dense meeting schedule with many alternative journeys.
+        let mut cs = Vec::new();
+        for t in 1..30u64 {
+            cs.push(contact(t, 0, 1));
+            cs.push(contact(t, 1, 2));
+        }
+        let r = enumerate_journeys(&s_of(cs), NodeId(0), NodeId(2), Time::from_secs(0), 4, 5);
+        assert!(r.is_none());
+    }
+
+    fn s_of(cs: Vec<Contact>) -> Schedule {
+        Schedule::new(cs)
+    }
+
+    #[test]
+    fn earliest_arrival_matches_best_journey() {
+        let s = schedule(vec![
+            contact(5, 0, 3),
+            contact(10, 0, 1),
+            contact(12, 3, 1),
+            contact(20, 1, 2),
+            contact(40, 0, 2),
+        ]);
+        let arr = earliest_arrivals(&s, 4, NodeId(0), Time::from_secs(0));
+        let js = enumerate_journeys(&s, NodeId(0), NodeId(2), Time::from_secs(0), 4, 1000)
+            .unwrap();
+        assert_eq!(arr[2].unwrap().0, js[0].arrival);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the optimal-routing substrate and the Theorem 1(a)
+//! adversary.
+
+use dtn_optimal::{
+    alg_deliveries, earliest_arrivals, enumerate_journeys, generate_y, solve_bounded,
+};
+use dtn_sim::workload::{PacketSpec, Workload};
+use dtn_sim::{Contact, NodeId, Schedule, Time};
+use proptest::prelude::*;
+
+const NODES: usize = 6;
+
+fn arb_contacts() -> impl Strategy<Value = Vec<Contact>> {
+    prop::collection::vec(
+        (0u64..500, 0u32..NODES as u32, 0u32..NODES as u32, 1u64..4)
+            .prop_filter("distinct", |(_, a, b, _)| a != b)
+            .prop_map(|(t, a, b, kb)| {
+                Contact::new(Time::from_secs(t), NodeId(a), NodeId(b), kb * 1024)
+            }),
+        1..30,
+    )
+}
+
+proptest! {
+    #[test]
+    fn journeys_agree_with_earliest_arrival(contacts in arb_contacts(), t0 in 0u64..200) {
+        let schedule = Schedule::new(contacts);
+        let created = Time::from_secs(t0);
+        let arr = earliest_arrivals(&schedule, NODES, NodeId(0), created);
+        if let Some(journeys) =
+            enumerate_journeys(&schedule, NodeId(0), NodeId(1), created, 4, 20_000)
+        {
+            match arr[1] {
+                Some((best, _)) => {
+                    // With enough hops allowed, the best journey matches the
+                    // earliest arrival (earliest-arrival paths in a ≤6-node
+                    // graph with simple journeys need < 6 hops... only when
+                    // within the hop limit, so assert one direction only).
+                    if let Some(first) = journeys.first() {
+                        prop_assert!(first.arrival >= best);
+                    }
+                }
+                None => prop_assert!(journeys.is_empty(), "unreachable ⇒ no journeys"),
+            }
+            // Every journey is time-respecting and ends at the destination.
+            for j in &journeys {
+                let mut at = NodeId(0);
+                let mut pos = (created, usize::MAX);
+                for &ci in &j.contacts {
+                    let c = schedule.contacts()[ci];
+                    prop_assert!((c.time, ci) > pos, "journey must move forward in time");
+                    prop_assert!(c.a == at || c.b == at, "journey must be connected");
+                    at = if c.a == at { c.b } else { c.a };
+                    pos = (c.time, ci);
+                }
+                prop_assert_eq!(at, NodeId(1));
+            }
+        }
+    }
+
+    #[test]
+    fn earliest_arrival_monotone_in_creation_time(
+        contacts in arb_contacts(),
+        t0 in 0u64..200,
+        dt in 1u64..100,
+    ) {
+        let schedule = Schedule::new(contacts);
+        let early = earliest_arrivals(&schedule, NODES, NodeId(0), Time::from_secs(t0));
+        let late = earliest_arrivals(&schedule, NODES, NodeId(0), Time::from_secs(t0 + dt));
+        for z in 0..NODES {
+            match (early[z], late[z]) {
+                (None, Some(_)) => prop_assert!(false, "later creation cannot reach more"),
+                (Some(e), Some(l)) => prop_assert!(l >= e.min(l)), // arrival can't precede earlier-creation arrival... trivially l >= e when both defined? No: l >= e holds.
+                _ => {}
+            }
+        }
+        for z in 0..NODES {
+            if let (Some(e), Some(l)) = (early[z], late[z]) {
+                prop_assert!(l.0 >= e.0, "later creation ⇒ no earlier arrival");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_solver_invariants(
+        contacts in arb_contacts(),
+        specs in prop::collection::vec(
+            (0u64..300, 0u32..NODES as u32, 0u32..NODES as u32)
+                .prop_filter("distinct", |(_, s, d)| s != d)
+                .prop_map(|(t, s, d)| PacketSpec {
+                    time: Time::from_secs(t),
+                    src: NodeId(s),
+                    dst: NodeId(d),
+                    size_bytes: 1024,
+                }),
+            1..15,
+        ),
+    ) {
+        let schedule = Schedule::new(contacts);
+        let workload = Workload::new(specs);
+        let horizon = Time::from_secs(600);
+        let r = solve_bounded(&schedule, &workload, horizon);
+        prop_assert!(r.lower_bound_avg_delay_secs <= r.feasible_avg_delay_secs + 1e-9);
+        prop_assert!(r.feasible_delivered <= r.lower_bound_delivered);
+        prop_assert!(r.gap() >= -1e-12);
+    }
+
+    #[test]
+    fn theorem_1a_holds_for_random_strategies(
+        n in 2usize..7,
+        columns in prop::collection::vec(prop::option::of(0usize..7), 7),
+    ) {
+        // Feasible X: each intermediate receives at most ONE packet (the
+        // construction's meetings are unit-sized), chosen arbitrarily —
+        // this ranges over every deterministic online algorithm's
+        // possible behaviour at step 2.
+        let mut x = vec![vec![false; n]; n];
+        for (j, held) in columns.iter().take(n).enumerate() {
+            if let Some(i) = held {
+                if *i < n {
+                    x[*i][j] = true;
+                }
+            }
+        }
+        let y = generate_y(&x);
+        // Y is a permutation.
+        let mut sorted = y.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        // The algorithm delivers at most one packet.
+        prop_assert!(alg_deliveries(&x, &y) <= 1, "Ω(n)-competitive bound violated");
+    }
+}

@@ -1,0 +1,175 @@
+//! Epidemic routing (Vahdat & Becker; P1 in the paper's Table 1).
+//!
+//! Unbounded flooding: at every contact each side hands the peer every
+//! packet it does not already have, oldest first. With unlimited resources
+//! epidemic is delay-optimal; under the paper's finite opportunities and
+//! buffers "naive flooding wastes resources and can severely degrade
+//! performance" (§2) — which makes it a useful sanity baseline for the
+//! resource-constrained experiments.
+
+use crate::common::{deliver_destined, replication_candidates};
+use dtn_sim::{
+    ContactDriver, NodeBuffer, NodeId, Packet, PacketId, PacketStore, Routing, SimConfig, Time,
+    TransferOutcome,
+};
+
+/// Unbounded flooding.
+#[derive(Debug, Default)]
+pub struct Epidemic;
+
+impl Epidemic {
+    /// Creates the flooding protocol.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Routing for Epidemic {
+    fn name(&self) -> String {
+        "Epidemic".into()
+    }
+
+    fn on_init(&mut self, _config: &SimConfig) {}
+
+    fn make_room(
+        &mut self,
+        _node: NodeId,
+        _incoming: &Packet,
+        needed: u64,
+        buffer: &NodeBuffer,
+        packets: &PacketStore,
+        _now: Time,
+    ) -> Vec<PacketId> {
+        // Drop the newest packets first (drop-tail on creation age): the
+        // oldest copies have spread furthest and are closest to delivery.
+        let mut ids = buffer.ids();
+        ids.sort_unstable_by_key(|&id| {
+            let p = packets.get(id);
+            std::cmp::Reverse((p.created_at, id))
+        });
+        let mut victims = Vec::new();
+        let mut freed = 0u64;
+        for id in ids {
+            if freed >= needed {
+                break;
+            }
+            freed += packets.get(id).size_bytes;
+            victims.push(id);
+        }
+        if freed >= needed {
+            victims
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+        let (a, b) = driver.endpoints();
+        for x in [a, b] {
+            let _ = deliver_destined(driver, x);
+        }
+        for x in [a, b] {
+            let mut candidates = replication_candidates(driver, x);
+            candidates.sort_unstable_by_key(|&id| {
+                let p = driver.packets().get(id);
+                (p.created_at, id)
+            });
+            for id in candidates {
+                match driver.try_transfer(x, id) {
+                    TransferOutcome::NoBandwidth => break,
+                    // Flooding does not evict at the receiver: a full
+                    // buffer simply rejects new replicas.
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::workload::{PacketSpec, Workload};
+    use dtn_sim::{Contact, Schedule, Simulation};
+
+    fn spec(t: u64, src: u32, dst: u32) -> PacketSpec {
+        PacketSpec {
+            time: Time::from_secs(t),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            size_bytes: 1024,
+        }
+    }
+
+    fn contact(t: u64, a: u32, b: u32) -> Contact {
+        Contact::new(Time::from_secs(t), NodeId(a), NodeId(b), 1 << 20)
+    }
+
+    #[test]
+    fn floods_to_everyone() {
+        let cfg = SimConfig {
+            nodes: 4,
+            horizon: Time::from_secs(100),
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(
+            cfg,
+            Schedule::new(vec![
+                contact(10, 0, 1),
+                contact(20, 1, 2),
+                contact(30, 2, 3),
+            ]),
+            Workload::new(vec![spec(0, 0, 3)]),
+        );
+        let r = sim.run(&mut Epidemic::new());
+        assert_eq!(r.delivered(), 1);
+        // Replicated 0→1, 1→2; delivered 2→3.
+        assert_eq!(r.replications, 2);
+    }
+
+    #[test]
+    fn oldest_spread_first_under_bandwidth_pressure() {
+        let cfg = SimConfig {
+            nodes: 3,
+            horizon: Time::from_secs(100),
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(
+            cfg,
+            Schedule::new(vec![Contact::new(
+                Time::from_secs(50),
+                NodeId(0),
+                NodeId(1),
+                1024, // one packet only
+            )]),
+            Workload::new(vec![spec(20, 0, 2), spec(10, 0, 2)]),
+        );
+        let r = sim.run(&mut Epidemic::new());
+        assert_eq!(r.replications, 1);
+        // The replica that moved is the older one (created at 10).
+        let moved: Vec<_> = r
+            .outcomes
+            .iter()
+            .filter(|o| o.created_at == Time::from_secs(10))
+            .collect();
+        assert_eq!(moved.len(), 1);
+    }
+
+    #[test]
+    fn full_buffer_rejects_without_eviction() {
+        let cfg = SimConfig {
+            nodes: 3,
+            buffer_capacity: 1024,
+            horizon: Time::from_secs(100),
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(
+            cfg,
+            Schedule::new(vec![contact(50, 0, 1)]),
+            // Node 1 already holds its own packet; node 0 tries to flood.
+            Workload::new(vec![spec(0, 1, 2), spec(1, 0, 2)]),
+        );
+        let r = sim.run(&mut Epidemic::new());
+        assert_eq!(r.replications, 0, "no eviction in flooding");
+    }
+}

@@ -1,0 +1,259 @@
+//! Random replication (§6.1) and Random-with-acks (§6.2.6).
+//!
+//! "Random replicates randomly chosen packets for the duration of the
+//! transfer opportunity." The ack-flooding variant additionally gossips
+//! delivery acknowledgments and purges acknowledged packets — the first
+//! component in the Fig. 14 decomposition of RAPID's gains.
+
+use crate::common::{deliver_destined, evict_until, replication_candidates};
+use dtn_sim::{
+    AckTable, ContactDriver, NodeBuffer, NodeId, Packet, PacketId, PacketStore, Routing,
+    SimConfig, Time, TransferOutcome,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Bytes charged per flooded acknowledgment (kept equal to RAPID's).
+const ACK_BYTES: u64 = 4;
+
+/// The Random baseline.
+pub struct Random {
+    with_acks: bool,
+    rng: StdRng,
+    acks: AckTable,
+}
+
+impl Random {
+    /// Plain random replication.
+    pub fn new() -> Self {
+        Self {
+            with_acks: false,
+            rng: dtn_stats::stream(0, "random-protocol"),
+            acks: AckTable::new(0),
+        }
+    }
+
+    /// Random replication plus flooded delivery acknowledgments.
+    pub fn with_acks() -> Self {
+        Self {
+            with_acks: true,
+            ..Self::new()
+        }
+    }
+}
+
+impl Default for Random {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Routing for Random {
+    fn name(&self) -> String {
+        if self.with_acks {
+            "Random+acks".into()
+        } else {
+            "Random".into()
+        }
+    }
+
+    fn on_init(&mut self, config: &SimConfig) {
+        self.rng = dtn_stats::stream(config.seed, "random-protocol");
+        self.acks = AckTable::new(config.nodes);
+    }
+
+    fn make_room(
+        &mut self,
+        _node: NodeId,
+        _incoming: &Packet,
+        needed: u64,
+        buffer: &NodeBuffer,
+        _packets: &PacketStore,
+        _now: Time,
+    ) -> Vec<PacketId> {
+        // Random deletion (§6.3.2: "Spray and Wait and Random deletes
+        // packets randomly").
+        let mut ids = buffer.ids();
+        ids.shuffle(&mut self.rng);
+        let mut victims = Vec::new();
+        let mut freed = 0u64;
+        for id in ids {
+            if freed >= needed {
+                break;
+            }
+            freed += buffer.meta(id).expect("id from buffer").size_bytes;
+            victims.push(id);
+        }
+        if freed >= needed {
+            victims
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+        let (a, b) = driver.endpoints();
+
+        if self.with_acks {
+            let (to_a, to_b) = self.acks.exchange(a, b);
+            driver.charge_metadata(a, to_b as u64 * ACK_BYTES);
+            driver.charge_metadata(b, to_a as u64 * ACK_BYTES);
+            for x in [a, b] {
+                for id in driver.buffer(x).ids() {
+                    if self.acks.knows(x, id) {
+                        driver.evict(x, id);
+                    }
+                }
+            }
+        }
+
+        for x in [a, b] {
+            for id in deliver_destined(driver, x) {
+                if self.with_acks {
+                    self.acks.learn(x, id);
+                    self.acks.learn(driver.peer_of(x), id);
+                }
+            }
+        }
+
+        for x in [a, b] {
+            let mut candidates = replication_candidates(driver, x);
+            candidates.shuffle(&mut self.rng);
+            for id in candidates {
+                loop {
+                    match driver.try_transfer(x, id) {
+                        TransferOutcome::NeedsSpace(needed) => {
+                            // Random eviction at the receiver.
+                            let y = driver.peer_of(x);
+                            let mut pool = driver.buffer(y).ids();
+                            pool.shuffle(&mut self.rng);
+                            if !evict_until(driver, y, needed, &mut pool) {
+                                break;
+                            }
+                        }
+                        TransferOutcome::NoBandwidth => return,
+                        _ => break,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::workload::{PacketSpec, Workload};
+    use dtn_sim::{Contact, Schedule, Simulation};
+
+    fn spec(t: u64, src: u32, dst: u32) -> PacketSpec {
+        PacketSpec {
+            time: Time::from_secs(t),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            size_bytes: 1024,
+        }
+    }
+
+    fn contact(t: u64, a: u32, b: u32, bytes: u64) -> Contact {
+        Contact::new(Time::from_secs(t), NodeId(a), NodeId(b), bytes)
+    }
+
+    fn cfg(nodes: usize) -> SimConfig {
+        SimConfig {
+            nodes,
+            horizon: Time::from_secs(1000),
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn delivers_directly_and_replicates() {
+        let sim = Simulation::new(
+            cfg(3),
+            Schedule::new(vec![
+                contact(10, 0, 1, 1 << 20),
+                contact(20, 1, 2, 1 << 20),
+            ]),
+            Workload::new(vec![spec(0, 0, 2)]),
+        );
+        let r = sim.run(&mut Random::new());
+        assert_eq!(r.delivered(), 1);
+        assert_eq!(r.metadata_bytes, 0, "plain Random has no control channel");
+    }
+
+    #[test]
+    fn acks_variant_purges_and_charges() {
+        let sim = Simulation::new(
+            cfg(3),
+            Schedule::new(vec![
+                contact(10, 0, 1, 1 << 20), // replicate to 1
+                contact(20, 0, 2, 1 << 20), // deliver directly
+                contact(30, 0, 1, 1 << 20), // ack to 1, purge
+                contact(40, 1, 2, 1 << 20), // 1 must not resend
+            ]),
+            Workload::new(vec![spec(0, 0, 2)]),
+        );
+        let r = sim.run(&mut Random::with_acks());
+        assert_eq!(r.delivered(), 1);
+        assert_eq!(r.data_bytes, 2 * 1024, "no duplicate delivery");
+        assert!(r.metadata_bytes > 0, "acks must be charged");
+
+        // Without acks the replica at 1 re-delivers: more data bytes.
+        let sim2 = Simulation::new(
+            cfg(3),
+            Schedule::new(vec![
+                contact(10, 0, 1, 1 << 20),
+                contact(20, 0, 2, 1 << 20),
+                contact(30, 0, 1, 1 << 20),
+                contact(40, 1, 2, 1 << 20),
+            ]),
+            Workload::new(vec![spec(0, 0, 2)]),
+        );
+        let r2 = sim2.run(&mut Random::new());
+        // Without acks: the replica at 1 is replicated back to 0 at t=30
+        // and re-delivered at t=40 — two wasted transmissions.
+        assert_eq!(r2.data_bytes, 4 * 1024, "duplicates waste bandwidth");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = || {
+            Simulation::new(
+                cfg(4),
+                Schedule::new(vec![
+                    contact(5, 0, 1, 2048),
+                    contact(9, 1, 2, 2048),
+                    contact(12, 2, 3, 2048),
+                ]),
+                Workload::new(vec![spec(0, 0, 3), spec(1, 0, 2), spec(2, 1, 3)]),
+            )
+        };
+        let r1 = build().run(&mut Random::new());
+        let r2 = build().run(&mut Random::new());
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn random_eviction_respects_capacity() {
+        let c = SimConfig {
+            buffer_capacity: 2048,
+            ..cfg(3)
+        };
+        let sim = Simulation::new(
+            c,
+            Schedule::new(vec![contact(10, 0, 1, 1 << 20)]),
+            Workload::new(vec![
+                spec(0, 0, 2),
+                spec(1, 0, 2),
+                spec(2, 0, 2),
+                spec(3, 1, 2),
+                spec(4, 1, 2),
+            ]),
+        );
+        let r = sim.run(&mut Random::new());
+        // Node 1's buffer (2 slots) can never exceed capacity — the engine
+        // enforces it; this just confirms the protocol makes progress.
+        assert!(r.replications >= 1);
+    }
+}

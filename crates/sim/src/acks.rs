@@ -1,0 +1,212 @@
+//! Delivery-acknowledgment knowledge tables.
+//!
+//! §4.2: RAPID "uses an in-band control channel to exchange acknowledgments
+//! for delivered packets"; Burgess et al. showed ack flooding "improves
+//! delivery rates by removing useless packets from the network", which the
+//! paper isolates as the *Random with acks* component (§6.2.6, Fig. 14).
+//! Several protocols therefore share this utility: a per-node bitset of
+//! packet ids known to be delivered, merged whenever two nodes meet.
+
+use crate::types::{NodeId, PacketId};
+
+/// A growable bitset keyed by [`PacketId`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PacketSet {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl PacketSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `id`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, id: PacketId) -> bool {
+        let (w, bit) = (id.index() / 64, id.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: PacketId) -> bool {
+        let (w, bit) = (id.index() / 64, id.index() % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << bit) != 0)
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates the ids in the set in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = PacketId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(PacketId((w * 64 + b) as u32))
+                }
+            })
+        })
+    }
+
+    /// Union with another set; returns how many ids were newly added here.
+    pub fn union_from(&mut self, other: &PacketSet) -> usize {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut added = 0;
+        for (w, &ow) in other.words.iter().enumerate() {
+            let new_bits = ow & !self.words[w];
+            added += new_bits.count_ones() as usize;
+            self.words[w] |= ow;
+        }
+        self.count += added;
+        added
+    }
+}
+
+/// Per-node delivery knowledge: `table.node(x)` is the set of packets node
+/// `x` believes have been delivered.
+#[derive(Debug, Clone, Default)]
+pub struct AckTable {
+    per_node: Vec<PacketSet>,
+}
+
+impl AckTable {
+    /// Creates a table for `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            per_node: vec![PacketSet::new(); nodes],
+        }
+    }
+
+    /// Records that `node` learned `packet` was delivered.
+    pub fn learn(&mut self, node: NodeId, packet: PacketId) -> bool {
+        self.per_node[node.index()].insert(packet)
+    }
+
+    /// Whether `node` knows `packet` was delivered.
+    pub fn knows(&self, node: NodeId, packet: PacketId) -> bool {
+        self.per_node[node.index()].contains(packet)
+    }
+
+    /// Two-way merge when `a` and `b` meet; returns `(new_to_a, new_to_b)` —
+    /// the ack counts that crossed the link, which the caller charges to the
+    /// control channel.
+    pub fn exchange(&mut self, a: NodeId, b: NodeId) -> (usize, usize) {
+        assert_ne!(a, b, "cannot exchange acks with self");
+        let (ai, bi) = (a.index(), b.index());
+        // Split-borrow the two entries.
+        let (lo, hi) = if ai < bi { (ai, bi) } else { (bi, ai) };
+        let (head, tail) = self.per_node.split_at_mut(hi);
+        let (first, second) = (&mut head[lo], &mut tail[0]);
+        let (set_a, set_b) = if ai < bi {
+            (first, second)
+        } else {
+            (second, first)
+        };
+        let to_a = set_a.union_from(set_b);
+        let to_b = set_b.union_from(set_a);
+        (to_a, to_b)
+    }
+
+    /// The set for one node.
+    pub fn node(&self, node: NodeId) -> &PacketSet {
+        &self.per_node[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = PacketSet::new();
+        assert!(!s.contains(PacketId(3)));
+        assert!(s.insert(PacketId(3)));
+        assert!(!s.insert(PacketId(3)), "reinsert");
+        assert!(s.contains(PacketId(3)));
+        assert!(s.insert(PacketId(200)));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_ascending_ids() {
+        let mut s = PacketSet::new();
+        for id in [130u32, 3, 64, 65, 0] {
+            s.insert(PacketId(id));
+        }
+        let got: Vec<u32> = s.iter().map(|p| p.0).collect();
+        assert_eq!(got, vec![0, 3, 64, 65, 130]);
+        assert_eq!(PacketSet::new().iter().count(), 0);
+    }
+
+    #[test]
+    fn union_counts_new_bits() {
+        let mut a = PacketSet::new();
+        let mut b = PacketSet::new();
+        a.insert(PacketId(1));
+        a.insert(PacketId(64));
+        b.insert(PacketId(64));
+        b.insert(PacketId(130));
+        let added = a.union_from(&b);
+        assert_eq!(added, 1);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(PacketId(130)));
+    }
+
+    #[test]
+    fn ack_exchange_is_symmetric_union() {
+        let mut t = AckTable::new(3);
+        t.learn(NodeId(0), PacketId(1));
+        t.learn(NodeId(0), PacketId(2));
+        t.learn(NodeId(2), PacketId(7));
+        let (to_a, to_b) = t.exchange(NodeId(0), NodeId(2));
+        assert_eq!(to_a, 1); // node 0 learned p7
+        assert_eq!(to_b, 2); // node 2 learned p1, p2
+        assert!(t.knows(NodeId(0), PacketId(7)));
+        assert!(t.knows(NodeId(2), PacketId(1)));
+        assert!(!t.knows(NodeId(1), PacketId(1)));
+        // Exchanging again moves nothing.
+        assert_eq!(t.exchange(NodeId(0), NodeId(2)), (0, 0));
+    }
+
+    #[test]
+    fn exchange_lower_index_second_node() {
+        let mut t = AckTable::new(2);
+        t.learn(NodeId(1), PacketId(9));
+        let (to_a, to_b) = t.exchange(NodeId(1), NodeId(0));
+        assert_eq!((to_a, to_b), (0, 1));
+        assert!(t.knows(NodeId(0), PacketId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self")]
+    fn self_exchange_panics() {
+        let mut t = AckTable::new(2);
+        let _ = t.exchange(NodeId(1), NodeId(1));
+    }
+}

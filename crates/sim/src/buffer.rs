@@ -1,0 +1,172 @@
+//! Per-node in-transit storage with a byte capacity (§3.1: "There is limited
+//! storage ... available to nodes. Destination nodes are assumed to have
+//! sufficient capacity to store delivered packets, so only storage for
+//! in-transit data is limited").
+//!
+//! The buffer is deliberately policy-free: *which* packet to evict on
+//! overflow is a routing-protocol decision (§3.4: RAPID deletes lowest
+//! utility; MaxProp deletes the most-replicated; Spray and Wait and Random
+//! delete randomly — §6.3.2). Iteration order is `PacketId` order
+//! (`BTreeMap`), so every protocol sees a deterministic view.
+
+use crate::time::Time;
+use crate::types::PacketId;
+use std::collections::BTreeMap;
+
+/// A node's in-transit packet store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeBuffer {
+    capacity: u64,
+    used: u64,
+    stored: BTreeMap<PacketId, StoredMeta>,
+}
+
+/// Per-replica bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredMeta {
+    /// When this node received the replica.
+    pub stored_at: Time,
+    /// Size of the packet in bytes (denormalized to keep accounting local).
+    pub size_bytes: u64,
+}
+
+impl NodeBuffer {
+    /// Creates a buffer with the given capacity in bytes
+    /// (`u64::MAX` = effectively unlimited, the paper's 40 GB bus storage).
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            stored: BTreeMap::new(),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently occupied.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still free.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Number of stored replicas.
+    pub fn len(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// Whether the buffer holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.stored.is_empty()
+    }
+
+    /// Whether a replica of `id` is present.
+    pub fn contains(&self, id: PacketId) -> bool {
+        self.stored.contains_key(&id)
+    }
+
+    /// Metadata for a stored replica.
+    pub fn meta(&self, id: PacketId) -> Option<StoredMeta> {
+        self.stored.get(&id).copied()
+    }
+
+    /// Inserts a replica. Returns `false` (and stores nothing) if there is
+    /// not enough free space or the replica is already present.
+    pub fn insert(&mut self, id: PacketId, size_bytes: u64, now: Time) -> bool {
+        if self.stored.contains_key(&id) || size_bytes > self.free_bytes() {
+            return false;
+        }
+        self.stored.insert(
+            id,
+            StoredMeta {
+                stored_at: now,
+                size_bytes,
+            },
+        );
+        self.used += size_bytes;
+        true
+    }
+
+    /// Removes a replica, returning whether it was present.
+    pub fn remove(&mut self, id: PacketId) -> bool {
+        match self.stored.remove(&id) {
+            Some(meta) => {
+                self.used -= meta.size_bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates stored replicas in `PacketId` order.
+    pub fn iter(&self) -> impl Iterator<Item = (PacketId, StoredMeta)> + '_ {
+        self.stored.iter().map(|(&id, &meta)| (id, meta))
+    }
+
+    /// The stored packet ids in `PacketId` order.
+    pub fn ids(&self) -> Vec<PacketId> {
+        self.stored.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_accounting() {
+        let mut b = NodeBuffer::new(100);
+        assert!(b.insert(PacketId(1), 60, Time::ZERO));
+        assert_eq!(b.used_bytes(), 60);
+        assert_eq!(b.free_bytes(), 40);
+        assert!(b.contains(PacketId(1)));
+        assert!(!b.insert(PacketId(2), 50, Time::ZERO), "over capacity");
+        assert!(b.insert(PacketId(2), 40, Time::ZERO));
+        assert_eq!(b.free_bytes(), 0);
+        assert!(b.remove(PacketId(1)));
+        assert_eq!(b.free_bytes(), 60);
+        assert!(!b.remove(PacketId(1)), "double remove");
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut b = NodeBuffer::new(100);
+        assert!(b.insert(PacketId(1), 10, Time::ZERO));
+        assert!(!b.insert(PacketId(1), 10, Time::ZERO));
+        assert_eq!(b.used_bytes(), 10);
+    }
+
+    #[test]
+    fn iteration_is_id_ordered() {
+        let mut b = NodeBuffer::new(1000);
+        for id in [5u32, 1, 9, 3] {
+            assert!(b.insert(PacketId(id), 1, Time(id as u64)));
+        }
+        let ids: Vec<u32> = b.ids().iter().map(|p| p.0).collect();
+        assert_eq!(ids, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn meta_records_arrival_time_and_size() {
+        let mut b = NodeBuffer::new(100);
+        b.insert(PacketId(4), 25, Time::from_secs(9));
+        let m = b.meta(PacketId(4)).unwrap();
+        assert_eq!(m.stored_at, Time::from_secs(9));
+        assert_eq!(m.size_bytes, 25);
+        assert!(b.meta(PacketId(5)).is_none());
+    }
+
+    #[test]
+    fn unlimited_buffer() {
+        let mut b = NodeBuffer::new(u64::MAX);
+        assert!(b.insert(PacketId(0), u64::MAX / 2, Time::ZERO));
+        assert!(b.free_bytes() > 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Transfer opportunities and meeting schedules.
+//!
+//! §3.1: "Each directed edge e between two nodes represents a meeting between
+//! them, and it is annotated with a tuple (t_e, s_e)". The reproduction
+//! stores one [`Contact`] per meeting and treats the opportunity as
+//! symmetric: each endpoint may send up to `bytes` to the other, mirroring
+//! the deployment where the two discovered directed connections are merged
+//! into one connection event (§5).
+
+use crate::time::Time;
+use crate::types::NodeId;
+use dtn_trace::ContactRecord;
+
+/// One transfer opportunity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Contact {
+    /// Instant of the meeting.
+    pub time: Time,
+    /// First endpoint.
+    pub a: NodeId,
+    /// Second endpoint.
+    pub b: NodeId,
+    /// Opportunity size in bytes, per direction.
+    pub bytes: u64,
+}
+
+impl Contact {
+    /// Builds a contact; endpoints must differ.
+    pub fn new(time: Time, a: NodeId, b: NodeId, bytes: u64) -> Self {
+        assert_ne!(a, b, "a node cannot meet itself");
+        Self { time, a, b, bytes }
+    }
+
+    /// The peer of `node` in this contact.
+    ///
+    /// # Panics
+    /// If `node` is not an endpoint.
+    pub fn peer_of(&self, node: NodeId) -> NodeId {
+        if node == self.a {
+            self.b
+        } else if node == self.b {
+            self.a
+        } else {
+            panic!("{node} is not an endpoint of this contact");
+        }
+    }
+}
+
+impl From<ContactRecord> for Contact {
+    fn from(r: ContactRecord) -> Self {
+        Contact::new(Time(r.time_us), NodeId(r.a), NodeId(r.b), r.bytes)
+    }
+}
+
+/// A time-ordered meeting schedule for one simulation run (one day).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    contacts: Vec<Contact>,
+}
+
+impl Schedule {
+    /// Builds a schedule, sorting contacts by time (stable, so equal-time
+    /// contacts keep their given order — which makes trace replay exact).
+    pub fn new(mut contacts: Vec<Contact>) -> Self {
+        contacts.sort_by_key(|c| c.time);
+        Self { contacts }
+    }
+
+    /// Builds a schedule from trace records (a single day's worth).
+    pub fn from_records(records: &[ContactRecord]) -> Self {
+        Self::new(records.iter().map(|&r| Contact::from(r)).collect())
+    }
+
+    /// The contacts in time order.
+    pub fn contacts(&self) -> &[Contact] {
+        &self.contacts
+    }
+
+    /// Number of contacts.
+    pub fn len(&self) -> usize {
+        self.contacts.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.contacts.is_empty()
+    }
+
+    /// Time of the last contact, or `Time::ZERO` when empty.
+    pub fn end_time(&self) -> Time {
+        self.contacts.last().map_or(Time::ZERO, |c| c.time)
+    }
+
+    /// Total offered capacity in bytes (both directions of every contact).
+    pub fn offered_bytes(&self) -> u64 {
+        self.contacts.iter().map(|c| 2 * c.bytes).sum()
+    }
+
+    /// Largest node index mentioned, plus one (0 when empty). Useful for
+    /// sizing arenas.
+    pub fn node_count_hint(&self) -> usize {
+        self.contacts
+            .iter()
+            .map(|c| c.a.0.max(c.b.0) as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sorts_by_time() {
+        let s = Schedule::new(vec![
+            Contact::new(Time::from_secs(5), NodeId(0), NodeId(1), 10),
+            Contact::new(Time::from_secs(1), NodeId(1), NodeId(2), 10),
+        ]);
+        assert_eq!(s.contacts()[0].time, Time::from_secs(1));
+        assert_eq!(s.end_time(), Time::from_secs(5));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn peer_of_both_sides() {
+        let c = Contact::new(Time::ZERO, NodeId(3), NodeId(7), 1);
+        assert_eq!(c.peer_of(NodeId(3)), NodeId(7));
+        assert_eq!(c.peer_of(NodeId(7)), NodeId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn peer_of_stranger_panics() {
+        let c = Contact::new(Time::ZERO, NodeId(3), NodeId(7), 1);
+        let _ = c.peer_of(NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "meet itself")]
+    fn self_contact_panics() {
+        let _ = Contact::new(Time::ZERO, NodeId(3), NodeId(3), 1);
+    }
+
+    #[test]
+    fn offered_bytes_counts_both_directions() {
+        let s = Schedule::new(vec![
+            Contact::new(Time::ZERO, NodeId(0), NodeId(1), 10),
+            Contact::new(Time::ZERO, NodeId(1), NodeId(2), 5),
+        ]);
+        assert_eq!(s.offered_bytes(), 30);
+        assert_eq!(s.node_count_hint(), 3);
+    }
+
+    #[test]
+    fn from_records() {
+        let s = Schedule::from_records(&[ContactRecord {
+            day: 0,
+            time_us: 42,
+            a: 1,
+            b: 2,
+            bytes: 99,
+        }]);
+        assert_eq!(s.contacts()[0].time, Time(42));
+        assert_eq!(s.contacts()[0].bytes, 99);
+    }
+}

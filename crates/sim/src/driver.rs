@@ -1,0 +1,278 @@
+//! The contact driver: the only way a protocol can move bytes.
+//!
+//! When two nodes meet, the engine hands the protocol a [`ContactDriver`]
+//! scoped to that single opportunity. The driver enforces the feasibility
+//! rules of §3.1 — at most `s_e` bytes in each direction, no fragmentation,
+//! buffer capacity respected — and keeps the byte accounting (data versus
+//! control metadata) that the evaluation reports (Figs. 8, 9).
+
+use crate::buffer::NodeBuffer;
+use crate::routing::{PacketStore, TransferOutcome};
+use crate::time::Time;
+use crate::types::{NodeId, PacketId};
+
+/// Direction of flow within a contact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    AtoB,
+    BtoA,
+}
+
+/// Counters a contact accumulates; drained by the engine afterwards.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ContactLedger {
+    /// Payload bytes that crossed the link (both directions).
+    pub data_bytes: u64,
+    /// Control-channel bytes that crossed the link (both directions).
+    pub metadata_bytes: u64,
+    /// Successful replications (stores at the peer).
+    pub replications: u64,
+    /// Deliveries (first-time) performed in this contact.
+    pub deliveries: u64,
+}
+
+/// Mutable world state the driver operates on; borrowed from the engine.
+pub(crate) struct WorldMut<'a> {
+    pub packets: &'a PacketStore,
+    pub buffers: &'a mut [NodeBuffer],
+    pub delivered_at: &'a mut [Option<Time>],
+    pub holders: &'a mut [Vec<NodeId>],
+}
+
+/// A single transfer opportunity, as seen by the routing protocol.
+pub struct ContactDriver<'a> {
+    world: WorldMut<'a>,
+    now: Time,
+    a: NodeId,
+    b: NodeId,
+    cap_ab: u64,
+    cap_ba: u64,
+    ledger: ContactLedger,
+    allow_global: bool,
+}
+
+impl<'a> ContactDriver<'a> {
+    pub(crate) fn new(
+        world: WorldMut<'a>,
+        now: Time,
+        a: NodeId,
+        b: NodeId,
+        bytes_each_way: u64,
+        allow_global: bool,
+    ) -> Self {
+        Self {
+            world,
+            now,
+            a,
+            b,
+            cap_ab: bytes_each_way,
+            cap_ba: bytes_each_way,
+            ledger: ContactLedger::default(),
+            allow_global,
+        }
+    }
+
+    /// Current simulation time (the instant of the meeting).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The two endpoints of this contact.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (self.a, self.b)
+    }
+
+    /// The peer of `node` within this contact.
+    pub fn peer_of(&self, node: NodeId) -> NodeId {
+        if node == self.a {
+            self.b
+        } else if node == self.b {
+            self.a
+        } else {
+            panic!("{node} is not part of this contact");
+        }
+    }
+
+    fn dir_from(&self, from: NodeId) -> Dir {
+        if from == self.a {
+            Dir::AtoB
+        } else if from == self.b {
+            Dir::BtoA
+        } else {
+            panic!("{from} is not part of this contact");
+        }
+    }
+
+    /// Remaining sendable bytes from `from` towards its peer.
+    pub fn remaining_bytes(&self, from: NodeId) -> u64 {
+        match self.dir_from(from) {
+            Dir::AtoB => self.cap_ab,
+            Dir::BtoA => self.cap_ba,
+        }
+    }
+
+    /// Charges up to `bytes` of control metadata in the `from` direction;
+    /// returns the number of bytes actually granted (limited by the
+    /// remaining opportunity). Metadata is charged against the same
+    /// opportunity as data — the in-band channel of §4.2.
+    pub fn charge_metadata(&mut self, from: NodeId, bytes: u64) -> u64 {
+        let cap = match self.dir_from(from) {
+            Dir::AtoB => &mut self.cap_ab,
+            Dir::BtoA => &mut self.cap_ba,
+        };
+        let granted = bytes.min(*cap);
+        *cap -= granted;
+        self.ledger.metadata_bytes += granted;
+        granted
+    }
+
+    /// Read access to a node's buffer (either endpoint).
+    pub fn buffer(&self, node: NodeId) -> &NodeBuffer {
+        &self.world.buffers[node.index()]
+    }
+
+    /// The packet arena.
+    pub fn packets(&self) -> &PacketStore {
+        self.world.packets
+    }
+
+    /// Byte/transfer counters so far in this contact.
+    pub fn ledger(&self) -> ContactLedger {
+        self.ledger
+    }
+
+    /// Attempts to send `id` from `from` to its peer. See
+    /// [`TransferOutcome`] for the possible results; the two delivery
+    /// variants also release the sender's copy (the sender has just
+    /// witnessed the delivery, §3.4's implicit ack).
+    pub fn try_transfer(&mut self, from: NodeId, id: PacketId) -> TransferOutcome {
+        let to = self.peer_of(from);
+        let packet = *self.world.packets.get(id);
+        assert!(
+            self.world.buffers[from.index()].contains(id),
+            "{from} does not hold {id}"
+        );
+
+        let size = packet.size_bytes;
+        let remaining = self.remaining_bytes(from);
+
+        if packet.dst == to {
+            // Direct delivery (step 2 of Protocol RAPID); still needs the
+            // bytes to cross the link.
+            if size > remaining {
+                return TransferOutcome::NoBandwidth;
+            }
+            self.consume(from, size);
+            self.ledger.data_bytes += size;
+            // Sender observed the delivery: its own replica is now useless.
+            self.remove_replica(from, id);
+            let slot = &mut self.world.delivered_at[id.index()];
+            if slot.is_none() {
+                *slot = Some(self.now);
+                self.ledger.deliveries += 1;
+                TransferOutcome::Delivered
+            } else {
+                TransferOutcome::DeliveredDuplicate
+            }
+        } else {
+            if self.world.buffers[to.index()].contains(id) {
+                return TransferOutcome::AlreadyHeld;
+            }
+            if size > remaining {
+                return TransferOutcome::NoBandwidth;
+            }
+            let free = self.world.buffers[to.index()].free_bytes();
+            if size > free {
+                return TransferOutcome::NeedsSpace(size - free);
+            }
+            self.consume(from, size);
+            self.ledger.data_bytes += size;
+            let stored = self.world.buffers[to.index()].insert(id, size, self.now);
+            debug_assert!(stored, "insert after free-space check cannot fail");
+            self.add_holder(to, id);
+            self.ledger.replications += 1;
+            TransferOutcome::Replicated
+        }
+    }
+
+    /// Evicts `victim` from `node`'s buffer (one of the two endpoints).
+    /// Returns whether a replica was actually removed.
+    ///
+    /// Protocols use this both for policy-driven drops (buffer overflow) and
+    /// to purge packets they have learned were delivered (§4.2 ack cleanup).
+    pub fn evict(&mut self, node: NodeId, victim: PacketId) -> bool {
+        assert!(
+            node == self.a || node == self.b,
+            "{node} is not part of this contact"
+        );
+        self.remove_replica(node, victim)
+    }
+
+    /// True global state — only available when the run was configured with
+    /// `allow_global_knowledge` (the instant global channel of §6.2.3).
+    ///
+    /// # Panics
+    /// If global knowledge is not enabled for this run.
+    pub fn global(&self) -> GlobalView<'_> {
+        assert!(
+            self.allow_global,
+            "global knowledge is disabled for this run (see SimConfig::allow_global_knowledge)"
+        );
+        GlobalView {
+            delivered_at: self.world.delivered_at,
+            holders: self.world.holders,
+            buffers: self.world.buffers,
+        }
+    }
+
+    fn consume(&mut self, from: NodeId, bytes: u64) {
+        match self.dir_from(from) {
+            Dir::AtoB => self.cap_ab -= bytes,
+            Dir::BtoA => self.cap_ba -= bytes,
+        }
+    }
+
+    fn add_holder(&mut self, node: NodeId, id: PacketId) {
+        let list = &mut self.world.holders[id.index()];
+        if let Err(pos) = list.binary_search(&node) {
+            list.insert(pos, node);
+        }
+    }
+
+    fn remove_replica(&mut self, node: NodeId, id: PacketId) -> bool {
+        if self.world.buffers[node.index()].remove(id) {
+            let list = &mut self.world.holders[id.index()];
+            if let Ok(pos) = list.binary_search(&node) {
+                list.remove(pos);
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Read-only true global state (instant global control channel, §6.2.3).
+pub struct GlobalView<'a> {
+    delivered_at: &'a [Option<Time>],
+    holders: &'a [Vec<NodeId>],
+    buffers: &'a [NodeBuffer],
+}
+
+impl GlobalView<'_> {
+    /// Whether the packet has been delivered (anywhere, as of now).
+    pub fn is_delivered(&self, id: PacketId) -> bool {
+        self.delivered_at[id.index()].is_some()
+    }
+
+    /// The nodes currently holding replicas of `id`, ascending.
+    pub fn holders(&self, id: PacketId) -> &[NodeId] {
+        &self.holders[id.index()]
+    }
+
+    /// Read access to any node's buffer (remote queue state — what the
+    /// instant channel would carry).
+    pub fn buffer(&self, node: NodeId) -> &NodeBuffer {
+        &self.buffers[node.index()]
+    }
+}

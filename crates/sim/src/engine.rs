@@ -1,0 +1,610 @@
+//! The discrete-event simulation engine.
+//!
+//! Mirrors the paper's evaluation vehicle (§5.3): "The simulator takes as
+//! input a schedule of node meetings, the bandwidth available at each
+//! meeting, and a routing algorithm." Events (packet creations and contacts)
+//! are processed in time order; at each contact the routing protocol drives
+//! transfers through a [`ContactDriver`] that enforces the feasibility rules
+//! of §3.1. Runs are deterministic given the configuration seed.
+
+use crate::contact::Schedule;
+use crate::driver::{ContactDriver, WorldMut};
+use crate::noise::NoiseModel;
+use crate::report::SimReport;
+use crate::routing::{PacketStore, Routing, SimConfig};
+use crate::time::{Time, TimeDelta};
+use crate::types::{NodeId, Packet, PacketId};
+use crate::NodeBuffer;
+use dtn_stats::sample::Exponential;
+use dtn_stats::stream;
+use rand::Rng;
+
+/// A fully specified simulation run: configuration, meeting schedule and
+/// packet workload.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SimConfig,
+    schedule: Schedule,
+    workload: crate::workload::Workload,
+    noise: Option<NoiseModel>,
+}
+
+impl Simulation {
+    /// Assembles a run and validates that every node id referenced by the
+    /// schedule or workload is below `config.nodes`.
+    pub fn new(
+        config: SimConfig,
+        schedule: Schedule,
+        workload: crate::workload::Workload,
+    ) -> Self {
+        let n = config.nodes;
+        for c in schedule.contacts() {
+            assert!(
+                c.a.index() < n && c.b.index() < n,
+                "contact references node outside 0..{n}"
+            );
+        }
+        for s in workload.specs() {
+            assert!(
+                s.src.index() < n && s.dst.index() < n,
+                "packet references node outside 0..{n}"
+            );
+        }
+        Self {
+            config,
+            schedule,
+            workload,
+            noise: None,
+        }
+    }
+
+    /// Enables deployment-noise emulation for this run (§5, Fig. 3).
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// The run's configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The meeting schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The packet workload.
+    pub fn workload(&self) -> &crate::workload::Workload {
+        &self.workload
+    }
+
+    /// Executes the run against `routing` and returns the measured report.
+    ///
+    /// The engine owns all world state; the protocol only moves packets
+    /// through the [`ContactDriver`]. Identical inputs (including
+    /// `config.seed`) produce identical reports.
+    pub fn run(&self, routing: &mut dyn Routing) -> SimReport {
+        let n = self.config.nodes;
+        let mut buffers: Vec<NodeBuffer> =
+            (0..n).map(|_| NodeBuffer::new(self.config.buffer_capacity)).collect();
+        let mut store = PacketStore::default();
+        let mut delivered_at: Vec<Option<Time>> = Vec::new();
+        let mut holders: Vec<Vec<NodeId>> = Vec::new();
+        let mut entered: Vec<bool> = Vec::new();
+        let mut noise_rng = stream(self.config.seed, "sim-noise");
+
+        routing.on_init(&self.config);
+
+        let contacts = self.schedule.contacts();
+        let specs = self.workload.specs();
+        let (mut ci, mut si) = (0usize, 0usize);
+
+        let mut report = SimReport {
+            horizon: self.config.horizon,
+            deadline: self.config.deadline,
+            ..SimReport::default()
+        };
+
+        while ci < contacts.len() || si < specs.len() {
+            let contact_time = contacts.get(ci).map(|c| c.time);
+            let spec_time = specs.get(si).map(|s| s.time);
+            // Contacts precede creations at the same instant: a packet
+            // created at the moment of a meeting does not ride that meeting.
+            let take_contact = match (contact_time, spec_time) {
+                (Some(ct), Some(st)) => ct <= st,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!("loop condition"),
+            };
+
+            if take_contact {
+                let c = contacts[ci];
+                ci += 1;
+                let measured = c.time >= self.config.measure_from;
+                let mut bytes = c.bytes;
+                if let Some(noise) = &self.noise {
+                    if noise_rng.gen::<f64>() < noise.contact_failure_prob {
+                        if measured {
+                            report.contacts_failed += 1;
+                        }
+                        continue;
+                    }
+                    if noise.setup_loss_bytes_mean > 0.0 {
+                        let loss = Exponential::with_mean(noise.setup_loss_bytes_mean)
+                            .sample(&mut noise_rng) as u64;
+                        bytes = bytes.saturating_sub(loss);
+                    }
+                }
+                if measured {
+                    report.contacts += 1;
+                    report.offered_bytes += 2 * bytes;
+                }
+                let mut driver = ContactDriver::new(
+                    WorldMut {
+                        packets: &store,
+                        buffers: &mut buffers,
+                        delivered_at: &mut delivered_at,
+                        holders: &mut holders,
+                    },
+                    c.time,
+                    c.a,
+                    c.b,
+                    bytes,
+                    self.config.allow_global_knowledge,
+                );
+                routing.on_contact(&mut driver);
+                let ledger = driver.ledger();
+                if measured {
+                    report.data_bytes += ledger.data_bytes;
+                    report.metadata_bytes += ledger.metadata_bytes;
+                    report.replications += ledger.replications;
+                }
+            } else {
+                let spec = specs[si];
+                si += 1;
+                let id = PacketId(store.len() as u32);
+                let packet = Packet {
+                    id,
+                    src: spec.src,
+                    dst: spec.dst,
+                    size_bytes: spec.size_bytes,
+                    created_at: spec.time,
+                };
+                store.push(packet);
+                delivered_at.push(None);
+                holders.push(Vec::new());
+
+                let buf = &mut buffers[spec.src.index()];
+                if buf.free_bytes() < spec.size_bytes {
+                    let needed = spec.size_bytes - buf.free_bytes();
+                    let victims = routing.make_room(
+                        spec.src, &packet, needed, buf, &store, spec.time,
+                    );
+                    for v in victims {
+                        if buffers[spec.src.index()].remove(v) {
+                            let list = &mut holders[v.index()];
+                            if let Ok(pos) = list.binary_search(&spec.src) {
+                                list.remove(pos);
+                            }
+                        }
+                    }
+                }
+                if buffers[spec.src.index()].insert(id, spec.size_bytes, spec.time) {
+                    holders[id.index()].push(spec.src);
+                    entered.push(true);
+                    routing.on_packet_created(&packet);
+                } else {
+                    entered.push(false);
+                    routing.on_creation_dropped(&packet);
+                }
+            }
+        }
+
+        // Per-delivery processing latency (deployment emulation only): the
+        // routing decisions above are unaffected; only the recorded delivery
+        // timestamps shift, exactly like computation delay on a bus.
+        if let Some(noise) = &self.noise {
+            if noise.processing_delay_mean > TimeDelta::ZERO {
+                let jitter = Exponential::with_mean(noise.processing_delay_mean.as_secs_f64());
+                for slot in delivered_at.iter_mut().flatten() {
+                    *slot = *slot + TimeDelta::from_secs_f64(jitter.sample(&mut noise_rng));
+                }
+            }
+        }
+
+        let outcomes = SimReport::from_parts(
+            store
+                .iter()
+                .copied()
+                .zip(delivered_at.iter().copied())
+                .zip(entered.iter().copied())
+                .map(|((p, d), e)| (p, d, e)),
+            self.config.horizon,
+            self.config.deadline,
+        );
+        report.outcomes = outcomes.outcomes;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::Contact;
+    use crate::routing::TransferOutcome;
+    use crate::workload::{PacketSpec, Workload};
+
+    /// Minimal flooding protocol for engine tests: each side sends
+    /// everything it can, destined packets first.
+    struct Flood;
+
+    impl Routing for Flood {
+        fn name(&self) -> String {
+            "flood-test".into()
+        }
+
+        fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+            let (a, b) = driver.endpoints();
+            for from in [a, b] {
+                let to = driver.peer_of(from);
+                let mut ids = driver.buffer(from).ids();
+                // Destined packets first (direct delivery step).
+                ids.sort_by_key(|&id| driver.packets().get(id).dst != to);
+                for id in ids {
+                    match driver.try_transfer(from, id) {
+                        TransferOutcome::NoBandwidth => break,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn config(nodes: usize) -> SimConfig {
+        SimConfig {
+            nodes,
+            horizon: Time::from_secs(100),
+            ..SimConfig::default()
+        }
+    }
+
+    fn spec(t: u64, src: u32, dst: u32, size: u64) -> PacketSpec {
+        PacketSpec {
+            time: Time::from_secs(t),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            size_bytes: size,
+        }
+    }
+
+    #[test]
+    fn single_hop_delivery() {
+        let sim = Simulation::new(
+            config(2),
+            Schedule::new(vec![Contact::new(
+                Time::from_secs(10),
+                NodeId(0),
+                NodeId(1),
+                4096,
+            )]),
+            Workload::new(vec![spec(1, 0, 1, 1024)]),
+        );
+        let r = sim.run(&mut Flood);
+        assert_eq!(r.delivered(), 1);
+        assert!((r.avg_delay_secs().unwrap() - 9.0).abs() < 1e-9);
+        assert_eq!(r.data_bytes, 1024);
+        assert_eq!(r.offered_bytes, 8192);
+        assert_eq!(r.contacts, 1);
+    }
+
+    #[test]
+    fn bandwidth_limits_transfers() {
+        // Opportunity of 1 KB per direction, two 1 KB packets: one crosses.
+        let sim = Simulation::new(
+            config(2),
+            Schedule::new(vec![Contact::new(
+                Time::from_secs(10),
+                NodeId(0),
+                NodeId(1),
+                1024,
+            )]),
+            Workload::new(vec![spec(1, 0, 1, 1024), spec(2, 0, 1, 1024)]),
+        );
+        let r = sim.run(&mut Flood);
+        assert_eq!(r.delivered(), 1);
+        assert_eq!(r.data_bytes, 1024);
+    }
+
+    #[test]
+    fn two_hop_relay() {
+        // 0 meets 1, then 1 meets 2; packet 0→2 must relay through 1.
+        let sim = Simulation::new(
+            config(3),
+            Schedule::new(vec![
+                Contact::new(Time::from_secs(10), NodeId(0), NodeId(1), 4096),
+                Contact::new(Time::from_secs(20), NodeId(1), NodeId(2), 4096),
+            ]),
+            Workload::new(vec![spec(0, 0, 2, 1024)]),
+        );
+        let r = sim.run(&mut Flood);
+        assert_eq!(r.delivered(), 1);
+        assert!((r.avg_delay_secs().unwrap() - 20.0).abs() < 1e-9);
+        // One replication (0→1) plus one delivery (1→2).
+        assert_eq!(r.replications, 1);
+        assert_eq!(r.data_bytes, 2048);
+    }
+
+    #[test]
+    fn source_buffer_overflow_drops_at_creation() {
+        let cfg = SimConfig {
+            buffer_capacity: 1500,
+            ..config(2)
+        };
+        let sim = Simulation::new(
+            cfg,
+            Schedule::default(),
+            Workload::new(vec![spec(1, 0, 1, 1024), spec(2, 0, 1, 1024)]),
+        );
+        let r = sim.run(&mut Flood);
+        assert_eq!(r.created(), 2);
+        let entered: Vec<bool> = r.outcomes.iter().map(|o| o.entered_network).collect();
+        assert_eq!(entered, vec![true, false]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let build = || {
+            Simulation::new(
+                config(3),
+                Schedule::new(vec![
+                    Contact::new(Time::from_secs(5), NodeId(0), NodeId(1), 2048),
+                    Contact::new(Time::from_secs(9), NodeId(1), NodeId(2), 2048),
+                ]),
+                Workload::new(vec![spec(0, 0, 2, 1024), spec(1, 2, 0, 1024)]),
+            )
+        };
+        let r1 = build().run(&mut Flood);
+        let r2 = build().run(&mut Flood);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn contact_before_creation_at_same_instant() {
+        // The packet is created at t=10, the contact is at t=10: the packet
+        // must not ride that contact.
+        let sim = Simulation::new(
+            config(2),
+            Schedule::new(vec![Contact::new(
+                Time::from_secs(10),
+                NodeId(0),
+                NodeId(1),
+                4096,
+            )]),
+            Workload::new(vec![spec(10, 0, 1, 1024)]),
+        );
+        let r = sim.run(&mut Flood);
+        assert_eq!(r.delivered(), 0);
+    }
+
+    #[test]
+    fn noise_failure_prob_one_kills_all_contacts() {
+        let sim = Simulation::new(
+            config(2),
+            Schedule::new(vec![Contact::new(
+                Time::from_secs(10),
+                NodeId(0),
+                NodeId(1),
+                4096,
+            )]),
+            Workload::new(vec![spec(1, 0, 1, 1024)]),
+        )
+        .with_noise(NoiseModel {
+            contact_failure_prob: 1.0,
+            setup_loss_bytes_mean: 0.0,
+            processing_delay_mean: TimeDelta::ZERO,
+        });
+        let r = sim.run(&mut Flood);
+        assert_eq!(r.contacts_failed, 1);
+        assert_eq!(r.contacts, 0);
+        assert_eq!(r.delivered(), 0);
+    }
+
+    #[test]
+    fn noise_processing_delay_shifts_delivery_times() {
+        let base = Simulation::new(
+            config(2),
+            Schedule::new(vec![Contact::new(
+                Time::from_secs(10),
+                NodeId(0),
+                NodeId(1),
+                4096,
+            )]),
+            Workload::new(vec![spec(1, 0, 1, 1024)]),
+        );
+        let clean = base.clone().run(&mut Flood);
+        let noisy = base
+            .with_noise(NoiseModel {
+                contact_failure_prob: 0.0,
+                setup_loss_bytes_mean: 0.0,
+                processing_delay_mean: TimeDelta::from_secs(5),
+            })
+            .run(&mut Flood);
+        assert_eq!(noisy.delivered(), 1);
+        assert!(noisy.avg_delay_secs().unwrap() > clean.avg_delay_secs().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range_nodes() {
+        let _ = Simulation::new(
+            config(1),
+            Schedule::new(vec![Contact::new(Time::ZERO, NodeId(0), NodeId(1), 1)]),
+            Workload::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "global knowledge is disabled")]
+    fn global_view_gated() {
+        struct Peeker;
+        impl Routing for Peeker {
+            fn name(&self) -> String {
+                "peeker".into()
+            }
+            fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+                let _ = driver.global();
+            }
+        }
+        let sim = Simulation::new(
+            config(2),
+            Schedule::new(vec![Contact::new(Time::from_secs(1), NodeId(0), NodeId(1), 1)]),
+            Workload::default(),
+        );
+        let _ = sim.run(&mut Peeker);
+    }
+
+    #[test]
+    fn global_view_when_enabled() {
+        struct Checker {
+            saw_holder: bool,
+        }
+        impl Routing for Checker {
+            fn name(&self) -> String {
+                "checker".into()
+            }
+            fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+                let g = driver.global();
+                self.saw_holder = g.holders(PacketId(0)) == [NodeId(0)];
+                assert!(!g.is_delivered(PacketId(0)));
+            }
+        }
+        let cfg = SimConfig {
+            allow_global_knowledge: true,
+            ..config(2)
+        };
+        let sim = Simulation::new(
+            cfg,
+            Schedule::new(vec![Contact::new(
+                Time::from_secs(5),
+                NodeId(0),
+                NodeId(1),
+                0,
+            )]),
+            Workload::new(vec![spec(1, 0, 1, 1024)]),
+        );
+        let mut p = Checker { saw_holder: false };
+        let _ = sim.run(&mut p);
+        assert!(p.saw_holder);
+    }
+
+    #[test]
+    fn metadata_accounting() {
+        struct MetaOnly;
+        impl Routing for MetaOnly {
+            fn name(&self) -> String {
+                "meta".into()
+            }
+            fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+                let (a, b) = driver.endpoints();
+                assert_eq!(driver.charge_metadata(a, 100), 100);
+                // Over-asking is clamped to the remaining opportunity.
+                assert_eq!(driver.charge_metadata(b, 10_000), 1024);
+                assert_eq!(driver.remaining_bytes(a), 924);
+                assert_eq!(driver.remaining_bytes(b), 0);
+            }
+        }
+        let sim = Simulation::new(
+            config(2),
+            Schedule::new(vec![Contact::new(
+                Time::from_secs(5),
+                NodeId(0),
+                NodeId(1),
+                1024,
+            )]),
+            Workload::default(),
+        );
+        let r = sim.run(&mut MetaOnly);
+        assert_eq!(r.metadata_bytes, 1124);
+        assert_eq!(r.data_bytes, 0);
+        assert!((r.metadata_over_bandwidth() - 1124.0 / 2048.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn needs_space_then_evict_then_replicate() {
+        struct Evictor;
+        impl Routing for Evictor {
+            fn name(&self) -> String {
+                "evictor".into()
+            }
+            fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+                let (a, b) = driver.endpoints();
+                // b's buffer already holds p1 (created there); a holds p0.
+                let p0 = PacketId(0);
+                match driver.try_transfer(a, p0) {
+                    TransferOutcome::NeedsSpace(needed) => {
+                        assert!(needed > 0);
+                        assert!(driver.evict(b, PacketId(1)));
+                        assert_eq!(driver.try_transfer(a, p0), TransferOutcome::Replicated);
+                    }
+                    other => panic!("expected NeedsSpace, got {other:?}"),
+                }
+            }
+        }
+        let cfg = SimConfig {
+            nodes: 3,
+            buffer_capacity: 1024,
+            horizon: Time::from_secs(100),
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(
+            cfg,
+            Schedule::new(vec![Contact::new(
+                Time::from_secs(10),
+                NodeId(0),
+                NodeId(1),
+                4096,
+            )]),
+            // p0 at node 0 (dst 2 ⇒ replication, not delivery); p1 fills node 1.
+            Workload::new(vec![spec(1, 0, 2, 1024), spec(2, 1, 2, 1024)]),
+        );
+        let r = sim.run(&mut Evictor);
+        assert_eq!(r.replications, 1);
+    }
+
+    #[test]
+    fn delivered_duplicate_detected() {
+        // Node 0 and node 1 both hold p0 (via flooding), both meet node 2.
+        struct TwoSenders;
+        impl Routing for TwoSenders {
+            fn name(&self) -> String {
+                "two".into()
+            }
+            fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+                let (a, b) = driver.endpoints();
+                for from in [a, b] {
+                    for id in driver.buffer(from).ids() {
+                        let _ = driver.try_transfer(from, id);
+                    }
+                }
+            }
+        }
+        let sim = Simulation::new(
+            config(3),
+            Schedule::new(vec![
+                // 0 meets 1: replicate p0 to 1.
+                Contact::new(Time::from_secs(5), NodeId(0), NodeId(1), 4096),
+                // 0 delivers to 2.
+                Contact::new(Time::from_secs(10), NodeId(0), NodeId(2), 4096),
+                // 1 re-delivers to 2 — duplicate.
+                Contact::new(Time::from_secs(15), NodeId(1), NodeId(2), 4096),
+            ]),
+            Workload::new(vec![spec(0, 0, 2, 1024)]),
+        );
+        let r = sim.run(&mut TwoSenders);
+        assert_eq!(r.delivered(), 1);
+        assert!((r.avg_delay_secs().unwrap() - 10.0).abs() < 1e-9);
+        // 1 replication + 2 delivery transmissions crossed links.
+        assert_eq!(r.data_bytes, 3 * 1024);
+    }
+}

@@ -1,0 +1,47 @@
+//! Deterministic discrete-event DTN simulator.
+//!
+//! This crate is the substrate beneath the RAPID reproduction: the §3.1
+//! system model of *DTN Routing as a Resource Allocation Problem*
+//! (Balasubramanian, Levine, Venkataramani; SIGCOMM 2007) executed as an
+//! event-driven simulation.
+//!
+//! * A DTN is a set of nodes, a [`contact::Schedule`] of discrete transfer
+//!   opportunities `(t_e, s_e)`, and a [`workload::Workload`] of packets
+//!   `(u, v, s, t)`.
+//! * A [`routing::Routing`] implementation decides, at every opportunity,
+//!   which packets to replicate or deliver — through a
+//!   [`driver::ContactDriver`] that enforces feasibility: per-direction
+//!   bytes bounded by the opportunity, no fragmentation, buffer capacities
+//!   respected, control metadata charged in-band.
+//! * An [`engine::Simulation`] executes a run and produces a
+//!   [`report::SimReport`] with every metric the paper's evaluation uses.
+//!
+//! Design notes (following the networking guides for this workspace): the
+//! simulator is synchronous and single-threaded — simulation is CPU-bound
+//! work, so there is no async runtime; experiment harnesses parallelize at
+//! the granularity of whole runs with OS threads. All event ordering is
+//! integer microseconds ([`time::Time`]), giving bit-for-bit reproducible
+//! results for a given seed.
+
+pub mod acks;
+pub mod buffer;
+pub mod contact;
+pub mod driver;
+pub mod engine;
+pub mod noise;
+pub mod report;
+pub mod routing;
+pub mod time;
+pub mod types;
+pub mod workload;
+
+pub use acks::{AckTable, PacketSet};
+pub use buffer::{NodeBuffer, StoredMeta};
+pub use contact::{Contact, Schedule};
+pub use driver::{ContactDriver, ContactLedger, GlobalView};
+pub use engine::Simulation;
+pub use noise::NoiseModel;
+pub use report::{PacketOutcome, SimReport};
+pub use routing::{PacketStore, Routing, SimConfig, TransferOutcome};
+pub use time::{Time, TimeDelta};
+pub use types::{NodeId, Packet, PacketId};

@@ -1,0 +1,304 @@
+//! Run outcomes and the metrics the paper reports.
+//!
+//! One [`SimReport`] per run carries per-packet outcomes plus byte
+//! accounting, from which every evaluation metric is derived: average delay
+//! (Fig. 4), delivery rate (Fig. 5), maximum delay (Fig. 6), fraction
+//! delivered within deadline (Fig. 7), metadata ratios and channel
+//! utilization (Figs. 8, 9, Table 3), average delay including undelivered
+//! packets (Fig. 13) and per-group delays for the fairness CDF (Fig. 15).
+
+use crate::time::{Time, TimeDelta};
+use crate::types::{NodeId, Packet, PacketId};
+use std::collections::BTreeMap;
+
+/// Final fate of one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketOutcome {
+    /// The packet id.
+    pub id: PacketId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Size in bytes.
+    pub size_bytes: u64,
+    /// Creation time.
+    pub created_at: Time,
+    /// Delivery time, if the packet reached its destination.
+    pub delivered_at: Option<Time>,
+    /// Whether the packet entered the network at all (false = dropped at
+    /// creation because the source buffer was full).
+    pub entered_network: bool,
+}
+
+impl PacketOutcome {
+    /// Delivery delay, if delivered.
+    pub fn delay(&self) -> Option<TimeDelta> {
+        self.delivered_at.map(|d| d.since(self.created_at))
+    }
+}
+
+/// Everything measured during one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimReport {
+    /// Per-packet outcomes in creation order.
+    pub outcomes: Vec<PacketOutcome>,
+    /// Contacts that actually took place.
+    pub contacts: u64,
+    /// Contacts lost to deployment noise (radio/setup failure emulation).
+    pub contacts_failed: u64,
+    /// Total opportunity bytes offered (both directions, after noise).
+    pub offered_bytes: u64,
+    /// Payload bytes that crossed links.
+    pub data_bytes: u64,
+    /// Control metadata bytes that crossed links.
+    pub metadata_bytes: u64,
+    /// Total replications performed.
+    pub replications: u64,
+    /// End of the run; undelivered packets are charged up to here.
+    pub horizon: Time,
+    /// Deadline used for the within-deadline metric, if configured.
+    pub deadline: Option<TimeDelta>,
+}
+
+impl SimReport {
+    /// Number of packets created.
+    pub fn created(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Number of packets delivered.
+    pub fn delivered(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.delivered_at.is_some())
+            .count()
+    }
+
+    /// Fraction of created packets that were delivered (Fig. 5).
+    pub fn delivery_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.delivered() as f64 / self.created() as f64
+    }
+
+    /// Average delay of *delivered* packets, in seconds (Fig. 4).
+    /// `None` if nothing was delivered.
+    pub fn avg_delay_secs(&self) -> Option<f64> {
+        let delays: Vec<f64> = self.delivered_delays_secs();
+        if delays.is_empty() {
+            return None;
+        }
+        Some(delays.iter().sum::<f64>() / delays.len() as f64)
+    }
+
+    /// Maximum delay of delivered packets, in seconds (Fig. 6).
+    pub fn max_delay_secs(&self) -> Option<f64> {
+        self.delivered_delays_secs()
+            .into_iter()
+            .fold(None, |acc, d| Some(acc.map_or(d, |m: f64| m.max(d))))
+    }
+
+    /// Average delay including undelivered packets, which are charged their
+    /// time in the system until the horizon — the Fig. 13 / ILP objective
+    /// ("the delay of undelivered packets is set to time the packet spent in
+    /// the system").
+    pub fn avg_delay_with_undelivered_secs(&self) -> Option<f64> {
+        if self.outcomes.is_empty() {
+            return None;
+        }
+        let total: f64 = self
+            .outcomes
+            .iter()
+            .map(|o| match o.delivered_at {
+                Some(d) => d.since(o.created_at).as_secs_f64(),
+                None => self.horizon.since(o.created_at).as_secs_f64(),
+            })
+            .sum();
+        Some(total / self.outcomes.len() as f64)
+    }
+
+    /// Fraction of created packets delivered within `deadline` of creation
+    /// (Fig. 7). Uses the run's configured deadline unless one is given.
+    pub fn within_deadline_rate(&self, deadline: Option<TimeDelta>) -> f64 {
+        let Some(deadline) = deadline.or(self.deadline) else {
+            return 0.0;
+        };
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let hit = self
+            .outcomes
+            .iter()
+            .filter(|o| o.delay().is_some_and(|d| d <= deadline))
+            .count();
+        hit as f64 / self.created() as f64
+    }
+
+    /// Fraction of offered link capacity actually used, data + metadata
+    /// (Fig. 9's "% channel utilization").
+    pub fn channel_utilization(&self) -> f64 {
+        if self.offered_bytes == 0 {
+            return 0.0;
+        }
+        (self.data_bytes + self.metadata_bytes) as f64 / self.offered_bytes as f64
+    }
+
+    /// Metadata as a fraction of offered bandwidth (Table 3's
+    /// "Meta-data size / bandwidth").
+    pub fn metadata_over_bandwidth(&self) -> f64 {
+        if self.offered_bytes == 0 {
+            return 0.0;
+        }
+        self.metadata_bytes as f64 / self.offered_bytes as f64
+    }
+
+    /// Metadata as a fraction of data transmitted (Table 3's
+    /// "Meta-data size / data size", Fig. 9).
+    pub fn metadata_over_data(&self) -> f64 {
+        if self.data_bytes == 0 {
+            return 0.0;
+        }
+        self.metadata_bytes as f64 / self.data_bytes as f64
+    }
+
+    /// Delays (seconds) of delivered packets.
+    pub fn delivered_delays_secs(&self) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.delay().map(|d| d.as_secs_f64()))
+            .collect()
+    }
+
+    /// Delay samples grouped by creation instant, for the fairness analysis
+    /// of packets "created in parallel" (§6.2.5). Undelivered packets are
+    /// charged the horizon so that starvation shows up as unfairness.
+    pub fn delays_by_creation_group(&self) -> BTreeMap<Time, Vec<f64>> {
+        let mut groups: BTreeMap<Time, Vec<f64>> = BTreeMap::new();
+        for o in &self.outcomes {
+            let delay = match o.delivered_at {
+                Some(d) => d.since(o.created_at).as_secs_f64(),
+                None => self.horizon.since(o.created_at).as_secs_f64(),
+            };
+            groups.entry(o.created_at).or_default().push(delay);
+        }
+        groups
+    }
+
+    pub(crate) fn from_parts(
+        packets: impl Iterator<Item = (Packet, Option<Time>, bool)>,
+        horizon: Time,
+        deadline: Option<TimeDelta>,
+    ) -> Self {
+        let outcomes = packets
+            .map(|(p, delivered_at, entered)| PacketOutcome {
+                id: p.id,
+                src: p.src,
+                dst: p.dst,
+                size_bytes: p.size_bytes,
+                created_at: p.created_at,
+                delivered_at,
+                entered_network: entered,
+            })
+            .collect();
+        Self {
+            outcomes,
+            horizon,
+            deadline,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(created: u64, delivered: Option<u64>) -> PacketOutcome {
+        PacketOutcome {
+            id: PacketId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size_bytes: 1024,
+            created_at: Time::from_secs(created),
+            delivered_at: delivered.map(Time::from_secs),
+            entered_network: true,
+        }
+    }
+
+    fn report(outcomes: Vec<PacketOutcome>) -> SimReport {
+        SimReport {
+            outcomes,
+            horizon: Time::from_secs(100),
+            deadline: Some(TimeDelta::from_secs(10)),
+            ..SimReport::default()
+        }
+    }
+
+    #[test]
+    fn delivery_and_delay_metrics() {
+        let r = report(vec![
+            outcome(0, Some(5)),
+            outcome(0, Some(20)),
+            outcome(10, None),
+            outcome(20, Some(25)),
+        ]);
+        assert_eq!(r.created(), 4);
+        assert_eq!(r.delivered(), 3);
+        assert!((r.delivery_rate() - 0.75).abs() < 1e-12);
+        assert!((r.avg_delay_secs().unwrap() - 10.0).abs() < 1e-12); // (5+20+5)/3
+        assert!((r.max_delay_secs().unwrap() - 20.0).abs() < 1e-12);
+        // Within deadline 10s: packets with delays 5 and 5 → 2/4.
+        assert!((r.within_deadline_rate(None) - 0.5).abs() < 1e-12);
+        // Including undelivered: (5+20+90+5)/4 = 30.
+        assert!((r.avg_delay_with_undelivered_secs().unwrap() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_well_behaved() {
+        let r = SimReport::default();
+        assert_eq!(r.delivery_rate(), 0.0);
+        assert_eq!(r.avg_delay_secs(), None);
+        assert_eq!(r.max_delay_secs(), None);
+        assert_eq!(r.avg_delay_with_undelivered_secs(), None);
+        assert_eq!(r.within_deadline_rate(None), 0.0);
+        assert_eq!(r.channel_utilization(), 0.0);
+        assert_eq!(r.metadata_over_data(), 0.0);
+        assert_eq!(r.metadata_over_bandwidth(), 0.0);
+    }
+
+    #[test]
+    fn byte_ratio_metrics() {
+        let r = SimReport {
+            offered_bytes: 1000,
+            data_bytes: 300,
+            metadata_bytes: 50,
+            ..SimReport::default()
+        };
+        assert!((r.channel_utilization() - 0.35).abs() < 1e-12);
+        assert!((r.metadata_over_bandwidth() - 0.05).abs() < 1e-12);
+        assert!((r.metadata_over_data() - 50.0 / 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_groups_charge_horizon_to_undelivered() {
+        let r = report(vec![
+            outcome(0, Some(5)),
+            outcome(0, None),
+            outcome(10, Some(12)),
+        ]);
+        let groups = r.delays_by_creation_group();
+        assert_eq!(groups.len(), 2);
+        let g0 = &groups[&Time::from_secs(0)];
+        assert_eq!(g0.len(), 2);
+        assert!(g0.contains(&5.0) && g0.contains(&100.0));
+    }
+
+    #[test]
+    fn override_deadline_parameter() {
+        let r = report(vec![outcome(0, Some(5))]);
+        assert_eq!(r.within_deadline_rate(Some(TimeDelta::from_secs(1))), 0.0);
+        assert_eq!(r.within_deadline_rate(Some(TimeDelta::from_secs(5))), 1.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! The routing-protocol abstraction.
+//!
+//! A routing protocol in this model is the decision-maker the paper
+//! describes in §3.4: when two nodes meet, it chooses which packets to
+//! transfer within the opportunity, and when storage overflows it chooses
+//! what to drop. The simulator owns all state that exists "in the world"
+//! (packets, buffers, delivery facts); the protocol owns its *beliefs*
+//! (meeting histories, replica metadata, ack knowledge) and is free to be
+//! wrong about the world — exactly the situation §4.2 describes for RAPID's
+//! delayed control channel.
+
+use crate::buffer::NodeBuffer;
+use crate::driver::ContactDriver;
+use crate::time::{Time, TimeDelta};
+use crate::types::{NodeId, Packet, PacketId};
+
+/// Simulation-wide configuration shared with protocols at init.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of nodes; ids are `0..nodes`.
+    pub nodes: usize,
+    /// Per-node in-transit buffer capacity in bytes (`u64::MAX` ≈ unlimited).
+    pub buffer_capacity: u64,
+    /// Delivery deadline used by the missed-deadline metric (Table 4).
+    pub deadline: Option<TimeDelta>,
+    /// End of the run. Packets not delivered by now are lost ("packets that
+    /// are not delivered by the end of the day are lost", §6.1) and charged
+    /// `horizon − creation` delay where a metric includes undelivered packets.
+    pub horizon: Time,
+    /// Whether protocols may read true global state via
+    /// [`ContactDriver::global`]. Only the instant-global-channel variants
+    /// (§6.2.3) and Optimal enable this.
+    pub allow_global_knowledge: bool,
+    /// Root seed for protocol-internal randomness.
+    pub seed: u64,
+    /// Contacts before this instant are executed (protocols learn from
+    /// them) but excluded from the report's byte and contact accounting —
+    /// used for warm-up windows that precede the measured experiment.
+    pub measure_from: Time,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 0,
+            buffer_capacity: u64::MAX,
+            deadline: None,
+            horizon: Time::from_hours(19),
+            allow_global_knowledge: false,
+            seed: 0,
+            measure_from: Time::ZERO,
+        }
+    }
+}
+
+/// Result of [`ContactDriver::try_transfer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferOutcome {
+    /// The peer was the destination and this was the first delivery.
+    Delivered,
+    /// The peer was the destination but the packet had already been
+    /// delivered by some other replica (bandwidth was still spent).
+    DeliveredDuplicate,
+    /// A replica was stored at the peer.
+    Replicated,
+    /// The peer already holds a replica; nothing was sent.
+    AlreadyHeld,
+    /// The remaining opportunity in this direction is smaller than the
+    /// packet (packets may not be fragmented, §3.1).
+    NoBandwidth,
+    /// The peer's buffer needs this many more free bytes; the caller may
+    /// evict victims with [`ContactDriver::evict`] and retry.
+    NeedsSpace(u64),
+}
+
+impl TransferOutcome {
+    /// Whether bytes moved across the link.
+    pub fn consumed_bandwidth(&self) -> bool {
+        matches!(
+            self,
+            TransferOutcome::Delivered
+                | TransferOutcome::DeliveredDuplicate
+                | TransferOutcome::Replicated
+        )
+    }
+}
+
+/// A DTN routing protocol.
+///
+/// Implementations drive all packet movement through the [`ContactDriver`]
+/// given to [`Routing::on_contact`]; the engine enforces feasibility (per
+/// §3.1: total bytes per opportunity bounded by its size, buffers bounded by
+/// capacity) regardless of what the protocol asks for.
+pub trait Routing {
+    /// Human-readable protocol name (used in reports and experiment output).
+    fn name(&self) -> String;
+
+    /// Called once before the run with the node count and configuration.
+    fn on_init(&mut self, _config: &SimConfig) {}
+
+    /// Called when `packet` has been created and stored at its source.
+    fn on_packet_created(&mut self, _packet: &Packet) {}
+
+    /// Called when a packet could not be stored at its source because the
+    /// buffer was full even after [`Routing::make_room`].
+    fn on_creation_dropped(&mut self, _packet: &Packet) {}
+
+    /// Invoked when `incoming` (created at `node`) needs `needed` more free
+    /// bytes at `node`. Returns the victims to evict; returning fewer bytes
+    /// than `needed` rejects the incoming packet.
+    ///
+    /// The default rejects the incoming packet (drops nothing).
+    fn make_room(
+        &mut self,
+        _node: NodeId,
+        _incoming: &Packet,
+        _needed: u64,
+        _buffer: &NodeBuffer,
+        _packets: &PacketStore,
+        _now: Time,
+    ) -> Vec<PacketId> {
+        Vec::new()
+    }
+
+    /// The heart of the protocol: a transfer opportunity between two nodes.
+    fn on_contact(&mut self, driver: &mut ContactDriver<'_>);
+}
+
+/// The immutable packet arena: every packet ever created this run, indexed
+/// by [`PacketId`].
+#[derive(Debug, Default, Clone)]
+pub struct PacketStore {
+    packets: Vec<Packet>,
+}
+
+impl PacketStore {
+    /// Looks up a packet.
+    ///
+    /// # Panics
+    /// If the id is out of range (a protocol invented an id).
+    pub fn get(&self, id: PacketId) -> &Packet {
+        &self.packets[id.index()]
+    }
+
+    /// Number of packets created so far.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether no packets exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// All packets, in creation (id) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Packet> {
+        self.packets.iter()
+    }
+
+    pub(crate) fn push(&mut self, packet: Packet) {
+        debug_assert_eq!(packet.id.index(), self.packets.len());
+        self.packets.push(packet);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_bandwidth_classification() {
+        assert!(TransferOutcome::Delivered.consumed_bandwidth());
+        assert!(TransferOutcome::DeliveredDuplicate.consumed_bandwidth());
+        assert!(TransferOutcome::Replicated.consumed_bandwidth());
+        assert!(!TransferOutcome::AlreadyHeld.consumed_bandwidth());
+        assert!(!TransferOutcome::NoBandwidth.consumed_bandwidth());
+        assert!(!TransferOutcome::NeedsSpace(5).consumed_bandwidth());
+    }
+
+    #[test]
+    fn packet_store_roundtrip() {
+        let mut s = PacketStore::default();
+        assert!(s.is_empty());
+        s.push(Packet {
+            id: PacketId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size_bytes: 10,
+            created_at: Time::ZERO,
+        });
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(PacketId(0)).dst, NodeId(1));
+        assert_eq!(s.iter().count(), 1);
+    }
+
+    #[test]
+    fn default_config_is_unconstrained() {
+        let c = SimConfig::default();
+        assert_eq!(c.buffer_capacity, u64::MAX);
+        assert!(!c.allow_global_knowledge);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the simulator's data structures, against simple
+//! reference models.
+
+use dtn_sim::{AckTable, NodeBuffer, NodeId, PacketId, PacketSet, Time};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone)]
+enum BufOp {
+    Insert(u32, u64),
+    Remove(u32),
+}
+
+fn buf_ops() -> impl Strategy<Value = Vec<BufOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..50, 1u64..2_000).prop_map(|(id, s)| BufOp::Insert(id, s)),
+            (0u32..50).prop_map(BufOp::Remove),
+        ],
+        1..100,
+    )
+}
+
+proptest! {
+    #[test]
+    fn buffer_accounting_matches_model(ops in buf_ops(), cap in 1_000u64..50_000) {
+        let mut buf = NodeBuffer::new(cap);
+        let mut model: std::collections::BTreeMap<u32, u64> = Default::default();
+        for (step, op) in ops.into_iter().enumerate() {
+            match op {
+                BufOp::Insert(id, size) => {
+                    let fits = !model.contains_key(&id)
+                        && model.values().sum::<u64>() + size <= cap;
+                    let ok = buf.insert(PacketId(id), size, Time::from_secs(step as u64));
+                    prop_assert_eq!(ok, fits, "insert outcome mismatch");
+                    if ok {
+                        model.insert(id, size);
+                    }
+                }
+                BufOp::Remove(id) => {
+                    let ok = buf.remove(PacketId(id));
+                    prop_assert_eq!(ok, model.remove(&id).is_some());
+                }
+            }
+            prop_assert_eq!(buf.used_bytes(), model.values().sum::<u64>());
+            prop_assert_eq!(buf.len(), model.len());
+            prop_assert_eq!(buf.free_bytes(), cap - buf.used_bytes());
+            let ids: Vec<u32> = buf.ids().iter().map(|p| p.0).collect();
+            let expect: Vec<u32> = model.keys().copied().collect();
+            prop_assert_eq!(ids, expect, "id-ordered iteration");
+        }
+    }
+
+    #[test]
+    fn packet_set_matches_btreeset(inserts in prop::collection::vec(0u32..500, 1..200)) {
+        let mut set = PacketSet::new();
+        let mut model = BTreeSet::new();
+        for id in &inserts {
+            prop_assert_eq!(set.insert(PacketId(*id)), model.insert(*id));
+        }
+        prop_assert_eq!(set.len(), model.len());
+        let got: Vec<u32> = set.iter().map(|p| p.0).collect();
+        let expect: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(got, expect);
+        for probe in 0u32..500 {
+            prop_assert_eq!(set.contains(PacketId(probe)), model.contains(&probe));
+        }
+    }
+
+    #[test]
+    fn ack_exchange_reaches_fixed_point(
+        learns in prop::collection::vec((0u32..4, 0u32..100), 1..60),
+    ) {
+        let mut t = AckTable::new(4);
+        for &(node, pkt) in &learns {
+            t.learn(NodeId(node), PacketId(pkt));
+        }
+        // A full gossip round among all pairs...
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                let _ = t.exchange(NodeId(a), NodeId(b));
+            }
+        }
+        // ...then every further exchange moves nothing (fixed point), and
+        // every node knows every learned packet.
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                prop_assert_eq!(t.exchange(NodeId(a), NodeId(b)), (0, 0));
+            }
+        }
+        for &(_, pkt) in &learns {
+            for node in 0..4u32 {
+                prop_assert!(t.knows(NodeId(node), PacketId(pkt)));
+            }
+        }
+    }
+}

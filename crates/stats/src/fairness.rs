@@ -1,0 +1,66 @@
+//! Jain's fairness index (§6.2.5, Fig. 15).
+//!
+//! The paper evaluates whether RAPID's resource allocation is fair to packets
+//! created in parallel by computing Jain's index over their delays: an index
+//! of 1 means all parallel packets saw identical delay, `1/n` means one
+//! packet hogged the allocation.
+
+/// Jain's fairness index: `(Σ xᵢ)² / (n · Σ xᵢ²)`.
+///
+/// Values lie in `[1/n, 1]`. Returns 1.0 for an all-zero vector (everything
+/// is equally — perfectly — served), and panics on an empty slice because an
+/// index over no flows is meaningless.
+pub fn jain_index(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "fairness index of an empty set");
+    assert!(
+        values.iter().all(|v| *v >= 0.0 && v.is_finite()),
+        "fairness index requires non-negative finite values"
+    );
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_are_perfectly_fair() {
+        assert!((jain_index(&[3.0, 3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_hog_hits_lower_bound() {
+        let idx = jain_index(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_is_fair() {
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let a = jain_index(&[1.0, 2.0, 3.0]);
+        let b = jain_index(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_hold() {
+        let xs = [0.1, 5.0, 2.0, 9.0, 4.4];
+        let idx = jain_index(&xs);
+        assert!(idx >= 1.0 / xs.len() as f64 && idx <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        let _ = jain_index(&[]);
+    }
+}

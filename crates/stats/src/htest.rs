@@ -1,0 +1,147 @@
+//! Hypothesis testing: paired t-test and the Student-t distribution.
+//!
+//! §6.2.1: "we performed a paired t-test to compare the average delay of
+//! every source-destination pair using RAPID to the average delay of the same
+//! source-destination pair using MaxProp ... we found p-values always less
+//! than 0.0005". The experiment harness reproduces that table-side claim, so
+//! the test itself is part of the substrate.
+
+use crate::special::beta_inc;
+
+/// Result of a paired t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic (sign follows `a - b`).
+    pub t: f64,
+    /// Degrees of freedom (`n − 1`).
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_two_sided: f64,
+    /// Mean of the pairwise differences `a − b`.
+    pub mean_diff: f64,
+}
+
+/// CDF of the Student-t distribution with `df` degrees of freedom.
+///
+/// Uses the identity `P(T ≤ t) = 1 − I_x(df/2, 1/2) / 2` for `t ≥ 0` with
+/// `x = df / (df + t²)`.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if t.is_nan() {
+        return f64::NAN;
+    }
+    let x = df / (df + t * t);
+    let tail = 0.5 * beta_inc(df / 2.0, 0.5, x);
+    if t >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+/// Paired t-test over two equally long samples.
+///
+/// Returns `None` when fewer than two pairs exist or when all differences
+/// are identical with zero variance *and* zero mean (no information). When
+/// variance is zero but the mean difference is not, the difference is
+/// deterministic and the p-value is reported as 0.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
+    assert_eq!(a.len(), b.len(), "paired test needs equal-length samples");
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let mean = diffs.iter().sum::<f64>() / n as f64;
+    let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n as f64 - 1.0);
+    let df = n as f64 - 1.0;
+    if var == 0.0 {
+        if mean == 0.0 {
+            return None;
+        }
+        return Some(TTestResult {
+            t: f64::INFINITY * mean.signum(),
+            df,
+            p_two_sided: 0.0,
+            mean_diff: mean,
+        });
+    }
+    let se = (var / n as f64).sqrt();
+    let t = mean / se;
+    let p = 2.0 * (1.0 - student_t_cdf(t.abs(), df));
+    Some(TTestResult {
+        t,
+        df,
+        p_two_sided: p.clamp(0.0, 1.0),
+        mean_diff: mean,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} !~ {b} (tol {tol})");
+    }
+
+    #[test]
+    fn t_cdf_symmetry_and_median() {
+        close(student_t_cdf(0.0, 5.0), 0.5, 1e-12);
+        for &t in &[0.3, 1.0, 2.5] {
+            close(
+                student_t_cdf(t, 7.0) + student_t_cdf(-t, 7.0),
+                1.0,
+                1e-10,
+            );
+        }
+    }
+
+    #[test]
+    fn t_cdf_reference_values() {
+        // Classic table values: t_{0.975, 10} = 2.228, t_{0.975, 1} = 12.706.
+        close(student_t_cdf(2.228, 10.0), 0.975, 5e-4);
+        close(student_t_cdf(12.706, 1.0), 0.975, 5e-4);
+        // Large df approaches the normal: Φ(1.96) ≈ 0.975.
+        close(student_t_cdf(1.96, 10_000.0), 0.975, 1e-3);
+    }
+
+    #[test]
+    fn paired_test_detects_consistent_difference() {
+        let a = [10.0, 12.0, 9.0, 11.0, 10.5, 12.5, 9.5, 11.5];
+        let b: Vec<f64> = a.iter().map(|x| x - 2.0).collect();
+        // Perfectly constant difference: deterministic, p = 0.
+        let r = paired_t_test(&a, &b).unwrap();
+        assert_eq!(r.p_two_sided, 0.0);
+        close(r.mean_diff, 2.0, 1e-12);
+    }
+
+    #[test]
+    fn paired_test_with_noise() {
+        let a = [10.0, 12.0, 9.0, 11.0, 10.5, 12.5, 9.5, 11.5];
+        let b = [8.2, 9.7, 7.1, 9.2, 8.6, 10.4, 7.4, 9.8];
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!(r.t > 10.0, "t = {}", r.t);
+        assert!(r.p_two_sided < 1e-5, "p = {}", r.p_two_sided);
+    }
+
+    #[test]
+    fn identical_samples_give_no_result() {
+        let a = [1.0, 2.0, 3.0];
+        assert!(paired_t_test(&a, &a).is_none());
+    }
+
+    #[test]
+    fn no_difference_is_insignificant() {
+        // Differences that fluctuate around zero should not be significant.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [1.1, 1.9, 3.1, 3.9, 5.1, 5.9];
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!(r.p_two_sided > 0.5, "p = {}", r.p_two_sided);
+    }
+
+    #[test]
+    fn too_few_pairs() {
+        assert!(paired_t_test(&[1.0], &[2.0]).is_none());
+    }
+}

@@ -1,0 +1,358 @@
+//! Random variate sampling: exponential, gamma, normal, log-normal, Poisson,
+//! Pareto.
+//!
+//! The paper's workloads and mobility models are built from these
+//! distributions: exponential inter-meeting and inter-arrival times (§4.1.1,
+//! §5.1), gamma delays for multi-meeting delivery (§4.1.1), power-law /
+//! heavy-tailed popularity skews (§6.3), and log-normal transfer-opportunity
+//! sizes in the DieselNet substitute (bus contact bandwidth is highly
+//! variable, §6.2.2). Only `rand`'s uniform source is used underneath.
+
+use rand::Rng;
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "rate must be positive");
+        Self { lambda }
+    }
+
+    /// Creates an exponential with the given mean (`1/lambda`).
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive");
+        Self { lambda: 1.0 / mean }
+    }
+
+    /// Rate parameter λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Mean `1/λ`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    /// Draws one variate by inverse-CDF: `-ln(U)/λ`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // `gen::<f64>()` is in [0,1); flip to (0,1] to avoid ln(0).
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.lambda
+    }
+
+    /// CDF `P(X ≤ t) = 1 − e^{−λt}`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.lambda * t).exp()
+        }
+    }
+}
+
+/// Gamma distribution with shape `k` and rate `lambda`
+/// (mean `k/λ`).
+///
+/// In Estimate Delay (§4.1.1), the time for a node to meet the destination
+/// `⌈b(i)/B⌉` times is gamma with integer shape; the general-shape sampler
+/// (Marsaglia–Tsang) is included for the mobility substrates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    rate: f64,
+}
+
+impl Gamma {
+    /// Creates a gamma with `shape > 0` and `rate > 0`.
+    pub fn new(shape: f64, rate: f64) -> Self {
+        assert!(shape > 0.0 && shape.is_finite(), "shape must be positive");
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        Self { shape, rate }
+    }
+
+    /// Shape parameter k.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Mean `k/λ`.
+    pub fn mean(&self) -> f64 {
+        self.shape / self.rate
+    }
+
+    /// Draws one variate.
+    ///
+    /// Integer shapes ≤ 32 use the exact sum-of-exponentials construction
+    /// (this is the case Estimate Delay reasons about); otherwise
+    /// Marsaglia–Tsang with a boost for shape < 1.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let k = self.shape;
+        if k.fract() == 0.0 && k <= 32.0 {
+            let exp = Exponential::new(self.rate);
+            return (0..k as u32).map(|_| exp.sample(rng)).sum();
+        }
+        if k < 1.0 {
+            // Boost: X ~ Gamma(k+1), then X * U^{1/k}.
+            let g = Gamma::new(k + 1.0, self.rate).sample(rng);
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            return g * u.powf(1.0 / k);
+        }
+        // Marsaglia–Tsang squeeze method.
+        let d = k - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = Normal::standard().sample(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v / self.rate;
+            }
+        }
+    }
+}
+
+/// Normal distribution (Box–Muller polar sampling).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates a normal with the given mean and standard deviation `sd ≥ 0`.
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(sd >= 0.0 && sd.is_finite(), "sd must be non-negative");
+        Self { mean, sd }
+    }
+
+    /// Standard normal N(0, 1).
+    pub fn standard() -> Self {
+        Self { mean: 0.0, sd: 1.0 }
+    }
+
+    /// Draws one variate (Marsaglia polar method; one of the pair is kept).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let v: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mean + self.sd * u * factor;
+            }
+        }
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with underlying normal parameters `mu`, `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        Self {
+            norm: Normal::new(mu, sigma),
+        }
+    }
+
+    /// Creates a log-normal with the given *distribution* mean and the given
+    /// sigma of the underlying normal; solves `mu = ln(mean) − sigma²/2`.
+    pub fn with_mean(mean: f64, sigma: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        Self::new(mean.ln() - sigma * sigma / 2.0, sigma)
+    }
+
+    /// Draws one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Pareto (power-law) distribution with scale `x_min` and exponent `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto with `x_min > 0` and `alpha > 0`.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0 && alpha > 0.0, "parameters must be positive");
+        Self { x_min, alpha }
+    }
+
+    /// Draws one variate by inverse-CDF.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Poisson distribution with mean `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson with mean `lambda > 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "mean must be positive");
+        Self { lambda }
+    }
+
+    /// Draws one variate. Knuth's product method for small λ; for λ > 30 a
+    /// normal approximation with continuity correction (adequate for
+    /// workload counts, which is the only large-λ use here).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda <= 30.0 {
+            let limit = (-self.lambda).exp();
+            let mut product: f64 = rng.gen();
+            let mut count = 0u64;
+            while product > limit {
+                product *= rng.gen::<f64>();
+                count += 1;
+            }
+            count
+        } else {
+            let n = Normal::new(self.lambda, self.lambda.sqrt()).sample(rng);
+            n.round().max(0.0) as u64
+        }
+    }
+}
+
+/// Generates the event times of a Poisson process with rate `rate` over
+/// `[0, horizon)`, in increasing order.
+pub fn poisson_process<R: Rng + ?Sized>(rate: f64, horizon: f64, rng: &mut R) -> Vec<f64> {
+    assert!(rate >= 0.0 && horizon >= 0.0);
+    let mut events = Vec::new();
+    if rate == 0.0 {
+        return events;
+    }
+    let gap = Exponential::new(rate);
+    let mut t = gap.sample(rng);
+    while t < horizon {
+        events.push(t);
+        t += gap.sample(rng);
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream;
+
+    fn sample_mean(mut f: impl FnMut() -> f64, n: usize) -> f64 {
+        (0..n).map(|_| f()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_and_cdf() {
+        let mut rng = stream(1, "exp");
+        let d = Exponential::with_mean(5.0);
+        let m = sample_mean(|| d.sample(&mut rng), 40_000);
+        assert!((m - 5.0).abs() < 0.15, "mean {m}");
+        assert!((d.cdf(5.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(d.cdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn gamma_integer_shape_mean() {
+        let mut rng = stream(2, "gamma");
+        let d = Gamma::new(4.0, 2.0); // mean 2.0
+        let m = sample_mean(|| d.sample(&mut rng), 40_000);
+        assert!((m - 2.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn gamma_fractional_shape_mean() {
+        let mut rng = stream(3, "gamma2");
+        let d = Gamma::new(2.5, 1.0);
+        let m = sample_mean(|| d.sample(&mut rng), 60_000);
+        assert!((m - 2.5).abs() < 0.12, "mean {m}");
+        let d = Gamma::new(0.5, 1.0);
+        let m = sample_mean(|| d.sample(&mut rng), 60_000);
+        assert!((m - 0.5).abs() < 0.06, "mean {m}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = stream(4, "norm");
+        let d = Normal::new(3.0, 2.0);
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        assert!((m - 3.0).abs() < 0.08, "mean {m}");
+        assert!((v - 4.0).abs() < 0.25, "var {v}");
+    }
+
+    #[test]
+    fn lognormal_with_mean_hits_mean() {
+        let mut rng = stream(5, "logn");
+        let d = LogNormal::with_mean(10.0, 0.8);
+        let m = sample_mean(|| d.sample(&mut rng), 80_000);
+        assert!((m - 10.0).abs() < 0.5, "mean {m}");
+    }
+
+    #[test]
+    fn pareto_respects_minimum() {
+        let mut rng = stream(6, "pareto");
+        let d = Pareto::new(2.0, 3.0);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 2.0);
+        }
+        // mean = alpha*x_min/(alpha-1) = 3.0 for these parameters.
+        let m = sample_mean(|| d.sample(&mut rng), 60_000);
+        assert!((m - 3.0).abs() < 0.2, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut rng = stream(7, "poisson");
+        let d = Poisson::new(3.5);
+        let m = sample_mean(|| d.sample(&mut rng) as f64, 40_000);
+        assert!((m - 3.5).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal() {
+        let mut rng = stream(8, "poisson-large");
+        let d = Poisson::new(200.0);
+        let m = sample_mean(|| d.sample(&mut rng) as f64, 20_000);
+        assert!((m - 200.0).abs() < 1.0, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_process_count_matches_rate() {
+        let mut rng = stream(9, "pp");
+        let mut total = 0usize;
+        for _ in 0..200 {
+            let ev = poisson_process(0.5, 100.0, &mut rng);
+            assert!(ev.windows(2).all(|w| w[0] <= w[1]));
+            assert!(ev.iter().all(|&t| t >= 0.0 && t < 100.0));
+            total += ev.len();
+        }
+        let mean = total as f64 / 200.0;
+        assert!((mean - 50.0).abs() < 2.0, "mean count {mean}");
+    }
+
+    #[test]
+    fn poisson_process_zero_rate_is_empty() {
+        let mut rng = stream(10, "pp0");
+        assert!(poisson_process(0.0, 100.0, &mut rng).is_empty());
+    }
+}

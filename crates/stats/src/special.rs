@@ -1,0 +1,185 @@
+//! Special functions: log-gamma and the regularized incomplete beta function.
+//!
+//! These are the numeric core behind the Student-t CDF used by the paired
+//! t-test (§6.2.1 compares RAPID and MaxProp per source–destination pair and
+//! reports p < 0.0005). Implementations follow the classic Lanczos and
+//! continued-fraction formulations; accuracy is ~1e-10 over the parameter
+//! ranges exercised here, verified against known values in the tests.
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
+///
+/// Valid for `x > 0`. Relative error is below 1e-10 on the tested range.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Coefficients for g = 7 (Numerical Recipes / Boost-style Lanczos).
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy near zero.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// Computed with the Lentz continued-fraction expansion, using the symmetry
+/// `I_x(a,b) = 1 − I_{1−x}(b,a)` to stay in the rapidly-converging region.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta_inc requires a,b > 0");
+    assert!((0.0..=1.0).contains(&x), "beta_inc requires x in [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta function (modified Lentz).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Error function, Abramowitz & Stegun 7.1.26 rational approximation.
+///
+/// Max absolute error ≈ 1.5e-7, sufficient for workload-shaping uses; the
+/// hypothesis tests use [`beta_inc`] rather than `erf`.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} !~ {b} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_integers_match_factorials() {
+        // Γ(n) = (n-1)!
+        let mut fact = 1.0_f64;
+        for n in 1..15u32 {
+            if n > 1 {
+                fact *= f64::from(n - 1);
+            }
+            close(ln_gamma(f64::from(n)), fact.ln(), 1e-9);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π
+        close(ln_gamma(0.5), 0.5 * std::f64::consts::PI.ln(), 1e-10);
+    }
+
+    #[test]
+    fn beta_inc_uniform_case() {
+        // I_x(1,1) = x
+        for &x in &[0.0, 0.1, 0.3, 0.5, 0.77, 1.0] {
+            close(beta_inc(1.0, 1.0, x), x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_inc_symmetry() {
+        for &(a, b, x) in &[(2.0, 3.0, 0.25), (5.5, 1.5, 0.6), (10.0, 10.0, 0.5)] {
+            close(beta_inc(a, b, x), 1.0 - beta_inc(b, a, 1.0 - x), 1e-10);
+        }
+    }
+
+    #[test]
+    fn beta_inc_known_value() {
+        // I_0.5(2,2) = 0.5 by symmetry; I_0.25(2,2) = 3x² − 2x³ at x=0.25.
+        close(beta_inc(2.0, 2.0, 0.5), 0.5, 1e-12);
+        let x: f64 = 0.25;
+        close(beta_inc(2.0, 2.0, x), 3.0 * x * x - 2.0 * x * x * x, 1e-10);
+    }
+
+    #[test]
+    fn erf_reference_points() {
+        close(erf(0.0), 0.0, 1e-6);
+        close(erf(1.0), 0.842_700_79, 1e-6);
+        close(erf(-1.0), -0.842_700_79, 1e-6);
+        close(erf(2.0), 0.995_322_26, 1e-6);
+    }
+}

@@ -1,0 +1,226 @@
+//! Summary statistics: Welford accumulation, percentiles, confidence
+//! intervals.
+//!
+//! Used by the experiment harness: per-day delay averages with 95% CIs for
+//! the simulator validation (Fig. 3 error bars, "within 1% with 95%
+//! confidence"), per-load aggregation across runs for every other figure.
+
+use crate::htest::student_t_cdf;
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds a summary from a slice.
+    pub fn of(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.observe(v);
+        }
+        s
+    }
+
+    /// Incorporates one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another summary into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Sample variance (n−1 denominator), or `None` with fewer than 2 points.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count as f64 - 1.0))
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Minimum observed value, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observed value, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Half-width of the 95% confidence interval on the mean, or `None`
+    /// with fewer than 2 points.
+    pub fn ci95_half_width(&self) -> Option<f64> {
+        let sd = self.std_dev()?;
+        let n = self.count as f64;
+        let t = t_quantile_975(n - 1.0);
+        Some(t * sd / n.sqrt())
+    }
+}
+
+/// Percentile (0–100) by linear interpolation on a copy of the data.
+///
+/// Panics on an empty slice or a percentile outside `[0, 100]`.
+pub fn percentile(values: &[f64], pct: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of an empty set");
+    assert!((0.0..=100.0).contains(&pct), "percentile out of range");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = pct / 100.0 * (sorted.len() as f64 - 1.0);
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Mean and half-width of the 95% CI for a sample; `None` for < 2 points.
+pub fn mean_ci95(values: &[f64]) -> Option<(f64, f64)> {
+    let s = Summary::of(values);
+    Some((s.mean()?, s.ci95_half_width()?))
+}
+
+/// 97.5% quantile of the Student-t with `df` degrees of freedom, found by
+/// bisection on the CDF (fast enough for reporting paths; df ≥ 1).
+fn t_quantile_975(df: f64) -> f64 {
+    assert!(df >= 1.0, "need at least 2 observations");
+    let (mut lo, mut hi) = (0.0f64, 700.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if student_t_cdf(mid, df) < 0.975 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} !~ {b} (tol {tol})");
+    }
+
+    #[test]
+    fn welford_matches_direct_formulas() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::of(&xs);
+        close(s.mean().unwrap(), 5.0, 1e-12);
+        // Sample variance with n-1 = 7: Σ(x-5)² = 32 → 32/7.
+        close(s.variance().unwrap(), 32.0 / 7.0, 1e-12);
+        assert_eq!(s.min().unwrap(), 2.0);
+        assert_eq!(s.max().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 3.0, 9.0, 4.0];
+        let mut a = Summary::of(&xs[..3]);
+        let b = Summary::of(&xs[3..]);
+        a.merge(&b);
+        let full = Summary::of(&xs);
+        close(a.mean().unwrap(), full.mean().unwrap(), 1e-12);
+        close(a.variance().unwrap(), full.variance().unwrap(), 1e-10);
+        assert_eq!(a.count(), full.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_noop() {
+        let mut a = Summary::of(&[1.0, 2.0]);
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        close(percentile(&xs, 0.0), 1.0, 1e-12);
+        close(percentile(&xs, 100.0), 4.0, 1e-12);
+        close(percentile(&xs, 50.0), 2.5, 1e-12);
+    }
+
+    #[test]
+    fn t_quantile_reference() {
+        close(t_quantile_975(10.0), 2.228, 2e-3);
+        close(t_quantile_975(1.0), 12.706, 2e-2);
+        close(t_quantile_975(1e6), 1.96, 2e-3);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let narrow: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let wide: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let (_, ci_narrow) = mean_ci95(&narrow).unwrap();
+        let (_, ci_wide) = mean_ci95(&wide).unwrap();
+        assert!(ci_narrow < ci_wide);
+    }
+
+    #[test]
+    fn empty_and_singleton_behaviour() {
+        assert_eq!(Summary::new().mean(), None);
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.variance(), None);
+        assert!(mean_ci95(&[1.0]).is_none());
+    }
+}

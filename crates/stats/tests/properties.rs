@@ -1,0 +1,92 @@
+//! Property tests for the statistics substrate.
+
+use dtn_stats::{jain_index, mean_ci95, paired_t_test, percentile, DiscreteDist, Summary};
+use proptest::prelude::*;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn summary_merge_equals_sequential(xs in finite_vec(200), split in 0usize..200) {
+        let k = split.min(xs.len());
+        let mut left = Summary::of(&xs[..k]);
+        let right = Summary::of(&xs[k..]);
+        left.merge(&right);
+        let full = Summary::of(&xs);
+        prop_assert_eq!(left.count(), full.count());
+        prop_assert!((left.mean().unwrap() - full.mean().unwrap()).abs() < 1e-6);
+        if xs.len() > 1 {
+            prop_assert!(
+                (left.variance().unwrap() - full.variance().unwrap()).abs()
+                    < 1e-3 * full.variance().unwrap().max(1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_is_bounded_and_monotone(xs in finite_vec(100), p in 0.0f64..100.0) {
+        let lo = percentile(&xs, 0.0);
+        let hi = percentile(&xs, 100.0);
+        let v = percentile(&xs, p);
+        prop_assert!(v >= lo && v <= hi);
+        let v2 = percentile(&xs, (p + 10.0).min(100.0));
+        prop_assert!(v2 + 1e-12 >= v);
+    }
+
+    #[test]
+    fn jain_index_bounds(xs in finite_vec(50)) {
+        let j = jain_index(&xs);
+        prop_assert!(j <= 1.0 + 1e-12);
+        prop_assert!(j >= 1.0 / xs.len() as f64 - 1e-12);
+    }
+
+    #[test]
+    fn ci_contains_mean_of_constant_data(x in 0.0f64..1e3, n in 2usize..40) {
+        let xs = vec![x; n];
+        let (mean, ci) = mean_ci95(&xs).unwrap();
+        prop_assert!((mean - x).abs() < 1e-9);
+        prop_assert!(ci.abs() < 1e-9, "constant data has zero-width CI");
+    }
+
+    #[test]
+    fn paired_t_test_is_antisymmetric(
+        a in prop::collection::vec(0.0f64..100.0, 3..30),
+        noise in prop::collection::vec(-5.0f64..5.0, 30),
+    ) {
+        let b: Vec<f64> = a.iter().zip(&noise).map(|(x, n)| x + n).collect();
+        if let (Some(ab), Some(ba)) = (paired_t_test(&a, &b), paired_t_test(&b, &a)) {
+            prop_assert!((ab.t + ba.t).abs() < 1e-9 || (ab.t.is_infinite() && ba.t.is_infinite()));
+            prop_assert!((ab.p_two_sided - ba.p_two_sided).abs() < 1e-9);
+            prop_assert!((ab.mean_diff + ba.mean_diff).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dist_min_never_exceeds_inputs(l1 in 0.01f64..2.0, l2 in 0.01f64..2.0) {
+        let a = DiscreteDist::exponential(l1, 800, 0.05);
+        let b = DiscreteDist::exponential(l2, 800, 0.05);
+        let m = a.min_with(&b);
+        prop_assert!(m.mean() <= a.mean() + 1e-9);
+        prop_assert!(m.mean() <= b.mean() + 1e-9);
+        // CDF dominance: the min is stochastically smaller.
+        for t in [0.5f64, 2.0, 10.0] {
+            prop_assert!(m.cdf_at(t) + 1e-12 >= a.cdf_at(t));
+            prop_assert!(m.cdf_at(t) + 1e-12 >= b.cdf_at(t));
+        }
+    }
+
+    #[test]
+    fn dist_convolution_adds_means(l1 in 0.2f64..2.0, l2 in 0.2f64..2.0) {
+        // Generous grid so tail loss is negligible for these rates.
+        let a = DiscreteDist::exponential(l1, 4000, 0.05);
+        let b = DiscreteDist::exponential(l2, 4000, 0.05);
+        let c = a.convolve(&b);
+        let expect = 1.0 / l1 + 1.0 / l2;
+        prop_assert!(
+            (c.mean() - expect).abs() < 0.15 * expect,
+            "mean {} vs {}", c.mean(), expect
+        );
+    }
+}

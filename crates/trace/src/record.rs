@@ -1,0 +1,100 @@
+//! Trace record types.
+
+/// One transfer opportunity: nodes `a` and `b` meet at `time_us` into `day`
+/// and can exchange up to `bytes` in each direction.
+///
+/// This is the paper's directed-multigraph edge annotated `(t_e, s_e)`
+/// (§3.1); the reproduction stores one record per meeting and expands it to a
+/// symmetric opportunity at simulation time, matching the deployment where a
+/// discovered connection is merged "into one connection event" (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContactRecord {
+    /// Day index within the trace (the paper treats each day separately).
+    pub day: u32,
+    /// Microseconds from the start of the day.
+    pub time_us: u64,
+    /// First endpoint.
+    pub a: u32,
+    /// Second endpoint (≠ `a`).
+    pub b: u32,
+    /// Transfer opportunity size in bytes, per direction.
+    pub bytes: u64,
+}
+
+/// One packet creation: the workload tuple `(u, v, s, t)` of §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketRecord {
+    /// Day index within the trace.
+    pub day: u32,
+    /// Microseconds from the start of the day.
+    pub time_us: u64,
+    /// Source node.
+    pub src: u32,
+    /// Destination node (≠ `src`).
+    pub dst: u32,
+    /// Packet size in bytes.
+    pub bytes: u64,
+}
+
+/// A trace record: contact or packet creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Record {
+    /// A transfer opportunity.
+    Contact(ContactRecord),
+    /// A packet creation.
+    Packet(PacketRecord),
+}
+
+impl Record {
+    /// Day of this record.
+    pub fn day(&self) -> u32 {
+        match self {
+            Record::Contact(c) => c.day,
+            Record::Packet(p) => p.day,
+        }
+    }
+
+    /// Time of this record in microseconds from the start of its day.
+    pub fn time_us(&self) -> u64 {
+        match self {
+            Record::Contact(c) => c.time_us,
+            Record::Packet(p) => p.time_us,
+        }
+    }
+
+    /// Sort rank among records with equal timestamps: contacts first.
+    pub fn kind_rank(&self) -> u8 {
+        match self {
+            Record::Contact(_) => 0,
+            Record::Packet(_) => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_both_variants() {
+        let c = Record::Contact(ContactRecord {
+            day: 3,
+            time_us: 77,
+            a: 1,
+            b: 2,
+            bytes: 9,
+        });
+        let p = Record::Packet(PacketRecord {
+            day: 4,
+            time_us: 88,
+            src: 5,
+            dst: 6,
+            bytes: 10,
+        });
+        assert_eq!(c.day(), 3);
+        assert_eq!(c.time_us(), 77);
+        assert_eq!(p.day(), 4);
+        assert_eq!(p.time_us(), 88);
+        assert!(c.kind_rank() < p.kind_rank());
+    }
+}

@@ -1,0 +1,62 @@
+//! Hybrid DTN (§6.2.3): what would RAPID gain from an instant, long-range
+//! control radio (e.g. XTEND) carrying its metadata out of band?
+//!
+//! ```sh
+//! cargo run --release --example hybrid_control_channel
+//! ```
+
+use rapid_dtn::mobility::{DieselNet, DieselNetConfig};
+use rapid_dtn::rapid::{ChannelMode, Rapid, RapidConfig};
+use rapid_dtn::sim::workload::pairwise_poisson;
+use rapid_dtn::sim::{SimConfig, Simulation, Time, TimeDelta};
+use rapid_dtn::stats::stream;
+
+fn main() {
+    let fleet = DieselNet::new(
+        DieselNetConfig {
+            opportunity_mean_bytes: 1.0e6,
+            ..DieselNetConfig::default()
+        },
+        7,
+    );
+    let day = fleet.generate_day(6);
+    let horizon = Time::from_hours(19);
+    let mut rng = stream(7, "hybrid-workload");
+    let workload = pairwise_poisson(
+        &day.on_road,
+        TimeDelta::from_secs(360), // 10 packets/hour per pair: loaded
+        1024,
+        horizon,
+        &mut rng,
+    );
+
+    for (label, channel, global) in [
+        ("in-band control channel", ChannelMode::in_band(), false),
+        ("instant global channel", ChannelMode::InstantGlobal, true),
+    ] {
+        let config = SimConfig {
+            nodes: fleet.config().total_buses,
+            deadline: Some(TimeDelta::from_secs_f64(2.7 * 3600.0)),
+            horizon,
+            allow_global_knowledge: global,
+            ..SimConfig::default()
+        };
+        let mut rapid = Rapid::new(
+            RapidConfig::avg_delay()
+                .with_channel(channel)
+                .with_delay_cap(1.5 * horizon.as_secs_f64()),
+        );
+        let report = Simulation::new(config, day.schedule.clone(), workload.clone())
+            .run(&mut rapid);
+        println!(
+            "{label:<26} delivered {:>5.1}%   avg delay {:>6.1} min   within deadline {:>5.1}%",
+            100.0 * report.delivery_rate(),
+            report.avg_delay_secs().unwrap_or(f64::NAN) / 60.0,
+            100.0 * report.within_deadline_rate(None),
+        );
+    }
+    println!(
+        "\nThe instant channel bounds what better control information could buy\n\
+         (§6.2.3); the paper saw up to 20 min lower delay and +12% delivery."
+    );
+}

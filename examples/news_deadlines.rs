@@ -1,0 +1,72 @@
+//! The paper's motivating application (§1): "a simple news and information
+//! application is better served by maximizing the number of news stories
+//! delivered before they are outdated, rather than maximizing the number of
+//! stories eventually delivered."
+//!
+//! This example runs the same news workload twice — once with RAPID
+//! optimizing average delay, once optimizing the deadline metric (Eq. 2) —
+//! and reports how many stories arrive before they go stale.
+//!
+//! ```sh
+//! cargo run --release --example news_deadlines
+//! ```
+
+use rapid_dtn::mobility::PowerLaw;
+use rapid_dtn::rapid::{Rapid, RapidConfig};
+use rapid_dtn::sim::workload::pairwise_poisson;
+use rapid_dtn::sim::{SimConfig, Simulation, Time, TimeDelta};
+use rapid_dtn::stats::stream;
+
+fn main() {
+    let nodes = 20;
+    let horizon = Time::from_mins(15);
+    let staleness = TimeDelta::from_secs(20); // stories outdate quickly
+
+    let mobility = PowerLaw {
+        nodes,
+        base_mean: TimeDelta::from_secs(150),
+        opportunity_bytes: 100 * 1024,
+    };
+    let mut rng = stream(11, "news-mobility");
+    let schedule = mobility.generate(horizon, &mut rng);
+
+    let node_ids: Vec<_> = (0..nodes as u32).map(rapid_dtn::sim::NodeId).collect();
+    let mut wl_rng = stream(11, "news-workload");
+    // A brisk news feed: ~25 stories per destination per 50 s.
+    let workload = pairwise_poisson(
+        &node_ids,
+        TimeDelta::from_secs_f64(50.0 * (nodes as f64 - 1.0) / 25.0),
+        1024,
+        horizon,
+        &mut wl_rng,
+    );
+    println!("news workload: {} stories\n", workload.len());
+
+    let config = SimConfig {
+        nodes,
+        buffer_capacity: 100 * 1024, // tight buffers: triage matters
+        deadline: Some(staleness),
+        horizon,
+        ..SimConfig::default()
+    };
+
+    for (label, cfg) in [
+        ("minimize average delay", RapidConfig::avg_delay()),
+        ("maximize fresh stories", RapidConfig::deadline(staleness)),
+    ] {
+        let mut rapid = Rapid::new(cfg.with_delay_cap(2.0 * horizon.as_secs_f64()));
+        let report =
+            Simulation::new(config.clone(), schedule.clone(), workload.clone())
+                .run(&mut rapid);
+        println!(
+            "{label:<26} fresh: {:>5.1}%   eventually delivered: {:>5.1}%   avg delay: {:>5.1}s",
+            100.0 * report.within_deadline_rate(None),
+            100.0 * report.delivery_rate(),
+            report.avg_delay_secs().unwrap_or(f64::NAN),
+        );
+    }
+    println!(
+        "\nThe deadline metric trades eventual deliveries for fresh ones — the\n\
+         intentional-routing point of §1: the metric drives the protocol."
+    );
+}

@@ -1,0 +1,173 @@
+//! The simulator must recover the closed forms of §4.1.1 on uniform
+//! exponential mobility — the analytical ground the Estimate Delay
+//! machinery is built on.
+
+use rapid_dtn::mobility::UniformExponential;
+use rapid_dtn::sim::workload::{PacketSpec, Workload};
+use rapid_dtn::sim::{
+    ContactDriver, NodeId, Routing, SimConfig, Simulation, Time, TimeDelta,
+    TransferOutcome,
+};
+use rapid_dtn::stats::{stream, Summary};
+
+/// Direct-delivery-only protocol: the source holds its packet until it
+/// meets the destination (no replication) — so delivery delay is exactly
+/// one source–destination inter-meeting time.
+struct DirectOnly;
+
+impl Routing for DirectOnly {
+    fn name(&self) -> String {
+        "direct-only".into()
+    }
+    fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+        let (a, b) = driver.endpoints();
+        for from in [a, b] {
+            let to = driver.peer_of(from);
+            for id in driver.buffer(from).ids() {
+                if driver.packets().get(id).dst == to {
+                    let _ = driver.try_transfer(from, id);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn direct_delivery_delay_matches_mean_inter_meeting_time() {
+    // With exponential pairwise meetings of mean M, the expected wait from
+    // a random instant until the next meeting is M (memorylessness).
+    let mean = 50.0;
+    let nodes = 8;
+    let horizon = Time::from_secs(40_000);
+    let mut delays = Summary::new();
+    for run in 0..8u64 {
+        let mobility = UniformExponential {
+            nodes,
+            mean_inter_meeting: TimeDelta::from_secs_f64(mean),
+            opportunity_bytes: 10 * 1024,
+        };
+        let mut rng = stream(run, "analytic");
+        let schedule = mobility.generate(horizon, &mut rng);
+        // Packets early in the run so nearly all get delivered.
+        let workload = Workload::new(
+            (0..40)
+                .map(|k| PacketSpec {
+                    time: Time::from_secs(10 * k),
+                    src: NodeId((k % nodes as u64) as u32),
+                    dst: NodeId(((k + 3) % nodes as u64) as u32),
+                    size_bytes: 1024,
+                })
+                .collect(),
+        );
+        let config = SimConfig {
+            nodes,
+            horizon,
+            ..SimConfig::default()
+        };
+        let report = Simulation::new(config, schedule, workload).run(&mut DirectOnly);
+        assert!(report.delivery_rate() > 0.95, "long horizon delivers all");
+        for d in report.delivered_delays_secs() {
+            delays.observe(d);
+        }
+    }
+    let measured = delays.mean().unwrap();
+    assert!(
+        (measured - mean).abs() < mean * 0.15,
+        "measured mean delay {measured:.1}s, expected ≈ {mean}s"
+    );
+}
+
+/// The source sprays its packet to the first `k − 1` relays it meets, then
+/// all holders deliver directly: exactly k replicas racing — Eq. 8's
+/// min-of-exponentials.
+struct FloodK {
+    k: usize,
+    sprayed: std::collections::HashMap<u32, usize>,
+}
+
+impl FloodK {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            sprayed: std::collections::HashMap::new(),
+        }
+    }
+}
+
+impl Routing for FloodK {
+    fn name(&self) -> String {
+        format!("flood-{}", self.k)
+    }
+    fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+        let (a, b) = driver.endpoints();
+        for from in [a, b] {
+            let to = driver.peer_of(from);
+            for id in driver.buffer(from).ids() {
+                let p = *driver.packets().get(id);
+                if p.dst == to {
+                    let _ = driver.try_transfer(from, id);
+                } else if p.src == from
+                    && *self.sprayed.entry(id.0).or_insert(0) < self.k - 1
+                    && !driver.buffer(to).contains(id)
+                {
+                    if driver.try_transfer(from, id) == TransferOutcome::Replicated {
+                        *self.sprayed.get_mut(&id.0).expect("inserted above") += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn replication_reduces_delay_towards_one_over_k_lambda() {
+    // §4.1.1: with k replicas and rate λ, A(i) = 1/(kλ). We check the
+    // direction and rough magnitude: more replicas ⇒ shorter delays, and
+    // the 1-replica case sits near 1/λ.
+    let mean = 60.0;
+    let nodes = 10;
+    let horizon = Time::from_secs(30_000);
+    let mut means = Vec::new();
+    for k in [1usize, 4] {
+        let mut delays = Summary::new();
+        for run in 0..6u64 {
+            let mobility = UniformExponential {
+                nodes,
+                mean_inter_meeting: TimeDelta::from_secs_f64(mean),
+                opportunity_bytes: 100 * 1024,
+            };
+            let mut rng = stream(100 + run, "analytic-k");
+            let schedule = mobility.generate(horizon, &mut rng);
+            let workload = Workload::new(
+                (0..30)
+                    .map(|j| PacketSpec {
+                        time: Time::from_secs(20 * j),
+                        src: NodeId((j % nodes as u64) as u32),
+                        dst: NodeId(((j + 5) % nodes as u64) as u32),
+                        size_bytes: 1024,
+                    })
+                    .collect(),
+            );
+            let config = SimConfig {
+                nodes,
+                horizon,
+                ..SimConfig::default()
+            };
+            let report =
+                Simulation::new(config, schedule, workload).run(&mut FloodK::new(k));
+            for d in report.delivered_delays_secs() {
+                delays.observe(d);
+            }
+        }
+        means.push(delays.mean().unwrap());
+    }
+    let (m1, m4) = (means[0], means[1]);
+    assert!(
+        m1 > m4 * 1.5,
+        "4-way replication must clearly beat forwarding: {m1:.1}s vs {m4:.1}s"
+    );
+    assert!(
+        (m1 - mean).abs() < mean * 0.35,
+        "single-copy delay {m1:.1}s should sit near 1/λ = {mean}s"
+    );
+}

@@ -1,0 +1,133 @@
+//! Property-based feasibility tests: random small DTN instances across
+//! every protocol must respect the §3.1 feasibility rules and the optimal
+//! lower bound, for *any* inputs.
+
+use proptest::prelude::*;
+use rapid_dtn::optimal::earliest_arrivals;
+use rapid_dtn::protocols::{Epidemic, MaxProp, Prophet, Random, SprayAndWait};
+use rapid_dtn::rapid::{Rapid, RapidConfig};
+use rapid_dtn::sim::workload::{PacketSpec, Workload};
+use rapid_dtn::sim::{
+    Contact, NodeId, Routing, Schedule, SimConfig, Simulation, Time, TimeDelta,
+};
+
+const NODES: usize = 6;
+
+fn arb_contact() -> impl Strategy<Value = Contact> {
+    (0u64..2_000, 0u32..NODES as u32, 0u32..NODES as u32, 1u64..8)
+        .prop_filter("distinct endpoints", |(_, a, b, _)| a != b)
+        .prop_map(|(t, a, b, kb)| {
+            Contact::new(Time::from_secs(t), NodeId(a), NodeId(b), kb * 1024)
+        })
+}
+
+fn arb_spec() -> impl Strategy<Value = PacketSpec> {
+    (0u64..1_500, 0u32..NODES as u32, 0u32..NODES as u32)
+        .prop_filter("distinct endpoints", |(_, s, d)| s != d)
+        .prop_map(|(t, src, dst)| PacketSpec {
+            time: Time::from_secs(t),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            size_bytes: 1024,
+        })
+}
+
+fn protocols() -> Vec<Box<dyn Routing>> {
+    vec![
+        Box::new(Rapid::new(RapidConfig::avg_delay().with_delay_cap(4000.0))),
+        Box::new(Rapid::new(
+            RapidConfig::deadline(TimeDelta::from_secs(300)).with_delay_cap(4000.0),
+        )),
+        Box::new(Rapid::new(RapidConfig::max_delay().with_delay_cap(4000.0))),
+        Box::new(MaxProp::new()),
+        Box::new(SprayAndWait::new()),
+        Box::new(Prophet::new()),
+        Box::new(Random::new()),
+        Box::new(Epidemic::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_protocols_respect_feasibility(
+        contacts in prop::collection::vec(arb_contact(), 1..40),
+        specs in prop::collection::vec(arb_spec(), 1..25),
+        tight_buffers in any::<bool>(),
+    ) {
+        let schedule = Schedule::new(contacts);
+        let workload = Workload::new(specs);
+        let config = SimConfig {
+            nodes: NODES,
+            buffer_capacity: if tight_buffers { 3 * 1024 } else { u64::MAX },
+            deadline: Some(TimeDelta::from_secs(300)),
+            horizon: Time::from_secs(2_500),
+            ..SimConfig::default()
+        };
+        for mut routing in protocols() {
+            let report = Simulation::new(
+                config.clone(),
+                schedule.clone(),
+                workload.clone(),
+            )
+            .run(routing.as_mut());
+
+            // Conservation: outcomes cover exactly the workload.
+            prop_assert_eq!(report.created(), workload.len());
+
+            // Bandwidth feasibility: bytes moved never exceed offered.
+            prop_assert!(
+                report.data_bytes + report.metadata_bytes <= report.offered_bytes,
+                "{}: moved more bytes than offered", routing.name()
+            );
+
+            // Causality: every delivery is at or after the uncapacitated
+            // earliest arrival, and never before creation.
+            for o in &report.outcomes {
+                if let Some(at) = o.delivered_at {
+                    prop_assert!(at >= o.created_at);
+                    let arr = earliest_arrivals(&schedule, NODES, o.src, o.created_at);
+                    let bound = arr[o.dst.index()];
+                    prop_assert!(
+                        bound.is_some() && at >= bound.unwrap().0,
+                        "{}: impossible delivery of {} at {at}",
+                        routing.name(), o.id
+                    );
+                }
+            }
+
+            // Metrics are well-formed.
+            let rate = report.delivery_rate();
+            prop_assert!((0.0..=1.0).contains(&rate));
+            let wd = report.within_deadline_rate(None);
+            prop_assert!((0.0..=1.0).contains(&wd));
+            prop_assert!(wd <= rate + 1e-12, "within-deadline ⊆ delivered");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic(
+        contacts in prop::collection::vec(arb_contact(), 1..25),
+        specs in prop::collection::vec(arb_spec(), 1..15),
+    ) {
+        let schedule = Schedule::new(contacts);
+        let workload = Workload::new(specs);
+        let config = SimConfig {
+            nodes: NODES,
+            horizon: Time::from_secs(2_500),
+            ..SimConfig::default()
+        };
+        for make in [
+            || -> Box<dyn Routing> { Box::new(Rapid::new(RapidConfig::avg_delay())) },
+            || -> Box<dyn Routing> { Box::new(Random::new()) },
+            || -> Box<dyn Routing> { Box::new(MaxProp::new()) },
+        ] {
+            let r1 = Simulation::new(config.clone(), schedule.clone(), workload.clone())
+                .run(make().as_mut());
+            let r2 = Simulation::new(config.clone(), schedule.clone(), workload.clone())
+                .run(make().as_mut());
+            prop_assert_eq!(r1, r2);
+        }
+    }
+}

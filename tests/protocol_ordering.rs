@@ -1,0 +1,133 @@
+//! Cross-crate integration: the qualitative orderings the paper reports
+//! must hold on a standard synthetic scenario.
+
+use rapid_dtn::mobility::UniformExponential;
+use rapid_dtn::optimal::solve_bounded;
+use rapid_dtn::protocols::{MaxProp, Random, SprayAndWait};
+use rapid_dtn::rapid::{Rapid, RapidConfig};
+use rapid_dtn::sim::workload::pairwise_poisson;
+use rapid_dtn::sim::{
+    NodeId, Routing, Schedule, SimConfig, SimReport, Simulation, Time, TimeDelta,
+};
+use rapid_dtn::sim::workload::Workload;
+use rapid_dtn::stats::stream;
+
+fn scenario(seed: u64) -> (SimConfig, Schedule, Workload) {
+    let nodes = 12;
+    let horizon = Time::from_mins(15);
+    let mobility = UniformExponential {
+        nodes,
+        mean_inter_meeting: TimeDelta::from_secs(120),
+        opportunity_bytes: 20 * 1024, // 20 packets per meeting
+    };
+    let mut rng = stream(seed, "ordering-mobility");
+    let schedule = mobility.generate(horizon, &mut rng);
+    let ids: Vec<NodeId> = (0..nodes as u32).map(NodeId).collect();
+    let workload = pairwise_poisson(
+        &ids,
+        TimeDelta::from_secs(200),
+        1024,
+        horizon,
+        &mut rng,
+    );
+    let config = SimConfig {
+        nodes,
+        buffer_capacity: 200 * 1024,
+        deadline: Some(TimeDelta::from_secs(60)),
+        horizon,
+        ..SimConfig::default()
+    };
+    (config, schedule, workload)
+}
+
+fn run(seed: u64, routing: &mut dyn Routing) -> SimReport {
+    let (config, schedule, workload) = scenario(seed);
+    Simulation::new(config, schedule, workload).run(routing)
+}
+
+#[test]
+fn rapid_beats_random_on_both_headline_metrics() {
+    let mut rapid_wins_delivery = 0;
+    let mut rapid_wins_delay = 0;
+    let trials = 3;
+    for seed in 0..trials {
+        let rapid = run(seed, &mut Rapid::new(RapidConfig::avg_delay().with_delay_cap(2000.0)));
+        let random = run(seed, &mut Random::new());
+        if rapid.delivery_rate() >= random.delivery_rate() {
+            rapid_wins_delivery += 1;
+        }
+        if rapid.avg_delay_with_undelivered_secs().unwrap()
+            <= random.avg_delay_with_undelivered_secs().unwrap()
+        {
+            rapid_wins_delay += 1;
+        }
+    }
+    assert!(
+        rapid_wins_delivery >= trials - 1,
+        "RAPID must deliver at least as much as Random ({rapid_wins_delivery}/{trials})"
+    );
+    assert!(
+        rapid_wins_delay >= trials - 1,
+        "RAPID must beat Random on delay ({rapid_wins_delay}/{trials})"
+    );
+}
+
+#[test]
+fn every_protocol_is_bounded_by_optimal() {
+    // No protocol may beat the uncapacitated optimal lower bound on the
+    // delay-including-undelivered objective.
+    let (config, schedule, workload) = scenario(9);
+    let bounds = solve_bounded(&schedule, &workload, config.horizon);
+    let lb = bounds.lower_bound_avg_delay_secs;
+
+    let mut protocols: Vec<Box<dyn Routing>> = vec![
+        Box::new(Rapid::new(RapidConfig::avg_delay().with_delay_cap(2000.0))),
+        Box::new(MaxProp::new()),
+        Box::new(SprayAndWait::new()),
+        Box::new(Random::new()),
+    ];
+    for routing in &mut protocols {
+        let report = Simulation::new(config.clone(), schedule.clone(), workload.clone())
+            .run(routing.as_mut());
+        let achieved = report.avg_delay_with_undelivered_secs().unwrap();
+        assert!(
+            achieved + 1e-6 >= lb,
+            "{} achieved {achieved:.1}s, below the optimal bound {lb:.1}s",
+            routing.name()
+        );
+        // And nobody delivers more than uncapacitated reachability allows.
+        assert!(report.delivered() <= bounds.lower_bound_delivered);
+    }
+}
+
+#[test]
+fn per_packet_delays_respect_earliest_arrival() {
+    // Stronger per-packet invariant: no protocol can deliver a packet
+    // earlier than its uncapacitated earliest arrival.
+    let (config, schedule, workload) = scenario(5);
+    let nodes = config.nodes;
+    let mut rapid = Rapid::new(RapidConfig::avg_delay().with_delay_cap(2000.0));
+    let report = Simulation::new(config, schedule.clone(), workload).run(&mut rapid);
+    for o in &report.outcomes {
+        let Some(at) = o.delivered_at else { continue };
+        let arr = rapid_dtn::optimal::earliest_arrivals(&schedule, nodes, o.src, o.created_at);
+        let bound = arr[o.dst.index()]
+            .expect("delivered ⇒ reachable")
+            .0;
+        assert!(
+            at >= bound,
+            "{} delivered at {at} before earliest possible {bound}",
+            o.id
+        );
+    }
+}
+
+#[test]
+fn identical_inputs_identical_reports_across_protocol_instances() {
+    let a = run(3, &mut Rapid::new(RapidConfig::avg_delay()));
+    let b = run(3, &mut Rapid::new(RapidConfig::avg_delay()));
+    assert_eq!(a, b);
+    let c = run(3, &mut SprayAndWait::new());
+    let d = run(3, &mut SprayAndWait::new());
+    assert_eq!(c, d);
+}

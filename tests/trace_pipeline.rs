@@ -1,0 +1,60 @@
+//! End-to-end trace pipeline: generate a synthetic DieselNet fleet,
+//! persist it through the trace format, reload, and verify the simulation
+//! is bit-identical to running on the original in-memory schedule.
+
+use rapid_dtn::mobility::{DieselNet, DieselNetConfig};
+use rapid_dtn::rapid::{Rapid, RapidConfig};
+use rapid_dtn::sim::workload::pairwise_poisson;
+use rapid_dtn::sim::{Schedule, SimConfig, Simulation, Time, TimeDelta};
+use rapid_dtn::stats::stream;
+use rapid_dtn::trace;
+
+#[test]
+fn persisted_trace_reproduces_the_run() {
+    let fleet = DieselNet::new(DieselNetConfig::default(), 21);
+    let days = fleet.generate_days(2);
+
+    // Persist and reload through the text format.
+    let text = DieselNet::to_trace(&days).to_string_format();
+    let parsed = trace::parse(&text).expect("round trip");
+
+    for day in &days {
+        let rebuilt = Schedule::from_records(&parsed.contacts_on(day.day));
+        assert_eq!(rebuilt, day.schedule, "schedule survives serialization");
+
+        let mut rng = stream(99, "pipeline-workload");
+        let horizon = Time::from_hours(19);
+        let workload = pairwise_poisson(
+            &day.on_road,
+            TimeDelta::from_secs(1800),
+            1024,
+            horizon,
+            &mut rng,
+        );
+        let config = SimConfig {
+            nodes: 40,
+            horizon,
+            deadline: Some(TimeDelta::from_hours(2)),
+            ..SimConfig::default()
+        };
+        let from_memory = Simulation::new(
+            config.clone(),
+            day.schedule.clone(),
+            workload.clone(),
+        )
+        .run(&mut Rapid::new(RapidConfig::avg_delay()));
+        let from_disk = Simulation::new(config, rebuilt, workload)
+            .run(&mut Rapid::new(RapidConfig::avg_delay()));
+        assert_eq!(from_memory, from_disk, "bit-identical replay");
+    }
+}
+
+#[test]
+fn trace_rejects_corruption() {
+    let fleet = DieselNet::new(DieselNetConfig::default(), 21);
+    let days = fleet.generate_days(1);
+    let mut text = DieselNet::to_trace(&days).to_string_format();
+    // Corrupt a random digit field into a word.
+    text = text.replacen("C ", "C x", 1);
+    assert!(trace::parse(&text).is_err());
+}
