@@ -20,13 +20,7 @@ fn bench(c: &mut Criterion) {
     let mut rng = dtn_stats::stream(5, "bench-engine");
     let schedule = mobility.generate(horizon, &mut rng);
     let ids: Vec<NodeId> = (0..nodes as u32).map(NodeId).collect();
-    let workload = pairwise_poisson(
-        &ids,
-        TimeDelta::from_secs(100),
-        1024,
-        horizon,
-        &mut rng,
-    );
+    let workload = pairwise_poisson(&ids, TimeDelta::from_secs(100), 1024, horizon, &mut rng);
     let config = SimConfig {
         nodes,
         horizon,

@@ -34,9 +34,7 @@ fn bench(c: &mut Criterion) {
         });
         let snap = QueueSnapshot::build(packets.iter().copied());
         g.bench_function(format!("queue_snapshot_query_{n}"), |b| {
-            b.iter(|| {
-                black_box(&snap).bytes_ahead_if_inserted(NodeId(3), Time::from_secs(5_000))
-            })
+            b.iter(|| black_box(&snap).bytes_ahead_if_inserted(NodeId(3), Time::from_secs(5_000)))
         });
     }
     g.finish();

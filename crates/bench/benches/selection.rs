@@ -53,10 +53,8 @@ fn bench(c: &mut Criterion) {
         let (config, schedule, workload) = scenario(n);
         g.bench_function(format!("contact_with_{n}_buffered"), |b| {
             b.iter(|| {
-                let mut rapid =
-                    Rapid::new(RapidConfig::avg_delay().with_delay_cap(2000.0));
-                Simulation::new(config.clone(), schedule.clone(), workload.clone())
-                    .run(&mut rapid)
+                let mut rapid = Rapid::new(RapidConfig::avg_delay().with_delay_cap(2000.0));
+                Simulation::new(config.clone(), schedule.clone(), workload.clone()).run(&mut rapid)
             })
         });
     }

@@ -14,7 +14,12 @@ fn main() {
 
     let lab = TraceLab::load_sweep(seed);
     for load in [5.0, 20.0, 40.0] {
-        for proto in [Proto::RapidAvg, Proto::MaxProp, Proto::SprayWait, Proto::Random] {
+        for proto in [
+            Proto::RapidAvg,
+            Proto::MaxProp,
+            Proto::SprayWait,
+            Proto::Random,
+        ] {
             let t0 = Instant::now();
             let reports = lab.run_days(3, load, proto, None);
             let agg = trace_agg(&reports);
@@ -33,7 +38,12 @@ fn main() {
 
     let synth = SynthLab::new(seed);
     for load in [10.0, 40.0, 80.0] {
-        for proto in [Proto::RapidAvg, Proto::MaxProp, Proto::SprayWait, Proto::Random] {
+        for proto in [
+            Proto::RapidAvg,
+            Proto::MaxProp,
+            Proto::SprayWait,
+            Proto::Random,
+        ] {
             let t0 = Instant::now();
             let reports = synth.run_many(Mobility::PowerLaw, 2, load, None, proto);
             let agg = synth_agg(&reports);

@@ -25,8 +25,7 @@ fn main() {
     let lab = TraceLab::load_sweep(root_seed());
     for cap in [0.0, 0.01, 0.02, 0.05, 0.10, 0.20, 0.35] {
         for load in [6.0, 12.0, 20.0] {
-            let reports =
-                lab.run_days(days_per_point(), load, Proto::RapidAvgCapped(cap), None);
+            let reports = lab.run_days(days_per_point(), load, Proto::RapidAvgCapped(cap), None);
             let a = aggregate(&reports);
             tsv.row(&[
                 f(cap),

@@ -12,7 +12,9 @@ use rapid_bench::{days_per_point, parallel_map, root_seed, Proto};
 
 fn main() {
     let mut tsv = Tsv::new("fig13");
-    tsv.comment("Fig. 13 (Trace): avg delay incl. undelivered vs load — Optimal bounds, RAPID, MaxProp");
+    tsv.comment(
+        "Fig. 13 (Trace): avg delay incl. undelivered vs load — Optimal bounds, RAPID, MaxProp",
+    );
     tsv.comment(&format!(
         "days per point = {}, seed = {}",
         days_per_point(),
@@ -38,9 +40,19 @@ fn main() {
             solve_bounded(&schedule, &spec.workload, spec.horizon)
         });
         let n = bounds.len() as f64;
-        let lb: f64 = bounds.iter().map(|b| b.lower_bound_avg_delay_secs).sum::<f64>() / n / 60.0;
-        let fs: f64 = bounds.iter().map(|b| b.feasible_avg_delay_secs).sum::<f64>() / n / 60.0;
-        tsv.row(&["".to_string(); 0]);
+        let lb: f64 = bounds
+            .iter()
+            .map(|b| b.lower_bound_avg_delay_secs)
+            .sum::<f64>()
+            / n
+            / 60.0;
+        let fs: f64 = bounds
+            .iter()
+            .map(|b| b.feasible_avg_delay_secs)
+            .sum::<f64>()
+            / n
+            / 60.0;
+        tsv.row::<&str>(&[]);
         tsv.row(&[f(load), "Optimal-LB".into(), f(lb)]);
         tsv.row(&[f(load), "Optimal-Feasible".into(), f(fs)]);
 

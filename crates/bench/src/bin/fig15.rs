@@ -35,8 +35,7 @@ fn main() {
             };
             let mut bursts = Vec::new();
             for k in 0..40u64 {
-                let t = spec.measure_from
-                    + TimeDelta::from_secs(600 + k * 1500); // every 25 min
+                let t = spec.measure_from + TimeDelta::from_secs(600 + k * 1500); // every 25 min
                 bursts.push(parallel_burst(&on_road, group_size, t, 1024, &mut rng));
             }
             bursts.push(spec.workload.clone());
@@ -53,11 +52,7 @@ fn main() {
         all.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let n = all.len().max(1) as f64;
         for (i, idx) in all.iter().enumerate() {
-            tsv.row(&[
-                format!("{group_size}"),
-                f(*idx),
-                f((i + 1) as f64 / n),
-            ]);
+            tsv.row(&[format!("{group_size}"), f(*idx), f((i + 1) as f64 / n)]);
         }
     }
 }

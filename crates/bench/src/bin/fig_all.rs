@@ -6,9 +6,8 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "table3", "fig03", "fig04_05", "fig06", "fig07", "fig08", "fig09",
-        "fig10_12", "fig13", "fig14", "fig15", "fig16_18", "fig19_21",
-        "fig22_24", "ttest",
+        "table3", "fig03", "fig04_05", "fig06", "fig07", "fig08", "fig09", "fig10_12", "fig13",
+        "fig14", "fig15", "fig16_18", "fig19_21", "fig22_24", "ttest",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

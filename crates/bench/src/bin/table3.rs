@@ -18,7 +18,11 @@ fn main() {
     let noise = Some(NoiseModel::deployment_default());
     let rows = parallel_map(days as usize, |d| {
         let spec = lab.day_spec(WARMUP_DAYS + d as u32, 4.0, 0, noise);
-        let buses = lab.fleet().generate_day(WARMUP_DAYS + d as u32).on_road.len();
+        let buses = lab
+            .fleet()
+            .generate_day(WARMUP_DAYS + d as u32)
+            .on_road
+            .len();
         (buses, run_spec(&spec, Proto::RapidAvg))
     });
 
@@ -37,7 +41,11 @@ fn main() {
         .map(|(_, r)| r.metadata_over_bandwidth())
         .sum::<f64>()
         / n;
-    let meta_data = rows.iter().map(|(_, r)| r.metadata_over_data()).sum::<f64>() / n;
+    let meta_data = rows
+        .iter()
+        .map(|(_, r)| r.metadata_over_data())
+        .sum::<f64>()
+        / n;
 
     tsv.row(&["statistic", "value", "paper_value"]);
     tsv.row(&["avg_buses_scheduled_per_day", &f(avg_buses), "19"]);

@@ -16,29 +16,38 @@ fn main() {
         days_per_point(),
         root_seed()
     ));
-    tsv.row(&["load_per_dest_per_hour", "pairs", "t", "p_two_sided", "mean_diff_min"]);
+    tsv.row(&[
+        "load_per_dest_per_hour",
+        "pairs",
+        "t",
+        "p_two_sided",
+        "mean_diff_min",
+    ]);
 
     let lab = TraceLab::load_sweep(root_seed());
     for load in [5.0, 20.0] {
         // Per-pair mean delays pooled across days, one map per protocol.
-        let pooled: Vec<BTreeMap<(u32, u32), Vec<f64>>> =
-            parallel_map(2usize, |which| {
-                let proto = if which == 0 { Proto::RapidAvg } else { Proto::MaxProp };
-                let mut by_pair: BTreeMap<(u32, u32), Vec<f64>> = BTreeMap::new();
-                for d in 0..days_per_point() {
-                    let spec = lab.day_spec(WARMUP_DAYS + d, load, 0, None);
-                    let report = run_spec(&spec, proto);
-                    for o in &report.outcomes {
-                        if let Some(at) = o.delivered_at {
-                            by_pair
-                                .entry((o.src.0, o.dst.0))
-                                .or_default()
-                                .push(at.since(o.created_at).as_secs_f64());
-                        }
+        let pooled: Vec<BTreeMap<(u32, u32), Vec<f64>>> = parallel_map(2usize, |which| {
+            let proto = if which == 0 {
+                Proto::RapidAvg
+            } else {
+                Proto::MaxProp
+            };
+            let mut by_pair: BTreeMap<(u32, u32), Vec<f64>> = BTreeMap::new();
+            for d in 0..days_per_point() {
+                let spec = lab.day_spec(WARMUP_DAYS + d, load, 0, None);
+                let report = run_spec(&spec, proto);
+                for o in &report.outcomes {
+                    if let Some(at) = o.delivered_at {
+                        by_pair
+                            .entry((o.src.0, o.dst.0))
+                            .or_default()
+                            .push(at.since(o.created_at).as_secs_f64());
                     }
                 }
-                by_pair
-            });
+            }
+            by_pair
+        });
         let (rapid, maxprop) = (&pooled[0], &pooled[1]);
         let mut a = Vec::new();
         let mut b = Vec::new();

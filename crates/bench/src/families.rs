@@ -89,7 +89,13 @@ pub fn synth_load_sweep(id: &str, title: &str, mobility: Mobility, loads: &[f64]
 
 /// Long-format synthetic sweep over buffer sizes at a fixed load.
 /// Used by Figs. 19–21.
-pub fn synth_buffer_sweep(id: &str, title: &str, mobility: Mobility, load: f64, buffers_kb: &[u64]) {
+pub fn synth_buffer_sweep(
+    id: &str,
+    title: &str,
+    mobility: Mobility,
+    load: f64,
+    buffers_kb: &[u64],
+) {
     let mut tsv = Tsv::new(id);
     tsv.comment(title);
     tsv.comment(&format!(
@@ -116,8 +122,7 @@ pub fn synth_buffer_sweep(id: &str, title: &str, mobility: Mobility, load: f64, 
     ];
     for &kb in buffers_kb {
         for proto in protos {
-            let reports =
-                lab.run_many(mobility, runs_per_point(), load, Some(kb * 1024), proto);
+            let reports = lab.run_many(mobility, runs_per_point(), load, Some(kb * 1024), proto);
             let a = synth_agg(&reports);
             tsv.row(&[
                 format!("{kb}"),

@@ -78,23 +78,23 @@ impl Proto {
             Proto::RapidAvg => rapid(RapidConfig::avg_delay()),
             Proto::RapidMax => rapid(RapidConfig::max_delay()),
             Proto::RapidDeadline => rapid(RapidConfig::deadline(deadline)),
-            Proto::RapidAvgGlobal => rapid(
-                RapidConfig::avg_delay().with_channel(ChannelMode::InstantGlobal),
-            ),
-            Proto::RapidMaxGlobal => rapid(
-                RapidConfig::max_delay().with_channel(ChannelMode::InstantGlobal),
-            ),
-            Proto::RapidDeadlineGlobal => rapid(
-                RapidConfig::deadline(deadline).with_channel(ChannelMode::InstantGlobal),
-            ),
-            Proto::RapidAvgLocal => rapid(
-                RapidConfig::avg_delay().with_channel(ChannelMode::LocalOnly),
-            ),
-            Proto::RapidAvgCapped(f) => rapid(
-                RapidConfig::avg_delay().with_channel(ChannelMode::InBand {
+            Proto::RapidAvgGlobal => {
+                rapid(RapidConfig::avg_delay().with_channel(ChannelMode::InstantGlobal))
+            }
+            Proto::RapidMaxGlobal => {
+                rapid(RapidConfig::max_delay().with_channel(ChannelMode::InstantGlobal))
+            }
+            Proto::RapidDeadlineGlobal => {
+                rapid(RapidConfig::deadline(deadline).with_channel(ChannelMode::InstantGlobal))
+            }
+            Proto::RapidAvgLocal => {
+                rapid(RapidConfig::avg_delay().with_channel(ChannelMode::LocalOnly))
+            }
+            Proto::RapidAvgCapped(f) => {
+                rapid(RapidConfig::avg_delay().with_channel(ChannelMode::InBand {
                     cap_fraction: Some(f),
-                }),
-            ),
+                }))
+            }
             Proto::MaxProp => Box::new(MaxProp::new()),
             Proto::SprayWait => Box::new(SprayAndWait::new()),
             Proto::Prophet => Box::new(Prophet::new()),
@@ -106,7 +106,12 @@ impl Proto {
 
     /// The four-protocol comparison set used by most figures.
     pub fn comparison_set() -> [Proto; 4] {
-        [Proto::RapidAvg, Proto::MaxProp, Proto::SprayWait, Proto::Random]
+        [
+            Proto::RapidAvg,
+            Proto::MaxProp,
+            Proto::SprayWait,
+            Proto::Random,
+        ]
     }
 }
 

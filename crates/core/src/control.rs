@@ -109,10 +109,7 @@ impl MetaTable {
     /// Forgets one holder of a packet (local eviction).
     pub fn remove_holder(&mut self, id: PacketId, holder: NodeId) {
         if let Some(belief) = self.beliefs.get_mut(&id.0) {
-            if let Ok(k) = belief
-                .entries
-                .binary_search_by_key(&holder, |e| e.holder)
-            {
+            if let Ok(k) = belief.entries.binary_search_by_key(&holder, |e| e.holder) {
                 belief.entries.remove(k);
                 if belief.entries.is_empty() {
                     self.beliefs.remove(&id.0);
@@ -196,10 +193,28 @@ mod tests {
         assert_eq!(b.changed_at, Time::from_secs(12));
         // Stale update rejected.
         assert!(!t.upsert(PacketId(1), e(3, 1.0, 5)));
-        assert!((t.get(PacketId(1)).unwrap().entry(NodeId(3)).unwrap().delay_secs - 100.0).abs() < 1e-9);
+        assert!(
+            (t.get(PacketId(1))
+                .unwrap()
+                .entry(NodeId(3))
+                .unwrap()
+                .delay_secs
+                - 100.0)
+                .abs()
+                < 1e-9
+        );
         // Fresher update accepted.
         assert!(t.upsert(PacketId(1), e(3, 80.0, 20)));
-        assert!((t.get(PacketId(1)).unwrap().entry(NodeId(3)).unwrap().delay_secs - 80.0).abs() < 1e-9);
+        assert!(
+            (t.get(PacketId(1))
+                .unwrap()
+                .entry(NodeId(3))
+                .unwrap()
+                .delay_secs
+                - 80.0)
+                .abs()
+                < 1e-9
+        );
         // Identical update is a no-op.
         assert!(!t.upsert(PacketId(1), e(3, 80.0, 20)));
     }
@@ -271,14 +286,16 @@ mod tests {
         a.upsert(PacketId(7), e(1, 100.0, 10));
         b.upsert(PacketId(7), e(1, 90.0, 15)); // fresher
         b.upsert(PacketId(7), e(2, 40.0, 12)); // new holder
-        let changed =
-            a.merge_packet_from(PacketId(7), b.get(PacketId(7)).unwrap(), Time::ZERO);
+        let changed = a.merge_packet_from(PacketId(7), b.get(PacketId(7)).unwrap(), Time::ZERO);
         assert_eq!(changed, 2);
         assert_eq!(a.get(PacketId(7)).unwrap().entries.len(), 2);
         // A merge bounded by a later watermark moves nothing.
         let mut c = MetaTable::new();
-        let moved =
-            c.merge_packet_from(PacketId(7), b.get(PacketId(7)).unwrap(), Time::from_secs(20));
+        let moved = c.merge_packet_from(
+            PacketId(7),
+            b.get(PacketId(7)).unwrap(),
+            Time::from_secs(20),
+        );
         assert_eq!(moved, 0);
         assert!(c.is_empty());
     }

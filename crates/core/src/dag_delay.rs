@@ -172,10 +172,7 @@ mod tests {
                 (NodeId(1), vec![PacketId(1)]),
             ],
         };
-        let meet = HashMap::from([
-            (NodeId(0), exp_dist(10.0)),
-            (NodeId(1), exp_dist(10.0)),
-        ]);
+        let meet = HashMap::from([(NodeId(0), exp_dist(10.0)), (NodeId(1), exp_dist(10.0))]);
         let d = dag_delay(&queues, &meet);
         // min of two Exp(1/10) = Exp(2/10): mean 5.
         close(d[&PacketId(1)].mean(), 5.0, 0.2);
@@ -212,11 +209,7 @@ mod tests {
         // that Y may deliver a first (the Appendix's inflation direction).
         let est = estimate_delay_reference(
             &queues,
-            &HashMap::from([
-                (NodeId(0), 10.0),
-                (NodeId(1), 10.0),
-                (NodeId(2), 10.0),
-            ]),
+            &HashMap::from([(NodeId(0), 10.0), (NodeId(1), 10.0), (NodeId(2), 10.0)]),
         );
         assert!(est[&b] > 0.0);
     }
@@ -231,10 +224,7 @@ mod tests {
                 (NodeId(1), vec![b, a]), // contradicts the other buffer
             ],
         };
-        let meet = HashMap::from([
-            (NodeId(0), exp_dist(10.0)),
-            (NodeId(1), exp_dist(10.0)),
-        ]);
+        let meet = HashMap::from([(NodeId(0), exp_dist(10.0)), (NodeId(1), exp_dist(10.0))]);
         let _ = dag_delay(&queues, &meet);
     }
 

@@ -225,9 +225,11 @@ mod tests {
 
     fn q(entries: &[(u32, u32, u64, u64)]) -> QueueSnapshot {
         // (id, dst, size, created_secs)
-        QueueSnapshot::build(entries.iter().map(|&(id, dst, size, t)| {
-            (PacketId(id), NodeId(dst), size, Time::from_secs(t))
-        }))
+        QueueSnapshot::build(
+            entries
+                .iter()
+                .map(|&(id, dst, size, t)| (PacketId(id), NodeId(dst), size, Time::from_secs(t))),
+        )
     }
 
     #[test]

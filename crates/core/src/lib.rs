@@ -46,8 +46,7 @@ pub use config::{ChannelMode, RapidConfig, RoutingMetric};
 pub use control::{HolderEntry, MetaTable, PacketBelief};
 pub use dag_delay::{dag_delay, estimate_delay_reference, QueueState};
 pub use estimate::{
-    expected_remaining_delay, meetings_needed, prob_delivered_within, replica_delay,
-    QueueSnapshot,
+    expected_remaining_delay, meetings_needed, prob_delivered_within, replica_delay, QueueSnapshot,
 };
 pub use meetings::{expected_meeting_times_from, MeetingView};
 pub use protocol::Rapid;

@@ -227,7 +227,10 @@ mod tests {
         a.merge_rows_from(&b, &[NodeId(1)]);
         assert!((a.rows[1][2] - 250.0).abs() < 1e-9);
         a.merge_rows_from(&stale, &[NodeId(1)]);
-        assert!((a.rows[1][2] - 250.0).abs() < 1e-9, "stale must not regress");
+        assert!(
+            (a.rows[1][2] - 250.0).abs() < 1e-9,
+            "stale must not regress"
+        );
 
         // Merging someone's claim about MY row is ignored.
         let mut foreign = MeetingView::new(NodeId(2), 3);

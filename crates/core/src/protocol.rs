@@ -20,8 +20,7 @@
 use crate::config::{wire, ChannelMode, RapidConfig, RoutingMetric};
 use crate::control::{HolderEntry, MetaTable};
 use crate::estimate::{
-    expected_remaining_delay, meetings_needed, prob_delivered_within, replica_delay,
-    QueueSnapshot,
+    expected_remaining_delay, meetings_needed, prob_delivered_within, replica_delay, QueueSnapshot,
 };
 use crate::meetings::{expected_meeting_times_from, MeetingView};
 use dtn_sim::{
@@ -156,13 +155,7 @@ impl Rapid {
 
     /// Utility of a buffered packet at `node` (for eviction ordering and
     /// direct-delivery ordering). Higher = more valuable to keep.
-    fn utility(
-        &self,
-        node: NodeId,
-        packet: &Packet,
-        bytes_ahead: u64,
-        now: Time,
-    ) -> f64 {
+    fn utility(&self, node: NodeId, packet: &Packet, bytes_ahead: u64, now: Time) -> f64 {
         let state = &self.states[node.index()];
         let est = state
             .est_cache
@@ -391,19 +384,32 @@ impl Routing for Rapid {
         // --- Step 3: replication, both sides.
         let mut stored_this_contact: HashSet<PacketId> = HashSet::new();
         self.replicate_side(
-            driver, a, b, &est_a, &est_b_from_a, &snap_a, &snap_b, now,
+            driver,
+            a,
+            b,
+            &est_a,
+            &est_b_from_a,
+            &snap_a,
+            &snap_b,
+            now,
             &mut stored_this_contact,
         );
         self.replicate_side(
-            driver, b, a, &est_b, &est_a_from_b, &snap_b, &snap_a, now,
+            driver,
+            b,
+            a,
+            &est_b,
+            &est_a_from_b,
+            &snap_b,
+            &snap_a,
+            now,
             &mut stored_this_contact,
         );
 
         // --- Bound control state.
         for x in [a, b] {
             let cap = self.cfg.meta_entry_cap;
-            let buffered: HashSet<u32> =
-                driver.buffer(x).ids().iter().map(|p| p.0).collect();
+            let buffered: HashSet<u32> = driver.buffer(x).ids().iter().map(|p| p.0).collect();
             self.states[x.index()]
                 .meta
                 .prune(cap, |id| buffered.contains(&id.0));
@@ -415,13 +421,7 @@ impl Rapid {
     /// Step 2: deliver packets destined to the peer, highest utility first.
     /// For the deadline metric, expired packets go last (their utility is
     /// 0); otherwise the queue order is decreasing `T(i)` (§4.1).
-    fn direct_delivery(
-        &mut self,
-        driver: &mut ContactDriver<'_>,
-        x: NodeId,
-        y: NodeId,
-        now: Time,
-    ) {
+    fn direct_delivery(&mut self, driver: &mut ContactDriver<'_>, x: NodeId, y: NodeId, now: Time) {
         let mut destined: Vec<(bool, Time, PacketId)> = driver
             .buffer(x)
             .ids()
@@ -512,9 +512,9 @@ impl Rapid {
                     .iter()
                     .filter(|&&h| h != x && h != y)
                     .map(|&h| {
-                        let est_h = global_est.entry(h.0).or_insert_with(|| {
-                            self.estimate_times(x, h)
-                        });
+                        let est_h = global_est
+                            .entry(h.0)
+                            .or_insert_with(|| self.estimate_times(x, h));
                         let snap_h = global_snap.entry(h.0).or_insert_with(|| {
                             QueueSnapshot::build(g.buffer(h).iter().map(|(hid, _)| {
                                 let hp = driver.packets().get(hid);
@@ -523,8 +523,7 @@ impl Rapid {
                         });
                         let ahead = snap_h.bytes_ahead(p.dst, id, p.created_at);
                         let b_h = {
-                            let (v, stamp) =
-                                self.states[h.index()].believed_opp[h.index()];
+                            let (v, stamp) = self.states[h.index()].believed_opp[h.index()];
                             if stamp > Time::ZERO && v > 0.0 {
                                 v
                             } else {
@@ -551,12 +550,9 @@ impl Rapid {
 
             let score = match self.cfg.metric {
                 RoutingMetric::MinAvgDelay => {
-                    let before = expected_remaining_delay(
-                        remote.iter().copied().chain([a_self]),
-                    );
-                    let after = expected_remaining_delay(
-                        remote.iter().copied().chain([a_self, a_peer]),
-                    );
+                    let before = expected_remaining_delay(remote.iter().copied().chain([a_self]));
+                    let after =
+                        expected_remaining_delay(remote.iter().copied().chain([a_self, a_peer]));
                     delta_or_zero(before, after) / p.size_bytes as f64
                 }
                 RoutingMetric::MinMissedDeadlines { lifetime } => {
@@ -564,10 +560,8 @@ impl Rapid {
                     if rem <= 0.0 {
                         0.0
                     } else {
-                        let before = prob_delivered_within(
-                            remote.iter().copied().chain([a_self]),
-                            rem,
-                        );
+                        let before =
+                            prob_delivered_within(remote.iter().copied().chain([a_self]), rem);
                         let after = prob_delivered_within(
                             remote.iter().copied().chain([a_self, a_peer]),
                             rem,
@@ -578,9 +572,7 @@ impl Rapid {
                 RoutingMetric::MinMaxDelay => {
                     // Work-conserving Eq. 3: replicate in decreasing order
                     // of current expected delay D(i) = T(i) + A(i).
-                    let before = expected_remaining_delay(
-                        remote.iter().copied().chain([a_self]),
-                    );
+                    let before = expected_remaining_delay(remote.iter().copied().chain([a_self]));
                     if before.is_finite() {
                         t + before
                     } else if a_peer.is_finite() {
@@ -700,8 +692,7 @@ impl Rapid {
                     // §3.4's own-packet protection, applied as a strict
                     // preference: a node's own unacked packets are evicted
                     // only after every other packet is gone.
-                    let own_unacked =
-                        p.src == y && !self.states[y.index()].acks.contains(id);
+                    let own_unacked = p.src == y && !self.states[y.index()].acks.contains(id);
                     let ahead = snap_y.bytes_ahead(p.dst, id, p.created_at);
                     (
                         own_unacked,
@@ -715,10 +706,7 @@ impl Rapid {
             // own-unacked packets last of all.
             scored.sort_unstable_by(|a, b| {
                 b.0.cmp(&a.0)
-                    .then(
-                        b.1.partial_cmp(&a.1)
-                            .unwrap_or(std::cmp::Ordering::Equal),
-                    )
+                    .then(b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
                     .then(b.2.cmp(&a.2))
             });
             *queue = Some(
@@ -809,9 +797,7 @@ impl Rapid {
         {
             let n = self.states.len() as u64;
             let row_cost = n * wire::MEETING_ENTRY_BYTES;
-            let changed_rows = self.states[from.index()]
-                .meetings
-                .rows_changed_since(since);
+            let changed_rows = self.states[from.index()].meetings.rows_changed_since(since);
             for row in changed_rows {
                 if allowed < row_cost {
                     truncated = true;
@@ -895,8 +881,7 @@ impl Rapid {
             }
 
             // Third-party gossip: newest first, bounded.
-            let gossip_budget =
-                ((full_opp as f64 * THIRD_PARTY_FRACTION) as u64).min(allowed);
+            let gossip_budget = ((full_opp as f64 * THIRD_PARTY_FRACTION) as u64).min(allowed);
             let mut gossip_left = gossip_budget;
             for &(id, n_entries, _) in third.iter().rev() {
                 let cost = n_entries as u64 * wire::META_ENTRY_BYTES;
@@ -966,11 +951,7 @@ fn sort_candidates(c: &mut Vec<Candidate>, remaining: u64) {
 }
 
 /// Split-borrows two distinct node states.
-fn two_states(
-    states: &mut [NodeState],
-    a: NodeId,
-    b: NodeId,
-) -> (&mut NodeState, &mut NodeState) {
+fn two_states(states: &mut [NodeState], a: NodeId, b: NodeId) -> (&mut NodeState, &mut NodeState) {
     let (ai, bi) = (a.index(), b.index());
     assert_ne!(ai, bi);
     if ai < bi {
@@ -1052,11 +1033,11 @@ mod tests {
             config(3),
             Schedule::new(vec![
                 contact(1, 1, 2, 1 << 20),
-                contact(5, 1, 2, 1 << 20),   // node 1 now has a 1↔2 average
-                contact(20, 0, 1, 1 << 20),  // replicate 0→1
-                contact(30, 0, 2, 1 << 20),  // 0 delivers directly
-                contact(40, 0, 1, 1 << 20),  // ack flows 0→1 here
-                contact(50, 1, 2, 1 << 20),  // 1 must NOT re-send the packet
+                contact(5, 1, 2, 1 << 20),  // node 1 now has a 1↔2 average
+                contact(20, 0, 1, 1 << 20), // replicate 0→1
+                contact(30, 0, 2, 1 << 20), // 0 delivers directly
+                contact(40, 0, 1, 1 << 20), // ack flows 0→1 here
+                contact(50, 1, 2, 1 << 20), // 1 must NOT re-send the packet
             ]),
             Workload::new(vec![spec(10, 0, 2)]),
         );
@@ -1072,17 +1053,12 @@ mod tests {
     fn metadata_cap_zero_sends_nothing() {
         let sim = Simulation::new(
             config(3),
-            Schedule::new(vec![
-                contact(10, 0, 1, 1 << 20),
-                contact(20, 1, 2, 1 << 20),
-            ]),
+            Schedule::new(vec![contact(10, 0, 1, 1 << 20), contact(20, 1, 2, 1 << 20)]),
             Workload::new(vec![spec(0, 0, 2)]),
         );
-        let mut rapid = Rapid::new(RapidConfig::avg_delay().with_channel(
-            ChannelMode::InBand {
-                cap_fraction: Some(0.0),
-            },
-        ));
+        let mut rapid = Rapid::new(RapidConfig::avg_delay().with_channel(ChannelMode::InBand {
+            cap_fraction: Some(0.0),
+        }));
         let r = sim.run(&mut rapid);
         assert_eq!(r.metadata_bytes, 0);
     }
@@ -1184,7 +1160,7 @@ mod tests {
             cfg,
             Schedule::new(vec![
                 contact(1, 1, 3, 1 << 20),
-                contact(6, 1, 3, 1 << 20), // node 1 knows it meets 3 often
+                contact(6, 1, 3, 1 << 20),  // node 1 knows it meets 3 often
                 contact(20, 0, 1, 1 << 20), // p1 replicated 0→1
                 contact(30, 2, 1, 1 << 20), // p2 incoming: must evict p1
                 contact(40, 1, 3, 1 << 20), // node 1 delivers what it kept

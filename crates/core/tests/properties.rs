@@ -4,8 +4,8 @@
 use dtn_sim::{NodeId, PacketId, Time};
 use proptest::prelude::*;
 use rapid_core::{
-    expected_meeting_times_from, expected_remaining_delay, meetings_needed,
-    prob_delivered_within, replica_delay, QueueSnapshot,
+    expected_meeting_times_from, expected_remaining_delay, meetings_needed, prob_delivered_within,
+    replica_delay, QueueSnapshot,
 };
 
 proptest! {

@@ -217,8 +217,7 @@ mod tests {
     fn daily_meeting_count_is_calibrated() {
         let f = fleet();
         let days = f.generate_days(30);
-        let avg =
-            days.iter().map(|d| d.schedule.len() as f64).sum::<f64>() / days.len() as f64;
+        let avg = days.iter().map(|d| d.schedule.len() as f64).sum::<f64>() / days.len() as f64;
         assert!(
             (90.0..220.0).contains(&avg),
             "avg meetings/day {avg} outside calibration band"
@@ -336,7 +335,10 @@ mod tests {
             "mean opportunity {mean} outside band"
         );
         let max = sizes.iter().cloned().fold(0.0f64, f64::max);
-        assert!(max > 4.0 * mean, "expected a heavy tail, max {max} mean {mean}");
+        assert!(
+            max > 4.0 * mean,
+            "expected a heavy tail, max {max} mean {mean}"
+        );
     }
 
     #[test]
@@ -354,7 +356,7 @@ mod tests {
     #[test]
     fn route_assignment_is_balanced() {
         let f = fleet();
-        let mut per_route = vec![0usize; 10];
+        let mut per_route = [0usize; 10];
         for b in 0..40 {
             per_route[f.route_of(NodeId(b))] += 1;
         }

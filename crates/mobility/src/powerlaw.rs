@@ -41,7 +41,10 @@ impl PowerLaw {
     /// Generates a meeting schedule over `[0, horizon)`.
     pub fn generate<R: Rng + ?Sized>(&self, horizon: Time, rng: &mut R) -> Schedule {
         assert!(self.nodes >= 2, "need at least two nodes");
-        assert!(self.base_mean > TimeDelta::ZERO, "base mean must be positive");
+        assert!(
+            self.base_mean > TimeDelta::ZERO,
+            "base mean must be positive"
+        );
         let ranks = self.draw_popularity(rng);
 
         // Normalizer: average rank product over unordered pairs.

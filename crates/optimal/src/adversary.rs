@@ -63,8 +63,8 @@ pub fn theorem1a_instance(n: usize, y: &[usize]) -> (Schedule, Workload, usize) 
     for j in 0..n {
         contacts.push(Contact::new(Time::from_secs(1), source, inter(j), 1));
     }
-    for j in 0..n {
-        contacts.push(Contact::new(Time::from_secs(2), inter(j), dest(y[j]), 1));
+    for (j, &yj) in y.iter().enumerate() {
+        contacts.push(Contact::new(Time::from_secs(2), inter(j), dest(yj), 1));
     }
     let specs = (0..n)
         .map(|i| PacketSpec {

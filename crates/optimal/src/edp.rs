@@ -114,8 +114,7 @@ pub fn reduce_edp_to_dtn(edp: &DagEdp) -> (Schedule, Workload, Time) {
 /// each path connects its pair and no edge repeats across paths.
 pub fn verify_edge_disjoint(edp: &DagEdp, paths: &[Vec<usize>]) -> bool {
     let mut used: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
-    let edge_set: std::collections::HashSet<(usize, usize)> =
-        edp.edges.iter().copied().collect();
+    let edge_set: std::collections::HashSet<(usize, usize)> = edp.edges.iter().copied().collect();
     for (k, path) in paths.iter().enumerate() {
         if path.len() < 2 {
             return false;

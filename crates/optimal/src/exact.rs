@@ -82,9 +82,13 @@ pub fn solve_exact(
         specs.iter().all(|s| s.size_bytes == size),
         "exact solver requires unit-size packets (Theorems hold for unit sizes)"
     );
-    let nodes = schedule
-        .node_count_hint()
-        .max(specs.iter().map(|s| s.src.index().max(s.dst.index()) + 1).max().unwrap_or(0));
+    let nodes = schedule.node_count_hint().max(
+        specs
+            .iter()
+            .map(|s| s.src.index().max(s.dst.index()) + 1)
+            .max()
+            .unwrap_or(0),
+    );
 
     // Per-direction capacity in packets for each contact; a journey uses
     // one unit of the contact in its traversal direction. Directions do
@@ -93,11 +97,7 @@ pub fn solve_exact(
     // of 2·⌊s/size⌋ only when... — be faithful: two pools per contact.
     // Journey direction: determined while enumerating (from → to). For
     // simplicity and exactness we track per (contact, direction).
-    let per_dir: Vec<u64> = schedule
-        .contacts()
-        .iter()
-        .map(|c| c.bytes / size)
-        .collect();
+    let per_dir: Vec<u64> = schedule.contacts().iter().map(|c| c.bytes / size).collect();
 
     // Enumerate journeys per packet.
     let mut journeys: Vec<Vec<Journey>> = Vec::with_capacity(specs.len());
@@ -401,11 +401,7 @@ mod tests {
         // Journey arrives at t=90, horizon is 50: infeasible input guard —
         // horizon must exceed arrival for delivery to count. Use horizon
         // 80: delivery delay 90 > undelivered cost 80 → optimal drops.
-        let sol = solve(
-            vec![contact(90, 0, 1, 1024)],
-            vec![spec(0, 0, 1)],
-            80,
-        );
+        let sol = solve(vec![contact(90, 0, 1, 1024)], vec![spec(0, 0, 1)], 80);
         assert_eq!(sol.delivered, 0);
         assert!((sol.total_delay_secs - 80.0).abs() < 1e-9);
     }

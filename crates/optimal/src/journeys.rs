@@ -227,8 +227,7 @@ mod tests {
             contact(20, 1, 2),
             contact(30, 0, 2),
         ]);
-        let js = enumerate_journeys(&s, NodeId(0), NodeId(2), Time::from_secs(0), 4, 100)
-            .unwrap();
+        let js = enumerate_journeys(&s, NodeId(0), NodeId(2), Time::from_secs(0), 4, 100).unwrap();
         // Two journeys: 0→1→2 arriving 20, and direct 0→2 arriving 30.
         assert_eq!(js.len(), 2);
         assert_eq!(js[0].arrival, Time::from_secs(20));
@@ -244,11 +243,11 @@ mod tests {
             contact(20, 1, 2),
             contact(30, 2, 3),
         ]);
-        let none = enumerate_journeys(&s, NodeId(0), NodeId(3), Time::from_secs(0), 2, 100)
-            .unwrap();
+        let none =
+            enumerate_journeys(&s, NodeId(0), NodeId(3), Time::from_secs(0), 2, 100).unwrap();
         assert!(none.is_empty());
-        let some = enumerate_journeys(&s, NodeId(0), NodeId(3), Time::from_secs(0), 3, 100)
-            .unwrap();
+        let some =
+            enumerate_journeys(&s, NodeId(0), NodeId(3), Time::from_secs(0), 3, 100).unwrap();
         assert_eq!(some.len(), 1);
     }
 
@@ -278,8 +277,7 @@ mod tests {
             contact(40, 0, 2),
         ]);
         let arr = earliest_arrivals(&s, 4, NodeId(0), Time::from_secs(0));
-        let js = enumerate_journeys(&s, NodeId(0), NodeId(2), Time::from_secs(0), 4, 1000)
-            .unwrap();
+        let js = enumerate_journeys(&s, NodeId(0), NodeId(2), Time::from_secs(0), 4, 1000).unwrap();
         assert_eq!(arr[2].unwrap().0, js[0].arrival);
     }
 }

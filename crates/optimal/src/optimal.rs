@@ -71,9 +71,8 @@ pub fn solve_bounded(schedule: &Schedule, workload: &Workload, horizon: Time) ->
         let undelivered = horizon.since(s.time).as_secs_f64();
 
         // Lower bound: uncapacitated earliest arrival.
-        let lb = crate::journeys::earliest_arrivals(schedule, nodes, s.src, s.time)
-            [s.dst.index()]
-        .map(|(t, _)| t.since(s.time).as_secs_f64());
+        let lb = crate::journeys::earliest_arrivals(schedule, nodes, s.src, s.time)[s.dst.index()]
+            .map(|(t, _)| t.since(s.time).as_secs_f64());
         match lb {
             Some(d) if d <= undelivered => {
                 lb_total += d;
@@ -160,10 +159,7 @@ mod tests {
     #[test]
     fn uncongested_bounds_coincide() {
         let r = solve_bounded(
-            &Schedule::new(vec![
-                contact(10, 0, 1, 1 << 20),
-                contact(20, 1, 2, 1 << 20),
-            ]),
+            &Schedule::new(vec![contact(10, 0, 1, 1 << 20), contact(20, 1, 2, 1 << 20)]),
             &Workload::new(vec![spec(0, 0, 2), spec(5, 0, 1)]),
             Time::from_secs(100),
         );

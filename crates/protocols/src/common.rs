@@ -68,9 +68,7 @@ pub fn evict_until(
 #[cfg(test)]
 mod tests {
     use dtn_sim::workload::{PacketSpec, Workload};
-    use dtn_sim::{
-        Contact, ContactDriver, NodeId, Routing, Schedule, SimConfig, Simulation, Time,
-    };
+    use dtn_sim::{Contact, ContactDriver, NodeId, Routing, Schedule, SimConfig, Simulation, Time};
 
     struct Probe {
         delivered: usize,

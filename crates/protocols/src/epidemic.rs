@@ -75,11 +75,10 @@ impl Routing for Epidemic {
                 (p.created_at, id)
             });
             for id in candidates {
-                match driver.try_transfer(x, id) {
-                    TransferOutcome::NoBandwidth => break,
-                    // Flooding does not evict at the receiver: a full
-                    // buffer simply rejects new replicas.
-                    _ => {}
+                // Flooding does not evict at the receiver: a full buffer
+                // simply rejects new replicas, so only bandwidth stops us.
+                if driver.try_transfer(x, id) == TransferOutcome::NoBandwidth {
+                    break;
                 }
             }
         }

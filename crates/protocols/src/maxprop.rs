@@ -23,8 +23,8 @@
 
 use crate::common::{deliver_destined, evict_until, replication_candidates};
 use dtn_sim::{
-    AckTable, ContactDriver, NodeBuffer, NodeId, Packet, PacketId, PacketStore, Routing,
-    SimConfig, Time, TransferOutcome,
+    AckTable, ContactDriver, NodeBuffer, NodeId, Packet, PacketId, PacketStore, Routing, SimConfig,
+    Time, TransferOutcome,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -104,9 +104,16 @@ impl MaxProp {
 
     /// Eviction order at `node`: most-traveled (highest hops), then highest
     /// path cost, newest first — returned worst-first.
-    fn eviction_order(&self, node: NodeId, buffer: &NodeBuffer, packets: &PacketStore) -> Vec<PacketId> {
+    fn eviction_order(
+        &self,
+        node: NodeId,
+        buffer: &NodeBuffer,
+        packets: &PacketStore,
+    ) -> Vec<PacketId> {
+        // Sort key: hop count, path cost, then newest-first tiebreak.
+        type EvictionScore = (u32, OrderedF64, Reverse<(Time, PacketId)>, PacketId);
         let costs = self.path_costs(node);
-        let mut scored: Vec<(u32, OrderedF64, Reverse<(Time, PacketId)>, PacketId)> = buffer
+        let mut scored: Vec<EvictionScore> = buffer
             .iter()
             .map(|(id, _)| {
                 let p = packets.get(id);
@@ -316,11 +323,7 @@ mod tests {
         let mut mp = MaxProp::new();
         let sim = Simulation::new(
             cfg(3),
-            Schedule::new(vec![
-                contact(1, 0, 1),
-                contact(2, 0, 1),
-                contact(3, 0, 2),
-            ]),
+            Schedule::new(vec![contact(1, 0, 1), contact(2, 0, 1), contact(3, 0, 2)]),
             Workload::default(),
         );
         let _ = sim.run(&mut mp);
@@ -356,11 +359,7 @@ mod tests {
         let mut mp = MaxProp::new();
         let sim = Simulation::new(
             cfg(3),
-            Schedule::new(vec![
-                contact(5, 1, 2),
-                contact(15, 0, 1),
-                contact(30, 1, 2),
-            ]),
+            Schedule::new(vec![contact(5, 1, 2), contact(15, 0, 1), contact(30, 1, 2)]),
             Workload::new(vec![spec(10, 0, 2)]),
         );
         let r = sim.run(&mut mp);

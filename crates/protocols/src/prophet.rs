@@ -195,9 +195,7 @@ impl Routing for Prophet {
                                 .iter()
                                 .map(|(pid, meta)| (meta.stored_at, pid))
                                 .collect();
-                            pool.sort_unstable_by_key(|&(t, pid)| {
-                                std::cmp::Reverse((t, pid))
-                            });
+                            pool.sort_unstable_by_key(|&(t, pid)| std::cmp::Reverse((t, pid)));
                             let mut victims: Vec<PacketId> =
                                 pool.into_iter().map(|(_, pid)| pid).collect();
                             if !evict_until(driver, y, needed, &mut victims) {

@@ -7,8 +7,8 @@
 
 use crate::common::{deliver_destined, evict_until, replication_candidates};
 use dtn_sim::{
-    AckTable, ContactDriver, NodeBuffer, NodeId, Packet, PacketId, PacketStore, Routing,
-    SimConfig, Time, TransferOutcome,
+    AckTable, ContactDriver, NodeBuffer, NodeId, Packet, PacketId, PacketStore, Routing, SimConfig,
+    Time, TransferOutcome,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -171,10 +171,7 @@ mod tests {
     fn delivers_directly_and_replicates() {
         let sim = Simulation::new(
             cfg(3),
-            Schedule::new(vec![
-                contact(10, 0, 1, 1 << 20),
-                contact(20, 1, 2, 1 << 20),
-            ]),
+            Schedule::new(vec![contact(10, 0, 1, 1 << 20), contact(20, 1, 2, 1 << 20)]),
             Workload::new(vec![spec(0, 0, 2)]),
         );
         let r = sim.run(&mut Random::new());

@@ -32,11 +32,7 @@ pub struct Simulation {
 impl Simulation {
     /// Assembles a run and validates that every node id referenced by the
     /// schedule or workload is below `config.nodes`.
-    pub fn new(
-        config: SimConfig,
-        schedule: Schedule,
-        workload: crate::workload::Workload,
-    ) -> Self {
+    pub fn new(config: SimConfig, schedule: Schedule, workload: crate::workload::Workload) -> Self {
         let n = config.nodes;
         for c in schedule.contacts() {
             assert!(
@@ -86,8 +82,9 @@ impl Simulation {
     /// `config.seed`) produce identical reports.
     pub fn run(&self, routing: &mut dyn Routing) -> SimReport {
         let n = self.config.nodes;
-        let mut buffers: Vec<NodeBuffer> =
-            (0..n).map(|_| NodeBuffer::new(self.config.buffer_capacity)).collect();
+        let mut buffers: Vec<NodeBuffer> = (0..n)
+            .map(|_| NodeBuffer::new(self.config.buffer_capacity))
+            .collect();
         let mut store = PacketStore::default();
         let mut delivered_at: Vec<Option<Time>> = Vec::new();
         let mut holders: Vec<Vec<NodeId>> = Vec::new();
@@ -178,9 +175,8 @@ impl Simulation {
                 let buf = &mut buffers[spec.src.index()];
                 if buf.free_bytes() < spec.size_bytes {
                     let needed = spec.size_bytes - buf.free_bytes();
-                    let victims = routing.make_room(
-                        spec.src, &packet, needed, buf, &store, spec.time,
-                    );
+                    let victims =
+                        routing.make_room(spec.src, &packet, needed, buf, &store, spec.time);
                     for v in victims {
                         if buffers[spec.src.index()].remove(v) {
                             let list = &mut holders[v.index()];
@@ -208,7 +204,7 @@ impl Simulation {
             if noise.processing_delay_mean > TimeDelta::ZERO {
                 let jitter = Exponential::with_mean(noise.processing_delay_mean.as_secs_f64());
                 for slot in delivered_at.iter_mut().flatten() {
-                    *slot = *slot + TimeDelta::from_secs_f64(jitter.sample(&mut noise_rng));
+                    *slot += TimeDelta::from_secs_f64(jitter.sample(&mut noise_rng));
                 }
             }
         }
@@ -252,9 +248,8 @@ mod tests {
                 // Destined packets first (direct delivery step).
                 ids.sort_by_key(|&id| driver.packets().get(id).dst != to);
                 for id in ids {
-                    match driver.try_transfer(from, id) {
-                        TransferOutcome::NoBandwidth => break,
-                        _ => {}
+                    if driver.try_transfer(from, id) == TransferOutcome::NoBandwidth {
+                        break;
                     }
                 }
             }
@@ -458,7 +453,12 @@ mod tests {
         }
         let sim = Simulation::new(
             config(2),
-            Schedule::new(vec![Contact::new(Time::from_secs(1), NodeId(0), NodeId(1), 1)]),
+            Schedule::new(vec![Contact::new(
+                Time::from_secs(1),
+                NodeId(0),
+                NodeId(1),
+                1,
+            )]),
             Workload::default(),
         );
         let _ = sim.run(&mut Peeker);

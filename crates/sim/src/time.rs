@@ -147,7 +147,10 @@ mod tests {
         let t = Time::from_secs(10) + TimeDelta::from_secs(5);
         assert_eq!(t, Time::from_secs(15));
         assert_eq!(t - Time::from_secs(10), TimeDelta::from_secs(5));
-        assert_eq!(Time::from_secs(3).since(Time::from_secs(10)), TimeDelta::ZERO);
+        assert_eq!(
+            Time::from_secs(3).since(Time::from_secs(10)),
+            TimeDelta::ZERO
+        );
         let mut u = Time::ZERO;
         u += TimeDelta::from_secs(7);
         assert_eq!(u, Time::from_secs(7));

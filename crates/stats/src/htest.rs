@@ -89,11 +89,7 @@ mod tests {
     fn t_cdf_symmetry_and_median() {
         close(student_t_cdf(0.0, 5.0), 0.5, 1e-12);
         for &t in &[0.3, 1.0, 2.5] {
-            close(
-                student_t_cdf(t, 7.0) + student_t_cdf(-t, 7.0),
-                1.0,
-                1e-10,
-            );
+            close(student_t_cdf(t, 7.0) + student_t_cdf(-t, 7.0), 1.0, 1e-10);
         }
     }
 

@@ -343,7 +343,7 @@ mod tests {
         for _ in 0..200 {
             let ev = poisson_process(0.5, 100.0, &mut rng);
             assert!(ev.windows(2).all(|w| w[0] <= w[1]));
-            assert!(ev.iter().all(|&t| t >= 0.0 && t < 100.0));
+            assert!(ev.iter().all(|&t| (0.0..100.0).contains(&t)));
             total += ev.len();
         }
         let mean = total as f64 / 200.0;

@@ -46,8 +46,8 @@ fn main() {
                 .with_channel(channel)
                 .with_delay_cap(1.5 * horizon.as_secs_f64()),
         );
-        let report = Simulation::new(config, day.schedule.clone(), workload.clone())
-            .run(&mut rapid);
+        let report =
+            Simulation::new(config, day.schedule.clone(), workload.clone()).run(&mut rapid);
         println!(
             "{label:<26} delivered {:>5.1}%   avg delay {:>6.1} min   within deadline {:>5.1}%",
             100.0 * report.delivery_rate(),

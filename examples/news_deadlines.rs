@@ -56,8 +56,7 @@ fn main() {
     ] {
         let mut rapid = Rapid::new(cfg.with_delay_cap(2.0 * horizon.as_secs_f64()));
         let report =
-            Simulation::new(config.clone(), schedule.clone(), workload.clone())
-                .run(&mut rapid);
+            Simulation::new(config.clone(), schedule.clone(), workload.clone()).run(&mut rapid);
         println!(
             "{label:<26} fresh: {:>5.1}%   eventually delivered: {:>5.1}%   avg delay: {:>5.1}s",
             100.0 * report.within_deadline_rate(None),

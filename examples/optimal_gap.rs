@@ -64,9 +64,8 @@ fn main() {
         deadline: Some(TimeDelta::from_mins(10)),
         ..SimConfig::default()
     };
-    let mut rapid = Rapid::new(
-        RapidConfig::avg_delay().with_delay_cap(1.5 * horizon.as_secs_f64()),
-    );
+    let mut rapid =
+        Rapid::new(RapidConfig::avg_delay().with_delay_cap(1.5 * horizon.as_secs_f64()));
     let report = Simulation::new(config, schedule, workload).run(&mut rapid);
     println!(
         "RAPID (online)      : {:>6.1} s avg delay incl. undelivered ({} delivered)",

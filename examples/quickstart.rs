@@ -6,9 +6,7 @@
 
 use rapid_dtn::rapid::{Rapid, RapidConfig};
 use rapid_dtn::sim::workload::{PacketSpec, Workload};
-use rapid_dtn::sim::{
-    Contact, NodeId, Routing, Schedule, SimConfig, Simulation, Time, TimeDelta,
-};
+use rapid_dtn::sim::{Contact, NodeId, Routing, Schedule, SimConfig, Simulation, Time, TimeDelta};
 
 fn main() {
     // Four nodes. Node 0 wants to reach node 3, but they never meet:

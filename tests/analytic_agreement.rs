@@ -5,8 +5,7 @@
 use rapid_dtn::mobility::UniformExponential;
 use rapid_dtn::sim::workload::{PacketSpec, Workload};
 use rapid_dtn::sim::{
-    ContactDriver, NodeId, Routing, SimConfig, Simulation, Time, TimeDelta,
-    TransferOutcome,
+    ContactDriver, NodeId, Routing, SimConfig, Simulation, Time, TimeDelta, TransferOutcome,
 };
 use rapid_dtn::stats::{stream, Summary};
 
@@ -109,10 +108,9 @@ impl Routing for FloodK {
                 } else if p.src == from
                     && *self.sprayed.entry(id.0).or_insert(0) < self.k - 1
                     && !driver.buffer(to).contains(id)
+                    && driver.try_transfer(from, id) == TransferOutcome::Replicated
                 {
-                    if driver.try_transfer(from, id) == TransferOutcome::Replicated {
-                        *self.sprayed.get_mut(&id.0).expect("inserted above") += 1;
-                    }
+                    *self.sprayed.get_mut(&id.0).expect("inserted above") += 1;
                 }
             }
         }
@@ -153,8 +151,7 @@ fn replication_reduces_delay_towards_one_over_k_lambda() {
                 horizon,
                 ..SimConfig::default()
             };
-            let report =
-                Simulation::new(config, schedule, workload).run(&mut FloodK::new(k));
+            let report = Simulation::new(config, schedule, workload).run(&mut FloodK::new(k));
             for d in report.delivered_delays_secs() {
                 delays.observe(d);
             }

@@ -7,18 +7,14 @@ use rapid_dtn::optimal::earliest_arrivals;
 use rapid_dtn::protocols::{Epidemic, MaxProp, Prophet, Random, SprayAndWait};
 use rapid_dtn::rapid::{Rapid, RapidConfig};
 use rapid_dtn::sim::workload::{PacketSpec, Workload};
-use rapid_dtn::sim::{
-    Contact, NodeId, Routing, Schedule, SimConfig, Simulation, Time, TimeDelta,
-};
+use rapid_dtn::sim::{Contact, NodeId, Routing, Schedule, SimConfig, Simulation, Time, TimeDelta};
 
 const NODES: usize = 6;
 
 fn arb_contact() -> impl Strategy<Value = Contact> {
     (0u64..2_000, 0u32..NODES as u32, 0u32..NODES as u32, 1u64..8)
         .prop_filter("distinct endpoints", |(_, a, b, _)| a != b)
-        .prop_map(|(t, a, b, kb)| {
-            Contact::new(Time::from_secs(t), NodeId(a), NodeId(b), kb * 1024)
-        })
+        .prop_map(|(t, a, b, kb)| Contact::new(Time::from_secs(t), NodeId(a), NodeId(b), kb * 1024))
 }
 
 fn arb_spec() -> impl Strategy<Value = PacketSpec> {

@@ -6,10 +6,10 @@ use rapid_dtn::optimal::solve_bounded;
 use rapid_dtn::protocols::{MaxProp, Random, SprayAndWait};
 use rapid_dtn::rapid::{Rapid, RapidConfig};
 use rapid_dtn::sim::workload::pairwise_poisson;
+use rapid_dtn::sim::workload::Workload;
 use rapid_dtn::sim::{
     NodeId, Routing, Schedule, SimConfig, SimReport, Simulation, Time, TimeDelta,
 };
-use rapid_dtn::sim::workload::Workload;
 use rapid_dtn::stats::stream;
 
 fn scenario(seed: u64) -> (SimConfig, Schedule, Workload) {
@@ -23,13 +23,7 @@ fn scenario(seed: u64) -> (SimConfig, Schedule, Workload) {
     let mut rng = stream(seed, "ordering-mobility");
     let schedule = mobility.generate(horizon, &mut rng);
     let ids: Vec<NodeId> = (0..nodes as u32).map(NodeId).collect();
-    let workload = pairwise_poisson(
-        &ids,
-        TimeDelta::from_secs(200),
-        1024,
-        horizon,
-        &mut rng,
-    );
+    let workload = pairwise_poisson(&ids, TimeDelta::from_secs(200), 1024, horizon, &mut rng);
     let config = SimConfig {
         nodes,
         buffer_capacity: 200 * 1024,
@@ -51,7 +45,10 @@ fn rapid_beats_random_on_both_headline_metrics() {
     let mut rapid_wins_delay = 0;
     let trials = 3;
     for seed in 0..trials {
-        let rapid = run(seed, &mut Rapid::new(RapidConfig::avg_delay().with_delay_cap(2000.0)));
+        let rapid = run(
+            seed,
+            &mut Rapid::new(RapidConfig::avg_delay().with_delay_cap(2000.0)),
+        );
         let random = run(seed, &mut Random::new());
         if rapid.delivery_rate() >= random.delivery_rate() {
             rapid_wins_delivery += 1;
@@ -111,9 +108,7 @@ fn per_packet_delays_respect_earliest_arrival() {
     for o in &report.outcomes {
         let Some(at) = o.delivered_at else { continue };
         let arr = rapid_dtn::optimal::earliest_arrivals(&schedule, nodes, o.src, o.created_at);
-        let bound = arr[o.dst.index()]
-            .expect("delivered ⇒ reachable")
-            .0;
+        let bound = arr[o.dst.index()].expect("delivered ⇒ reachable").0;
         assert!(
             at >= bound,
             "{} delivered at {at} before earliest possible {bound}",

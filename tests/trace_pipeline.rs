@@ -37,12 +37,8 @@ fn persisted_trace_reproduces_the_run() {
             deadline: Some(TimeDelta::from_hours(2)),
             ..SimConfig::default()
         };
-        let from_memory = Simulation::new(
-            config.clone(),
-            day.schedule.clone(),
-            workload.clone(),
-        )
-        .run(&mut Rapid::new(RapidConfig::avg_delay()));
+        let from_memory = Simulation::new(config.clone(), day.schedule.clone(), workload.clone())
+            .run(&mut Rapid::new(RapidConfig::avg_delay()));
         let from_disk = Simulation::new(config, rebuilt, workload)
             .run(&mut Rapid::new(RapidConfig::avg_delay()));
         assert_eq!(from_memory, from_disk, "bit-identical replay");

@@ -1,0 +1,174 @@
+//! Vendored, registry-free stand-in for the slice of `criterion` this
+//! workspace's benches use: `Criterion::bench_function`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's full statistical pipeline it runs a short warmup,
+//! then timed batches until a wall-clock budget is spent, and prints
+//! mean/min per-iteration times. Good enough to smoke-run the benches and
+//! get a first-order number; not a replacement for real criterion output.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub struct Criterion {
+    warmup: Duration,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(200),
+            budget: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Named group of benchmarks; the name prefixes each benchmark id.
+    pub fn benchmark_group<S: AsRef<str>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.as_ref().to_owned(),
+        }
+    }
+
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            budget: self.budget,
+            iters: 0,
+            total: Duration::ZERO,
+            best: Duration::MAX,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{:<40} (no iterations run)", id.as_ref());
+            return self;
+        }
+        let mean = b.total / b.iters as u32;
+        println!(
+            "{:<40} mean {:>12?}  min {:>12?}  ({} iters)",
+            id.as_ref(),
+            mean,
+            b.best,
+            b.iters
+        );
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this stub sizes runs by wall-clock
+    /// budget rather than sample count.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    warmup: Duration,
+    budget: Duration,
+    iters: u64,
+    total: Duration,
+    best: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warmup: run until the warmup window is spent (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        // Measurement: single-iteration timing until the budget is spent.
+        let run_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            self.iters += 1;
+            self.total += dt;
+            if dt < self.best {
+                self.best = dt;
+            }
+            if run_start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            budget: Duration::from_millis(5),
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,387 @@
+//! Vendored, dependency-free stand-in for the parts of the `rand` crate this
+//! workspace uses. The build environment has no registry access, so the real
+//! crate cannot be fetched; this crate keeps the public surface (`Rng`,
+//! `SeedableRng`, `rngs::StdRng`, `seq::SliceRandom`) source-compatible for
+//! the call sites in the workspace.
+//!
+//! The generator behind `StdRng` is xoshiro256++ seeded via SplitMix64 —
+//! deterministic, fast, and statistically strong enough for simulation
+//! workloads, though not the ChaCha12 stream the upstream crate uses (so
+//! absolute sequences differ from upstream `rand`).
+
+/// Low-level source of randomness: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        T: distributions::Standard,
+    {
+        T::sample(self)
+    }
+
+    fn gen_range<R>(&mut self, range: R) -> R::Output
+    where
+        R: distributions::SampleRange,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators; mirrors the upstream trait closely enough for
+/// `StdRng::seed_from_u64` and `from_seed` call sites.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(mut state: u64) -> Self {
+        // SplitMix64 expansion of the 64-bit seed into the full seed buffer.
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distributions {
+    use super::RngCore;
+
+    /// Types that can be sampled uniformly "at standard" (the `rng.gen()`
+    /// distribution): floats in `[0, 1)`, integers over their full range.
+    pub trait Standard: Sized {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for u64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Standard for u32 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl Standard for u16 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() as u16
+        }
+    }
+
+    impl Standard for u8 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() as u8
+        }
+    }
+
+    impl Standard for usize {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Standard for i64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl Standard for i32 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() as i32
+        }
+    }
+
+    impl Standard for bool {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Standard for f64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53 high bits → uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Standard for f32 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    /// Types usable as the argument of `rng.gen_range(..)`.
+    pub trait SampleRange {
+        type Output;
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+    }
+
+    macro_rules! impl_int_range {
+        ($(($t:ty, $u:ty)),*) => {$(
+            impl SampleRange for core::ops::Range<$t> {
+                type Output = $t;
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    // Span fits the unsigned twin even for signed ranges
+                    // spanning zero; all arithmetic stays in the unsigned
+                    // domain so negative starts can't overflow.
+                    let span = (self.end as $u).wrapping_sub(self.start as $u);
+                    // Multiply-shift bounded sampling keeps the modulo bias
+                    // below 2^-64 for the span sizes used in this workspace.
+                    let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as $u;
+                    self.start.wrapping_add(draw as $t)
+                }
+            }
+            impl SampleRange for core::ops::RangeInclusive<$t> {
+                type Output = $t;
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span_minus_one = (hi as $u).wrapping_sub(lo as $u);
+                    if span_minus_one == <$u>::MAX {
+                        return <$t as Standard>::sample(rng);
+                    }
+                    let span = span_minus_one + 1;
+                    let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as $u;
+                    lo.wrapping_add(draw as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(
+        (u8, u8),
+        (u16, u16),
+        (u32, u32),
+        (u64, u64),
+        (usize, usize),
+        (i32, u32),
+        (i64, u64)
+    );
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange for core::ops::Range<$t> {
+                type Output = $t;
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let unit = <$t as Standard>::sample(rng);
+                    let v = self.start + (self.end - self.start) * unit;
+                    // start + (end-start)*unit can round up to `end` even for
+                    // unit < 1; clamp to keep the half-open contract.
+                    if v < self.end { v } else { self.end.next_down() }
+                }
+            }
+            impl SampleRange for core::ops::RangeInclusive<$t> {
+                type Output = $t;
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let unit = <$t as Standard>::sample(rng);
+                    lo + (hi - lo) * unit
+                }
+            }
+        )*};
+    }
+
+    impl_float_range!(f32, f64);
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for upstream's
+    /// `StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = (self.s[0].wrapping_add(self.s[3]))
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice helpers (`shuffle`, `choose`) matching the upstream
+    /// `rand::seq::SliceRandom` call sites.
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates, multiply-shift bounded index like gen_range.
+            for i in (1..self.len()).rev() {
+                let j = ((rng.next_u64() as u128 * (i as u128 + 1)) >> 64) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = ((rng.next_u64() as u128 * self.len() as u128) >> 64) as usize;
+                self.get(i)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&f));
+            let u = rng.gen_range(0usize..5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_handles_signed_and_extreme_ranges() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut saw_negative = false;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+            saw_negative |= v < 0;
+            let w = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&w));
+            let x = rng.gen_range(1u64..=u64::MAX);
+            assert!(x >= 1);
+            let y = rng.gen_range(i64::MIN..=i64::MAX);
+            let _ = y; // full range: any value is valid
+        }
+        assert!(saw_negative, "negative half of the range must be reachable");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v != sorted, "50 elements almost surely move");
+    }
+
+    #[test]
+    fn choose_only_fails_on_empty() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v = [1u32, 2, 3];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+    }
+}
