@@ -29,11 +29,11 @@ fn main() {
             let spec = lab.day_spec(WARMUP_DAYS + d as u32, load, 0, None);
             // Strip the warm-up for the solver: it sees only the measured
             // window, which is exactly the instance the protocols face.
-            let contacts: Vec<dtn_sim::Contact> = spec
+            let contacts: Vec<dtn_sim::ContactWindow> = spec
                 .schedule
-                .contacts()
+                .windows()
                 .iter()
-                .filter(|c| c.time >= spec.measure_from)
+                .filter(|c| c.start >= spec.measure_from)
                 .copied()
                 .collect();
             let schedule = dtn_sim::Schedule::new(contacts);

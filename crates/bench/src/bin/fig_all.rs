@@ -1,22 +1,83 @@
-//! Runs every experiment binary in sequence (the full reproduction).
+//! Runs the experiment binaries in sequence (the full reproduction).
 //! Results land in `results/*.tsv`. Budget-minded defaults; see the
 //! environment knobs in the crate docs to go bigger.
+//!
+//! Usage:
+//!
+//! ```text
+//! fig_all               # run everything
+//! fig_all fig08 table3  # run only the named binaries
+//! ```
+//!
+//! Every requested binary runs even if an earlier one fails; the exit
+//! status reflects the pass/fail summary printed at the end.
 
 use std::process::Command;
 
+const BINS: &[&str] = &[
+    "table3",
+    "fig03",
+    "fig04_05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10_12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16_18",
+    "fig19_21",
+    "fig22_24",
+    "fig_churn",
+    "ttest",
+];
+
 fn main() {
-    let bins = [
-        "table3", "fig03", "fig04_05", "fig06", "fig07", "fig08", "fig09", "fig10_12", "fig13",
-        "fig14", "fig15", "fig16_18", "fig19_21", "fig22_24", "ttest",
-    ];
+    let filters: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(unknown) = filters.iter().find(|f| !BINS.contains(&f.as_str())) {
+        eprintln!(
+            "error: unknown experiment `{unknown}`; known: {}",
+            BINS.join(" ")
+        );
+        std::process::exit(2);
+    }
+    let selected: Vec<&str> = if filters.is_empty() {
+        BINS.to_vec()
+    } else {
+        // Keep canonical order regardless of argument order.
+        BINS.iter()
+            .copied()
+            .filter(|b| filters.iter().any(|f| f == b))
+            .collect()
+    };
+
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
-    for bin in bins {
+    let mut results: Vec<(&str, bool)> = Vec::new();
+    for &bin in &selected {
         eprintln!("=== {bin} ===");
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(status.success(), "{bin} failed");
+        let ok = match Command::new(dir.join(bin)).status() {
+            Ok(status) => status.success(),
+            Err(e) => {
+                eprintln!("failed to launch {bin}: {e}");
+                false
+            }
+        };
+        results.push((bin, ok));
     }
-    eprintln!("all experiments complete; see results/*.tsv");
+
+    let failed = results.iter().filter(|(_, ok)| !ok).count();
+    eprintln!("=== summary ===");
+    for (bin, ok) in &results {
+        eprintln!("{} {bin}", if *ok { "PASS" } else { "FAIL" });
+    }
+    eprintln!(
+        "{}/{} experiments passed; see results/*.tsv",
+        results.len() - failed,
+        results.len()
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
 }

@@ -15,6 +15,7 @@
 //! * `RAPID_SEED` — root experiment seed (default 7).
 //! * `RAPID_JOBS` — worker threads (default: available parallelism).
 
+pub mod churn;
 pub mod families;
 pub mod proto;
 pub mod runner;
@@ -22,6 +23,7 @@ pub mod synth;
 pub mod trace_exp;
 pub mod tsv;
 
+pub use churn::ChurnLab;
 pub use proto::Proto;
 pub use runner::{parallel_map, run_spec, RunSpec};
 pub use synth::{Mobility, SynthLab};

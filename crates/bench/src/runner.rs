@@ -2,7 +2,7 @@
 
 use crate::proto::Proto;
 use dtn_sim::workload::Workload;
-use dtn_sim::{NoiseModel, Schedule, SimConfig, SimReport, Simulation, Time, TimeDelta};
+use dtn_sim::{NodeEvent, NoiseModel, Schedule, SimConfig, SimReport, Simulation, Time, TimeDelta};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A fully specified simulation job.
@@ -26,6 +26,10 @@ pub struct RunSpec {
     pub noise: Option<NoiseModel>,
     /// Start of the measured window (contacts before it are warm-up).
     pub measure_from: Time,
+    /// Node churn events (empty = everyone stays up, the paper's model).
+    pub churn: Vec<NodeEvent>,
+    /// Per-packet TTL (`None` = packets live to the horizon).
+    pub ttl: Option<TimeDelta>,
 }
 
 /// Executes one job with one protocol.
@@ -34,12 +38,14 @@ pub fn run_spec(spec: &RunSpec, proto: Proto) -> SimReport {
         nodes: spec.nodes,
         buffer_capacity: spec.buffer,
         deadline: Some(spec.deadline),
+        ttl: spec.ttl,
         horizon: spec.horizon,
         allow_global_knowledge: proto.needs_global(),
         seed: spec.seed,
         measure_from: spec.measure_from,
     };
-    let mut sim = Simulation::new(config, spec.schedule.clone(), spec.workload.clone());
+    let mut sim = Simulation::new(config, spec.schedule.clone(), spec.workload.clone())
+        .with_churn(spec.churn.clone());
     if let Some(noise) = spec.noise {
         sim = sim.with_noise(noise);
     }

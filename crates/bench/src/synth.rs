@@ -109,6 +109,8 @@ impl SynthLab {
             seed: self.seeds.seed() ^ u64::from(run),
             noise: None,
             measure_from: Time::ZERO,
+            churn: Vec::new(),
+            ttl: None,
         }
     }
 

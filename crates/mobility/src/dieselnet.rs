@@ -21,9 +21,10 @@
 //! variable link capacity, day-scoped packet lifetimes — not the authors'
 //! absolute numbers.
 
-use dtn_sim::{Contact, NodeId, Schedule, Time, TimeDelta};
+use crate::exponential::window;
+use dtn_sim::{NodeId, Schedule, Time, TimeDelta};
 use dtn_stats::rng::SeedStream;
-use dtn_stats::sample::{poisson_process, LogNormal, Poisson};
+use dtn_stats::sample::{poisson_process, Exponential, LogNormal, Poisson};
 use dtn_trace::{ContactRecord, Record, Trace};
 use rand::seq::SliceRandom;
 
@@ -48,6 +49,11 @@ pub struct DieselNetConfig {
     pub opportunity_mean_bytes: f64,
     /// Log-normal sigma of the opportunity size (link-capacity variance).
     pub opportunity_sigma: f64,
+    /// Mean contact-window duration (exponentially distributed per
+    /// meeting). `TimeDelta::ZERO` — the default, and the paper's model —
+    /// emits instantaneous meetings and draws no extra randomness, so
+    /// default fleets are bit-identical to the pre-window generator.
+    pub mean_contact_duration: TimeDelta,
 }
 
 impl Default for DieselNetConfig {
@@ -67,6 +73,7 @@ impl Default for DieselNetConfig {
             far_route_rate_per_hour: 0.025,
             opportunity_mean_bytes: 1.8e6,
             opportunity_sigma: 1.1,
+            mean_contact_duration: TimeDelta::ZERO,
         }
     }
 }
@@ -155,6 +162,8 @@ impl DieselNet {
         on_road.sort_unstable();
 
         let opp = LogNormal::with_mean(self.cfg.opportunity_mean_bytes, self.cfg.opportunity_sigma);
+        let dur = (self.cfg.mean_contact_duration > TimeDelta::ZERO)
+            .then(|| Exponential::with_mean(self.cfg.mean_contact_duration.as_secs_f64()));
         let hours = self.cfg.day_length.as_secs_f64() / 3600.0;
         let mut contacts = Vec::new();
         for (i, &a) in on_road.iter().enumerate() {
@@ -165,11 +174,17 @@ impl DieselNet {
                 }
                 for t_hours in poisson_process(rate, hours, &mut rng) {
                     let bytes = opp.sample(&mut rng).max(1.0) as u64;
-                    contacts.push(Contact::new(
+                    let duration = dur.as_ref().map_or(TimeDelta::ZERO, |d| {
+                        TimeDelta::from_secs_f64(d.sample(&mut rng))
+                    });
+                    contacts.push(window(
                         Time::from_secs_f64(t_hours * 3600.0),
                         a,
                         b,
                         bytes,
+                        duration,
+                        // Windows end with the service day.
+                        Time(self.cfg.day_length.0),
                     ));
                 }
             }
@@ -191,14 +206,10 @@ impl DieselNet {
     pub fn to_trace(days: &[DayTrace]) -> Trace {
         let mut records = Vec::new();
         for d in days {
-            for c in d.schedule.contacts() {
-                records.push(Record::Contact(ContactRecord {
-                    day: d.day,
-                    time_us: c.time.0,
-                    a: c.a.0,
-                    b: c.b.0,
-                    bytes: c.bytes,
-                }));
+            for &w in d.schedule.windows() {
+                let mut r = ContactRecord::from(w);
+                r.day = d.day;
+                records.push(Record::Contact(r));
             }
         }
         Trace::new(records)
@@ -240,7 +251,7 @@ mod tests {
             assert_eq!(ids.len(), d.on_road.len());
             assert!(ids.iter().all(|n| n.index() < 40));
             // Every contact endpoint is on the road.
-            for c in d.schedule.contacts() {
+            for c in d.schedule.windows() {
                 assert!(d.on_road.contains(&c.a) && d.on_road.contains(&c.b));
             }
         }
@@ -273,7 +284,7 @@ mod tests {
                     }
                 }
             }
-            for c in d.schedule.contacts() {
+            for c in d.schedule.windows() {
                 let dist = {
                     let (ra, rb) = (f.route_of(c.a), f.route_of(c.b));
                     let d = ra.abs_diff(rb);
@@ -305,7 +316,7 @@ mod tests {
             for &n in &d.on_road {
                 seen_on_road.insert(n.0);
             }
-            for c in d.schedule.contacts() {
+            for c in d.schedule.windows() {
                 met.insert((c.a.0.min(c.b.0), c.a.0.max(c.b.0)));
             }
         }
@@ -327,7 +338,7 @@ mod tests {
         let days = f.generate_days(20);
         let sizes: Vec<f64> = days
             .iter()
-            .flat_map(|d| d.schedule.contacts().iter().map(|c| c.bytes as f64))
+            .flat_map(|d| d.schedule.windows().iter().map(|c| c.capacity() as f64))
             .collect();
         let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
         assert!(
@@ -361,6 +372,41 @@ mod tests {
             per_route[f.route_of(NodeId(b))] += 1;
         }
         assert!(per_route.iter().all(|&k| k == 4));
+    }
+
+    #[test]
+    fn durative_fleet_emits_windows() {
+        let cfg = DieselNetConfig {
+            mean_contact_duration: TimeDelta::from_secs(120),
+            ..DieselNetConfig::default()
+        };
+        let f = DieselNet::new(cfg, 42);
+        let d = f.generate_day(3);
+        assert!(!d.schedule.is_empty());
+        assert!(d.schedule.windows().iter().all(|w| !w.is_instantaneous()));
+        let mean_dur = d
+            .schedule
+            .windows()
+            .iter()
+            .map(|w| w.duration().as_secs_f64())
+            .sum::<f64>()
+            / d.schedule.len() as f64;
+        assert!(
+            (20.0..600.0).contains(&mean_dur),
+            "mean window duration {mean_dur}s outside band"
+        );
+        // Windowed traces round-trip through the duration-aware format.
+        let trace = DieselNet::to_trace(std::slice::from_ref(&d));
+        let parsed = dtn_trace::parse(&trace.to_string_format()).unwrap();
+        let rebuilt = Schedule::from_records(&parsed.contacts_on(3));
+        assert_eq!(rebuilt, d.schedule);
+    }
+
+    #[test]
+    fn default_fleet_is_instantaneous() {
+        let f = fleet();
+        let d = f.generate_day(0);
+        assert!(d.schedule.windows().iter().all(|w| w.is_instantaneous()));
     }
 
     #[test]

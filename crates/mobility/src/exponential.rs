@@ -7,7 +7,7 @@
 //! (min of k i.i.d. exponentials is exponential with mean 1/kλ), which the
 //! integration tests verify the simulator recovers.
 
-use dtn_sim::{Contact, NodeId, Schedule, Time, TimeDelta};
+use dtn_sim::{ContactWindow, NodeId, Schedule, Time, TimeDelta};
 use dtn_stats::sample::poisson_process;
 use rand::Rng;
 
@@ -23,8 +23,28 @@ pub struct UniformExponential {
 }
 
 impl UniformExponential {
-    /// Generates a meeting schedule over `[0, horizon)`.
+    /// Generates a meeting schedule over `[0, horizon)` of instantaneous
+    /// contacts (the paper's model).
     pub fn generate<R: Rng + ?Sized>(&self, horizon: Time, rng: &mut R) -> Schedule {
+        self.generate_windows(horizon, TimeDelta::ZERO, rng)
+    }
+
+    /// Generates a meeting schedule over `[0, horizon)` of contact windows
+    /// of fixed `duration`. The per-meeting opportunity stays
+    /// `opportunity_bytes` regardless of duration — the link rate is
+    /// `opportunity_bytes / duration` — so sweeping the duration isolates
+    /// the *shape* of the opportunity (lump versus slow accrual that churn
+    /// can interrupt) from its size. Windows are clamped at the horizon
+    /// (the run ends; a still-open window is truncated like an
+    /// interruption), so no delivery can land past it. `TimeDelta::ZERO`
+    /// yields exactly [`UniformExponential::generate`]'s instantaneous
+    /// schedule: the RNG draw sequence is identical.
+    pub fn generate_windows<R: Rng + ?Sized>(
+        &self,
+        horizon: Time,
+        duration: TimeDelta,
+        rng: &mut R,
+    ) -> Schedule {
         assert!(self.nodes >= 2, "need at least two nodes");
         assert!(
             self.mean_inter_meeting > TimeDelta::ZERO,
@@ -35,16 +55,43 @@ impl UniformExponential {
         for i in 0..self.nodes {
             for j in (i + 1)..self.nodes {
                 for t in poisson_process(rate, horizon.as_secs_f64(), rng) {
-                    contacts.push(Contact::new(
+                    contacts.push(window(
                         Time::from_secs_f64(t),
                         NodeId(i as u32),
                         NodeId(j as u32),
                         self.opportunity_bytes,
+                        duration,
+                        horizon,
                     ));
                 }
             }
         }
         Schedule::new(contacts)
+    }
+}
+
+/// A window at `start` carrying `bytes` total: a lump when `duration` is
+/// zero, otherwise spread over the window at rate `bytes / duration`. The
+/// end is clamped at `horizon` — the run is over at day end, so a window
+/// reaching past it is truncated (losing the tail of its capacity, exactly
+/// like a churn interruption) and no delivery can be recorded past the
+/// horizon.
+pub(crate) fn window(
+    start: Time,
+    a: NodeId,
+    b: NodeId,
+    bytes: u64,
+    duration: TimeDelta,
+    horizon: Time,
+) -> ContactWindow {
+    if duration == TimeDelta::ZERO {
+        ContactWindow::instant(start, a, b, bytes)
+    } else {
+        // Floor, not round: the full window must never offer more than the
+        // lump opportunity (truncation is the direction the docs accept).
+        let rate = (bytes as f64 / duration.as_secs_f64()).floor().max(1.0) as u64;
+        let end = (start + duration).min(horizon).max(start);
+        ContactWindow::new(start, end, a, b, rate)
     }
 }
 
@@ -70,8 +117,9 @@ mod tests {
             (got - expected).abs() < expected * 0.15,
             "expected ~{expected}, got {got}"
         );
-        assert!(s.contacts().windows(2).all(|w| w[0].time <= w[1].time));
-        assert!(s.contacts().iter().all(|c| c.bytes == 100 * 1024));
+        assert!(s.windows().windows(2).all(|w| w[0].start <= w[1].start));
+        assert!(s.windows().iter().all(|c| c.capacity() == 100 * 1024));
+        assert!(s.windows().iter().all(|c| c.is_instantaneous()));
     }
 
     #[test]
@@ -95,10 +143,43 @@ mod tests {
         };
         let s = model.generate(Time::from_secs(1000), &mut stream(3, "m"));
         let mut seen = std::collections::BTreeSet::new();
-        for c in s.contacts() {
+        for c in s.windows() {
             seen.insert((c.a.0.min(c.b.0), c.a.0.max(c.b.0)));
         }
         assert_eq!(seen.len(), 15, "every pair should meet");
+    }
+
+    #[test]
+    fn windowed_generation_matches_instant_draws() {
+        let model = UniformExponential {
+            nodes: 6,
+            mean_inter_meeting: TimeDelta::from_secs(50),
+            opportunity_bytes: 60_000,
+        };
+        let horizon = Time::from_secs(500);
+        let instant = model.generate(horizon, &mut stream(4, "w"));
+        let windowed =
+            model.generate_windows(horizon, TimeDelta::from_secs(60), &mut stream(4, "w"));
+        // Same meeting processes (identical RNG use), different shapes.
+        assert_eq!(instant.len(), windowed.len());
+        let mut clamped = 0;
+        for (i, w) in instant.windows().iter().zip(windowed.windows()) {
+            assert_eq!(i.start, w.start);
+            // 60 000 B over 60 s; windows never outlive the run.
+            assert_eq!(w.bytes_per_sec, 1000);
+            assert!(w.end <= horizon);
+            if w.start + TimeDelta::from_secs(60) <= horizon {
+                // ...full-length away from the horizon, same capacity...
+                assert_eq!(w.duration(), TimeDelta::from_secs(60));
+                assert_eq!(w.capacity(), i.capacity());
+            } else {
+                // ...truncated at day end otherwise (tail capacity lost).
+                assert_eq!(w.end, horizon);
+                assert!(w.capacity() < i.capacity());
+                clamped += 1;
+            }
+        }
+        assert!(clamped > 0, "some window should hit the horizon");
     }
 
     #[test]

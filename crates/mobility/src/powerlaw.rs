@@ -14,7 +14,8 @@
 //! mean, but popular pairs meet far more often than unpopular ones
 //! (rank products span `1·2` to `(n−1)·n`, a ~two-decade spread).
 
-use dtn_sim::{Contact, NodeId, Schedule, Time, TimeDelta};
+use crate::exponential::window;
+use dtn_sim::{NodeId, Schedule, Time, TimeDelta};
 use dtn_stats::sample::poisson_process;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -38,8 +39,22 @@ impl PowerLaw {
         ranks
     }
 
-    /// Generates a meeting schedule over `[0, horizon)`.
+    /// Generates a meeting schedule over `[0, horizon)` of instantaneous
+    /// contacts (the paper's model).
     pub fn generate<R: Rng + ?Sized>(&self, horizon: Time, rng: &mut R) -> Schedule {
+        self.generate_windows(horizon, TimeDelta::ZERO, rng)
+    }
+
+    /// Generates a meeting schedule of contact windows of fixed `duration`,
+    /// each carrying `opportunity_bytes` total (rate = bytes / duration),
+    /// clamped at the horizon. `TimeDelta::ZERO` reproduces
+    /// [`PowerLaw::generate`] exactly — the RNG draw sequence is identical.
+    pub fn generate_windows<R: Rng + ?Sized>(
+        &self,
+        horizon: Time,
+        duration: TimeDelta,
+        rng: &mut R,
+    ) -> Schedule {
         assert!(self.nodes >= 2, "need at least two nodes");
         assert!(
             self.base_mean > TimeDelta::ZERO,
@@ -64,11 +79,13 @@ impl PowerLaw {
                 let mean = self.base_mean.as_secs_f64() * f64::from(ranks[i] * ranks[j]) / norm;
                 let rate = 1.0 / mean;
                 for t in poisson_process(rate, horizon.as_secs_f64(), rng) {
-                    contacts.push(Contact::new(
+                    contacts.push(window(
                         Time::from_secs_f64(t),
                         NodeId(i as u32),
                         NodeId(j as u32),
                         self.opportunity_bytes,
+                        duration,
+                        horizon,
                     ));
                 }
             }
@@ -115,7 +132,7 @@ mod tests {
         };
         let s = m.generate(Time::from_secs(5000), &mut rng);
         let mut counts: BTreeMap<(u32, u32), usize> = BTreeMap::new();
-        for c in s.contacts() {
+        for c in s.windows() {
             *counts.entry((c.a.0, c.b.0)).or_default() += 1;
         }
         // Identify the most and least popular pairs by rank product.

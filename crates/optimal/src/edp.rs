@@ -197,7 +197,7 @@ mod tests {
             let mut at = workload.specs()[k].src;
             let mut path = vec![at.index()];
             for &ci in &journey.contacts {
-                let c = schedule.contacts()[ci];
+                let c = schedule.windows()[ci];
                 at = if c.a == at { c.b } else { c.a };
                 path.push(at.index());
             }

@@ -97,7 +97,11 @@ pub fn solve_exact(
     // of 2·⌊s/size⌋ only when... — be faithful: two pools per contact.
     // Journey direction: determined while enumerating (from → to). For
     // simplicity and exactness we track per (contact, direction).
-    let per_dir: Vec<u64> = schedule.contacts().iter().map(|c| c.bytes / size).collect();
+    let per_dir: Vec<u64> = schedule
+        .windows()
+        .iter()
+        .map(|c| c.capacity() / size)
+        .collect();
 
     // Enumerate journeys per packet.
     let mut journeys: Vec<Vec<Journey>> = Vec::with_capacity(specs.len());
@@ -209,7 +213,7 @@ fn journey_dirs<'a>(
 ) -> impl Iterator<Item = (usize, usize)> + 'a {
     let mut at = src;
     journey.contacts.iter().map(move |&idx| {
-        let c = schedule.contacts()[idx];
+        let c = schedule.windows()[idx];
         let dir = if c.a == at { 0 } else { 1 };
         at = if c.a == at { c.b } else { c.a };
         (idx, dir)

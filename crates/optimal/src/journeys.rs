@@ -40,8 +40,8 @@ pub fn earliest_arrivals(
 ) -> Vec<Option<EventPos>> {
     let mut arrival: Vec<Option<EventPos>> = vec![None; nodes];
     arrival[src.index()] = Some(creation_pos(created_at));
-    for (idx, c) in schedule.contacts().iter().enumerate() {
-        let pos = (c.time, idx);
+    for (idx, c) in schedule.windows().iter().enumerate() {
+        let pos = (c.start, idx);
         let a_ok = arrival[c.a.index()].is_some_and(|p| p < pos);
         let b_ok = arrival[c.b.index()].is_some_and(|p| p < pos);
         if a_ok {
@@ -75,7 +75,7 @@ pub fn enumerate_journeys(
     max_journeys: usize,
 ) -> Option<Vec<Journey>> {
     assert_ne!(src, dst, "src and dst must differ");
-    let contacts = schedule.contacts();
+    let contacts = schedule.windows();
     let mut out: Vec<Journey> = Vec::new();
     // DFS stack: (current node, event position, path, visited).
     let mut path: Vec<usize> = Vec::new();
@@ -101,7 +101,7 @@ pub fn enumerate_journeys(
 
 #[allow(clippy::too_many_arguments)]
 fn dfs(
-    contacts: &[dtn_sim::Contact],
+    contacts: &[dtn_sim::ContactWindow],
     at: NodeId,
     pos: EventPos,
     dst: NodeId,
@@ -115,10 +115,10 @@ fn dfs(
         return true;
     }
     // Scan contacts strictly after `pos` that touch `at`.
-    let start = contacts.partition_point(|c| (c.time, usize::MAX) < (pos.0, 0));
+    let start = contacts.partition_point(|c| (c.start, usize::MAX) < (pos.0, 0));
     for (off, c) in contacts[start..].iter().enumerate() {
         let idx = start + off;
-        if (c.time, idx) <= pos {
+        if (c.start, idx) <= pos {
             continue;
         }
         let next = if c.a == at {
@@ -139,14 +139,14 @@ fn dfs(
             }
             out.push(Journey {
                 contacts: path.clone(),
-                arrival: c.time,
+                arrival: c.start,
             });
         } else {
             visited.push(next);
             let ok = dfs(
                 contacts,
                 next,
-                (c.time, idx),
+                (c.start, idx),
                 dst,
                 hops_left - 1,
                 max_journeys,

@@ -57,10 +57,13 @@ pub fn solve_bounded(schedule: &Schedule, workload: &Workload, horizon: Time) ->
             .max()
             .unwrap_or(0),
     );
-    let contacts = schedule.contacts();
+    let contacts = schedule.windows();
 
     // Remaining per-direction capacity, in bytes.
-    let mut cap: Vec<(u64, u64)> = contacts.iter().map(|c| (c.bytes, c.bytes)).collect();
+    let mut cap: Vec<(u64, u64)> = contacts
+        .iter()
+        .map(|c| (c.capacity(), c.capacity()))
+        .collect();
 
     let mut lb_total = 0.0;
     let mut lb_delivered = 0usize;
@@ -87,7 +90,7 @@ pub fn solve_bounded(schedule: &Schedule, workload: &Workload, horizon: Time) ->
         let mut pred: Vec<Option<(usize, usize)>> = vec![None; nodes]; // (contact, dir)
         arrival[s.src.index()] = Some(creation_pos(s.time));
         for (idx, c) in contacts.iter().enumerate() {
-            let pos = (c.time, idx);
+            let pos = (c.start, idx);
             let (ab, ba) = cap[idx];
             let a_ok = ab >= s.size_bytes && arrival[c.a.index()].is_some_and(|p| p < pos);
             let b_ok = ba >= s.size_bytes && arrival[c.b.index()].is_some_and(|p| p < pos);

@@ -47,11 +47,11 @@ proptest! {
                 let mut at = NodeId(0);
                 let mut pos = (created, usize::MAX);
                 for &ci in &j.contacts {
-                    let c = schedule.contacts()[ci];
-                    prop_assert!((c.time, ci) > pos, "journey must move forward in time");
+                    let c = schedule.windows()[ci];
+                    prop_assert!((c.start, ci) > pos, "journey must move forward in time");
                     prop_assert!(c.a == at || c.b == at, "journey must be connected");
                     at = if c.a == at { c.b } else { c.a };
-                    pos = (c.time, ci);
+                    pos = (c.start, ci);
                 }
                 prop_assert_eq!(at, NodeId(1));
             }

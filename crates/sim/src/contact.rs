@@ -1,17 +1,27 @@
-//! Transfer opportunities and meeting schedules.
+//! Transfer opportunities: durative contact windows and meeting schedules.
 //!
 //! §3.1: "Each directed edge e between two nodes represents a meeting between
 //! them, and it is annotated with a tuple (t_e, s_e)". The reproduction
-//! stores one [`Contact`] per meeting and treats the opportunity as
-//! symmetric: each endpoint may send up to `bytes` to the other, mirroring
-//! the deployment where the two discovered directed connections are merged
-//! into one connection event (§5).
+//! generalizes the paper's instantaneous meetings to *contact windows* in the
+//! style of contact-graph routing: a window is open over `[start, end]` with
+//! a per-direction link rate, so the usable opportunity grows as the window
+//! stays open (and shrinks when churn interrupts it). The paper's
+//! instantaneous meeting is the degenerate zero-duration window, whose whole
+//! opportunity is a lump available at `start` — the engine reproduces the
+//! seed behaviour byte-for-byte for such schedules.
+//!
+//! Opportunities are symmetric: each endpoint may send up to the window
+//! capacity to the other, mirroring the deployment where the two discovered
+//! directed connections are merged into one connection event (§5).
 
-use crate::time::Time;
+use crate::time::{Time, TimeDelta};
 use crate::types::NodeId;
 use dtn_trace::ContactRecord;
 
-/// One transfer opportunity.
+/// One instantaneous transfer opportunity — the paper's `(t_e, s_e)` edge.
+///
+/// Kept as the convenience constructor for the common case; it converts into
+/// the degenerate zero-duration [`ContactWindow`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Contact {
     /// Instant of the meeting.
@@ -46,62 +56,235 @@ impl Contact {
     }
 }
 
-impl From<ContactRecord> for Contact {
-    fn from(r: ContactRecord) -> Self {
-        Contact::new(Time(r.time_us), NodeId(r.a), NodeId(r.b), r.bytes)
+/// A durative transfer opportunity: the link between `a` and `b` is up over
+/// `[start, end]` at `bytes_per_sec` per direction, plus an optional
+/// `lump_bytes` granted immediately at `start`.
+///
+/// Two shapes matter in practice:
+///
+/// * **Instantaneous** (`start == end`, built by [`ContactWindow::instant`]
+///   or converted from a [`Contact`]): the whole opportunity is the lump —
+///   exactly the paper's `(t_e, s_e)` meeting.
+/// * **Durative** (built by [`ContactWindow::new`]): capacity accrues at the
+///   link rate while the window is open; an interruption (node churn) caps
+///   the accrual at the interruption instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContactWindow {
+    /// When the window opens.
+    pub start: Time,
+    /// When the window closes (`start == end` ⇒ instantaneous).
+    pub end: Time,
+    /// First endpoint.
+    pub a: NodeId,
+    /// Second endpoint.
+    pub b: NodeId,
+    /// Link rate while open, bytes per second per direction.
+    pub bytes_per_sec: u64,
+    /// Bytes granted at `start` regardless of duration (the degenerate
+    /// zero-duration window carries its whole opportunity here).
+    pub lump_bytes: u64,
+}
+
+impl ContactWindow {
+    /// Builds a durative window; endpoints must differ and `end >= start`.
+    pub fn new(start: Time, end: Time, a: NodeId, b: NodeId, bytes_per_sec: u64) -> Self {
+        assert_ne!(a, b, "a node cannot meet itself");
+        assert!(end >= start, "window must not end before it starts");
+        Self {
+            start,
+            end,
+            a,
+            b,
+            bytes_per_sec,
+            lump_bytes: 0,
+        }
+    }
+
+    /// Builds the degenerate zero-duration window: the whole opportunity is
+    /// a lump at `time` (the paper's instantaneous meeting).
+    pub fn instant(time: Time, a: NodeId, b: NodeId, bytes: u64) -> Self {
+        assert_ne!(a, b, "a node cannot meet itself");
+        Self {
+            start: time,
+            end: time,
+            a,
+            b,
+            bytes_per_sec: 0,
+            lump_bytes: bytes,
+        }
+    }
+
+    /// Window length.
+    pub fn duration(&self) -> TimeDelta {
+        self.end.since(self.start)
+    }
+
+    /// Whether this is a zero-duration (lump) window.
+    pub fn is_instantaneous(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Per-direction bytes accrued if the window runs from `start` until
+    /// `until` (clamped to `[start, end]`): `lump + rate × elapsed`.
+    /// Integer microsecond math — no floating point on the event path.
+    pub fn capacity_until(&self, until: Time) -> u64 {
+        let until = until.clamp(self.start, self.end);
+        let elapsed_us = until.since(self.start).0;
+        let accrued = (u128::from(self.bytes_per_sec) * u128::from(elapsed_us)) / 1_000_000;
+        self.lump_bytes
+            .saturating_add(u64::try_from(accrued).unwrap_or(u64::MAX))
+    }
+
+    /// Per-direction bytes offered by the full, uninterrupted window.
+    pub fn capacity(&self) -> u64 {
+        self.capacity_until(self.end)
+    }
+
+    /// This window shifted later by `offset` (warm-up prefix assembly).
+    pub fn shifted(&self, offset: TimeDelta) -> Self {
+        Self {
+            start: self.start + offset,
+            end: self.end + offset,
+            ..*self
+        }
+    }
+
+    /// Whether `node` is one of the endpoints.
+    pub fn involves(&self, node: NodeId) -> bool {
+        node == self.a || node == self.b
+    }
+
+    /// The peer of `node` in this window.
+    ///
+    /// # Panics
+    /// If `node` is not an endpoint.
+    pub fn peer_of(&self, node: NodeId) -> NodeId {
+        if node == self.a {
+            self.b
+        } else if node == self.b {
+            self.a
+        } else {
+            panic!("{node} is not an endpoint of this contact");
+        }
     }
 }
 
-/// A time-ordered meeting schedule for one simulation run (one day).
+impl From<Contact> for ContactWindow {
+    fn from(c: Contact) -> Self {
+        ContactWindow::instant(c.time, c.a, c.b, c.bytes)
+    }
+}
+
+impl From<ContactRecord> for ContactWindow {
+    /// Trace semantics: `duration_us == 0` means an instantaneous record
+    /// whose `bytes` is the lump opportunity; `duration_us > 0` means a
+    /// window whose `bytes` is the link rate in bytes/sec.
+    fn from(r: ContactRecord) -> Self {
+        if r.duration_us == 0 {
+            ContactWindow::instant(Time(r.time_us), NodeId(r.a), NodeId(r.b), r.bytes)
+        } else {
+            // Saturating: a (nonsensical but parseable) record near the
+            // u64 end of time yields a window pinned at the time ceiling
+            // rather than a wrap-around panic.
+            ContactWindow::new(
+                Time(r.time_us),
+                Time(r.time_us.saturating_add(r.duration_us)),
+                NodeId(r.a),
+                NodeId(r.b),
+                r.bytes,
+            )
+        }
+    }
+}
+
+impl From<ContactWindow> for ContactRecord {
+    fn from(w: ContactWindow) -> Self {
+        if w.is_instantaneous() {
+            ContactRecord {
+                day: 0,
+                time_us: w.start.0,
+                a: w.a.0,
+                b: w.b.0,
+                bytes: w.lump_bytes,
+                duration_us: 0,
+            }
+        } else {
+            ContactRecord {
+                day: 0,
+                time_us: w.start.0,
+                a: w.a.0,
+                b: w.b.0,
+                bytes: w.bytes_per_sec,
+                duration_us: w.duration().0,
+            }
+        }
+    }
+}
+
+/// A time-ordered schedule of contact windows for one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Schedule {
-    contacts: Vec<Contact>,
+    windows: Vec<ContactWindow>,
 }
 
 impl Schedule {
-    /// Builds a schedule, sorting contacts by time (stable, so equal-time
-    /// contacts keep their given order — which makes trace replay exact).
-    pub fn new(mut contacts: Vec<Contact>) -> Self {
-        contacts.sort_by_key(|c| c.time);
-        Self { contacts }
+    /// Builds a schedule, sorting windows by start time (stable, so
+    /// equal-time windows keep their given order — which makes trace replay
+    /// exact). Accepts [`Contact`]s, [`ContactWindow`]s or anything else
+    /// convertible to a window.
+    pub fn new<C: Into<ContactWindow>>(items: Vec<C>) -> Self {
+        let mut windows: Vec<ContactWindow> = items.into_iter().map(Into::into).collect();
+        windows.sort_by_key(|w| w.start);
+        Self { windows }
     }
 
     /// Builds a schedule from trace records (a single day's worth).
     pub fn from_records(records: &[ContactRecord]) -> Self {
-        Self::new(records.iter().map(|&r| Contact::from(r)).collect())
+        Self::new(
+            records
+                .iter()
+                .map(|&r| ContactWindow::from(r))
+                .collect::<Vec<_>>(),
+        )
     }
 
-    /// The contacts in time order.
-    pub fn contacts(&self) -> &[Contact] {
-        &self.contacts
+    /// The windows in start-time order.
+    pub fn windows(&self) -> &[ContactWindow] {
+        &self.windows
     }
 
-    /// Number of contacts.
+    /// Number of windows.
     pub fn len(&self) -> usize {
-        self.contacts.len()
+        self.windows.len()
     }
 
     /// Whether the schedule is empty.
     pub fn is_empty(&self) -> bool {
-        self.contacts.is_empty()
+        self.windows.is_empty()
     }
 
-    /// Time of the last contact, or `Time::ZERO` when empty.
+    /// Latest window end (equals the last meeting time for instantaneous
+    /// schedules), or `Time::ZERO` when empty.
     pub fn end_time(&self) -> Time {
-        self.contacts.last().map_or(Time::ZERO, |c| c.time)
+        self.windows
+            .iter()
+            .map(|w| w.end)
+            .max()
+            .unwrap_or(Time::ZERO)
     }
 
-    /// Total offered capacity in bytes (both directions of every contact).
+    /// Total offered capacity in bytes (both directions of every window,
+    /// assuming no interruptions).
     pub fn offered_bytes(&self) -> u64 {
-        self.contacts.iter().map(|c| 2 * c.bytes).sum()
+        self.windows.iter().map(|w| 2 * w.capacity()).sum()
     }
 
     /// Largest node index mentioned, plus one (0 when empty). Useful for
     /// sizing arenas.
     pub fn node_count_hint(&self) -> usize {
-        self.contacts
+        self.windows
             .iter()
-            .map(|c| c.a.0.max(c.b.0) as usize + 1)
+            .map(|w| w.a.0.max(w.b.0) as usize + 1)
             .max()
             .unwrap_or(0)
     }
@@ -117,7 +300,7 @@ mod tests {
             Contact::new(Time::from_secs(5), NodeId(0), NodeId(1), 10),
             Contact::new(Time::from_secs(1), NodeId(1), NodeId(2), 10),
         ]);
-        assert_eq!(s.contacts()[0].time, Time::from_secs(1));
+        assert_eq!(s.windows()[0].start, Time::from_secs(1));
         assert_eq!(s.end_time(), Time::from_secs(5));
         assert_eq!(s.len(), 2);
         assert!(!s.is_empty());
@@ -128,6 +311,9 @@ mod tests {
         let c = Contact::new(Time::ZERO, NodeId(3), NodeId(7), 1);
         assert_eq!(c.peer_of(NodeId(3)), NodeId(7));
         assert_eq!(c.peer_of(NodeId(7)), NodeId(3));
+        let w = ContactWindow::from(c);
+        assert_eq!(w.peer_of(NodeId(3)), NodeId(7));
+        assert!(w.involves(NodeId(7)) && !w.involves(NodeId(1)));
     }
 
     #[test]
@@ -144,6 +330,71 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "meet itself")]
+    fn self_window_panics() {
+        let _ = ContactWindow::new(Time::ZERO, Time::from_secs(1), NodeId(3), NodeId(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "end before it starts")]
+    fn backwards_window_panics() {
+        let _ = ContactWindow::new(
+            Time::from_secs(2),
+            Time::from_secs(1),
+            NodeId(0),
+            NodeId(1),
+            1,
+        );
+    }
+
+    #[test]
+    fn instant_window_is_a_lump() {
+        let w = ContactWindow::instant(Time::from_secs(3), NodeId(0), NodeId(1), 4096);
+        assert!(w.is_instantaneous());
+        assert_eq!(w.duration(), TimeDelta::ZERO);
+        assert_eq!(w.capacity(), 4096);
+        assert_eq!(w.capacity_until(Time::from_secs(3)), 4096);
+        // Clamping: querying before/after the window is well defined.
+        assert_eq!(w.capacity_until(Time::ZERO), 4096);
+        assert_eq!(w.capacity_until(Time::from_secs(99)), 4096);
+    }
+
+    #[test]
+    fn durative_window_accrues_linearly() {
+        let w = ContactWindow::new(
+            Time::from_secs(10),
+            Time::from_secs(20),
+            NodeId(0),
+            NodeId(1),
+            100, // bytes/sec
+        );
+        assert!(!w.is_instantaneous());
+        assert_eq!(w.duration(), TimeDelta::from_secs(10));
+        assert_eq!(w.capacity(), 1000);
+        assert_eq!(w.capacity_until(Time::from_secs(10)), 0);
+        assert_eq!(w.capacity_until(Time::from_secs(15)), 500);
+        // Sub-second accrual uses integer microsecond math.
+        assert_eq!(w.capacity_until(Time(10_500_000)), 50);
+        // Clamped outside the window.
+        assert_eq!(w.capacity_until(Time::from_secs(25)), 1000);
+    }
+
+    #[test]
+    fn shifted_moves_both_ends() {
+        let w = ContactWindow::new(
+            Time::from_secs(1),
+            Time::from_secs(2),
+            NodeId(0),
+            NodeId(1),
+            7,
+        );
+        let s = w.shifted(TimeDelta::from_secs(10));
+        assert_eq!(s.start, Time::from_secs(11));
+        assert_eq!(s.end, Time::from_secs(12));
+        assert_eq!(s.bytes_per_sec, 7);
+    }
+
+    #[test]
     fn offered_bytes_counts_both_directions() {
         let s = Schedule::new(vec![
             Contact::new(Time::ZERO, NodeId(0), NodeId(1), 10),
@@ -154,15 +405,42 @@ mod tests {
     }
 
     #[test]
-    fn from_records() {
-        let s = Schedule::from_records(&[ContactRecord {
-            day: 0,
-            time_us: 42,
-            a: 1,
-            b: 2,
-            bytes: 99,
-        }]);
-        assert_eq!(s.contacts()[0].time, Time(42));
-        assert_eq!(s.contacts()[0].bytes, 99);
+    fn from_records_instant_and_windowed() {
+        let s = Schedule::from_records(&[
+            ContactRecord {
+                day: 0,
+                time_us: 42,
+                a: 1,
+                b: 2,
+                bytes: 99,
+                duration_us: 0,
+            },
+            ContactRecord {
+                day: 0,
+                time_us: 100,
+                a: 2,
+                b: 3,
+                bytes: 1_000_000, // bytes/sec while open
+                duration_us: 2_000_000,
+            },
+        ]);
+        assert_eq!(s.windows()[0].start, Time(42));
+        assert_eq!(s.windows()[0].capacity(), 99);
+        assert!(s.windows()[0].is_instantaneous());
+        let w = s.windows()[1];
+        assert_eq!(w.end, Time(2_000_100));
+        assert_eq!(w.capacity(), 2_000_000);
+        assert_eq!(s.end_time(), Time(2_000_100));
+    }
+
+    #[test]
+    fn window_record_round_trip() {
+        for w in [
+            ContactWindow::instant(Time(5), NodeId(1), NodeId(2), 77),
+            ContactWindow::new(Time(5), Time(4_000_005), NodeId(1), NodeId(2), 512),
+        ] {
+            let r = ContactRecord::from(w);
+            assert_eq!(ContactWindow::from(r), w);
+        }
     }
 }

@@ -1,14 +1,25 @@
 //! The discrete-event simulation engine.
 //!
-//! Mirrors the paper's evaluation vehicle (§5.3): "The simulator takes as
+//! Mirrors the paper's evaluation vehicle (§5.3) — "The simulator takes as
 //! input a schedule of node meetings, the bandwidth available at each
-//! meeting, and a routing algorithm." Events (packet creations and contacts)
-//! are processed in time order; at each contact the routing protocol drives
-//! transfers through a [`ContactDriver`] that enforces the feasibility rules
-//! of §3.1. Runs are deterministic given the configuration seed.
+//! meeting, and a routing algorithm" — generalized into a typed
+//! discrete-event core. A single deterministic [`EventQueue`] drains
+//! [`SimEvent`]s (contact window open/close, packet creation, TTL expiry,
+//! node churn) in the documented tie-break order; at each driven contact the
+//! routing protocol moves packets through a [`ContactDriver`] that enforces
+//! the feasibility rules of §3.1.
+//!
+//! Contact windows ([`crate::contact::ContactWindow`]) are durative: the
+//! protocol is driven when a window *closes* (or is interrupted by churn),
+//! with the per-direction budget the link accrued while open. The paper's
+//! instantaneous meeting is the degenerate zero-duration window, driven
+//! immediately at its start with its lump opportunity — which reproduces the
+//! seed engine's behaviour byte-for-byte for instantaneous schedules. Runs
+//! are deterministic given the configuration seed.
 
-use crate::contact::Schedule;
+use crate::contact::{ContactWindow, Schedule};
 use crate::driver::{ContactDriver, WorldMut};
+use crate::event::{EventQueue, NodeEvent, SimEvent, WindowIdx};
 use crate::noise::NoiseModel;
 use crate::report::SimReport;
 use crate::routing::{PacketStore, Routing, SimConfig};
@@ -19,14 +30,15 @@ use dtn_stats::sample::Exponential;
 use dtn_stats::stream;
 use rand::Rng;
 
-/// A fully specified simulation run: configuration, meeting schedule and
-/// packet workload.
+/// A fully specified simulation run: configuration, contact-window schedule,
+/// packet workload and (optionally) node churn.
 #[derive(Debug, Clone)]
 pub struct Simulation {
     config: SimConfig,
     schedule: Schedule,
     workload: crate::workload::Workload,
     noise: Option<NoiseModel>,
+    churn: Vec<NodeEvent>,
 }
 
 impl Simulation {
@@ -34,9 +46,9 @@ impl Simulation {
     /// schedule or workload is below `config.nodes`.
     pub fn new(config: SimConfig, schedule: Schedule, workload: crate::workload::Workload) -> Self {
         let n = config.nodes;
-        for c in schedule.contacts() {
+        for w in schedule.windows() {
             assert!(
-                c.a.index() < n && c.b.index() < n,
+                w.a.index() < n && w.b.index() < n,
                 "contact references node outside 0..{n}"
             );
         }
@@ -51,12 +63,26 @@ impl Simulation {
             schedule,
             workload,
             noise: None,
+            churn: Vec::new(),
         }
     }
 
     /// Enables deployment-noise emulation for this run (§5, Fig. 3).
     pub fn with_noise(mut self, noise: NoiseModel) -> Self {
         self.noise = Some(noise);
+        self
+    }
+
+    /// Adds node churn: availability transitions that interrupt active
+    /// contact windows and suppress new ones while a node is down. All
+    /// nodes start up; buffers are retained across downtime (a parked bus
+    /// keeps its disk).
+    pub fn with_churn(mut self, churn: Vec<NodeEvent>) -> Self {
+        let n = self.config.nodes;
+        for ev in &churn {
+            assert!(ev.node.index() < n, "churn references node outside 0..{n}");
+        }
+        self.churn = churn;
         self
     }
 
@@ -75,27 +101,66 @@ impl Simulation {
         &self.workload
     }
 
+    /// The node churn events.
+    pub fn churn(&self) -> &[NodeEvent] {
+        &self.churn
+    }
+
     /// Executes the run against `routing` and returns the measured report.
     ///
     /// The engine owns all world state; the protocol only moves packets
     /// through the [`ContactDriver`]. Identical inputs (including
     /// `config.seed`) produce identical reports.
+    ///
+    /// The queue is drained to exhaustion: events scheduled past
+    /// `config.horizon` still execute (the seed engine processed every
+    /// contact it was given), so schedules are expected to respect the
+    /// horizon — the shipped mobility generators clamp window ends at it.
     pub fn run(&self, routing: &mut dyn Routing) -> SimReport {
         let n = self.config.nodes;
-        let mut buffers: Vec<NodeBuffer> = (0..n)
-            .map(|_| NodeBuffer::new(self.config.buffer_capacity))
-            .collect();
-        let mut store = PacketStore::default();
-        let mut delivered_at: Vec<Option<Time>> = Vec::new();
-        let mut holders: Vec<Vec<NodeId>> = Vec::new();
-        let mut entered: Vec<bool> = Vec::new();
+        let mut world = EngineWorld {
+            buffers: (0..n)
+                .map(|_| NodeBuffer::new(self.config.buffer_capacity))
+                .collect(),
+            store: PacketStore::default(),
+            delivered_at: Vec::new(),
+            holders: Vec::new(),
+            entered: Vec::new(),
+        };
         let mut noise_rng = stream(self.config.seed, "sim-noise");
 
         routing.on_init(&self.config);
 
-        let contacts = self.schedule.contacts();
+        let windows = self.schedule.windows();
         let specs = self.workload.specs();
-        let (mut ci, mut si) = (0usize, 0usize);
+
+        // Seed the queue: windows and creations in their (stable-sorted)
+        // order, then churn. FIFO tie-breaking preserves those orders at
+        // equal timestamps, matching the seed engine's two-pointer merge.
+        let mut queue = EventQueue::new();
+        for (i, w) in windows.iter().enumerate() {
+            queue.push(w.start, SimEvent::ContactStart(i));
+            if !w.is_instantaneous() {
+                queue.push(w.end, SimEvent::ContactEnd(i));
+            }
+        }
+        for (i, s) in specs.iter().enumerate() {
+            queue.push(s.time, SimEvent::PacketCreated(i));
+        }
+        for ev in &self.churn {
+            let event = if ev.up {
+                SimEvent::NodeUp(ev.node)
+            } else {
+                SimEvent::NodeDown(ev.node)
+            };
+            queue.push(ev.time, event);
+        }
+
+        let mut up = vec![true; n];
+        // Setup-loss bytes per open durative window; `None` = not open.
+        let mut open_loss: Vec<Option<u64>> = vec![None; windows.len()];
+        // Indices of currently open durative windows (kept small and tidy).
+        let mut open: Vec<WindowIdx> = Vec::new();
 
         let mut report = SimReport {
             horizon: self.config.horizon,
@@ -103,96 +168,160 @@ impl Simulation {
             ..SimReport::default()
         };
 
-        while ci < contacts.len() || si < specs.len() {
-            let contact_time = contacts.get(ci).map(|c| c.time);
-            let spec_time = specs.get(si).map(|s| s.time);
-            // Contacts precede creations at the same instant: a packet
-            // created at the moment of a meeting does not ride that meeting.
-            let take_contact = match (contact_time, spec_time) {
-                (Some(ct), Some(st)) => ct <= st,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => unreachable!("loop condition"),
-            };
-
-            if take_contact {
-                let c = contacts[ci];
-                ci += 1;
-                let measured = c.time >= self.config.measure_from;
-                let mut bytes = c.bytes;
-                if let Some(noise) = &self.noise {
-                    if noise_rng.gen::<f64>() < noise.contact_failure_prob {
-                        if measured {
-                            report.contacts_failed += 1;
+        while let Some((now, event)) = queue.pop() {
+            match event {
+                SimEvent::NodeUp(node) => {
+                    up[node.index()] = true;
+                    routing.on_node_up(node, now);
+                }
+                SimEvent::NodeDown(node) => {
+                    // Interrupt this node's active windows with the budget
+                    // accrued so far, ascending window index for determinism.
+                    let mut hit: Vec<WindowIdx> = open
+                        .iter()
+                        .copied()
+                        .filter(|&i| windows[i].involves(node))
+                        .collect();
+                    hit.sort_unstable();
+                    for i in hit {
+                        let loss = open_loss[i].take().expect("open window has loss state");
+                        let budget = windows[i].capacity_until(now).saturating_sub(loss);
+                        self.drive_contact(
+                            routing,
+                            &mut world,
+                            &mut report,
+                            &windows[i],
+                            now,
+                            budget,
+                            true,
+                        );
+                    }
+                    open.retain(|&i| open_loss[i].is_some());
+                    up[node.index()] = false;
+                    routing.on_node_down(node, now);
+                }
+                SimEvent::ContactStart(i) => {
+                    let w = windows[i];
+                    if !up[w.a.index()] || !up[w.b.index()] {
+                        // A window never starts while an endpoint is down
+                        // (and does not reopen if the node returns mid-span).
+                        // Gated on the measured span like the sibling
+                        // contact counters.
+                        if now >= self.config.measure_from {
+                            report.contacts_suppressed += 1;
                         }
                         continue;
                     }
-                    if noise.setup_loss_bytes_mean > 0.0 {
-                        let loss = Exponential::with_mean(noise.setup_loss_bytes_mean)
-                            .sample(&mut noise_rng) as u64;
-                        bytes = bytes.saturating_sub(loss);
+                    let measured = now >= self.config.measure_from;
+                    let mut loss = 0u64;
+                    if let Some(noise) = &self.noise {
+                        if noise_rng.gen::<f64>() < noise.contact_failure_prob {
+                            if measured {
+                                report.contacts_failed += 1;
+                            }
+                            continue;
+                        }
+                        if noise.setup_loss_bytes_mean > 0.0 {
+                            loss = Exponential::with_mean(noise.setup_loss_bytes_mean)
+                                .sample(&mut noise_rng) as u64;
+                        }
+                    }
+                    if w.is_instantaneous() {
+                        let budget = w.lump_bytes.saturating_sub(loss);
+                        self.drive_contact(
+                            routing,
+                            &mut world,
+                            &mut report,
+                            &w,
+                            now,
+                            budget,
+                            false,
+                        );
+                    } else {
+                        open_loss[i] = Some(loss);
+                        open.push(i);
                     }
                 }
-                if measured {
-                    report.contacts += 1;
-                    report.offered_bytes += 2 * bytes;
+                SimEvent::ContactEnd(i) => {
+                    // `None` means the window failed, was suppressed, or was
+                    // already interrupted by churn.
+                    if let Some(loss) = open_loss[i].take() {
+                        open.retain(|&j| j != i);
+                        let budget = windows[i].capacity_until(now).saturating_sub(loss);
+                        self.drive_contact(
+                            routing,
+                            &mut world,
+                            &mut report,
+                            &windows[i],
+                            now,
+                            budget,
+                            false,
+                        );
+                    }
                 }
-                let mut driver = ContactDriver::new(
-                    WorldMut {
-                        packets: &store,
-                        buffers: &mut buffers,
-                        delivered_at: &mut delivered_at,
-                        holders: &mut holders,
-                    },
-                    c.time,
-                    c.a,
-                    c.b,
-                    bytes,
-                    self.config.allow_global_knowledge,
-                );
-                routing.on_contact(&mut driver);
-                let ledger = driver.ledger();
-                if measured {
-                    report.data_bytes += ledger.data_bytes;
-                    report.metadata_bytes += ledger.metadata_bytes;
-                    report.replications += ledger.replications;
-                }
-            } else {
-                let spec = specs[si];
-                si += 1;
-                let id = PacketId(store.len() as u32);
-                let packet = Packet {
-                    id,
-                    src: spec.src,
-                    dst: spec.dst,
-                    size_bytes: spec.size_bytes,
-                    created_at: spec.time,
-                };
-                store.push(packet);
-                delivered_at.push(None);
-                holders.push(Vec::new());
+                SimEvent::PacketCreated(si) => {
+                    let spec = specs[si];
+                    let id = PacketId(world.store.len() as u32);
+                    let packet = Packet {
+                        id,
+                        src: spec.src,
+                        dst: spec.dst,
+                        size_bytes: spec.size_bytes,
+                        created_at: spec.time,
+                    };
+                    world.store.push(packet);
+                    world.delivered_at.push(None);
+                    world.holders.push(Vec::new());
 
-                let buf = &mut buffers[spec.src.index()];
-                if buf.free_bytes() < spec.size_bytes {
-                    let needed = spec.size_bytes - buf.free_bytes();
-                    let victims =
-                        routing.make_room(spec.src, &packet, needed, buf, &store, spec.time);
-                    for v in victims {
-                        if buffers[spec.src.index()].remove(v) {
-                            let list = &mut holders[v.index()];
-                            if let Ok(pos) = list.binary_search(&spec.src) {
-                                list.remove(pos);
+                    if !up[spec.src.index()] {
+                        // A down node cannot originate traffic.
+                        world.entered.push(false);
+                        routing.on_creation_dropped(&packet);
+                        continue;
+                    }
+
+                    let buf = &mut world.buffers[spec.src.index()];
+                    if buf.free_bytes() < spec.size_bytes {
+                        let needed = spec.size_bytes - buf.free_bytes();
+                        let victims = routing.make_room(
+                            spec.src,
+                            &packet,
+                            needed,
+                            buf,
+                            &world.store,
+                            spec.time,
+                        );
+                        for v in victims {
+                            if world.buffers[spec.src.index()].remove(v) {
+                                let list = &mut world.holders[v.index()];
+                                if let Ok(pos) = list.binary_search(&spec.src) {
+                                    list.remove(pos);
+                                }
                             }
                         }
                     }
+                    if world.buffers[spec.src.index()].insert(id, spec.size_bytes, spec.time) {
+                        world.holders[id.index()].push(spec.src);
+                        world.entered.push(true);
+                        routing.on_packet_created(&packet);
+                        if let Some(ttl) = self.config.ttl {
+                            queue.push(spec.time + ttl, SimEvent::PacketExpired(id));
+                        }
+                    } else {
+                        world.entered.push(false);
+                        routing.on_creation_dropped(&packet);
+                    }
                 }
-                if buffers[spec.src.index()].insert(id, spec.size_bytes, spec.time) {
-                    holders[id.index()].push(spec.src);
-                    entered.push(true);
-                    routing.on_packet_created(&packet);
-                } else {
-                    entered.push(false);
-                    routing.on_creation_dropped(&packet);
+                SimEvent::PacketExpired(id) => {
+                    if world.delivered_at[id.index()].is_some() {
+                        continue; // delivered before the TTL: nothing to do
+                    }
+                    let holders = std::mem::take(&mut world.holders[id.index()]);
+                    for h in holders {
+                        world.buffers[h.index()].remove(id);
+                    }
+                    report.expired += 1;
+                    routing.on_packet_expired(world.store.get(id));
                 }
             }
         }
@@ -203,18 +332,19 @@ impl Simulation {
         if let Some(noise) = &self.noise {
             if noise.processing_delay_mean > TimeDelta::ZERO {
                 let jitter = Exponential::with_mean(noise.processing_delay_mean.as_secs_f64());
-                for slot in delivered_at.iter_mut().flatten() {
+                for slot in world.delivered_at.iter_mut().flatten() {
                     *slot += TimeDelta::from_secs_f64(jitter.sample(&mut noise_rng));
                 }
             }
         }
 
         let outcomes = SimReport::from_parts(
-            store
+            world
+                .store
                 .iter()
                 .copied()
-                .zip(delivered_at.iter().copied())
-                .zip(entered.iter().copied())
+                .zip(world.delivered_at.iter().copied())
+                .zip(world.entered.iter().copied())
                 .map(|((p, d), e)| (p, d, e)),
             self.config.horizon,
             self.config.deadline,
@@ -222,6 +352,58 @@ impl Simulation {
         report.outcomes = outcomes.outcomes;
         report
     }
+
+    /// Hands one driven contact to the protocol and accounts its ledger.
+    #[allow(clippy::too_many_arguments)]
+    fn drive_contact(
+        &self,
+        routing: &mut dyn Routing,
+        world: &mut EngineWorld,
+        report: &mut SimReport,
+        w: &ContactWindow,
+        now: Time,
+        budget: u64,
+        interrupted: bool,
+    ) {
+        // Classified by window *start* (the seed engine's contact-time
+        // convention): a warm-up window that spans `measure_from` stays
+        // unmeasured even though it is driven inside the measured span.
+        let measured = w.start >= self.config.measure_from;
+        if measured {
+            report.contacts += 1;
+            report.offered_bytes += 2 * budget;
+        }
+        let mut driver = ContactDriver::new(
+            WorldMut {
+                packets: &world.store,
+                buffers: &mut world.buffers,
+                delivered_at: &mut world.delivered_at,
+                holders: &mut world.holders,
+            },
+            now,
+            w.a,
+            w.b,
+            budget,
+            self.config.allow_global_knowledge,
+        );
+        routing.on_contact(&mut driver);
+        let ledger = driver.ledger();
+        if measured {
+            report.data_bytes += ledger.data_bytes;
+            report.metadata_bytes += ledger.metadata_bytes;
+            report.replications += ledger.replications;
+        }
+        routing.on_contact_end(w.a, w.b, now, interrupted);
+    }
+}
+
+/// The engine-owned world state, grouped so helpers can borrow it whole.
+struct EngineWorld {
+    buffers: Vec<NodeBuffer>,
+    store: PacketStore,
+    delivered_at: Vec<Option<Time>>,
+    holders: Vec<Vec<NodeId>>,
+    entered: Vec<bool>,
 }
 
 #[cfg(test)]
@@ -606,5 +788,332 @@ mod tests {
         assert!((r.avg_delay_secs().unwrap() - 10.0).abs() < 1e-9);
         // 1 replication + 2 delivery transmissions crossed links.
         assert_eq!(r.data_bytes, 3 * 1024);
+    }
+
+    // --- Windowed-contact and churn semantics -----------------------------
+
+    #[test]
+    fn zero_duration_window_equals_instant_contact() {
+        let run = |schedule: Schedule| {
+            Simulation::new(
+                config(2),
+                schedule,
+                Workload::new(vec![spec(1, 0, 1, 1024), spec(2, 0, 1, 1024)]),
+            )
+            .run(&mut Flood)
+        };
+        let via_contact = run(Schedule::new(vec![Contact::new(
+            Time::from_secs(10),
+            NodeId(0),
+            NodeId(1),
+            1024,
+        )]));
+        let via_window = run(Schedule::new(vec![ContactWindow::instant(
+            Time::from_secs(10),
+            NodeId(0),
+            NodeId(1),
+            1024,
+        )]));
+        assert_eq!(via_contact, via_window);
+    }
+
+    #[test]
+    fn durative_window_accrues_bandwidth_and_delivers_at_close() {
+        // Window open 10 s at 100 B/s: 1000 B budget. The 800 B packet
+        // crosses; a second 800 B packet does not (accrual is the limit).
+        let sim = Simulation::new(
+            config(2),
+            Schedule::new(vec![ContactWindow::new(
+                Time::from_secs(10),
+                Time::from_secs(20),
+                NodeId(0),
+                NodeId(1),
+                100,
+            )]),
+            Workload::new(vec![spec(1, 0, 1, 800), spec(2, 0, 1, 800)]),
+        );
+        let r = sim.run(&mut Flood);
+        assert_eq!(r.delivered(), 1);
+        assert_eq!(r.data_bytes, 800);
+        assert_eq!(r.offered_bytes, 2 * 1000);
+        // The protocol is driven when the window closes.
+        assert!((r.avg_delay_secs().unwrap() - 19.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packet_created_mid_window_rides_it() {
+        // The window opens at 10 and closes at 30; the packet is created at
+        // 20 — inside the window — and still crosses, because durative
+        // windows are driven at close.
+        let sim = Simulation::new(
+            config(2),
+            Schedule::new(vec![ContactWindow::new(
+                Time::from_secs(10),
+                Time::from_secs(30),
+                NodeId(0),
+                NodeId(1),
+                1024,
+            )]),
+            Workload::new(vec![spec(20, 0, 1, 1024)]),
+        );
+        let r = sim.run(&mut Flood);
+        assert_eq!(r.delivered(), 1);
+        assert!((r.avg_delay_secs().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_down_interrupts_window_with_partial_accrual() {
+        // Window 10..20 s at 100 B/s, but node 1 dies at 15 s: only 500 B
+        // accrued, so the 800 B packet cannot cross.
+        let sim = Simulation::new(
+            config(2),
+            Schedule::new(vec![ContactWindow::new(
+                Time::from_secs(10),
+                Time::from_secs(20),
+                NodeId(0),
+                NodeId(1),
+                100,
+            )]),
+            Workload::new(vec![spec(1, 0, 1, 800)]),
+        )
+        .with_churn(vec![NodeEvent {
+            time: Time::from_secs(15),
+            node: NodeId(1),
+            up: false,
+        }]);
+        let r = sim.run(&mut Flood);
+        assert_eq!(r.delivered(), 0);
+        assert_eq!(r.offered_bytes, 2 * 500);
+        assert_eq!(r.contacts, 1, "the interrupted contact still took place");
+
+        // A smaller packet that fits the accrued 500 B is delivered at the
+        // interruption instant.
+        let sim = Simulation::new(
+            config(2),
+            Schedule::new(vec![ContactWindow::new(
+                Time::from_secs(10),
+                Time::from_secs(20),
+                NodeId(0),
+                NodeId(1),
+                100,
+            )]),
+            Workload::new(vec![spec(1, 0, 1, 400)]),
+        )
+        .with_churn(vec![NodeEvent {
+            time: Time::from_secs(15),
+            node: NodeId(1),
+            up: false,
+        }]);
+        let r = sim.run(&mut Flood);
+        assert_eq!(r.delivered(), 1);
+        assert!((r.avg_delay_secs().unwrap() - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn down_node_suppresses_contacts_and_creations() {
+        // Node 1 is down over [5, 15]: the contact at 10 never happens; the
+        // packet node 1 creates at 12 is dropped; after it returns, the
+        // contact at 20 delivers node 0's packet.
+        let sim = Simulation::new(
+            config(2),
+            Schedule::new(vec![
+                Contact::new(Time::from_secs(10), NodeId(0), NodeId(1), 4096),
+                Contact::new(Time::from_secs(20), NodeId(0), NodeId(1), 4096),
+            ]),
+            Workload::new(vec![spec(1, 0, 1, 1024), spec(12, 1, 0, 1024)]),
+        )
+        .with_churn(vec![
+            NodeEvent {
+                time: Time::from_secs(5),
+                node: NodeId(1),
+                up: false,
+            },
+            NodeEvent {
+                time: Time::from_secs(15),
+                node: NodeId(1),
+                up: true,
+            },
+        ]);
+        let r = sim.run(&mut Flood);
+        assert_eq!(r.contacts_suppressed, 1);
+        assert_eq!(r.contacts, 1);
+        assert_eq!(r.delivered(), 1);
+        let entered: Vec<bool> = r.outcomes.iter().map(|o| o.entered_network).collect();
+        assert_eq!(entered, vec![true, false]);
+    }
+
+    #[test]
+    fn durative_window_spanning_measure_from_stays_unmeasured() {
+        // Warm-up convention: a window is classified by its *start*. This
+        // one opens at 5 s (before measure_from = 10 s) and closes at 20 s
+        // (inside the measured span); its bytes must not be counted, while
+        // the instantaneous contact at 30 s is.
+        let cfg = SimConfig {
+            measure_from: Time::from_secs(10),
+            ..config(2)
+        };
+        let sim = Simulation::new(
+            cfg,
+            Schedule::new(vec![
+                ContactWindow::new(
+                    Time::from_secs(5),
+                    Time::from_secs(20),
+                    NodeId(0),
+                    NodeId(1),
+                    100,
+                ),
+                ContactWindow::instant(Time::from_secs(30), NodeId(0), NodeId(1), 4096),
+            ]),
+            Workload::new(vec![spec(1, 0, 1, 1024)]),
+        );
+        let r = sim.run(&mut Flood);
+        assert_eq!(r.contacts, 1);
+        assert_eq!(r.offered_bytes, 2 * 4096);
+        // The spanning window still delivered (it is driven, just not
+        // measured) — delivery happened at its close, 20 s.
+        assert_eq!(r.delivered(), 1);
+        assert!((r.avg_delay_secs().unwrap() - 19.0).abs() < 1e-9);
+        assert_eq!(r.data_bytes, 0, "warm-up bytes excluded from accounting");
+    }
+
+    #[test]
+    fn ttl_expiry_evicts_replicas_before_later_contacts() {
+        // Packet created at 1 s with a 5 s TTL; the only contact is at 10 s:
+        // by then the packet has been evicted everywhere.
+        let cfg = SimConfig {
+            ttl: Some(TimeDelta::from_secs(5)),
+            ..config(2)
+        };
+        let sim = Simulation::new(
+            cfg,
+            Schedule::new(vec![Contact::new(
+                Time::from_secs(10),
+                NodeId(0),
+                NodeId(1),
+                4096,
+            )]),
+            Workload::new(vec![spec(1, 0, 1, 1024)]),
+        );
+        let r = sim.run(&mut Flood);
+        assert_eq!(r.delivered(), 0);
+        assert_eq!(r.expired, 1);
+        assert_eq!(r.data_bytes, 0, "expired replica must not cross");
+    }
+
+    #[test]
+    fn ttl_does_not_touch_delivered_packets() {
+        let cfg = SimConfig {
+            ttl: Some(TimeDelta::from_secs(50)),
+            ..config(2)
+        };
+        let sim = Simulation::new(
+            cfg,
+            Schedule::new(vec![Contact::new(
+                Time::from_secs(10),
+                NodeId(0),
+                NodeId(1),
+                4096,
+            )]),
+            Workload::new(vec![spec(1, 0, 1, 1024)]),
+        );
+        let r = sim.run(&mut Flood);
+        assert_eq!(r.delivered(), 1);
+        assert_eq!(r.expired, 0);
+    }
+
+    #[test]
+    fn expiry_at_contact_instant_does_not_ride() {
+        // TTL lands exactly on the contact instant: rank(PacketExpired) <
+        // rank(ContactStart), so the packet is evicted first.
+        let cfg = SimConfig {
+            ttl: Some(TimeDelta::from_secs(9)),
+            ..config(2)
+        };
+        let sim = Simulation::new(
+            cfg,
+            Schedule::new(vec![Contact::new(
+                Time::from_secs(10),
+                NodeId(0),
+                NodeId(1),
+                4096,
+            )]),
+            Workload::new(vec![spec(1, 0, 1, 1024)]),
+        );
+        let r = sim.run(&mut Flood);
+        assert_eq!(r.delivered(), 0);
+        assert_eq!(r.expired, 1);
+    }
+
+    #[test]
+    fn lifecycle_hooks_fire_in_order() {
+        #[derive(Default)]
+        struct Recorder {
+            log: Vec<String>,
+        }
+        impl Routing for Recorder {
+            fn name(&self) -> String {
+                "recorder".into()
+            }
+            fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+                self.log
+                    .push(format!("contact@{}", driver.now().0 / 1_000_000));
+            }
+            fn on_contact_end(&mut self, _a: NodeId, _b: NodeId, now: Time, interrupted: bool) {
+                self.log
+                    .push(format!("end@{}:{}", now.0 / 1_000_000, interrupted));
+            }
+            fn on_packet_created(&mut self, packet: &Packet) {
+                self.log.push(format!("created:{}", packet.id));
+            }
+            fn on_packet_expired(&mut self, packet: &Packet) {
+                self.log.push(format!("expired:{}", packet.id));
+            }
+            fn on_node_down(&mut self, node: NodeId, now: Time) {
+                self.log.push(format!("down:{node}@{}", now.0 / 1_000_000));
+            }
+            fn on_node_up(&mut self, node: NodeId, now: Time) {
+                self.log.push(format!("up:{node}@{}", now.0 / 1_000_000));
+            }
+        }
+        let cfg = SimConfig {
+            ttl: Some(TimeDelta::from_secs(30)),
+            ..config(3)
+        };
+        let sim = Simulation::new(
+            cfg,
+            Schedule::new(vec![ContactWindow::new(
+                Time::from_secs(10),
+                Time::from_secs(40),
+                NodeId(0),
+                NodeId(1),
+                100,
+            )]),
+            Workload::new(vec![spec(1, 0, 2, 50)]),
+        )
+        .with_churn(vec![
+            NodeEvent {
+                time: Time::from_secs(20),
+                node: NodeId(1),
+                up: false,
+            },
+            NodeEvent {
+                time: Time::from_secs(25),
+                node: NodeId(1),
+                up: true,
+            },
+        ]);
+        let mut rec = Recorder::default();
+        let _ = sim.run(&mut rec);
+        assert_eq!(
+            rec.log,
+            vec![
+                "created:p0",
+                "contact@20", // interrupted by node 1 going down
+                "end@20:true",
+                "down:n1@20",
+                "up:n1@25",
+                "expired:p0", // TTL at 31 s; the window does not reopen
+            ]
+        );
     }
 }

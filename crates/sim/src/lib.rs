@@ -2,18 +2,30 @@
 //!
 //! This crate is the substrate beneath the RAPID reproduction: the §3.1
 //! system model of *DTN Routing as a Resource Allocation Problem*
-//! (Balasubramanian, Levine, Venkataramani; SIGCOMM 2007) executed as an
-//! event-driven simulation.
+//! (Balasubramanian, Levine, Venkataramani; SIGCOMM 2007) executed as a
+//! typed discrete-event simulation.
 //!
-//! * A DTN is a set of nodes, a [`contact::Schedule`] of discrete transfer
-//!   opportunities `(t_e, s_e)`, and a [`workload::Workload`] of packets
-//!   `(u, v, s, t)`.
-//! * A [`routing::Routing`] implementation decides, at every opportunity,
-//!   which packets to replicate or deliver — through a
+//! * A DTN is a set of nodes, a [`contact::Schedule`] of transfer
+//!   opportunities, and a [`workload::Workload`] of packets `(u, v, s, t)`.
+//!   Opportunities are durative [`contact::ContactWindow`]s — open over
+//!   `[start, end]` with a per-direction link rate, in the style of
+//!   contact-graph routing — of which the paper's instantaneous meeting
+//!   `(t_e, s_e)` is the degenerate zero-duration case (a lump opportunity).
+//! * The [`event`] module is the event core: a [`event::SimEvent`] enum
+//!   (contact start/end, packet creation, TTL expiry, node up/down) drained
+//!   from a deterministic binary-heap [`event::EventQueue`] with a
+//!   documented same-instant tie-break order.
+//! * A [`routing::Routing`] implementation decides, at every driven
+//!   opportunity, which packets to replicate or deliver — through a
 //!   [`driver::ContactDriver`] that enforces feasibility: per-direction
-//!   bytes bounded by the opportunity, no fragmentation, buffer capacities
-//!   respected, control metadata charged in-band.
-//! * An [`engine::Simulation`] executes a run and produces a
+//!   bytes bounded by the window's accrued budget, no fragmentation, buffer
+//!   capacities respected, control metadata charged in-band. Optional
+//!   lifecycle hooks ([`routing::Routing::on_contact_end`],
+//!   `on_packet_expired`, `on_node_up`/`on_node_down`) surface the richer
+//!   event kinds to protocols that want them.
+//! * An [`engine::Simulation`] executes a run — including node churn
+//!   ([`event::NodeEvent`]) that interrupts active windows mid-accrual and
+//!   per-packet TTL ([`routing::SimConfig::ttl`]) — and produces a
 //!   [`report::SimReport`] with every metric the paper's evaluation uses.
 //!
 //! Design notes (following the networking guides for this workspace): the
@@ -21,13 +33,15 @@
 //! work, so there is no async runtime; experiment harnesses parallelize at
 //! the granularity of whole runs with OS threads. All event ordering is
 //! integer microseconds ([`time::Time`]), giving bit-for-bit reproducible
-//! results for a given seed.
+//! results for a given seed; instantaneous schedules reproduce the seed
+//! engine's two-stream merge byte-for-byte.
 
 pub mod acks;
 pub mod buffer;
 pub mod contact;
 pub mod driver;
 pub mod engine;
+pub mod event;
 pub mod noise;
 pub mod report;
 pub mod routing;
@@ -37,9 +51,10 @@ pub mod workload;
 
 pub use acks::{AckTable, PacketSet};
 pub use buffer::{NodeBuffer, StoredMeta};
-pub use contact::{Contact, Schedule};
+pub use contact::{Contact, ContactWindow, Schedule};
 pub use driver::{ContactDriver, ContactLedger, GlobalView};
 pub use engine::Simulation;
+pub use event::{EventQueue, NodeEvent, SimEvent};
 pub use noise::NoiseModel;
 pub use report::{PacketOutcome, SimReport};
 pub use routing::{PacketStore, Routing, SimConfig, TransferOutcome};

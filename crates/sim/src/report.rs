@@ -47,6 +47,11 @@ pub struct SimReport {
     pub contacts: u64,
     /// Contacts lost to deployment noise (radio/setup failure emulation).
     pub contacts_failed: u64,
+    /// Contact windows that never started because an endpoint was down
+    /// (node churn).
+    pub contacts_suppressed: u64,
+    /// Packets whose TTL elapsed undelivered (engine-evicted everywhere).
+    pub expired: u64,
     /// Total opportunity bytes offered (both directions, after noise).
     pub offered_bytes: u64,
     /// Payload bytes that crossed links.

@@ -27,6 +27,12 @@ pub struct SimConfig {
     /// are not delivered by the end of the day are lost", §6.1) and charged
     /// `horizon − creation` delay where a metric includes undelivered packets.
     pub horizon: Time,
+    /// Per-packet time-to-live. When set, a packet that is not delivered
+    /// within `ttl` of its creation is evicted from every buffer by the
+    /// engine (a [`crate::event::SimEvent::PacketExpired`] event) and
+    /// counted in [`crate::report::SimReport::expired`]. `None` (the
+    /// default, and the paper's model) lets packets live to the horizon.
+    pub ttl: Option<TimeDelta>,
     /// Whether protocols may read true global state via
     /// [`ContactDriver::global`]. Only the instant-global-channel variants
     /// (§6.2.3) and Optimal enable this.
@@ -45,6 +51,7 @@ impl Default for SimConfig {
             nodes: 0,
             buffer_capacity: u64::MAX,
             deadline: None,
+            ttl: None,
             horizon: Time::from_hours(19),
             allow_global_knowledge: false,
             seed: 0,
@@ -123,7 +130,29 @@ pub trait Routing {
     }
 
     /// The heart of the protocol: a transfer opportunity between two nodes.
+    ///
+    /// For instantaneous contacts this fires at the meeting instant with the
+    /// lump opportunity; for durative windows it fires when the window
+    /// closes (or is interrupted by churn) with the accrued budget.
     fn on_contact(&mut self, driver: &mut ContactDriver<'_>);
+
+    /// Called after a contact window between `a` and `b` has been driven and
+    /// closed. `interrupted` is true when churn cut the window short.
+    /// Default: no-op (protocols that only care about transfers ignore it).
+    fn on_contact_end(&mut self, _a: NodeId, _b: NodeId, _now: Time, _interrupted: bool) {}
+
+    /// Called when the engine evicts every replica of `packet` because its
+    /// TTL elapsed undelivered (see [`SimConfig::ttl`]). Beliefs about the
+    /// packet may be stale afterwards — exactly like any other world event
+    /// the §4.2 control channel has not yet propagated.
+    fn on_packet_expired(&mut self, _packet: &Packet) {}
+
+    /// Called when a churned node comes back up.
+    fn on_node_up(&mut self, _node: NodeId, _now: Time) {}
+
+    /// Called when a node goes down (after its active windows were
+    /// interrupted and driven).
+    fn on_node_down(&mut self, _node: NodeId, _now: Time) {}
 }
 
 /// The immutable packet arena: every packet ever created this run, indexed

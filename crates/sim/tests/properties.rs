@@ -1,7 +1,11 @@
 //! Property tests for the simulator's data structures, against simple
-//! reference models.
+//! reference models, plus whole-engine invariants.
 
-use dtn_sim::{AckTable, NodeBuffer, NodeId, PacketId, PacketSet, Time};
+use dtn_sim::workload::{PacketSpec, Workload};
+use dtn_sim::{
+    AckTable, Contact, ContactDriver, NodeBuffer, NodeId, Packet, PacketId, PacketSet, PacketStore,
+    Routing, Schedule, SimConfig, Simulation, Time, TimeDelta,
+};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -93,5 +97,189 @@ proptest! {
                 prop_assert!(t.knows(NodeId(node), PacketId(pkt)));
             }
         }
+    }
+}
+
+// --- Sorted-holders invariant --------------------------------------------
+//
+// `engine.rs` and `driver.rs` maintain the per-packet holder lists with
+// `binary_search`, which is only correct while every list stays sorted and
+// duplicate-free — through packet creation, replication, delivery,
+// protocol-driven eviction, creation-time `make_room` eviction and TTL
+// expiry. The auditor protocol below exercises all of those paths with
+// proptest-chosen decisions and cross-checks the holder lists against the
+// buffers at every contact.
+
+/// A protocol that floods/evicts according to a decision tape while
+/// auditing the holder lists via the global view.
+struct HolderAuditor {
+    nodes: usize,
+    decisions: Vec<u8>,
+    step: usize,
+    violation: Option<String>,
+}
+
+impl HolderAuditor {
+    fn new(decisions: Vec<u8>) -> Self {
+        Self {
+            nodes: 0,
+            decisions,
+            step: 0,
+            violation: None,
+        }
+    }
+
+    fn next_decision(&mut self) -> u8 {
+        let d = self.decisions[self.step % self.decisions.len()];
+        self.step += 1;
+        d
+    }
+
+    fn audit(&mut self, driver: &ContactDriver<'_>) {
+        let g = driver.global();
+        for idx in 0..driver.packets().len() {
+            let id = PacketId(idx as u32);
+            let holders = g.holders(id);
+            if !holders.windows(2).all(|w| w[0] < w[1]) {
+                self.violation = Some(format!("{id}: holders not sorted+unique: {holders:?}"));
+                return;
+            }
+            for node in 0..self.nodes {
+                let node = NodeId(node as u32);
+                let listed = holders.binary_search(&node).is_ok();
+                let stored = g.buffer(node).contains(id);
+                if listed != stored {
+                    self.violation = Some(format!(
+                        "{id} at {node}: holder list says {listed}, buffer says {stored}"
+                    ));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Routing for HolderAuditor {
+    fn name(&self) -> String {
+        "holder-auditor".into()
+    }
+
+    fn on_init(&mut self, config: &SimConfig) {
+        self.nodes = config.nodes;
+    }
+
+    fn make_room(
+        &mut self,
+        _node: NodeId,
+        _incoming: &Packet,
+        needed: u64,
+        buffer: &NodeBuffer,
+        _packets: &PacketStore,
+        _now: Time,
+    ) -> Vec<PacketId> {
+        // Evict in id order until enough space frees (sometimes refuse, by
+        // tape, to exercise the creation-drop path too).
+        if self.next_decision().is_multiple_of(4) {
+            return Vec::new();
+        }
+        let mut victims = Vec::new();
+        let mut freed = 0u64;
+        for (id, meta) in buffer.iter() {
+            if freed >= needed {
+                break;
+            }
+            victims.push(id);
+            freed += meta.size_bytes;
+        }
+        victims
+    }
+
+    fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+        self.audit(driver);
+        if self.violation.is_some() {
+            return;
+        }
+        let (a, b) = driver.endpoints();
+        for from in [a, b] {
+            for id in driver.buffer(from).ids() {
+                match self.next_decision() % 4 {
+                    // Mostly transfer (replication/delivery/dup paths)...
+                    0 | 1 => {
+                        let _ = driver.try_transfer(from, id);
+                    }
+                    // ...sometimes evict (including double-evict no-ops)...
+                    2 => {
+                        driver.evict(from, id);
+                        driver.evict(from, id);
+                    }
+                    // ...sometimes leave the replica alone.
+                    _ => {}
+                }
+            }
+        }
+        self.audit(driver);
+    }
+}
+
+/// `(time, endpoint, endpoint, bytes)` quadruples, pre-modulo.
+type RawEvents = Vec<(u16, u8, u8, u16)>;
+/// `(nodes, contacts, specs, capacity, decision tape, with_ttl)`.
+type Scenario = (usize, RawEvents, RawEvents, u64, Vec<u8>, bool);
+
+fn engine_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        3usize..6,
+        prop::collection::vec((0u16..500, 0u8..6, 0u8..6, 0u16..4096), 1..40),
+        prop::collection::vec((0u16..500, 0u8..6, 0u8..6, 1u16..1500), 1..30),
+        1_500u64..8_000,
+        prop::collection::vec(any::<u8>(), 4..64),
+        any::<bool>(),
+    )
+}
+
+proptest! {
+    #[test]
+    fn holder_lists_stay_sorted_and_consistent(
+        (nodes, contacts, specs, capacity, decisions, with_ttl) in engine_scenario(),
+    ) {
+        let n = nodes as u8;
+        let contacts: Vec<Contact> = contacts
+            .into_iter()
+            .map(|(t, a, b, bytes)| {
+                let a = a % n;
+                let b = if b % n == a { (a + 1) % n } else { b % n };
+                Contact::new(
+                    Time::from_secs(u64::from(t)),
+                    NodeId(u32::from(a)),
+                    NodeId(u32::from(b)),
+                    u64::from(bytes),
+                )
+            })
+            .collect();
+        let specs: Vec<PacketSpec> = specs
+            .into_iter()
+            .map(|(t, src, dst, size)| {
+                let src = src % n;
+                let dst = if dst % n == src { (src + 1) % n } else { dst % n };
+                PacketSpec {
+                    time: Time::from_secs(u64::from(t)),
+                    src: NodeId(u32::from(src)),
+                    dst: NodeId(u32::from(dst)),
+                    size_bytes: u64::from(size),
+                }
+            })
+            .collect();
+        let config = SimConfig {
+            nodes,
+            buffer_capacity: capacity,
+            horizon: Time::from_secs(600),
+            allow_global_knowledge: true,
+            ttl: with_ttl.then_some(TimeDelta::from_secs(120)),
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(config, Schedule::new(contacts), Workload::new(specs));
+        let mut auditor = HolderAuditor::new(decisions);
+        let _ = sim.run(&mut auditor);
+        prop_assert!(auditor.violation.is_none(), "{}", auditor.violation.unwrap());
     }
 }

@@ -14,16 +14,22 @@
 //! ```text
 //! RAPIDTRACE v1
 //! # comment lines and blank lines are ignored
-//! C <day> <time_us> <node_a> <node_b> <bytes>
+//! C <day> <time_us> <node_a> <node_b> <bytes> [duration_us]
 //! P <day> <time_us> <src> <dst> <bytes>
 //! ```
 //!
 //! `C` records a transfer opportunity: at `time_us` microseconds into `day`,
-//! nodes `a` and `b` meet and can exchange up to `bytes` in each direction
-//! (the paper's edge annotation `(t_e, s_e)`, §3.1). `P` records a packet
-//! creation (the workload tuple `(u, v, s, t)`). Records within a day must be
-//! time-ordered; [`parse`] verifies this and rejects malformed input with a
-//! line-precise error.
+//! nodes `a` and `b` meet. Without the optional sixth field (or with
+//! `duration_us = 0`) the meeting is instantaneous and `bytes` is the whole
+//! per-direction opportunity — the paper's edge annotation `(t_e, s_e)`
+//! (§3.1). With a positive `duration_us` the record is a *contact window*
+//! open for that long, and `bytes` is the per-direction link rate in
+//! bytes/second (contact-graph-routing style). Serialization omits the sixth
+//! field for instantaneous records, so traces written before windows existed
+//! round-trip byte-identically. `P` records a packet creation (the workload
+//! tuple `(u, v, s, t)`). Records within a day must be time-ordered;
+//! [`parse`] verifies this and rejects malformed input with a line-precise
+//! error.
 
 pub mod record;
 
@@ -109,6 +115,14 @@ impl Trace {
         out.push('\n');
         for r in &self.records {
             match r {
+                Record::Contact(c) if c.duration_us > 0 => {
+                    writeln!(
+                        out,
+                        "C {} {} {} {} {} {}",
+                        c.day, c.time_us, c.a, c.b, c.bytes, c.duration_us
+                    )
+                    .expect("writing to String cannot fail");
+                }
                 Record::Contact(c) => {
                     writeln!(out, "C {} {} {} {} {}", c.day, c.time_us, c.a, c.b, c.bytes)
                         .expect("writing to String cannot fail");
@@ -226,7 +240,9 @@ pub fn parse(text: &str) -> Result<Trace, ParseError> {
         let rest: Vec<&str> = fields.collect();
         let record = match tag {
             "C" => {
-                let v = parse_numbers(&rest, 5, line_no)?;
+                // 5 fields = instantaneous; 6 adds the window duration.
+                let expected = if rest.len() == 6 { 6 } else { 5 };
+                let v = parse_numbers(&rest, expected, line_no)?;
                 if v[2] == v[3] {
                     return Err(ParseError {
                         line: line_no,
@@ -239,6 +255,7 @@ pub fn parse(text: &str) -> Result<Trace, ParseError> {
                     a: v[2] as u32,
                     b: v[3] as u32,
                     bytes: v[4],
+                    duration_us: v.get(5).copied().unwrap_or(0),
                 })
             }
             "P" => {
@@ -319,6 +336,7 @@ mod tests {
                 a: 1,
                 b: 2,
                 bytes: 4096,
+                duration_us: 0,
             }),
             Record::Contact(ContactRecord {
                 day: 1,
@@ -326,6 +344,7 @@ mod tests {
                 a: 2,
                 b: 3,
                 bytes: 2048,
+                duration_us: 0,
             }),
         ])
     }
@@ -347,6 +366,7 @@ mod tests {
                 a: 1,
                 b: 2,
                 bytes: 1,
+                duration_us: 0,
             }),
             Record::Contact(ContactRecord {
                 day: 0,
@@ -354,6 +374,7 @@ mod tests {
                 a: 1,
                 b: 2,
                 bytes: 1,
+                duration_us: 0,
             }),
         ]);
         assert_eq!(t.records[0].day(), 0);
@@ -375,6 +396,7 @@ mod tests {
                 a: 1,
                 b: 2,
                 bytes: 1,
+                duration_us: 0,
             }),
         ]);
         assert!(matches!(t.records[0], Record::Contact(_)));
@@ -444,6 +466,38 @@ mod tests {
         assert_eq!(err.kind, ParseErrorKind::OutOfOrder);
         let err = parse(&format!("{HEADER}\nC 1 10 1 2 5\nC 0 40 1 2 5\n")).unwrap_err();
         assert_eq!(err.kind, ParseErrorKind::OutOfOrder);
+    }
+
+    #[test]
+    fn windowed_contact_round_trip() {
+        let t = Trace::new(vec![Record::Contact(ContactRecord {
+            day: 2,
+            time_us: 10,
+            a: 4,
+            b: 5,
+            bytes: 2048, // bytes/sec while the window is open
+            duration_us: 3_000_000,
+        })]);
+        let text = t.to_string_format();
+        assert!(text.contains("C 2 10 4 5 2048 3000000"), "{text}");
+        assert_eq!(parse(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn five_field_contact_parses_as_instantaneous() {
+        let t = parse(&format!("{HEADER}\nC 0 1 1 2 10\n")).unwrap();
+        match t.records[0] {
+            Record::Contact(c) => assert_eq!(c.duration_us, 0),
+            _ => panic!("expected contact"),
+        }
+        // And serializing it back omits the sixth field.
+        assert!(t.to_string_format().contains("C 0 1 1 2 10\n"));
+    }
+
+    #[test]
+    fn seven_field_contact_rejected() {
+        let err = parse(&format!("{HEADER}\nC 0 1 1 2 10 5 9\n")).unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::FieldCount { .. }));
     }
 
     #[test]

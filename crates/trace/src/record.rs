@@ -1,12 +1,18 @@
 //! Trace record types.
 
-/// One transfer opportunity: nodes `a` and `b` meet at `time_us` into `day`
-/// and can exchange up to `bytes` in each direction.
+/// One transfer opportunity: nodes `a` and `b` meet at `time_us` into `day`.
 ///
 /// This is the paper's directed-multigraph edge annotated `(t_e, s_e)`
-/// (§3.1); the reproduction stores one record per meeting and expands it to a
-/// symmetric opportunity at simulation time, matching the deployment where a
-/// discovered connection is merged "into one connection event" (§5).
+/// (§3.1), generalized with an optional duration: the reproduction stores
+/// one record per meeting and expands it to a symmetric opportunity at
+/// simulation time, matching the deployment where a discovered connection is
+/// merged "into one connection event" (§5).
+///
+/// * `duration_us == 0` (the default, and the paper's model): the meeting is
+///   instantaneous and `bytes` is the whole per-direction opportunity.
+/// * `duration_us > 0`: the meeting is a *contact window* open for that many
+///   microseconds, and `bytes` is the per-direction link **rate** in
+///   bytes/second while the window is open (contact-graph-routing style).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ContactRecord {
     /// Day index within the trace (the paper treats each day separately).
@@ -17,8 +23,11 @@ pub struct ContactRecord {
     pub a: u32,
     /// Second endpoint (≠ `a`).
     pub b: u32,
-    /// Transfer opportunity size in bytes, per direction.
+    /// Opportunity size in bytes per direction (instantaneous records), or
+    /// link rate in bytes/second (durative records).
     pub bytes: u64,
+    /// Window length in microseconds; `0` = instantaneous meeting.
+    pub duration_us: u64,
 }
 
 /// One packet creation: the workload tuple `(u, v, s, t)` of §3.1.
@@ -83,6 +92,7 @@ mod tests {
             a: 1,
             b: 2,
             bytes: 9,
+            duration_us: 0,
         });
         let p = Record::Packet(PacketRecord {
             day: 4,
