@@ -1,56 +1,19 @@
 //! The RAPID selection path under growing buffer occupancy: one contact
 //! between two nodes whose buffers hold `n` packets. Covers the top-k
-//! candidate selection that keeps contacts O(n + k log k).
+//! candidate selection that keeps contacts O(n + k log k) and the
+//! dense-id/incremental-cache machinery behind it; the 200k point is the
+//! scaling probe for the per-destination queue model (PR 3).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dtn_sim::workload::{PacketSpec, Workload};
-use dtn_sim::{Contact, NodeId, Schedule, SimConfig, Simulation, Time, TimeDelta};
+use dtn_sim::Simulation;
+use rapid_bench::scenarios::selection_scenario;
 use rapid_core::{Rapid, RapidConfig};
-
-fn scenario(n_packets: u64) -> (SimConfig, Schedule, Workload) {
-    // Packets from node 0 and 1 to nodes 2..6; one big contact 0↔1 at the
-    // end forces a full selection pass over the occupied buffers.
-    let mut specs = Vec::new();
-    for i in 0..n_packets {
-        specs.push(PacketSpec {
-            time: Time::from_secs(i % 500),
-            src: NodeId((i % 2) as u32),
-            dst: NodeId(2 + (i % 4) as u32),
-            size_bytes: 1024,
-        });
-    }
-    let mut contacts = Vec::new();
-    // Teach meeting averages so estimates are finite.
-    for k in 0..4u64 {
-        for d in 2..6u32 {
-            contacts.push(Contact::new(
-                Time::from_secs(10 + 100 * k + u64::from(d)),
-                NodeId(1),
-                NodeId(d),
-                1024,
-            ));
-        }
-    }
-    contacts.push(Contact::new(
-        Time::from_secs(600),
-        NodeId(0),
-        NodeId(1),
-        64 * 1024,
-    ));
-    let config = SimConfig {
-        nodes: 6,
-        horizon: Time::from_secs(700),
-        deadline: Some(TimeDelta::from_secs(300)),
-        ..SimConfig::default()
-    };
-    (config, Schedule::new(contacts), Workload::new(specs))
-}
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("selection");
     g.sample_size(10);
-    for n in [1_000u64, 10_000, 50_000] {
-        let (config, schedule, workload) = scenario(n);
+    for n in [1_000u64, 10_000, 50_000, 200_000] {
+        let (config, schedule, workload) = selection_scenario(n);
         g.bench_function(format!("contact_with_{n}_buffered"), |b| {
             b.iter(|| {
                 let mut rapid = Rapid::new(RapidConfig::avg_delay().with_delay_cap(2000.0));

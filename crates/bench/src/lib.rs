@@ -19,6 +19,7 @@ pub mod churn;
 pub mod families;
 pub mod proto;
 pub mod runner;
+pub mod scenarios;
 pub mod synth;
 pub mod trace_exp;
 pub mod tsv;

@@ -1,0 +1,59 @@
+//! Deterministic micro-benchmark scenarios shared by the criterion benches
+//! and the CI bench-smoke binary, so both measure exactly the same work.
+
+use dtn_sim::workload::{PacketSpec, Workload};
+use dtn_sim::{Contact, NodeId, Schedule, SimConfig, Time, TimeDelta};
+
+/// The RAPID selection-path scenario: packets from nodes 0 and 1 to nodes
+/// 2..6, a few small teaching contacts so meeting estimates are finite,
+/// then one big 0↔1 contact that forces a full selection pass over the
+/// occupied buffers.
+pub fn selection_scenario(n_packets: u64) -> (SimConfig, Schedule, Workload) {
+    let mut specs = Vec::new();
+    for i in 0..n_packets {
+        specs.push(PacketSpec {
+            time: Time::from_secs(i % 500),
+            src: NodeId((i % 2) as u32),
+            dst: NodeId(2 + (i % 4) as u32),
+            size_bytes: 1024,
+        });
+    }
+    let mut contacts = Vec::new();
+    // Teach meeting averages so estimates are finite.
+    for k in 0..4u64 {
+        for d in 2..6u32 {
+            contacts.push(Contact::new(
+                Time::from_secs(10 + 100 * k + u64::from(d)),
+                NodeId(1),
+                NodeId(d),
+                1024,
+            ));
+        }
+    }
+    contacts.push(Contact::new(
+        Time::from_secs(600),
+        NodeId(0),
+        NodeId(1),
+        64 * 1024,
+    ));
+    let config = SimConfig {
+        nodes: 6,
+        horizon: Time::from_secs(700),
+        deadline: Some(TimeDelta::from_secs(300)),
+        ..SimConfig::default()
+    };
+    (config, Schedule::new(contacts), Workload::new(specs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_is_well_formed() {
+        let (config, schedule, workload) = selection_scenario(100);
+        assert_eq!(config.nodes, 6);
+        assert_eq!(workload.specs().len(), 100);
+        assert_eq!(schedule.windows().len(), 17);
+    }
+}

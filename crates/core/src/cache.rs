@@ -1,0 +1,194 @@
+//! The incremental Estimate-Delay cache: per-packet Eq. 4–9 results with
+//! epoch-based dirty tracking.
+//!
+//! RAPID's utilities are derived from one expensive quantity per packet:
+//! the *combined replica rate* `Σ_j 1/a_j` over the replica delays of
+//! Eqs. 4–9 (the metric formulas in `protocol.rs` are cheap closed forms
+//! over that rate and the packet's age). Recomputing every rate from
+//! scratch at every buffer-overflow decision is the paper reproduction's
+//! biggest constant factor; this cache makes the recomputation incremental:
+//! a rate is reused while all of its inputs are provably unchanged, and
+//! only *dirty* packets are re-estimated.
+//!
+//! A cached rate for packet `i` (destination `Z`) at node `X` depends on
+//! three input groups, each guarded by its own epoch:
+//!
+//! * **node epoch** — `X`'s meeting-time estimates, believed opportunity
+//!   sizes and learned rows. All change together at `X`'s own contacts
+//!   (and on churn), so one counter guards them:
+//!   [`DelayCache::invalidate_all`] is driven off `on_contact` and the
+//!   `on_node_up`/`on_node_down` lifecycle hooks.
+//! * **destination epoch** — the bytes queued ahead of `i` for `Z`
+//!   (Eq. 5's `b(i)`), which changes only when `X`'s delivery queue for
+//!   `Z` changes: a creation, an accepted replica, an eviction or a TTL
+//!   expiry. [`DelayCache::touch_dst`] is driven off those events
+//!   (`on_packet_created`, `make_room` victims, `on_packet_expired`).
+//! * **packet epoch** — the remote-replica delay entries gossiped for `i`
+//!   (the `MetaTable` belief), plus ack state. [`DelayCache::touch_packet`]
+//!   is driven off belief mutations and delivery/ack events.
+//!
+//! An entry is valid only if all three epochs still match — validity
+//! implies the recomputation would be bit-identical, so cached and
+//! from-scratch selection decisions cannot diverge (the `rapid-core`
+//! property tests assert exactly that, and `protocol.rs` re-verifies every
+//! hit under `debug_assertions`).
+//!
+//! The cache also exposes a monotone [`DelayCache::version`] — bumped by
+//! every invalidation — which `protocol.rs` uses to reuse an already
+//! *sorted* eviction order across storage decisions (lazy re-sorting):
+//! same version, same order.
+
+use dtn_sim::{NodeId, PacketId};
+
+/// One cached combined-rate entry with the epochs it was computed under.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    node_epoch: u64,
+    dst_epoch: u64,
+    pkt_epoch: u32,
+    rate: f64,
+}
+
+/// Per-node cache of combined replica rates (Eqs. 4–9), invalidated by
+/// epoch comparison. See the module docs for the invalidation contract.
+#[derive(Debug, Clone)]
+pub struct DelayCache {
+    /// Epoch of node-level inputs (estimates, opportunity beliefs).
+    node_epoch: u64,
+    /// Epoch of each destination's delivery queue, by `NodeId` index.
+    dst_epoch: Vec<u64>,
+    /// Epoch of each packet's remote-belief inputs, by `PacketId` index.
+    pkt_epoch: Vec<u32>,
+    /// Cached entries by `PacketId` index.
+    entries: Vec<Entry>,
+    /// Bumped by every invalidation; guards derived sorted orders.
+    version: u64,
+}
+
+const EMPTY: Entry = Entry {
+    node_epoch: 0,
+    dst_epoch: 0,
+    pkt_epoch: 0,
+    rate: 0.0,
+};
+
+impl DelayCache {
+    /// A cache for a simulation with `nodes` destinations.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            node_epoch: 1,
+            dst_epoch: vec![1; nodes],
+            pkt_epoch: Vec::new(),
+            entries: Vec::new(),
+            version: 0,
+        }
+    }
+
+    /// Invalidates every cached rate (node-level inputs changed).
+    pub fn invalidate_all(&mut self) {
+        self.node_epoch += 1;
+        self.version += 1;
+    }
+
+    /// Invalidates rates of packets destined to `dst` (that delivery queue
+    /// changed, so their `b(i)` may have).
+    pub fn touch_dst(&mut self, dst: NodeId) {
+        self.dst_epoch[dst.index()] += 1;
+        self.version += 1;
+    }
+
+    /// Invalidates the rate of one packet (its remote-belief inputs
+    /// changed).
+    pub fn touch_packet(&mut self, id: PacketId) {
+        let i = id.index();
+        if i >= self.pkt_epoch.len() {
+            self.pkt_epoch.resize(i + 1, 0);
+        }
+        self.pkt_epoch[i] += 1;
+        self.version += 1;
+    }
+
+    /// The cached rate for `id` (destined to `dst`), if still valid.
+    pub fn get(&self, id: PacketId, dst: NodeId) -> Option<f64> {
+        let e = self.entries.get(id.index()).copied().unwrap_or(EMPTY);
+        let pkt_epoch = self.pkt_epoch.get(id.index()).copied().unwrap_or(0);
+        (e.node_epoch == self.node_epoch
+            && e.dst_epoch == self.dst_epoch[dst.index()]
+            && e.pkt_epoch == pkt_epoch)
+            .then_some(e.rate)
+    }
+
+    /// Stores a freshly computed rate under the current epochs.
+    pub fn put(&mut self, id: PacketId, dst: NodeId, rate: f64) {
+        let i = id.index();
+        if i >= self.entries.len() {
+            self.entries.resize(i + 1, EMPTY);
+        }
+        self.entries[i] = Entry {
+            node_epoch: self.node_epoch,
+            dst_epoch: self.dst_epoch[dst.index()],
+            pkt_epoch: self.pkt_epoch.get(i).copied().unwrap_or(0),
+            rate,
+        };
+    }
+
+    /// Monotone counter bumped by every invalidation. Two equal versions
+    /// bracket a span with no invalidation at all — anything derived from
+    /// cached rates (like a sorted eviction order) is still exact.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_put_miss_after_each_invalidation_kind() {
+        let mut c = DelayCache::new(4);
+        let (p, d) = (PacketId(7), NodeId(2));
+        assert_eq!(c.get(p, d), None, "cold cache misses");
+        c.put(p, d, 0.125);
+        assert_eq!(c.get(p, d), Some(0.125));
+
+        c.touch_dst(NodeId(3));
+        assert_eq!(c.get(p, d), Some(0.125), "other destinations unaffected");
+        c.touch_dst(d);
+        assert_eq!(c.get(p, d), None, "destination touch invalidates");
+
+        c.put(p, d, 0.25);
+        c.touch_packet(PacketId(8));
+        assert_eq!(c.get(p, d), Some(0.25), "other packets unaffected");
+        c.touch_packet(p);
+        assert_eq!(c.get(p, d), None, "packet touch invalidates");
+
+        c.put(p, d, 0.5);
+        c.invalidate_all();
+        assert_eq!(c.get(p, d), None, "node epoch invalidates everything");
+    }
+
+    #[test]
+    fn version_counts_every_invalidation() {
+        let mut c = DelayCache::new(2);
+        let v0 = c.version();
+        c.put(PacketId(0), NodeId(0), 1.0);
+        assert_eq!(c.version(), v0, "puts do not bump the version");
+        c.touch_dst(NodeId(1));
+        c.touch_packet(PacketId(5));
+        c.invalidate_all();
+        assert_eq!(c.version(), v0 + 3);
+    }
+
+    #[test]
+    fn entries_are_per_packet() {
+        let mut c = DelayCache::new(2);
+        c.put(PacketId(0), NodeId(0), 1.0);
+        c.put(PacketId(1), NodeId(1), 2.0);
+        assert_eq!(c.get(PacketId(0), NodeId(0)), Some(1.0));
+        assert_eq!(c.get(PacketId(1), NodeId(1)), Some(2.0));
+        c.touch_dst(NodeId(0));
+        assert_eq!(c.get(PacketId(0), NodeId(0)), None);
+        assert_eq!(c.get(PacketId(1), NodeId(1)), Some(2.0));
+    }
+}

@@ -9,9 +9,15 @@
 //! beyond a cap, the stalest entries for packets not held locally are
 //! pruned — a real deployment cannot hold control state for every packet
 //! ever heard of.
+//!
+//! Beliefs are keyed on dense slots: packet ids are interned
+//! ([`dtn_sim::PacketInterner`]) in first-heard order, lookups are `Vec`
+//! indexing, and the live slots are tracked in an [`IndexSet`] bitset so
+//! the delta-exchange scan touches only occupied slots. Slots are stable
+//! for the table's lifetime (pruned packets free the belief, not the
+//! slot), which is what lets callers hold dense-indexed side state.
 
-use dtn_sim::{NodeId, PacketId, Time};
-use std::collections::HashMap;
+use dtn_sim::{IndexSet, NodeId, PacketId, PacketInterner, Time};
 
 /// One believed replica of a packet.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,7 +57,12 @@ impl PacketBelief {
 /// A node's replica/delay table.
 #[derive(Debug, Clone, Default)]
 pub struct MetaTable {
-    beliefs: HashMap<u32, PacketBelief>,
+    /// Packet ids interned onto stable dense slots, first-heard order.
+    packets: PacketInterner,
+    /// Beliefs by interned slot (`None` = forgotten/pruned).
+    beliefs: Vec<Option<PacketBelief>>,
+    /// Occupied slots, for iteration without scanning holes.
+    live: IndexSet,
 }
 
 impl MetaTable {
@@ -62,24 +73,30 @@ impl MetaTable {
 
     /// Number of packets with beliefs.
     pub fn len(&self) -> usize {
-        self.beliefs.len()
+        self.live.len()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.beliefs.is_empty()
+        self.live.is_empty()
     }
 
     /// The belief about `id`, if any.
     pub fn get(&self, id: PacketId) -> Option<&PacketBelief> {
-        self.beliefs.get(&id.0)
+        let slot = self.packets.get(id)?.index();
+        self.beliefs.get(slot)?.as_ref()
     }
 
     /// Records (or refreshes) the belief that `holder` carries `id` with
     /// the given delay estimate. Newer stamps win; equal-stamp updates
     /// overwrite (local refresh). Returns whether anything changed.
     pub fn upsert(&mut self, id: PacketId, entry: HolderEntry) -> bool {
-        let belief = self.beliefs.entry(id.0).or_default();
+        let slot = self.packets.intern(id).index();
+        if slot >= self.beliefs.len() {
+            self.beliefs.resize(slot + 1, None);
+        }
+        let belief = self.beliefs[slot].get_or_insert_with(PacketBelief::default);
+        self.live.insert(slot);
         match belief
             .entries
             .binary_search_by_key(&entry.holder, |e| e.holder)
@@ -103,19 +120,39 @@ impl MetaTable {
     /// Forgets a packet entirely (on ack: "Metadata for delivered packets
     /// is deleted when an ack is received").
     pub fn remove_packet(&mut self, id: PacketId) {
-        self.beliefs.remove(&id.0);
+        if let Some(slot) = self.packets.get(id) {
+            if self.live.remove(slot.index()) {
+                self.beliefs[slot.index()] = None;
+            }
+        }
     }
 
     /// Forgets one holder of a packet (local eviction).
     pub fn remove_holder(&mut self, id: PacketId, holder: NodeId) {
-        if let Some(belief) = self.beliefs.get_mut(&id.0) {
-            if let Ok(k) = belief.entries.binary_search_by_key(&holder, |e| e.holder) {
-                belief.entries.remove(k);
-                if belief.entries.is_empty() {
-                    self.beliefs.remove(&id.0);
-                }
+        let Some(slot) = self.packets.get(id) else {
+            return;
+        };
+        let Some(belief) = self.beliefs.get_mut(slot.index()).and_then(Option::as_mut) else {
+            return;
+        };
+        if let Ok(k) = belief.entries.binary_search_by_key(&holder, |e| e.holder) {
+            belief.entries.remove(k);
+            if belief.entries.is_empty() {
+                self.beliefs[slot.index()] = None;
+                self.live.remove(slot.index());
             }
         }
+    }
+
+    /// Iterates the occupied `(id, belief)` pairs in slot (first-heard)
+    /// order.
+    fn iter_live(&self) -> impl Iterator<Item = (PacketId, &PacketBelief)> + '_ {
+        self.live.iter().map(|slot| {
+            let belief = self.beliefs[slot]
+                .as_ref()
+                .expect("live slot holds a belief");
+            (self.packets.id(dtn_sim::PacketIdx(slot as u32)), belief)
+        })
     }
 
     /// Packets whose belief changed after `since`, with the number of
@@ -125,12 +162,11 @@ impl MetaTable {
     /// the last stamp it fully shipped.
     pub fn changed_since(&self, since: Time) -> Vec<(PacketId, usize, Time)> {
         let mut out: Vec<(PacketId, usize, Time)> = self
-            .beliefs
-            .iter()
+            .iter_live()
             .filter(|(_, b)| b.changed_at > since)
-            .map(|(&id, b)| {
+            .map(|(id, b)| {
                 let fresh = b.entries.iter().filter(|e| e.stamp > since).count();
-                (PacketId(id), fresh, b.changed_at)
+                (id, fresh, b.changed_at)
             })
             .filter(|&(_, fresh, _)| fresh > 0)
             .collect();
@@ -154,19 +190,18 @@ impl MetaTable {
     /// by `keep` are pruned stalest-first until the size fits. Beliefs that
     /// `keep` matches (typically: packets in the local buffer) survive.
     pub fn prune(&mut self, cap: usize, mut keep: impl FnMut(PacketId) -> bool) {
-        if self.beliefs.len() <= cap {
+        if self.len() <= cap {
             return;
         }
-        let mut removable: Vec<(Time, u32)> = self
-            .beliefs
-            .iter()
-            .filter(|(&id, _)| !keep(PacketId(id)))
-            .map(|(&id, b)| (b.changed_at, id))
+        let mut removable: Vec<(Time, PacketId)> = self
+            .iter_live()
+            .filter(|&(id, _)| !keep(id))
+            .map(|(id, b)| (b.changed_at, id))
             .collect();
         removable.sort_unstable();
-        let excess = self.beliefs.len() - cap;
+        let excess = self.len() - cap;
         for &(_, id) in removable.iter().take(excess) {
-            self.beliefs.remove(&id);
+            self.remove_packet(id);
         }
     }
 }

@@ -19,8 +19,8 @@
 //! `⌈b_j(i)/B_j⌉` meetings, which is 0 for the head-of-queue packet; we use
 //! `⌊b_j(i)/B_j⌋ + 1` so the head packet needs exactly one meeting.
 
-use dtn_sim::{NodeId, PacketId, Time};
-use std::collections::HashMap;
+use dtn_sim::buffer::queue_slice;
+use dtn_sim::{NodeBuffer, NodeId, NodeInterner, PacketId, QueueEntry, Time};
 
 /// Smallest representable per-replica delay (seconds); guards divisions.
 const MIN_DELAY_SECS: f64 = 1e-6;
@@ -29,7 +29,11 @@ const MIN_DELAY_SECS: f64 = 1e-6;
 /// `⌊bytes_ahead / B⌋ + 1`.
 pub fn meetings_needed(bytes_ahead: u64, avg_opportunity_bytes: f64) -> f64 {
     let b = avg_opportunity_bytes.max(1.0);
-    (bytes_ahead as f64 / b).floor() + 1.0
+    let q = bytes_ahead as f64 / b;
+    // `q` is non-negative and below 2^64 (numerator ≤ u64::MAX, b ≥ 1), so
+    // truncation through u64 equals `q.floor()` — without the libm floor
+    // call this hot path otherwise pays on baseline x86-64.
+    (q as u64) as f64 + 1.0
 }
 
 /// Per-replica direct-delivery delay `a_j(i) = E(M_{jZ}) · n_j(i)` seconds.
@@ -42,10 +46,32 @@ pub fn replica_delay(expected_meeting_secs: f64, meetings: f64) -> f64 {
     (expected_meeting_secs * meetings).max(MIN_DELAY_SECS)
 }
 
-/// Combined expected remaining delay `A(i)` over replica delays (Eq. 8/9):
-/// the mean of the minimum of independent exponentials with those means.
-pub fn expected_remaining_delay(replica_delays: impl IntoIterator<Item = f64>) -> f64 {
-    let rate = total_rate(replica_delays);
+/// Combined replica rate `Σ_j 1/a_j` over the per-replica delays — the
+/// one expensive quantity behind Eqs. 7–9. Every utility RAPID uses is a
+/// cheap closed form over this rate ([`delay_from_rate`],
+/// [`prob_within_from_rate`]), which is what makes the rate the natural
+/// unit to cache incrementally (see `cache.rs`). Infinite delays
+/// (unreachable replicas) contribute nothing.
+pub fn combined_rate(replica_delays: impl IntoIterator<Item = f64>) -> f64 {
+    replica_delays.into_iter().map(rate_contribution).sum()
+}
+
+/// One replica's additive contribution to the combined rate: `1/a` for a
+/// finite delay, 0 for an unreachable replica. Summing contributions
+/// left-to-right is bit-identical to [`combined_rate`] (all partial sums
+/// are non-negative, so the zero terms are exact no-ops) — selection paths
+/// use this to extend a rate by one replica without re-summing.
+pub fn rate_contribution(a: f64) -> f64 {
+    if a.is_finite() {
+        1.0 / a.max(MIN_DELAY_SECS)
+    } else {
+        0.0
+    }
+}
+
+/// `A(i)` from a combined rate (Eq. 8/9): the mean of the minimum of
+/// independent exponentials. Zero rate (no viable replica) is infinite.
+pub fn delay_from_rate(rate: f64) -> f64 {
     if rate > 0.0 {
         1.0 / rate
     } else {
@@ -53,62 +79,105 @@ pub fn expected_remaining_delay(replica_delays: impl IntoIterator<Item = f64>) -
     }
 }
 
-/// `P(a(i) < t)` for the combined replicas (Eq. 7).
-pub fn prob_delivered_within(replica_delays: impl IntoIterator<Item = f64>, t_secs: f64) -> f64 {
-    if t_secs <= 0.0 {
-        return 0.0;
-    }
-    let rate = total_rate(replica_delays);
-    if rate == 0.0 {
+/// `P(a(i) < t)` from a combined rate (Eq. 7).
+pub fn prob_within_from_rate(rate: f64, t_secs: f64) -> f64 {
+    if t_secs <= 0.0 || rate == 0.0 {
         return 0.0;
     }
     1.0 - (-rate * t_secs).exp()
 }
 
-fn total_rate(replica_delays: impl IntoIterator<Item = f64>) -> f64 {
-    replica_delays
-        .into_iter()
-        .filter(|a| a.is_finite())
-        .map(|a| 1.0 / a.max(MIN_DELAY_SECS))
-        .sum()
+/// Combined expected remaining delay `A(i)` over replica delays (Eq. 8/9):
+/// the mean of the minimum of independent exponentials with those means.
+pub fn expected_remaining_delay(replica_delays: impl IntoIterator<Item = f64>) -> f64 {
+    delay_from_rate(combined_rate(replica_delays))
+}
+
+/// `P(a(i) < t)` for the combined replicas (Eq. 7).
+pub fn prob_delivered_within(replica_delays: impl IntoIterator<Item = f64>, t_secs: f64) -> f64 {
+    prob_within_from_rate(combined_rate(replica_delays), t_secs)
 }
 
 /// A snapshot of one node's buffer organised as per-destination delivery
 /// queues (Fig. 1): packets sorted oldest-first (decreasing `T(i)`, the
 /// order Step 2 of Protocol RAPID would deliver them), with prefix byte
 /// sums so `b(i)` is O(log n) per query.
+///
+/// Destinations are interned onto dense slots (no hashing on the query
+/// path), and queues share the buffer's [`QueueEntry`] layout, so
+/// refilling from a buffer is a straight `memcpy` per queue. The snapshot
+/// decouples scoring from the live buffer: RAPID scores a whole contact
+/// against the queue state at contact start, even as transfers mutate the
+/// buffers mid-contact.
 #[derive(Debug, Clone, Default)]
 pub struct QueueSnapshot {
-    /// Per destination: (created_at, size, id) sorted by (created_at, id).
-    queues: HashMap<u32, Vec<(Time, u64, PacketId)>>,
-    /// Prefix sums aligned with `queues`: bytes strictly ahead of slot k.
-    prefix: HashMap<u32, Vec<u64>>,
+    /// Destinations seen, interned in first-seen order.
+    dsts: NodeInterner,
+    /// Per interned destination: entries sorted by `(created_at, id)` with
+    /// exact `bytes_ahead` prefix sums.
+    queues: Vec<Vec<QueueEntry>>,
 }
 
 impl QueueSnapshot {
     /// Builds a snapshot from `(id, dst, size, created_at)` tuples.
     pub fn build(packets: impl IntoIterator<Item = (PacketId, NodeId, u64, Time)>) -> Self {
-        let mut queues: HashMap<u32, Vec<(Time, u64, PacketId)>> = HashMap::new();
+        let mut snap = Self::default();
         for (id, dst, size, created) in packets {
-            queues.entry(dst.0).or_default().push((created, size, id));
+            let di = snap.dsts.intern(dst).index();
+            if di >= snap.queues.len() {
+                snap.queues.resize(di + 1, Vec::new());
+            }
+            snap.queues[di].push(QueueEntry {
+                created_at: created,
+                id,
+                size_bytes: size,
+                bytes_ahead: 0,
+            });
         }
-        let mut prefix = HashMap::with_capacity(queues.len());
-        for (&dst, q) in queues.iter_mut() {
+        for q in &mut snap.queues {
             // Oldest first = smallest created_at first; PacketId tiebreak
             // keeps the order deterministic.
-            q.sort_unstable_by_key(|&(t, _, id)| (t, id));
+            q.sort_unstable_by_key(|e| (e.created_at, e.id));
             let mut acc = 0u64;
-            let sums = q
-                .iter()
-                .map(|&(_, size, _)| {
-                    let ahead = acc;
-                    acc += size;
-                    ahead
-                })
-                .collect();
-            prefix.insert(dst, sums);
+            for e in q {
+                e.bytes_ahead = acc;
+                acc += e.size_bytes;
+            }
         }
-        Self { queues, prefix }
+        snap
+    }
+
+    /// Copies a buffer's maintained delivery queues into a snapshot in
+    /// O(n) — no re-sorting, no hashing; the buffer keeps its queues (and
+    /// prefix sums) in exactly the form [`QueueSnapshot::build`] would
+    /// produce.
+    pub fn from_buffer(buffer: &NodeBuffer) -> Self {
+        let mut snap = Self::default();
+        snap.refill_from_buffer(buffer);
+        snap
+    }
+
+    /// [`QueueSnapshot::from_buffer`] into an existing snapshot, reusing
+    /// its allocations — the per-contact snapshot pair is refilled this
+    /// way so steady-state contacts allocate nothing for queue state.
+    pub fn refill_from_buffer(&mut self, buffer: &NodeBuffer) {
+        self.dsts.clear();
+        for q in &mut self.queues {
+            q.clear();
+        }
+        for (dst, entries) in buffer.queues() {
+            let di = self.dsts.intern(dst).index();
+            if di >= self.queues.len() {
+                self.queues.push(Vec::new());
+            }
+            self.queues[di].extend_from_slice(entries);
+        }
+    }
+
+    /// The queue for `dst`, if the snapshot has one.
+    pub fn queue(&self, dst: NodeId) -> Option<&[QueueEntry]> {
+        let di = self.dsts.get(dst)?.index();
+        Some(&self.queues[di])
     }
 
     /// Bytes queued ahead of an *existing* packet in the `dst` queue.
@@ -117,38 +186,68 @@ impl QueueSnapshot {
     /// If the packet is not in the snapshot.
     pub fn bytes_ahead(&self, dst: NodeId, id: PacketId, created_at: Time) -> u64 {
         let q = self
-            .queues
-            .get(&dst.0)
+            .queue(dst)
             .unwrap_or_else(|| panic!("no queue for {dst}"));
-        let pos = q
-            .binary_search_by_key(&(created_at, id), |&(t, _, i)| (t, i))
-            .unwrap_or_else(|_| panic!("{id} not in queue for {dst}"));
-        self.prefix[&dst.0][pos]
+        queue_slice::bytes_ahead(q, dst, id, created_at)
     }
 
     /// Bytes that would be queued ahead of a *hypothetical* packet with the
     /// given age, were it inserted (used to evaluate replicating onto this
     /// node: older packets with the same destination go first).
     pub fn bytes_ahead_if_inserted(&self, dst: NodeId, created_at: Time) -> u64 {
-        let Some(q) = self.queues.get(&dst.0) else {
-            return 0;
-        };
-        // All packets strictly older (created earlier) precede the insert.
-        let pos = q.partition_point(|&(t, _, _)| t < created_at);
-        if pos == 0 {
-            0
-        } else {
-            let (_, size, _) = q[pos - 1];
-            self.prefix[&dst.0][pos - 1] + size
-        }
+        queue_slice::bytes_ahead_if_inserted(self.queue(dst).unwrap_or(&[]), created_at)
     }
 
     /// Total queued bytes for `dst`.
     pub fn total_bytes(&self, dst: NodeId) -> u64 {
-        match (self.queues.get(&dst.0), self.prefix.get(&dst.0)) {
-            (Some(q), Some(p)) if !q.is_empty() => p[q.len() - 1] + q[q.len() - 1].1,
-            _ => 0,
+        queue_slice::total_bytes(self.queue(dst).unwrap_or(&[]))
+    }
+
+    /// Iterates the non-empty destination queues in the same
+    /// `(dst, entries)` shape as [`NodeBuffer::queues`]. Walking a queue
+    /// makes [`QueueSnapshot::bytes_ahead`] an O(1) slot read.
+    pub fn queues(&self) -> impl Iterator<Item = (NodeId, &[QueueEntry])> + '_ {
+        self.queues.iter().enumerate().filter_map(move |(i, q)| {
+            if q.is_empty() {
+                None
+            } else {
+                Some((self.dsts.id(dtn_sim::NodeIdx(i as u32)), q.as_slice()))
+            }
+        })
+    }
+
+    /// A monotone cursor over the `dst` queue for repeated
+    /// [`QueueSnapshot::bytes_ahead_if_inserted`] queries with
+    /// non-decreasing `created_at` — each query is then O(1) amortized
+    /// instead of a binary search.
+    pub fn insert_cursor(&self, dst: NodeId) -> InsertCursor<'_> {
+        InsertCursor::over(self.queue(dst).unwrap_or(&[]))
+    }
+}
+
+/// See [`QueueSnapshot::insert_cursor`]; works over any delivery-order
+/// queue slice (snapshot or live buffer).
+#[derive(Debug)]
+pub struct InsertCursor<'a> {
+    q: &'a [QueueEntry],
+    pos: usize,
+}
+
+impl<'a> InsertCursor<'a> {
+    /// A cursor over a `(created_at, id)`-ordered queue slice.
+    pub fn over(q: &'a [QueueEntry]) -> Self {
+        Self { q, pos: 0 }
+    }
+
+    /// Bytes ahead of a hypothetical insert at `created_at`. Equals
+    /// [`QueueSnapshot::bytes_ahead_if_inserted`] provided `created_at`
+    /// never decreases across calls on one cursor: the monotone advance
+    /// lands on the same partition point the binary search would find.
+    pub fn bytes_ahead_if_inserted(&mut self, created_at: Time) -> u64 {
+        while self.pos < self.q.len() && self.q[self.pos].created_at < created_at {
+            self.pos += 1;
         }
+        queue_slice::ahead_of_slot(self.q, self.pos)
     }
 }
 
@@ -269,5 +368,49 @@ mod tests {
         let dst = NodeId(9);
         assert_eq!(s.bytes_ahead(dst, PacketId(2), Time::from_secs(10)), 0);
         assert_eq!(s.bytes_ahead(dst, PacketId(5), Time::from_secs(10)), 100);
+    }
+
+    #[test]
+    fn from_buffer_matches_build() {
+        use dtn_sim::Packet;
+        let entries: &[(u32, u32, u64, u64)] = &[
+            (0, 9, 1000, 50),
+            (1, 9, 500, 10),
+            (2, 8, 200, 30),
+            (3, 9, 100, 10), // same created_at as p1, id tie-break
+        ];
+        let mut buf = NodeBuffer::new(u64::MAX);
+        for &(id, dst, size, t) in entries {
+            buf.insert(
+                &Packet {
+                    id: PacketId(id),
+                    src: NodeId(0),
+                    dst: NodeId(dst),
+                    size_bytes: size,
+                    created_at: Time::from_secs(t),
+                },
+                Time::ZERO,
+            );
+        }
+        let via_buffer = QueueSnapshot::from_buffer(&buf);
+        let via_build = q(entries);
+        for &(id, dst, _, t) in entries {
+            assert_eq!(
+                via_buffer.bytes_ahead(NodeId(dst), PacketId(id), Time::from_secs(t)),
+                via_build.bytes_ahead(NodeId(dst), PacketId(id), Time::from_secs(t)),
+            );
+        }
+        for dst in [8u32, 9, 7] {
+            assert_eq!(
+                via_buffer.total_bytes(NodeId(dst)),
+                via_build.total_bytes(NodeId(dst))
+            );
+            for t in [0u64, 20, 40, 99] {
+                assert_eq!(
+                    via_buffer.bytes_ahead_if_inserted(NodeId(dst), Time::from_secs(t)),
+                    via_build.bytes_ahead_if_inserted(NodeId(dst), Time::from_secs(t)),
+                );
+            }
+        }
     }
 }

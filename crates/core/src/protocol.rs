@@ -17,16 +17,19 @@
 //! Storage: when a buffer overflows, the lowest-utility packets are dropped
 //! first; a source never drops its own unacknowledged packet (§3.4).
 
+use crate::cache::DelayCache;
 use crate::config::{wire, ChannelMode, RapidConfig, RoutingMetric};
 use crate::control::{HolderEntry, MetaTable};
 use crate::estimate::{
-    expected_remaining_delay, meetings_needed, prob_delivered_within, replica_delay, QueueSnapshot,
+    combined_rate, delay_from_rate, meetings_needed, prob_within_from_rate, rate_contribution,
+    replica_delay, InsertCursor, QueueSnapshot,
 };
 use crate::meetings::{expected_meeting_times_from, MeetingView};
 use dtn_sim::{
-    ContactDriver, NodeBuffer, NodeId, Packet, PacketId, PacketSet, PacketStore, Routing,
-    SimConfig, Time, TransferOutcome,
+    ContactDriver, NodeBuffer, NodeId, Packet, PacketId, PacketSet, PacketStore, QueueEntry,
+    Routing, SimConfig, Time, TransferOutcome,
 };
+use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
 
 /// Relative change below which a refreshed delay estimate is not
@@ -58,6 +61,29 @@ struct NodeState {
     believed_opp: Vec<(f64, Time)>,
     /// Cached h-hop expected meeting times (invalidated at each contact).
     est_cache: Option<Vec<f64>>,
+    /// Incremental Eq. 4–9 rate cache (see `cache.rs`); invalidated by the
+    /// lifecycle hooks and the contact/meta events below.
+    cache: DelayCache,
+    /// Lazily re-sorted eviction order derived from cached rates.
+    evict_order: Option<EvictOrder>,
+}
+
+/// A sorted storage-eviction order, reusable while nothing invalidated the
+/// rates it was derived from (the "lazy re-sorting" half of the cache).
+#[derive(Debug, Clone)]
+struct EvictOrder {
+    /// [`DelayCache::version`] at build time; any invalidation outdates it.
+    version: u64,
+    /// Build instant: the order is only reusable at the same `now`. (For
+    /// the delay metrics the order is clock-shift-invariant in *real*
+    /// arithmetic — utilities are `-(age + A(i))` — but not in floating
+    /// point, where a shift can round two distinct utilities into a tie
+    /// and flip the id tie-break; the deadline metric is age-dependent
+    /// outright. Same-instant reuse still covers the hot case: a burst of
+    /// creations at one timestamp hammering a full buffer.)
+    now: Time,
+    /// `(id, size)` in ascending `(utility, id)` order: evict front first.
+    order: Vec<(PacketId, u64)>,
 }
 
 impl NodeState {
@@ -70,6 +96,8 @@ impl NodeState {
             avg_opp: dtn_stats::RunningMean::new(),
             believed_opp: vec![(0.0, Time::ZERO); n],
             est_cache: None,
+            cache: DelayCache::new(n),
+            evict_order: None,
         }
     }
 }
@@ -79,6 +107,18 @@ pub struct Rapid {
     cfg: RapidConfig,
     sim: SimConfig,
     states: Vec<NodeState>,
+    scratch: ContactScratch,
+}
+
+/// Reusable per-contact scratch storage (queue snapshots, id and candidate
+/// lists): refilled at every contact so steady-state contacts allocate
+/// nothing for selection state.
+#[derive(Default)]
+struct ContactScratch {
+    snap_a: QueueSnapshot,
+    snap_b: QueueSnapshot,
+    destined: Vec<PacketId>,
+    candidates: Vec<Candidate>,
 }
 
 impl Rapid {
@@ -88,6 +128,7 @@ impl Rapid {
             cfg,
             sim: SimConfig::default(),
             states: Vec::new(),
+            scratch: ContactScratch::default(),
         }
     }
 
@@ -153,9 +194,11 @@ impl Rapid {
         }
     }
 
-    /// Utility of a buffered packet at `node` (for eviction ordering and
-    /// direct-delivery ordering). Higher = more valuable to keep.
-    fn utility(&self, node: NodeId, packet: &Packet, bytes_ahead: u64, now: Time) -> f64 {
+    /// The combined replica rate (Eqs. 4–9) of a buffered packet at `node`,
+    /// computed from scratch with the given queue position: the own-replica
+    /// delay from the h-hop estimates plus the believed remote-replica
+    /// delays, folded into `Σ_j 1/a_j`.
+    fn rate_with(&self, node: NodeId, packet: &Packet, bytes_ahead: u64) -> f64 {
         let state = &self.states[node.index()];
         let est = state
             .est_cache
@@ -177,18 +220,54 @@ impl Rapid {
                     .collect()
             })
             .unwrap_or_default();
+        combined_rate(remote.into_iter().chain([a_self]))
+    }
+
+    /// [`Rapid::rate_with`] through the incremental cache, against the
+    /// node's *live* buffer queues: a valid cache entry is returned as-is
+    /// (its inputs are provably unchanged, so recomputation would be
+    /// bit-identical — re-verified here under `debug_assertions`); a dirty
+    /// packet is re-estimated and stored under the current epochs.
+    fn rate_cached(&mut self, node: NodeId, packet: &Packet, buffer: &NodeBuffer) -> f64 {
+        if let Some(rate) = self.states[node.index()].cache.get(packet.id, packet.dst) {
+            #[cfg(debug_assertions)]
+            {
+                let fresh = self.rate_with(
+                    node,
+                    packet,
+                    buffer.bytes_ahead(packet.dst, packet.id, packet.created_at),
+                );
+                debug_assert!(
+                    rate.to_bits() == fresh.to_bits(),
+                    "stale delay-cache entry for {} at {node}: cached {rate}, fresh {fresh}",
+                    packet.id,
+                );
+            }
+            return rate;
+        }
+        let rate = self.rate_with(
+            node,
+            packet,
+            buffer.bytes_ahead(packet.dst, packet.id, packet.created_at),
+        );
+        self.states[node.index()]
+            .cache
+            .put(packet.id, packet.dst, rate);
+        rate
+    }
+
+    /// Utility of a buffered packet from its combined rate (for eviction
+    /// ordering). Higher = more valuable to keep.
+    fn utility_from_rate(&self, rate: f64, packet: &Packet, now: Time) -> f64 {
         let t = now.since(packet.created_at).as_secs_f64();
         match self.cfg.metric {
-            RoutingMetric::MinAvgDelay | RoutingMetric::MinMaxDelay => {
-                let a = expected_remaining_delay(remote.into_iter().chain([a_self]));
-                -(t + a)
-            }
+            RoutingMetric::MinAvgDelay | RoutingMetric::MinMaxDelay => -(t + delay_from_rate(rate)),
             RoutingMetric::MinMissedDeadlines { lifetime } => {
                 let l = lifetime.as_secs_f64();
                 if t >= l {
                     0.0
                 } else {
-                    prob_delivered_within(remote.into_iter().chain([a_self]), l - t)
+                    prob_within_from_rate(rate, l - t)
                 }
             }
         }
@@ -215,6 +294,74 @@ struct Candidate {
     size: u64,
     a_self: f64,
     a_peer: f64,
+}
+
+/// Where a replication side reads *contact-start* queue state from.
+///
+/// The default is a materialized [`QueueSnapshot`]. When this contact
+/// provably cannot overflow either buffer (each direction's opportunity
+/// fits in the peer's free space, so `NeedsSpace` is impossible), the
+/// sides that are untouched between contact start and their last read can
+/// serve reads straight from the live buffer — skipping the snapshot copy:
+///
+/// * the first replicating side reads its own queues before any transfer
+///   has happened, and its peer's queues are only mutated by its own
+///   transfer loop *after* enumeration finished;
+/// * the second side's *own* queues have been mutated by then (its snapshot
+///   is always materialized), but its peer — the first side — never loses
+///   or gains a replica mid-contact without overflow evictions.
+#[derive(Clone, Copy)]
+enum QueueView<'a> {
+    /// Live buffer of this node, provably identical to contact-start state
+    /// for every queue the reader consults.
+    Live(NodeId),
+    /// Materialized contact-start snapshot.
+    Snap(&'a QueueSnapshot),
+}
+
+impl QueueView<'_> {
+    /// The non-empty `(dst, entries)` queues, collected so the shapes of
+    /// both variants unify (destination counts are tiny — at most one per
+    /// node).
+    fn queue_list<'d>(&self, driver: &'d ContactDriver<'_>) -> Vec<(NodeId, &'d [QueueEntry])>
+    where
+        Self: 'd,
+    {
+        match *self {
+            QueueView::Live(node) => driver.buffer(node).queues().collect(),
+            QueueView::Snap(snap) => snap.queues().collect(),
+        }
+    }
+
+    /// Cursor over the `dst` queue for monotone hypothetical-insert reads.
+    fn insert_cursor<'d>(&self, driver: &'d ContactDriver<'_>, dst: NodeId) -> InsertCursor<'d>
+    where
+        Self: 'd,
+    {
+        match *self {
+            QueueView::Live(node) => InsertCursor::over(driver.buffer(node).queue(dst)),
+            QueueView::Snap(snap) => snap.insert_cursor(dst),
+        }
+    }
+
+    /// Contact-start `b(i)` of a stored packet (overflow-eviction scoring).
+    fn bytes_ahead(
+        &self,
+        _driver: &ContactDriver<'_>,
+        dst: NodeId,
+        id: PacketId,
+        created_at: Time,
+    ) -> u64 {
+        match *self {
+            // Live views exist only for contacts where `NeedsSpace` is
+            // impossible (see `QueueView`), and this read only happens on
+            // the `NeedsSpace` eviction path.
+            QueueView::Live(_) => {
+                unreachable!("live queue view consulted for overflow eviction")
+            }
+            QueueView::Snap(snap) => snap.bytes_ahead(dst, id, created_at),
+        }
+    }
 }
 
 impl Routing for Rapid {
@@ -257,10 +404,32 @@ impl Routing for Rapid {
         now: Time,
     ) -> Vec<PacketId> {
         self.ensure_est_cache(node);
-        let snap = QueueSnapshot::build(buffer.iter().map(|(id, _)| {
-            let p = packets.get(id);
-            (id, p.dst, p.size_bytes, p.created_at)
-        }));
+        // Lazy re-sorting: reuse the node's sorted eviction order while no
+        // invalidation touched the cache (a dropped creation leaves the
+        // order valid for the next storage decision); rebuild it from
+        // cached rates — only dirty packets re-run Estimate Delay —
+        // otherwise.
+        let version = self.states[node.index()].cache.version();
+        let reusable = self.states[node.index()]
+            .evict_order
+            .as_ref()
+            .is_some_and(|o| o.version == version && o.now == now);
+        if !reusable {
+            let mut scored: Vec<(f64, PacketId, u64)> = Vec::with_capacity(buffer.len());
+            for (id, meta) in buffer.iter() {
+                let p = *packets.get(id);
+                let rate = self.rate_cached(node, &p, buffer);
+                scored.push((self.utility_from_rate(rate, &p, now), id, meta.size_bytes));
+            }
+            // Lowest utility evicted first; id tiebreak for determinism.
+            scored.sort_unstable_by(|a, b| cmp_utility_then_id((a.0, a.1), (b.0, b.1)));
+            self.states[node.index()].evict_order = Some(EvictOrder {
+                version,
+                now,
+                order: scored.into_iter().map(|(_, id, size)| (id, size)).collect(),
+            });
+        }
+
         // §3.4 protects a source's own unacked packets from being displaced
         // by *incoming replicas*; when the incoming packet is the node's own
         // creation, the source manages its own queue and may shed its own
@@ -268,38 +437,38 @@ impl Routing for Rapid {
         // every new packet at birth).
         let own_creation = incoming.src == node;
         let state = &self.states[node.index()];
-        let mut scored: Vec<(f64, PacketId, u64)> = buffer
-            .iter()
-            .filter(|&(id, _)| {
-                own_creation || {
-                    let p = packets.get(id);
-                    p.src != node || state.acks.contains(id)
-                }
-            })
-            .map(|(id, meta)| {
-                let p = packets.get(id);
-                let ahead = snap.bytes_ahead(p.dst, id, p.created_at);
-                (self.utility(node, p, ahead, now), id, meta.size_bytes)
-            })
-            .collect();
-        // Lowest utility evicted first; id tiebreak for determinism.
-        scored.sort_unstable_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
+        let order = &state.evict_order.as_ref().expect("just ensured").order;
         let mut victims = Vec::new();
         let mut freed = 0u64;
-        for (_, id, size) in scored {
+        for &(id, size) in order {
             if freed >= needed {
                 break;
             }
-            victims.push(id);
-            freed += size;
+            let p = packets.get(id);
+            if own_creation || p.src != node || state.acks.contains(id) {
+                victims.push(id);
+                freed += size;
+            }
         }
+
+        #[cfg(debug_assertions)]
+        self.assert_victims_match_reference(node, own_creation, needed, buffer, packets, now, {
+            if freed >= needed {
+                &victims
+            } else {
+                &[]
+            }
+        });
+
         if freed >= needed {
             for &v in &victims {
-                self.states[node.index()].meta.remove_holder(v, node);
+                let dst = packets.get(v).dst;
+                let st = &mut self.states[node.index()];
+                st.meta.remove_holder(v, node);
+                // The eviction changes this queue's positions and v's own
+                // remote-belief set: dirty both.
+                st.cache.touch_dst(dst);
+                st.cache.touch_packet(v);
             }
             victims
         } else {
@@ -320,6 +489,10 @@ impl Routing for Rapid {
             let avg = self.states[xi].avg_opp.mean_or(0.0);
             self.states[xi].believed_opp[xi] = (avg, now);
             self.states[xi].est_cache = None;
+            // Node-level inputs (estimates, opportunity averages, and the
+            // rows/acks/beliefs about to be exchanged) change at a contact:
+            // one epoch bump invalidates every cached rate at this node.
+            self.states[xi].cache.invalidate_all();
         }
 
         // --- Step 1: metadata exchange (in-band modes only).
@@ -340,10 +513,13 @@ impl Routing for Rapid {
 
         // --- Purge packets known to be delivered (acks / global truth).
         for x in [a, b] {
+            // Filter while iterating; only the (few) hits are collected —
+            // the eviction below mutates the buffer, so a snapshot of the
+            // hits is still required.
             let known: Vec<PacketId> = driver
                 .buffer(x)
-                .ids()
-                .into_iter()
+                .iter()
+                .map(|(id, _)| id)
                 .filter(|&id| {
                     if self.is_global() {
                         driver.global().is_delivered(id)
@@ -365,20 +541,33 @@ impl Routing for Rapid {
         // through its own learned rows.
         let est_b_from_a = self.estimate_times(a, b);
         let est_a_from_b = self.estimate_times(b, a);
-        let snapshot = |driver: &ContactDriver<'_>, node: NodeId| {
-            QueueSnapshot::build(driver.buffer(node).iter().map(|(id, _)| {
-                let p = driver.packets().get(id);
-                (id, p.dst, p.size_bytes, p.created_at)
-            }))
+        // Contact-start queue state for scoring, even as transfers mutate
+        // the buffers mid-contact. The second replicating side always needs
+        // a materialized copy of its own queues (the first side mutates
+        // them); the first side's queues stay untouched for every read this
+        // contact performs, so its copy is skipped whenever buffer overflow
+        // — the only other snapshot reader, via `NeedsSpace` eviction — is
+        // impossible: data into a buffer is bounded by the opportunity, so
+        // an opportunity that fits in the peer's free space cannot trigger
+        // it. The scratch snapshots are moved out so `&mut self` methods
+        // stay callable while they are borrowed.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let overflow_possible = driver.remaining_bytes(a) > driver.buffer(b).free_bytes()
+            || driver.remaining_bytes(b) > driver.buffer(a).free_bytes();
+        scratch.snap_b.refill_from_buffer(driver.buffer(b));
+        let view_b = QueueView::Snap(&scratch.snap_b);
+        let view_a = if overflow_possible {
+            scratch.snap_a.refill_from_buffer(driver.buffer(a));
+            QueueView::Snap(&scratch.snap_a)
+        } else {
+            QueueView::Live(a)
         };
-        let snap_a = snapshot(driver, a);
-        let snap_b = snapshot(driver, b);
         self.states[a.index()].est_cache = Some(est_a.clone());
         self.states[b.index()].est_cache = Some(est_b.clone());
 
         // --- Step 2: direct delivery, both sides.
         for (x, y) in [(a, b), (b, a)] {
-            self.direct_delivery(driver, x, y, now);
+            self.direct_delivery(driver, x, y, now, &mut scratch.destined);
         }
 
         // --- Step 3: replication, both sides.
@@ -389,10 +578,11 @@ impl Routing for Rapid {
             b,
             &est_a,
             &est_b_from_a,
-            &snap_a,
-            &snap_b,
+            view_a,
+            view_b,
             now,
             &mut stored_this_contact,
+            &mut scratch.candidates,
         );
         self.replicate_side(
             driver,
@@ -400,20 +590,47 @@ impl Routing for Rapid {
             a,
             &est_b,
             &est_a_from_b,
-            &snap_b,
-            &snap_a,
+            view_b,
+            view_a,
             now,
             &mut stored_this_contact,
+            &mut scratch.candidates,
         );
+        self.scratch = scratch;
 
         // --- Bound control state.
         for x in [a, b] {
             let cap = self.cfg.meta_entry_cap;
-            let buffered: HashSet<u32> = driver.buffer(x).ids().iter().map(|p| p.0).collect();
+            let buffer = driver.buffer(x);
             self.states[x.index()]
                 .meta
-                .prune(cap, |id| buffered.contains(&id.0));
+                .prune(cap, |id| buffer.contains(id));
         }
+    }
+
+    fn on_packet_created(&mut self, packet: &Packet) {
+        // The source's delivery queue for this destination gained an entry.
+        let st = &mut self.states[packet.src.index()];
+        st.cache.touch_dst(packet.dst);
+        st.cache.touch_packet(packet.id);
+    }
+
+    fn on_packet_expired(&mut self, packet: &Packet) {
+        // The engine evicted every replica: any holder's queue for this
+        // destination may have changed. Holders are not tracked here, so
+        // dirty the destination at every node (cheap: one counter each).
+        for st in &mut self.states {
+            st.cache.touch_dst(packet.dst);
+            st.cache.touch_packet(packet.id);
+        }
+    }
+
+    fn on_node_up(&mut self, node: NodeId, _now: Time) {
+        self.states[node.index()].cache.invalidate_all();
+    }
+
+    fn on_node_down(&mut self, node: NodeId, _now: Time) {
+        self.states[node.index()].cache.invalidate_all();
     }
 }
 
@@ -421,25 +638,31 @@ impl Rapid {
     /// Step 2: deliver packets destined to the peer, highest utility first.
     /// For the deadline metric, expired packets go last (their utility is
     /// 0); otherwise the queue order is decreasing `T(i)` (§4.1).
-    fn direct_delivery(&mut self, driver: &mut ContactDriver<'_>, x: NodeId, y: NodeId, now: Time) {
-        let mut destined: Vec<(bool, Time, PacketId)> = driver
-            .buffer(x)
-            .ids()
-            .into_iter()
-            .filter(|&id| driver.packets().get(id).dst == y)
-            .map(|id| {
-                let p = driver.packets().get(id);
-                let expired = match self.cfg.metric {
-                    RoutingMetric::MinMissedDeadlines { lifetime } => {
-                        now.since(p.created_at) >= lifetime
-                    }
-                    _ => false,
-                };
-                (expired, p.created_at, id)
-            })
-            .collect();
-        destined.sort_unstable();
-        for (_, _, id) in destined {
+    ///
+    /// The buffer's delivery queue for `y` is already in `(created_at, id)`
+    /// order — exactly the delivery order — so no sort is needed: the
+    /// deadline metric's expired packets form the (oldest) queue prefix,
+    /// which is rotated to the back.
+    fn direct_delivery(
+        &mut self,
+        driver: &mut ContactDriver<'_>,
+        x: NodeId,
+        y: NodeId,
+        now: Time,
+        destined: &mut Vec<PacketId>,
+    ) {
+        let queue = driver.buffer(x).queue(y);
+        destined.clear();
+        match self.cfg.metric {
+            RoutingMetric::MinMissedDeadlines { lifetime } => {
+                // `since` saturates and the queue is created-ascending, so
+                // the expired predicate is monotone along it.
+                let split = queue.partition_point(|e| now.since(e.created_at) >= lifetime);
+                destined.extend(queue[split..].iter().chain(&queue[..split]).map(|e| e.id));
+            }
+            _ => destined.extend(queue.iter().map(|e| e.id)),
+        };
+        for &id in destined.iter() {
             match driver.try_transfer(x, id) {
                 TransferOutcome::Delivered | TransferOutcome::DeliveredDuplicate => {
                     // Both endpoints witnessed the delivery: instant ack.
@@ -464,10 +687,11 @@ impl Rapid {
         y: NodeId,
         est_x: &[f64],
         est_y: &[f64],
-        snap_x: &QueueSnapshot,
-        snap_y: &QueueSnapshot,
+        snap_x: QueueView<'_>,
+        snap_y: QueueView<'_>,
         now: Time,
         stored_this_contact: &mut HashSet<PacketId>,
+        candidates: &mut Vec<Candidate>,
     ) {
         let b_x = self.opp_bytes(x, x);
         let b_y = if self.is_global() {
@@ -485,132 +709,147 @@ impl Rapid {
         let mut global_est: HashMap<u32, Vec<f64>> = HashMap::new();
         let mut global_snap: HashMap<u32, QueueSnapshot> = HashMap::new();
 
-        let mut candidates: Vec<Candidate> = Vec::new();
-        for id in driver.buffer(x).ids() {
-            let p = *driver.packets().get(id);
-            if p.dst == y || driver.buffer(y).contains(id) {
-                continue;
+        // Candidates are enumerated per destination queue of the
+        // contact-start snapshot: along a queue the own-side `b(i)` is an
+        // O(1) prefix read, and the peer-side insertion point advances
+        // monotonically (one cursor per destination) instead of a binary
+        // search per packet. Enumeration order cannot affect decisions —
+        // `sort_candidates` imposes a strict total order ((score, id), ids
+        // unique) and every other per-packet effect is independent — but
+        // the candidate *set* must match the live buffer: snapshot entries
+        // evicted mid-contact are skipped via the O(1) membership bitset.
+        candidates.clear();
+        for (dst_node, queue) in snap_x.queue_list(driver) {
+            if dst_node == y {
+                continue; // destined packets belong to step 2, not step 3
             }
-            if !self.is_global() && self.states[x.index()].acks.contains(id) {
-                continue; // known delivered but not yet purged (can't happen after purge, kept defensively)
-            }
-            let dst = p.dst.index();
-            let t = now.since(p.created_at).as_secs_f64();
-            let a_self = self.cap(replica_delay(
-                est_x[dst],
-                meetings_needed(snap_x.bytes_ahead(p.dst, id, p.created_at), b_x),
-            ));
-            let a_peer = self.cap(replica_delay(
-                est_y[dst],
-                meetings_needed(snap_y.bytes_ahead_if_inserted(p.dst, p.created_at), b_y),
-            ));
+            let dst = dst_node.index();
+            let mut peer_pos = snap_y.insert_cursor(driver, dst_node);
+            for &QueueEntry {
+                created_at,
+                id,
+                size_bytes,
+                bytes_ahead,
+            } in queue
+            {
+                if !driver.buffer(x).contains(id) || driver.buffer(y).contains(id) {
+                    continue;
+                }
+                if !self.is_global() && self.states[x.index()].acks.contains(id) {
+                    continue; // known delivered but not yet purged (can't happen after purge, kept defensively)
+                }
+                let t = now.since(created_at).as_secs_f64();
+                let a_self = self.cap(replica_delay(est_x[dst], meetings_needed(bytes_ahead, b_x)));
+                let a_peer = self.cap(replica_delay(
+                    est_y[dst],
+                    meetings_needed(peer_pos.bytes_ahead_if_inserted(created_at), b_y),
+                ));
 
-            // Remote replica delays (believed or true, by channel mode).
-            let remote: Vec<f64> = if self.is_global() {
-                let g = driver.global();
-                g.holders(id)
-                    .iter()
-                    .filter(|&&h| h != x && h != y)
-                    .map(|&h| {
-                        let est_h = global_est
-                            .entry(h.0)
-                            .or_insert_with(|| self.estimate_times(x, h));
-                        let snap_h = global_snap.entry(h.0).or_insert_with(|| {
-                            QueueSnapshot::build(g.buffer(h).iter().map(|(hid, _)| {
-                                let hp = driver.packets().get(hid);
-                                (hid, hp.dst, hp.size_bytes, hp.created_at)
-                            }))
-                        });
-                        let ahead = snap_h.bytes_ahead(p.dst, id, p.created_at);
-                        let b_h = {
-                            let (v, stamp) = self.states[h.index()].believed_opp[h.index()];
-                            if stamp > Time::ZERO && v > 0.0 {
-                                v
-                            } else {
-                                self.cfg.default_opportunity_bytes as f64
-                            }
-                        };
-                        self.cap(replica_delay(est_h[dst], meetings_needed(ahead, b_h)))
-                    })
-                    .collect()
-            } else {
-                self.states[x.index()]
-                    .meta
-                    .get(id)
-                    .map(|belief| {
-                        belief
-                            .entries
+                // Combined rate of the believed remote replicas (or the
+                // true ones, by channel mode) — summed inline, no per-packet
+                // allocation.
+                let remote_rate: f64 = if self.is_global() {
+                    let g = driver.global();
+                    combined_rate(
+                        g.holders(id)
                             .iter()
-                            .filter(|e| e.holder != x && e.holder != y)
-                            .map(|e| self.cap(e.delay_secs))
-                            .collect()
-                    })
-                    .unwrap_or_default()
-            };
+                            .filter(|&&h| h != x && h != y)
+                            .map(|&h| {
+                                let est_h = global_est
+                                    .entry(h.0)
+                                    .or_insert_with(|| self.estimate_times(x, h));
+                                let snap_h = global_snap
+                                    .entry(h.0)
+                                    .or_insert_with(|| QueueSnapshot::from_buffer(g.buffer(h)));
+                                let ahead = snap_h.bytes_ahead(dst_node, id, created_at);
+                                let b_h = {
+                                    let (v, stamp) = self.states[h.index()].believed_opp[h.index()];
+                                    if stamp > Time::ZERO && v > 0.0 {
+                                        v
+                                    } else {
+                                        self.cfg.default_opportunity_bytes as f64
+                                    }
+                                };
+                                self.cap(replica_delay(est_h[dst], meetings_needed(ahead, b_h)))
+                            })
+                            .collect::<Vec<f64>>(),
+                    )
+                } else {
+                    match self.states[x.index()].meta.get(id) {
+                        Some(belief) => combined_rate(
+                            belief
+                                .entries
+                                .iter()
+                                .filter(|e| e.holder != x && e.holder != y)
+                                .map(|e| self.cap(e.delay_secs)),
+                        ),
+                        None => 0.0,
+                    }
+                };
+                // Left-to-right extension keeps these sums bit-identical to
+                // folding the full replica list at once.
+                let rate_self = remote_rate + rate_contribution(a_self);
+                let rate_both = rate_self + rate_contribution(a_peer);
 
-            let score = match self.cfg.metric {
-                RoutingMetric::MinAvgDelay => {
-                    let before = expected_remaining_delay(remote.iter().copied().chain([a_self]));
-                    let after =
-                        expected_remaining_delay(remote.iter().copied().chain([a_self, a_peer]));
-                    delta_or_zero(before, after) / p.size_bytes as f64
-                }
-                RoutingMetric::MinMissedDeadlines { lifetime } => {
-                    let rem = lifetime.as_secs_f64() - t;
-                    if rem <= 0.0 {
-                        0.0
-                    } else {
-                        let before =
-                            prob_delivered_within(remote.iter().copied().chain([a_self]), rem);
-                        let after = prob_delivered_within(
-                            remote.iter().copied().chain([a_self, a_peer]),
-                            rem,
-                        );
-                        (after - before) / p.size_bytes as f64
+                let score = match self.cfg.metric {
+                    RoutingMetric::MinAvgDelay => {
+                        let before = delay_from_rate(rate_self);
+                        let after = delay_from_rate(rate_both);
+                        delta_or_zero(before, after) / size_bytes as f64
                     }
-                }
-                RoutingMetric::MinMaxDelay => {
-                    // Work-conserving Eq. 3: replicate in decreasing order
-                    // of current expected delay D(i) = T(i) + A(i).
-                    let before = expected_remaining_delay(remote.iter().copied().chain([a_self]));
-                    if before.is_finite() {
-                        t + before
-                    } else if a_peer.is_finite() {
-                        // No current replica can reach the destination but
-                        // the peer can: the largest possible gain. Age
-                        // preserves the work-conserving order among such
-                        // packets.
-                        UNREACHABLE_GAIN + t
-                    } else {
-                        0.0
+                    RoutingMetric::MinMissedDeadlines { lifetime } => {
+                        let rem = lifetime.as_secs_f64() - t;
+                        if rem <= 0.0 {
+                            0.0
+                        } else {
+                            let before = prob_within_from_rate(rate_self, rem);
+                            let after = prob_within_from_rate(rate_both, rem);
+                            (after - before) / size_bytes as f64
+                        }
                     }
+                    RoutingMetric::MinMaxDelay => {
+                        // Work-conserving Eq. 3: replicate in decreasing order
+                        // of current expected delay D(i) = T(i) + A(i).
+                        let before = delay_from_rate(rate_self);
+                        if before.is_finite() {
+                            t + before
+                        } else if a_peer.is_finite() {
+                            // No current replica can reach the destination but
+                            // the peer can: the largest possible gain. Age
+                            // preserves the work-conserving order among such
+                            // packets.
+                            UNREACHABLE_GAIN + t
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+                if score > 0.0 {
+                    candidates.push(Candidate {
+                        id,
+                        score,
+                        size: size_bytes,
+                        a_self,
+                        a_peer,
+                    });
                 }
-            };
-            if score > 0.0 {
-                candidates.push(Candidate {
-                    id,
-                    score,
-                    size: p.size_bytes,
-                    a_self,
-                    a_peer,
-                });
-            }
-            // Publish/refresh own delay estimate for the gossip channel —
-            // only for packets this node originated ("for each of its own
-            // packets", §4.2); carried replicas are already described by
-            // the entries created at replication time.
-            if !self.is_global() && p.src == x {
-                self.publish_estimate(x, id, a_self, now);
+                // Publish/refresh own delay estimate for the gossip channel —
+                // only for packets this node originated ("for each of its own
+                // packets", §4.2); carried replicas are already described by
+                // the entries created at replication time.
+                if !self.is_global() && driver.packets().get(id).src == x {
+                    self.publish_estimate(x, id, a_self, now);
+                }
             }
         }
 
-        sort_candidates(&mut candidates, driver.remaining_bytes(x));
+        sort_candidates(candidates, driver.remaining_bytes(x));
 
         // Lazy eviction queue at the receiver: (utility, id, size),
         // ascending utility; built on first NeedsSpace.
         let mut evict_queue: Option<Vec<(f64, PacketId, u64)>> = None;
 
-        for cand in candidates {
+        for cand in candidates.drain(..) {
             if driver.remaining_bytes(x) < cand.size {
                 // Packets are uniform-size in the paper's workloads; a
                 // smaller later candidate could still fit, so keep going
@@ -677,37 +916,38 @@ impl Rapid {
         needed: u64,
         _incoming_score: f64,
         stored_this_contact: &HashSet<PacketId>,
-        snap_y: &QueueSnapshot,
+        snap_y: QueueView<'_>,
         now: Time,
         queue: &mut Option<Vec<(f64, PacketId, u64)>>,
     ) -> bool {
         if queue.is_none() {
-            let mut scored: Vec<(bool, f64, PacketId, u64)> = driver
-                .buffer(y)
-                .ids()
-                .into_iter()
-                .filter(|id| !stored_this_contact.contains(id))
-                .map(|id| {
-                    let p = driver.packets().get(id);
-                    // §3.4's own-packet protection, applied as a strict
-                    // preference: a node's own unacked packets are evicted
-                    // only after every other packet is gone.
-                    let own_unacked = p.src == y && !self.states[y.index()].acks.contains(id);
-                    let ahead = snap_y.bytes_ahead(p.dst, id, p.created_at);
-                    (
-                        own_unacked,
-                        self.utility(y, p, ahead, now),
-                        id,
-                        p.size_bytes,
-                    )
-                })
-                .collect();
+            let mut scored: Vec<(bool, f64, PacketId, u64)> = Vec::new();
+            for (id, _) in driver.buffer(y).iter() {
+                if stored_this_contact.contains(&id) {
+                    continue;
+                }
+                let p = *driver.packets().get(id);
+                // §3.4's own-packet protection, applied as a strict
+                // preference: a node's own unacked packets are evicted
+                // only after every other packet is gone.
+                let own_unacked = p.src == y && !self.states[y.index()].acks.contains(id);
+                // Scored against the contact-start snapshot, like every
+                // other in-contact decision (not the live, mid-contact
+                // queue) — which is why this path bypasses the rate cache.
+                let rate =
+                    self.rate_with(y, &p, snap_y.bytes_ahead(driver, p.dst, id, p.created_at));
+                scored.push((
+                    own_unacked,
+                    self.utility_from_rate(rate, &p, now),
+                    id,
+                    p.size_bytes,
+                ));
+            }
             // Pop order (from the back): non-own lowest-utility first,
             // own-unacked packets last of all.
             scored.sort_unstable_by(|a, b| {
                 b.0.cmp(&a.0)
-                    .then(b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
-                    .then(b.2.cmp(&a.2))
+                    .then(cmp_utility_then_id((b.1, b.2), (a.1, a.2)))
             });
             *queue = Some(
                 scored
@@ -728,6 +968,57 @@ impl Rapid {
             }
         }
         true
+    }
+
+    /// Debug-build oracle for `make_room`: recomputes the victim choice
+    /// from scratch — fresh Estimate Delay per packet, filter, full sort —
+    /// and asserts the cached/lazily-sorted path chose identically. This is
+    /// what gives the cache-consistency property tests their teeth: any
+    /// missed invalidation shows up as a divergence here.
+    #[cfg(debug_assertions)]
+    #[allow(clippy::too_many_arguments)]
+    fn assert_victims_match_reference(
+        &self,
+        node: NodeId,
+        own_creation: bool,
+        needed: u64,
+        buffer: &NodeBuffer,
+        packets: &PacketStore,
+        now: Time,
+        got: &[PacketId],
+    ) {
+        let state = &self.states[node.index()];
+        let mut scored: Vec<(f64, PacketId, u64)> = buffer
+            .iter()
+            .filter(|&(id, _)| {
+                own_creation || {
+                    let p = packets.get(id);
+                    p.src != node || state.acks.contains(id)
+                }
+            })
+            .map(|(id, meta)| {
+                let p = packets.get(id);
+                let rate = self.rate_with(node, p, buffer.bytes_ahead(p.dst, id, p.created_at));
+                (self.utility_from_rate(rate, p, now), id, meta.size_bytes)
+            })
+            .collect();
+        scored.sort_unstable_by(|a, b| cmp_utility_then_id((a.0, a.1), (b.0, b.1)));
+        let mut expect = Vec::new();
+        let mut freed = 0u64;
+        for (_, id, size) in scored {
+            if freed >= needed {
+                break;
+            }
+            expect.push(id);
+            freed += size;
+        }
+        if freed < needed {
+            expect.clear();
+        }
+        debug_assert_eq!(
+            got, expect,
+            "incremental make_room diverged from the from-scratch reference at {node}"
+        );
     }
 
     /// Refreshes this node's own delay estimate for a packet in the gossip
@@ -930,6 +1221,28 @@ fn delta_or_zero(before: f64, after: f64) -> f64 {
     (before - after).max(0.0)
 }
 
+/// The one total order every RAPID selection sort derives from: ascending
+/// `(value, id)` over a float value with a deterministic id tie-break.
+///
+/// * Incomparable values (NaN) are treated as equal, falling through to
+///   the id tie-break — no selection path produces NaN, but the order must
+///   stay total regardless.
+/// * Equal values — including `0.0` vs `-0.0` — break ties by **ascending
+///   `PacketId`**, so every sort is deterministic and independent of input
+///   order.
+///
+/// Call sites derive their direction from this single order: storage
+/// eviction sorts ascending utility directly (lowest utility evicted
+/// first); replication sorts by *negated* score (descending score, id
+/// still ascending); the in-contact eviction queue reverses the call
+/// (descending, so popping from the back yields ascending). The
+/// `comparator_*` unit tests pin these tie-break rules.
+fn cmp_utility_then_id(a: (f64, PacketId), b: (f64, PacketId)) -> Ordering {
+    a.0.partial_cmp(&b.0)
+        .unwrap_or(Ordering::Equal)
+        .then(a.1.cmp(&b.1))
+}
+
 /// Sorts candidates by decreasing score (id ascending tiebreak); when many
 /// more candidates exist than could possibly fit in `remaining` bytes, a
 /// partial selection keeps the contact O(n + k log k).
@@ -937,12 +1250,10 @@ fn sort_candidates(c: &mut Vec<Candidate>, remaining: u64) {
     let min_size = c.iter().map(|x| x.size.max(1)).min().unwrap_or(1);
     let fit = (remaining / min_size) as usize;
     let keep = fit.saturating_mul(2).saturating_add(64);
-    let by_score = |a: &Candidate, b: &Candidate| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.id.cmp(&b.id))
-    };
+    // Descending score via the shared ascending order on the negated key
+    // (negation is exact for every non-NaN float, so ties are preserved).
+    let by_score =
+        |a: &Candidate, b: &Candidate| cmp_utility_then_id((-a.score, a.id), (-b.score, b.id));
     if c.len() > keep {
         c.select_nth_unstable_by(keep - 1, by_score);
         c.truncate(keep);
@@ -1200,6 +1511,49 @@ mod tests {
             .name(),
             "RAPID(deadline,global)"
         );
+    }
+
+    #[test]
+    fn comparator_orders_ascending_value_then_id() {
+        use std::cmp::Ordering;
+        let c = |a: (f64, u32), b: (f64, u32)| {
+            cmp_utility_then_id((a.0, PacketId(a.1)), (b.0, PacketId(b.1)))
+        };
+        // Primary: ascending value.
+        assert_eq!(c((1.0, 9), (2.0, 1)), Ordering::Less);
+        assert_eq!(c((2.0, 1), (1.0, 9)), Ordering::Greater);
+        // Tie-break: equal values order by ascending id.
+        assert_eq!(c((5.0, 3), (5.0, 7)), Ordering::Less);
+        assert_eq!(c((5.0, 7), (5.0, 3)), Ordering::Greater);
+        assert_eq!(c((5.0, 4), (5.0, 4)), Ordering::Equal);
+        // Signed zero compares equal: the id still decides.
+        assert_eq!(c((0.0, 2), (-0.0, 1)), Ordering::Greater);
+        // Infinities participate in the primary order.
+        assert_eq!(c((f64::NEG_INFINITY, 9), (0.0, 0)), Ordering::Less);
+        assert_eq!(c((f64::INFINITY, 0), (0.0, 9)), Ordering::Greater);
+        // NaN is treated as equal-valued: the id tie-break keeps the
+        // order total and deterministic.
+        assert_eq!(c((f64::NAN, 1), (3.0, 2)), Ordering::Less);
+        assert_eq!(c((3.0, 2), (f64::NAN, 1)), Ordering::Greater);
+    }
+
+    #[test]
+    fn comparator_derivations_match_their_direction() {
+        // The descending-score order used by `sort_candidates` is the same
+        // comparator on negated keys: descending score, id still ascending.
+        let mut scored = [(1.0f64, 7u32), (2.0, 5), (2.0, 3), (0.5, 1)];
+        scored.sort_unstable_by(|a, b| {
+            cmp_utility_then_id((-a.0, PacketId(a.1)), (-b.0, PacketId(b.1)))
+        });
+        assert_eq!(scored, [(2.0, 3), (2.0, 5), (1.0, 7), (0.5, 1)]);
+        // The reversed call used by the in-contact eviction queue sorts
+        // descending so popping from the back yields ascending (utility,
+        // id).
+        let mut pops = [(1.0f64, 2u32), (1.0, 4), (3.0, 1)];
+        pops.sort_unstable_by(|a, b| {
+            cmp_utility_then_id((b.0, PacketId(b.1)), (a.0, PacketId(a.1)))
+        });
+        assert_eq!(pops, [(3.0, 1), (1.0, 4), (1.0, 2)]);
     }
 
     #[test]

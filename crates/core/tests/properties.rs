@@ -1,11 +1,15 @@
 //! Property tests for RAPID's inference machinery: the monotonicity and
-//! consistency facts the selection algorithm silently relies on.
+//! consistency facts the selection algorithm silently relies on, and the
+//! incremental delay cache's agreement with from-scratch recomputation.
 
-use dtn_sim::{NodeId, PacketId, Time};
+use dtn_sim::workload::{PacketSpec, Workload};
+use dtn_sim::{
+    Contact, NodeEvent, NodeId, PacketId, Schedule, SimConfig, Simulation, Time, TimeDelta,
+};
 use proptest::prelude::*;
 use rapid_core::{
     expected_meeting_times_from, expected_remaining_delay, meetings_needed, prob_delivered_within,
-    replica_delay, QueueSnapshot,
+    replica_delay, QueueSnapshot, Rapid, RapidConfig,
 };
 
 proptest! {
@@ -93,6 +97,86 @@ proptest! {
             // And no estimate beats the direct row entry's best 1-hop value.
             prop_assert!(h2[z] <= rows[0][z] + 1e-9);
         }
+    }
+
+    // --- Incremental delay cache vs from-scratch recomputation ------------
+    //
+    // `protocol.rs` carries two debug-build oracles: every rate-cache hit
+    // is re-verified bitwise against a fresh Eq. 4–9 computation, and every
+    // `make_room` decision (including the lazily re-sorted eviction order)
+    // is compared against a full filter→score→sort reference. Driving RAPID
+    // through proptest-chosen scenarios — tight buffers forcing storage
+    // evictions, transfers and deliveries at contacts, TTL expiry, node
+    // churn — therefore *is* the cache-consistency property: any missed
+    // invalidation panics the run. Determinism across two runs is asserted
+    // on top.
+    #[test]
+    fn delay_cache_matches_from_scratch_recomputation(
+        contacts in prop::collection::vec((0u16..400, 0u8..5, 0u8..5, 256u16..4096), 1..30),
+        specs in prop::collection::vec((0u16..400, 0u8..5, 0u8..5), 1..40),
+        capacity in 1024u64..6_000,
+        with_ttl in any::<bool>(),
+        churn in prop::collection::vec((0u16..400, 0u8..5, any::<bool>()), 0..6),
+        deadline_metric in any::<bool>(),
+    ) {
+        let n = 5u8;
+        let contacts: Vec<Contact> = contacts
+            .into_iter()
+            .map(|(t, a, b, bytes)| {
+                let a = a % n;
+                let b = if b % n == a { (a + 1) % n } else { b % n };
+                Contact::new(
+                    Time::from_secs(u64::from(t)),
+                    NodeId(u32::from(a)),
+                    NodeId(u32::from(b)),
+                    u64::from(bytes),
+                )
+            })
+            .collect();
+        let specs: Vec<PacketSpec> = specs
+            .into_iter()
+            .map(|(t, src, dst)| {
+                let src = src % n;
+                let dst = if dst % n == src { (src + 1) % n } else { dst % n };
+                PacketSpec {
+                    time: Time::from_secs(u64::from(t)),
+                    src: NodeId(u32::from(src)),
+                    dst: NodeId(u32::from(dst)),
+                    size_bytes: 1024,
+                }
+            })
+            .collect();
+        let churn: Vec<NodeEvent> = churn
+            .into_iter()
+            .map(|(t, node, up)| NodeEvent {
+                time: Time::from_secs(u64::from(t)),
+                node: NodeId(u32::from(node % n)),
+                up,
+            })
+            .collect();
+        let config = SimConfig {
+            nodes: n as usize,
+            buffer_capacity: capacity,
+            horizon: Time::from_secs(500),
+            ttl: with_ttl.then_some(TimeDelta::from_secs(90)),
+            ..SimConfig::default()
+        };
+        let build = || {
+            Simulation::new(
+                config.clone(),
+                Schedule::new(contacts.clone()),
+                Workload::new(specs.clone()),
+            )
+            .with_churn(churn.clone())
+        };
+        let rapid_config = if deadline_metric {
+            RapidConfig::deadline(TimeDelta::from_secs(60))
+        } else {
+            RapidConfig::avg_delay()
+        };
+        let r1 = build().run(&mut Rapid::new(rapid_config));
+        let r2 = build().run(&mut Rapid::new(rapid_config));
+        prop_assert_eq!(r1, r2, "cached and re-run reports must agree");
     }
 
     #[test]

@@ -5,18 +5,16 @@ use dtn_sim::{ContactDriver, NodeId, PacketId, TransferOutcome};
 /// Delivers every packet destined to the peer, oldest first, until the
 /// opportunity in that direction runs out. Returns the ids delivered
 /// (first-time or duplicate — bandwidth was spent either way).
+///
+/// The buffer's per-destination delivery queue is already in
+/// `(created_at, id)` order, so no scan or sort is needed — the transfer
+/// loop just walks a snapshot of that queue (a snapshot because transfers
+/// mutate the buffer).
 pub fn deliver_destined(driver: &mut ContactDriver<'_>, from: NodeId) -> Vec<PacketId> {
     let to = driver.peer_of(from);
-    let mut destined: Vec<(dtn_sim::Time, PacketId)> = driver
-        .buffer(from)
-        .ids()
-        .into_iter()
-        .filter(|&id| driver.packets().get(id).dst == to)
-        .map(|id| (driver.packets().get(id).created_at, id))
-        .collect();
-    destined.sort_unstable();
+    let destined: Vec<PacketId> = driver.buffer(from).queue(to).iter().map(|e| e.id).collect();
     let mut delivered = Vec::new();
-    for (_, id) in destined {
+    for id in destined {
         match driver.try_transfer(from, id) {
             TransferOutcome::Delivered | TransferOutcome::DeliveredDuplicate => {
                 delivered.push(id);
@@ -34,12 +32,9 @@ pub fn replication_candidates(driver: &ContactDriver<'_>, from: NodeId) -> Vec<P
     let to = driver.peer_of(from);
     driver
         .buffer(from)
-        .ids()
-        .into_iter()
-        .filter(|&id| {
-            let p = driver.packets().get(id);
-            p.dst != to && !driver.buffer(to).contains(id)
-        })
+        .iter()
+        .map(|(id, _)| id)
+        .filter(|&id| driver.packets().get(id).dst != to && !driver.buffer(to).contains(id))
         .collect()
 }
 

@@ -42,18 +42,18 @@ impl Routing for Epidemic {
     ) -> Vec<PacketId> {
         // Drop the newest packets first (drop-tail on creation age): the
         // oldest copies have spread furthest and are closest to delivery.
-        let mut ids = buffer.ids();
-        ids.sort_unstable_by_key(|&id| {
-            let p = packets.get(id);
-            std::cmp::Reverse((p.created_at, id))
-        });
+        let mut scored: Vec<(dtn_sim::Time, PacketId, u64)> = buffer
+            .iter()
+            .map(|(id, meta)| (packets.get(id).created_at, id, meta.size_bytes))
+            .collect();
+        scored.sort_unstable_by_key(|&(created, id, _)| std::cmp::Reverse((created, id)));
         let mut victims = Vec::new();
         let mut freed = 0u64;
-        for id in ids {
+        for (_, id, size) in scored {
             if freed >= needed {
                 break;
             }
-            freed += packets.get(id).size_bytes;
+            freed += size;
             victims.push(id);
         }
         if freed >= needed {

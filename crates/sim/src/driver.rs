@@ -187,7 +187,7 @@ impl<'a> ContactDriver<'a> {
             }
             self.consume(from, size);
             self.ledger.data_bytes += size;
-            let stored = self.world.buffers[to.index()].insert(id, size, self.now);
+            let stored = self.world.buffers[to.index()].insert(&packet, self.now);
             debug_assert!(stored, "insert after free-space check cannot fail");
             self.add_holder(to, id);
             self.ledger.replications += 1;

@@ -300,7 +300,7 @@ impl Simulation {
                             }
                         }
                     }
-                    if world.buffers[spec.src.index()].insert(id, spec.size_bytes, spec.time) {
+                    if world.buffers[spec.src.index()].insert(&packet, spec.time) {
                         world.holders[id.index()].push(spec.src);
                         world.entered.push(true);
                         routing.on_packet_created(&packet);

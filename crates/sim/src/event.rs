@@ -104,11 +104,29 @@ impl PartialOrd for Queued {
     }
 }
 
-/// Deterministic min-heap of simulation events keyed by
-/// `(time, rank, insertion order)`.
+/// Deterministic event queue keyed by `(time, rank, insertion order)`.
+///
+/// Engine runs are seed-heavy: the whole schedule and workload are pushed
+/// up front, then drained, with only a few events (TTL expiries) scheduled
+/// dynamically. The queue exploits that shape: everything pushed before
+/// the first pop becomes a *backbone* — stable-sorted once by
+/// `(time, rank)` (stability preserves FIFO insertion order, so the sort
+/// realizes exactly the `(time, rank, seq)` total order) and then drained
+/// by cursor in O(1) per event. Events pushed after draining starts go to
+/// a small overlay heap; `pop` takes the smaller of the two fronts. The
+/// drain order is identical to a single priority queue over
+/// `(time, rank, seq)` — the backbone holds strictly smaller `seq`s than
+/// any overlay event, so equal `(time, rank)` keys drain backbone-first,
+/// which is FIFO.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Queued>,
+    /// Seed events; sorted at first pop, then immutable. `cursor` marks
+    /// the drain position.
+    backbone: Vec<Queued>,
+    cursor: usize,
+    sorted: bool,
+    /// Events scheduled after draining began (e.g. TTL expiries).
+    overlay: BinaryHeap<Queued>,
     seq: u64,
 }
 
@@ -120,29 +138,52 @@ impl EventQueue {
 
     /// Schedules `event` at `time`.
     pub fn push(&mut self, time: Time, event: SimEvent) {
-        self.heap.push(Queued {
+        let queued = Queued {
             time,
             rank: event.rank(),
             seq: self.seq,
             event,
-        });
+        };
         self.seq += 1;
+        if self.sorted {
+            self.overlay.push(queued);
+        } else {
+            self.backbone.push(queued);
+        }
     }
 
     /// Removes and returns the earliest event (ties broken by rank, then
     /// insertion order).
     pub fn pop(&mut self) -> Option<(Time, SimEvent)> {
-        self.heap.pop().map(|q| (q.time, q.event))
+        if !self.sorted {
+            // Stable by construction: equal (time, rank) keep push order.
+            self.backbone.sort_by_key(|q| (q.time, q.rank));
+            self.sorted = true;
+        }
+        let backbone_next = self.backbone.get(self.cursor);
+        let take_overlay = match (backbone_next, self.overlay.peek()) {
+            (Some(b), Some(o)) => (o.time, o.rank, o.seq) < (b.time, b.rank, b.seq),
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        if take_overlay {
+            self.overlay.pop().map(|q| (q.time, q.event))
+        } else {
+            backbone_next.map(|q| {
+                self.cursor += 1;
+                (q.time, q.event)
+            })
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.backbone.len() - self.cursor + self.overlay.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -208,5 +249,46 @@ mod tests {
         for i in 0..50 {
             assert_eq!(q.pop(), Some((t, SimEvent::ContactStart(i))));
         }
+    }
+
+    #[test]
+    fn dynamic_pushes_interleave_with_seeded_events() {
+        let mut q = EventQueue::new();
+        // Seed (pre-drain) events.
+        q.push(Time::from_secs(10), SimEvent::ContactStart(0));
+        q.push(Time::from_secs(30), SimEvent::ContactStart(1));
+        q.push(Time::from_secs(50), SimEvent::ContactStart(2));
+        assert_eq!(
+            q.pop(),
+            Some((Time::from_secs(10), SimEvent::ContactStart(0)))
+        );
+        // Scheduled mid-drain: earlier than, equal to (same rank — the
+        // seeded event wins FIFO), and between remaining seed events.
+        q.push(Time::from_secs(20), SimEvent::PacketExpired(PacketId(7)));
+        q.push(Time::from_secs(30), SimEvent::ContactStart(9));
+        q.push(Time::from_secs(40), SimEvent::NodeDown(NodeId(1)));
+        assert_eq!(q.len(), 5);
+        assert_eq!(
+            q.pop(),
+            Some((Time::from_secs(20), SimEvent::PacketExpired(PacketId(7))))
+        );
+        assert_eq!(
+            q.pop(),
+            Some((Time::from_secs(30), SimEvent::ContactStart(1))),
+            "equal (time, rank): seeded event drains first (FIFO)"
+        );
+        assert_eq!(
+            q.pop(),
+            Some((Time::from_secs(30), SimEvent::ContactStart(9)))
+        );
+        assert_eq!(
+            q.pop(),
+            Some((Time::from_secs(40), SimEvent::NodeDown(NodeId(1))))
+        );
+        assert_eq!(
+            q.pop(),
+            Some((Time::from_secs(50), SimEvent::ContactStart(2)))
+        );
+        assert_eq!(q.pop(), None);
     }
 }

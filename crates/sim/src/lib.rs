@@ -5,6 +5,14 @@
 //! (Balasubramanian, Levine, Venkataramani; SIGCOMM 2007) executed as a
 //! typed discrete-event simulation.
 //!
+//! * Identifiers are split into *identities* and *indices*: [`types::PacketId`]
+//!   and [`types::NodeId`] name things; the [`ids`] module provides dense
+//!   handles ([`ids::PacketIdx`], [`ids::NodeIdx`]), stable interners and
+//!   an index bitset so hot-path state is `Vec`-indexed rather than hashed.
+//!   [`buffer::NodeBuffer`] is built on them: bitset membership, slab
+//!   metadata, and per-destination delivery-order queues with prefix byte
+//!   sums (O(log n) `bytes_ahead` — the `b(i)` input to RAPID's Estimate
+//!   Delay).
 //! * A DTN is a set of nodes, a [`contact::Schedule`] of transfer
 //!   opportunities, and a [`workload::Workload`] of packets `(u, v, s, t)`.
 //!   Opportunities are durative [`contact::ContactWindow`]s — open over
@@ -42,6 +50,7 @@ pub mod contact;
 pub mod driver;
 pub mod engine;
 pub mod event;
+pub mod ids;
 pub mod noise;
 pub mod report;
 pub mod routing;
@@ -50,11 +59,12 @@ pub mod types;
 pub mod workload;
 
 pub use acks::{AckTable, PacketSet};
-pub use buffer::{NodeBuffer, StoredMeta};
+pub use buffer::{NodeBuffer, QueueEntry, StoredMeta};
 pub use contact::{Contact, ContactWindow, Schedule};
 pub use driver::{ContactDriver, ContactLedger, GlobalView};
 pub use engine::Simulation;
 pub use event::{EventQueue, NodeEvent, SimEvent};
+pub use ids::{IndexSet, NodeIdx, NodeInterner, PacketIdx, PacketInterner};
 pub use noise::NoiseModel;
 pub use report::{PacketOutcome, SimReport};
 pub use routing::{PacketStore, Routing, SimConfig, TransferOutcome};

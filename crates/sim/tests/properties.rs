@@ -11,14 +11,16 @@ use std::collections::BTreeSet;
 
 #[derive(Debug, Clone)]
 enum BufOp {
-    Insert(u32, u64),
+    /// `(id, dst, size, created_secs)`
+    Insert(u32, u32, u64, u64),
     Remove(u32),
 }
 
 fn buf_ops() -> impl Strategy<Value = Vec<BufOp>> {
     prop::collection::vec(
         prop_oneof![
-            (0u32..50, 1u64..2_000).prop_map(|(id, s)| BufOp::Insert(id, s)),
+            (0u32..50, 0u32..5, 1u64..2_000, 0u64..500)
+                .prop_map(|(id, dst, s, t)| BufOp::Insert(id, dst, s, t)),
             (0u32..50).prop_map(BufOp::Remove),
         ],
         1..100,
@@ -29,16 +31,24 @@ proptest! {
     #[test]
     fn buffer_accounting_matches_model(ops in buf_ops(), cap in 1_000u64..50_000) {
         let mut buf = NodeBuffer::new(cap);
-        let mut model: std::collections::BTreeMap<u32, u64> = Default::default();
+        // Model: id → (dst, size, created).
+        let mut model: std::collections::BTreeMap<u32, (u32, u64, u64)> = Default::default();
         for (step, op) in ops.into_iter().enumerate() {
             match op {
-                BufOp::Insert(id, size) => {
+                BufOp::Insert(id, dst, size, created) => {
+                    let packet = Packet {
+                        id: PacketId(id),
+                        src: NodeId(0),
+                        dst: NodeId(dst),
+                        size_bytes: size,
+                        created_at: Time::from_secs(created),
+                    };
                     let fits = !model.contains_key(&id)
-                        && model.values().sum::<u64>() + size <= cap;
-                    let ok = buf.insert(PacketId(id), size, Time::from_secs(step as u64));
+                        && model.values().map(|v| v.1).sum::<u64>() + size <= cap;
+                    let ok = buf.insert(&packet, Time::from_secs(step as u64));
                     prop_assert_eq!(ok, fits, "insert outcome mismatch");
                     if ok {
-                        model.insert(id, size);
+                        model.insert(id, (dst, size, created));
                     }
                 }
                 BufOp::Remove(id) => {
@@ -46,12 +56,45 @@ proptest! {
                     prop_assert_eq!(ok, model.remove(&id).is_some());
                 }
             }
-            prop_assert_eq!(buf.used_bytes(), model.values().sum::<u64>());
+            prop_assert_eq!(buf.used_bytes(), model.values().map(|v| v.1).sum::<u64>());
             prop_assert_eq!(buf.len(), model.len());
             prop_assert_eq!(buf.free_bytes(), cap - buf.used_bytes());
             let ids: Vec<u32> = buf.ids().iter().map(|p| p.0).collect();
             let expect: Vec<u32> = model.keys().copied().collect();
             prop_assert_eq!(ids, expect, "id-ordered iteration");
+            // Per-destination delivery queues: `bytes_ahead` must equal the
+            // total size of same-destination packets strictly earlier in
+            // `(created_at, id)` order, and the hypothetical-insert variant
+            // must count strictly older packets only.
+            for (&id, &(dst, _, created)) in &model {
+                let ahead = buf.bytes_ahead(NodeId(dst), PacketId(id), Time::from_secs(created));
+                let expect: u64 = model
+                    .iter()
+                    .filter(|(&oid, &(odst, _, ocreated))| {
+                        odst == dst && (ocreated, oid) < (created, id)
+                    })
+                    .map(|(_, &(_, osize, _))| osize)
+                    .sum();
+                prop_assert_eq!(ahead, expect, "bytes_ahead mismatch for p{}", id);
+            }
+            for probe_dst in 0u32..5 {
+                for probe_t in [0u64, 250, 499] {
+                    let got = buf.bytes_ahead_if_inserted(NodeId(probe_dst), Time::from_secs(probe_t));
+                    let expect: u64 = model
+                        .values()
+                        .filter(|&&(odst, _, ocreated)| odst == probe_dst && ocreated < probe_t)
+                        .map(|&(_, osize, _)| osize)
+                        .sum();
+                    prop_assert_eq!(got, expect);
+                    let total = buf.total_bytes(NodeId(probe_dst));
+                    let expect_total: u64 = model
+                        .values()
+                        .filter(|&&(odst, _, _)| odst == probe_dst)
+                        .map(|&(_, osize, _)| osize)
+                        .sum();
+                    prop_assert_eq!(total, expect_total);
+                }
+            }
         }
     }
 
