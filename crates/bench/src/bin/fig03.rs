@@ -1,59 +1,7 @@
-//! Fig. 3: simulator validation — per-day average delay of the
-//! deployment-emulation run ("Real") against clean simulator runs
-//! (mean of `RAPID_RUNS` workload draws with a 95% CI).
-
-use dtn_sim::NoiseModel;
-use rapid_bench::runner::run_spec;
-use rapid_bench::trace_exp::{TraceLab, WARMUP_DAYS};
-use rapid_bench::tsv::{f, Tsv};
-use rapid_bench::{env_u64, parallel_map, root_seed, runs_per_point, Proto};
+//! Thin dispatch into the experiment registry: `fig03`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::experiments` for the implementation.
 
 fn main() {
-    let mut tsv = Tsv::new("fig03");
-    let days = env_u64("RAPID_FIG3_DAYS", 20) as u32;
-    let runs = runs_per_point();
-    tsv.comment("Fig. 3: real (deployment emulation) vs simulation avg delay per day");
-    tsv.comment(&format!(
-        "days = {days}, sim runs per day = {runs}, seed = {}",
-        root_seed()
-    ));
-    tsv.row(&[
-        "day",
-        "real_avg_delay_min",
-        "sim_avg_delay_min",
-        "sim_ci95_min",
-    ]);
-
-    let lab = TraceLab::deployment(root_seed());
-    // Jobs: per day, one noisy "deployment" run + `runs` clean draws.
-    let per_day: Vec<(f64, f64, f64)> = parallel_map(days as usize, |d| {
-        let day = WARMUP_DAYS + d as u32;
-        let noisy = {
-            let spec = lab.day_spec(day, 4.0, 0, Some(NoiseModel::deployment_default()));
-            run_spec(&spec, Proto::RapidAvg)
-        };
-        let real = noisy.avg_delay_secs().unwrap_or(0.0) / 60.0;
-        let sims: Vec<f64> = (0..runs)
-            .map(|k| {
-                let spec = lab.day_spec(day, 4.0, k + 1, None);
-                run_spec(&spec, Proto::RapidAvg)
-                    .avg_delay_secs()
-                    .unwrap_or(0.0)
-                    / 60.0
-            })
-            .collect();
-        let (mean, ci) = dtn_stats::mean_ci95(&sims).unwrap_or((sims[0], 0.0));
-        (real, mean, ci)
-    });
-    let mut rel_err_acc = 0.0;
-    for (d, (real, sim, ci)) in per_day.iter().enumerate() {
-        tsv.row(&[format!("{d}"), f(*real), f(*sim), f(*ci)]);
-        if *real > 0.0 {
-            rel_err_acc += (real - sim).abs() / real;
-        }
-    }
-    tsv.comment(&format!(
-        "mean relative |real - sim| error = {:.3} (paper: within 1% with 95% confidence)",
-        rel_err_acc / per_day.len() as f64
-    ));
+    rapid_bench::registry::run_or_exit("fig03");
 }

@@ -1,15 +1,7 @@
-//! Figs. 4 & 5 (Trace): average delay and delivery rate vs load, RAPID
-//! optimizing average delay (Eq. 1) against MaxProp, Spray and Wait and
-//! Random. Read `avg_delay_min` for Fig. 4 and `delivery_rate` for Fig. 5.
-
-use rapid_bench::families::{trace_loads, trace_sweep};
-use rapid_bench::Proto;
+//! Thin dispatch into the experiment registry: `fig04_05`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::experiments` for the implementation.
 
 fn main() {
-    trace_sweep(
-        "fig04_05",
-        "Figs. 4-5 (Trace): avg delay / delivery rate vs load; RAPID metric = avg delay",
-        &trace_loads(),
-        &Proto::comparison_set(),
-    );
+    rapid_bench::registry::run_or_exit("fig04_05");
 }

@@ -1,19 +1,7 @@
-//! Fig. 6 (Trace): maximum delay vs load, RAPID optimizing max delay
-//! (Eq. 3). Read the `max_delay_min` column.
-
-use rapid_bench::families::{trace_loads, trace_sweep};
-use rapid_bench::Proto;
+//! Thin dispatch into the experiment registry: `fig06`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::experiments` for the implementation.
 
 fn main() {
-    trace_sweep(
-        "fig06",
-        "Fig. 6 (Trace): max delay vs load; RAPID metric = max delay",
-        &trace_loads(),
-        &[
-            Proto::RapidMax,
-            Proto::MaxProp,
-            Proto::SprayWait,
-            Proto::Random,
-        ],
-    );
+    rapid_bench::registry::run_or_exit("fig06");
 }

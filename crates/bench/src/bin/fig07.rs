@@ -1,19 +1,7 @@
-//! Fig. 7 (Trace): fraction delivered within the 2.7 h deadline vs load,
-//! RAPID optimizing missed deadlines (Eq. 2). Read `within_deadline`.
-
-use rapid_bench::families::{trace_loads, trace_sweep};
-use rapid_bench::Proto;
+//! Thin dispatch into the experiment registry: `fig07`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::experiments` for the implementation.
 
 fn main() {
-    trace_sweep(
-        "fig07",
-        "Fig. 7 (Trace): delivery within 2.7h deadline vs load; RAPID metric = deadline",
-        &trace_loads(),
-        &[
-            Proto::RapidDeadline,
-            Proto::MaxProp,
-            Proto::SprayWait,
-            Proto::Random,
-        ],
-    );
+    rapid_bench::registry::run_or_exit("fig07");
 }

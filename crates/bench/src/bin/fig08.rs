@@ -1,39 +1,7 @@
-//! Fig. 8 (Trace): average delay as the in-band metadata channel is capped
-//! to a fraction of each opportunity, for three loads. The paper found
-//! unrestricted metadata best (their channel cost ~0.2% of bandwidth); the
-//! reproduction's leaner opportunities make the trade-off visible.
-
-use rapid_bench::trace_exp::{aggregate, TraceLab};
-use rapid_bench::tsv::{f, Tsv};
-use rapid_bench::{days_per_point, root_seed, Proto};
+//! Thin dispatch into the experiment registry: `fig08`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::experiments` for the implementation.
 
 fn main() {
-    let mut tsv = Tsv::new("fig08");
-    tsv.comment("Fig. 8 (Trace): avg delay vs metadata cap (fraction of bandwidth)");
-    tsv.comment(&format!(
-        "days per point = {}, seed = {}",
-        days_per_point(),
-        root_seed()
-    ));
-    tsv.row(&[
-        "metadata_cap_fraction",
-        "load_per_dest_per_hour",
-        "avg_delay_min",
-        "delivery_rate",
-        "metadata_over_bw",
-    ]);
-    let lab = TraceLab::load_sweep(root_seed());
-    for cap in [0.0, 0.01, 0.02, 0.05, 0.10, 0.20, 0.35] {
-        for load in [6.0, 12.0, 20.0] {
-            let reports = lab.run_days(days_per_point(), load, Proto::RapidAvgCapped(cap), None);
-            let a = aggregate(&reports);
-            tsv.row(&[
-                f(cap),
-                f(load),
-                f(a.avg_delay_min),
-                f(a.delivery_rate),
-                f(a.metadata_over_bandwidth),
-            ]);
-        }
-    }
+    rapid_bench::registry::run_or_exit("fig08");
 }

@@ -1,36 +1,7 @@
-//! Fig. 9 (Trace): channel utilization, delivery rate and metadata/data as
-//! load grows — the bottleneck-links story: delivery drops although the
-//! network is underutilized on average.
-
-use rapid_bench::trace_exp::{aggregate, TraceLab};
-use rapid_bench::tsv::{f, Tsv};
-use rapid_bench::{days_per_point, root_seed, Proto};
+//! Thin dispatch into the experiment registry: `fig09`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::experiments` for the implementation.
 
 fn main() {
-    let mut tsv = Tsv::new("fig09");
-    tsv.comment("Fig. 9 (Trace): utilization / delivery / metadata-over-data vs load (RAPID)");
-    tsv.comment(&format!(
-        "days per point = {}, seed = {}",
-        days_per_point(),
-        root_seed()
-    ));
-    tsv.row(&[
-        "load_per_dest_per_hour",
-        "channel_utilization",
-        "delivery_rate",
-        "metadata_over_data",
-        "metadata_over_bw",
-    ]);
-    let lab = TraceLab::load_sweep(root_seed());
-    for load in [5.0, 10.0, 20.0, 40.0, 60.0, 75.0] {
-        let reports = lab.run_days(days_per_point(), load, Proto::RapidAvg, None);
-        let a = aggregate(&reports);
-        tsv.row(&[
-            f(load),
-            f(a.utilization),
-            f(a.delivery_rate),
-            f(a.metadata_over_data),
-            f(a.metadata_over_bandwidth),
-        ]);
-    }
+    rapid_bench::registry::run_or_exit("fig09");
 }

@@ -1,21 +1,7 @@
-//! Figs. 10–12 (Trace): the in-band control channel versus an instant
-//! global control channel (hybrid DTN, §6.2.3). Fig. 10 reads
-//! `avg_delay_min` (avg-delay metric), Fig. 11 `delivery_rate`, Fig. 12
-//! `within_deadline` (deadline metric — rows with the deadline variants).
-
-use rapid_bench::families::{trace_loads, trace_sweep};
-use rapid_bench::Proto;
+//! Thin dispatch into the experiment registry: `fig10_12`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::experiments` for the implementation.
 
 fn main() {
-    trace_sweep(
-        "fig10_12",
-        "Figs. 10-12 (Trace): in-band vs instant global control channel",
-        &trace_loads(),
-        &[
-            Proto::RapidAvg,
-            Proto::RapidAvgGlobal,
-            Proto::RapidDeadline,
-            Proto::RapidDeadlineGlobal,
-        ],
-    );
+    rapid_bench::registry::run_or_exit("fig10_12");
 }

@@ -1,73 +1,7 @@
-//! Fig. 13 (Trace): comparison with Optimal at small loads. Average delay
-//! *including undelivered packets* (charged their time in the system — the
-//! ILP objective of Appendix D). Optimal is reported as a lower-bound /
-//! feasible pair: when the gap is 0 the feasible schedule is certified
-//! optimal (the CPLEX substitution recorded in DESIGN.md).
-
-use dtn_optimal::solve_bounded;
-use rapid_bench::runner::run_spec;
-use rapid_bench::trace_exp::{TraceLab, WARMUP_DAYS};
-use rapid_bench::tsv::{f, Tsv};
-use rapid_bench::{days_per_point, parallel_map, root_seed, Proto};
+//! Thin dispatch into the experiment registry: `fig13`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::experiments` for the implementation.
 
 fn main() {
-    let mut tsv = Tsv::new("fig13");
-    tsv.comment(
-        "Fig. 13 (Trace): avg delay incl. undelivered vs load — Optimal bounds, RAPID, MaxProp",
-    );
-    tsv.comment(&format!(
-        "days per point = {}, seed = {}",
-        days_per_point(),
-        root_seed()
-    ));
-    tsv.row(&["load_per_dest_per_hour", "series", "avg_delay_min"]);
-    let lab = TraceLab::load_sweep(root_seed());
-    let days = days_per_point();
-    for load in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
-        // Optimal bounds per day (on the measured window only).
-        let bounds = parallel_map(days as usize, |d| {
-            let spec = lab.day_spec(WARMUP_DAYS + d as u32, load, 0, None);
-            // Strip the warm-up for the solver: it sees only the measured
-            // window, which is exactly the instance the protocols face.
-            let contacts: Vec<dtn_sim::ContactWindow> = spec
-                .schedule
-                .windows()
-                .iter()
-                .filter(|c| c.start >= spec.measure_from)
-                .copied()
-                .collect();
-            let schedule = dtn_sim::Schedule::new(contacts);
-            solve_bounded(&schedule, &spec.workload, spec.horizon)
-        });
-        let n = bounds.len() as f64;
-        let lb: f64 = bounds
-            .iter()
-            .map(|b| b.lower_bound_avg_delay_secs)
-            .sum::<f64>()
-            / n
-            / 60.0;
-        let fs: f64 = bounds
-            .iter()
-            .map(|b| b.feasible_avg_delay_secs)
-            .sum::<f64>()
-            / n
-            / 60.0;
-        tsv.row::<&str>(&[]);
-        tsv.row(&[f(load), "Optimal-LB".into(), f(lb)]);
-        tsv.row(&[f(load), "Optimal-Feasible".into(), f(fs)]);
-
-        for proto in [Proto::RapidAvgGlobal, Proto::RapidAvg, Proto::MaxProp] {
-            let reports = parallel_map(days as usize, |d| {
-                let spec = lab.day_spec(WARMUP_DAYS + d as u32, load, 0, None);
-                run_spec(&spec, proto)
-            });
-            let avg: f64 = reports
-                .iter()
-                .map(|r| r.avg_delay_with_undelivered_secs().unwrap_or(0.0))
-                .sum::<f64>()
-                / reports.len() as f64
-                / 60.0;
-            tsv.row(&[f(load), proto.label(), f(avg)]);
-        }
-    }
+    rapid_bench::registry::run_or_exit("fig13");
 }

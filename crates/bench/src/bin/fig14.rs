@@ -1,19 +1,7 @@
-//! Fig. 14 (Trace): RAPID component decomposition — Random, Random with
-//! flooded acks, rapid-local (metadata about own buffer only), full RAPID.
-
-use rapid_bench::families::{trace_loads, trace_sweep};
-use rapid_bench::Proto;
+//! Thin dispatch into the experiment registry: `fig14`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::experiments` for the implementation.
 
 fn main() {
-    trace_sweep(
-        "fig14",
-        "Fig. 14 (Trace): components — Random, Random+acks, Rapid-Local, Rapid",
-        &trace_loads(),
-        &[
-            Proto::Random,
-            Proto::RandomAcks,
-            Proto::RapidAvgLocal,
-            Proto::RapidAvg,
-        ],
-    );
+    rapid_bench::registry::run_or_exit("fig14");
 }

@@ -1,58 +1,7 @@
-//! Fig. 15 (Trace): fairness of RAPID's allocation to packets created in
-//! parallel — the CDF of Jain's index over burst groups of 20 and 30
-//! parallel packets, under contention (≈60 packets/hour/node background).
-
-use dtn_sim::workload::{merge, parallel_burst};
-use dtn_sim::TimeDelta;
-use dtn_stats::jain_index;
-use rapid_bench::runner::run_spec;
-use rapid_bench::trace_exp::{TraceLab, WARMUP_DAYS};
-use rapid_bench::tsv::{f, Tsv};
-use rapid_bench::{days_per_point, parallel_map, root_seed, Proto};
+//! Thin dispatch into the experiment registry: `fig15`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::experiments` for the implementation.
 
 fn main() {
-    let mut tsv = Tsv::new("fig15");
-    tsv.comment("Fig. 15 (Trace): CDF of Jain's fairness index over parallel-packet groups");
-    tsv.comment(&format!(
-        "days = {}, seed = {}",
-        days_per_point(),
-        root_seed()
-    ));
-    tsv.row(&["parallel_packets", "fairness_index", "cdf"]);
-
-    let lab = TraceLab::load_sweep(root_seed());
-    let seeds = dtn_stats::SeedStream::new(root_seed()).derive("fig15");
-    for group_size in [20usize, 30] {
-        let indices: Vec<Vec<f64>> = parallel_map(days_per_point() as usize, |d| {
-            let day = WARMUP_DAYS + d as u32;
-            // Background load ≈ 60 pkt/hour/node plus periodic bursts of
-            // `group_size` parallel packets.
-            let mut spec = lab.day_spec(day, 60.0 / 18.0, 0, None);
-            let mut rng = seeds.rng_indexed("bursts", u64::from(day));
-            let on_road: Vec<dtn_sim::NodeId> = {
-                // Reconstruct the day's on-road set from the fleet.
-                lab.fleet().generate_day(day).on_road
-            };
-            let mut bursts = Vec::new();
-            for k in 0..40u64 {
-                let t = spec.measure_from + TimeDelta::from_secs(600 + k * 1500); // every 25 min
-                bursts.push(parallel_burst(&on_road, group_size, t, 1024, &mut rng));
-            }
-            bursts.push(spec.workload.clone());
-            spec.workload = merge(&bursts);
-            let report = run_spec(&spec, Proto::RapidAvg);
-            report
-                .delays_by_creation_group()
-                .into_iter()
-                .filter(|(_, delays)| delays.len() == group_size)
-                .map(|(_, delays)| jain_index(&delays))
-                .collect()
-        });
-        let mut all: Vec<f64> = indices.into_iter().flatten().collect();
-        all.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        let n = all.len().max(1) as f64;
-        for (i, idx) in all.iter().enumerate() {
-            tsv.row(&[format!("{group_size}"), f(*idx), f((i + 1) as f64 / n)]);
-        }
-    }
+    rapid_bench::registry::run_or_exit("fig15");
 }

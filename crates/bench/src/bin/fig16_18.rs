@@ -1,16 +1,7 @@
-//! Figs. 16–18 (Powerlaw): average delay, max delay and within-deadline
-//! fraction vs load under popularity-skewed mobility. Each figure reads the
-//! RAPID variant optimizing its own metric: `Rapid(avg)` for Fig. 16,
-//! `Rapid(max)` for Fig. 17, `Rapid(deadline)` for Fig. 18.
-
-use rapid_bench::families::{synth_load_sweep, synth_loads};
-use rapid_bench::Mobility;
+//! Thin dispatch into the experiment registry: `fig16_18`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::experiments` for the implementation.
 
 fn main() {
-    synth_load_sweep(
-        "fig16_18",
-        "Figs. 16-18 (Powerlaw): avg delay / max delay / within-deadline vs load",
-        Mobility::PowerLaw,
-        &synth_loads(),
-    );
+    rapid_bench::registry::run_or_exit("fig16_18");
 }

@@ -1,16 +1,7 @@
-//! Figs. 19–21 (Powerlaw): the three metrics vs available buffer space at a
-//! fixed load of 20 packets per destination per 50 s — the storage-
-//! constrained regime where eviction policy dominates (§6.3.2).
-
-use rapid_bench::families::synth_buffer_sweep;
-use rapid_bench::Mobility;
+//! Thin dispatch into the experiment registry: `fig19_21`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::experiments` for the implementation.
 
 fn main() {
-    synth_buffer_sweep(
-        "fig19_21",
-        "Figs. 19-21 (Powerlaw): metrics vs buffer size (load 20 per dest per 50s)",
-        Mobility::PowerLaw,
-        20.0,
-        &[10, 20, 40, 80, 140, 200, 280],
-    );
+    rapid_bench::registry::run_or_exit("fig19_21");
 }

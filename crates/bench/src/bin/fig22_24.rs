@@ -1,14 +1,7 @@
-//! Figs. 22–24 (Exponential): the three metrics vs load under uniform
-//! exponential mobility (§6.3.3).
-
-use rapid_bench::families::{synth_load_sweep, synth_loads};
-use rapid_bench::Mobility;
+//! Thin dispatch into the experiment registry: `fig22_24`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::experiments` for the implementation.
 
 fn main() {
-    synth_load_sweep(
-        "fig22_24",
-        "Figs. 22-24 (Exponential): avg delay / max delay / within-deadline vs load",
-        Mobility::Exponential,
-        &synth_loads(),
-    );
+    rapid_bench::registry::run_or_exit("fig22_24");
 }

@@ -1,76 +1,92 @@
-//! Runs the experiment binaries in sequence (the full reproduction).
+//! Runs registered experiments in sequence (the full reproduction).
 //! Results land in `results/*.tsv`. Budget-minded defaults; see the
 //! environment knobs in the crate docs to go bigger.
 //!
 //! Usage:
 //!
 //! ```text
-//! fig_all               # run everything
-//! fig_all fig08 table3  # run only the named binaries
+//! fig_all                     # run everything
+//! fig_all fig08 table3        # run only the named experiments
+//! fig_all --list              # print the registry (id, axes, columns)
+//! fig_all --jobs 8 fig16_18   # pin the worker pool (default: available
+//!                             # parallelism; RAPID_JOBS is the env
+//!                             # equivalent, and --jobs wins over it)
 //! ```
 //!
-//! Every requested binary runs even if an earlier one fails; the exit
-//! status reflects the pass/fail summary printed at the end.
+//! Experiments resolve through `rapid_bench::registry` and run in-process;
+//! every requested one runs even if an earlier one fails (panics are
+//! caught), and the exit status reflects the pass/fail summary printed at
+//! the end.
 
-use std::process::Command;
+use rapid_bench::registry::{self, ExperimentPlan};
 
-const BINS: &[&str] = &[
-    "table3",
-    "fig03",
-    "fig04_05",
-    "fig06",
-    "fig07",
-    "fig08",
-    "fig09",
-    "fig10_12",
-    "fig13",
-    "fig14",
-    "fig15",
-    "fig16_18",
-    "fig19_21",
-    "fig22_24",
-    "fig_churn",
-    "ttest",
-];
+fn usage_exit(code: i32) -> ! {
+    eprintln!("usage: fig_all [--list] [--jobs N] [experiment ids...]");
+    eprintln!("known experiments: {}", registry::ids().join(" "));
+    std::process::exit(code);
+}
 
 fn main() {
-    let filters: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(unknown) = filters.iter().find(|f| !BINS.contains(&f.as_str())) {
+    let mut filters: Vec<String> = Vec::new();
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => list = true,
+            "--jobs" => {
+                let n: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --jobs needs a positive integer");
+                        usage_exit(2)
+                    });
+                // The worker pool reads RAPID_JOBS; the flag is its CLI face.
+                std::env::set_var("RAPID_JOBS", n.to_string());
+            }
+            "--help" | "-h" => usage_exit(0),
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown flag `{other}`");
+                usage_exit(2)
+            }
+            other => filters.push(other.to_string()),
+        }
+    }
+
+    if list {
+        for p in registry::PLANS {
+            println!("{:<10} {}", p.id, p.title);
+            println!("{:<10}   axes: {}", "", p.axes);
+            println!("{:<10}   columns: {}", "", p.columns.join("\t"));
+        }
+        return;
+    }
+
+    if let Some(unknown) = filters.iter().find(|f| registry::find(f).is_none()) {
         eprintln!(
             "error: unknown experiment `{unknown}`; known: {}",
-            BINS.join(" ")
+            registry::ids().join(" ")
         );
         std::process::exit(2);
     }
-    let selected: Vec<&str> = if filters.is_empty() {
-        BINS.to_vec()
-    } else {
-        // Keep canonical order regardless of argument order.
-        BINS.iter()
-            .copied()
-            .filter(|b| filters.iter().any(|f| f == b))
-            .collect()
-    };
+    // Keep canonical order regardless of argument order.
+    let selected: Vec<&ExperimentPlan> = registry::PLANS
+        .iter()
+        .filter(|p| filters.is_empty() || filters.iter().any(|f| f == p.id))
+        .collect();
 
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
     let mut results: Vec<(&str, bool)> = Vec::new();
-    for &bin in &selected {
-        eprintln!("=== {bin} ===");
-        let ok = match Command::new(dir.join(bin)).status() {
-            Ok(status) => status.success(),
-            Err(e) => {
-                eprintln!("failed to launch {bin}: {e}");
-                false
-            }
-        };
-        results.push((bin, ok));
+    for plan in &selected {
+        eprintln!("=== {} ===", plan.id);
+        let ok = std::panic::catch_unwind(plan.run).is_ok();
+        results.push((plan.id, ok));
     }
 
     let failed = results.iter().filter(|(_, ok)| !ok).count();
     eprintln!("=== summary ===");
-    for (bin, ok) in &results {
-        eprintln!("{} {bin}", if *ok { "PASS" } else { "FAIL" });
+    for (id, ok) in &results {
+        eprintln!("{} {id}", if *ok { "PASS" } else { "FAIL" });
     }
     eprintln!(
         "{}/{} experiments passed; see results/*.tsv",

@@ -1,57 +1,7 @@
-//! Windowed-contact × node-churn sweep (beyond the paper; see
-//! EXPERIMENTS.md §"Churn family"). For RAPID, Epidemic and Random, sweeps
-//! the contact-window duration (total opportunity held constant) against
-//! per-node downtime fractions, with a 60 s packet TTL. Shows where RAPID's
-//! lump-opportunity utility ordering degrades as windows stretch and churn
-//! interrupts mid-window accrual.
-
-use dtn_sim::TimeDelta;
-use rapid_bench::churn::{aggregate, ChurnLab};
-use rapid_bench::tsv::{f, Tsv};
-use rapid_bench::{root_seed, runs_per_point, Proto};
+//! Thin dispatch into the experiment registry: `fig_churn`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::experiments` for the implementation.
 
 fn main() {
-    let mut tsv = Tsv::new("fig_churn");
-    tsv.comment("Churn family: avg delay / delivery vs window duration and node downtime");
-    tsv.comment(&format!(
-        "runs per point = {}, seed = {}; load = 20 per dest per 50 s; TTL = 60 s",
-        runs_per_point(),
-        root_seed()
-    ));
-    tsv.row(&[
-        "window_s",
-        "down_fraction",
-        "series",
-        "avg_delay_s",
-        "delivery_rate",
-        "within_deadline",
-        "expired_rate",
-        "suppressed_contacts",
-    ]);
-    let lab = ChurnLab::new(root_seed());
-    let load = 20.0;
-    for window_s in [0u64, 30, 120, 300] {
-        for down_fraction in [0.0, 0.15, 0.35] {
-            for proto in [Proto::RapidAvg, Proto::Epidemic, Proto::Random] {
-                let reports = lab.run_many(
-                    runs_per_point(),
-                    load,
-                    TimeDelta::from_secs(window_s),
-                    down_fraction,
-                    proto,
-                );
-                let a = aggregate(&reports);
-                tsv.row(&[
-                    format!("{window_s}"),
-                    f(down_fraction),
-                    proto.label(),
-                    f(a.avg_delay_s),
-                    f(a.delivery_rate),
-                    f(a.within_deadline),
-                    f(a.expired_rate),
-                    f(a.suppressed_contacts),
-                ]);
-            }
-        }
-    }
+    rapid_bench::registry::run_or_exit("fig_churn");
 }

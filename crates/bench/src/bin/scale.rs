@@ -1,0 +1,7 @@
+//! Thin dispatch into the experiment registry: `scale`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::scale` for the implementation and `RAPID_SCALE_*` knobs.
+
+fn main() {
+    rapid_bench::registry::run_or_exit("scale");
+}

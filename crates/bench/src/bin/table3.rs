@@ -1,62 +1,7 @@
-//! Table 3: daily statistics of the deployed system (§5.2) — the
-//! deployment-emulation run: default load (4 packets/hour from each bus to
-//! each on-road bus), deployment noise, RAPID avg-delay, 58 days.
-
-use dtn_sim::NoiseModel;
-use rapid_bench::runner::run_spec;
-use rapid_bench::trace_exp::{TraceLab, WARMUP_DAYS};
-use rapid_bench::tsv::{f, Tsv};
-use rapid_bench::{env_u64, parallel_map, root_seed, Proto};
+//! Thin dispatch into the experiment registry: `table3`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::experiments` for the implementation.
 
 fn main() {
-    let mut tsv = Tsv::new("table3");
-    tsv.comment("Table 3: deployment daily averages (synthetic DieselNet, noise model on)");
-    let days = env_u64("RAPID_DEPLOY_DAYS", 58) as u32;
-    tsv.comment(&format!("days = {days}, seed = {}", root_seed()));
-
-    let lab = TraceLab::deployment(root_seed());
-    let noise = Some(NoiseModel::deployment_default());
-    let rows = parallel_map(days as usize, |d| {
-        let spec = lab.day_spec(WARMUP_DAYS + d as u32, 4.0, 0, noise);
-        let buses = lab
-            .fleet()
-            .generate_day(WARMUP_DAYS + d as u32)
-            .on_road
-            .len();
-        (buses, run_spec(&spec, Proto::RapidAvg))
-    });
-
-    let n = rows.len() as f64;
-    let avg_buses = rows.iter().map(|(b, _)| *b as f64).sum::<f64>() / n;
-    let avg_bytes = rows.iter().map(|(_, r)| r.data_bytes as f64).sum::<f64>() / n;
-    let avg_meetings = rows.iter().map(|(_, r)| r.contacts as f64).sum::<f64>() / n;
-    let delivery = rows.iter().map(|(_, r)| r.delivery_rate()).sum::<f64>() / n;
-    let delay_min = rows
-        .iter()
-        .map(|(_, r)| r.avg_delay_secs().unwrap_or(0.0) / 60.0)
-        .sum::<f64>()
-        / n;
-    let meta_bw = rows
-        .iter()
-        .map(|(_, r)| r.metadata_over_bandwidth())
-        .sum::<f64>()
-        / n;
-    let meta_data = rows
-        .iter()
-        .map(|(_, r)| r.metadata_over_data())
-        .sum::<f64>()
-        / n;
-
-    tsv.row(&["statistic", "value", "paper_value"]);
-    tsv.row(&["avg_buses_scheduled_per_day", &f(avg_buses), "19"]);
-    tsv.row(&[
-        "avg_total_MB_transferred_per_day",
-        &f(avg_bytes / 1e6),
-        "261.4",
-    ]);
-    tsv.row(&["avg_meetings_per_day", &f(avg_meetings), "147.5"]);
-    tsv.row(&["pct_delivered_per_day", &f(delivery * 100.0), "88"]);
-    tsv.row(&["avg_packet_delivery_delay_min", &f(delay_min), "91.7"]);
-    tsv.row(&["metadata_over_bandwidth", &f(meta_bw), "0.002"]);
-    tsv.row(&["metadata_over_data", &f(meta_data), "0.017"]);
+    rapid_bench::registry::run_or_exit("table3");
 }

@@ -1,72 +1,7 @@
-//! §6.2.1's statistical check: a paired t-test comparing the average delay
-//! of every source–destination pair under RAPID against the same pair
-//! under MaxProp ("we found p-values always less than 0.0005").
-
-use rapid_bench::runner::run_spec;
-use rapid_bench::trace_exp::{TraceLab, WARMUP_DAYS};
-use rapid_bench::tsv::{f, Tsv};
-use rapid_bench::{days_per_point, parallel_map, root_seed, Proto};
-use std::collections::BTreeMap;
+//! Thin dispatch into the experiment registry: `ttest`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::experiments` for the implementation.
 
 fn main() {
-    let mut tsv = Tsv::new("ttest");
-    tsv.comment("Paired t-test on per-(src,dst) mean delays: RAPID vs MaxProp (§6.2.1)");
-    tsv.comment(&format!(
-        "days = {}, seed = {}",
-        days_per_point(),
-        root_seed()
-    ));
-    tsv.row(&[
-        "load_per_dest_per_hour",
-        "pairs",
-        "t",
-        "p_two_sided",
-        "mean_diff_min",
-    ]);
-
-    let lab = TraceLab::load_sweep(root_seed());
-    for load in [5.0, 20.0] {
-        // Per-pair mean delays pooled across days, one map per protocol.
-        let pooled: Vec<BTreeMap<(u32, u32), Vec<f64>>> = parallel_map(2usize, |which| {
-            let proto = if which == 0 {
-                Proto::RapidAvg
-            } else {
-                Proto::MaxProp
-            };
-            let mut by_pair: BTreeMap<(u32, u32), Vec<f64>> = BTreeMap::new();
-            for d in 0..days_per_point() {
-                let spec = lab.day_spec(WARMUP_DAYS + d, load, 0, None);
-                let report = run_spec(&spec, proto);
-                for o in &report.outcomes {
-                    if let Some(at) = o.delivered_at {
-                        by_pair
-                            .entry((o.src.0, o.dst.0))
-                            .or_default()
-                            .push(at.since(o.created_at).as_secs_f64());
-                    }
-                }
-            }
-            by_pair
-        });
-        let (rapid, maxprop) = (&pooled[0], &pooled[1]);
-        let mut a = Vec::new();
-        let mut b = Vec::new();
-        for (pair, rd) in rapid {
-            if let Some(md) = maxprop.get(pair) {
-                a.push(rd.iter().sum::<f64>() / rd.len() as f64);
-                b.push(md.iter().sum::<f64>() / md.len() as f64);
-            }
-        }
-        match dtn_stats::paired_t_test(&a, &b) {
-            Some(r) => tsv.row(&[
-                f(load),
-                format!("{}", a.len()),
-                f(r.t),
-                format!("{:.2e}", r.p_two_sided),
-                f(r.mean_diff / 60.0),
-            ]),
-            None => tsv.comment("insufficient pairs for a t-test"),
-        }
-    }
-    tsv.comment("negative mean_diff = RAPID's per-pair delays are lower");
+    rapid_bench::registry::run_or_exit("ttest");
 }

@@ -23,13 +23,13 @@
 //! Calibration notes live in EXPERIMENTS.md.
 
 use crate::proto::Proto;
-use crate::runner::{run_spec, RunSpec};
+use crate::runner::{run_spec, ContactsSpec, PacketsSpec, RunSpec};
 use crate::synth::PACKET_BYTES;
 use dtn_mobility::UniformExponential;
 use dtn_sim::workload::pairwise_poisson;
 use dtn_sim::{NodeEvent, NodeId, SimReport, Time, TimeDelta};
 use dtn_stats::sample::Exponential;
-use dtn_stats::SeedStream;
+use dtn_stats::{Mergeable, SeedStream};
 use rand::Rng;
 
 /// The churn laboratory: the §6.3 synthetic defaults (Table 4) plus the
@@ -147,8 +147,8 @@ impl ChurnLab {
         }
 
         RunSpec {
-            schedule,
-            workload,
+            contacts: ContactsSpec::shared(schedule),
+            packets: PacketsSpec::shared(workload),
             nodes: self.nodes,
             buffer: self.buffer,
             deadline: self.deadline,
@@ -175,6 +175,28 @@ impl ChurnLab {
             run_spec(&spec, proto)
         })
     }
+
+    /// Streaming variant of [`ChurnLab::run_many`]: reports fold into a
+    /// [`ChurnAcc`] in run order — bounded memory, bit-identical aggregate.
+    pub fn run_many_agg(
+        &self,
+        runs: u32,
+        load: f64,
+        window: TimeDelta,
+        down_fraction: f64,
+        proto: Proto,
+    ) -> ChurnAggregate {
+        let mut acc = ChurnAcc::new(runs as usize);
+        crate::parallel_reduce(
+            runs as usize,
+            |r| {
+                let spec = self.spec(r as u32, load, window, down_fraction);
+                run_spec(&spec, proto)
+            },
+            |_, report| acc.push(&report),
+        );
+        acc.finish()
+    }
 }
 
 /// Aggregate for the churn family: the synthetic headline metrics plus the
@@ -193,30 +215,74 @@ pub struct ChurnAggregate {
     pub suppressed_contacts: f64,
 }
 
-/// Reduces run reports to a [`ChurnAggregate`]. The delay mean covers only
-/// runs that delivered something — folding zero-delivery runs in as 0 s
-/// would make the hardest configurations look fastest.
-pub fn aggregate(reports: &[SimReport]) -> ChurnAggregate {
-    let n = reports.len().max(1) as f64;
-    let mut agg = ChurnAggregate::default();
-    let mut delay_sum = 0.0;
-    let mut delay_runs = 0u32;
-    for r in reports {
-        if let Some(d) = r.avg_delay_secs() {
-            delay_sum += d;
-            delay_runs += 1;
+/// Streaming accumulator behind [`ChurnAggregate`]: fixed expected count,
+/// bit-identical to the collected reduction; mergeable across shards.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnAcc {
+    n: f64,
+    agg: ChurnAggregate,
+    delay_sum: f64,
+    delay_runs: u32,
+}
+
+impl ChurnAcc {
+    /// An accumulator expecting `runs` reports.
+    pub fn new(runs: usize) -> Self {
+        Self {
+            n: runs.max(1) as f64,
+            agg: ChurnAggregate::default(),
+            delay_sum: 0.0,
+            delay_runs: 0,
         }
-        agg.delivery_rate += r.delivery_rate() / n;
-        agg.within_deadline += r.within_deadline_rate(None) / n;
-        agg.expired_rate += r.expired as f64 / r.created().max(1) as f64 / n;
-        agg.suppressed_contacts += r.contacts_suppressed as f64 / n;
     }
-    agg.avg_delay_s = if delay_runs > 0 {
-        delay_sum / f64::from(delay_runs)
-    } else {
-        f64::NAN
-    };
-    agg
+
+    /// Absorbs one run report.
+    pub fn push(&mut self, r: &SimReport) {
+        let n = self.n;
+        if let Some(d) = r.avg_delay_secs() {
+            self.delay_sum += d;
+            self.delay_runs += 1;
+        }
+        self.agg.delivery_rate += r.delivery_rate() / n;
+        self.agg.within_deadline += r.within_deadline_rate(None) / n;
+        self.agg.expired_rate += r.expired as f64 / r.created().max(1) as f64 / n;
+        self.agg.suppressed_contacts += r.contacts_suppressed as f64 / n;
+    }
+
+    /// The aggregate over everything pushed. The delay mean covers only
+    /// runs that delivered something — folding zero-delivery runs in as
+    /// 0 s would make the hardest configurations look fastest.
+    pub fn finish(self) -> ChurnAggregate {
+        let mut agg = self.agg;
+        agg.avg_delay_s = if self.delay_runs > 0 {
+            self.delay_sum / f64::from(self.delay_runs)
+        } else {
+            f64::NAN
+        };
+        agg
+    }
+}
+
+impl Mergeable for ChurnAcc {
+    fn merge(&mut self, other: Self) {
+        debug_assert_eq!(self.n, other.n, "shards must share the expected count");
+        self.delay_sum += other.delay_sum;
+        self.delay_runs += other.delay_runs;
+        self.agg.delivery_rate += other.agg.delivery_rate;
+        self.agg.within_deadline += other.agg.within_deadline;
+        self.agg.expired_rate += other.agg.expired_rate;
+        self.agg.suppressed_contacts += other.agg.suppressed_contacts;
+    }
+}
+
+/// Reduces run reports to a [`ChurnAggregate`] (see [`ChurnAcc::finish`]
+/// for the delay-mean convention).
+pub fn aggregate(reports: &[SimReport]) -> ChurnAggregate {
+    let mut acc = ChurnAcc::new(reports.len());
+    for r in reports {
+        acc.push(r);
+    }
+    acc.finish()
 }
 
 #[cfg(test)]
@@ -228,8 +294,8 @@ mod tests {
         let lab = ChurnLab::new(9);
         let a = lab.spec(0, 20.0, TimeDelta::from_secs(60), 0.25);
         let b = lab.spec(0, 20.0, TimeDelta::from_secs(60), 0.25);
-        assert_eq!(a.schedule, b.schedule);
-        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.contacts.materialize(), b.contacts.materialize());
+        assert_eq!(a.packets.materialize(), b.packets.materialize());
         assert_eq!(a.churn, b.churn);
         assert!(!a.churn.is_empty());
     }
@@ -239,26 +305,31 @@ mod tests {
         let lab = ChurnLab::new(9);
         let spec = lab.spec(0, 20.0, TimeDelta::ZERO, 0.0);
         assert!(spec.churn.is_empty());
-        assert!(spec.schedule.windows().iter().all(|w| w.is_instantaneous()));
+        assert!(spec
+            .contacts
+            .materialize()
+            .windows()
+            .iter()
+            .all(|w| w.is_instantaneous()));
     }
 
     #[test]
     fn window_preserves_offered_capacity_up_to_truncation() {
         let lab = ChurnLab::new(9);
-        let lump = lab.spec(0, 20.0, TimeDelta::ZERO, 0.0);
-        let windowed = lab.spec(0, 20.0, TimeDelta::from_secs(120), 0.0);
-        assert_eq!(lump.schedule.len(), windowed.schedule.len());
+        let lump = lab
+            .spec(0, 20.0, TimeDelta::ZERO, 0.0)
+            .contacts
+            .materialize();
+        let spec = lab.spec(0, 20.0, TimeDelta::from_secs(120), 0.0);
+        let windowed = spec.contacts.materialize();
+        assert_eq!(lump.len(), windowed.len());
         // No window outlives the run.
-        assert!(windowed
-            .schedule
-            .windows()
-            .iter()
-            .all(|w| w.end <= windowed.horizon));
+        assert!(windowed.windows().iter().all(|w| w.end <= spec.horizon));
         // Capacity matches up to day-end truncation: windows starting in
         // the last 120 s of the 900 s run lose their tail, bounding the
         // expected loss well under 10%.
-        let a = lump.schedule.offered_bytes() as f64;
-        let b = windowed.schedule.offered_bytes() as f64;
+        let a = lump.offered_bytes() as f64;
+        let b = windowed.offered_bytes() as f64;
         assert!(b <= a, "windowing must not create capacity: {a} vs {b}");
         assert!(b > 0.85 * a, "truncation lost too much: {a} vs {b}");
     }

@@ -1,8 +1,8 @@
 //! Shared drivers for the figure families.
 
 use crate::proto::Proto;
-use crate::synth::{aggregate as synth_agg, Mobility, SynthLab};
-use crate::trace_exp::{aggregate as trace_agg, TraceLab};
+use crate::synth::{Mobility, SynthLab};
+use crate::trace_exp::TraceLab;
 use crate::tsv::{f, Tsv};
 use crate::{days_per_point, root_seed, runs_per_point};
 
@@ -29,8 +29,7 @@ pub fn trace_sweep(id: &str, title: &str, loads: &[f64], protos: &[Proto]) {
     let lab = TraceLab::load_sweep(root_seed());
     for &load in loads {
         for &proto in protos {
-            let reports = lab.run_days(days_per_point(), load, proto, None);
-            let a = trace_agg(&reports);
+            let a = lab.run_days_agg(days_per_point(), load, proto, None);
             tsv.row(&[
                 f(load),
                 proto.label(),
@@ -73,8 +72,7 @@ pub fn synth_load_sweep(id: &str, title: &str, mobility: Mobility, loads: &[f64]
     ];
     for &load in loads {
         for proto in protos {
-            let reports = lab.run_many(mobility, runs_per_point(), load, None, proto);
-            let a = synth_agg(&reports);
+            let a = lab.run_many_agg(mobility, runs_per_point(), load, None, proto);
             tsv.row(&[
                 f(load),
                 series_label(proto),
@@ -122,8 +120,7 @@ pub fn synth_buffer_sweep(
     ];
     for &kb in buffers_kb {
         for proto in protos {
-            let reports = lab.run_many(mobility, runs_per_point(), load, Some(kb * 1024), proto);
-            let a = synth_agg(&reports);
+            let a = lab.run_many_agg(mobility, runs_per_point(), load, Some(kb * 1024), proto);
             tsv.row(&[
                 format!("{kb}"),
                 series_label(proto),

@@ -1,11 +1,19 @@
 //! Experiment harness: regenerates every table and figure in the paper's
-//! evaluation (§5–§6).
+//! evaluation (§5–§6), plus the beyond-paper churn and scale families.
 //!
-//! Each binary under `src/bin/` reproduces one figure family and prints the
-//! same rows/series the paper reports, as TSV on stdout (also written to
-//! `results/`). Run `cargo run -p rapid-bench --release --bin fig_all` for
-//! everything; see DESIGN.md §5 for the experiment index and EXPERIMENTS.md
-//! for paper-vs-measured results.
+//! Every experiment is an entry in the declarative [`registry`]
+//! (id → sweep axes → TSV schema → run function, bodies in
+//! [`experiments`]); the binaries under `src/bin/` are one-line
+//! dispatches and `fig_all` walks the registry in-process
+//! (`--list` prints it, `--jobs N` pins the worker pool). Output is TSV
+//! on stdout, mirrored to `results/<id>.tsv`; see EXPERIMENTS.md for
+//! calibration notes and paper-vs-measured results.
+//!
+//! Scenario data streams through [`runner::ContactsSpec`] /
+//! [`runner::PacketsSpec`] — `Arc`-shared when materialized, generated
+//! per run otherwise — and sweep aggregation folds reports into
+//! mergeable accumulators in run order ([`runner::parallel_reduce`]),
+//! so neither scenarios nor report sets are ever cloned or collected.
 //!
 //! Environment knobs (all optional):
 //!
@@ -13,12 +21,19 @@
 //!   the deployment experiments always use 58).
 //! * `RAPID_RUNS` — synthetic-mobility runs per data point (default 5).
 //! * `RAPID_SEED` — root experiment seed (default 7).
-//! * `RAPID_JOBS` — worker threads (default: available parallelism).
+//! * `RAPID_JOBS` — worker threads (default: available parallelism;
+//!   `fig_all --jobs N` is the CLI face of the same knob and wins over
+//!   the environment).
+//! * `RAPID_SCALE_*` — scale-family shape and its peak-RSS bound (see
+//!   [`scale`]).
 
 pub mod churn;
+pub mod experiments;
 pub mod families;
 pub mod proto;
+pub mod registry;
 pub mod runner;
+pub mod scale;
 pub mod scenarios;
 pub mod synth;
 pub mod trace_exp;
@@ -26,7 +41,9 @@ pub mod tsv;
 
 pub use churn::ChurnLab;
 pub use proto::Proto;
-pub use runner::{parallel_map, run_spec, RunSpec};
+pub use registry::ExperimentPlan;
+pub use runner::{parallel_map, parallel_reduce, run_spec, ContactsSpec, PacketsSpec, RunSpec};
+pub use scale::ScaleLab;
 pub use synth::{Mobility, SynthLab};
 pub use trace_exp::TraceLab;
 

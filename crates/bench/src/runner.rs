@@ -1,17 +1,153 @@
 //! Run assembly and a small worker pool.
+//!
+//! A [`RunSpec`] no longer owns materialized scenario data: contacts and
+//! packets are described by [`ContactsSpec`] / [`PacketsSpec`], which open
+//! a fresh streaming source per run. Materialized scenarios are shared
+//! behind `Arc`s and streamed through cursors — zero per-run clones —
+//! while generator-backed scenarios are never materialized at all.
 
 use crate::proto::Proto;
+use dtn_sim::source::{ContactSource, ScheduleStream, WorkloadSource, WorkloadStream};
 use dtn_sim::workload::Workload;
-use dtn_sim::{NodeEvent, NoiseModel, Schedule, SimConfig, SimReport, Simulation, Time, TimeDelta};
+use dtn_sim::{
+    run_streaming, NodeEvent, NoiseModel, Schedule, SimConfig, SimReport, Time, TimeDelta,
+};
+use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// Factory building a fresh contact source for one run.
+pub type ContactFactory = Arc<dyn Fn() -> Box<dyn ContactSource + Send> + Send + Sync>;
+
+/// Factory building a fresh workload source for one run.
+pub type PacketFactory = Arc<dyn Fn() -> Box<dyn WorkloadSource + Send> + Send + Sync>;
+
+/// How a run obtains its contact windows.
+#[derive(Clone)]
+pub enum ContactsSpec {
+    /// A materialized schedule shared behind an `Arc`, streamed through a
+    /// per-run cursor (the seed-exact path; never cloned).
+    Shared(Arc<Schedule>),
+    /// A factory that opens a fresh streaming source per run; the schedule
+    /// never exists in memory.
+    Streaming(ContactFactory),
+}
+
+impl ContactsSpec {
+    /// Wraps a materialized schedule for sharing.
+    pub fn shared(schedule: Schedule) -> Self {
+        Self::Shared(Arc::new(schedule))
+    }
+
+    /// Wraps a per-run source factory.
+    pub fn streaming<F>(factory: F) -> Self
+    where
+        F: Fn() -> Box<dyn ContactSource + Send> + Send + Sync + 'static,
+    {
+        Self::Streaming(Arc::new(factory))
+    }
+
+    /// Opens a fresh source over this scenario.
+    pub fn source(&self) -> Box<dyn ContactSource + Send> {
+        match self {
+            Self::Shared(s) => Box::new(ScheduleStream::new(Arc::clone(s))),
+            Self::Streaming(f) => f(),
+        }
+    }
+
+    /// Drains a fresh source into a [`Schedule`] — for consumers that need
+    /// random access (the optimal solver, diagnostics). Costs the full
+    /// materialization a streaming run avoids; keep it off hot paths.
+    pub fn materialize(&self) -> Schedule {
+        match self {
+            Self::Shared(s) => (**s).clone(),
+            Self::Streaming(_) => {
+                let mut source = self.source();
+                let mut windows = Vec::new();
+                while let Some(w) = source.next_window() {
+                    windows.push(w);
+                }
+                Schedule::new(windows)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for ContactsSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Shared(s) => f.debug_tuple("Shared").field(&s.len()).finish(),
+            Self::Streaming(_) => f.write_str("Streaming(..)"),
+        }
+    }
+}
+
+/// How a run obtains its packet creations.
+#[derive(Clone)]
+pub enum PacketsSpec {
+    /// A materialized workload shared behind an `Arc`, streamed through a
+    /// per-run cursor.
+    Shared(Arc<Workload>),
+    /// A factory that opens a fresh streaming source per run.
+    Streaming(PacketFactory),
+}
+
+impl PacketsSpec {
+    /// Wraps a materialized workload for sharing.
+    pub fn shared(workload: Workload) -> Self {
+        Self::Shared(Arc::new(workload))
+    }
+
+    /// Wraps a per-run source factory.
+    pub fn streaming<F>(factory: F) -> Self
+    where
+        F: Fn() -> Box<dyn WorkloadSource + Send> + Send + Sync + 'static,
+    {
+        Self::Streaming(Arc::new(factory))
+    }
+
+    /// Opens a fresh source over this workload.
+    pub fn source(&self) -> Box<dyn WorkloadSource + Send> {
+        match self {
+            Self::Shared(w) => Box::new(WorkloadStream::new(Arc::clone(w))),
+            Self::Streaming(f) => f(),
+        }
+    }
+
+    /// Drains a fresh source into a [`Workload`] (see
+    /// [`ContactsSpec::materialize`]).
+    pub fn materialize(&self) -> Workload {
+        match self {
+            Self::Shared(w) => (**w).clone(),
+            Self::Streaming(_) => {
+                let mut source = self.source();
+                let mut specs = Vec::new();
+                while let Some(s) = source.next_packet() {
+                    specs.push(s);
+                }
+                Workload::new(specs)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for PacketsSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Shared(w) => f.debug_tuple("Shared").field(&w.len()).finish(),
+            Self::Streaming(_) => f.write_str("Streaming(..)"),
+        }
+    }
+}
 
 /// A fully specified simulation job.
 #[derive(Debug, Clone)]
 pub struct RunSpec {
-    /// Meeting schedule.
-    pub schedule: Schedule,
-    /// Packet workload.
-    pub workload: Workload,
+    /// Contact-window scenario.
+    pub contacts: ContactsSpec,
+    /// Packet workload scenario.
+    pub packets: PacketsSpec,
     /// Node-id space.
     pub nodes: usize,
     /// Per-node buffer capacity, bytes.
@@ -32,7 +168,8 @@ pub struct RunSpec {
     pub ttl: Option<TimeDelta>,
 }
 
-/// Executes one job with one protocol.
+/// Executes one job with one protocol, streaming the scenario through the
+/// engine — no per-run clones of schedules or workloads.
 pub fn run_spec(spec: &RunSpec, proto: Proto) -> SimReport {
     let config = SimConfig {
         nodes: spec.nodes,
@@ -44,14 +181,26 @@ pub fn run_spec(spec: &RunSpec, proto: Proto) -> SimReport {
         seed: spec.seed,
         measure_from: spec.measure_from,
     };
-    let mut sim = Simulation::new(config, spec.schedule.clone(), spec.workload.clone())
-        .with_churn(spec.churn.clone());
-    if let Some(noise) = spec.noise {
-        sim = sim.with_noise(noise);
-    }
+    let mut contacts = spec.contacts.source();
+    let mut packets = spec.packets.source();
     let measured_len = TimeDelta(spec.horizon.0.saturating_sub(spec.measure_from.0));
     let mut routing = proto.build(spec.deadline, measured_len);
-    sim.run(routing.as_mut())
+    run_streaming(
+        &config,
+        contacts.as_mut(),
+        packets.as_mut(),
+        &spec.churn,
+        spec.noise,
+        routing.as_mut(),
+    )
+}
+
+/// Worker count: `RAPID_JOBS` (default: available parallelism), capped at
+/// the job count.
+fn worker_count(n: usize) -> usize {
+    let default_jobs = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let jobs = crate::env_u64("RAPID_JOBS", default_jobs as u64) as usize;
+    jobs.clamp(1, n.max(1))
 }
 
 /// Maps `f` over `0..n` on a small worker pool and returns results in
@@ -62,37 +211,73 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    parallel_reduce(n, f, |i, v| out[i] = Some(v));
+    out.into_iter()
+        .map(|s| s.expect("every index computed"))
+        .collect()
+}
+
+/// Computes `f(i)` for `0..n` on the worker pool and hands each result to
+/// `push` in **strict index order** — the streaming reduction behind sweep
+/// aggregation. Only out-of-order completions are buffered, so memory
+/// stays bounded by the pool's reordering window instead of all `n`
+/// results, and the deterministic fold order keeps aggregate floats
+/// bit-identical to a sequential reduction.
+pub fn parallel_reduce<T, F, G>(n: usize, f: F, mut push: G)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    G: FnMut(usize, T),
+{
     if n == 0 {
-        return Vec::new();
+        return;
     }
-    let default_jobs = std::thread::available_parallelism().map_or(4, |p| p.get());
-    let jobs = crate::env_u64("RAPID_JOBS", default_jobs as u64) as usize;
-    let jobs = jobs.clamp(1, n);
+    let jobs = worker_count(n);
+    if jobs == 1 {
+        for i in 0..n {
+            let v = f(i);
+            push(i, v);
+        }
+        return;
+    }
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let slots_ptr = std::sync::Mutex::new(&mut slots);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let value = f(i);
-                let mut guard = slots_ptr.lock().expect("no poisoned workers");
-                guard[i] = Some(value);
+                if tx.send((i, value)).is_err() {
+                    break;
+                }
             });
         }
+        drop(tx);
+        // Reorder buffer: release results to `push` in index order.
+        let mut pending: BTreeMap<usize, T> = BTreeMap::new();
+        let mut expected = 0usize;
+        for (i, value) in rx {
+            pending.insert(i, value);
+            while let Some(value) = pending.remove(&expected) {
+                push(expected, value);
+                expected += 1;
+            }
+        }
     });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index computed"))
-        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dtn_sim::workload::PacketSpec;
+    use dtn_sim::{Contact, NodeId};
 
     #[test]
     fn parallel_map_preserves_order() {
@@ -107,5 +292,62 @@ mod tests {
     fn parallel_map_empty() {
         let out: Vec<u32> = parallel_map(0, |_| unreachable!("no jobs"));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_reduce_pushes_in_index_order() {
+        let mut seen = Vec::new();
+        parallel_reduce(64, |i| i * 3, |i, v| seen.push((i, v)));
+        assert_eq!(seen.len(), 64);
+        for (k, (i, v)) in seen.iter().enumerate() {
+            assert_eq!(*i, k);
+            assert_eq!(*v, k * 3);
+        }
+    }
+
+    #[test]
+    fn shared_specs_stream_without_cloning() {
+        let schedule = Schedule::new(vec![Contact::new(
+            Time::from_secs(1),
+            NodeId(0),
+            NodeId(1),
+            64,
+        )]);
+        let contacts = ContactsSpec::shared(schedule.clone());
+        // Two independent runs read the same Arc'd data.
+        for _ in 0..2 {
+            let mut src = contacts.source();
+            assert_eq!(src.next_window(), Some(schedule.windows()[0]));
+            assert_eq!(src.next_window(), None);
+        }
+        assert_eq!(contacts.materialize(), schedule);
+    }
+
+    #[test]
+    fn streaming_specs_rebuild_per_run() {
+        let contacts = ContactsSpec::streaming(|| {
+            Box::new(
+                [
+                    dtn_sim::ContactWindow::instant(Time::from_secs(2), NodeId(0), NodeId(1), 9),
+                    dtn_sim::ContactWindow::instant(Time::from_secs(4), NodeId(1), NodeId(2), 9),
+                ]
+                .into_iter(),
+            )
+        });
+        assert_eq!(contacts.materialize().len(), 2);
+        assert_eq!(contacts.materialize().len(), 2, "factory reopens cleanly");
+
+        let packets = PacketsSpec::streaming(|| {
+            Box::new(
+                [PacketSpec {
+                    time: Time::from_secs(1),
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    size_bytes: 10,
+                }]
+                .into_iter(),
+            )
+        });
+        assert_eq!(packets.materialize().len(), 1);
     }
 }

@@ -1,0 +1,257 @@
+//! The `scale` scenario family: proof that the streaming pipeline runs
+//! fleets far past anything a materialized schedule could hold.
+//!
+//! Defaults: 100 000 nodes and ≈1.2 million contact windows drawn from the
+//! sparse [`ScaleFleet`] generator — the windows are pulled straight into
+//! the engine and dropped after being driven, so the full contact plan
+//! never exists in memory. `RAPID_SCALE_MODE=materialized` runs the same
+//! scenario the old way (collect into a `Schedule`/`Workload` first) for
+//! an apples-to-apples wall-clock / peak-RSS comparison (recorded in
+//! `BENCH_pr4.json`).
+//!
+//! Knobs (all env): `RAPID_SCALE_NODES`, `RAPID_SCALE_WINDOWS`,
+//! `RAPID_SCALE_PACKETS`, `RAPID_SCALE_HORIZON_S`, `RAPID_SCALE_RUNS`,
+//! `RAPID_SCALE_MODE` (`streamed` | `materialized`), and
+//! `RAPID_SCALE_MAX_RSS_MB` (> 0 ⇒ exit 1 if peak RSS exceeds the bound —
+//! the CI memory check).
+
+use crate::proto::Proto;
+use crate::runner::{run_spec, ContactsSpec, PacketsSpec, RunSpec};
+use crate::tsv::{f, Tsv};
+use crate::{env_u64, root_seed};
+use dtn_mobility::ScaleFleet;
+use dtn_sim::{Time, TimeDelta};
+use dtn_stats::{Extrema, StreamingMean};
+
+/// Packet size (matches the rest of the harness: 1 KB).
+pub const PACKET_BYTES: u64 = 1024;
+
+/// The scale laboratory: a sparse fleet plus workload/buffer calibration.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleLab {
+    /// The sparse fleet (nodes, expected windows, opportunity, horizon).
+    pub fleet: ScaleFleet,
+    /// Expected packet creations over the horizon.
+    pub packets: u64,
+    /// Per-node buffer capacity, bytes.
+    pub buffer: u64,
+    /// Delivery deadline (reporting only).
+    pub deadline: TimeDelta,
+    /// Packet TTL — keeps replica state bounded over long horizons.
+    pub ttl: TimeDelta,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl ScaleLab {
+    /// Defaults (overridable via the `RAPID_SCALE_*` env knobs): 100k
+    /// nodes, 1.2M expected windows, 50k packets over a 2-hour horizon,
+    /// user-to-gateway traffic toward 64 hubs (`RAPID_SCALE_HUBS=0` for
+    /// uniform pairs).
+    pub fn from_env(seed: u64) -> Self {
+        let nodes = env_u64("RAPID_SCALE_NODES", 100_000) as usize;
+        let windows = env_u64("RAPID_SCALE_WINDOWS", 1_200_000);
+        let packets = env_u64("RAPID_SCALE_PACKETS", 50_000);
+        let horizon = Time::from_secs(env_u64("RAPID_SCALE_HORIZON_S", 7200));
+        let hubs = env_u64("RAPID_SCALE_HUBS", 64) as usize;
+        // Calibration note: once the schedule itself streams, peak memory
+        // and wall time are made of *world state* — replica metadata,
+        // holder lists, full buffers. The small per-contact opportunity
+        // (2 packets each way) damps Random's flooding so replica counts
+        // stay in the tens per packet, the 16-packet buffers bound
+        // per-node state, and the 15-minute TTL gives a packet a
+        // multi-contact lifetime (a node sees ~1 contact per 5 minutes at
+        // the default density) without letting replicas pile up.
+        Self {
+            fleet: ScaleFleet {
+                nodes,
+                contacts: windows,
+                opportunity_bytes: 2 * 1024,
+                contact_duration: TimeDelta::ZERO,
+                horizon,
+                hubs: hubs.min(nodes),
+                hub_bias: 0.3,
+            },
+            packets,
+            buffer: 16 * 1024,
+            deadline: TimeDelta::from_secs(600),
+            ttl: TimeDelta::from_secs(900),
+            seed,
+        }
+    }
+
+    /// One streamed run: both sources are per-run generator streams.
+    pub fn spec(&self, run: u32) -> RunSpec {
+        let fleet = self.fleet;
+        let (seed, packets) = (self.seed, self.packets);
+        RunSpec {
+            contacts: ContactsSpec::streaming(move || {
+                Box::new(fleet.contact_stream(seed, u64::from(run)))
+            }),
+            packets: PacketsSpec::streaming(move || {
+                Box::new(fleet.packet_stream(packets, PACKET_BYTES, seed, u64::from(run)))
+            }),
+            nodes: self.fleet.nodes,
+            buffer: self.buffer,
+            deadline: self.deadline,
+            horizon: self.fleet.horizon,
+            seed: self.seed ^ u64::from(run),
+            noise: None,
+            measure_from: Time::ZERO,
+            churn: Vec::new(),
+            ttl: Some(self.ttl),
+        }
+    }
+
+    /// The same run with the scenario materialized up front — the
+    /// pre-streaming pipeline, kept for the baseline comparison.
+    pub fn spec_materialized(&self, run: u32) -> RunSpec {
+        let streamed = self.spec(run);
+        RunSpec {
+            contacts: ContactsSpec::shared(streamed.contacts.materialize()),
+            packets: PacketsSpec::shared(streamed.packets.materialize()),
+            ..streamed
+        }
+    }
+}
+
+/// Peak resident set size of this process in MB (`VmHWM`), if the
+/// platform exposes it.
+pub fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+/// Best-effort reset of the `VmHWM` high-water mark (Linux: writing `5`
+/// to `/proc/self/clear_refs`), so each measurement covers the run it
+/// brackets rather than the process lifetime — `fig_all` executes plans
+/// in-process, and without the reset `scale` would report whatever peak
+/// an earlier experiment reached. Freed-but-cached allocator pages can
+/// still inflate an in-process reading; the standalone `scale` binary
+/// (what CI runs) is the clean-room measurement.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// The `scale` experiment: runs the family, reports throughput and peak
+/// memory, and enforces `RAPID_SCALE_MAX_RSS_MB` when set.
+pub fn run_scale() {
+    let seed = root_seed();
+    let lab = ScaleLab::from_env(seed);
+    let mode = std::env::var("RAPID_SCALE_MODE").unwrap_or_else(|_| "streamed".into());
+    assert!(
+        mode == "streamed" || mode == "materialized",
+        "RAPID_SCALE_MODE must be `streamed` or `materialized`"
+    );
+    let runs = env_u64("RAPID_SCALE_RUNS", 1).max(1) as u32;
+    let max_rss_mb = env_u64("RAPID_SCALE_MAX_RSS_MB", 0);
+
+    let mut tsv = Tsv::new("scale");
+    tsv.comment("Scale family: sparse fleet streamed through the engine (Random replication)");
+    tsv.comment(&format!(
+        "mode = {mode}, nodes = {}, expected windows = {}, expected packets = {}, \
+         horizon = {} s, seed = {seed}",
+        lab.fleet.nodes,
+        lab.fleet.contacts,
+        lab.packets,
+        lab.fleet.horizon.as_secs_f64(),
+    ));
+    tsv.row(&[
+        "mode",
+        "run",
+        "nodes",
+        "contacts_driven",
+        "packets_created",
+        "delivery_rate",
+        "expired",
+        "wall_s",
+        "peak_rss_mb",
+    ]);
+
+    let mut delivery = StreamingMean::new();
+    let mut wall = StreamingMean::new();
+    let mut rss = Extrema::new();
+    for run in 0..runs {
+        // Reset before building the spec so a materialized scenario's
+        // allocation is part of its own footprint.
+        reset_peak_rss();
+        let spec = if mode == "materialized" {
+            lab.spec_materialized(run)
+        } else {
+            lab.spec(run)
+        };
+        let t0 = std::time::Instant::now();
+        let report = run_spec(&spec, Proto::Random);
+        let wall_s = t0.elapsed().as_secs_f64();
+        let peak = peak_rss_mb().unwrap_or(0.0);
+        delivery.push(report.delivery_rate());
+        wall.push(wall_s);
+        rss.push(peak);
+        tsv.row(&[
+            mode.clone(),
+            format!("{run}"),
+            format!("{}", lab.fleet.nodes),
+            format!("{}", report.contacts),
+            format!("{}", report.created()),
+            f(report.delivery_rate()),
+            format!("{}", report.expired),
+            f(wall_s),
+            f(peak),
+        ]);
+    }
+    tsv.comment(&format!(
+        "mean delivery = {}, mean wall = {} s, peak rss = {} MB",
+        f(delivery.mean().unwrap_or(0.0)),
+        f(wall.mean().unwrap_or(0.0)),
+        f(rss.max().unwrap_or(0.0)),
+    ));
+
+    if max_rss_mb > 0 {
+        let peak = rss.max().unwrap_or(0.0);
+        // Panic, don't exit: the standalone binary still dies non-zero
+        // (CI's check), while fig_all's per-plan catch_unwind records one
+        // FAIL row and keeps running the remaining experiments.
+        assert!(
+            peak <= max_rss_mb as f64,
+            "scale family FAILED: peak RSS {peak:.1} MB exceeds the \
+             RAPID_SCALE_MAX_RSS_MB bound ({max_rss_mb} MB)"
+        );
+        eprintln!("scale family: peak RSS {peak:.1} MB within the {max_rss_mb} MB bound");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_run_is_deterministic_and_bounded() {
+        let lab = ScaleLab {
+            fleet: ScaleFleet {
+                nodes: 2_000,
+                contacts: 5_000,
+                opportunity_bytes: 16 * 1024,
+                contact_duration: TimeDelta::ZERO,
+                horizon: Time::from_secs(1800),
+                hubs: 16,
+                hub_bias: 0.5,
+            },
+            packets: 500,
+            buffer: 64 * 1024,
+            deadline: TimeDelta::from_secs(60),
+            ttl: TimeDelta::from_secs(600),
+            seed: 11,
+        };
+        let a = run_spec(&lab.spec(0), Proto::Random);
+        let b = run_spec(&lab.spec(0), Proto::Random);
+        assert_eq!(a, b, "streamed scale runs replay bit-identically");
+        assert!(a.created() > 300, "workload materialized: {}", a.created());
+        assert!(a.contacts > 4000, "contacts driven: {}", a.contacts);
+
+        // The streamed and materialized paths simulate the same scenario.
+        let m = run_spec(&lab.spec_materialized(0), Proto::Random);
+        assert_eq!(a, m, "materialized baseline must match the stream");
+    }
+}

@@ -8,11 +8,11 @@
 //! calibration.
 
 use crate::proto::Proto;
-use crate::runner::{run_spec, RunSpec};
+use crate::runner::{run_spec, ContactsSpec, PacketsSpec, RunSpec};
 use dtn_mobility::{PowerLaw, UniformExponential};
 use dtn_sim::workload::pairwise_poisson;
 use dtn_sim::{SimReport, Time, TimeDelta};
-use dtn_stats::SeedStream;
+use dtn_stats::{Mergeable, SeedStream};
 
 /// Packet size (Table 4: 1 KB).
 pub const PACKET_BYTES: u64 = 1024;
@@ -100,8 +100,8 @@ impl SynthLab {
             &mut wl_rng,
         );
         RunSpec {
-            schedule,
-            workload,
+            contacts: ContactsSpec::shared(schedule),
+            packets: PacketsSpec::shared(workload),
             nodes: self.nodes,
             buffer: buffer_override.unwrap_or(self.buffer),
             deadline: self.deadline,
@@ -128,6 +128,29 @@ impl SynthLab {
             run_spec(&spec, proto)
         })
     }
+
+    /// Streaming variant of [`SynthLab::run_many`]: run reports fold into
+    /// a [`SynthAcc`] in run order as they complete — same parallelism,
+    /// bounded memory, bit-identical aggregate.
+    pub fn run_many_agg(
+        &self,
+        mobility: Mobility,
+        runs: u32,
+        load: f64,
+        buffer_override: Option<u64>,
+        proto: Proto,
+    ) -> SynthAggregate {
+        let mut acc = SynthAcc::new(runs as usize);
+        crate::parallel_reduce(
+            runs as usize,
+            |r| {
+                let spec = self.spec(mobility, r as u32, load, buffer_override);
+                run_spec(&spec, proto)
+            },
+            |_, report| acc.push(&report),
+        );
+        acc.finish()
+    }
 }
 
 /// Synthetic aggregate (seconds scale, unlike the trace minutes scale).
@@ -143,17 +166,56 @@ pub struct SynthAggregate {
     pub within_deadline: f64,
 }
 
+/// Streaming accumulator behind [`SynthAggregate`]: fixed expected count,
+/// so the float operations match the collected reduction bit-for-bit;
+/// mergeable across shards.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthAcc {
+    n: f64,
+    agg: SynthAggregate,
+}
+
+impl SynthAcc {
+    /// An accumulator expecting `runs` reports.
+    pub fn new(runs: usize) -> Self {
+        Self {
+            n: runs.max(1) as f64,
+            agg: SynthAggregate::default(),
+        }
+    }
+
+    /// Absorbs one run report.
+    pub fn push(&mut self, r: &SimReport) {
+        let n = self.n;
+        self.agg.avg_delay_s += r.avg_delay_secs().unwrap_or(0.0) / n;
+        self.agg.max_delay_s += r.max_delay_secs().unwrap_or(0.0) / n;
+        self.agg.delivery_rate += r.delivery_rate() / n;
+        self.agg.within_deadline += r.within_deadline_rate(None) / n;
+    }
+
+    /// The aggregate over everything pushed.
+    pub fn finish(self) -> SynthAggregate {
+        self.agg
+    }
+}
+
+impl Mergeable for SynthAcc {
+    fn merge(&mut self, other: Self) {
+        debug_assert_eq!(self.n, other.n, "shards must share the expected count");
+        self.agg.avg_delay_s += other.agg.avg_delay_s;
+        self.agg.max_delay_s += other.agg.max_delay_s;
+        self.agg.delivery_rate += other.agg.delivery_rate;
+        self.agg.within_deadline += other.agg.within_deadline;
+    }
+}
+
 /// Reduces run reports to a [`SynthAggregate`].
 pub fn aggregate(reports: &[SimReport]) -> SynthAggregate {
-    let n = reports.len().max(1) as f64;
-    let mut agg = SynthAggregate::default();
+    let mut acc = SynthAcc::new(reports.len());
     for r in reports {
-        agg.avg_delay_s += r.avg_delay_secs().unwrap_or(0.0) / n;
-        agg.max_delay_s += r.max_delay_secs().unwrap_or(0.0) / n;
-        agg.delivery_rate += r.delivery_rate() / n;
-        agg.within_deadline += r.within_deadline_rate(None) / n;
+        acc.push(r);
     }
-    agg
+    acc.finish()
 }
 
 #[cfg(test)]
@@ -165,7 +227,7 @@ mod tests {
         let lab = SynthLab::new(5);
         let lo = lab.spec(Mobility::Exponential, 0, 5.0, None);
         let hi = lab.spec(Mobility::Exponential, 0, 40.0, None);
-        let ratio = hi.workload.len() as f64 / lo.workload.len() as f64;
+        let ratio = hi.packets.materialize().len() as f64 / lo.packets.materialize().len() as f64;
         assert!(ratio > 5.0 && ratio < 12.0, "ratio {ratio}");
         assert_eq!(lo.buffer, 100 * 1024);
         let small = lab.spec(Mobility::Exponential, 0, 5.0, Some(10 * 1024));
@@ -177,8 +239,19 @@ mod tests {
         let lab = SynthLab::new(5);
         let a = lab.spec(Mobility::PowerLaw, 0, 5.0, None);
         let b = lab.spec(Mobility::PowerLaw, 0, 5.0, None);
-        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.contacts.materialize(), b.contacts.materialize());
         let c = lab.spec(Mobility::Exponential, 0, 5.0, None);
-        assert_ne!(a.schedule, c.schedule);
+        assert_ne!(a.contacts.materialize(), c.contacts.materialize());
+    }
+
+    #[test]
+    fn streaming_aggregate_matches_collected() {
+        let lab = SynthLab::new(5);
+        let collected = aggregate(&lab.run_many(Mobility::PowerLaw, 2, 10.0, None, Proto::Random));
+        let streamed = lab.run_many_agg(Mobility::PowerLaw, 2, 10.0, None, Proto::Random);
+        assert_eq!(collected.avg_delay_s, streamed.avg_delay_s);
+        assert_eq!(collected.max_delay_s, streamed.max_delay_s);
+        assert_eq!(collected.delivery_rate, streamed.delivery_rate);
+        assert_eq!(collected.within_deadline, streamed.within_deadline);
     }
 }

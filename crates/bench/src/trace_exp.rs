@@ -14,13 +14,21 @@
 //!   (each on-road bus receives `L` packets per hour from uniformly chosen
 //!   on-road sources). Both calibration choices are recorded in
 //!   EXPERIMENTS.md.
+//!
+//! The warm-up prefix plus measured day are *streamed* into each run
+//! ([`DieselNet::stream_days`] behind an `Arc`'d fleet): the multi-day
+//! contact plan never exists in memory, and concurrent day-runs share the
+//! fleet with zero per-run clones. The emitted window sequence is exactly
+//! the materialized concatenation the seed harness built, so figure TSVs
+//! are byte-identical.
 
 use crate::proto::Proto;
-use crate::runner::{run_spec, RunSpec};
+use crate::runner::{run_spec, ContactsSpec, PacketsSpec, RunSpec};
 use dtn_mobility::{DayTrace, DieselNet, DieselNetConfig};
 use dtn_sim::workload::pairwise_poisson;
 use dtn_sim::{NoiseModel, SimReport, Time, TimeDelta};
-use dtn_stats::SeedStream;
+use dtn_stats::{Mergeable, SeedStream};
+use std::sync::Arc;
 
 /// Packet size used throughout the trace experiments (Table 4: 1 KB).
 pub const PACKET_BYTES: u64 = 1024;
@@ -35,7 +43,7 @@ pub const WARMUP_DAYS: u32 = 5;
 
 /// A configured trace laboratory.
 pub struct TraceLab {
-    fleet: DieselNet,
+    fleet: Arc<DieselNet>,
     seeds: SeedStream,
     /// Delivery deadline (Table 4: 2.7 hours).
     pub deadline: TimeDelta,
@@ -65,7 +73,7 @@ impl TraceLab {
     pub fn with_config(cfg: DieselNetConfig, seed: u64) -> Self {
         let day_length = cfg.day_length;
         Self {
-            fleet: DieselNet::new(cfg, seed),
+            fleet: Arc::new(DieselNet::new(cfg, seed)),
             seeds: SeedStream::new(seed).derive("trace-lab"),
             deadline: TimeDelta::from_secs_f64(2.7 * 3600.0),
             day_length,
@@ -93,20 +101,26 @@ impl TraceLab {
         let n = trace.on_road.len();
         assert!(n >= 2, "a day needs at least two buses");
 
-        // Prepend warm-up days: their contacts teach the protocols meeting
-        // averages; no packets are generated in the warm-up window.
-        let mut contacts = Vec::new();
+        // Warm-up days stream ahead of the measured day: their contacts
+        // teach the protocols meeting averages; no packets are generated in
+        // the warm-up window. The factory re-opens the warm-up range per
+        // run — one day's schedule in memory at a time, shared fleet, no
+        // clones — and chains the measured day's already-generated windows
+        // (shared behind an `Arc`) rather than regenerating them.
         let warmup = day.min(WARMUP_DAYS);
-        for (k, past) in (day - warmup..day).enumerate() {
-            let offset = TimeDelta(self.day_length.0 * k as u64);
-            for w in self.fleet.generate_day(past).schedule.windows() {
-                contacts.push(w.shifted(offset));
-            }
-        }
         let measure_offset = TimeDelta(self.day_length.0 * u64::from(warmup));
-        for w in trace.schedule.windows() {
-            contacts.push(w.shifted(measure_offset));
-        }
+        let stream_fleet = Arc::clone(&self.fleet);
+        let warmup_days = (day - warmup)..day;
+        let measured: Arc<[dtn_sim::ContactWindow]> = trace.schedule.windows().to_vec().into();
+        let contacts = ContactsSpec::streaming(move || {
+            let measured = Arc::clone(&measured);
+            let measured_shifted =
+                (0..measured.len()).map(move |i| measured[i].shifted(measure_offset));
+            Box::new(
+                DieselNet::stream_days(Arc::clone(&stream_fleet), warmup_days.clone())
+                    .chain(measured_shifted),
+            )
+        });
 
         // Load L = packets per hour from each bus to each destination
         // (§5.1: "4 packets per hour generated by each bus for every other
@@ -135,8 +149,8 @@ impl TraceLab {
                 .collect(),
         );
         RunSpec {
-            schedule: dtn_sim::Schedule::new(contacts),
-            workload,
+            contacts,
+            packets: PacketsSpec::shared(workload),
             nodes: self.fleet.config().total_buses,
             buffer: 40 * 1024 * 1024 * 1024, // 40 GB per bus (§5)
             deadline: self.deadline,
@@ -165,6 +179,29 @@ impl TraceLab {
             run_spec(&spec, proto)
         })
     }
+
+    /// Streaming variant of [`TraceLab::run_days`]: day reports are folded
+    /// into a [`TraceAcc`] in day order as they complete, instead of being
+    /// collected — same parallelism, bounded memory, bit-identical
+    /// aggregate.
+    pub fn run_days_agg(
+        &self,
+        days: u32,
+        load_per_dest_per_hour: f64,
+        proto: Proto,
+        noise: Option<NoiseModel>,
+    ) -> TraceAggregate {
+        let mut acc = TraceAcc::new(days as usize);
+        crate::parallel_reduce(
+            days as usize,
+            |d| {
+                let spec = self.day_spec(WARMUP_DAYS + d as u32, load_per_dest_per_hour, 0, noise);
+                run_spec(&spec, proto)
+            },
+            |_, report| acc.push(&report),
+        );
+        acc.finish()
+    }
 }
 
 /// Aggregates per-day reports into the metrics the figures plot.
@@ -188,11 +225,29 @@ pub struct TraceAggregate {
     pub metadata_over_data: f64,
 }
 
-/// Reduces day reports to a [`TraceAggregate`].
-pub fn aggregate(reports: &[SimReport]) -> TraceAggregate {
-    let n = reports.len().max(1) as f64;
-    let mut agg = TraceAggregate::default();
-    for r in reports {
+/// Streaming accumulator behind [`TraceAggregate`]: absorbs one day report
+/// at a time (fixed expected count, so the float operations match the
+/// collected reduction bit-for-bit) and merges across shards for sweeps
+/// that shard work.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceAcc {
+    n: f64,
+    agg: TraceAggregate,
+}
+
+impl TraceAcc {
+    /// An accumulator expecting `runs` reports.
+    pub fn new(runs: usize) -> Self {
+        Self {
+            n: runs.max(1) as f64,
+            agg: TraceAggregate::default(),
+        }
+    }
+
+    /// Absorbs one day report.
+    pub fn push(&mut self, r: &SimReport) {
+        let n = self.n;
+        let agg = &mut self.agg;
         agg.avg_delay_min += r.avg_delay_secs().unwrap_or(0.0) / 60.0 / n;
         agg.max_delay_min += r.max_delay_secs().unwrap_or(0.0) / 60.0 / n;
         agg.delivery_rate += r.delivery_rate() / n;
@@ -203,7 +258,35 @@ pub fn aggregate(reports: &[SimReport]) -> TraceAggregate {
         agg.metadata_over_bandwidth += r.metadata_over_bandwidth() / n;
         agg.metadata_over_data += r.metadata_over_data() / n;
     }
-    agg
+
+    /// The aggregate over everything pushed.
+    pub fn finish(self) -> TraceAggregate {
+        self.agg
+    }
+}
+
+impl Mergeable for TraceAcc {
+    fn merge(&mut self, other: Self) {
+        debug_assert_eq!(self.n, other.n, "shards must share the expected count");
+        let (a, b) = (&mut self.agg, other.agg);
+        a.avg_delay_min += b.avg_delay_min;
+        a.max_delay_min += b.max_delay_min;
+        a.delivery_rate += b.delivery_rate;
+        a.within_deadline += b.within_deadline;
+        a.avg_delay_with_undelivered_min += b.avg_delay_with_undelivered_min;
+        a.utilization += b.utilization;
+        a.metadata_over_bandwidth += b.metadata_over_bandwidth;
+        a.metadata_over_data += b.metadata_over_data;
+    }
+}
+
+/// Reduces day reports to a [`TraceAggregate`].
+pub fn aggregate(reports: &[SimReport]) -> TraceAggregate {
+    let mut acc = TraceAcc::new(reports.len());
+    for r in reports {
+        acc.push(r);
+    }
+    acc.finish()
 }
 
 #[cfg(test)]
@@ -215,16 +298,35 @@ mod tests {
         let lab = TraceLab::load_sweep(3);
         let a = lab.day_spec(0, 10.0, 0, None);
         let b = lab.day_spec(0, 10.0, 0, None);
-        assert_eq!(a.workload, b.workload);
-        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.packets.materialize(), b.packets.materialize());
+        assert_eq!(a.contacts.materialize(), b.contacts.materialize());
         // Different workload draws differ; schedule unchanged.
         let c = lab.day_spec(0, 10.0, 1, None);
-        assert_ne!(a.workload, c.workload);
-        assert_eq!(a.schedule, c.schedule);
+        assert_ne!(a.packets.materialize(), c.packets.materialize());
+        assert_eq!(a.contacts.materialize(), c.contacts.materialize());
         // Load scales packet count roughly linearly.
-        let lo = lab.day_spec(0, 2.0, 0, None).workload.len() as f64;
-        let hi = lab.day_spec(0, 20.0, 0, None).workload.len() as f64;
+        let lo = lab.day_spec(0, 2.0, 0, None).packets.materialize().len() as f64;
+        let hi = lab.day_spec(0, 20.0, 0, None).packets.materialize().len() as f64;
         assert!(hi / lo > 6.0 && hi / lo < 14.0, "ratio {}", hi / lo);
+    }
+
+    #[test]
+    fn day_spec_streams_warmup_prefix_plus_measured_day() {
+        let lab = TraceLab::load_sweep(3);
+        let day = WARMUP_DAYS + 1;
+        let spec = lab.day_spec(day, 4.0, 0, None);
+        let schedule = spec.contacts.materialize();
+        // The materialized counterpart the seed harness built by hand.
+        let mut expected = Vec::new();
+        for (k, past) in ((day - WARMUP_DAYS)..=day).enumerate() {
+            let offset = TimeDelta(lab.day_length.0 * k as u64);
+            for w in lab.fleet().generate_day(past).schedule.windows() {
+                expected.push(w.shifted(offset));
+            }
+        }
+        assert_eq!(schedule.windows(), expected);
+        assert!(schedule.end_time() <= spec.horizon);
+        assert_eq!(Time(spec.measure_from.0).0, lab.day_length.0 * 5);
     }
 
     #[test]
@@ -235,5 +337,19 @@ mod tests {
         let agg = aggregate(&reports);
         assert!(agg.delivery_rate > 0.0 && agg.delivery_rate <= 1.0);
         assert!(agg.avg_delay_min > 0.0);
+    }
+
+    #[test]
+    fn streaming_aggregate_matches_collected() {
+        let lab = TraceLab::load_sweep(3);
+        let collected = aggregate(&lab.run_days(2, 4.0, Proto::Random, None));
+        let streamed = lab.run_days_agg(2, 4.0, Proto::Random, None);
+        assert_eq!(collected.avg_delay_min, streamed.avg_delay_min);
+        assert_eq!(collected.delivery_rate, streamed.delivery_rate);
+        assert_eq!(collected.utilization, streamed.utilization);
+        assert_eq!(
+            collected.metadata_over_bandwidth,
+            streamed.metadata_over_bandwidth
+        );
     }
 }

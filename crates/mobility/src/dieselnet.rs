@@ -22,11 +22,12 @@
 //! absolute numbers.
 
 use crate::exponential::window;
-use dtn_sim::{NodeId, Schedule, Time, TimeDelta};
+use dtn_sim::{ContactWindow, NodeId, Schedule, Time, TimeDelta};
 use dtn_stats::rng::SeedStream;
 use dtn_stats::sample::{poisson_process, Exponential, LogNormal, Poisson};
 use dtn_trace::{ContactRecord, Record, Trace};
 use rand::seq::SliceRandom;
+use std::sync::Arc;
 
 /// Fleet and calibration parameters for the synthetic DieselNet.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -201,6 +202,28 @@ impl DieselNet {
         (0..days).map(|d| self.generate_day(d)).collect()
     }
 
+    /// Streams the windows of consecutive service days, each day shifted
+    /// onto a common timeline (day `days.start + k` by `k · day_length`).
+    ///
+    /// This is the streaming source behind the trace experiments: the
+    /// warm-up prefix plus the measured day are pulled one day at a time
+    /// — each day is generated when the stream reaches it and dropped when
+    /// exhausted, so peak memory is one day's schedule, not the whole
+    /// multi-day contact plan. The emitted sequence is exactly the
+    /// concatenation of the per-day schedules (each internally
+    /// start-sorted; day starts never cross the day boundary), i.e. what
+    /// materializing and stable-sorting all shifted windows would yield.
+    pub fn stream_days(fleet: Arc<Self>, days: std::ops::Range<u32>) -> DayWindowStream {
+        DayWindowStream {
+            day_length: TimeDelta(fleet.cfg.day_length.0),
+            fleet,
+            days,
+            offset: TimeDelta::ZERO,
+            first: true,
+            current: Vec::new().into_iter(),
+        }
+    }
+
     /// Serializes generated days as a contact trace (for persistence and
     /// interchange through `dtn-trace`).
     pub fn to_trace(days: &[DayTrace]) -> Trace {
@@ -213,6 +236,38 @@ impl DieselNet {
             }
         }
         Trace::new(records)
+    }
+}
+
+/// Lazy multi-day window stream built by [`DieselNet::stream_days`].
+#[derive(Debug)]
+pub struct DayWindowStream {
+    fleet: Arc<DieselNet>,
+    days: std::ops::Range<u32>,
+    day_length: TimeDelta,
+    offset: TimeDelta,
+    first: bool,
+    current: std::vec::IntoIter<ContactWindow>,
+}
+
+impl Iterator for DayWindowStream {
+    type Item = ContactWindow;
+
+    fn next(&mut self) -> Option<ContactWindow> {
+        loop {
+            if let Some(w) = self.current.next() {
+                return Some(w.shifted(self.offset));
+            }
+            let day = self.days.next()?;
+            if self.first {
+                self.first = false;
+            } else {
+                self.offset = self.offset + self.day_length;
+            }
+            let windows: Vec<ContactWindow> =
+                self.fleet.generate_day(day).schedule.windows().to_vec();
+            self.current = windows.into_iter();
+        }
     }
 }
 
@@ -407,6 +462,25 @@ mod tests {
         let f = fleet();
         let d = f.generate_day(0);
         assert!(d.schedule.windows().iter().all(|w| w.is_instantaneous()));
+    }
+
+    #[test]
+    fn stream_days_matches_materialized_concatenation() {
+        let f = Arc::new(fleet());
+        let streamed: Vec<ContactWindow> = DieselNet::stream_days(Arc::clone(&f), 3..7).collect();
+        // The materialized counterpart: every day generated, shifted onto
+        // the common timeline, stable-sorted — the TraceLab assembly.
+        let mut expected = Vec::new();
+        for (k, day) in (3..7u32).enumerate() {
+            let offset = TimeDelta(f.config().day_length.0 * k as u64);
+            for w in f.generate_day(day).schedule.windows() {
+                expected.push(w.shifted(offset));
+            }
+        }
+        assert_eq!(streamed, Schedule::new(expected.clone()).windows());
+        assert_eq!(streamed, expected, "days concatenate already sorted");
+        assert!(!streamed.is_empty());
+        assert!(streamed.windows(2).all(|w| w[0].start <= w[1].start));
     }
 
     #[test]

@@ -16,11 +16,22 @@
 //!   directly (which §4.1.2's h-hop meeting-time estimation exists for).
 //!
 //! All generators are deterministic functions of their seed.
+//!
+//! Each substrate also exists in *streaming* form (the [`stream`] module's
+//! [`stream::PairPoissonStream`], [`dieselnet::DayWindowStream`], and the
+//! [`scale`] module's sparse [`scale::ScaleFleet`]): contact windows pulled
+//! lazily in start order from per-run RNG substreams, so the engine never
+//! materializes a schedule. The materialized generators are kept bit-exact
+//! for the seed figures.
 
 pub mod dieselnet;
 pub mod exponential;
 pub mod powerlaw;
+pub mod scale;
+pub mod stream;
 
-pub use dieselnet::{DayTrace, DieselNet, DieselNetConfig};
+pub use dieselnet::{DayTrace, DayWindowStream, DieselNet, DieselNetConfig};
 pub use exponential::UniformExponential;
 pub use powerlaw::PowerLaw;
+pub use scale::{ScaleContactStream, ScaleFleet, ScalePacketStream};
+pub use stream::PairPoissonStream;

@@ -1,0 +1,284 @@
+//! Scale-family scenario sources: O(1)-state generators for fleets far
+//! beyond anything pairwise enumeration can hold.
+//!
+//! The pairwise models keep one RNG per node pair — fine for 20 buses,
+//! hopeless for 100 000 nodes (5 × 10⁹ pairs). This module models the
+//! fleet the other way around, as contact-plan *compression*: meetings
+//! form one global Poisson process (rate = expected contacts / horizon),
+//! and each meeting samples a uniformly random unordered pair. Per-pair
+//! behaviour is still exponential inter-meeting (the thinning of a Poisson
+//! process is Poisson), but generator state is a single clock and RNG —
+//! windows stream in strictly nondecreasing order with O(1) memory, so the
+//! full schedule never exists anywhere.
+//!
+//! A configurable **hub set** (nodes `0..hubs`) models the
+//! millions-of-users-few-gateways shape of a production DTN: meetings are
+//! biased toward hubs with probability `hub_bias`, and the packet source
+//! addresses all traffic *to* hubs — so deliveries actually happen at
+//! 100 000 nodes instead of replicas diffusing forever. `hubs = 0` turns
+//! the bias off (uniform pairs everywhere).
+//!
+//! The packet source is the same shape as the contact source: a global
+//! Poisson creation clock with random (src, dst) draws.
+//!
+//! Both sources are deterministic in `(seed, run)` via the same labelled
+//! substream scheme the rest of the workspace uses.
+
+use dtn_sim::workload::PacketSpec;
+use dtn_sim::{ContactWindow, NodeId, Time, TimeDelta};
+use dtn_stats::sample::Exponential;
+use dtn_stats::SeedStream;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A fleet whose meetings form one global Poisson process over uniformly
+/// random pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleFleet {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Expected number of contact windows over the horizon.
+    pub contacts: u64,
+    /// Transfer opportunity per meeting, bytes.
+    pub opportunity_bytes: u64,
+    /// Fixed contact-window duration (`ZERO` = instantaneous lumps).
+    pub contact_duration: TimeDelta,
+    /// End of the scenario; windows are clamped here.
+    pub horizon: Time,
+    /// Hub nodes (`0..hubs`): popular gateways meetings gravitate toward
+    /// and packets are addressed to. `0` disables the hub structure.
+    pub hubs: usize,
+    /// Probability a meeting's second endpoint is drawn from the hub set
+    /// (only meaningful when `hubs > 0`).
+    pub hub_bias: f64,
+}
+
+impl ScaleFleet {
+    /// Streams the fleet's contact windows for one run.
+    pub fn contact_stream(&self, seed: u64, run: u64) -> ScaleContactStream {
+        assert!(self.nodes >= 2, "need at least two nodes");
+        assert!(self.contacts > 0, "need a positive expected contact count");
+        assert!(self.horizon > Time::ZERO, "need a positive horizon");
+        assert!(self.hubs <= self.nodes, "hub set cannot exceed the fleet");
+        assert!(self.hubs != 1, "need at least two hubs (or none)");
+        assert!(
+            (0.0..=1.0).contains(&self.hub_bias),
+            "hub bias is a probability"
+        );
+        let rate = self.contacts as f64 / self.horizon.as_secs_f64();
+        ScaleContactStream {
+            fleet: *self,
+            gap: Exponential::new(rate),
+            t: 0.0,
+            rng: SeedStream::new(seed)
+                .derive("scale-contacts")
+                .rng_indexed("run", run),
+        }
+    }
+
+    /// Streams a Poisson packet workload for one run: `packets` expected
+    /// creations over the horizon, uniformly random distinct `(src, dst)`.
+    pub fn packet_stream(
+        &self,
+        packets: u64,
+        size_bytes: u64,
+        seed: u64,
+        run: u64,
+    ) -> ScalePacketStream {
+        assert!(self.nodes >= 2, "need at least two nodes");
+        assert!(packets > 0, "need a positive expected packet count");
+        assert!(self.hubs <= self.nodes, "hub set cannot exceed the fleet");
+        let rate = packets as f64 / self.horizon.as_secs_f64();
+        ScalePacketStream {
+            nodes: self.nodes,
+            hubs: self.hubs,
+            size_bytes,
+            horizon: self.horizon,
+            gap: Exponential::new(rate),
+            t: 0.0,
+            rng: SeedStream::new(seed)
+                .derive("scale-packets")
+                .rng_indexed("run", run),
+        }
+    }
+}
+
+/// Draws a random node distinct from `not`, from `0..pool`.
+fn distinct_from(pool: usize, not: usize, rng: &mut StdRng) -> usize {
+    loop {
+        let b = rng.gen_range(0..pool);
+        if b != not {
+            return b;
+        }
+    }
+}
+
+/// Draws a uniformly random unordered pair of distinct nodes.
+fn random_pair(nodes: usize, rng: &mut StdRng) -> (NodeId, NodeId) {
+    let a = rng.gen_range(0..nodes);
+    let b = distinct_from(nodes, a, rng);
+    (NodeId(a as u32), NodeId(b as u32))
+}
+
+/// The global-Poisson contact stream; O(1) state.
+#[derive(Debug)]
+pub struct ScaleContactStream {
+    fleet: ScaleFleet,
+    gap: Exponential,
+    t: f64,
+    rng: StdRng,
+}
+
+impl Iterator for ScaleContactStream {
+    type Item = ContactWindow;
+
+    fn next(&mut self) -> Option<ContactWindow> {
+        self.t += self.gap.sample(&mut self.rng);
+        if self.t >= self.fleet.horizon.as_secs_f64() {
+            return None;
+        }
+        let (a, b) = if self.fleet.hubs > 0 && self.rng.gen::<f64>() < self.fleet.hub_bias {
+            // A gateway meeting: one endpoint from the hub set.
+            let a = self.rng.gen_range(0..self.fleet.nodes);
+            let b = distinct_from(self.fleet.hubs, a, &mut self.rng);
+            (NodeId(a as u32), NodeId(b as u32))
+        } else {
+            random_pair(self.fleet.nodes, &mut self.rng)
+        };
+        let start = Time::from_secs_f64(self.t);
+        Some(if self.fleet.contact_duration == TimeDelta::ZERO {
+            ContactWindow::instant(start, a, b, self.fleet.opportunity_bytes)
+        } else {
+            let rate = (self.fleet.opportunity_bytes as f64
+                / self.fleet.contact_duration.as_secs_f64())
+            .floor()
+            .max(1.0) as u64;
+            let end = (start + self.fleet.contact_duration)
+                .min(self.fleet.horizon)
+                .max(start);
+            ContactWindow::new(start, end, a, b, rate)
+        })
+    }
+}
+
+/// The global-Poisson packet stream; O(1) state.
+#[derive(Debug)]
+pub struct ScalePacketStream {
+    nodes: usize,
+    hubs: usize,
+    size_bytes: u64,
+    horizon: Time,
+    gap: Exponential,
+    t: f64,
+    rng: StdRng,
+}
+
+impl Iterator for ScalePacketStream {
+    type Item = PacketSpec;
+
+    fn next(&mut self) -> Option<PacketSpec> {
+        self.t += self.gap.sample(&mut self.rng);
+        if self.t >= self.horizon.as_secs_f64() {
+            return None;
+        }
+        let (src, dst) = if self.hubs > 0 {
+            // User-to-gateway traffic: every packet is addressed to a hub.
+            let dst = self.rng.gen_range(0..self.hubs);
+            let src = distinct_from(self.nodes, dst, &mut self.rng);
+            (NodeId(src as u32), NodeId(dst as u32))
+        } else {
+            random_pair(self.nodes, &mut self.rng)
+        };
+        Some(PacketSpec {
+            time: Time::from_secs_f64(self.t),
+            src,
+            dst,
+            size_bytes: self.size_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> ScaleFleet {
+        ScaleFleet {
+            nodes: 50_000,
+            contacts: 20_000,
+            opportunity_bytes: 64 * 1024,
+            contact_duration: TimeDelta::ZERO,
+            horizon: Time::from_secs(3600),
+            hubs: 0,
+            hub_bias: 0.0,
+        }
+    }
+
+    #[test]
+    fn contact_count_tracks_expectation() {
+        let count = fleet().contact_stream(1, 0).count() as f64;
+        assert!(
+            (count - 20_000.0).abs() < 20_000.0 * 0.05,
+            "expected ~20000, got {count}"
+        );
+    }
+
+    #[test]
+    fn contacts_are_ordered_valid_and_deterministic() {
+        let f = fleet();
+        let a: Vec<_> = f.contact_stream(1, 0).take(5000).collect();
+        assert!(a.windows(2).all(|w| w[0].start <= w[1].start));
+        assert!(a.iter().all(|w| w.a != w.b
+            && w.a.index() < f.nodes
+            && w.b.index() < f.nodes
+            && w.end <= f.horizon));
+        let b: Vec<_> = f.contact_stream(1, 0).take(5000).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = f.contact_stream(1, 1).take(5000).collect();
+        assert_ne!(a, c, "runs draw independent substreams");
+    }
+
+    #[test]
+    fn durative_scale_windows_clamp() {
+        let f = ScaleFleet {
+            contact_duration: TimeDelta::from_secs(120),
+            ..fleet()
+        };
+        let windows: Vec<_> = f.contact_stream(2, 0).take(2000).collect();
+        assert!(windows.iter().all(|w| w.end <= f.horizon));
+        assert!(windows.iter().any(|w| !w.is_instantaneous()));
+    }
+
+    #[test]
+    fn packets_are_ordered_valid_and_deterministic() {
+        let f = fleet();
+        let a: Vec<_> = f.packet_stream(2000, 1024, 9, 0).collect();
+        assert!((a.len() as f64 - 2000.0).abs() < 2000.0 * 0.15);
+        assert!(a.windows(2).all(|p| p[0].time <= p[1].time));
+        assert!(a.iter().all(|p| p.src != p.dst && p.time < f.horizon));
+        let b: Vec<_> = f.packet_stream(2000, 1024, 9, 0).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hub_structure_biases_meetings_and_addresses_traffic() {
+        let f = ScaleFleet {
+            hubs: 16,
+            hub_bias: 0.5,
+            ..fleet()
+        };
+        let windows: Vec<_> = f.contact_stream(4, 0).take(4000).collect();
+        let hub_meetings = windows
+            .iter()
+            .filter(|w| w.a.index() < 16 || w.b.index() < 16)
+            .count() as f64;
+        let share = hub_meetings / windows.len() as f64;
+        assert!(
+            (0.4..0.6).contains(&share),
+            "hub meeting share {share} far from bias"
+        );
+        assert!(windows.iter().all(|w| w.a != w.b));
+        let packets: Vec<_> = f.packet_stream(1000, 1024, 4, 0).collect();
+        assert!(packets.iter().all(|p| p.dst.index() < 16 && p.src != p.dst));
+    }
+}

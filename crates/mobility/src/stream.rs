@@ -1,0 +1,293 @@
+//! Streaming mobility sources: contact windows pulled lazily in time order.
+//!
+//! The materialized generators ([`UniformExponential::generate_windows`],
+//! [`PowerLaw::generate_windows`]) draw every pair's full Poisson process
+//! from one sequential RNG and sort — which is exactly what the seed
+//! figures replay, and exactly what does not scale: the whole schedule
+//! lives in memory before the first contact is simulated.
+//!
+//! The streaming counterparts here invert that: every unordered node pair
+//! owns an independent RNG substream derived from `(seed, run, pair)`, and
+//! a k-way heap merge yields windows one at a time in nondecreasing start
+//! order. Memory is O(pairs) — one pending arrival per pair — regardless
+//! of how many meetings the horizon holds, and the emitted sequence is
+//! *identical* to materializing every pair's process and stable-sorting
+//! (the [`Schedule`] counterpart built by
+//! [`PairPoissonStream::materialize`]), which the property tests verify.
+//! Because the substreams are independent, the sequence is also unaffected
+//! by how pulls interleave with other sources.
+//!
+//! The per-pair substream scheme intentionally differs from the
+//! single-sequential-RNG materialized generators: those are kept bit-exact
+//! for the seed figures, while streaming scenarios opt into the scheme that
+//! can scale. Both are deterministic in `(seed, run)`.
+
+use crate::exponential::window;
+use crate::{PowerLaw, UniformExponential};
+use dtn_sim::{ContactWindow, NodeId, Schedule, Time, TimeDelta};
+use dtn_stats::sample::Exponential;
+use dtn_stats::SeedStream;
+use rand::rngs::StdRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One pair's meeting process: an exponential-gap clock over its own RNG.
+#[derive(Debug)]
+struct PairState {
+    a: NodeId,
+    b: NodeId,
+    gap: Exponential,
+    /// Current arrival time, seconds (the one pending in the heap).
+    t: f64,
+    rng: StdRng,
+}
+
+/// A lazy, time-ordered merge of per-pair Poisson meeting processes.
+///
+/// Built by [`UniformExponential::stream`] and [`PowerLaw::stream`];
+/// implements [`Iterator`] (and therefore `dtn_sim::ContactSource`).
+#[derive(Debug)]
+pub struct PairPoissonStream {
+    pairs: Vec<PairState>,
+    /// Min-heap of `(start µs, pair id)` — one pending arrival per pair.
+    /// Tying on microseconds breaks by pair id, matching the stable sort
+    /// of the materialized counterpart (pairs are pushed in id order).
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    opportunity_bytes: u64,
+    duration: TimeDelta,
+    horizon: Time,
+}
+
+impl PairPoissonStream {
+    /// Builds the stream. `mean_of(i, j)` gives the pair's mean
+    /// inter-meeting time in seconds; pair RNGs derive from
+    /// `(seeds, run, pair id)` in lexicographic `(i, j)` order.
+    fn build(
+        nodes: usize,
+        mean_of: impl Fn(usize, usize) -> f64,
+        opportunity_bytes: u64,
+        duration: TimeDelta,
+        horizon: Time,
+        seeds: &SeedStream,
+        run: u64,
+    ) -> Self {
+        assert!(nodes >= 2, "need at least two nodes");
+        let pair_count = nodes * (nodes - 1) / 2;
+        assert!(
+            u32::try_from(pair_count).is_ok(),
+            "pair space too large for a pairwise stream; use a sparse scale source"
+        );
+        let horizon_secs = horizon.as_secs_f64();
+        let mut pairs = Vec::with_capacity(pair_count);
+        let mut heap = BinaryHeap::with_capacity(pair_count);
+        let mut p = 0u32;
+        for i in 0..nodes {
+            for j in (i + 1)..nodes {
+                let mean = mean_of(i, j);
+                assert!(mean > 0.0, "pair mean inter-meeting time must be positive");
+                let gap = Exponential::new(1.0 / mean);
+                let mut rng = seeds.rng_indexed("pair", (run << 32) | u64::from(p));
+                let t = gap.sample(&mut rng);
+                if t < horizon_secs {
+                    heap.push(Reverse((Time::from_secs_f64(t).0, p)));
+                }
+                pairs.push(PairState {
+                    a: NodeId(i as u32),
+                    b: NodeId(j as u32),
+                    gap,
+                    t,
+                    rng,
+                });
+                p += 1;
+            }
+        }
+        Self {
+            pairs,
+            heap,
+            opportunity_bytes,
+            duration,
+            horizon,
+        }
+    }
+
+    /// The materialized [`Schedule`] counterpart: every pair's process
+    /// generated to completion from the same substreams, then
+    /// stable-sorted. Yields exactly the windows [`Iterator::next`] would,
+    /// in the same order — the equivalence the property tests pin down.
+    pub fn materialize(mut self) -> Schedule {
+        let horizon_secs = self.horizon.as_secs_f64();
+        let mut windows = Vec::new();
+        for pair in &mut self.pairs {
+            let mut t = pair.t;
+            while t < horizon_secs {
+                windows.push(window(
+                    Time::from_secs_f64(t),
+                    pair.a,
+                    pair.b,
+                    self.opportunity_bytes,
+                    self.duration,
+                    self.horizon,
+                ));
+                t += pair.gap.sample(&mut pair.rng);
+            }
+        }
+        Schedule::new(windows)
+    }
+}
+
+impl Iterator for PairPoissonStream {
+    type Item = ContactWindow;
+
+    fn next(&mut self) -> Option<ContactWindow> {
+        let Reverse((_, p)) = self.heap.pop()?;
+        let pair = &mut self.pairs[p as usize];
+        let emitted = window(
+            Time::from_secs_f64(pair.t),
+            pair.a,
+            pair.b,
+            self.opportunity_bytes,
+            self.duration,
+            self.horizon,
+        );
+        pair.t += pair.gap.sample(&mut pair.rng);
+        if pair.t < self.horizon.as_secs_f64() {
+            self.heap.push(Reverse((Time::from_secs_f64(pair.t).0, p)));
+        }
+        Some(emitted)
+    }
+}
+
+impl UniformExponential {
+    /// Streaming counterpart of [`UniformExponential::generate_windows`]:
+    /// same model, per-pair RNG substreams derived from `(seed, run)`,
+    /// windows pulled lazily in start order.
+    pub fn stream(
+        &self,
+        horizon: Time,
+        duration: TimeDelta,
+        seed: u64,
+        run: u64,
+    ) -> PairPoissonStream {
+        assert!(
+            self.mean_inter_meeting > TimeDelta::ZERO,
+            "mean inter-meeting time must be positive"
+        );
+        let mean = self.mean_inter_meeting.as_secs_f64();
+        PairPoissonStream::build(
+            self.nodes,
+            |_, _| mean,
+            self.opportunity_bytes,
+            duration,
+            horizon,
+            &SeedStream::new(seed).derive("exp-stream"),
+            run,
+        )
+    }
+}
+
+impl PowerLaw {
+    /// Streaming counterpart of [`PowerLaw::generate_windows`]: popularity
+    /// ranks are drawn from the `(seed, run)` substream, then every pair
+    /// streams from its own substream.
+    pub fn stream(
+        &self,
+        horizon: Time,
+        duration: TimeDelta,
+        seed: u64,
+        run: u64,
+    ) -> PairPoissonStream {
+        assert!(
+            self.base_mean > TimeDelta::ZERO,
+            "base mean must be positive"
+        );
+        let seeds = SeedStream::new(seed).derive("pl-stream");
+        let ranks = self.draw_popularity(&mut seeds.rng_indexed("ranks", run));
+
+        // Normalizer: average rank product over unordered pairs (matches
+        // the materialized generator).
+        let mut sum = 0.0f64;
+        let mut pair_count = 0.0f64;
+        for i in 0..self.nodes {
+            for j in (i + 1)..self.nodes {
+                sum += f64::from(ranks[i] * ranks[j]);
+                pair_count += 1.0;
+            }
+        }
+        let norm = sum / pair_count;
+        let base = self.base_mean.as_secs_f64();
+
+        PairPoissonStream::build(
+            self.nodes,
+            |i, j| base * f64::from(ranks[i] * ranks[j]) / norm,
+            self.opportunity_bytes,
+            duration,
+            horizon,
+            &seeds,
+            run,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp_model() -> UniformExponential {
+        UniformExponential {
+            nodes: 8,
+            mean_inter_meeting: TimeDelta::from_secs(50),
+            opportunity_bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn stream_matches_materialized_schedule() {
+        let model = exp_model();
+        let horizon = Time::from_secs(2000);
+        let streamed: Vec<ContactWindow> = model.stream(horizon, TimeDelta::ZERO, 7, 0).collect();
+        let materialized = model.stream(horizon, TimeDelta::ZERO, 7, 0).materialize();
+        assert!(!streamed.is_empty());
+        assert_eq!(streamed, materialized.windows());
+    }
+
+    #[test]
+    fn stream_is_time_ordered_and_run_sensitive() {
+        let model = exp_model();
+        let horizon = Time::from_secs(1000);
+        let a: Vec<_> = model.stream(horizon, TimeDelta::ZERO, 7, 0).collect();
+        assert!(a.windows(2).all(|w| w[0].start <= w[1].start));
+        let b: Vec<_> = model.stream(horizon, TimeDelta::ZERO, 7, 1).collect();
+        assert_ne!(a, b, "different runs draw different substreams");
+        let c: Vec<_> = model.stream(horizon, TimeDelta::ZERO, 7, 0).collect();
+        assert_eq!(a, c, "same (seed, run) replays identically");
+    }
+
+    #[test]
+    fn powerlaw_stream_matches_materialized() {
+        let model = PowerLaw {
+            nodes: 8,
+            base_mean: TimeDelta::from_secs(80),
+            opportunity_bytes: 1024,
+        };
+        let horizon = Time::from_secs(3000);
+        let streamed: Vec<ContactWindow> = model
+            .stream(horizon, TimeDelta::from_secs(30), 3, 2)
+            .collect();
+        let materialized = model
+            .stream(horizon, TimeDelta::from_secs(30), 3, 2)
+            .materialize();
+        assert_eq!(streamed, materialized.windows());
+        assert!(streamed.iter().all(|w| w.end <= horizon));
+    }
+
+    #[test]
+    fn durative_streams_clamp_at_horizon() {
+        let model = exp_model();
+        let horizon = Time::from_secs(500);
+        let windows: Vec<_> = model
+            .stream(horizon, TimeDelta::from_secs(60), 5, 0)
+            .collect();
+        assert!(windows.iter().all(|w| w.end <= horizon));
+        assert!(windows.iter().any(|w| !w.is_instantaneous()));
+    }
+}

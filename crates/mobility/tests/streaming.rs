@@ -1,0 +1,148 @@
+//! Property tests for the streaming mobility sources: every lazy stream
+//! must yield *exactly* the window sequence of its materialized
+//! [`Schedule`] counterpart for a fixed `(seed, run)`, stay in
+//! nondecreasing start order, and be insensitive to how pulls interleave
+//! with other sources (substream independence).
+
+use dtn_mobility::{DieselNet, DieselNetConfig, PowerLaw, ScaleFleet, UniformExponential};
+use dtn_sim::{ContactWindow, Time, TimeDelta};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn exp_model(nodes: usize, mean_s: u64) -> UniformExponential {
+    UniformExponential {
+        nodes,
+        mean_inter_meeting: TimeDelta::from_secs(mean_s),
+        opportunity_bytes: 50_000,
+    }
+}
+
+/// Pulls `a` and `b` alternately according to `pattern` (true = pull from
+/// `a`), then drains both; returns the two sequences.
+fn interleave<I: Iterator<Item = ContactWindow>>(
+    mut a: I,
+    mut b: I,
+    pattern: &[bool],
+) -> (Vec<ContactWindow>, Vec<ContactWindow>) {
+    let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+    for &take_a in pattern {
+        if take_a {
+            out_a.extend(a.next());
+        } else {
+            out_b.extend(b.next());
+        }
+    }
+    out_a.extend(a);
+    out_b.extend(b);
+    (out_a, out_b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn exponential_stream_equals_materialized(
+        nodes in 2usize..8,
+        mean_s in 20u64..200,
+        horizon_s in 100u64..1200,
+        duration_s in 0u64..90,
+        seed in 0u64..1000,
+        run in 0u64..4,
+    ) {
+        let model = exp_model(nodes, mean_s);
+        let horizon = Time::from_secs(horizon_s);
+        let duration = TimeDelta::from_secs(duration_s);
+        let streamed: Vec<ContactWindow> =
+            model.stream(horizon, duration, seed, run).collect();
+        let materialized = model.stream(horizon, duration, seed, run).materialize();
+        prop_assert_eq!(&streamed[..], materialized.windows());
+        prop_assert!(streamed.windows(2).all(|w| w[0].start <= w[1].start));
+        prop_assert!(streamed.iter().all(|w| w.end <= horizon && w.a != w.b));
+    }
+
+    #[test]
+    fn powerlaw_stream_equals_materialized(
+        nodes in 2usize..8,
+        base_s in 30u64..300,
+        horizon_s in 100u64..1200,
+        seed in 0u64..1000,
+        run in 0u64..4,
+    ) {
+        let model = PowerLaw {
+            nodes,
+            base_mean: TimeDelta::from_secs(base_s),
+            opportunity_bytes: 1024,
+        };
+        let horizon = Time::from_secs(horizon_s);
+        let streamed: Vec<ContactWindow> =
+            model.stream(horizon, TimeDelta::ZERO, seed, run).collect();
+        let materialized = model.stream(horizon, TimeDelta::ZERO, seed, run).materialize();
+        prop_assert_eq!(&streamed[..], materialized.windows());
+        prop_assert!(streamed.windows(2).all(|w| w[0].start <= w[1].start));
+    }
+
+    #[test]
+    fn interleaved_pulls_do_not_perturb_streams(
+        pattern in prop::collection::vec(any::<bool>(), 0..200),
+        seed in 0u64..1000,
+    ) {
+        // Two runs of the same model share nothing: however their pulls
+        // interleave, each yields its own straight-collected sequence.
+        let model = exp_model(5, 40);
+        let horizon = Time::from_secs(600);
+        let expect_a: Vec<ContactWindow> =
+            model.stream(horizon, TimeDelta::ZERO, seed, 0).collect();
+        let expect_b: Vec<ContactWindow> =
+            model.stream(horizon, TimeDelta::ZERO, seed, 1).collect();
+        let (got_a, got_b) = interleave(
+            model.stream(horizon, TimeDelta::ZERO, seed, 0),
+            model.stream(horizon, TimeDelta::ZERO, seed, 1),
+            &pattern,
+        );
+        prop_assert_eq!(got_a, expect_a);
+        prop_assert_eq!(got_b, expect_b);
+    }
+
+    #[test]
+    fn dieselnet_day_stream_equals_materialized_concatenation(
+        seed in 0u64..500,
+        first_day in 0u32..10,
+        days in 1u32..5,
+    ) {
+        let fleet = Arc::new(DieselNet::new(DieselNetConfig::default(), seed));
+        let range = first_day..(first_day + days);
+        let streamed: Vec<ContactWindow> =
+            DieselNet::stream_days(Arc::clone(&fleet), range.clone()).collect();
+        let mut expected = Vec::new();
+        for (k, day) in range.enumerate() {
+            let offset = TimeDelta(fleet.config().day_length.0 * k as u64);
+            for w in fleet.generate_day(day).schedule.windows() {
+                expected.push(w.shifted(offset));
+            }
+        }
+        prop_assert_eq!(streamed, expected);
+    }
+
+    #[test]
+    fn scale_stream_is_a_stable_prefix_order(
+        seed in 0u64..1000,
+        run in 0u64..4,
+        k in 1usize..400,
+    ) {
+        let fleet = ScaleFleet {
+            nodes: 10_000,
+            contacts: 2_000,
+            opportunity_bytes: 4096,
+            contact_duration: TimeDelta::ZERO,
+            horizon: Time::from_secs(1800),
+            hubs: 32,
+            hub_bias: 0.3,
+        };
+        // Pulling a prefix never changes what the prefix contains.
+        let full: Vec<ContactWindow> = fleet.contact_stream(seed, run).collect();
+        let prefix: Vec<ContactWindow> =
+            fleet.contact_stream(seed, run).take(k.min(full.len())).collect();
+        prop_assert_eq!(&full[..prefix.len()], &prefix[..]);
+        prop_assert!(full.windows(2).all(|w| w[0].start <= w[1].start));
+    }
+}

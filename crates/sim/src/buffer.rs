@@ -9,17 +9,19 @@
 //! delete randomly — §6.3.2). Iteration order is `PacketId` order, so every
 //! protocol sees a deterministic view.
 //!
-//! Internally the buffer is dense-indexed (see [`crate::ids`]): membership
-//! is an [`IndexSet`] bitset over the packet arena, replica metadata lives
-//! in a slab addressed through a sparse slot table, and replicas are
-//! additionally threaded onto **per-destination delivery-order queues**
-//! (the paper's Fig. 1 ordering: oldest creation first, id tie-break) with
-//! running prefix byte sums. That makes `b(i)` — the bytes queued ahead of
-//! a packet for its destination, the input to Estimate Delay's Eq. 5 —
-//! an O(log n) query ([`NodeBuffer::bytes_ahead`]) instead of a scan, and
-//! lets protocol-side queue snapshots be built in O(n) without re-sorting.
+//! Internally every structure is sized by what the buffer *stores*, never
+//! by the global id space — a node that holds 50 packets costs 50 packets'
+//! worth of state even in a 100 000-node, million-packet streamed run.
+//! Membership and metadata go through a sorted-by-id index (binary search;
+//! ascending-id iteration falls out for free), replica metadata lives in a
+//! swap-removed slab, and replicas are additionally threaded onto
+//! **per-destination delivery-order queues** (the paper's Fig. 1 ordering:
+//! oldest creation first, id tie-break) with running prefix byte sums.
+//! That makes `b(i)` — the bytes queued ahead of a packet for its
+//! destination, the input to Estimate Delay's Eq. 5 — an O(log n) query
+//! ([`NodeBuffer::bytes_ahead`]) instead of a scan, and lets protocol-side
+//! queue snapshots be built in O(n) without re-sorting.
 
-use crate::ids::{IndexSet, NodeInterner};
 use crate::time::Time;
 use crate::types::{NodeId, Packet, PacketId};
 
@@ -28,16 +30,19 @@ use crate::types::{NodeId, Packet, PacketId};
 pub struct NodeBuffer {
     capacity: u64,
     used: u64,
-    /// Membership bitset over `PacketId` indices — ascending-id iteration.
-    members: IndexSet,
-    /// Sparse `PacketId` index → slab position + 1 (0 = absent).
-    slot_of: Vec<u32>,
+    /// Sorted-by-id membership index: `(id, slab position)`. Binary
+    /// searched for membership/metadata; walked for ascending-id
+    /// iteration. O(stored), unlike a bitset over the packet arena.
+    index: Vec<(PacketId, u32)>,
     /// Replica slab; compacted by swap-remove (order is irrelevant, the
-    /// bitset provides iteration order).
+    /// index provides iteration order).
     slots: Vec<Slot>,
-    /// Destinations seen by this buffer, interned in first-seen order.
-    dsts: NodeInterner,
-    /// Per-destination delivery-order queues, indexed by interned dst.
+    /// Destinations seen by this buffer, in first-seen order (their
+    /// position is the queue index — the stable interning order).
+    dsts: Vec<NodeId>,
+    /// Sorted-by-id lookup: `(dst, queue index)`.
+    dst_index: Vec<(NodeId, u32)>,
+    /// Per-destination delivery-order queues, parallel to `dsts`.
     queues: Vec<Vec<QueueEntry>>,
 }
 
@@ -125,10 +130,10 @@ impl NodeBuffer {
         Self {
             capacity,
             used: 0,
-            members: IndexSet::new(),
-            slot_of: Vec::new(),
+            index: Vec::new(),
             slots: Vec::new(),
-            dsts: NodeInterner::new(),
+            dsts: Vec::new(),
+            dst_index: Vec::new(),
             queues: Vec::new(),
         }
     }
@@ -160,7 +165,7 @@ impl NodeBuffer {
 
     /// Whether a replica of `id` is present.
     pub fn contains(&self, id: PacketId) -> bool {
-        self.members.contains(id.index())
+        self.index.binary_search_by_key(&id, |e| e.0).is_ok()
     }
 
     /// Metadata for a stored replica.
@@ -169,22 +174,54 @@ impl NodeBuffer {
     }
 
     fn slot(&self, id: PacketId) -> Option<usize> {
-        match self.slot_of.get(id.index()) {
-            Some(&v) if v > 0 => Some(v as usize - 1),
-            _ => None,
+        self.index
+            .binary_search_by_key(&id, |e| e.0)
+            .ok()
+            .map(|pos| self.index[pos].1 as usize)
+    }
+
+    /// Repoints the membership index entry for `id` at slab position
+    /// `slot` (after a swap-remove moved it).
+    fn repoint(&mut self, id: PacketId, slot: u32) {
+        let pos = self
+            .index
+            .binary_search_by_key(&id, |e| e.0)
+            .expect("slab entry is indexed");
+        self.index[pos].1 = slot;
+    }
+
+    /// The queue index for `dst`, assigning the next one (first-seen
+    /// order) on first sight.
+    fn intern_dst(&mut self, dst: NodeId) -> usize {
+        match self.dst_index.binary_search_by_key(&dst, |e| e.0) {
+            Ok(pos) => self.dst_index[pos].1 as usize,
+            Err(pos) => {
+                let di = self.dsts.len();
+                self.dsts.push(dst);
+                self.queues.push(Vec::new());
+                self.dst_index.insert(pos, (dst, di as u32));
+                di
+            }
         }
+    }
+
+    fn dst_queue(&self, dst: NodeId) -> Option<usize> {
+        self.dst_index
+            .binary_search_by_key(&dst, |e| e.0)
+            .ok()
+            .map(|pos| self.dst_index[pos].1 as usize)
     }
 
     /// Inserts a replica of `packet`. Returns `false` (and stores nothing)
     /// if there is not enough free space or the replica is already present.
     pub fn insert(&mut self, packet: &Packet, now: Time) -> bool {
         let size_bytes = packet.size_bytes;
-        if self.contains(packet.id) || size_bytes > self.free_bytes() {
+        let index_pos = match self.index.binary_search_by_key(&packet.id, |e| e.0) {
+            Ok(_) => return false, // already present
+            Err(pos) => pos,
+        };
+        if size_bytes > self.free_bytes() {
             return false;
-        }
-        self.members.insert(packet.id.index());
-        if packet.id.index() >= self.slot_of.len() {
-            self.slot_of.resize(packet.id.index() + 1, 0);
         }
         self.slots.push(Slot {
             id: packet.id,
@@ -195,12 +232,10 @@ impl NodeBuffer {
             dst: packet.dst,
             created_at: packet.created_at,
         });
-        self.slot_of[packet.id.index()] = self.slots.len() as u32;
+        self.index
+            .insert(index_pos, (packet.id, self.slots.len() as u32 - 1));
 
-        let di = self.dsts.intern(packet.dst).index();
-        if di >= self.queues.len() {
-            self.queues.resize(di + 1, Vec::new());
-        }
+        let di = self.intern_dst(packet.dst);
         let q = &mut self.queues[di];
         let key = (packet.created_at, packet.id);
         let pos = q.partition_point(|e| (e.created_at, e.id) < key);
@@ -228,25 +263,25 @@ impl NodeBuffer {
 
     /// Removes a replica, returning whether it was present.
     pub fn remove(&mut self, id: PacketId) -> bool {
-        let Some(slot) = self.slot(id) else {
+        let Ok(index_pos) = self.index.binary_search_by_key(&id, |e| e.0) else {
             return false;
         };
+        let slot = self.index[index_pos].1 as usize;
         let Slot {
             meta,
             dst,
             created_at,
             ..
         } = self.slots[slot];
-        self.members.remove(id.index());
-        self.slot_of[id.index()] = 0;
+        self.index.remove(index_pos);
         self.slots.swap_remove(slot);
         if slot < self.slots.len() {
             let moved = self.slots[slot].id;
-            self.slot_of[moved.index()] = slot as u32 + 1;
+            self.repoint(moved, slot as u32);
         }
 
-        let di = self.dsts.get(dst).expect("stored replica has a queue");
-        let q = &mut self.queues[di.index()];
+        let di = self.dst_queue(dst).expect("stored replica has a queue");
+        let q = &mut self.queues[di];
         let key = (created_at, id);
         let pos = q
             .binary_search_by_key(&key, |e| (e.created_at, e.id))
@@ -262,10 +297,9 @@ impl NodeBuffer {
 
     /// Iterates stored replicas in `PacketId` order.
     pub fn iter(&self) -> impl Iterator<Item = (PacketId, StoredMeta)> + '_ {
-        self.members.iter().map(|idx| {
-            let s = self.slot_of[idx] as usize - 1;
-            (self.slots[s].id, self.slots[s].meta)
-        })
+        self.index
+            .iter()
+            .map(|&(id, s)| (id, self.slots[s as usize].meta))
     }
 
     /// The stored packet ids in `PacketId` order, as an owned snapshot.
@@ -281,8 +315,8 @@ impl NodeBuffer {
     /// `(created_at, id)` with running prefix byte sums. Empty if this
     /// buffer holds nothing for `dst`.
     pub fn queue(&self, dst: NodeId) -> &[QueueEntry] {
-        match self.dsts.get(dst) {
-            Some(di) => &self.queues[di.index()],
+        match self.dst_queue(dst) {
+            Some(di) => &self.queues[di],
             None => &[],
         }
     }
@@ -290,14 +324,11 @@ impl NodeBuffer {
     /// The destinations with non-empty queues, in first-seen order, with
     /// their queues. Protocol-side snapshots are built from this in O(n).
     pub fn queues(&self) -> impl Iterator<Item = (NodeId, &[QueueEntry])> + '_ {
-        (0..self.dsts.len()).filter_map(move |i| {
-            let q = &self.queues[i];
-            if q.is_empty() {
-                None
-            } else {
-                Some((self.dsts.id(crate::ids::NodeIdx(i as u32)), q.as_slice()))
-            }
-        })
+        self.dsts
+            .iter()
+            .zip(&self.queues)
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&dst, q)| (dst, q.as_slice()))
     }
 
     /// Bytes queued ahead of a *stored* packet in the `dst` delivery queue

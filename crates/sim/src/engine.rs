@@ -23,6 +23,7 @@ use crate::event::{EventQueue, NodeEvent, SimEvent, WindowIdx};
 use crate::noise::NoiseModel;
 use crate::report::SimReport;
 use crate::routing::{PacketStore, Routing, SimConfig};
+use crate::source::{ContactSource, WorkloadSource};
 use crate::time::{Time, TimeDelta};
 use crate::types::{NodeId, Packet, PacketId};
 use crate::NodeBuffer;
@@ -112,289 +113,381 @@ impl Simulation {
     /// through the [`ContactDriver`]. Identical inputs (including
     /// `config.seed`) produce identical reports.
     ///
-    /// The queue is drained to exhaustion: events scheduled past
-    /// `config.horizon` still execute (the seed engine processed every
-    /// contact it was given), so schedules are expected to respect the
-    /// horizon — the shipped mobility generators clamp window ends at it.
+    /// This is the materialized convenience wrapper around
+    /// [`run_streaming`]: the schedule and workload are streamed through
+    /// borrowing cursors, reproducing the seed engine's drain order
+    /// byte-for-byte.
     pub fn run(&self, routing: &mut dyn Routing) -> SimReport {
-        let n = self.config.nodes;
-        let mut world = EngineWorld {
-            buffers: (0..n)
-                .map(|_| NodeBuffer::new(self.config.buffer_capacity))
-                .collect(),
-            store: PacketStore::default(),
-            delivered_at: Vec::new(),
-            holders: Vec::new(),
-            entered: Vec::new(),
+        let mut contacts = self.schedule.windows().iter().copied();
+        let mut workload = self.workload.specs().iter().copied();
+        run_streaming(
+            &self.config,
+            &mut contacts,
+            &mut workload,
+            &self.churn,
+            self.noise,
+            routing,
+        )
+    }
+}
+
+/// A durative window that is currently open, with its setup loss. The set
+/// is kept in ascending window-index order (windows open in pull order).
+struct OpenWindow {
+    idx: WindowIdx,
+    window: ContactWindow,
+    loss: u64,
+}
+
+/// Executes one run by *pulling* contact windows and packet creations from
+/// streaming sources — the scenario is never materialized, so peak memory
+/// is bounded by the open state (buffers, in-flight packets, open windows),
+/// not the contact-plan size.
+///
+/// The drain order is identical to seeding an [`EventQueue`] with the full
+/// schedule and workload: the queue (churn, window closes, TTL expiries)
+/// and the two sources are merged on the `(time, rank)` key of the event
+/// tie-break table, and ranks are disjoint across the merged streams —
+/// contact starts and creations only ever come from the sources, the other
+/// kinds only from the queue. Within a stream, pull order preserves the
+/// FIFO tie-break the seed engine's stable sorts guaranteed. The sources
+/// must yield nondecreasing times and in-range node ids (asserted as
+/// items are pulled).
+///
+/// Events scheduled past `config.horizon` still execute (the seed engine
+/// processed every contact it was given); generators are expected to clamp
+/// at the horizon.
+pub fn run_streaming(
+    config: &SimConfig,
+    contacts: &mut dyn ContactSource,
+    workload: &mut dyn WorkloadSource,
+    churn: &[NodeEvent],
+    noise: Option<NoiseModel>,
+    routing: &mut dyn Routing,
+) -> SimReport {
+    let n = config.nodes;
+    let mut world = EngineWorld {
+        buffers: (0..n)
+            .map(|_| NodeBuffer::new(config.buffer_capacity))
+            .collect(),
+        store: PacketStore::default(),
+        delivered_at: Vec::new(),
+        holders: Vec::new(),
+        entered: Vec::new(),
+    };
+    let mut noise_rng = stream(config.seed, "sim-noise");
+
+    routing.on_init(config);
+
+    // Only churn is seeded; window closes and TTL expiries are scheduled
+    // as their windows open / packets enter.
+    let mut queue = EventQueue::new();
+    for ev in churn {
+        assert!(ev.node.index() < n, "churn references node outside 0..{n}");
+        let event = if ev.up {
+            SimEvent::NodeUp(ev.node)
+        } else {
+            SimEvent::NodeDown(ev.node)
         };
-        let mut noise_rng = stream(self.config.seed, "sim-noise");
+        queue.push(ev.time, event);
+    }
 
-        routing.on_init(&self.config);
+    let mut up = vec![true; n];
+    let mut open: Vec<OpenWindow> = Vec::new();
 
-        let windows = self.schedule.windows();
-        let specs = self.workload.specs();
+    let mut report = SimReport {
+        horizon: config.horizon,
+        deadline: config.deadline,
+        ..SimReport::default()
+    };
 
-        // Seed the queue: windows and creations in their (stable-sorted)
-        // order, then churn. FIFO tie-breaking preserves those orders at
-        // equal timestamps, matching the seed engine's two-pointer merge.
-        let mut queue = EventQueue::new();
-        for (i, w) in windows.iter().enumerate() {
-            queue.push(w.start, SimEvent::ContactStart(i));
-            if !w.is_instantaneous() {
-                queue.push(w.end, SimEvent::ContactEnd(i));
-            }
-        }
-        for (i, s) in specs.iter().enumerate() {
-            queue.push(s.time, SimEvent::PacketCreated(i));
-        }
-        for ev in &self.churn {
-            let event = if ev.up {
-                SimEvent::NodeUp(ev.node)
-            } else {
-                SimEvent::NodeDown(ev.node)
-            };
-            queue.push(ev.time, event);
-        }
+    let pull_window = |contacts: &mut dyn ContactSource, last_start: &mut Time| {
+        let w = contacts.next_window()?;
+        assert!(
+            w.a.index() < n && w.b.index() < n,
+            "contact references node outside 0..{n}"
+        );
+        assert!(
+            w.start >= *last_start,
+            "contact source must yield nondecreasing start times"
+        );
+        *last_start = w.start;
+        Some(w)
+    };
+    let pull_packet = |workload: &mut dyn WorkloadSource, last_time: &mut Time| {
+        let s = workload.next_packet()?;
+        assert!(
+            s.src.index() < n && s.dst.index() < n,
+            "packet references node outside 0..{n}"
+        );
+        assert!(
+            s.time >= *last_time,
+            "workload source must yield nondecreasing creation times"
+        );
+        *last_time = s.time;
+        Some(s)
+    };
 
-        let mut up = vec![true; n];
-        // Setup-loss bytes per open durative window; `None` = not open.
-        let mut open_loss: Vec<Option<u64>> = vec![None; windows.len()];
-        // Indices of currently open durative windows (kept small and tidy).
-        let mut open: Vec<WindowIdx> = Vec::new();
+    let mut last_window_start = Time::ZERO;
+    let mut last_packet_time = Time::ZERO;
+    let mut next_window = pull_window(contacts, &mut last_window_start);
+    let mut next_window_idx: WindowIdx = 0;
+    let mut next_packet = pull_packet(workload, &mut last_packet_time);
 
-        let mut report = SimReport {
-            horizon: self.config.horizon,
-            deadline: self.config.deadline,
-            ..SimReport::default()
-        };
+    const START_RANK: u8 = 3; // SimEvent::ContactStart
+    const CREATED_RANK: u8 = 4; // SimEvent::PacketCreated
 
-        while let Some((now, event)) = queue.pop() {
-            match event {
-                SimEvent::NodeUp(node) => {
-                    up[node.index()] = true;
-                    routing.on_node_up(node, now);
+    loop {
+        // Three candidates for the earliest event; their (time, rank) keys
+        // never collide across streams because the ranks are disjoint.
+        let queue_key = queue.peek_key();
+        let window_key = next_window.as_ref().map(|w| (w.start, START_RANK));
+        let packet_key = next_packet.as_ref().map(|s| (s.time, CREATED_RANK));
+        let best = [queue_key, window_key, packet_key]
+            .into_iter()
+            .flatten()
+            .min();
+        let Some(best) = best else { break };
+
+        if window_key == Some(best) {
+            let w = next_window.take().expect("window candidate exists");
+            let i = next_window_idx;
+            next_window_idx += 1;
+            next_window = pull_window(contacts, &mut last_window_start);
+            let now = w.start;
+
+            if !up[w.a.index()] || !up[w.b.index()] {
+                // A window never starts while an endpoint is down (and does
+                // not reopen if the node returns mid-span). Gated on the
+                // measured span like the sibling contact counters.
+                if now >= config.measure_from {
+                    report.contacts_suppressed += 1;
                 }
-                SimEvent::NodeDown(node) => {
-                    // Interrupt this node's active windows with the budget
-                    // accrued so far, ascending window index for determinism.
-                    let mut hit: Vec<WindowIdx> = open
-                        .iter()
-                        .copied()
-                        .filter(|&i| windows[i].involves(node))
-                        .collect();
-                    hit.sort_unstable();
-                    for i in hit {
-                        let loss = open_loss[i].take().expect("open window has loss state");
-                        let budget = windows[i].capacity_until(now).saturating_sub(loss);
-                        self.drive_contact(
+                continue;
+            }
+            let measured = now >= config.measure_from;
+            let mut loss = 0u64;
+            if let Some(noise) = &noise {
+                if noise_rng.gen::<f64>() < noise.contact_failure_prob {
+                    if measured {
+                        report.contacts_failed += 1;
+                    }
+                    continue;
+                }
+                if noise.setup_loss_bytes_mean > 0.0 {
+                    loss = Exponential::with_mean(noise.setup_loss_bytes_mean)
+                        .sample(&mut noise_rng) as u64;
+                }
+            }
+            if w.is_instantaneous() {
+                let budget = w.lump_bytes.saturating_sub(loss);
+                drive_contact(
+                    config,
+                    routing,
+                    &mut world,
+                    &mut report,
+                    &w,
+                    now,
+                    budget,
+                    false,
+                );
+            } else {
+                queue.push(w.end, SimEvent::ContactEnd(i));
+                open.push(OpenWindow {
+                    idx: i,
+                    window: w,
+                    loss,
+                });
+            }
+            continue;
+        }
+
+        if packet_key == Some(best) {
+            let spec = next_packet.take().expect("packet candidate exists");
+            next_packet = pull_packet(workload, &mut last_packet_time);
+
+            let id = PacketId(world.store.len() as u32);
+            let packet = Packet {
+                id,
+                src: spec.src,
+                dst: spec.dst,
+                size_bytes: spec.size_bytes,
+                created_at: spec.time,
+            };
+            world.store.push(packet);
+            world.delivered_at.push(None);
+            world.holders.push(Vec::new());
+
+            if !up[spec.src.index()] {
+                // A down node cannot originate traffic.
+                world.entered.push(false);
+                routing.on_creation_dropped(&packet);
+                continue;
+            }
+
+            let buf = &mut world.buffers[spec.src.index()];
+            if buf.free_bytes() < spec.size_bytes {
+                let needed = spec.size_bytes - buf.free_bytes();
+                let victims =
+                    routing.make_room(spec.src, &packet, needed, buf, &world.store, spec.time);
+                for v in victims {
+                    if world.buffers[spec.src.index()].remove(v) {
+                        let list = &mut world.holders[v.index()];
+                        if let Ok(pos) = list.binary_search(&spec.src) {
+                            list.remove(pos);
+                        }
+                    }
+                }
+            }
+            if world.buffers[spec.src.index()].insert(&packet, spec.time) {
+                world.holders[id.index()].push(spec.src);
+                world.entered.push(true);
+                routing.on_packet_created(&packet);
+                if let Some(ttl) = config.ttl {
+                    queue.push(spec.time + ttl, SimEvent::PacketExpired(id));
+                }
+            } else {
+                world.entered.push(false);
+                routing.on_creation_dropped(&packet);
+            }
+            continue;
+        }
+
+        let (now, event) = queue.pop().expect("queue candidate exists");
+        match event {
+            SimEvent::NodeUp(node) => {
+                up[node.index()] = true;
+                routing.on_node_up(node, now);
+            }
+            SimEvent::NodeDown(node) => {
+                // Interrupt this node's active windows with the budget
+                // accrued so far, ascending window index for determinism
+                // (`open` is kept in that order).
+                let mut k = 0;
+                while k < open.len() {
+                    if open[k].window.involves(node) {
+                        let ow = open.remove(k);
+                        let budget = ow.window.capacity_until(now).saturating_sub(ow.loss);
+                        drive_contact(
+                            config,
                             routing,
                             &mut world,
                             &mut report,
-                            &windows[i],
+                            &ow.window,
                             now,
                             budget,
                             true,
                         );
-                    }
-                    open.retain(|&i| open_loss[i].is_some());
-                    up[node.index()] = false;
-                    routing.on_node_down(node, now);
-                }
-                SimEvent::ContactStart(i) => {
-                    let w = windows[i];
-                    if !up[w.a.index()] || !up[w.b.index()] {
-                        // A window never starts while an endpoint is down
-                        // (and does not reopen if the node returns mid-span).
-                        // Gated on the measured span like the sibling
-                        // contact counters.
-                        if now >= self.config.measure_from {
-                            report.contacts_suppressed += 1;
-                        }
-                        continue;
-                    }
-                    let measured = now >= self.config.measure_from;
-                    let mut loss = 0u64;
-                    if let Some(noise) = &self.noise {
-                        if noise_rng.gen::<f64>() < noise.contact_failure_prob {
-                            if measured {
-                                report.contacts_failed += 1;
-                            }
-                            continue;
-                        }
-                        if noise.setup_loss_bytes_mean > 0.0 {
-                            loss = Exponential::with_mean(noise.setup_loss_bytes_mean)
-                                .sample(&mut noise_rng) as u64;
-                        }
-                    }
-                    if w.is_instantaneous() {
-                        let budget = w.lump_bytes.saturating_sub(loss);
-                        self.drive_contact(
-                            routing,
-                            &mut world,
-                            &mut report,
-                            &w,
-                            now,
-                            budget,
-                            false,
-                        );
                     } else {
-                        open_loss[i] = Some(loss);
-                        open.push(i);
+                        k += 1;
                     }
                 }
-                SimEvent::ContactEnd(i) => {
-                    // `None` means the window failed, was suppressed, or was
-                    // already interrupted by churn.
-                    if let Some(loss) = open_loss[i].take() {
-                        open.retain(|&j| j != i);
-                        let budget = windows[i].capacity_until(now).saturating_sub(loss);
-                        self.drive_contact(
-                            routing,
-                            &mut world,
-                            &mut report,
-                            &windows[i],
-                            now,
-                            budget,
-                            false,
-                        );
-                    }
-                }
-                SimEvent::PacketCreated(si) => {
-                    let spec = specs[si];
-                    let id = PacketId(world.store.len() as u32);
-                    let packet = Packet {
-                        id,
-                        src: spec.src,
-                        dst: spec.dst,
-                        size_bytes: spec.size_bytes,
-                        created_at: spec.time,
-                    };
-                    world.store.push(packet);
-                    world.delivered_at.push(None);
-                    world.holders.push(Vec::new());
-
-                    if !up[spec.src.index()] {
-                        // A down node cannot originate traffic.
-                        world.entered.push(false);
-                        routing.on_creation_dropped(&packet);
-                        continue;
-                    }
-
-                    let buf = &mut world.buffers[spec.src.index()];
-                    if buf.free_bytes() < spec.size_bytes {
-                        let needed = spec.size_bytes - buf.free_bytes();
-                        let victims = routing.make_room(
-                            spec.src,
-                            &packet,
-                            needed,
-                            buf,
-                            &world.store,
-                            spec.time,
-                        );
-                        for v in victims {
-                            if world.buffers[spec.src.index()].remove(v) {
-                                let list = &mut world.holders[v.index()];
-                                if let Ok(pos) = list.binary_search(&spec.src) {
-                                    list.remove(pos);
-                                }
-                            }
-                        }
-                    }
-                    if world.buffers[spec.src.index()].insert(&packet, spec.time) {
-                        world.holders[id.index()].push(spec.src);
-                        world.entered.push(true);
-                        routing.on_packet_created(&packet);
-                        if let Some(ttl) = self.config.ttl {
-                            queue.push(spec.time + ttl, SimEvent::PacketExpired(id));
-                        }
-                    } else {
-                        world.entered.push(false);
-                        routing.on_creation_dropped(&packet);
-                    }
-                }
-                SimEvent::PacketExpired(id) => {
-                    if world.delivered_at[id.index()].is_some() {
-                        continue; // delivered before the TTL: nothing to do
-                    }
-                    let holders = std::mem::take(&mut world.holders[id.index()]);
-                    for h in holders {
-                        world.buffers[h.index()].remove(id);
-                    }
-                    report.expired += 1;
-                    routing.on_packet_expired(world.store.get(id));
+                up[node.index()] = false;
+                routing.on_node_down(node, now);
+            }
+            SimEvent::ContactEnd(i) => {
+                // Not in the open set means the window failed, was
+                // suppressed, or was already interrupted by churn.
+                if let Some(pos) = open.iter().position(|ow| ow.idx == i) {
+                    let ow = open.remove(pos);
+                    let budget = ow.window.capacity_until(now).saturating_sub(ow.loss);
+                    drive_contact(
+                        config,
+                        routing,
+                        &mut world,
+                        &mut report,
+                        &ow.window,
+                        now,
+                        budget,
+                        false,
+                    );
                 }
             }
-        }
-
-        // Per-delivery processing latency (deployment emulation only): the
-        // routing decisions above are unaffected; only the recorded delivery
-        // timestamps shift, exactly like computation delay on a bus.
-        if let Some(noise) = &self.noise {
-            if noise.processing_delay_mean > TimeDelta::ZERO {
-                let jitter = Exponential::with_mean(noise.processing_delay_mean.as_secs_f64());
-                for slot in world.delivered_at.iter_mut().flatten() {
-                    *slot += TimeDelta::from_secs_f64(jitter.sample(&mut noise_rng));
+            SimEvent::PacketExpired(id) => {
+                if world.delivered_at[id.index()].is_some() {
+                    continue; // delivered before the TTL: nothing to do
                 }
+                let holders = std::mem::take(&mut world.holders[id.index()]);
+                for h in holders {
+                    world.buffers[h.index()].remove(id);
+                }
+                report.expired += 1;
+                routing.on_packet_expired(world.store.get(id));
+            }
+            SimEvent::ContactStart(_) | SimEvent::PacketCreated(_) => {
+                unreachable!("contact starts and creations come from the sources")
             }
         }
-
-        let outcomes = SimReport::from_parts(
-            world
-                .store
-                .iter()
-                .copied()
-                .zip(world.delivered_at.iter().copied())
-                .zip(world.entered.iter().copied())
-                .map(|((p, d), e)| (p, d, e)),
-            self.config.horizon,
-            self.config.deadline,
-        );
-        report.outcomes = outcomes.outcomes;
-        report
     }
 
-    /// Hands one driven contact to the protocol and accounts its ledger.
-    #[allow(clippy::too_many_arguments)]
-    fn drive_contact(
-        &self,
-        routing: &mut dyn Routing,
-        world: &mut EngineWorld,
-        report: &mut SimReport,
-        w: &ContactWindow,
-        now: Time,
-        budget: u64,
-        interrupted: bool,
-    ) {
-        // Classified by window *start* (the seed engine's contact-time
-        // convention): a warm-up window that spans `measure_from` stays
-        // unmeasured even though it is driven inside the measured span.
-        let measured = w.start >= self.config.measure_from;
-        if measured {
-            report.contacts += 1;
-            report.offered_bytes += 2 * budget;
+    // Per-delivery processing latency (deployment emulation only): the
+    // routing decisions above are unaffected; only the recorded delivery
+    // timestamps shift, exactly like computation delay on a bus.
+    if let Some(noise) = &noise {
+        if noise.processing_delay_mean > TimeDelta::ZERO {
+            let jitter = Exponential::with_mean(noise.processing_delay_mean.as_secs_f64());
+            for slot in world.delivered_at.iter_mut().flatten() {
+                *slot += TimeDelta::from_secs_f64(jitter.sample(&mut noise_rng));
+            }
         }
-        let mut driver = ContactDriver::new(
-            WorldMut {
-                packets: &world.store,
-                buffers: &mut world.buffers,
-                delivered_at: &mut world.delivered_at,
-                holders: &mut world.holders,
-            },
-            now,
-            w.a,
-            w.b,
-            budget,
-            self.config.allow_global_knowledge,
-        );
-        routing.on_contact(&mut driver);
-        let ledger = driver.ledger();
-        if measured {
-            report.data_bytes += ledger.data_bytes;
-            report.metadata_bytes += ledger.metadata_bytes;
-            report.replications += ledger.replications;
-        }
-        routing.on_contact_end(w.a, w.b, now, interrupted);
     }
+
+    let outcomes = SimReport::from_parts(
+        world
+            .store
+            .iter()
+            .copied()
+            .zip(world.delivered_at.iter().copied())
+            .zip(world.entered.iter().copied())
+            .map(|((p, d), e)| (p, d, e)),
+        config.horizon,
+        config.deadline,
+    );
+    report.outcomes = outcomes.outcomes;
+    report
+}
+
+/// Hands one driven contact to the protocol and accounts its ledger.
+#[allow(clippy::too_many_arguments)]
+fn drive_contact(
+    config: &SimConfig,
+    routing: &mut dyn Routing,
+    world: &mut EngineWorld,
+    report: &mut SimReport,
+    w: &ContactWindow,
+    now: Time,
+    budget: u64,
+    interrupted: bool,
+) {
+    // Classified by window *start* (the seed engine's contact-time
+    // convention): a warm-up window that spans `measure_from` stays
+    // unmeasured even though it is driven inside the measured span.
+    let measured = w.start >= config.measure_from;
+    if measured {
+        report.contacts += 1;
+        report.offered_bytes += 2 * budget;
+    }
+    let mut driver = ContactDriver::new(
+        WorldMut {
+            packets: &world.store,
+            buffers: &mut world.buffers,
+            delivered_at: &mut world.delivered_at,
+            holders: &mut world.holders,
+        },
+        now,
+        w.a,
+        w.b,
+        budget,
+        config.allow_global_knowledge,
+    );
+    routing.on_contact(&mut driver);
+    let ledger = driver.ledger();
+    if measured {
+        report.data_bytes += ledger.data_bytes;
+        report.metadata_bytes += ledger.metadata_bytes;
+        report.replications += ledger.replications;
+    }
+    routing.on_contact_end(w.a, w.b, now, interrupted);
 }
 
 /// The engine-owned world state, grouped so helpers can borrow it whole.

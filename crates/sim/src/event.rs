@@ -152,14 +152,24 @@ impl EventQueue {
         }
     }
 
+    /// The `(time, rank)` key of the earliest pending event, without
+    /// removing it. The streaming engine merges the queue against its
+    /// pull-based sources on exactly this key (ranks are disjoint across
+    /// the merged streams, so `(time, rank)` is decisive).
+    pub fn peek_key(&mut self) -> Option<(Time, u8)> {
+        self.sort_backbone();
+        let backbone = self.backbone.get(self.cursor).map(|q| (q.time, q.rank));
+        let overlay = self.overlay.peek().map(|q| (q.time, q.rank));
+        match (backbone, overlay) {
+            (Some(b), Some(o)) => Some(b.min(o)),
+            (b, o) => b.or(o),
+        }
+    }
+
     /// Removes and returns the earliest event (ties broken by rank, then
     /// insertion order).
     pub fn pop(&mut self) -> Option<(Time, SimEvent)> {
-        if !self.sorted {
-            // Stable by construction: equal (time, rank) keep push order.
-            self.backbone.sort_by_key(|q| (q.time, q.rank));
-            self.sorted = true;
-        }
+        self.sort_backbone();
         let backbone_next = self.backbone.get(self.cursor);
         let take_overlay = match (backbone_next, self.overlay.peek()) {
             (Some(b), Some(o)) => (o.time, o.rank, o.seq) < (b.time, b.rank, b.seq),
@@ -173,6 +183,15 @@ impl EventQueue {
                 self.cursor += 1;
                 (q.time, q.event)
             })
+        }
+    }
+
+    /// Sorts the seed backbone on first access (see the type docs).
+    fn sort_backbone(&mut self) {
+        if !self.sorted {
+            // Stable by construction: equal (time, rank) keep push order.
+            self.backbone.sort_by_key(|q| (q.time, q.rank));
+            self.sorted = true;
         }
     }
 
@@ -290,5 +309,21 @@ mod tests {
             Some((Time::from_secs(50), SimEvent::ContactStart(2)))
         );
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_key_tracks_the_front_without_consuming() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_key(), None);
+        q.push(Time::from_secs(10), SimEvent::ContactStart(0));
+        q.push(Time::from_secs(5), SimEvent::PacketCreated(0));
+        assert_eq!(q.peek_key(), Some((Time::from_secs(5), 4)));
+        assert_eq!(q.len(), 2, "peek must not consume");
+        let _ = q.pop();
+        // Overlay (post-drain) events participate in the peeked key.
+        q.push(Time::from_secs(7), SimEvent::PacketExpired(PacketId(0)));
+        assert_eq!(q.peek_key(), Some((Time::from_secs(7), 1)));
+        let _ = q.pop();
+        assert_eq!(q.peek_key(), Some((Time::from_secs(10), 3)));
     }
 }

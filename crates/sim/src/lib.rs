@@ -9,10 +9,11 @@
 //!   and [`types::NodeId`] name things; the [`ids`] module provides dense
 //!   handles ([`ids::PacketIdx`], [`ids::NodeIdx`]), stable interners and
 //!   an index bitset so hot-path state is `Vec`-indexed rather than hashed.
-//!   [`buffer::NodeBuffer`] is built on them: bitset membership, slab
-//!   metadata, and per-destination delivery-order queues with prefix byte
-//!   sums (O(log n) `bytes_ahead` — the `b(i)` input to RAPID's Estimate
-//!   Delay).
+//!   [`buffer::NodeBuffer`] keeps every structure sized by what it
+//!   *stores* (sorted-index membership, slab metadata, per-destination
+//!   delivery-order queues with prefix byte sums — O(log n)
+//!   `bytes_ahead`, the `b(i)` input to RAPID's Estimate Delay), so
+//!   100 000 near-empty buffers cost what they hold, not the id space.
 //! * A DTN is a set of nodes, a [`contact::Schedule`] of transfer
 //!   opportunities, and a [`workload::Workload`] of packets `(u, v, s, t)`.
 //!   Opportunities are durative [`contact::ContactWindow`]s — open over
@@ -31,9 +32,14 @@
 //!   lifecycle hooks ([`routing::Routing::on_contact_end`],
 //!   `on_packet_expired`, `on_node_up`/`on_node_down`) surface the richer
 //!   event kinds to protocols that want them.
-//! * An [`engine::Simulation`] executes a run — including node churn
-//!   ([`event::NodeEvent`]) that interrupts active windows mid-accrual and
-//!   per-packet TTL ([`routing::SimConfig::ttl`]) — and produces a
+//! * Scenarios are *pulled*, never pushed: [`engine::run_streaming`]
+//!   merges a [`source::ContactSource`] and a [`source::WorkloadSource`]
+//!   against the event queue in the documented tie-break order, so a
+//!   run's memory is bounded by its open state, not its contact-plan
+//!   size. [`engine::Simulation`] is the materialized convenience wrapper
+//!   — including node churn ([`event::NodeEvent`]) that interrupts active
+//!   windows mid-accrual and per-packet TTL
+//!   ([`routing::SimConfig::ttl`]) — and produces a
 //!   [`report::SimReport`] with every metric the paper's evaluation uses.
 //!
 //! Design notes (following the networking guides for this workspace): the
@@ -54,6 +60,7 @@ pub mod ids;
 pub mod noise;
 pub mod report;
 pub mod routing;
+pub mod source;
 pub mod time;
 pub mod types;
 pub mod workload;
@@ -62,11 +69,12 @@ pub use acks::{AckTable, PacketSet};
 pub use buffer::{NodeBuffer, QueueEntry, StoredMeta};
 pub use contact::{Contact, ContactWindow, Schedule};
 pub use driver::{ContactDriver, ContactLedger, GlobalView};
-pub use engine::Simulation;
+pub use engine::{run_streaming, Simulation};
 pub use event::{EventQueue, NodeEvent, SimEvent};
 pub use ids::{IndexSet, NodeIdx, NodeInterner, PacketIdx, PacketInterner};
 pub use noise::NoiseModel;
 pub use report::{PacketOutcome, SimReport};
 pub use routing::{PacketStore, Routing, SimConfig, TransferOutcome};
+pub use source::{ContactSource, ScheduleStream, WorkloadSource, WorkloadStream};
 pub use time::{Time, TimeDelta};
 pub use types::{NodeId, Packet, PacketId};

@@ -1,0 +1,151 @@
+//! Mergeable streaming accumulators.
+//!
+//! Sweep aggregation used to collect every run's `SimReport` into a `Vec`
+//! and reduce at the end — O(runs) memory per data point, which fights the
+//! streaming scenario pipeline. These accumulators absorb one run at a
+//! time and can be merged across workers, so a sweep's memory is one
+//! accumulator per data point regardless of how many runs feed it.
+//!
+//! Note on determinism: floating-point addition is not associative, so
+//! `merge` of partial accumulators is *not* guaranteed bit-identical to a
+//! single sequential fold. The experiment harness therefore pushes per-run
+//! values in run-index order when byte-stable output matters (see
+//! `rapid-bench`'s `parallel_reduce`) and reserves `merge` for scale sweeps
+//! where last-bit stability is not part of the contract.
+
+/// A value that can absorb another instance of itself — the reduction half
+/// of a streaming (map, reduce) pair.
+pub trait Mergeable {
+    /// Folds `other` into `self`.
+    fn merge(&mut self, other: Self);
+}
+
+/// Streaming arithmetic mean: `push` values, read `mean` at any point.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamingMean {
+    sum: f64,
+    count: u64,
+}
+
+impl StreamingMean {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one observation.
+    pub fn push(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations so far.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The mean, or `None` before the first observation.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+impl Mergeable for StreamingMean {
+    fn merge(&mut self, other: Self) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// Streaming extrema: the min and max of everything pushed.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Extrema {
+    min: f64,
+    max: f64,
+    seen: bool,
+}
+
+impl Extrema {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one observation.
+    pub fn push(&mut self, value: f64) {
+        if self.seen {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        } else {
+            self.min = value;
+            self.max = value;
+            self.seen = true;
+        }
+    }
+
+    /// The smallest observation, or `None` before the first.
+    pub fn min(&self) -> Option<f64> {
+        self.seen.then_some(self.min)
+    }
+
+    /// The largest observation, or `None` before the first.
+    pub fn max(&self) -> Option<f64> {
+        self.seen.then_some(self.max)
+    }
+}
+
+impl Mergeable for Extrema {
+    fn merge(&mut self, other: Self) {
+        if other.seen {
+            self.push(other.min);
+            self.push(other.max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_mean_streams_and_merges() {
+        let mut a = StreamingMean::new();
+        assert_eq!(a.mean(), None);
+        a.push(1.0);
+        a.push(2.0);
+        assert_eq!(a.mean(), Some(1.5));
+        assert_eq!(a.count(), 2);
+
+        let mut b = StreamingMean::new();
+        b.push(6.0);
+        a.merge(b);
+        assert_eq!(a.mean(), Some(3.0));
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 9.0);
+
+        // Merging an empty accumulator changes nothing.
+        a.merge(StreamingMean::new());
+        assert_eq!(a.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn extrema_streams_and_merges() {
+        let mut a = Extrema::new();
+        assert_eq!(a.min(), None);
+        a.push(3.0);
+        a.push(-1.0);
+        assert_eq!((a.min(), a.max()), (Some(-1.0), Some(3.0)));
+
+        let mut b = Extrema::new();
+        b.push(10.0);
+        a.merge(b);
+        assert_eq!(a.max(), Some(10.0));
+        a.merge(Extrema::new());
+        assert_eq!(a.min(), Some(-1.0));
+    }
+}
