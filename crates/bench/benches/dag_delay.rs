@@ -6,7 +6,6 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dtn_sim::{NodeId, PacketId};
 use dtn_stats::DiscreteDist;
 use rapid_core::{dag_delay, estimate_delay_reference, QueueState};
-use std::collections::HashMap;
 
 fn queues(nodes: usize, depth: usize) -> QueueState {
     // Every node holds the same `depth` packets in order: worst-case
@@ -28,11 +27,10 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for (nodes, depth) in [(4usize, 4usize), (8, 8)] {
         let q = queues(nodes, depth);
-        let meet_dist: HashMap<NodeId, DiscreteDist> = (0..nodes)
+        let meet_dist: Vec<(NodeId, DiscreteDist)> = (0..nodes)
             .map(|n| (NodeId(n as u32), DiscreteDist::exponential(0.01, 1200, 0.5)))
             .collect();
-        let meet_mean: HashMap<NodeId, f64> =
-            (0..nodes).map(|n| (NodeId(n as u32), 100.0)).collect();
+        let meet_mean: Vec<(NodeId, f64)> = (0..nodes).map(|n| (NodeId(n as u32), 100.0)).collect();
         g.bench_function(format!("dag_delay_{nodes}x{depth}"), |b| {
             b.iter(|| dag_delay(black_box(&q), black_box(&meet_dist)))
         });

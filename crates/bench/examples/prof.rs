@@ -1,0 +1,42 @@
+//! Scale-shape cost breakdown: how much of a windows-heavy run is scenario
+//! *generation* versus engine + protocol work. Used to attribute wall
+//! clock when tuning the contact hot path (generation is typically <1%,
+//! so per-contact engine/protocol cost dominates).
+//!
+//! Honors the `RAPID_SCALE_*` knobs and `RAPID_INTRA_JOBS`:
+//!
+//! ```sh
+//! RAPID_SCALE_WINDOWS=1500000 RAPID_SCALE_PACKETS=250 \
+//!     cargo run --release -p rapid-bench --example prof
+//! ```
+
+use rapid_bench::runner::run_spec;
+use rapid_bench::scale::ScaleLab;
+use rapid_bench::Proto;
+use std::time::Instant;
+
+fn main() {
+    let lab = ScaleLab::from_env(7);
+
+    // 1. Generation only: drain both streams without driving the engine.
+    let t0 = Instant::now();
+    let windows = lab.fleet.contact_stream(7, 0).count();
+    let packets = lab.fleet.packet_stream(lab.packets, 1024, 7, 0).count();
+    let gen_s = t0.elapsed().as_secs_f64();
+    eprintln!("generation: {windows} windows + {packets} packets in {gen_s:.3} s");
+
+    // 2. The full run over the same scenario.
+    let t0 = Instant::now();
+    let r = run_spec(&lab.spec(0), Proto::Random);
+    let run_s = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "full run: {} contacts, {} repl, {} data KB, {} expired in {run_s:.3} s \
+         ({:.2} us/contact); engine+proto share = {:.1}%",
+        r.contacts,
+        r.replications,
+        r.data_bytes / 1024,
+        r.expired,
+        run_s * 1e6 / r.contacts as f64,
+        100.0 * (run_s - gen_s) / run_s
+    );
+}

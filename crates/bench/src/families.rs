@@ -151,5 +151,11 @@ pub fn trace_loads() -> Vec<f64> {
 
 /// The standard synthetic load axis (packets per destination per 50 s).
 pub fn synth_loads() -> Vec<f64> {
-    vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0]
+    let mut loads = vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0];
+    // `RAPID_SYNTH_LOADS` truncates the axis to its first N points — the
+    // smoke/equivalence knob (CI and the intra-parallel TSV test run one
+    // point instead of eight).
+    let cap = crate::env_u64("RAPID_SYNTH_LOADS", loads.len() as u64) as usize;
+    loads.truncate(cap.max(1));
+    loads
 }

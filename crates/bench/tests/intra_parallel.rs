@@ -1,0 +1,90 @@
+//! Intra-run parallel equivalence: `RAPID_INTRA_JOBS > 1` must be
+//! observationally identical to the serial engine — same reports, and
+//! byte-identical figure TSVs.
+//!
+//! Everything lives in **one** test function: the figure plans and the
+//! `RAPID_INTRA_JOBS` knob are driven through process environment
+//! variables, so concurrent tests in this binary would race on them.
+
+use dtn_mobility::ScaleFleet;
+use dtn_sim::{Time, TimeDelta};
+use rapid_bench::registry;
+use rapid_bench::runner::{run_spec, ContactsSpec, PacketsSpec, RunSpec};
+use rapid_bench::Proto;
+
+/// A small sparse-fleet run spec (hub traffic, tight buffers, TTL) that
+/// exercises replication, eviction, expiry and full-buffer contacts.
+fn spec(run: u32) -> RunSpec {
+    let fleet = ScaleFleet {
+        nodes: 600,
+        contacts: 4_000,
+        opportunity_bytes: 2 * 1024,
+        contact_duration: TimeDelta::ZERO,
+        horizon: Time::from_secs(1800),
+        hubs: 16,
+        hub_bias: 0.3,
+    };
+    RunSpec {
+        contacts: ContactsSpec::streaming(move || {
+            Box::new(fleet.contact_stream(11, u64::from(run)))
+        }),
+        packets: PacketsSpec::streaming(move || {
+            Box::new(fleet.packet_stream(300, 1024, 11, u64::from(run)))
+        }),
+        nodes: fleet.nodes,
+        buffer: 8 * 1024,
+        deadline: TimeDelta::from_secs(300),
+        horizon: fleet.horizon,
+        seed: 11,
+        noise: None,
+        measure_from: Time::ZERO,
+        churn: Vec::new(),
+        ttl: Some(TimeDelta::from_secs(600)),
+    }
+}
+
+fn run_plan(id: &str) -> String {
+    let plan = registry::find(id).unwrap_or_else(|| panic!("unknown plan {id}"));
+    (plan.run)();
+    std::fs::read_to_string(format!("results/{id}.tsv"))
+        .unwrap_or_else(|e| panic!("results/{id}.tsv unreadable: {e}"))
+}
+
+#[test]
+fn intra_jobs_reproduce_serial_byte_for_byte() {
+    // Shrink every figure to its smoke shape (mirrors the CI smoke).
+    std::env::set_var("RAPID_DAYS", "1");
+    std::env::set_var("RAPID_RUNS", "1");
+    std::env::set_var("RAPID_FIG3_DAYS", "1");
+    std::env::set_var("RAPID_SYNTH_LOADS", "1");
+
+    // Report-level equivalence for the NodeDisjoint protocols on a
+    // sparse-fleet scenario (replication + eviction + TTL expiry).
+    for proto in [Proto::Random, Proto::Epidemic, Proto::RapidAvg] {
+        std::env::set_var("RAPID_INTRA_JOBS", "1");
+        let serial = run_spec(&spec(0), proto);
+        for jobs in ["2", "8"] {
+            std::env::set_var("RAPID_INTRA_JOBS", jobs);
+            let parallel = run_spec(&spec(0), proto);
+            assert_eq!(
+                serial, parallel,
+                "{proto:?} with RAPID_INTRA_JOBS={jobs} diverged from serial"
+            );
+        }
+    }
+
+    // TSV-level equivalence across full figure plans: trace-driven
+    // (fig03), synthetic load sweep (fig16_18) and the durative-window +
+    // churn family (fig_churn) must be byte-identical at 8 workers.
+    for id in ["fig03", "fig16_18", "fig_churn"] {
+        std::env::set_var("RAPID_INTRA_JOBS", "1");
+        let serial = run_plan(id);
+        std::env::set_var("RAPID_INTRA_JOBS", "8");
+        let parallel = run_plan(id);
+        assert_eq!(
+            serial, parallel,
+            "{id} TSV not byte-identical under RAPID_INTRA_JOBS=8"
+        );
+    }
+    std::env::remove_var("RAPID_INTRA_JOBS");
+}

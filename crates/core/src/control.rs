@@ -161,17 +161,25 @@ impl MetaTable {
     /// changes first — so a truncated exchange can advance its watermark to
     /// the last stamp it fully shipped.
     pub fn changed_since(&self, since: Time) -> Vec<(PacketId, usize, Time)> {
-        let mut out: Vec<(PacketId, usize, Time)> = self
-            .iter_live()
-            .filter(|(_, b)| b.changed_at > since)
-            .map(|(id, b)| {
-                let fresh = b.entries.iter().filter(|e| e.stamp > since).count();
-                (id, fresh, b.changed_at)
-            })
-            .filter(|&(_, fresh, _)| fresh > 0)
-            .collect();
-        out.sort_unstable_by_key(|&(id, _, at)| (at, id));
+        let mut out = Vec::new();
+        self.changed_since_into(since, &mut out);
         out
+    }
+
+    /// [`MetaTable::changed_since`] into a reusable buffer (the
+    /// per-contact exchange path calls this with scratch storage).
+    pub fn changed_since_into(&self, since: Time, out: &mut Vec<(PacketId, usize, Time)>) {
+        out.clear();
+        out.extend(
+            self.iter_live()
+                .filter(|(_, b)| b.changed_at > since)
+                .map(|(id, b)| {
+                    let fresh = b.entries.iter().filter(|e| e.stamp > since).count();
+                    (id, fresh, b.changed_at)
+                })
+                .filter(|&(_, fresh, _)| fresh > 0),
+        );
+        out.sort_unstable_by_key(|&(id, _, at)| (at, id));
     }
 
     /// Merges the entries of `other`'s belief about `id` that are newer

@@ -58,7 +58,7 @@ pub mod protocol;
 pub use cache::DelayCache;
 pub use config::{ChannelMode, RapidConfig, RoutingMetric};
 pub use control::{HolderEntry, MetaTable, PacketBelief};
-pub use dag_delay::{dag_delay, estimate_delay_reference, QueueState};
+pub use dag_delay::{dag_delay, delay_of, estimate_delay_reference, QueueState};
 pub use estimate::{
     combined_rate, delay_from_rate, expected_remaining_delay, meetings_needed,
     prob_delivered_within, prob_within_from_rate, replica_delay, QueueSnapshot,

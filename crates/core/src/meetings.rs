@@ -83,10 +83,22 @@ impl MeetingView {
     /// (§4.2: "only sends information about packets whose information
     /// changed since the last exchange" — same discipline for meeting rows).
     pub fn rows_changed_since(&self, since: Time) -> Vec<NodeId> {
-        (0..self.n)
-            .filter(|&u| self.row_stamp[u] > since && self.rows[u].iter().any(|v| v.is_finite()))
-            .map(|u| NodeId(u as u32))
-            .collect()
+        let mut out = Vec::new();
+        self.rows_changed_since_into(since, &mut out);
+        out
+    }
+
+    /// [`MeetingView::rows_changed_since`] into a reusable buffer (the
+    /// per-contact exchange path calls this with scratch storage).
+    pub fn rows_changed_since_into(&self, since: Time, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(
+            (0..self.n)
+                .filter(|&u| {
+                    self.row_stamp[u] > since && self.rows[u].iter().any(|v| v.is_finite())
+                })
+                .map(|u| NodeId(u as u32)),
+        );
     }
 
     /// Merges `peer`'s view into mine: last-writer-wins per row, restricted
@@ -112,18 +124,44 @@ impl MeetingView {
     pub fn expected_meeting_times(&self, hop_limit: usize) -> Vec<f64> {
         expected_meeting_times_from(&self.rows, self.me, hop_limit)
     }
+
+    /// [`MeetingView::expected_meeting_times`] evaluated from an arbitrary
+    /// start node `from` *through this view's believed rows*, written into
+    /// reusable buffers — the allocation-free form the per-contact hot
+    /// path uses (`from == me` for own estimates, `from == peer` for
+    /// valuing the peer's position through learned rows). Bit-identical
+    /// to [`expected_meeting_times_from`] over the same rows.
+    pub fn expected_from_into(
+        &self,
+        from: NodeId,
+        hop_limit: usize,
+        dist: &mut Vec<f64>,
+        scratch: &mut Vec<f64>,
+    ) {
+        expected_meeting_times_from_into(&self.rows, from, hop_limit, dist, scratch);
+    }
 }
 
-/// h-hop expected meeting times from `src` over an arbitrary matrix of
-/// believed direct means. Exposed for the ablation bench on `h`.
-pub fn expected_meeting_times_from(rows: &[Vec<f64>], src: NodeId, hop_limit: usize) -> Vec<f64> {
+/// [`expected_meeting_times_from`] into reusable buffers: `dist` receives
+/// the result, `scratch` holds the per-round snapshot. No allocation once
+/// the buffers have capacity `n`. The relaxation arithmetic (and thus the
+/// result, bitwise) is identical to the allocating form.
+pub fn expected_meeting_times_from_into(
+    rows: &[Vec<f64>],
+    src: NodeId,
+    hop_limit: usize,
+    dist: &mut Vec<f64>,
+    scratch: &mut Vec<f64>,
+) {
     let n = rows.len();
     assert!(hop_limit >= 1, "need at least one hop");
-    let mut dist = rows[src.index()].clone();
+    dist.clear();
+    dist.extend_from_slice(&rows[src.index()]);
     dist[src.index()] = 0.0;
     for _ in 1..hop_limit {
-        let prev = dist.clone();
-        for (y, &dy) in prev.iter().enumerate() {
+        scratch.clear();
+        scratch.extend_from_slice(dist);
+        for (y, &dy) in scratch.iter().enumerate() {
             if !dy.is_finite() || y == src.index() {
                 continue;
             }
@@ -139,6 +177,16 @@ pub fn expected_meeting_times_from(rows: &[Vec<f64>], src: NodeId, hop_limit: us
         }
     }
     dist[src.index()] = 0.0;
+}
+
+/// h-hop expected meeting times from `src` over an arbitrary matrix of
+/// believed direct means. Exposed for the ablation bench on `h`; the
+/// buffer-reusing [`expected_meeting_times_from_into`] is the hot-path
+/// form and this delegates to it.
+pub fn expected_meeting_times_from(rows: &[Vec<f64>], src: NodeId, hop_limit: usize) -> Vec<f64> {
+    let mut dist = Vec::new();
+    let mut scratch = Vec::new();
+    expected_meeting_times_from_into(rows, src, hop_limit, &mut dist, &mut scratch);
     dist
 }
 

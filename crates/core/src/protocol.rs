@@ -16,6 +16,22 @@
 //!
 //! Storage: when a buffer overflows, the lowest-utility packets are dropped
 //! first; a source never drops its own unacknowledged packet (§3.4).
+//!
+//! # Execution model
+//!
+//! All contact-time work runs through [`ContactExec`], which views the
+//! per-node protocol states either as the full slice (serial execution,
+//! required by the global-channel modes) or as exactly the contact's two
+//! endpoint states ([`StatePair::Pair`], the intra-run parallel batch
+//! path). That a contact compiles against the pair view is the proof that
+//! RAPID's contact handling touches only per-endpoint state — the
+//! property behind its [`ContactConcurrency::NodeDisjoint`] declaration.
+//!
+//! The steady-state contact is allocation-free: queue snapshots, h-hop
+//! estimate vectors, candidate lists and exchange listings all live in a
+//! reusable [`ContactScratch`] (one per worker under batch execution),
+//! and contacts where both endpoints' buffers are empty skip the
+//! snapshot/estimate setup entirely.
 
 use crate::cache::DelayCache;
 use crate::config::{wire, ChannelMode, RapidConfig, RoutingMetric};
@@ -26,8 +42,8 @@ use crate::estimate::{
 };
 use crate::meetings::{expected_meeting_times_from, MeetingView};
 use dtn_sim::{
-    ContactDriver, NodeBuffer, NodeId, Packet, PacketId, PacketSet, PacketStore, QueueEntry,
-    Routing, SimConfig, Time, TransferOutcome,
+    ContactConcurrency, ContactDriver, ContactPool, NodeBuffer, NodeId, Packet, PacketId,
+    PacketSet, PacketStore, QueueEntry, Routing, SimConfig, SlicePartition, Time, TransferOutcome,
 };
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
@@ -59,8 +75,10 @@ struct NodeState {
     avg_opp: dtn_stats::RunningMean,
     /// Believed average opportunity size of every node, with stamp.
     believed_opp: Vec<(f64, Time)>,
-    /// Cached h-hop expected meeting times (invalidated at each contact).
-    est_cache: Option<Vec<f64>>,
+    /// h-hop expected meeting times, valid while `est_valid` (refreshed in
+    /// place — never reallocated in steady state).
+    est_cache: Vec<f64>,
+    est_valid: bool,
     /// Incremental Eq. 4–9 rate cache (see `cache.rs`); invalidated by the
     /// lifecycle hooks and the contact/meta events below.
     cache: DelayCache,
@@ -95,7 +113,8 @@ impl NodeState {
             last_sent: vec![Time::ZERO; n],
             avg_opp: dtn_stats::RunningMean::new(),
             believed_opp: vec![(0.0, Time::ZERO); n],
-            est_cache: None,
+            est_cache: Vec::new(),
+            est_valid: false,
             cache: DelayCache::new(n),
             evict_order: None,
         }
@@ -107,18 +126,127 @@ pub struct Rapid {
     cfg: RapidConfig,
     sim: SimConfig,
     states: Vec<NodeState>,
-    scratch: ContactScratch,
+    /// Reusable contact scratch; `[0]` serves serial execution, and the
+    /// vector grows to the pool's worker count for batch execution (one
+    /// scratch per worker — workers never share).
+    scratch: Vec<ContactScratch>,
 }
 
-/// Reusable per-contact scratch storage (queue snapshots, id and candidate
-/// lists): refilled at every contact so steady-state contacts allocate
-/// nothing for selection state.
+/// Reusable per-contact scratch storage (queue snapshots, estimate
+/// vectors, id/candidate/exchange lists): refilled at every contact so
+/// steady-state contacts allocate nothing.
 #[derive(Default)]
 struct ContactScratch {
     snap_a: QueueSnapshot,
     snap_b: QueueSnapshot,
     destined: Vec<PacketId>,
     candidates: Vec<Candidate>,
+    stored: HashSet<PacketId>,
+    purge: Vec<PacketId>,
+    /// h-hop estimates: own views and each side's view of the peer.
+    est_x: Vec<f64>,
+    est_y: Vec<f64>,
+    est_y_from_x: Vec<f64>,
+    est_x_from_y: Vec<f64>,
+    /// Relaxation scratch for the estimate computations.
+    relax: Vec<f64>,
+    /// Exchange listings (§4.2 delta channel).
+    acks_new: Vec<PacketId>,
+    changed_rows: Vec<NodeId>,
+    changed: Vec<(PacketId, usize, Time)>,
+    own_changed: Vec<(PacketId, usize, Time)>,
+    third_changed: Vec<(PacketId, usize, Time)>,
+}
+
+/// The per-node states a contact execution may address: the full slice
+/// (serial; global modes read arbitrary nodes) or exactly the two
+/// endpoints (batch execution — any out-of-pair access is a bug and
+/// panics).
+enum StatePair<'a> {
+    Full(&'a mut [NodeState]),
+    Pair {
+        a: NodeId,
+        sa: &'a mut NodeState,
+        b: NodeId,
+        sb: &'a mut NodeState,
+    },
+}
+
+impl StatePair<'_> {
+    fn state(&self, x: NodeId) -> &NodeState {
+        match self {
+            StatePair::Full(states) => &states[x.index()],
+            StatePair::Pair { a, sa, b, sb } => {
+                if x == *a {
+                    sa
+                } else if x == *b {
+                    sb
+                } else {
+                    panic!("{x} is outside this contact's state pair")
+                }
+            }
+        }
+    }
+
+    fn state_mut(&mut self, x: NodeId) -> &mut NodeState {
+        match self {
+            StatePair::Full(states) => &mut states[x.index()],
+            StatePair::Pair { a, sa, b, sb } => {
+                if x == *a {
+                    sa
+                } else if x == *b {
+                    sb
+                } else {
+                    panic!("{x} is outside this contact's state pair")
+                }
+            }
+        }
+    }
+
+    /// Split-borrows two distinct node states.
+    fn two(&mut self, x: NodeId, y: NodeId) -> (&mut NodeState, &mut NodeState) {
+        assert_ne!(x, y);
+        match self {
+            StatePair::Full(states) => {
+                let (xi, yi) = (x.index(), y.index());
+                if xi < yi {
+                    let (lo, hi) = states.split_at_mut(yi);
+                    (&mut lo[xi], &mut hi[0])
+                } else {
+                    let (lo, hi) = states.split_at_mut(xi);
+                    (&mut hi[0], &mut lo[yi])
+                }
+            }
+            StatePair::Pair { a, sa, b, sb } => {
+                if x == *a && y == *b {
+                    (sa, sb)
+                } else if x == *b && y == *a {
+                    (sb, sa)
+                } else {
+                    panic!("({x}, {y}) is not this contact's state pair")
+                }
+            }
+        }
+    }
+
+    /// Every node state — global-channel paths only (always serial).
+    fn all(&self) -> &[NodeState] {
+        match self {
+            StatePair::Full(states) => states,
+            StatePair::Pair { .. } => {
+                unreachable!("global-knowledge paths never run under batch execution")
+            }
+        }
+    }
+}
+
+/// One contact's execution context: configuration plus the states it may
+/// touch. Every selection/exchange routine lives here so the serial and
+/// batch paths share one implementation.
+struct ContactExec<'a> {
+    cfg: &'a RapidConfig,
+    n: usize,
+    states: StatePair<'a>,
 }
 
 impl Rapid {
@@ -128,7 +256,7 @@ impl Rapid {
             cfg,
             sim: SimConfig::default(),
             states: Vec::new(),
-            scratch: ContactScratch::default(),
+            scratch: vec![ContactScratch::default()],
         }
     }
 
@@ -137,6 +265,12 @@ impl Rapid {
         &self.cfg
     }
 
+    fn is_global(&self) -> bool {
+        matches!(self.cfg.channel, ChannelMode::InstantGlobal)
+    }
+}
+
+impl ContactExec<'_> {
     fn is_global(&self) -> bool {
         matches!(self.cfg.channel, ChannelMode::InstantGlobal)
     }
@@ -150,7 +284,7 @@ impl Rapid {
 
     /// Believed average transfer-opportunity size of `node`, bytes.
     fn opp_bytes(&self, believer: NodeId, node: NodeId) -> f64 {
-        let (v, stamp) = self.states[believer.index()].believed_opp[node.index()];
+        let (v, stamp) = self.states.state(believer).believed_opp[node.index()];
         if stamp > Time::ZERO && v > 0.0 {
             v
         } else {
@@ -158,39 +292,68 @@ impl Rapid {
         }
     }
 
-    /// h-hop expected meeting times as believed by `believer`, evaluated
-    /// from `from`'s position (usually `believer` itself; evaluating the
-    /// peer's position uses the rows learned from that peer).
-    fn estimate_times(&self, believer: NodeId, from: NodeId) -> Vec<f64> {
-        if self.is_global() {
-            let n = self.states.len();
-            let rows: Vec<Vec<f64>> = (0..n)
-                .map(|u| self.states[u].meetings.my_row().to_vec())
-                .collect();
-            expected_meeting_times_from(&rows, from, self.cfg.hop_limit)
-        } else if believer == from {
-            self.states[believer.index()]
-                .meetings
-                .expected_meeting_times(self.cfg.hop_limit)
+    /// `node`'s own opportunity average as the global channel reads it
+    /// (any node's state — serial only).
+    fn opp_bytes_global(&self, node: NodeId) -> f64 {
+        let (v, stamp) = self.states.all()[node.index()].believed_opp[node.index()];
+        if stamp > Time::ZERO && v > 0.0 {
+            v
         } else {
-            // Seen through the believer's learned rows.
-            let state = &self.states[believer.index()];
-            let n = self.states.len();
-            let rows: Vec<Vec<f64>> = (0..n)
-                .map(|u| {
-                    // MeetingView does not expose foreign rows directly;
-                    // rebuild through the public estimate when possible.
-                    state.meetings_row(u)
-                })
-                .collect();
-            expected_meeting_times_from(&rows, from, self.cfg.hop_limit)
+            self.cfg.default_opportunity_bytes as f64
         }
     }
 
-    fn ensure_est_cache(&mut self, node: NodeId) {
-        if self.states[node.index()].est_cache.is_none() {
-            let est = self.estimate_times(node, node);
-            self.states[node.index()].est_cache = Some(est);
+    /// h-hop expected meeting times over the instant global channel:
+    /// ground-truth rows of every node, evaluated from `from`.
+    fn estimate_times_global(&self, from: NodeId) -> Vec<f64> {
+        let all = self.states.all();
+        let rows: Vec<Vec<f64>> = (0..self.n)
+            .map(|u| all[u].meetings.my_row().to_vec())
+            .collect();
+        expected_meeting_times_from(&rows, from, self.cfg.hop_limit)
+    }
+
+    /// Fills `out` with the h-hop expected meeting times as believed by
+    /// `believer`, evaluated from `from`'s position (usually `believer`
+    /// itself; evaluating the peer's position uses the learned rows).
+    fn fill_est(&self, believer: NodeId, from: NodeId, out: &mut Vec<f64>, relax: &mut Vec<f64>) {
+        if self.is_global() {
+            let est = self.estimate_times_global(from);
+            out.clear();
+            out.extend_from_slice(&est);
+        } else {
+            self.states.state(believer).meetings.expected_from_into(
+                from,
+                self.cfg.hop_limit,
+                out,
+                relax,
+            );
+        }
+    }
+
+    /// Makes `node`'s estimate cache valid (recomputing it in place if a
+    /// contact or churn invalidated it since the last refresh).
+    fn ensure_est_cache(&mut self, node: NodeId, relax: &mut Vec<f64>) {
+        if self.states.state(node).est_valid {
+            return;
+        }
+        if self.is_global() {
+            let est = self.estimate_times_global(node);
+            let st = self.states.state_mut(node);
+            st.est_cache.clear();
+            st.est_cache.extend_from_slice(&est);
+            st.est_valid = true;
+        } else {
+            let hop_limit = self.cfg.hop_limit;
+            let st = self.states.state_mut(node);
+            let NodeState {
+                meetings,
+                est_cache,
+                est_valid,
+                ..
+            } = st;
+            meetings.expected_from_into(node, hop_limit, est_cache, relax);
+            *est_valid = true;
         }
     }
 
@@ -199,37 +362,39 @@ impl Rapid {
     /// delay from the h-hop estimates plus the believed remote-replica
     /// delays, folded into `Σ_j 1/a_j`.
     fn rate_with(&self, node: NodeId, packet: &Packet, bytes_ahead: u64) -> f64 {
-        let state = &self.states[node.index()];
-        let est = state
-            .est_cache
-            .as_ref()
-            .expect("estimate cache must be built before utility queries");
+        let state = self.states.state(node);
+        // Hard assert in every build: a stale estimate cache would not
+        // crash but silently misrank packets (the pre-refactor
+        // `Option::expect` had the same release-mode teeth).
+        assert!(
+            state.est_valid,
+            "estimate cache must be built before utility queries"
+        );
+        let est = &state.est_cache;
         let b_self = self.opp_bytes(node, node);
         let a_self = self.cap(replica_delay(
             est[packet.dst.index()],
             meetings_needed(bytes_ahead, b_self),
         ));
-        let remote: Vec<f64> = state
-            .meta
-            .get(packet.id)
-            .map(|b| {
+        match state.meta.get(packet.id) {
+            Some(b) => combined_rate(
                 b.entries
                     .iter()
                     .filter(|e| e.holder != node)
                     .map(|e| self.cap(e.delay_secs))
-                    .collect()
-            })
-            .unwrap_or_default();
-        combined_rate(remote.into_iter().chain([a_self]))
+                    .chain([a_self]),
+            ),
+            None => combined_rate([a_self]),
+        }
     }
 
-    /// [`Rapid::rate_with`] through the incremental cache, against the
-    /// node's *live* buffer queues: a valid cache entry is returned as-is
-    /// (its inputs are provably unchanged, so recomputation would be
+    /// [`ContactExec::rate_with`] through the incremental cache, against
+    /// the node's *live* buffer queues: a valid cache entry is returned
+    /// as-is (its inputs are provably unchanged, so recomputation would be
     /// bit-identical — re-verified here under `debug_assertions`); a dirty
     /// packet is re-estimated and stored under the current epochs.
     fn rate_cached(&mut self, node: NodeId, packet: &Packet, buffer: &NodeBuffer) -> f64 {
-        if let Some(rate) = self.states[node.index()].cache.get(packet.id, packet.dst) {
+        if let Some(rate) = self.states.state(node).cache.get(packet.id, packet.dst) {
             #[cfg(debug_assertions)]
             {
                 let fresh = self.rate_with(
@@ -250,7 +415,8 @@ impl Rapid {
             packet,
             buffer.bytes_ahead(packet.dst, packet.id, packet.created_at),
         );
-        self.states[node.index()]
+        self.states
+            .state_mut(node)
             .cache
             .put(packet.id, packet.dst, rate);
         rate
@@ -271,19 +437,6 @@ impl Rapid {
                 }
             }
         }
-    }
-}
-
-// A private extension used by `estimate_times`: read a (possibly learned)
-// row out of a view. Implemented here to keep `MeetingView`'s public API
-// small.
-trait RowAccess {
-    fn meetings_row(&self, u: usize) -> Vec<f64>;
-}
-
-impl RowAccess for NodeState {
-    fn meetings_row(&self, u: usize) -> Vec<f64> {
-        self.meetings.row(u).to_vec()
     }
 }
 
@@ -320,19 +473,6 @@ enum QueueView<'a> {
 }
 
 impl QueueView<'_> {
-    /// The non-empty `(dst, entries)` queues, collected so the shapes of
-    /// both variants unify (destination counts are tiny — at most one per
-    /// node).
-    fn queue_list<'d>(&self, driver: &'d ContactDriver<'_>) -> Vec<(NodeId, &'d [QueueEntry])>
-    where
-        Self: 'd,
-    {
-        match *self {
-            QueueView::Live(node) => driver.buffer(node).queues().collect(),
-            QueueView::Snap(snap) => snap.queues().collect(),
-        }
-    }
-
     /// Cursor over the `dst` queue for monotone hypothetical-insert reads.
     fn insert_cursor<'d>(&self, driver: &'d ContactDriver<'_>, dst: NodeId) -> InsertCursor<'d>
     where
@@ -403,14 +543,23 @@ impl Routing for Rapid {
         packets: &PacketStore,
         now: Time,
     ) -> Vec<PacketId> {
-        self.ensure_est_cache(node);
+        let n = self.states.len();
+        let (cfg, states, scratch) = (&self.cfg, &mut self.states, &mut self.scratch[0]);
+        let mut exec = ContactExec {
+            cfg,
+            n,
+            states: StatePair::Full(states),
+        };
+        exec.ensure_est_cache(node, &mut scratch.relax);
         // Lazy re-sorting: reuse the node's sorted eviction order while no
         // invalidation touched the cache (a dropped creation leaves the
         // order valid for the next storage decision); rebuild it from
         // cached rates — only dirty packets re-run Estimate Delay —
         // otherwise.
-        let version = self.states[node.index()].cache.version();
-        let reusable = self.states[node.index()]
+        let version = exec.states.state(node).cache.version();
+        let reusable = exec
+            .states
+            .state(node)
             .evict_order
             .as_ref()
             .is_some_and(|o| o.version == version && o.now == now);
@@ -418,12 +567,12 @@ impl Routing for Rapid {
             let mut scored: Vec<(f64, PacketId, u64)> = Vec::with_capacity(buffer.len());
             for (id, meta) in buffer.iter() {
                 let p = *packets.get(id);
-                let rate = self.rate_cached(node, &p, buffer);
-                scored.push((self.utility_from_rate(rate, &p, now), id, meta.size_bytes));
+                let rate = exec.rate_cached(node, &p, buffer);
+                scored.push((exec.utility_from_rate(rate, &p, now), id, meta.size_bytes));
             }
             // Lowest utility evicted first; id tiebreak for determinism.
             scored.sort_unstable_by(|a, b| cmp_utility_then_id((a.0, a.1), (b.0, b.1)));
-            self.states[node.index()].evict_order = Some(EvictOrder {
+            exec.states.state_mut(node).evict_order = Some(EvictOrder {
                 version,
                 now,
                 order: scored.into_iter().map(|(_, id, size)| (id, size)).collect(),
@@ -436,7 +585,7 @@ impl Routing for Rapid {
         // lowest-utility packets (otherwise a saturated source would drop
         // every new packet at birth).
         let own_creation = incoming.src == node;
-        let state = &self.states[node.index()];
+        let state = exec.states.state(node);
         let order = &state.evict_order.as_ref().expect("just ensured").order;
         let mut victims = Vec::new();
         let mut freed = 0u64;
@@ -452,7 +601,7 @@ impl Routing for Rapid {
         }
 
         #[cfg(debug_assertions)]
-        self.assert_victims_match_reference(node, own_creation, needed, buffer, packets, now, {
+        exec.assert_victims_match_reference(node, own_creation, needed, buffer, packets, now, {
             if freed >= needed {
                 &victims
             } else {
@@ -463,7 +612,7 @@ impl Routing for Rapid {
         if freed >= needed {
             for &v in &victims {
                 let dst = packets.get(v).dst;
-                let st = &mut self.states[node.index()];
+                let st = exec.states.state_mut(node);
                 st.meta.remove_holder(v, node);
                 // The eviction changes this queue's positions and v's own
                 // remote-belief set: dirty both.
@@ -477,135 +626,55 @@ impl Routing for Rapid {
     }
 
     fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
-        let (a, b) = driver.endpoints();
-        let now = driver.now();
-        let full_opp = driver.remaining_bytes(a);
-
-        // --- Record the meeting and the opportunity size.
-        for (x, y) in [(a, b), (b, a)] {
-            let xi = x.index();
-            self.states[xi].meetings.record_meeting(y, now);
-            self.states[xi].avg_opp.observe(full_opp as f64);
-            let avg = self.states[xi].avg_opp.mean_or(0.0);
-            self.states[xi].believed_opp[xi] = (avg, now);
-            self.states[xi].est_cache = None;
-            // Node-level inputs (estimates, opportunity averages, and the
-            // rows/acks/beliefs about to be exchanged) change at a contact:
-            // one epoch bump invalidates every cached rate at this node.
-            self.states[xi].cache.invalidate_all();
-        }
-
-        // --- Step 1: metadata exchange (in-band modes only).
-        match self.cfg.channel {
-            ChannelMode::InBand { cap_fraction } => {
-                let budget = cap_fraction
-                    .map(|f| (f * full_opp as f64) as u64)
-                    .unwrap_or(u64::MAX);
-                self.exchange_metadata(driver, a, b, budget, full_opp, false);
-                self.exchange_metadata(driver, b, a, budget, full_opp, false);
-            }
-            ChannelMode::LocalOnly => {
-                self.exchange_metadata(driver, a, b, u64::MAX, full_opp, true);
-                self.exchange_metadata(driver, b, a, u64::MAX, full_opp, true);
-            }
-            ChannelMode::InstantGlobal => {}
-        }
-
-        // --- Purge packets known to be delivered (acks / global truth).
-        for x in [a, b] {
-            // Filter while iterating; only the (few) hits are collected —
-            // the eviction below mutates the buffer, so a snapshot of the
-            // hits is still required.
-            let known: Vec<PacketId> = driver
-                .buffer(x)
-                .iter()
-                .map(|(id, _)| id)
-                .filter(|&id| {
-                    if self.is_global() {
-                        driver.global().is_delivered(id)
-                    } else {
-                        self.states[x.index()].acks.contains(id)
-                    }
-                })
-                .collect();
-            for id in known {
-                driver.evict(x, id);
-                self.states[x.index()].meta.remove_packet(id);
-            }
-        }
-
-        // --- Build per-side context: estimates and queue snapshots.
-        let est_a = self.estimate_times(a, a);
-        let est_b = self.estimate_times(b, b);
-        // How each side values the *peer's* position (for a_peer): seen
-        // through its own learned rows.
-        let est_b_from_a = self.estimate_times(a, b);
-        let est_a_from_b = self.estimate_times(b, a);
-        // Contact-start queue state for scoring, even as transfers mutate
-        // the buffers mid-contact. The second replicating side always needs
-        // a materialized copy of its own queues (the first side mutates
-        // them); the first side's queues stay untouched for every read this
-        // contact performs, so its copy is skipped whenever buffer overflow
-        // — the only other snapshot reader, via `NeedsSpace` eviction — is
-        // impossible: data into a buffer is bounded by the opportunity, so
-        // an opportunity that fits in the peer's free space cannot trigger
-        // it. The scratch snapshots are moved out so `&mut self` methods
-        // stay callable while they are borrowed.
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let overflow_possible = driver.remaining_bytes(a) > driver.buffer(b).free_bytes()
-            || driver.remaining_bytes(b) > driver.buffer(a).free_bytes();
-        scratch.snap_b.refill_from_buffer(driver.buffer(b));
-        let view_b = QueueView::Snap(&scratch.snap_b);
-        let view_a = if overflow_possible {
-            scratch.snap_a.refill_from_buffer(driver.buffer(a));
-            QueueView::Snap(&scratch.snap_a)
-        } else {
-            QueueView::Live(a)
+        let n = self.states.len();
+        let (cfg, states, scratch) = (&self.cfg, &mut self.states, &mut self.scratch[0]);
+        let mut exec = ContactExec {
+            cfg,
+            n,
+            states: StatePair::Full(states),
         };
-        self.states[a.index()].est_cache = Some(est_a.clone());
-        self.states[b.index()].est_cache = Some(est_b.clone());
+        exec.contact(driver, scratch);
+    }
 
-        // --- Step 2: direct delivery, both sides.
-        for (x, y) in [(a, b), (b, a)] {
-            self.direct_delivery(driver, x, y, now, &mut scratch.destined);
+    fn contact_concurrency(&self) -> ContactConcurrency {
+        // Non-global contacts compile against the two-endpoint state view
+        // (see `StatePair::Pair`), so node-disjoint contacts commute; the
+        // global channel reads arbitrary nodes' states and stays serial.
+        if self.is_global() {
+            ContactConcurrency::Serial
+        } else {
+            ContactConcurrency::NodeDisjoint
         }
+    }
 
-        // --- Step 3: replication, both sides.
-        let mut stored_this_contact: HashSet<PacketId> = HashSet::new();
-        self.replicate_side(
-            driver,
-            a,
-            b,
-            &est_a,
-            &est_b_from_a,
-            view_a,
-            view_b,
-            now,
-            &mut stored_this_contact,
-            &mut scratch.candidates,
-        );
-        self.replicate_side(
-            driver,
-            b,
-            a,
-            &est_b,
-            &est_a_from_b,
-            view_b,
-            view_a,
-            now,
-            &mut stored_this_contact,
-            &mut scratch.candidates,
-        );
-        self.scratch = scratch;
-
-        // --- Bound control state.
-        for x in [a, b] {
-            let cap = self.cfg.meta_entry_cap;
-            let buffer = driver.buffer(x);
-            self.states[x.index()]
-                .meta
-                .prune(cap, |id| buffer.contains(id));
+    fn on_contact_batch(&mut self, batch: &mut [ContactDriver<'_>], pool: &ContactPool) {
+        debug_assert!(!self.is_global(), "global channel declared Serial");
+        let workers = pool.workers();
+        if self.scratch.len() < workers {
+            self.scratch.resize_with(workers, ContactScratch::default);
         }
+        let n = self.states.len();
+        let cfg = &self.cfg;
+        let states = SlicePartition::new(&mut self.states);
+        let scratches = SlicePartition::new(&mut self.scratch);
+        let drivers = SlicePartition::new(batch);
+        pool.run(drivers.len(), &|worker, i| {
+            // SAFETY: each batch index is claimed by exactly one worker
+            // (`ContactPool::run`); drivers are node-disjoint (the
+            // engine's batch contract), so the two state slots of driver
+            // `i` are borrowed by no other concurrent execution; each
+            // worker uses only its own scratch slot.
+            let driver = unsafe { drivers.get_mut(i) };
+            let (a, b) = driver.endpoints();
+            let (sa, sb) = unsafe { states.pair_mut(a.index(), b.index()) };
+            let scratch = unsafe { scratches.get_mut(worker) };
+            let mut exec = ContactExec {
+                cfg,
+                n,
+                states: StatePair::Pair { a, sa, b, sb },
+            };
+            exec.contact(driver, scratch);
+        });
     }
 
     fn on_packet_created(&mut self, packet: &Packet) {
@@ -634,7 +703,173 @@ impl Routing for Rapid {
     }
 }
 
-impl Rapid {
+impl ContactExec<'_> {
+    /// One full contact (Steps 1–3 plus state bounding). `scratch` is this
+    /// execution's reusable storage; under batch execution each worker
+    /// brings its own.
+    fn contact(&mut self, driver: &mut ContactDriver<'_>, scratch: &mut ContactScratch) {
+        let (a, b) = driver.endpoints();
+        let now = driver.now();
+        let full_opp = driver.remaining_bytes(a);
+
+        // --- Record the meeting and the opportunity size.
+        for (x, y) in [(a, b), (b, a)] {
+            let st = self.states.state_mut(x);
+            st.meetings.record_meeting(y, now);
+            st.avg_opp.observe(full_opp as f64);
+            let avg = st.avg_opp.mean_or(0.0);
+            st.believed_opp[x.index()] = (avg, now);
+            st.est_valid = false;
+            // Node-level inputs (estimates, opportunity averages, and the
+            // rows/acks/beliefs about to be exchanged) change at a contact:
+            // one epoch bump invalidates every cached rate at this node.
+            st.cache.invalidate_all();
+        }
+
+        // --- Step 1: metadata exchange (in-band modes only).
+        match self.cfg.channel {
+            ChannelMode::InBand { cap_fraction } => {
+                let budget = cap_fraction
+                    .map(|f| (f * full_opp as f64) as u64)
+                    .unwrap_or(u64::MAX);
+                self.exchange_metadata(driver, a, b, budget, full_opp, false, scratch);
+                self.exchange_metadata(driver, b, a, budget, full_opp, false, scratch);
+            }
+            ChannelMode::LocalOnly => {
+                self.exchange_metadata(driver, a, b, u64::MAX, full_opp, true, scratch);
+                self.exchange_metadata(driver, b, a, u64::MAX, full_opp, true, scratch);
+            }
+            ChannelMode::InstantGlobal => {}
+        }
+
+        // --- Purge packets known to be delivered (acks / global truth).
+        for x in [a, b] {
+            // Filter while iterating; only the (few) hits are collected
+            // into reusable scratch — the eviction below mutates the
+            // buffer, so a snapshot of the hits is still required.
+            scratch.purge.clear();
+            {
+                let is_global = self.is_global();
+                let state = self.states.state(x);
+                scratch
+                    .purge
+                    .extend(driver.buffer(x).iter().map(|(id, _)| id).filter(|&id| {
+                        if is_global {
+                            driver.global().is_delivered(id)
+                        } else {
+                            state.acks.contains(id)
+                        }
+                    }));
+            }
+            for &id in &scratch.purge {
+                driver.evict(x, id);
+                self.states.state_mut(x).meta.remove_packet(id);
+            }
+        }
+
+        // --- Fast path: with both buffers empty there is nothing to
+        // deliver, replicate, score or snapshot — skip the estimate and
+        // snapshot setup entirely. (`est_valid` stays false; a later
+        // `make_room` recomputes from the same post-meeting inputs,
+        // bit-identically.)
+        if driver.buffer(a).is_empty() && driver.buffer(b).is_empty() {
+            self.bound_meta(driver, a, b);
+            return;
+        }
+
+        // --- Build per-side context: estimates and queue snapshots.
+        let ContactScratch {
+            snap_a,
+            snap_b,
+            destined,
+            candidates,
+            stored,
+            est_x: est_a,
+            est_y: est_b,
+            est_y_from_x: est_b_from_a,
+            est_x_from_y: est_a_from_b,
+            relax,
+            ..
+        } = scratch;
+        self.fill_est(a, a, est_a, relax);
+        self.fill_est(b, b, est_b, relax);
+        // How each side values the *peer's* position (for a_peer): seen
+        // through its own learned rows.
+        self.fill_est(a, b, est_b_from_a, relax);
+        self.fill_est(b, a, est_a_from_b, relax);
+        // Contact-start queue state for scoring, even as transfers mutate
+        // the buffers mid-contact. The second replicating side always needs
+        // a materialized copy of its own queues (the first side mutates
+        // them); the first side's queues stay untouched for every read this
+        // contact performs, so its copy is skipped whenever buffer overflow
+        // — the only other snapshot reader, via `NeedsSpace` eviction — is
+        // impossible: data into a buffer is bounded by the opportunity, so
+        // an opportunity that fits in the peer's free space cannot trigger
+        // it.
+        let overflow_possible = driver.remaining_bytes(a) > driver.buffer(b).free_bytes()
+            || driver.remaining_bytes(b) > driver.buffer(a).free_bytes();
+        snap_b.refill_from_buffer(driver.buffer(b));
+        let view_b = QueueView::Snap(snap_b);
+        let view_a = if overflow_possible {
+            snap_a.refill_from_buffer(driver.buffer(a));
+            QueueView::Snap(snap_a)
+        } else {
+            QueueView::Live(a)
+        };
+        for (x, est) in [(a, &*est_a), (b, &*est_b)] {
+            let st = self.states.state_mut(x);
+            st.est_cache.clear();
+            st.est_cache.extend_from_slice(est);
+            st.est_valid = true;
+        }
+
+        // --- Step 2: direct delivery, both sides.
+        for (x, y) in [(a, b), (b, a)] {
+            self.direct_delivery(driver, x, y, now, destined);
+        }
+
+        // --- Step 3: replication, both sides.
+        stored.clear();
+        self.replicate_side(
+            driver,
+            a,
+            b,
+            est_a,
+            est_b_from_a,
+            view_a,
+            view_b,
+            now,
+            stored,
+            candidates,
+        );
+        self.replicate_side(
+            driver,
+            b,
+            a,
+            est_b,
+            est_a_from_b,
+            view_b,
+            view_a,
+            now,
+            stored,
+            candidates,
+        );
+
+        self.bound_meta(driver, a, b);
+    }
+
+    /// Bounds each endpoint's control state (§4.2 table cap).
+    fn bound_meta(&mut self, driver: &ContactDriver<'_>, a: NodeId, b: NodeId) {
+        for x in [a, b] {
+            let cap = self.cfg.meta_entry_cap;
+            let buffer = driver.buffer(x);
+            self.states
+                .state_mut(x)
+                .meta
+                .prune(cap, |id| buffer.contains(id));
+        }
+    }
+
     /// Step 2: deliver packets destined to the peer, highest utility first.
     /// For the deadline metric, expired packets go last (their utility is
     /// 0); otherwise the queue order is decreasing `T(i)` (§4.1).
@@ -666,10 +901,11 @@ impl Rapid {
             match driver.try_transfer(x, id) {
                 TransferOutcome::Delivered | TransferOutcome::DeliveredDuplicate => {
                     // Both endpoints witnessed the delivery: instant ack.
-                    self.states[x.index()].acks.insert(id);
-                    self.states[y.index()].acks.insert(id);
-                    self.states[x.index()].meta.remove_packet(id);
-                    self.states[y.index()].meta.remove_packet(id);
+                    let (sx, sy) = self.states.two(x, y);
+                    sx.acks.insert(id);
+                    sy.acks.insert(id);
+                    sx.meta.remove_packet(id);
+                    sy.meta.remove_packet(id);
                 }
                 TransferOutcome::NoBandwidth => break,
                 _ => {}
@@ -695,12 +931,7 @@ impl Rapid {
     ) {
         let b_x = self.opp_bytes(x, x);
         let b_y = if self.is_global() {
-            let (v, stamp) = self.states[y.index()].believed_opp[y.index()];
-            if stamp > Time::ZERO && v > 0.0 {
-                v
-            } else {
-                self.cfg.default_opportunity_bytes as f64
-            }
+            self.opp_bytes_global(y)
         } else {
             self.opp_bytes(x, y)
         };
@@ -710,137 +941,46 @@ impl Rapid {
         let mut global_snap: HashMap<u32, QueueSnapshot> = HashMap::new();
 
         // Candidates are enumerated per destination queue of the
-        // contact-start snapshot: along a queue the own-side `b(i)` is an
+        // contact-start view: along a queue the own-side `b(i)` is an
         // O(1) prefix read, and the peer-side insertion point advances
         // monotonically (one cursor per destination) instead of a binary
         // search per packet. Enumeration order cannot affect decisions —
         // `sort_candidates` imposes a strict total order ((score, id), ids
         // unique) and every other per-packet effect is independent — but
         // the candidate *set* must match the live buffer: snapshot entries
-        // evicted mid-contact are skipped via the O(1) membership bitset.
+        // evicted mid-contact are skipped via the O(1) membership check.
         candidates.clear();
-        for (dst_node, queue) in snap_x.queue_list(driver) {
-            if dst_node == y {
-                continue; // destined packets belong to step 2, not step 3
-            }
-            let dst = dst_node.index();
-            let mut peer_pos = snap_y.insert_cursor(driver, dst_node);
-            for &QueueEntry {
-                created_at,
-                id,
-                size_bytes,
-                bytes_ahead,
-            } in queue
-            {
-                if !driver.buffer(x).contains(id) || driver.buffer(y).contains(id) {
-                    continue;
-                }
-                if !self.is_global() && self.states[x.index()].acks.contains(id) {
-                    continue; // known delivered but not yet purged (can't happen after purge, kept defensively)
-                }
-                let t = now.since(created_at).as_secs_f64();
-                let a_self = self.cap(replica_delay(est_x[dst], meetings_needed(bytes_ahead, b_x)));
-                let a_peer = self.cap(replica_delay(
-                    est_y[dst],
-                    meetings_needed(peer_pos.bytes_ahead_if_inserted(created_at), b_y),
-                ));
-
-                // Combined rate of the believed remote replicas (or the
-                // true ones, by channel mode) — summed inline, no per-packet
-                // allocation.
-                let remote_rate: f64 = if self.is_global() {
-                    let g = driver.global();
-                    combined_rate(
-                        g.holders(id)
-                            .iter()
-                            .filter(|&&h| h != x && h != y)
-                            .map(|&h| {
-                                let est_h = global_est
-                                    .entry(h.0)
-                                    .or_insert_with(|| self.estimate_times(x, h));
-                                let snap_h = global_snap
-                                    .entry(h.0)
-                                    .or_insert_with(|| QueueSnapshot::from_buffer(g.buffer(h)));
-                                let ahead = snap_h.bytes_ahead(dst_node, id, created_at);
-                                let b_h = {
-                                    let (v, stamp) = self.states[h.index()].believed_opp[h.index()];
-                                    if stamp > Time::ZERO && v > 0.0 {
-                                        v
-                                    } else {
-                                        self.cfg.default_opportunity_bytes as f64
-                                    }
-                                };
-                                self.cap(replica_delay(est_h[dst], meetings_needed(ahead, b_h)))
-                            })
-                            .collect::<Vec<f64>>(),
-                    )
-                } else {
-                    match self.states[x.index()].meta.get(id) {
-                        Some(belief) => combined_rate(
-                            belief
-                                .entries
-                                .iter()
-                                .filter(|e| e.holder != x && e.holder != y)
-                                .map(|e| self.cap(e.delay_secs)),
-                        ),
-                        None => 0.0,
-                    }
-                };
-                // Left-to-right extension keeps these sums bit-identical to
-                // folding the full replica list at once.
-                let rate_self = remote_rate + rate_contribution(a_self);
-                let rate_both = rate_self + rate_contribution(a_peer);
-
-                let score = match self.cfg.metric {
-                    RoutingMetric::MinAvgDelay => {
-                        let before = delay_from_rate(rate_self);
-                        let after = delay_from_rate(rate_both);
-                        delta_or_zero(before, after) / size_bytes as f64
-                    }
-                    RoutingMetric::MinMissedDeadlines { lifetime } => {
-                        let rem = lifetime.as_secs_f64() - t;
-                        if rem <= 0.0 {
-                            0.0
-                        } else {
-                            let before = prob_within_from_rate(rate_self, rem);
-                            let after = prob_within_from_rate(rate_both, rem);
-                            (after - before) / size_bytes as f64
-                        }
-                    }
-                    RoutingMetric::MinMaxDelay => {
-                        // Work-conserving Eq. 3: replicate in decreasing order
-                        // of current expected delay D(i) = T(i) + A(i).
-                        let before = delay_from_rate(rate_self);
-                        if before.is_finite() {
-                            t + before
-                        } else if a_peer.is_finite() {
-                            // No current replica can reach the destination but
-                            // the peer can: the largest possible gain. Age
-                            // preserves the work-conserving order among such
-                            // packets.
-                            UNREACHABLE_GAIN + t
-                        } else {
-                            0.0
-                        }
-                    }
-                };
-                if score > 0.0 {
-                    candidates.push(Candidate {
-                        id,
-                        score,
-                        size: size_bytes,
-                        a_self,
-                        a_peer,
-                    });
-                }
-                // Publish/refresh own delay estimate for the gossip channel —
-                // only for packets this node originated ("for each of its own
-                // packets", §4.2); carried replicas are already described by
-                // the entries created at replication time.
-                if !self.is_global() && driver.packets().get(id).src == x {
-                    self.publish_estimate(x, id, a_self, now);
-                }
-            }
+        match snap_x {
+            QueueView::Live(node) => self.enumerate_queues(
+                driver,
+                driver.buffer(node).queues(),
+                x,
+                y,
+                snap_y,
+                est_x,
+                est_y,
+                b_x,
+                b_y,
+                now,
+                candidates,
+                &mut global_est,
+                &mut global_snap,
+            ),
+            QueueView::Snap(snap) => self.enumerate_queues(
+                driver,
+                snap.queues(),
+                x,
+                y,
+                snap_y,
+                est_x,
+                est_y,
+                b_x,
+                b_y,
+                now,
+                candidates,
+                &mut global_est,
+                &mut global_snap,
+            ),
         }
 
         sort_candidates(candidates, driver.remaining_bytes(x));
@@ -876,7 +1016,7 @@ impl Rapid {
                                 stamp,
                             };
                             for node in [x, y] {
-                                let st = &mut self.states[node.index()];
+                                let st = self.states.state_mut(node);
                                 st.meta.upsert(cand.id, entry_peer);
                                 st.meta.upsert(cand.id, entry_self);
                             }
@@ -888,7 +1028,6 @@ impl Rapid {
                             driver,
                             y,
                             needed,
-                            cand.score,
                             stored_this_contact,
                             snap_y,
                             now,
@@ -904,6 +1043,180 @@ impl Rapid {
         }
     }
 
+    /// Scores one contact-start destination queue into `candidates` (and
+    /// publishes refreshed own-packet estimates). Works identically over a
+    /// live-buffer queue or a snapshot queue — the two arms of
+    /// [`QueueView`].
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate_queues<'d>(
+        &mut self,
+        driver: &'d ContactDriver<'_>,
+        queues: impl Iterator<Item = (NodeId, &'d [QueueEntry])>,
+        x: NodeId,
+        y: NodeId,
+        snap_y: QueueView<'_>,
+        est_x: &[f64],
+        est_y: &[f64],
+        b_x: f64,
+        b_y: f64,
+        now: Time,
+        candidates: &mut Vec<Candidate>,
+        global_est: &mut HashMap<u32, Vec<f64>>,
+        global_snap: &mut HashMap<u32, QueueSnapshot>,
+    ) {
+        for (dst_node, queue) in queues {
+            self.enumerate_queue(
+                driver,
+                x,
+                y,
+                dst_node,
+                queue,
+                snap_y,
+                est_x,
+                est_y,
+                b_x,
+                b_y,
+                now,
+                candidates,
+                global_est,
+                global_snap,
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate_queue(
+        &mut self,
+        driver: &ContactDriver<'_>,
+        x: NodeId,
+        y: NodeId,
+        dst_node: NodeId,
+        queue: &[QueueEntry],
+        snap_y: QueueView<'_>,
+        est_x: &[f64],
+        est_y: &[f64],
+        b_x: f64,
+        b_y: f64,
+        now: Time,
+        candidates: &mut Vec<Candidate>,
+        global_est: &mut HashMap<u32, Vec<f64>>,
+        global_snap: &mut HashMap<u32, QueueSnapshot>,
+    ) {
+        if dst_node == y {
+            return; // destined packets belong to step 2, not step 3
+        }
+        let dst = dst_node.index();
+        let mut peer_pos = snap_y.insert_cursor(driver, dst_node);
+        for &QueueEntry {
+            created_at,
+            id,
+            size_bytes,
+            bytes_ahead,
+        } in queue
+        {
+            if !driver.buffer(x).contains(id) || driver.buffer(y).contains(id) {
+                continue;
+            }
+            if !self.is_global() && self.states.state(x).acks.contains(id) {
+                continue; // known delivered but not yet purged (can't happen after purge, kept defensively)
+            }
+            let t = now.since(created_at).as_secs_f64();
+            let a_self = self.cap(replica_delay(est_x[dst], meetings_needed(bytes_ahead, b_x)));
+            let a_peer = self.cap(replica_delay(
+                est_y[dst],
+                meetings_needed(peer_pos.bytes_ahead_if_inserted(created_at), b_y),
+            ));
+
+            // Combined rate of the believed remote replicas (or the
+            // true ones, by channel mode) — summed inline, no per-packet
+            // allocation.
+            let remote_rate: f64 = if self.is_global() {
+                let g = driver.global();
+                combined_rate(
+                    g.holders(id)
+                        .filter(|&h| h != x && h != y)
+                        .map(|h| {
+                            let est_h = global_est
+                                .entry(h.0)
+                                .or_insert_with(|| self.estimate_times_global(h));
+                            let snap_h = global_snap
+                                .entry(h.0)
+                                .or_insert_with(|| QueueSnapshot::from_buffer(g.buffer(h)));
+                            let ahead = snap_h.bytes_ahead(dst_node, id, created_at);
+                            let b_h = self.opp_bytes_global(h);
+                            self.cap(replica_delay(est_h[dst], meetings_needed(ahead, b_h)))
+                        })
+                        .collect::<Vec<f64>>(),
+                )
+            } else {
+                match self.states.state(x).meta.get(id) {
+                    Some(belief) => combined_rate(
+                        belief
+                            .entries
+                            .iter()
+                            .filter(|e| e.holder != x && e.holder != y)
+                            .map(|e| self.cap(e.delay_secs)),
+                    ),
+                    None => 0.0,
+                }
+            };
+            // Left-to-right extension keeps these sums bit-identical to
+            // folding the full replica list at once.
+            let rate_self = remote_rate + rate_contribution(a_self);
+            let rate_both = rate_self + rate_contribution(a_peer);
+
+            let score = match self.cfg.metric {
+                RoutingMetric::MinAvgDelay => {
+                    let before = delay_from_rate(rate_self);
+                    let after = delay_from_rate(rate_both);
+                    delta_or_zero(before, after) / size_bytes as f64
+                }
+                RoutingMetric::MinMissedDeadlines { lifetime } => {
+                    let rem = lifetime.as_secs_f64() - t;
+                    if rem <= 0.0 {
+                        0.0
+                    } else {
+                        let before = prob_within_from_rate(rate_self, rem);
+                        let after = prob_within_from_rate(rate_both, rem);
+                        (after - before) / size_bytes as f64
+                    }
+                }
+                RoutingMetric::MinMaxDelay => {
+                    // Work-conserving Eq. 3: replicate in decreasing order
+                    // of current expected delay D(i) = T(i) + A(i).
+                    let before = delay_from_rate(rate_self);
+                    if before.is_finite() {
+                        t + before
+                    } else if a_peer.is_finite() {
+                        // No current replica can reach the destination but
+                        // the peer can: the largest possible gain. Age
+                        // preserves the work-conserving order among such
+                        // packets.
+                        UNREACHABLE_GAIN + t
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            if score > 0.0 {
+                candidates.push(Candidate {
+                    id,
+                    score,
+                    size: size_bytes,
+                    a_self,
+                    a_peer,
+                });
+            }
+            // Publish/refresh own delay estimate for the gossip channel —
+            // only for packets this node originated ("for each of its own
+            // packets", §4.2); carried replicas are already described by
+            // the entries created at replication time.
+            if !self.is_global() && driver.packets().get(id).src == x {
+                self.publish_estimate(x, id, a_self, now);
+            }
+        }
+    }
+
     /// Buffer-overflow policy at the receiving node: evict lowest-utility
     /// packets (never its own unacked source packets, never replicas stored
     /// during this contact) until `needed` bytes are free. Returns whether
@@ -914,7 +1227,6 @@ impl Rapid {
         driver: &mut ContactDriver<'_>,
         y: NodeId,
         needed: u64,
-        _incoming_score: f64,
         stored_this_contact: &HashSet<PacketId>,
         snap_y: QueueView<'_>,
         now: Time,
@@ -930,7 +1242,7 @@ impl Rapid {
                 // §3.4's own-packet protection, applied as a strict
                 // preference: a node's own unacked packets are evicted
                 // only after every other packet is gone.
-                let own_unacked = p.src == y && !self.states[y.index()].acks.contains(id);
+                let own_unacked = p.src == y && !self.states.state(y).acks.contains(id);
                 // Scored against the contact-start snapshot, like every
                 // other in-contact decision (not the live, mid-contact
                 // queue) — which is why this path bypasses the rate cache.
@@ -963,7 +1275,7 @@ impl Rapid {
                 return false; // nothing evictable left
             };
             if driver.evict(y, victim) {
-                self.states[y.index()].meta.remove_holder(victim, y);
+                self.states.state_mut(y).meta.remove_holder(victim, y);
                 freed += size;
             }
         }
@@ -987,7 +1299,7 @@ impl Rapid {
         now: Time,
         got: &[PacketId],
     ) {
-        let state = &self.states[node.index()];
+        let state = self.states.state(node);
         let mut scored: Vec<(f64, PacketId, u64)> = buffer
             .iter()
             .filter(|&(id, _)| {
@@ -1024,7 +1336,7 @@ impl Rapid {
     /// Refreshes this node's own delay estimate for a packet in the gossip
     /// table, if it moved by more than [`PUBLISH_THRESHOLD`].
     fn publish_estimate(&mut self, x: NodeId, id: PacketId, a_self: f64, now: Time) {
-        let st = &mut self.states[x.index()];
+        let st = self.states.state_mut(x);
         let stale = match st.meta.get(id).and_then(|b| b.entry(x)) {
             Some(e) => {
                 let old = e.delay_secs;
@@ -1049,6 +1361,7 @@ impl Rapid {
     /// byte budget. Priority order: acks, meeting rows + opportunity
     /// averages, replica entries (own-buffer packets first). The watermark
     /// only advances when everything fit (§4.2's delta exchange).
+    #[allow(clippy::too_many_arguments)]
     fn exchange_metadata(
         &mut self,
         driver: &mut ContactDriver<'_>,
@@ -1057,22 +1370,28 @@ impl Rapid {
         budget: u64,
         full_opp: u64,
         local_only: bool,
+        scratch: &mut ContactScratch,
     ) {
+        let ContactScratch {
+            acks_new,
+            changed_rows,
+            changed,
+            own_changed,
+            third_changed,
+            ..
+        } = scratch;
         let now = driver.now();
         let mut allowed = budget.min(driver.remaining_bytes(from));
         let mut used = 0u64;
         let mut truncated = false;
-        let since = self.states[from.index()].last_sent[to.index()];
+        let since = self.states.state(from).last_sent[to.index()];
 
         // 1. Acknowledgments.
         {
-            let (from_st, to_st) = two_states(&mut self.states, from, to);
-            let new_acks: Vec<PacketId> = from_st
-                .acks
-                .iter()
-                .filter(|&id| !to_st.acks.contains(id))
-                .collect();
-            for id in new_acks {
+            let (from_st, to_st) = self.states.two(from, to);
+            acks_new.clear();
+            acks_new.extend(from_st.acks.iter().filter(|&id| !to_st.acks.contains(id)));
+            for &id in acks_new.iter() {
                 if allowed < wire::ACK_BYTES {
                     truncated = true;
                     break;
@@ -1086,22 +1405,25 @@ impl Rapid {
 
         // 2. Meeting-time rows changed since the watermark.
         {
-            let n = self.states.len() as u64;
+            let n = self.n as u64;
             let row_cost = n * wire::MEETING_ENTRY_BYTES;
-            let changed_rows = self.states[from.index()].meetings.rows_changed_since(since);
-            for row in changed_rows {
+            self.states
+                .state(from)
+                .meetings
+                .rows_changed_since_into(since, changed_rows);
+            for &row in changed_rows.iter() {
                 if allowed < row_cost {
                     truncated = true;
                     break;
                 }
-                let (from_st, to_st) = two_states(&mut self.states, from, to);
+                let (from_st, to_st) = self.states.two(from, to);
                 to_st.meetings.merge_rows_from(&from_st.meetings, &[row]);
                 allowed -= row_cost;
                 used += row_cost;
             }
             // Opportunity averages changed since the watermark.
-            for u in 0..self.states.len() {
-                let (v, stamp) = self.states[from.index()].believed_opp[u];
+            for u in 0..self.n {
+                let (v, stamp) = self.states.state(from).believed_opp[u];
                 if stamp <= since {
                     continue;
                 }
@@ -1109,7 +1431,7 @@ impl Rapid {
                     truncated = true;
                     break;
                 }
-                let to_st = &mut self.states[to.index()];
+                let to_st = self.states.state_mut(to);
                 if stamp > to_st.believed_opp[u].1 {
                     to_st.believed_opp[u] = (v, stamp);
                 }
@@ -1134,28 +1456,31 @@ impl Rapid {
         //      recorded as a design decision in DESIGN.md.
         let mut entry_watermark = now;
         {
-            let changed = self.states[from.index()].meta.changed_since(since);
-            let mut own: Vec<(PacketId, usize, Time)> = Vec::new();
-            let mut third: Vec<(PacketId, usize, Time)> = Vec::new();
-            for (id, n_entries, changed_at) in changed {
+            self.states
+                .state(from)
+                .meta
+                .changed_since_into(since, changed);
+            own_changed.clear();
+            third_changed.clear();
+            for &(id, n_entries, changed_at) in changed.iter() {
                 let buffered = driver.buffer(from).contains(id);
                 if local_only {
                     if buffered {
-                        own.push((id, n_entries, changed_at));
+                        own_changed.push((id, n_entries, changed_at));
                     }
                     continue;
                 }
                 if driver.packets().get(id).src == from {
-                    own.push((id, n_entries, changed_at));
+                    own_changed.push((id, n_entries, changed_at));
                 } else {
-                    third.push((id, n_entries, changed_at));
+                    third_changed.push((id, n_entries, changed_at));
                 }
             }
 
             // Own/buffered estimates: complete, oldest first, watermarked.
             let mut sent_through = since;
             let mut entries_truncated = false;
-            for &(id, n_entries, changed_at) in &own {
+            for &(id, n_entries, changed_at) in own_changed.iter() {
                 let cost = n_entries as u64 * wire::META_ENTRY_BYTES;
                 if allowed < cost {
                     entries_truncated = true;
@@ -1174,7 +1499,7 @@ impl Rapid {
             // Third-party gossip: newest first, bounded.
             let gossip_budget = ((full_opp as f64 * THIRD_PARTY_FRACTION) as u64).min(allowed);
             let mut gossip_left = gossip_budget;
-            for &(id, n_entries, _) in third.iter().rev() {
+            for &(id, n_entries, _) in third_changed.iter().rev() {
                 let cost = n_entries as u64 * wire::META_ENTRY_BYTES;
                 if gossip_left < cost {
                     break;
@@ -1188,7 +1513,7 @@ impl Rapid {
         driver.charge_metadata(from, used);
         // Advance the watermark to cover everything actually shipped; a
         // truncated exchange resumes from where it stopped next time.
-        self.states[from.index()].last_sent[to.index()] = if truncated {
+        self.states.state_mut(from).last_sent[to.index()] = if truncated {
             entry_watermark.min(now)
         } else {
             now
@@ -1198,7 +1523,7 @@ impl Rapid {
     /// Copies `from`'s belief entries about `id` newer than `since` into
     /// `to`'s table (unless the peer already knows the packet delivered).
     fn ship_belief(&mut self, from: NodeId, to: NodeId, id: PacketId, since: Time) {
-        let (from_st, to_st) = two_states(&mut self.states, from, to);
+        let (from_st, to_st) = self.states.two(from, to);
         if let Some(belief) = from_st.meta.get(id) {
             if !to_st.acks.contains(id) {
                 to_st.meta.merge_packet_from(id, belief, since);
@@ -1259,19 +1584,6 @@ fn sort_candidates(c: &mut Vec<Candidate>, remaining: u64) {
         c.truncate(keep);
     }
     c.sort_unstable_by(by_score);
-}
-
-/// Split-borrows two distinct node states.
-fn two_states(states: &mut [NodeState], a: NodeId, b: NodeId) -> (&mut NodeState, &mut NodeState) {
-    let (ai, bi) = (a.index(), b.index());
-    assert_ne!(ai, bi);
-    if ai < bi {
-        let (lo, hi) = states.split_at_mut(bi);
-        (&mut lo[ai], &mut hi[0])
-    } else {
-        let (lo, hi) = states.split_at_mut(ai);
-        (&mut hi[0], &mut lo[bi])
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,90 @@
+//! Steady-state allocation audit for the contact hot path's snapshot
+//! refill. A counting global allocator wraps the system allocator; after a
+//! warm-up refill has sized the snapshot's buffers, further refills from
+//! same-shaped buffers must perform **zero** heap allocations — the
+//! property the per-contact scratch reuse in `protocol.rs` relies on.
+//!
+//! One test only: the counter is process-global, and a sibling test's
+//! allocations would pollute the measurement.
+
+use dtn_sim::{NodeBuffer, NodeId, Packet, PacketId, Time};
+use rapid_core::QueueSnapshot;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+struct Counting;
+
+// SAFETY: delegates to `System`; the counter has no safety impact.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+fn filled_buffer(id_base: u32, packets: usize, dsts: u32) -> NodeBuffer {
+    let mut buf = NodeBuffer::new(u64::MAX);
+    for k in 0..packets {
+        let stored = buf.insert(
+            &Packet {
+                id: PacketId(id_base + k as u32),
+                src: NodeId(0),
+                dst: NodeId(1 + (k as u32 % dsts)),
+                size_bytes: 1024,
+                created_at: Time::from_secs(k as u64),
+            },
+            Time::from_secs(k as u64),
+        );
+        assert!(stored);
+    }
+    buf
+}
+
+#[test]
+fn steady_state_snapshot_refill_allocates_nothing() {
+    let first = filled_buffer(0, 48, 6);
+    // Same shape (queue count and per-queue sizes), different packets —
+    // the steady-state case: one contact after another refilling the same
+    // scratch snapshot.
+    let second = filled_buffer(1000, 48, 6);
+
+    let mut snap = QueueSnapshot::default();
+    // Warm-up: sizes every internal buffer.
+    snap.refill_from_buffer(&first);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    snap.refill_from_buffer(&second);
+    snap.refill_from_buffer(&first);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state snapshot refill must not touch the heap"
+    );
+
+    // The refilled snapshot still answers queries correctly.
+    assert_eq!(
+        snap.bytes_ahead(NodeId(1), PacketId(6), Time::from_secs(6)),
+        1024,
+        "second same-destination packet sits one packet deep"
+    );
+}

@@ -9,8 +9,8 @@
 
 use crate::common::{deliver_destined, replication_candidates};
 use dtn_sim::{
-    ContactDriver, NodeBuffer, NodeId, Packet, PacketId, PacketStore, Routing, SimConfig, Time,
-    TransferOutcome,
+    ContactConcurrency, ContactDriver, ContactPool, NodeBuffer, NodeId, Packet, PacketId,
+    PacketStore, Routing, SimConfig, SlicePartition, Time, TransferOutcome,
 };
 
 /// Unbounded flooding.
@@ -64,6 +64,29 @@ impl Routing for Epidemic {
     }
 
     fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+        Self::contact_core(driver);
+    }
+
+    fn contact_concurrency(&self) -> ContactConcurrency {
+        // Flooding keeps no protocol state at all: contacts are a pure
+        // function of the driver, so node-disjoint ones commute.
+        ContactConcurrency::NodeDisjoint
+    }
+
+    fn on_contact_batch(&mut self, batch: &mut [ContactDriver<'_>], pool: &ContactPool) {
+        let drivers = SlicePartition::new(batch);
+        pool.run(drivers.len(), &|_worker, i| {
+            // SAFETY: each batch index is claimed by exactly one worker
+            // (ContactPool::run) and drivers address disjoint world slices
+            // (the engine's node-disjoint batch contract).
+            Self::contact_core(unsafe { drivers.get_mut(i) });
+        });
+    }
+}
+
+impl Epidemic {
+    /// One flooding contact; free of `self`, so batches parallelize.
+    fn contact_core(driver: &mut ContactDriver<'_>) {
         let (a, b) = driver.endpoints();
         for x in [a, b] {
             let _ = deliver_destined(driver, x);

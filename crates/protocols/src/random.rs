@@ -4,12 +4,23 @@
 //! transfer opportunity." The ack-flooding variant additionally gossips
 //! delivery acknowledgments and purges acknowledged packets — the first
 //! component in the Fig. 14 decomposition of RAPID's gains.
+//!
+//! Randomness discipline: every contact draws from its own RNG substream,
+//! derived from `(seed, contact sequence number)` rather than one shared
+//! protocol stream. Statistically nothing changes (each shuffle still sees
+//! an independent uniform stream), but contact decisions become a pure
+//! function of the contact itself — which is what lets Random declare
+//! [`ContactConcurrency::NodeDisjoint`] and run under the engine's
+//! intra-run parallel batch layer with byte-identical results.
+//! Creation-time `make_room` (an engine-serial path) keeps a persistent
+//! stream of its own.
 
 use crate::common::{deliver_destined, evict_until, replication_candidates};
 use dtn_sim::{
-    AckTable, ContactDriver, NodeBuffer, NodeId, Packet, PacketId, PacketStore, Routing, SimConfig,
-    Time, TransferOutcome,
+    AckTable, ContactConcurrency, ContactDriver, ContactPool, NodeBuffer, NodeId, Packet, PacketId,
+    PacketStore, Routing, SimConfig, SlicePartition, Time, TransferOutcome,
 };
+use dtn_stats::SeedStream;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
@@ -19,8 +30,12 @@ const ACK_BYTES: u64 = 4;
 /// The Random baseline.
 pub struct Random {
     with_acks: bool,
+    /// Creation-time eviction stream (`make_room` only — contacts derive
+    /// per-contact substreams, see the module docs).
     rng: StdRng,
     acks: AckTable,
+    /// Factory for the per-contact substreams.
+    contacts: SeedStream,
 }
 
 impl Random {
@@ -30,6 +45,7 @@ impl Random {
             with_acks: false,
             rng: dtn_stats::stream(0, "random-protocol"),
             acks: AckTable::new(0),
+            contacts: SeedStream::new(0).derive("random-contact"),
         }
     }
 
@@ -39,6 +55,70 @@ impl Random {
             with_acks: true,
             ..Self::new()
         }
+    }
+
+    /// Delivery plus randomized replication for one contact, drawing from
+    /// the contact's own substream. Free of `self`: the batch path runs
+    /// this concurrently for node-disjoint contacts.
+    fn contact_core(contacts: SeedStream, driver: &mut ContactDriver<'_>) {
+        let (a, b) = driver.endpoints();
+        for x in [a, b] {
+            let _ = deliver_destined(driver, x);
+        }
+        Self::replicate_randomly(contacts, driver);
+    }
+
+    /// The randomized replication half of a contact.
+    fn replicate_randomly(contacts: SeedStream, driver: &mut ContactDriver<'_>) {
+        let (a, b) = driver.endpoints();
+        // The substream is only materialized when a draw actually happens
+        // (shuffles of 0/1 elements are no-ops) — most sparse-fleet
+        // contacts never pay the stream setup.
+        let mut rng = LazyContactRng {
+            contacts,
+            seq: driver.contact_seq(),
+            rng: None,
+        };
+        for x in [a, b] {
+            let mut candidates = replication_candidates(driver, x);
+            if candidates.len() > 1 {
+                candidates.shuffle(rng.get());
+            }
+            for id in candidates {
+                loop {
+                    match driver.try_transfer(x, id) {
+                        TransferOutcome::NeedsSpace(needed) => {
+                            // Random eviction at the receiver.
+                            let y = driver.peer_of(x);
+                            let mut pool = driver.buffer(y).ids();
+                            if pool.len() > 1 {
+                                pool.shuffle(rng.get());
+                            }
+                            if !evict_until(driver, y, needed, &mut pool) {
+                                break;
+                            }
+                        }
+                        TransferOutcome::NoBandwidth => return,
+                        _ => break,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A per-contact RNG substream, initialized on first draw.
+struct LazyContactRng {
+    contacts: SeedStream,
+    seq: u64,
+    rng: Option<StdRng>,
+}
+
+impl LazyContactRng {
+    fn get(&mut self) -> &mut StdRng {
+        let (contacts, seq) = (self.contacts, self.seq);
+        self.rng
+            .get_or_insert_with(|| contacts.rng_indexed("seq", seq))
     }
 }
 
@@ -60,6 +140,7 @@ impl Routing for Random {
     fn on_init(&mut self, config: &SimConfig) {
         self.rng = dtn_stats::stream(config.seed, "random-protocol");
         self.acks = AckTable::new(config.nodes);
+        self.contacts = SeedStream::new(config.seed).derive("random-contact");
     }
 
     fn make_room(
@@ -105,38 +186,40 @@ impl Routing for Random {
                     }
                 }
             }
-        }
-
-        for x in [a, b] {
-            for id in deliver_destined(driver, x) {
-                if self.with_acks {
+            for x in [a, b] {
+                for id in deliver_destined(driver, x) {
                     self.acks.learn(x, id);
                     self.acks.learn(driver.peer_of(x), id);
                 }
             }
+            // Delivery already ran; replication only below.
+            Self::replicate_randomly(self.contacts, driver);
+        } else {
+            Self::contact_core(self.contacts, driver);
         }
+    }
 
-        for x in [a, b] {
-            let mut candidates = replication_candidates(driver, x);
-            candidates.shuffle(&mut self.rng);
-            for id in candidates {
-                loop {
-                    match driver.try_transfer(x, id) {
-                        TransferOutcome::NeedsSpace(needed) => {
-                            // Random eviction at the receiver.
-                            let y = driver.peer_of(x);
-                            let mut pool = driver.buffer(y).ids();
-                            pool.shuffle(&mut self.rng);
-                            if !evict_until(driver, y, needed, &mut pool) {
-                                break;
-                            }
-                        }
-                        TransferOutcome::NoBandwidth => return,
-                        _ => break,
-                    }
-                }
-            }
+    fn contact_concurrency(&self) -> ContactConcurrency {
+        // The ack table rows are per-node, but `exchange` walks both rows
+        // through one `&mut self` path; keep the ack variant serial.
+        if self.with_acks {
+            ContactConcurrency::Serial
+        } else {
+            ContactConcurrency::NodeDisjoint
         }
+    }
+
+    fn on_contact_batch(&mut self, batch: &mut [ContactDriver<'_>], pool: &ContactPool) {
+        debug_assert!(!self.with_acks, "ack variant declared Serial");
+        let contacts = self.contacts;
+        let drivers = SlicePartition::new(batch);
+        pool.run(drivers.len(), &|_worker, i| {
+            // SAFETY: each batch index is claimed by exactly one worker
+            // (ContactPool::run) and drivers address disjoint world slices
+            // (the engine's node-disjoint batch contract).
+            let driver = unsafe { drivers.get_mut(i) };
+            Self::contact_core(contacts, driver);
+        });
     }
 }
 

@@ -5,8 +5,24 @@
 //! rules of §3.1 — at most `s_e` bytes in each direction, no fragmentation,
 //! buffer capacity respected — and keeps the byte accounting (data versus
 //! control metadata) that the evaluation reports (Figs. 8, 9).
+//!
+//! # Serial and batch world access
+//!
+//! The serial engine hands each driver the *full* world (every buffer, the
+//! delivered-at table, the holder sets). Under intra-run parallelism
+//! (`RAPID_INTRA_JOBS > 1`, see [`crate::par`]) a batch of node-disjoint
+//! contacts executes concurrently, and each driver instead holds a *pair*
+//! view: exclusive access to its two endpoint buffers, a contracted view
+//! of `delivered_at` (a packet's slot is only touched by the single
+//! contact involving the packet's destination), and a deferred holder-op
+//! log the engine applies at commit time. Both views produce identical
+//! observable behaviour for protocols that only address the contact's
+//! endpoints; the global view ([`ContactDriver::global`]) exists only in
+//! serial mode (global-knowledge runs are never batched).
 
 use crate::buffer::NodeBuffer;
+use crate::ids::IndexSet;
+use crate::par::RawSlice;
 use crate::routing::{PacketStore, TransferOutcome};
 use crate::time::Time;
 use crate::types::{NodeId, PacketId};
@@ -31,12 +47,125 @@ pub struct ContactLedger {
     pub deliveries: u64,
 }
 
+/// One deferred holder-set mutation (batch mode): `added == true` inserts
+/// `node` into packet `id`'s holder set, `false` removes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct HolderOp {
+    pub id: PacketId,
+    pub node: NodeId,
+    pub added: bool,
+}
+
 /// Mutable world state the driver operates on; borrowed from the engine.
-pub(crate) struct WorldMut<'a> {
-    pub packets: &'a PacketStore,
-    pub buffers: &'a mut [NodeBuffer],
-    pub delivered_at: &'a mut [Option<Time>],
-    pub holders: &'a mut [Vec<NodeId>],
+pub(crate) enum WorldMut<'a> {
+    /// The serial engine's full world.
+    Full {
+        packets: &'a PacketStore,
+        buffers: &'a mut [NodeBuffer],
+        delivered_at: &'a mut [Option<Time>],
+        holders: &'a mut [IndexSet],
+    },
+    /// One batch contact's exclusive slice of the world (see module docs).
+    Pair {
+        packets: &'a PacketStore,
+        a: NodeId,
+        buf_a: &'a mut NodeBuffer,
+        b: NodeId,
+        buf_b: &'a mut NodeBuffer,
+        delivered_at: RawSlice<'a, Option<Time>>,
+        holder_log: Vec<HolderOp>,
+    },
+}
+
+impl WorldMut<'_> {
+    fn packets(&self) -> &PacketStore {
+        match self {
+            WorldMut::Full { packets, .. } | WorldMut::Pair { packets, .. } => packets,
+        }
+    }
+
+    fn buffer(&self, node: NodeId) -> &NodeBuffer {
+        match self {
+            WorldMut::Full { buffers, .. } => &buffers[node.index()],
+            WorldMut::Pair {
+                a, buf_a, b, buf_b, ..
+            } => {
+                if node == *a {
+                    buf_a
+                } else if node == *b {
+                    buf_b
+                } else {
+                    panic!("{node} is outside this batch contact's pair view")
+                }
+            }
+        }
+    }
+
+    fn buffer_mut(&mut self, node: NodeId) -> &mut NodeBuffer {
+        match self {
+            WorldMut::Full { buffers, .. } => &mut buffers[node.index()],
+            WorldMut::Pair {
+                a, buf_a, b, buf_b, ..
+            } => {
+                if node == *a {
+                    buf_a
+                } else if node == *b {
+                    buf_b
+                } else {
+                    panic!("{node} is outside this batch contact's pair view")
+                }
+            }
+        }
+    }
+
+    /// Reads a packet's delivered-at slot. In pair mode this is only ever
+    /// called for packets destined to one of the contact's endpoints,
+    /// which is exactly the per-batch exclusivity contract of
+    /// [`RawSlice`] (no other batch member can involve that destination).
+    fn delivered_at(&self, id: PacketId) -> Option<Time> {
+        match self {
+            WorldMut::Full { delivered_at, .. } => delivered_at[id.index()],
+            // SAFETY: see above — slot exclusivity per the batch contract.
+            WorldMut::Pair { delivered_at, .. } => unsafe { delivered_at.get(id.index()) },
+        }
+    }
+
+    fn set_delivered_at(&mut self, id: PacketId, now: Time) {
+        match self {
+            WorldMut::Full { delivered_at, .. } => delivered_at[id.index()] = Some(now),
+            // SAFETY: as `delivered_at` — slot exclusivity per the batch
+            // contract.
+            WorldMut::Pair { delivered_at, .. } => unsafe {
+                delivered_at.set(id.index(), Some(now))
+            },
+        }
+    }
+
+    fn add_holder(&mut self, node: NodeId, id: PacketId) {
+        match self {
+            WorldMut::Full { holders, .. } => {
+                holders[id.index()].insert(node.index());
+            }
+            WorldMut::Pair { holder_log, .. } => holder_log.push(HolderOp {
+                id,
+                node,
+                added: true,
+            }),
+        }
+    }
+
+    fn remove_holder(&mut self, node: NodeId, id: PacketId) {
+        match self {
+            WorldMut::Full { holders, .. } => {
+                holders[id.index()].remove(node.index());
+            }
+            WorldMut::Pair { holder_log, .. } => holder_log.push(HolderOp {
+                id,
+                node,
+                added: false,
+            }),
+        }
+    }
 }
 
 /// A single transfer opportunity, as seen by the routing protocol.
@@ -49,9 +178,11 @@ pub struct ContactDriver<'a> {
     cap_ba: u64,
     ledger: ContactLedger,
     allow_global: bool,
+    seq: u64,
 }
 
 impl<'a> ContactDriver<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         world: WorldMut<'a>,
         now: Time,
@@ -59,6 +190,7 @@ impl<'a> ContactDriver<'a> {
         b: NodeId,
         bytes_each_way: u64,
         allow_global: bool,
+        seq: u64,
     ) -> Self {
         Self {
             world,
@@ -69,12 +201,32 @@ impl<'a> ContactDriver<'a> {
             cap_ba: bytes_each_way,
             ledger: ContactLedger::default(),
             allow_global,
+            seq,
         }
+    }
+
+    /// Drains the driver at commit time: the accumulated ledger plus any
+    /// deferred holder ops (empty in serial mode).
+    pub(crate) fn into_commit(self) -> (ContactLedger, Vec<HolderOp>) {
+        let log = match self.world {
+            WorldMut::Full { .. } => Vec::new(),
+            WorldMut::Pair { holder_log, .. } => holder_log,
+        };
+        (self.ledger, log)
     }
 
     /// Current simulation time (the instant of the meeting).
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    /// This contact's sequence number in the run's serial drive order
+    /// (0-based, counting every driven contact). Protocols that need
+    /// randomness derive a per-contact RNG substream from it — the one
+    /// discipline that keeps their draws identical between the serial
+    /// engine and intra-run parallel execution (see [`crate::par`]).
+    pub fn contact_seq(&self) -> u64 {
+        self.seq
     }
 
     /// The two endpoints of this contact.
@@ -128,12 +280,12 @@ impl<'a> ContactDriver<'a> {
 
     /// Read access to a node's buffer (either endpoint).
     pub fn buffer(&self, node: NodeId) -> &NodeBuffer {
-        &self.world.buffers[node.index()]
+        self.world.buffer(node)
     }
 
     /// The packet arena.
     pub fn packets(&self) -> &PacketStore {
-        self.world.packets
+        self.world.packets()
     }
 
     /// Byte/transfer counters so far in this contact.
@@ -147,9 +299,9 @@ impl<'a> ContactDriver<'a> {
     /// witnessed the delivery, §3.4's implicit ack).
     pub fn try_transfer(&mut self, from: NodeId, id: PacketId) -> TransferOutcome {
         let to = self.peer_of(from);
-        let packet = *self.world.packets.get(id);
+        let packet = *self.world.packets().get(id);
         assert!(
-            self.world.buffers[from.index()].contains(id),
+            self.world.buffer(from).contains(id),
             "{from} does not hold {id}"
         );
 
@@ -166,30 +318,29 @@ impl<'a> ContactDriver<'a> {
             self.ledger.data_bytes += size;
             // Sender observed the delivery: its own replica is now useless.
             self.remove_replica(from, id);
-            let slot = &mut self.world.delivered_at[id.index()];
-            if slot.is_none() {
-                *slot = Some(self.now);
+            if self.world.delivered_at(id).is_none() {
+                self.world.set_delivered_at(id, self.now);
                 self.ledger.deliveries += 1;
                 TransferOutcome::Delivered
             } else {
                 TransferOutcome::DeliveredDuplicate
             }
         } else {
-            if self.world.buffers[to.index()].contains(id) {
+            if self.world.buffer(to).contains(id) {
                 return TransferOutcome::AlreadyHeld;
             }
             if size > remaining {
                 return TransferOutcome::NoBandwidth;
             }
-            let free = self.world.buffers[to.index()].free_bytes();
+            let free = self.world.buffer(to).free_bytes();
             if size > free {
                 return TransferOutcome::NeedsSpace(size - free);
             }
             self.consume(from, size);
             self.ledger.data_bytes += size;
-            let stored = self.world.buffers[to.index()].insert(&packet, self.now);
+            let stored = self.world.buffer_mut(to).insert(&packet, self.now);
             debug_assert!(stored, "insert after free-space check cannot fail");
-            self.add_holder(to, id);
+            self.world.add_holder(to, id);
             self.ledger.replications += 1;
             TransferOutcome::Replicated
         }
@@ -210,6 +361,8 @@ impl<'a> ContactDriver<'a> {
 
     /// True global state — only available when the run was configured with
     /// `allow_global_knowledge` (the instant global channel of §6.2.3).
+    /// Global-knowledge runs are always executed serially, so the full
+    /// world is guaranteed to be present here.
     ///
     /// # Panics
     /// If global knowledge is not enabled for this run.
@@ -218,10 +371,20 @@ impl<'a> ContactDriver<'a> {
             self.allow_global,
             "global knowledge is disabled for this run (see SimConfig::allow_global_knowledge)"
         );
-        GlobalView {
-            delivered_at: self.world.delivered_at,
-            holders: self.world.holders,
-            buffers: self.world.buffers,
+        match &self.world {
+            WorldMut::Full {
+                delivered_at,
+                holders,
+                buffers,
+                ..
+            } => GlobalView {
+                delivered_at,
+                holders,
+                buffers,
+            },
+            WorldMut::Pair { .. } => {
+                unreachable!("global-knowledge runs are never batch-executed")
+            }
         }
     }
 
@@ -232,19 +395,9 @@ impl<'a> ContactDriver<'a> {
         }
     }
 
-    fn add_holder(&mut self, node: NodeId, id: PacketId) {
-        let list = &mut self.world.holders[id.index()];
-        if let Err(pos) = list.binary_search(&node) {
-            list.insert(pos, node);
-        }
-    }
-
     fn remove_replica(&mut self, node: NodeId, id: PacketId) -> bool {
-        if self.world.buffers[node.index()].remove(id) {
-            let list = &mut self.world.holders[id.index()];
-            if let Ok(pos) = list.binary_search(&node) {
-                list.remove(pos);
-            }
+        if self.world.buffer_mut(node).remove(id) {
+            self.world.remove_holder(node, id);
             true
         } else {
             false
@@ -255,7 +408,7 @@ impl<'a> ContactDriver<'a> {
 /// Read-only true global state (instant global control channel, §6.2.3).
 pub struct GlobalView<'a> {
     delivered_at: &'a [Option<Time>],
-    holders: &'a [Vec<NodeId>],
+    holders: &'a [IndexSet],
     buffers: &'a [NodeBuffer],
 }
 
@@ -265,9 +418,10 @@ impl GlobalView<'_> {
         self.delivered_at[id.index()].is_some()
     }
 
-    /// The nodes currently holding replicas of `id`, ascending.
-    pub fn holders(&self, id: PacketId) -> &[NodeId] {
-        &self.holders[id.index()]
+    /// The nodes currently holding replicas of `id`, in ascending node-id
+    /// order.
+    pub fn holders(&self, id: PacketId) -> impl Iterator<Item = NodeId> + '_ {
+        self.holders[id.index()].iter().map(|i| NodeId(i as u32))
     }
 
     /// Read access to any node's buffer (remote queue state — what the

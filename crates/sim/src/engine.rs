@@ -20,16 +20,25 @@
 use crate::contact::{ContactWindow, Schedule};
 use crate::driver::{ContactDriver, WorldMut};
 use crate::event::{EventQueue, NodeEvent, SimEvent, WindowIdx};
+use crate::ids::IndexSet;
 use crate::noise::NoiseModel;
+use crate::par::{
+    Batcher, ContactConcurrency, ContactPool, PendingDrive, RawSlice, SlicePartition,
+};
 use crate::report::SimReport;
 use crate::routing::{PacketStore, Routing, SimConfig};
 use crate::source::{ContactSource, WorkloadSource};
 use crate::time::{Time, TimeDelta};
-use crate::types::{NodeId, Packet, PacketId};
+use crate::types::{Packet, PacketId};
 use crate::NodeBuffer;
 use dtn_stats::sample::Exponential;
 use dtn_stats::stream;
 use rand::Rng;
+
+/// Bounded lookahead of the intra-run batch scheduler: the maximum number
+/// of contact drives held (ready + deferred) before a flush is forced.
+/// Bounds both the reordering window and the memory of pending drives.
+const INTRA_LOOKAHEAD: usize = 1024;
 
 /// A fully specified simulation run: configuration, contact-window schedule,
 /// packet workload and (optionally) node churn.
@@ -157,6 +166,18 @@ struct OpenWindow {
 /// Events scheduled past `config.horizon` still execute (the seed engine
 /// processed every contact it was given); generators are expected to clamp
 /// at the horizon.
+///
+/// # Intra-run parallelism
+///
+/// With `config.intra_jobs > 1`, on runs without global knowledge and for
+/// protocols declaring [`ContactConcurrency::NodeDisjoint`], the engine
+/// layers a conservative parallel scheduler over the same drain order: it
+/// scans ahead (bounded lookahead), greedily groups contact drives whose
+/// node sets are pairwise disjoint, executes each group on a scoped
+/// worker pool, and commits results in the scan order. Every non-contact
+/// event is a barrier. Results are byte-identical to `intra_jobs = 1`
+/// (the serial engine, and the default) — see [`crate::par`] for the
+/// determinism argument.
 pub fn run_streaming(
     config: &SimConfig,
     contacts: &mut dyn ContactSource,
@@ -164,6 +185,39 @@ pub fn run_streaming(
     churn: &[NodeEvent],
     noise: Option<NoiseModel>,
     routing: &mut dyn Routing,
+) -> SimReport {
+    let jobs = config.intra_jobs.max(1);
+    let parallel = jobs > 1
+        && !config.allow_global_knowledge
+        && routing.contact_concurrency() == ContactConcurrency::NodeDisjoint;
+    if parallel {
+        std::thread::scope(|scope| {
+            let pool = ContactPool::start(scope, jobs);
+            run_loop(
+                config,
+                contacts,
+                workload,
+                churn,
+                noise,
+                routing,
+                Some(&pool),
+            )
+        })
+    } else {
+        run_loop(config, contacts, workload, churn, noise, routing, None)
+    }
+}
+
+/// The engine loop behind [`run_streaming`]; `pool` is `Some` only for
+/// intra-run parallel execution.
+fn run_loop(
+    config: &SimConfig,
+    contacts: &mut dyn ContactSource,
+    workload: &mut dyn WorkloadSource,
+    churn: &[NodeEvent],
+    noise: Option<NoiseModel>,
+    routing: &mut dyn Routing,
+    pool: Option<&ContactPool>,
 ) -> SimReport {
     let n = config.nodes;
     let mut world = EngineWorld {
@@ -234,6 +288,12 @@ pub fn run_streaming(
     let mut next_window_idx: WindowIdx = 0;
     let mut next_packet = pull_packet(workload, &mut last_packet_time);
 
+    // Intra-run parallel state: the batch scheduler and the contact
+    // sequence counter (assigned in scan = serial drive order; also what
+    // randomized protocols derive their per-contact RNG substreams from).
+    let mut batcher = pool.map(|_| Batcher::new(n, INTRA_LOOKAHEAD));
+    let mut contact_seq: u64 = 0;
+
     const START_RANK: u8 = 3; // SimEvent::ContactStart
     const CREATED_RANK: u8 = 4; // SimEvent::PacketCreated
 
@@ -281,16 +341,40 @@ pub fn run_streaming(
             }
             if w.is_instantaneous() {
                 let budget = w.lump_bytes.saturating_sub(loss);
-                drive_contact(
-                    config,
-                    routing,
-                    &mut world,
-                    &mut report,
-                    &w,
-                    now,
-                    budget,
-                    false,
-                );
+                let seq = contact_seq;
+                contact_seq += 1;
+                match &mut batcher {
+                    Some(batcher) => {
+                        batcher.push(PendingDrive {
+                            window: w,
+                            now,
+                            budget,
+                            seq,
+                            measured,
+                        });
+                        if batcher.full() {
+                            flush_batches(
+                                config,
+                                routing,
+                                &mut world,
+                                &mut report,
+                                pool.expect("batcher implies pool"),
+                                batcher,
+                            );
+                        }
+                    }
+                    None => drive_contact(
+                        config,
+                        routing,
+                        &mut world,
+                        &mut report,
+                        &w,
+                        now,
+                        budget,
+                        false,
+                        seq,
+                    ),
+                }
             } else {
                 queue.push(w.end, SimEvent::ContactEnd(i));
                 open.push(OpenWindow {
@@ -303,6 +387,18 @@ pub fn run_streaming(
         }
 
         if packet_key == Some(best) {
+            // Creations read and mutate world state other contacts may
+            // share (the source buffer, holder sets): a barrier.
+            if let Some(batcher) = &mut batcher {
+                flush_batches(
+                    config,
+                    routing,
+                    &mut world,
+                    &mut report,
+                    pool.expect("batcher implies pool"),
+                    batcher,
+                );
+            }
             let spec = next_packet.take().expect("packet candidate exists");
             next_packet = pull_packet(workload, &mut last_packet_time);
 
@@ -316,7 +412,7 @@ pub fn run_streaming(
             };
             world.store.push(packet);
             world.delivered_at.push(None);
-            world.holders.push(Vec::new());
+            world.holders.push(IndexSet::new());
 
             if !up[spec.src.index()] {
                 // A down node cannot originate traffic.
@@ -332,15 +428,12 @@ pub fn run_streaming(
                     routing.make_room(spec.src, &packet, needed, buf, &world.store, spec.time);
                 for v in victims {
                     if world.buffers[spec.src.index()].remove(v) {
-                        let list = &mut world.holders[v.index()];
-                        if let Ok(pos) = list.binary_search(&spec.src) {
-                            list.remove(pos);
-                        }
+                        world.holders[v.index()].remove(spec.src.index());
                     }
                 }
             }
             if world.buffers[spec.src.index()].insert(&packet, spec.time) {
-                world.holders[id.index()].push(spec.src);
+                world.holders[id.index()].insert(spec.src.index());
                 world.entered.push(true);
                 routing.on_packet_created(&packet);
                 if let Some(ttl) = config.ttl {
@@ -354,6 +447,21 @@ pub fn run_streaming(
         }
 
         let (now, event) = queue.pop().expect("queue candidate exists");
+        // Every queue event other than a window close reads or mutates
+        // state pending drives may share (availability, holder sets,
+        // buffers of arbitrary nodes): a barrier.
+        if !matches!(event, SimEvent::ContactEnd(_)) {
+            if let Some(batcher) = &mut batcher {
+                flush_batches(
+                    config,
+                    routing,
+                    &mut world,
+                    &mut report,
+                    pool.expect("batcher implies pool"),
+                    batcher,
+                );
+            }
+        }
         match event {
             SimEvent::NodeUp(node) => {
                 up[node.index()] = true;
@@ -368,6 +476,8 @@ pub fn run_streaming(
                     if open[k].window.involves(node) {
                         let ow = open.remove(k);
                         let budget = ow.window.capacity_until(now).saturating_sub(ow.loss);
+                        let seq = contact_seq;
+                        contact_seq += 1;
                         drive_contact(
                             config,
                             routing,
@@ -377,6 +487,7 @@ pub fn run_streaming(
                             now,
                             budget,
                             true,
+                            seq,
                         );
                     } else {
                         k += 1;
@@ -391,16 +502,40 @@ pub fn run_streaming(
                 if let Some(pos) = open.iter().position(|ow| ow.idx == i) {
                     let ow = open.remove(pos);
                     let budget = ow.window.capacity_until(now).saturating_sub(ow.loss);
-                    drive_contact(
-                        config,
-                        routing,
-                        &mut world,
-                        &mut report,
-                        &ow.window,
-                        now,
-                        budget,
-                        false,
-                    );
+                    let seq = contact_seq;
+                    contact_seq += 1;
+                    match &mut batcher {
+                        Some(batcher) => {
+                            batcher.push(PendingDrive {
+                                window: ow.window,
+                                now,
+                                budget,
+                                seq,
+                                measured: ow.window.start >= config.measure_from,
+                            });
+                            if batcher.full() {
+                                flush_batches(
+                                    config,
+                                    routing,
+                                    &mut world,
+                                    &mut report,
+                                    pool.expect("batcher implies pool"),
+                                    batcher,
+                                );
+                            }
+                        }
+                        None => drive_contact(
+                            config,
+                            routing,
+                            &mut world,
+                            &mut report,
+                            &ow.window,
+                            now,
+                            budget,
+                            false,
+                            seq,
+                        ),
+                    }
                 }
             }
             SimEvent::PacketExpired(id) => {
@@ -408,8 +543,8 @@ pub fn run_streaming(
                     continue; // delivered before the TTL: nothing to do
                 }
                 let holders = std::mem::take(&mut world.holders[id.index()]);
-                for h in holders {
-                    world.buffers[h.index()].remove(id);
+                for h in holders.iter() {
+                    world.buffers[h].remove(id);
                 }
                 report.expired += 1;
                 routing.on_packet_expired(world.store.get(id));
@@ -418,6 +553,18 @@ pub fn run_streaming(
                 unreachable!("contact starts and creations come from the sources")
             }
         }
+    }
+
+    // Drives batched behind the final events still pend: flush them.
+    if let Some(batcher) = &mut batcher {
+        flush_batches(
+            config,
+            routing,
+            &mut world,
+            &mut report,
+            pool.expect("batcher implies pool"),
+            batcher,
+        );
     }
 
     // Per-delivery processing latency (deployment emulation only): the
@@ -458,6 +605,7 @@ fn drive_contact(
     now: Time,
     budget: u64,
     interrupted: bool,
+    seq: u64,
 ) {
     // Classified by window *start* (the seed engine's contact-time
     // convention): a warm-up window that spans `measure_from` stays
@@ -468,7 +616,7 @@ fn drive_contact(
         report.offered_bytes += 2 * budget;
     }
     let mut driver = ContactDriver::new(
-        WorldMut {
+        WorldMut::Full {
             packets: &world.store,
             buffers: &mut world.buffers,
             delivered_at: &mut world.delivered_at,
@@ -479,6 +627,7 @@ fn drive_contact(
         w.b,
         budget,
         config.allow_global_knowledge,
+        seq,
     );
     routing.on_contact(&mut driver);
     let ledger = driver.ledger();
@@ -490,12 +639,120 @@ fn drive_contact(
     routing.on_contact_end(w.a, w.b, now, interrupted);
 }
 
+/// Drains every drive held by the batch scheduler: executes the ready set
+/// on the pool, commits it in scan order, promotes deferred drives, and
+/// repeats until nothing is held. See [`crate::par`] for why this is
+/// byte-identical to driving the same contacts serially in scan order.
+fn flush_batches(
+    config: &SimConfig,
+    routing: &mut dyn Routing,
+    world: &mut EngineWorld,
+    report: &mut SimReport,
+    pool: &ContactPool,
+    batcher: &mut Batcher,
+) {
+    loop {
+        let ready = batcher.take_ready();
+        if ready.is_empty() {
+            debug_assert!(batcher.is_empty(), "take_ready drains everything");
+            return;
+        }
+        execute_ready(config, routing, world, report, pool, &ready);
+    }
+}
+
+/// Executes one pairwise node-disjoint set of drives and commits it.
+fn execute_ready(
+    config: &SimConfig,
+    routing: &mut dyn Routing,
+    world: &mut EngineWorld,
+    report: &mut SimReport,
+    pool: &ContactPool,
+    ready: &[PendingDrive],
+) {
+    debug_assert!(!config.allow_global_knowledge);
+    #[cfg(debug_assertions)]
+    {
+        // Defense in depth: the batcher's contract — pairwise-disjoint
+        // node sets — is what makes the unsafe splits below sound.
+        let mut nodes: Vec<usize> = ready
+            .iter()
+            .flat_map(|p| [p.window.a.index(), p.window.b.index()])
+            .collect();
+        nodes.sort_unstable();
+        let len = nodes.len();
+        nodes.dedup();
+        debug_assert_eq!(len, nodes.len(), "batch members must be node-disjoint");
+    }
+
+    let EngineWorld {
+        buffers,
+        store,
+        delivered_at,
+        holders,
+        ..
+    } = world;
+    let parts = SlicePartition::new(buffers.as_mut_slice());
+    let delivered = RawSlice::new(delivered_at.as_mut_slice());
+    let mut drivers: Vec<ContactDriver<'_>> = ready
+        .iter()
+        .map(|p| {
+            // SAFETY: batch members are pairwise node-disjoint (asserted
+            // above, guaranteed by the batcher), so every buffer slot is
+            // borrowed at most once across this driver set.
+            let (buf_a, buf_b) = unsafe { parts.pair_mut(p.window.a.index(), p.window.b.index()) };
+            ContactDriver::new(
+                WorldMut::Pair {
+                    packets: store,
+                    a: p.window.a,
+                    buf_a,
+                    b: p.window.b,
+                    buf_b,
+                    delivered_at: delivered.share(),
+                    holder_log: Vec::new(),
+                },
+                p.now,
+                p.window.a,
+                p.window.b,
+                p.budget,
+                false,
+                p.seq,
+            )
+        })
+        .collect();
+
+    routing.on_contact_batch(&mut drivers, pool);
+
+    // Commit in scan order: report accounting, deferred holder ops, and
+    // the contact-end hook.
+    for (p, driver) in ready.iter().zip(drivers) {
+        let (ledger, log) = driver.into_commit();
+        if p.measured {
+            report.contacts += 1;
+            report.offered_bytes += 2 * p.budget;
+            report.data_bytes += ledger.data_bytes;
+            report.metadata_bytes += ledger.metadata_bytes;
+            report.replications += ledger.replications;
+        }
+        for op in log {
+            if op.added {
+                holders[op.id.index()].insert(op.node.index());
+            } else {
+                holders[op.id.index()].remove(op.node.index());
+            }
+        }
+        routing.on_contact_end(p.window.a, p.window.b, p.now, false);
+    }
+}
+
 /// The engine-owned world state, grouped so helpers can borrow it whole.
 struct EngineWorld {
     buffers: Vec<NodeBuffer>,
     store: PacketStore,
     delivered_at: Vec<Option<Time>>,
-    holders: Vec<Vec<NodeId>>,
+    /// Per-packet replica holder sets (ascending-order bitsets — O(1)
+    /// insert/remove keeps fleet-wide replica spread off the hot path).
+    holders: Vec<IndexSet>,
     entered: Vec<bool>,
 }
 
@@ -504,6 +761,7 @@ mod tests {
     use super::*;
     use crate::contact::Contact;
     use crate::routing::TransferOutcome;
+    use crate::types::NodeId;
     use crate::workload::{PacketSpec, Workload};
 
     /// Minimal flooding protocol for engine tests: each side sends
@@ -750,7 +1008,7 @@ mod tests {
             }
             fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
                 let g = driver.global();
-                self.saw_holder = g.holders(PacketId(0)) == [NodeId(0)];
+                self.saw_holder = g.holders(PacketId(0)).eq([NodeId(0)]);
                 assert!(!g.is_delivered(PacketId(0)));
             }
         }

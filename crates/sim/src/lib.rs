@@ -58,6 +58,7 @@ pub mod engine;
 pub mod event;
 pub mod ids;
 pub mod noise;
+pub mod par;
 pub mod report;
 pub mod routing;
 pub mod source;
@@ -73,6 +74,7 @@ pub use engine::{run_streaming, Simulation};
 pub use event::{EventQueue, NodeEvent, SimEvent};
 pub use ids::{IndexSet, NodeIdx, NodeInterner, PacketIdx, PacketInterner};
 pub use noise::NoiseModel;
+pub use par::{intra_jobs_from_env, ContactConcurrency, ContactPool, SlicePartition};
 pub use report::{PacketOutcome, SimReport};
 pub use routing::{PacketStore, Routing, SimConfig, TransferOutcome};
 pub use source::{ContactSource, ScheduleStream, WorkloadSource, WorkloadStream};

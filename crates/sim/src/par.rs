@@ -1,0 +1,590 @@
+//! Intra-run parallel execution: the conservative batch scheduler's worker
+//! pool and the unsafe-but-contracted splitting primitives it runs on.
+//!
+//! The engine's event stream is inherently sequential — events commit in
+//! the documented `(time, rank, seq)` order — but most of the *work* is
+//! driven contacts, and a contact only touches per-endpoint state (its two
+//! node buffers, its two protocol states) plus per-packet facts that are
+//! exclusive to it (see `driver.rs`). Contacts whose node sets are
+//! disjoint therefore commute, and the engine exploits that with a
+//! conservative parallel discrete-event layer:
+//!
+//! 1. [`Batcher`] scans the merged event stream over a bounded lookahead
+//!    window and greedily groups contact drives with pairwise-disjoint
+//!    node sets; a drive that conflicts with anything already grouped is
+//!    *deferred* to a later pass (never reordered against a conflicting
+//!    drive). Any non-contact event (creation, TTL expiry, churn) is a
+//!    barrier: every pending drive executes before it.
+//! 2. [`ContactPool`] executes one batch across `RAPID_INTRA_JOBS` workers
+//!    (scoped threads; the caller participates, so `jobs = 1` never spawns).
+//! 3. The engine commits results — report accounting, holder-table ops,
+//!    `on_contact_end` hooks — serially, in the scan order.
+//!
+//! Determinism argument: the scan itself follows the serial drain order
+//! (so noise draws, suppression checks and contact sequence numbers are
+//! identical to the serial engine); batch members are pairwise
+//! node-disjoint, and a deferred drive is only ever executed *after*
+//! every earlier drive it conflicts with; all cross-contact effects
+//! (holder sets, delivered-at facts, report sums) commute across
+//! node-disjoint contacts. `RAPID_INTRA_JOBS=1` (the default) bypasses
+//! this module entirely — byte-identical by construction, not by
+//! argument.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a routing protocol's contact handler may be scheduled within one
+/// run (see [`crate::routing::Routing::contact_concurrency`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContactConcurrency {
+    /// Contacts must be driven one at a time, in event order (the
+    /// default; always correct).
+    Serial,
+    /// Contacts whose node sets are disjoint may be driven concurrently:
+    /// the protocol promises that `on_contact` / `on_contact_end` touch
+    /// only per-endpoint protocol state (plus the driver), and that any
+    /// randomness is derived from the driver's contact sequence number
+    /// rather than a shared stream.
+    NodeDisjoint,
+}
+
+/// The intra-run worker count from `RAPID_INTRA_JOBS` (default 1 = the
+/// serial engine). Harness code plumbs this into
+/// [`crate::routing::SimConfig::intra_jobs`].
+pub fn intra_jobs_from_env() -> usize {
+    std::env::var("RAPID_INTRA_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(1)
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+/// A raw reference to the batch task, stored type-erased so worker threads
+/// can pick it up. Validity: only dereferenced for indices of the current
+/// generation, all of which complete before [`ContactPool::run`] returns.
+struct TaskRef(*const (dyn Fn(usize, usize) + Sync));
+// SAFETY: the pointee is `Sync` (shared calls are safe) and the pointer is
+// only dereferenced while `run` keeps the referent alive (see above).
+unsafe impl Send for TaskRef {}
+
+struct PoolState {
+    /// Monotone batch counter; workers wake when it advances.
+    generation: u64,
+    /// Highest generation fully completed (all `n` indices executed and
+    /// every drainer left). Guarded by the mutex: once set, late-waking
+    /// workers skip the generation entirely.
+    completed: u64,
+    /// The current batch task and its index count. The pointer is only
+    /// dereferenced after a successful index claim, which can only happen
+    /// while [`ContactPool::run`] is still blocked on this generation.
+    task: Option<TaskRef>,
+    n: usize,
+    /// Workers currently inside the drain loop of the current generation.
+    /// `run` does not return (and no later generation can reuse the
+    /// cursor) until this reaches zero — which is what makes the raw task
+    /// pointer and the shared atomics sound across generations.
+    active: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new generation (or shutdown).
+    work: Condvar,
+    /// The caller waits here for batch completion.
+    done_cv: Condvar,
+    /// Next index to claim within the current batch.
+    cursor: AtomicUsize,
+    /// Indices completed within the current batch.
+    done: AtomicUsize,
+}
+
+/// A run-scoped worker pool executing index-addressed batch tasks.
+///
+/// `run(n, task)` calls `task(worker, index)` for every `index in 0..n`,
+/// spreading indices over `jobs` workers (`worker in 0..jobs`; worker 0 is
+/// the calling thread). Per-worker scratch state can safely be indexed by
+/// `worker`. The pool is started inside a [`std::thread::scope`] by the
+/// engine, so no thread outlives the run; dropping the pool shuts the
+/// workers down.
+pub struct ContactPool {
+    shared: Arc<PoolShared>,
+    jobs: usize,
+}
+
+impl ContactPool {
+    /// Starts `jobs - 1` workers on `scope` (the caller is worker 0).
+    pub fn start<'scope, 'env>(
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        jobs: usize,
+    ) -> Self {
+        assert!(jobs >= 1, "need at least the calling worker");
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                generation: 0,
+                completed: 0,
+                task: None,
+                n: 0,
+                active: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done_cv: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+        });
+        for worker in 1..jobs {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || worker_loop(&shared, worker));
+        }
+        Self { shared, jobs }
+    }
+
+    /// Number of workers, including the calling thread. Protocols size
+    /// per-worker scratch tables off this.
+    pub fn workers(&self) -> usize {
+        self.jobs
+    }
+
+    /// Executes `task(worker, index)` for every `index in 0..n` and
+    /// returns when all calls completed. Calls for distinct indices may
+    /// run concurrently on distinct workers; `task` must therefore only
+    /// touch state that is disjoint per index (plus per-worker scratch).
+    pub fn run(&self, n: usize, task: &(dyn Fn(usize, usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        if self.jobs == 1 || n == 1 {
+            for i in 0..n {
+                task(0, i);
+            }
+            return;
+        }
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            // No drainer of an earlier generation can be live here: `run`
+            // only returned once `active == 0`, and workers re-enter the
+            // drain only for a fresh, uncompleted generation.
+            self.shared.cursor.store(0, Ordering::Relaxed);
+            self.shared.done.store(0, Ordering::Relaxed);
+            // SAFETY: lifetime erasure only — the pointer is dereferenced
+            // solely for indices of this generation, all of which complete
+            // before `run` returns (the completion wait below).
+            let erased: &'static (dyn Fn(usize, usize) + Sync) =
+                unsafe { std::mem::transmute(task) };
+            state.task = Some(TaskRef(erased as *const _));
+            state.n = n;
+            state.generation += 1;
+        }
+        self.shared.work.notify_all();
+
+        // The caller participates as worker 0 (through the safe
+        // reference; worker threads go through the claimed-index raw
+        // pointer path, see `worker_loop`).
+        loop {
+            let i = self.shared.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            task(0, i);
+            self.shared.done.fetch_add(1, Ordering::AcqRel);
+        }
+
+        // Wait until every index completed AND every worker has left the
+        // drain loop; only then may the task reference die or the atomics
+        // be reused. Marking the generation completed under the same lock
+        // hold makes late-waking workers skip it entirely.
+        let mut state = self.shared.state.lock().expect("pool lock");
+        while self.shared.done.load(Ordering::Acquire) < n || state.active > 0 {
+            state = self.shared.done_cv.wait(state).expect("pool wait");
+        }
+        state.completed = state.generation;
+    }
+}
+
+impl Drop for ContactPool {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        state.shutdown = true;
+        drop(state);
+        self.shared.work.notify_all();
+    }
+}
+
+fn worker_loop(shared: &PoolShared, worker: usize) {
+    let mut last_seen = 0u64;
+    loop {
+        let (task, n) = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.generation > last_seen {
+                    if state.completed >= state.generation {
+                        // Woke after the batch already finished: skip it.
+                        last_seen = state.generation;
+                    } else {
+                        break;
+                    }
+                }
+                state = shared.work.wait(state).expect("pool wait");
+            }
+            last_seen = state.generation;
+            state.active += 1;
+            (
+                state.task.as_ref().expect("live generation has a task").0,
+                state.n,
+            )
+        };
+        loop {
+            let i = shared.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            // SAFETY: a successfully claimed index implies `run` is still
+            // blocked on this generation (it waits for done == n and
+            // active == 0), so the referent is alive.
+            let task: &(dyn Fn(usize, usize) + Sync) = unsafe { &*task };
+            task(worker, i);
+            shared.done.fetch_add(1, Ordering::AcqRel);
+        }
+        let mut state = shared.state.lock().expect("pool lock");
+        state.active -= 1;
+        drop(state);
+        shared.done_cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disjoint-access primitives
+// ---------------------------------------------------------------------------
+
+/// A shareable view of a mutable slice that hands out `&mut` references to
+/// *disjoint* elements across threads.
+///
+/// This is the standard disjoint-indices pattern: the engine's batch
+/// scheduler guarantees that concurrently-executing contacts address
+/// pairwise-disjoint node (and scratch/driver) indices, which is exactly
+/// the contract the unsafe accessors require. All accessors are `unsafe`
+/// because that disjointness lives outside the type system.
+pub struct SlicePartition<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the partition only yields disjoint `&mut T` under the caller's
+// contract; sending/sharing the view itself carries no aliasing.
+unsafe impl<T: Send> Send for SlicePartition<'_, T> {}
+unsafe impl<T: Send> Sync for SlicePartition<'_, T> {}
+
+impl<'a, T> SlicePartition<'a, T> {
+    /// Wraps a slice for disjoint-index access.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exclusive access to element `i`.
+    ///
+    /// # Safety
+    /// No other live reference (from this partition or elsewhere) may
+    /// address `i` for the lifetime of the returned borrow.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        &mut *self.ptr.add(i)
+    }
+
+    /// Exclusive access to two distinct elements.
+    ///
+    /// # Safety
+    /// As [`SlicePartition::get_mut`], for both indices.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn pair_mut(&self, i: usize, j: usize) -> (&mut T, &mut T) {
+        assert_ne!(i, j, "pair indices must be distinct");
+        (self.get_mut(i), self.get_mut(j))
+    }
+}
+
+/// A shareable mutable view of a slice whose *per-index exclusivity* is
+/// guaranteed by the batch contract rather than the borrow checker — used
+/// for the engine's `delivered_at` table, where a packet's slot is only
+/// ever touched by the (single, per batch) contact involving the packet's
+/// destination.
+pub struct RawSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for RawSlice<'_, T> {}
+unsafe impl<T: Send> Sync for RawSlice<'_, T> {}
+
+impl<'a, T: Copy> RawSlice<'a, T> {
+    /// Wraps a slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// A second handle onto the same slice (for another batch member).
+    pub fn share(&self) -> Self {
+        Self {
+            ptr: self.ptr,
+            len: self.len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Safety
+    /// No concurrent writer may address `i` (batch contract).
+    pub unsafe fn get(&self, i: usize) -> T {
+        assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        *self.ptr.add(i)
+    }
+
+    /// Writes element `i`.
+    ///
+    /// # Safety
+    /// No concurrent reader or writer may address `i` (batch contract).
+    pub unsafe fn set(&self, i: usize, value: T) {
+        assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        *self.ptr.add(i) = value;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch grouping
+// ---------------------------------------------------------------------------
+
+/// One contact drive pending batch execution; built by the engine's scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingDrive {
+    /// The window being driven.
+    pub window: crate::contact::ContactWindow,
+    /// The drive instant (window close, or start for instantaneous).
+    pub now: crate::time::Time,
+    /// Per-direction byte budget.
+    pub budget: u64,
+    /// Contact sequence number in serial scan order (drives the
+    /// per-contact RNG substreams of randomized protocols).
+    pub seq: u64,
+    /// Whether this contact falls in the measured span.
+    pub measured: bool,
+}
+
+/// Greedy conflict-free grouping of contact drives (see the module docs).
+///
+/// Drives are `push`ed in serial scan order. A drive whose node set is
+/// disjoint from everything currently held joins the *ready* set; a
+/// conflicting drive is *deferred*. [`Batcher::take_ready`] yields the
+/// ready set for execution and promotes deferred drives (in order, again
+/// conflict-checked) into the next ready set, so two conflicting drives
+/// always execute in scan order, across distinct passes.
+#[derive(Debug)]
+pub struct Batcher {
+    ready: Vec<PendingDrive>,
+    deferred: Vec<PendingDrive>,
+    /// Epoch-stamped membership: `stamp[node] == epoch` means some held
+    /// drive (ready or deferred) uses the node.
+    stamp: Vec<u64>,
+    epoch: u64,
+    lookahead: usize,
+}
+
+impl Batcher {
+    /// A batcher for `nodes` node ids with the given lookahead bound
+    /// (maximum drives held before a flush is forced).
+    pub fn new(nodes: usize, lookahead: usize) -> Self {
+        Self {
+            ready: Vec::new(),
+            deferred: Vec::new(),
+            stamp: vec![0; nodes],
+            epoch: 0,
+            lookahead: lookahead.max(1),
+        }
+    }
+
+    /// Number of drives currently held (ready + deferred).
+    pub fn held(&self) -> usize {
+        self.ready.len() + self.deferred.len()
+    }
+
+    /// Whether the lookahead bound is reached and a flush is due.
+    pub fn full(&self) -> bool {
+        self.held() >= self.lookahead
+    }
+
+    /// Whether no drives are held.
+    pub fn is_empty(&self) -> bool {
+        self.held() == 0
+    }
+
+    fn uses(&self, node: usize) -> bool {
+        self.stamp[node] == self.epoch
+    }
+
+    fn mark(&mut self, node: usize) {
+        self.stamp[node] = self.epoch;
+    }
+
+    /// Adds a drive in scan order.
+    pub fn push(&mut self, drive: PendingDrive) {
+        if self.is_empty() {
+            self.epoch += 1;
+        }
+        let (a, b) = (drive.window.a.index(), drive.window.b.index());
+        if self.uses(a) || self.uses(b) {
+            self.deferred.push(drive);
+        } else {
+            self.ready.push(drive);
+        }
+        self.mark(a);
+        self.mark(b);
+    }
+
+    /// Takes the ready set (pairwise node-disjoint, scan-ordered) for
+    /// execution, then promotes deferred drives into the next ready set.
+    /// Returns an empty vector when nothing is held. Call repeatedly until
+    /// empty to flush.
+    pub fn take_ready(&mut self) -> Vec<PendingDrive> {
+        let out = std::mem::take(&mut self.ready);
+        // Re-admit deferred drives in order under a fresh epoch; drives
+        // conflicting among themselves defer again.
+        let deferred = std::mem::take(&mut self.deferred);
+        self.epoch += 1;
+        for drive in deferred {
+            let (a, b) = (drive.window.a.index(), drive.window.b.index());
+            if self.uses(a) || self.uses(b) {
+                self.deferred.push(drive);
+            } else {
+                self.ready.push(drive);
+            }
+            self.mark(a);
+            self.mark(b);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::ContactWindow;
+    use crate::time::Time;
+    use crate::types::NodeId;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn drive(seq: u64, a: u32, b: u32) -> PendingDrive {
+        PendingDrive {
+            window: ContactWindow::instant(Time::from_secs(seq), NodeId(a), NodeId(b), 1),
+            now: Time::from_secs(seq),
+            budget: 1,
+            seq,
+            measured: true,
+        }
+    }
+
+    #[test]
+    fn batcher_groups_disjoint_and_defers_conflicts() {
+        let mut b = Batcher::new(10, 64);
+        b.push(drive(0, 0, 1));
+        b.push(drive(1, 2, 3)); // disjoint → same batch
+        b.push(drive(2, 1, 4)); // conflicts with (0,1) → deferred
+        b.push(drive(3, 4, 5)); // conflicts with deferred (1,4) → deferred
+        b.push(drive(4, 6, 7)); // disjoint from everything held → ready
+        let first: Vec<u64> = b.take_ready().iter().map(|d| d.seq).collect();
+        assert_eq!(first, vec![0, 1, 4]);
+        let second: Vec<u64> = b.take_ready().iter().map(|d| d.seq).collect();
+        assert_eq!(second, vec![2], "deferred drives stay in scan order");
+        let third: Vec<u64> = b.take_ready().iter().map(|d| d.seq).collect();
+        assert_eq!(third, vec![3]);
+        assert!(b.is_empty());
+        assert!(b.take_ready().is_empty());
+    }
+
+    #[test]
+    fn batcher_lookahead_bounds_held_drives() {
+        let mut b = Batcher::new(100, 4);
+        for i in 0..4 {
+            assert!(!b.full());
+            b.push(drive(i, 2 * i as u32, 2 * i as u32 + 1));
+        }
+        assert!(b.full());
+    }
+
+    #[test]
+    fn pool_runs_every_index_once() {
+        std::thread::scope(|scope| {
+            let pool = ContactPool::start(scope, 4);
+            let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+            for round in 0..10 {
+                pool.run(hits.len(), &|worker, i| {
+                    assert!(worker < 4);
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                for h in &hits {
+                    assert_eq!(h.load(Ordering::Relaxed), round + 1);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn pool_single_worker_runs_inline() {
+        std::thread::scope(|scope| {
+            let pool = ContactPool::start(scope, 1);
+            let mut seen = Vec::new();
+            let cell = std::sync::Mutex::new(&mut seen);
+            pool.run(5, &|worker, i| {
+                assert_eq!(worker, 0);
+                cell.lock().unwrap().push(i);
+            });
+            assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        });
+    }
+
+    #[test]
+    fn slice_partition_hands_out_disjoint_pairs() {
+        let mut data = vec![0u32; 8];
+        let part = SlicePartition::new(&mut data);
+        // SAFETY: indices are disjoint.
+        let (a, b) = unsafe { part.pair_mut(1, 6) };
+        *a = 10;
+        *b = 60;
+        let c = unsafe { part.get_mut(3) };
+        *c = 30;
+        assert_eq!(data, vec![0, 10, 0, 30, 0, 0, 60, 0]);
+    }
+
+    #[test]
+    fn intra_jobs_default_is_serial() {
+        // The knob is read by harness code; unset it means 1.
+        assert!(intra_jobs_from_env() >= 1);
+    }
+}

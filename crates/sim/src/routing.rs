@@ -11,6 +11,7 @@
 
 use crate::buffer::NodeBuffer;
 use crate::driver::ContactDriver;
+use crate::par::{ContactConcurrency, ContactPool};
 use crate::time::{Time, TimeDelta};
 use crate::types::{NodeId, Packet, PacketId};
 
@@ -43,6 +44,14 @@ pub struct SimConfig {
     /// them) but excluded from the report's byte and contact accounting —
     /// used for warm-up windows that precede the measured experiment.
     pub measure_from: Time,
+    /// Intra-run worker count for the conservative parallel contact layer
+    /// (see [`crate::par`]). `1` (the default) is the serial engine —
+    /// every other value still produces byte-identical results, but only
+    /// takes effect for protocols that declare
+    /// [`ContactConcurrency::NodeDisjoint`] on runs without global
+    /// knowledge. Harness code plumbs `RAPID_INTRA_JOBS` in here
+    /// ([`crate::par::intra_jobs_from_env`]).
+    pub intra_jobs: usize,
 }
 
 impl Default for SimConfig {
@@ -56,6 +65,7 @@ impl Default for SimConfig {
             allow_global_knowledge: false,
             seed: 0,
             measure_from: Time::ZERO,
+            intra_jobs: 1,
         }
     }
 }
@@ -135,6 +145,35 @@ pub trait Routing {
     /// lump opportunity; for durative windows it fires when the window
     /// closes (or is interrupted by churn) with the accrued budget.
     fn on_contact(&mut self, driver: &mut ContactDriver<'_>);
+
+    /// How this protocol's contacts may be scheduled within one run. The
+    /// default, [`ContactConcurrency::Serial`], is always correct.
+    /// Declaring [`ContactConcurrency::NodeDisjoint`] promises that
+    /// [`Routing::on_contact`] / [`Routing::on_contact_end`] touch only
+    /// per-endpoint protocol state (plus the driver), and that any
+    /// randomness is derived from [`ContactDriver::contact_seq`] — which
+    /// lets the engine drive node-disjoint contacts concurrently with
+    /// byte-identical results (see [`crate::par`]).
+    fn contact_concurrency(&self) -> ContactConcurrency {
+        ContactConcurrency::Serial
+    }
+
+    /// Executes a batch of pairwise node-disjoint contacts (only called
+    /// when [`Routing::contact_concurrency`] declared
+    /// [`ContactConcurrency::NodeDisjoint`] and the run enabled intra-run
+    /// parallelism). The drivers are in scan (serial drive) order.
+    ///
+    /// The default runs them one by one on the calling thread — correct
+    /// for any protocol, parallel for none. Protocols override it to
+    /// spread the batch over `pool` (splitting their per-endpoint state
+    /// with [`crate::par::SlicePartition`]); effects must be identical to
+    /// driving the batch serially in order.
+    fn on_contact_batch(&mut self, batch: &mut [ContactDriver<'_>], pool: &ContactPool) {
+        let _ = pool;
+        for driver in batch {
+            self.on_contact(driver);
+        }
+    }
 
     /// Called after a contact window between `a` and `b` has been driven and
     /// closed. `interrupted` is true when churn cut the window short.
