@@ -1,0 +1,9 @@
+//! Thin dispatch into the experiment registry: `scale_compressed`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::scale` for the implementation and `RAPID_SCALE_*` knobs
+//! (`RAPID_SCALE_ROUTES` sizes the plan; `RAPID_SCALE_MODE=materialized`
+//! expands the same plan eagerly for the baseline comparison).
+
+fn main() {
+    rapid_bench::registry::run_or_exit("scale_compressed");
+}

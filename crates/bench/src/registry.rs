@@ -182,6 +182,28 @@ pub const PLANS: &[ExperimentPlan] = &[
         run: scale::run_scale,
     },
     ExperimentPlan {
+        id: "scale_compressed",
+        title: "Compressed scale family: periodic-atom plan, lazy expansion, flat memory",
+        axes: "RAPID_SCALE_RUNS compressed (or materialized) runs",
+        columns: &[
+            "mode",
+            "run",
+            "nodes",
+            "contacts_driven",
+            "packets_created",
+            "delivery_rate",
+            "expired",
+            "wall_s",
+            "peak_rss_mb",
+            "plan_atoms",
+            "plan_windows",
+            "plan_kb",
+            "expanded_kb",
+            "compression_ratio",
+        ],
+        run: scale::run_scale_compressed,
+    },
+    ExperimentPlan {
         id: "ttest",
         title: "Paired t-test on per-(src,dst) mean delays: RAPID vs MaxProp",
         axes: "load x {Rapid, MaxProp}",

@@ -10,7 +10,8 @@ use crate::proto::Proto;
 use dtn_sim::source::{ContactSource, ScheduleStream, WorkloadSource, WorkloadStream};
 use dtn_sim::workload::Workload;
 use dtn_sim::{
-    run_streaming, NodeEvent, NoiseModel, Schedule, SimConfig, SimReport, Time, TimeDelta,
+    run_streaming, CompiledPlan, NodeEvent, NoiseModel, Schedule, SimConfig, SimReport, Time,
+    TimeDelta,
 };
 use std::collections::BTreeMap;
 use std::fmt;
@@ -32,6 +33,12 @@ pub enum ContactsSpec {
     /// A factory that opens a fresh streaming source per run; the schedule
     /// never exists in memory.
     Streaming(ContactFactory),
+    /// A compiled (compressed) plan shared behind an `Arc`, expanded
+    /// through a per-run [`PlanStream`] cursor. Like `Shared` the scenario
+    /// is built once and never cloned per run — but the shared state is
+    /// the atom plan, not the expansion, so a sweep holds the plan's
+    /// memory, not `windows × runs × protocols`.
+    Compiled(Arc<CompiledPlan>),
 }
 
 impl ContactsSpec {
@@ -48,11 +55,17 @@ impl ContactsSpec {
         Self::Streaming(Arc::new(factory))
     }
 
+    /// Wraps a compiled plan for sharing across sweep points.
+    pub fn compiled(plan: Arc<CompiledPlan>) -> Self {
+        Self::Compiled(plan)
+    }
+
     /// Opens a fresh source over this scenario.
     pub fn source(&self) -> Box<dyn ContactSource + Send> {
         match self {
             Self::Shared(s) => Box::new(ScheduleStream::new(Arc::clone(s))),
             Self::Streaming(f) => f(),
+            Self::Compiled(p) => Box::new(p.stream()),
         }
     }
 
@@ -70,6 +83,7 @@ impl ContactsSpec {
                 }
                 Schedule::new(windows)
             }
+            Self::Compiled(p) => p.materialize(),
         }
     }
 }
@@ -79,6 +93,11 @@ impl fmt::Debug for ContactsSpec {
         match self {
             Self::Shared(s) => f.debug_tuple("Shared").field(&s.len()).finish(),
             Self::Streaming(_) => f.write_str("Streaming(..)"),
+            Self::Compiled(p) => f
+                .debug_struct("Compiled")
+                .field("atoms", &p.atom_count())
+                .field("windows", &p.window_count())
+                .finish(),
         }
     }
 }
@@ -327,6 +346,29 @@ mod tests {
             assert_eq!(src.next_window(), None);
         }
         assert_eq!(contacts.materialize(), schedule);
+    }
+
+    #[test]
+    fn compiled_specs_share_one_plan_across_runs() {
+        let schedule = Schedule::new(vec![
+            Contact::new(Time::from_secs(1), NodeId(0), NodeId(1), 64),
+            Contact::new(Time::from_secs(2), NodeId(0), NodeId(1), 64),
+            Contact::new(Time::from_secs(3), NodeId(0), NodeId(1), 64),
+        ]);
+        let plan = Arc::new(CompiledPlan::compress_schedule(&schedule));
+        let contacts = ContactsSpec::compiled(Arc::clone(&plan));
+        // Two independent runs expand the same Arc'd plan.
+        for _ in 0..2 {
+            let mut src = contacts.source();
+            let mut windows = Vec::new();
+            while let Some(w) = src.next_window() {
+                windows.push(w);
+            }
+            assert_eq!(windows, schedule.windows());
+        }
+        assert_eq!(contacts.materialize(), schedule);
+        assert_eq!(Arc::strong_count(&plan), 2, "spec holds one shared Arc");
+        assert!(format!("{contacts:?}").contains("atoms"));
     }
 
     #[test]

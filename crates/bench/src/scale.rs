@@ -20,8 +20,9 @@ use crate::runner::{run_spec, ContactsSpec, PacketsSpec, RunSpec};
 use crate::tsv::{f, Tsv};
 use crate::{env_u64, root_seed};
 use dtn_mobility::ScaleFleet;
-use dtn_sim::{Time, TimeDelta};
+use dtn_sim::{CompiledPlan, Time, TimeDelta};
 use dtn_stats::{Extrema, StreamingMean};
+use std::sync::Arc;
 
 /// Packet size (matches the rest of the harness: 1 KB).
 pub const PACKET_BYTES: u64 = 1024;
@@ -113,6 +114,31 @@ impl ScaleLab {
             ..streamed
         }
     }
+
+    /// Route count for the compressed family: `RAPID_SCALE_ROUTES`, default
+    /// one periodic route per ~200 windows (so the plan is a few thousandths
+    /// the size of its expansion at the default repeat count).
+    pub fn routes_from_env(&self) -> usize {
+        env_u64("RAPID_SCALE_ROUTES", (self.fleet.contacts / 200).max(1)) as usize
+    }
+
+    /// The compressed contact plan for one run: `routes` periodic generator
+    /// atoms whose expansion walks the same fleet shape as
+    /// [`ScaleFleet::contact_stream`] — hub-biased pairs, the same per-window
+    /// opportunity — but held as O(routes) atoms instead of O(windows)
+    /// structs.
+    pub fn compiled_plan(&self, routes: usize, run: u32) -> Arc<CompiledPlan> {
+        Arc::new(self.fleet.periodic_plan(routes, self.seed, u64::from(run)))
+    }
+
+    /// One run over a compiled plan: contacts expand lazily from the plan's
+    /// atom cursor, packets stream exactly as in [`ScaleLab::spec`].
+    pub fn spec_compressed(&self, plan: &Arc<CompiledPlan>, run: u32) -> RunSpec {
+        RunSpec {
+            contacts: ContactsSpec::compiled(Arc::clone(plan)),
+            ..self.spec(run)
+        }
+    }
 }
 
 /// Peak resident set size of this process in MB (`VmHWM`), if the
@@ -130,8 +156,9 @@ pub fn peak_rss_mb() -> Option<f64> {
 /// in-process, and without the reset `scale` would report whatever peak
 /// an earlier experiment reached. Freed-but-cached allocator pages can
 /// still inflate an in-process reading; the standalone `scale` binary
-/// (what CI runs) is the clean-room measurement.
-fn reset_peak_rss() {
+/// (what CI runs) is the clean-room measurement. Public so `bench_smoke`
+/// can bracket each gate with its own peak reading.
+pub fn reset_peak_rss() {
     let _ = std::fs::write("/proc/self/clear_refs", "5");
 }
 
@@ -222,6 +249,117 @@ pub fn run_scale() {
     }
 }
 
+/// The `scale_compressed` experiment: the scale family driven from a
+/// compressed contact plan — `RAPID_SCALE_ROUTES` periodic generator atoms
+/// expanding lazily to `RAPID_SCALE_WINDOWS` windows — instead of a
+/// per-window stream. `RAPID_SCALE_MODE=materialized` expands the *same*
+/// plan into a full `Schedule` first, so the two modes simulate a
+/// byte-identical scenario and differ only in plan representation; CI
+/// diffs the aggregate columns (2–7) between modes and bounds the
+/// compressed mode's peak RSS. Plan-size columns record the compression:
+/// `plan_kb` is the resident atom storage, `expanded_kb` what the same
+/// windows cost as 48-byte structs.
+pub fn run_scale_compressed() {
+    let seed = root_seed();
+    let lab = ScaleLab::from_env(seed);
+    let mode = std::env::var("RAPID_SCALE_MODE").unwrap_or_else(|_| "compressed".into());
+    assert!(
+        mode == "compressed" || mode == "materialized",
+        "RAPID_SCALE_MODE must be `compressed` or `materialized`"
+    );
+    let routes = lab.routes_from_env();
+    let runs = env_u64("RAPID_SCALE_RUNS", 1).max(1) as u32;
+    let max_rss_mb = env_u64("RAPID_SCALE_MAX_RSS_MB", 0);
+
+    let mut tsv = Tsv::new("scale_compressed");
+    tsv.comment("Compressed scale family: periodic-atom plan expanded lazily through the engine");
+    tsv.comment(&format!(
+        "mode = {mode}, nodes = {}, routes = {routes}, expected windows = {}, \
+         expected packets = {}, horizon = {} s, seed = {seed}",
+        lab.fleet.nodes,
+        lab.fleet.contacts,
+        lab.packets,
+        lab.fleet.horizon.as_secs_f64(),
+    ));
+    tsv.row(&[
+        "mode",
+        "run",
+        "nodes",
+        "contacts_driven",
+        "packets_created",
+        "delivery_rate",
+        "expired",
+        "wall_s",
+        "peak_rss_mb",
+        "plan_atoms",
+        "plan_windows",
+        "plan_kb",
+        "expanded_kb",
+        "compression_ratio",
+    ]);
+
+    let mut delivery = StreamingMean::new();
+    let mut wall = StreamingMean::new();
+    let mut rss = Extrema::new();
+    for run in 0..runs {
+        // Reset before compiling so the plan (and, in materialized mode,
+        // its full expansion) is part of the run's own footprint.
+        reset_peak_rss();
+        let plan = lab.compiled_plan(routes, run);
+        let plan_kb = plan.in_memory_bytes() as f64 / 1024.0;
+        let expanded_kb = plan.materialized_bytes() as f64 / 1024.0;
+        let (atoms, windows) = (plan.atom_count(), plan.window_count());
+        let spec = if mode == "materialized" {
+            RunSpec {
+                contacts: ContactsSpec::shared(plan.materialize()),
+                ..lab.spec(run)
+            }
+        } else {
+            lab.spec_compressed(&plan, run)
+        };
+        drop(plan);
+        let t0 = std::time::Instant::now();
+        let report = run_spec(&spec, Proto::Random);
+        let wall_s = t0.elapsed().as_secs_f64();
+        let peak = peak_rss_mb().unwrap_or(0.0);
+        delivery.push(report.delivery_rate());
+        wall.push(wall_s);
+        rss.push(peak);
+        tsv.row(&[
+            mode.clone(),
+            format!("{run}"),
+            format!("{}", lab.fleet.nodes),
+            format!("{}", report.contacts),
+            format!("{}", report.created()),
+            f(report.delivery_rate()),
+            format!("{}", report.expired),
+            f(wall_s),
+            f(peak),
+            format!("{atoms}"),
+            format!("{windows}"),
+            f(plan_kb),
+            f(expanded_kb),
+            f(expanded_kb / plan_kb.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    tsv.comment(&format!(
+        "mean delivery = {}, mean wall = {} s, peak rss = {} MB",
+        f(delivery.mean().unwrap_or(0.0)),
+        f(wall.mean().unwrap_or(0.0)),
+        f(rss.max().unwrap_or(0.0)),
+    ));
+
+    if max_rss_mb > 0 {
+        let peak = rss.max().unwrap_or(0.0);
+        assert!(
+            peak <= max_rss_mb as f64,
+            "scale_compressed FAILED: peak RSS {peak:.1} MB exceeds the \
+             RAPID_SCALE_MAX_RSS_MB bound ({max_rss_mb} MB)"
+        );
+        eprintln!("scale_compressed: peak RSS {peak:.1} MB within the {max_rss_mb} MB bound");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,5 +391,51 @@ mod tests {
         // The streamed and materialized paths simulate the same scenario.
         let m = run_spec(&lab.spec_materialized(0), Proto::Random);
         assert_eq!(a, m, "materialized baseline must match the stream");
+    }
+
+    #[test]
+    fn compressed_mode_matches_its_materialized_expansion() {
+        let lab = ScaleLab {
+            fleet: ScaleFleet {
+                nodes: 2_000,
+                contacts: 5_000,
+                opportunity_bytes: 16 * 1024,
+                contact_duration: TimeDelta::ZERO,
+                horizon: Time::from_secs(1800),
+                hubs: 16,
+                hub_bias: 0.5,
+            },
+            packets: 500,
+            buffer: 64 * 1024,
+            deadline: TimeDelta::from_secs(60),
+            ttl: TimeDelta::from_secs(600),
+            seed: 11,
+        };
+        let routes = (lab.fleet.contacts / 200).max(1) as usize;
+        let plan = lab.compiled_plan(routes, 0);
+        assert!(
+            plan.materialized_bytes() >= 10 * plan.in_memory_bytes() as u64,
+            "periodic plan must compress >=10x: {} vs {}",
+            plan.in_memory_bytes(),
+            plan.materialized_bytes()
+        );
+        let lazy = run_spec(&lab.spec_compressed(&plan, 0), Proto::Random);
+        let eager = run_spec(
+            &RunSpec {
+                contacts: ContactsSpec::shared(plan.materialize()),
+                ..lab.spec(0)
+            },
+            Proto::Random,
+        );
+        assert_eq!(
+            lazy, eager,
+            "lazy expansion must replay the materialized plan"
+        );
+        assert!(
+            lazy.contacts > 4_000,
+            "plan drove {} contacts",
+            lazy.contacts
+        );
+        assert!(lazy.created() > 300, "workload created {}", lazy.created());
     }
 }

@@ -11,8 +11,10 @@ use crate::proto::Proto;
 use crate::runner::{run_spec, ContactsSpec, PacketsSpec, RunSpec};
 use dtn_mobility::{PowerLaw, UniformExponential};
 use dtn_sim::workload::pairwise_poisson;
-use dtn_sim::{SimReport, Time, TimeDelta};
+use dtn_sim::{CompiledPlan, SimReport, Time, TimeDelta};
 use dtn_stats::{Mergeable, SeedStream};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Packet size (Table 4: 1 KB).
 pub const PACKET_BYTES: u64 = 1024;
@@ -42,7 +44,16 @@ pub struct SynthLab {
     /// Mean pairwise inter-meeting time (calibration).
     pub mean_inter_meeting: TimeDelta,
     seeds: SeedStream,
+    /// Compiled contact plans keyed by `(mobility, run)`, shared across
+    /// every sweep point that replays the same mobility draw. A sweep over
+    /// loads × protocols used to regenerate (and separately own) the same
+    /// schedule at every point; now each `(mobility, run)` is generated
+    /// once, compressed, and expanded per run through a cursor.
+    plans: Arc<Mutex<PlanCache>>,
 }
+
+/// Compiled plans keyed by `(mobility kind, run)`.
+type PlanCache = HashMap<(u8, u32), Arc<CompiledPlan>>;
 
 impl SynthLab {
     /// Table 4 defaults.
@@ -55,18 +66,20 @@ impl SynthLab {
             deadline: TimeDelta::from_secs(20),
             mean_inter_meeting: TimeDelta::from_secs(150),
             seeds: SeedStream::new(seed).derive("synth-lab"),
+            plans: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
-    /// Builds one run at a per-destination load (packets per 50 s).
-    pub fn spec(
-        &self,
-        mobility: Mobility,
-        run: u32,
-        load_per_dest_per_50s: f64,
-        buffer_override: Option<u64>,
-    ) -> RunSpec {
-        assert!(load_per_dest_per_50s > 0.0);
+    /// The compiled contact plan for `(mobility, run)`: generated and
+    /// compressed once, then shared by every sweep point (loads ×
+    /// protocols × buffer sizes) that replays the same mobility draw. The
+    /// expansion is byte-identical to the schedule `generate` used to
+    /// rebuild at each point, so figures are unchanged.
+    fn compiled_contacts(&self, mobility: Mobility, run: u32) -> Arc<CompiledPlan> {
+        let key = (matches!(mobility, Mobility::PowerLaw) as u8, run);
+        if let Some(plan) = self.plans.lock().unwrap().get(&key) {
+            return Arc::clone(plan);
+        }
         let horizon = Time(self.duration.0);
         let mut mob_rng = self.seeds.rng_indexed(
             match mobility {
@@ -89,6 +102,23 @@ impl SynthLab {
             }
             .generate(horizon, &mut mob_rng),
         };
+        let plan = Arc::new(CompiledPlan::compress_schedule(&schedule));
+        // Deterministic generation: a racing builder produced identical
+        // atoms, so first insert wins and both callers share it.
+        Arc::clone(self.plans.lock().unwrap().entry(key).or_insert(plan))
+    }
+
+    /// Builds one run at a per-destination load (packets per 50 s).
+    pub fn spec(
+        &self,
+        mobility: Mobility,
+        run: u32,
+        load_per_dest_per_50s: f64,
+        buffer_override: Option<u64>,
+    ) -> RunSpec {
+        assert!(load_per_dest_per_50s > 0.0);
+        let horizon = Time(self.duration.0);
+        let plan = self.compiled_contacts(mobility, run);
         let gap_secs = (self.nodes as f64 - 1.0) * 50.0 / load_per_dest_per_50s;
         let mut wl_rng = self.seeds.rng_indexed("workload", u64::from(run));
         let nodes: Vec<dtn_sim::NodeId> = (0..self.nodes as u32).map(dtn_sim::NodeId).collect();
@@ -100,7 +130,7 @@ impl SynthLab {
             &mut wl_rng,
         );
         RunSpec {
-            contacts: ContactsSpec::shared(schedule),
+            contacts: ContactsSpec::compiled(plan),
             packets: PacketsSpec::shared(workload),
             nodes: self.nodes,
             buffer: buffer_override.unwrap_or(self.buffer),
@@ -232,6 +262,23 @@ mod tests {
         assert_eq!(lo.buffer, 100 * 1024);
         let small = lab.spec(Mobility::Exponential, 0, 5.0, Some(10 * 1024));
         assert_eq!(small.buffer, 10 * 1024);
+    }
+
+    #[test]
+    fn sweep_points_share_one_compiled_plan() {
+        let lab = SynthLab::new(5);
+        let a = lab.spec(Mobility::Exponential, 0, 5.0, None);
+        let b = lab.spec(Mobility::Exponential, 0, 40.0, Some(10 * 1024));
+        let (ContactsSpec::Compiled(pa), ContactsSpec::Compiled(pb)) = (&a.contacts, &b.contacts)
+        else {
+            panic!("synth contacts are compiled plans");
+        };
+        assert!(Arc::ptr_eq(pa, pb), "same (mobility, run) → same plan");
+        let c = lab.spec(Mobility::Exponential, 1, 5.0, None);
+        let ContactsSpec::Compiled(pc) = &c.contacts else {
+            panic!("compiled");
+        };
+        assert!(!Arc::ptr_eq(pa, pc), "different runs → different plans");
     }
 
     #[test]

@@ -26,9 +26,10 @@ use crate::proto::Proto;
 use crate::runner::{run_spec, ContactsSpec, PacketsSpec, RunSpec};
 use dtn_mobility::{DayTrace, DieselNet, DieselNetConfig};
 use dtn_sim::workload::pairwise_poisson;
-use dtn_sim::{NoiseModel, SimReport, Time, TimeDelta};
+use dtn_sim::{CompiledPlan, NodeId, NoiseModel, SimReport, Time, TimeDelta};
 use dtn_stats::{Mergeable, SeedStream};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Packet size used throughout the trace experiments (Table 4: 1 KB).
 pub const PACKET_BYTES: u64 = 1024;
@@ -49,7 +50,15 @@ pub struct TraceLab {
     pub deadline: TimeDelta,
     /// Day length.
     pub day_length: TimeDelta,
+    /// Measured days compiled once and shared: `(plan, on-road buses)`
+    /// per day. A load × protocol × workload-run sweep used to regenerate
+    /// the same day's schedule at every point; now each day is generated
+    /// once, compressed, and expanded per run through a cursor.
+    days: Mutex<HashMap<u32, CompiledDay>>,
 }
+
+/// One measured day compiled once: `(plan, on-road buses)`.
+type CompiledDay = (Arc<CompiledPlan>, Arc<[NodeId]>);
 
 impl TraceLab {
     /// The §5 deployment calibration.
@@ -77,12 +86,33 @@ impl TraceLab {
             seeds: SeedStream::new(seed).derive("trace-lab"),
             deadline: TimeDelta::from_secs_f64(2.7 * 3600.0),
             day_length,
+            days: Mutex::new(HashMap::new()),
         }
     }
 
     /// The fleet.
     pub fn fleet(&self) -> &DieselNet {
         &self.fleet
+    }
+
+    /// The compiled plan and on-road set for one measured day, generated
+    /// once and shared across every sweep point that replays the day. The
+    /// plan's expansion is byte-identical to the day's schedule.
+    fn compiled_day(&self, day: u32) -> (Arc<CompiledPlan>, Arc<[NodeId]>) {
+        if let Some(cached) = self.days.lock().unwrap().get(&day) {
+            return cached.clone();
+        }
+        let trace: DayTrace = self.fleet.generate_day(day);
+        let plan = Arc::new(CompiledPlan::compress_schedule(&trace.schedule));
+        let on_road: Arc<[NodeId]> = trace.on_road.into();
+        // Deterministic generation: a racing builder produced identical
+        // data, so first insert wins and both callers share it.
+        self.days
+            .lock()
+            .unwrap()
+            .entry(day)
+            .or_insert((plan, on_road))
+            .clone()
     }
 
     /// Builds the run for one day at a per-destination hourly load.
@@ -97,25 +127,25 @@ impl TraceLab {
         noise: Option<NoiseModel>,
     ) -> RunSpec {
         assert!(load_per_dest_per_hour > 0.0);
-        let trace: DayTrace = self.fleet.generate_day(day);
-        let n = trace.on_road.len();
+        let (plan, on_road) = self.compiled_day(day);
+        let n = on_road.len();
         assert!(n >= 2, "a day needs at least two buses");
 
         // Warm-up days stream ahead of the measured day: their contacts
         // teach the protocols meeting averages; no packets are generated in
         // the warm-up window. The factory re-opens the warm-up range per
         // run — one day's schedule in memory at a time, shared fleet, no
-        // clones — and chains the measured day's already-generated windows
-        // (shared behind an `Arc`) rather than regenerating them.
+        // clones — and chains the measured day expanded from its shared
+        // compiled plan rather than regenerating (or rematerializing) it.
         let warmup = day.min(WARMUP_DAYS);
         let measure_offset = TimeDelta(self.day_length.0 * u64::from(warmup));
         let stream_fleet = Arc::clone(&self.fleet);
         let warmup_days = (day - warmup)..day;
-        let measured: Arc<[dtn_sim::ContactWindow]> = trace.schedule.windows().to_vec().into();
+        let measured_plan = Arc::clone(&plan);
         let contacts = ContactsSpec::streaming(move || {
-            let measured = Arc::clone(&measured);
-            let measured_shifted =
-                (0..measured.len()).map(move |i| measured[i].shifted(measure_offset));
+            let measured_shifted = measured_plan
+                .stream()
+                .map(move |w| w.shifted(measure_offset));
             Box::new(
                 DieselNet::stream_days(Arc::clone(&stream_fleet), warmup_days.clone())
                     .chain(measured_shifted),
@@ -132,7 +162,7 @@ impl TraceLab {
             .seeds
             .rng_indexed("workload", u64::from(day) << 8 | u64::from(workload_run));
         let base = pairwise_poisson(
-            &trace.on_road,
+            &on_road,
             TimeDelta::from_secs_f64(gap_secs),
             PACKET_BYTES,
             Time(self.day_length.0),
@@ -327,6 +357,18 @@ mod tests {
         assert_eq!(schedule.windows(), expected);
         assert!(schedule.end_time() <= spec.horizon);
         assert_eq!(Time(spec.measure_from.0).0, lab.day_length.0 * 5);
+    }
+
+    #[test]
+    fn sweep_points_share_one_compiled_day() {
+        let lab = TraceLab::load_sweep(3);
+        let (pa, _) = lab.compiled_day(2);
+        let _ = lab.day_spec(2, 4.0, 0, None);
+        let _ = lab.day_spec(2, 20.0, 1, None);
+        let (pb, on_road) = lab.compiled_day(2);
+        assert!(Arc::ptr_eq(&pa, &pb), "one plan per day");
+        assert_eq!(lab.days.lock().unwrap().len(), 1);
+        assert!(on_road.len() >= 2);
     }
 
     #[test]

@@ -566,7 +566,7 @@ impl Routing for Rapid {
         if !reusable {
             let mut scored: Vec<(f64, PacketId, u64)> = Vec::with_capacity(buffer.len());
             for (id, meta) in buffer.iter() {
-                let p = *packets.get(id);
+                let p = packets.get(id);
                 let rate = exec.rate_cached(node, &p, buffer);
                 scored.push((exec.utility_from_rate(rate, &p, now), id, meta.size_bytes));
             }
@@ -1238,7 +1238,7 @@ impl ContactExec<'_> {
                 if stored_this_contact.contains(&id) {
                     continue;
                 }
-                let p = *driver.packets().get(id);
+                let p = driver.packets().get(id);
                 // §3.4's own-packet protection, applied as a strict
                 // preference: a node's own unacked packets are evicted
                 // only after every other packet is gone.
@@ -1310,8 +1310,8 @@ impl ContactExec<'_> {
             })
             .map(|(id, meta)| {
                 let p = packets.get(id);
-                let rate = self.rate_with(node, p, buffer.bytes_ahead(p.dst, id, p.created_at));
-                (self.utility_from_rate(rate, p, now), id, meta.size_bytes)
+                let rate = self.rate_with(node, &p, buffer.bytes_ahead(p.dst, id, p.created_at));
+                (self.utility_from_rate(rate, &p, now), id, meta.size_bytes)
             })
             .collect();
         scored.sort_unstable_by(|a, b| cmp_utility_then_id((a.0, a.1), (b.0, b.1)));

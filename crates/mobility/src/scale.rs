@@ -25,7 +25,7 @@
 //! substream scheme the rest of the workspace uses.
 
 use dtn_sim::workload::PacketSpec;
-use dtn_sim::{ContactWindow, NodeId, Time, TimeDelta};
+use dtn_sim::{CompiledPlan, ContactWindow, NodeId, PlanAtom, Time, TimeDelta};
 use dtn_stats::sample::Exponential;
 use dtn_stats::SeedStream;
 use rand::rngs::StdRng;
@@ -74,6 +74,82 @@ impl ScaleFleet {
                 .derive("scale-contacts")
                 .rng_indexed("run", run),
         }
+    }
+
+    /// Compiles the fleet as `routes` recurring *periodic routes* — the
+    /// generator-atom counterpart of [`ScaleFleet::contact_stream`] for
+    /// scheduled (bus/satellite-pass-like) fleets. Each route is one
+    /// [`dtn_sim::PlanAtom::Periodic`]: a pair drawn with the same hub
+    /// bias as the Poisson stream, a common period sized so the total
+    /// window count matches `self.contacts`, and a per-route phase
+    /// uniform in the period. The whole plan costs O(routes) memory no
+    /// matter how many windows it expands to — `contacts / routes`
+    /// repeats per atom ride in a constant-size struct.
+    ///
+    /// Deterministic in `(seed, run)` via its own labelled substream.
+    pub fn periodic_plan(&self, routes: usize, seed: u64, run: u64) -> CompiledPlan {
+        assert!(self.nodes >= 2, "need at least two nodes");
+        assert!(routes > 0, "need a positive route count");
+        assert!(self.contacts > 0, "need a positive expected contact count");
+        assert!(self.horizon > Time::ZERO, "need a positive horizon");
+        assert!(self.hubs <= self.nodes, "hub set cannot exceed the fleet");
+        assert!(self.hubs != 1, "need at least two hubs (or none)");
+        assert!(
+            (0.0..=1.0).contains(&self.hub_bias),
+            "hub bias is a probability"
+        );
+        let mut rng = SeedStream::new(seed)
+            .derive("scale-routes")
+            .rng_indexed("run", run);
+        // Start-to-start gap so that `routes` trains together expand to
+        // ~`contacts` windows across the horizon.
+        let period_us = (self.horizon.0 * routes as u64 / self.contacts).max(1);
+        // Last start that keeps the whole window inside the horizon.
+        let last_start = self
+            .horizon
+            .0
+            .saturating_sub(self.contact_duration.0)
+            .saturating_sub(1);
+        let rate = if self.contact_duration == TimeDelta::ZERO {
+            0
+        } else {
+            (self.opportunity_bytes as f64 / self.contact_duration.as_secs_f64())
+                .floor()
+                .max(1.0) as u64
+        };
+        let mut atoms = Vec::with_capacity(routes);
+        for _ in 0..routes {
+            let (a, b) = if self.hubs > 0 && rng.gen::<f64>() < self.hub_bias {
+                let a = rng.gen_range(0..self.nodes);
+                let b = distinct_from(self.hubs, a, &mut rng);
+                (NodeId(a as u32), NodeId(b as u32))
+            } else {
+                random_pair(self.nodes, &mut rng)
+            };
+            let phase = rng.gen_range(0..period_us).min(last_start);
+            let template = if self.contact_duration == TimeDelta::ZERO {
+                ContactWindow::instant(Time(phase), a, b, self.opportunity_bytes)
+            } else {
+                ContactWindow::new(
+                    Time(phase),
+                    Time(phase + self.contact_duration.0),
+                    a,
+                    b,
+                    rate,
+                )
+            };
+            let repeats = (last_start - phase) / period_us + 1;
+            atoms.push(if repeats >= 2 {
+                PlanAtom::Periodic {
+                    template,
+                    period: TimeDelta(period_us),
+                    repeats: u32::try_from(repeats).expect("repeats fit u32"),
+                }
+            } else {
+                PlanAtom::Literal(template)
+            });
+        }
+        CompiledPlan::new(atoms)
     }
 
     /// Streams a Poisson packet workload for one run: `packets` expected
@@ -258,6 +334,60 @@ mod tests {
         assert!(a.iter().all(|p| p.src != p.dst && p.time < f.horizon));
         let b: Vec<_> = f.packet_stream(2000, 1024, 9, 0).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn periodic_plan_hits_the_contact_budget_in_tiny_memory() {
+        let f = fleet();
+        let plan = f.periodic_plan(100, 1, 0);
+        assert_eq!(plan.atom_count(), 100);
+        let windows = plan.window_count() as f64;
+        assert!(
+            (windows - f.contacts as f64).abs() < f.contacts as f64 * 0.05,
+            "expected ~{}, got {windows}",
+            f.contacts
+        );
+        // ≥10× plan-representation reduction vs materializing.
+        assert!(plan.materialized_bytes() as usize >= 10 * plan.in_memory_bytes());
+        let expanded: Vec<_> = std::sync::Arc::new(plan.clone()).stream().collect();
+        assert_eq!(expanded.len() as u64, plan.window_count());
+        assert!(expanded.windows(2).all(|w| w[0].start <= w[1].start));
+        assert!(expanded
+            .iter()
+            .all(|w| w.a != w.b && w.a.index() < f.nodes && w.end < f.horizon));
+        assert_eq!(
+            plan,
+            f.periodic_plan(100, 1, 0),
+            "deterministic in (seed, run)"
+        );
+        assert_ne!(plan, f.periodic_plan(100, 1, 1), "runs differ");
+    }
+
+    #[test]
+    fn periodic_plan_respects_hub_bias_and_duration() {
+        let f = ScaleFleet {
+            hubs: 16,
+            hub_bias: 0.5,
+            contact_duration: TimeDelta::from_secs(60),
+            ..fleet()
+        };
+        let plan = f.periodic_plan(400, 9, 0);
+        let hub_routes = plan
+            .atoms()
+            .iter()
+            .filter(|a| {
+                let t = a.template();
+                t.a.index() < 16 || t.b.index() < 16
+            })
+            .count() as f64;
+        let share = hub_routes / plan.atom_count() as f64;
+        assert!(
+            (0.35..0.65).contains(&share),
+            "hub route share {share} far from bias"
+        );
+        let expanded: Vec<_> = std::sync::Arc::new(plan).stream().collect();
+        assert!(expanded.iter().all(|w| w.end <= f.horizon));
+        assert!(expanded.iter().any(|w| !w.is_instantaneous()));
     }
 
     #[test]

@@ -290,6 +290,14 @@ impl NodeBuffer {
         for e in &mut q[pos..] {
             e.bytes_ahead -= meta.size_bytes;
         }
+        if q.is_empty() {
+            // Release the queue's heap allocation (the interned slot stays,
+            // so indices are stable). Buffers drain constantly in long
+            // streamed runs; without this, every (node, destination) pair
+            // ever seen keeps a queue allocation forever, and at 100k nodes
+            // that lingering capacity — not live replicas — dominates RSS.
+            q.shrink_to_fit();
+        }
 
         self.used -= meta.size_bytes;
         true

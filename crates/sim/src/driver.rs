@@ -299,7 +299,7 @@ impl<'a> ContactDriver<'a> {
     /// witnessed the delivery, §3.4's implicit ack).
     pub fn try_transfer(&mut self, from: NodeId, id: PacketId) -> TransferOutcome {
         let to = self.peer_of(from);
-        let packet = *self.world.packets().get(id);
+        let packet = self.world.packets().get(id);
         assert!(
             self.world.buffer(from).contains(id),
             "{from} does not hold {id}"

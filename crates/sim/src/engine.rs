@@ -29,7 +29,6 @@ use crate::report::SimReport;
 use crate::routing::{PacketStore, Routing, SimConfig};
 use crate::source::{ContactSource, WorkloadSource};
 use crate::time::{Time, TimeDelta};
-use crate::types::{Packet, PacketId};
 use crate::NodeBuffer;
 use dtn_stats::sample::Exponential;
 use dtn_stats::stream;
@@ -402,15 +401,13 @@ fn run_loop(
             let spec = next_packet.take().expect("packet candidate exists");
             next_packet = pull_packet(workload, &mut last_packet_time);
 
-            let id = PacketId(world.store.len() as u32);
-            let packet = Packet {
-                id,
-                src: spec.src,
-                dst: spec.dst,
-                size_bytes: spec.size_bytes,
-                created_at: spec.time,
-            };
-            world.store.push(packet);
+            let ttl_deadline = config
+                .ttl
+                .map_or(PacketStore::NO_TTL, |ttl| spec.time + ttl);
+            let id = world
+                .store
+                .push(spec.src, spec.dst, spec.size_bytes, spec.time, ttl_deadline);
+            let packet = world.store.get(id);
             world.delivered_at.push(None);
             world.holders.push(IndexSet::new());
 
@@ -436,8 +433,8 @@ fn run_loop(
                 world.holders[id.index()].insert(spec.src.index());
                 world.entered.push(true);
                 routing.on_packet_created(&packet);
-                if let Some(ttl) = config.ttl {
-                    queue.push(spec.time + ttl, SimEvent::PacketExpired(id));
+                if ttl_deadline != PacketStore::NO_TTL {
+                    queue.push(ttl_deadline, SimEvent::PacketExpired(id));
                 }
             } else {
                 world.entered.push(false);
@@ -547,7 +544,7 @@ fn run_loop(
                     world.buffers[h].remove(id);
                 }
                 report.expired += 1;
-                routing.on_packet_expired(world.store.get(id));
+                routing.on_packet_expired(&world.store.get(id));
             }
             SimEvent::ContactStart(_) | SimEvent::PacketCreated(_) => {
                 unreachable!("contact starts and creations come from the sources")
@@ -583,7 +580,6 @@ fn run_loop(
         world
             .store
             .iter()
-            .copied()
             .zip(world.delivered_at.iter().copied())
             .zip(world.entered.iter().copied())
             .map(|((p, d), e)| (p, d, e)),
@@ -761,7 +757,7 @@ mod tests {
     use super::*;
     use crate::contact::Contact;
     use crate::routing::TransferOutcome;
-    use crate::types::NodeId;
+    use crate::types::{NodeId, Packet, PacketId};
     use crate::workload::{PacketSpec, Workload};
 
     /// Minimal flooding protocol for engine tests: each side sends

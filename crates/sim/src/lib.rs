@@ -59,6 +59,7 @@ pub mod event;
 pub mod ids;
 pub mod noise;
 pub mod par;
+pub mod plan;
 pub mod report;
 pub mod routing;
 pub mod source;
@@ -75,6 +76,7 @@ pub use event::{EventQueue, NodeEvent, SimEvent};
 pub use ids::{IndexSet, NodeIdx, NodeInterner, PacketIdx, PacketInterner};
 pub use noise::NoiseModel;
 pub use par::{intra_jobs_from_env, ContactConcurrency, ContactPool, SlicePartition};
+pub use plan::{CompiledPlan, PlanAtom, PlanStream};
 pub use report::{PacketOutcome, SimReport};
 pub use routing::{PacketStore, Routing, SimConfig, TransferOutcome};
 pub use source::{ContactSource, ScheduleStream, WorkloadSource, WorkloadStream};

@@ -196,38 +196,104 @@ pub trait Routing {
 
 /// The immutable packet arena: every packet ever created this run, indexed
 /// by [`PacketId`].
+///
+/// Metadata is stored as structure-of-arrays columns (src, dst, size,
+/// creation time, TTL deadline) rather than a `Vec<Packet>`: protocol hot
+/// paths that scan one attribute — destination checks in queue sorts,
+/// size sums in eviction, age in delay estimates — touch only that
+/// column's cache lines, and each attribute compacts to its natural width
+/// instead of padding a 32-byte struct. [`PacketStore::get`] assembles a
+/// [`Packet`] *by value* for the protocol-facing hooks that want the
+/// whole tuple.
 #[derive(Debug, Default, Clone)]
 pub struct PacketStore {
-    packets: Vec<Packet>,
+    src: Vec<NodeId>,
+    dst: Vec<NodeId>,
+    size_bytes: Vec<u64>,
+    created_at: Vec<Time>,
+    /// Instant the packet expires (creation + TTL), or [`PacketStore::NO_TTL`]
+    /// when the run has no TTL — a dense column so expiry checks never
+    /// branch on an `Option`.
+    ttl_deadline: Vec<Time>,
 }
 
 impl PacketStore {
-    /// Looks up a packet.
+    /// Sentinel deadline for packets without a TTL: the end of time.
+    pub const NO_TTL: Time = Time(u64::MAX);
+
+    /// Assembles the packet tuple by value.
     ///
     /// # Panics
     /// If the id is out of range (a protocol invented an id).
-    pub fn get(&self, id: PacketId) -> &Packet {
-        &self.packets[id.index()]
+    pub fn get(&self, id: PacketId) -> Packet {
+        let i = id.index();
+        Packet {
+            id,
+            src: self.src[i],
+            dst: self.dst[i],
+            size_bytes: self.size_bytes[i],
+            created_at: self.created_at[i],
+        }
+    }
+
+    /// Source node of `id` (single-column read).
+    pub fn src(&self, id: PacketId) -> NodeId {
+        self.src[id.index()]
+    }
+
+    /// Destination node of `id` (single-column read).
+    pub fn dst(&self, id: PacketId) -> NodeId {
+        self.dst[id.index()]
+    }
+
+    /// Size in bytes of `id` (single-column read).
+    pub fn size_bytes(&self, id: PacketId) -> u64 {
+        self.size_bytes[id.index()]
+    }
+
+    /// Creation instant of `id` (single-column read).
+    pub fn created_at(&self, id: PacketId) -> Time {
+        self.created_at[id.index()]
+    }
+
+    /// Expiry instant of `id`: `Some(created_at + ttl)` on TTL runs,
+    /// `None` otherwise.
+    pub fn ttl_deadline(&self, id: PacketId) -> Option<Time> {
+        let t = self.ttl_deadline[id.index()];
+        (t != Self::NO_TTL).then_some(t)
     }
 
     /// Number of packets created so far.
     pub fn len(&self) -> usize {
-        self.packets.len()
+        self.src.len()
     }
 
     /// Whether no packets exist yet.
     pub fn is_empty(&self) -> bool {
-        self.packets.is_empty()
+        self.src.is_empty()
     }
 
-    /// All packets, in creation (id) order.
-    pub fn iter(&self) -> impl Iterator<Item = &Packet> {
-        self.packets.iter()
+    /// All packets, in creation (id) order, assembled by value.
+    pub fn iter(&self) -> impl Iterator<Item = Packet> + '_ {
+        (0..self.len()).map(|i| self.get(PacketId(i as u32)))
     }
 
-    pub(crate) fn push(&mut self, packet: Packet) {
-        debug_assert_eq!(packet.id.index(), self.packets.len());
-        self.packets.push(packet);
+    /// Appends a packet's columns and returns its id.
+    pub(crate) fn push(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        size_bytes: u64,
+        created_at: Time,
+        ttl_deadline: Time,
+    ) -> PacketId {
+        let id = PacketId(self.src.len() as u32);
+        self.src.push(src);
+        self.dst.push(dst);
+        self.size_bytes.push(size_bytes);
+        self.created_at.push(created_at);
+        self.ttl_deadline.push(ttl_deadline);
+        id
     }
 }
 
@@ -249,16 +315,18 @@ mod tests {
     fn packet_store_roundtrip() {
         let mut s = PacketStore::default();
         assert!(s.is_empty());
-        s.push(Packet {
-            id: PacketId(0),
-            src: NodeId(0),
-            dst: NodeId(1),
-            size_bytes: 10,
-            created_at: Time::ZERO,
-        });
+        let id = s.push(NodeId(0), NodeId(1), 10, Time::ZERO, PacketStore::NO_TTL);
+        assert_eq!(id, PacketId(0));
         assert_eq!(s.len(), 1);
-        assert_eq!(s.get(PacketId(0)).dst, NodeId(1));
+        assert_eq!(s.get(id).dst, NodeId(1));
+        assert_eq!(s.dst(id), NodeId(1));
+        assert_eq!(s.src(id), NodeId(0));
+        assert_eq!(s.size_bytes(id), 10);
+        assert_eq!(s.created_at(id), Time::ZERO);
+        assert_eq!(s.ttl_deadline(id), None);
         assert_eq!(s.iter().count(), 1);
+        let with_ttl = s.push(NodeId(1), NodeId(0), 5, Time(3), Time(10));
+        assert_eq!(s.ttl_deadline(with_ttl), Some(Time(10)));
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Property tests for the compressed contact-plan layer: lazy expansion
+//! must be byte-identical to the materialized schedule for every atom
+//! kind, through compression, binary round-trips, and a full engine run
+//! with churn-interrupted windows.
+
+use dtn_sim::workload::{PacketSpec, Workload};
+use dtn_sim::{
+    run_streaming, CompiledPlan, ContactDriver, ContactWindow, NodeEvent, NodeId, PlanAtom,
+    Routing, Schedule, ScheduleStream, SimConfig, Time, TimeDelta, TransferOutcome, WorkloadStream,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Arbitrary windows over a deliberately small time range so ties (equal
+/// starts, same pair, same shape) and repeated cadences are common — the
+/// cases where run compression has to keep the stable order exactly.
+fn window_strategy() -> impl Strategy<Value = ContactWindow> {
+    (
+        0u64..400,
+        0u32..10,
+        0u32..10,
+        1u64..5_000,
+        1u64..30,
+        any::<bool>(),
+    )
+        .prop_map(|(t, a, b, bytes, dur, instant)| {
+            let b = if b == a { (a + 1) % 10 } else { b };
+            if instant {
+                ContactWindow::instant(Time::from_secs(t), NodeId(a), NodeId(b), bytes)
+            } else {
+                ContactWindow::new(
+                    Time::from_secs(t),
+                    Time::from_secs(t + dur),
+                    NodeId(a),
+                    NodeId(b),
+                    bytes,
+                )
+            }
+        })
+}
+
+/// One arbitrary plan atom: literal, periodic (zero periods allowed —
+/// in-atom ties), or delta run (zero deltas allowed).
+fn atom_strategy() -> impl Strategy<Value = PlanAtom> {
+    let literal = window_strategy().prop_map(PlanAtom::Literal);
+    let periodic = (window_strategy(), 0u64..50, 2u32..20).prop_map(|(t, period, repeats)| {
+        PlanAtom::Periodic {
+            template: t,
+            period: TimeDelta::from_secs(period),
+            repeats,
+        }
+    });
+    let delta =
+        (window_strategy(), prop::collection::vec(0u64..50, 1..10)).prop_map(|(t, deltas)| {
+            PlanAtom::DeltaRun {
+                template: t,
+                deltas: deltas.into_iter().map(TimeDelta::from_secs).collect(),
+            }
+        });
+    prop_oneof![literal, periodic, delta]
+}
+
+/// Reference expansion of one atom, in emission order.
+fn expand_atom(atom: &PlanAtom) -> Vec<ContactWindow> {
+    let t = atom.template();
+    match atom {
+        PlanAtom::Literal(w) => vec![*w],
+        PlanAtom::Periodic {
+            period, repeats, ..
+        } => (0..*repeats)
+            .map(|k| t.shifted(TimeDelta(period.0 * u64::from(k))))
+            .collect(),
+        PlanAtom::DeltaRun { deltas, .. } => {
+            let mut out = vec![*t];
+            let mut offset = 0u64;
+            for d in deltas {
+                offset += d.0;
+                out.push(t.shifted(TimeDelta(offset)));
+            }
+            out
+        }
+    }
+}
+
+proptest! {
+    /// Compressing any window multiset and expanding it lazily reproduces
+    /// `Schedule::new`'s stable start order window-for-window, and the
+    /// compact binary form round-trips to the same expansion.
+    #[test]
+    fn compression_round_trips_any_schedule(
+        windows in prop::collection::vec(window_strategy(), 1..120),
+    ) {
+        let schedule = Schedule::new(windows);
+        let plan = Arc::new(CompiledPlan::compress_schedule(&schedule));
+        prop_assert_eq!(plan.window_count(), schedule.len() as u64);
+        prop_assert_eq!(plan.node_count_hint(), schedule.node_count_hint());
+
+        let streamed: Vec<ContactWindow> = plan.stream().collect();
+        prop_assert_eq!(streamed.as_slice(), schedule.windows(), "lazy expansion order");
+        prop_assert_eq!(&plan.materialize(), &schedule, "eager expansion");
+
+        // Binary round-trip: window → record forms are exact for both
+        // constructor shapes (instant lumps, durative rates).
+        let bytes = plan.to_record_plan().to_bytes();
+        let decoded = dtn_trace::RecordPlan::from_bytes(&bytes).expect("self-encoded plan");
+        let back = CompiledPlan::from_record_plan(&decoded);
+        prop_assert_eq!(&back.materialize(), &schedule, "binary round-trip");
+    }
+
+    /// For any atom list — literals, periodic generators (including zero
+    /// periods) and delta runs (including zero deltas) — the merge heap
+    /// emits exactly the stable sort-by-start of the concatenated per-atom
+    /// expansions, and the cursor's size hint is exact.
+    #[test]
+    fn lazy_merge_equals_stable_sorted_concatenation(
+        atoms in prop::collection::vec(atom_strategy(), 1..25),
+    ) {
+        let plan = Arc::new(CompiledPlan::new(atoms));
+        let mut reference: Vec<ContactWindow> =
+            plan.atoms().iter().flat_map(expand_atom).collect();
+        reference.sort_by_key(|w| w.start); // stable: in-atom/tie order kept
+
+        let mut cursor = plan.stream();
+        prop_assert_eq!(cursor.size_hint(), (reference.len(), Some(reference.len())));
+        let streamed: Vec<ContactWindow> = cursor.by_ref().collect();
+        prop_assert_eq!(streamed, reference);
+        prop_assert_eq!(cursor.size_hint(), (0, Some(0)));
+        prop_assert_eq!(plan.window_count() as usize, plan.materialize().len());
+    }
+}
+
+/// A minimal flooding protocol: every contact tries to push everything
+/// both ways until bandwidth runs out.
+struct Flood;
+
+impl Routing for Flood {
+    fn name(&self) -> String {
+        "plan-flood".into()
+    }
+
+    fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+        let (a, b) = driver.endpoints();
+        for from in [a, b] {
+            for id in driver.buffer(from).ids() {
+                if driver.try_transfer(from, id) == TransferOutcome::NoBandwidth {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Whole-engine equivalence: a run driven from the compressed plan's
+    /// cursor equals the run driven from the materialized schedule —
+    /// including durative windows interrupted mid-flight by node churn.
+    #[test]
+    fn engine_run_from_plan_equals_materialized(
+        windows in prop::collection::vec(window_strategy(), 1..60),
+        packets in prop::collection::vec(
+            (0u64..300, 0u32..10, 0u32..10, 128u64..1024),
+            1..30,
+        ),
+        churn in prop::collection::vec((0u64..400, 0u32..10, any::<bool>()), 0..12),
+        ttl in prop::option::of(20u64..200),
+    ) {
+        let schedule = Schedule::new(windows);
+        let plan = Arc::new(CompiledPlan::compress_schedule(&schedule));
+        let specs: Vec<PacketSpec> = packets
+            .iter()
+            .map(|&(t, src, dst, size)| {
+                let dst = if dst == src { (src + 1) % 10 } else { dst };
+                PacketSpec {
+                    time: Time::from_secs(t),
+                    src: NodeId(src),
+                    dst: NodeId(dst),
+                    size_bytes: size,
+                }
+            })
+            .collect();
+        let workload = Arc::new(Workload::new(specs));
+        let mut churn: Vec<NodeEvent> = churn
+            .into_iter()
+            .map(|(t, node, up)| NodeEvent {
+                time: Time::from_secs(t),
+                node: NodeId(node),
+                up,
+            })
+            .collect();
+        churn.sort_by_key(|e| e.time);
+        let config = SimConfig {
+            nodes: 10,
+            buffer_capacity: 8 * 1024,
+            horizon: Time::from_secs(500),
+            ttl: ttl.map(TimeDelta::from_secs),
+            ..SimConfig::default()
+        };
+
+        let materialized = run_streaming(
+            &config,
+            &mut ScheduleStream::new(Arc::new(schedule)),
+            &mut WorkloadStream::new(Arc::clone(&workload)),
+            &churn,
+            None,
+            &mut Flood,
+        );
+        let compressed = run_streaming(
+            &config,
+            &mut plan.stream(),
+            &mut WorkloadStream::new(workload),
+            &churn,
+            None,
+            &mut Flood,
+        );
+        prop_assert_eq!(materialized, compressed, "plan-driven run diverged");
+    }
+}

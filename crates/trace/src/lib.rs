@@ -31,8 +31,10 @@
 //! [`parse`] verifies this and rejects malformed input with a line-precise
 //! error.
 
+pub mod plan;
 pub mod record;
 
+pub use plan::{compress_contacts, PlanDecodeError, RecordAtom, RecordPlan};
 pub use record::{ContactRecord, PacketRecord, Record};
 
 use std::fmt;

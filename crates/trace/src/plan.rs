@@ -1,0 +1,581 @@
+//! Compressed contact plans: run-length/delta encoding over contact
+//! records, plus a compact binary format.
+//!
+//! A materialized contact plan spends one full [`ContactRecord`] per
+//! meeting even when the plan is mostly *regular* — the same pair meeting
+//! again and again with the same opportunity. This module factors that
+//! regularity out. A plan is a sequence of [`RecordAtom`]s:
+//!
+//! * [`RecordAtom::Literal`] — one window, stored verbatim;
+//! * [`RecordAtom::Periodic`] — a template window repeated `repeats` times
+//!   at a fixed `period_us` (phase = the template's `time_us`, jitter-free,
+//!   per-repeat capacity = the template's `bytes`);
+//! * [`RecordAtom::DeltaRun`] — a template window plus one start-time
+//!   delta per further repeat: the irregular-gap run, still one small
+//!   integer per meeting instead of a whole record.
+//!
+//! [`compress_contacts`] builds a plan from a `(day, time)`-ordered record
+//! stream (the order [`crate::stream_records`] yields) and guarantees the
+//! **round trip is exact**: [`RecordPlan::expand`] replays the original
+//! records byte-for-byte, in the original order, including ties — the
+//! encoder refuses to extend a run when doing so would reorder records
+//! that share a timestamp, falling back to a fresh atom instead.
+//!
+//! Expansion order is defined as the stable sort of the concatenated atom
+//! expansions by `(day, time_us)`: atoms are kept in first-record order,
+//! each atom's own windows are nondecreasing in time, and the lazy cursor
+//! in `dtn-sim` heap-merges on `(day, time_us, atom index)` — so lazy and
+//! materialized expansion are identical by construction.
+
+use crate::record::ContactRecord;
+use std::collections::HashMap;
+
+/// One atom of a compressed contact plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordAtom {
+    /// A single literal window.
+    Literal(ContactRecord),
+    /// `repeats` copies of `template`, the k-th starting at
+    /// `template.time_us + k * period_us` (k in `0..repeats`), all within
+    /// the template's day. `repeats >= 2`.
+    Periodic {
+        /// The first window of the train; its `time_us` is the phase.
+        template: ContactRecord,
+        /// Start-to-start gap between consecutive repeats, microseconds.
+        period_us: u64,
+        /// Total number of windows, including the template's.
+        repeats: u32,
+    },
+    /// `deltas_us.len() + 1` windows: the template, then one more per
+    /// delta, each starting `deltas_us[k]` after its predecessor.
+    DeltaRun {
+        /// The first window of the run.
+        template: ContactRecord,
+        /// Consecutive start-to-start gaps, microseconds.
+        deltas_us: Vec<u64>,
+    },
+}
+
+impl RecordAtom {
+    /// Day this atom's windows belong to.
+    pub fn day(&self) -> u32 {
+        self.template().day
+    }
+
+    /// Start of the atom's first window, microseconds into its day.
+    pub fn first_time_us(&self) -> u64 {
+        self.template().time_us
+    }
+
+    /// The first window (all repeats share its endpoints, bytes and
+    /// duration).
+    pub fn template(&self) -> &ContactRecord {
+        match self {
+            RecordAtom::Literal(t)
+            | RecordAtom::Periodic { template: t, .. }
+            | RecordAtom::DeltaRun { template: t, .. } => t,
+        }
+    }
+
+    /// Number of windows this atom expands to.
+    pub fn window_count(&self) -> u64 {
+        match self {
+            RecordAtom::Literal(_) => 1,
+            RecordAtom::Periodic { repeats, .. } => u64::from(*repeats),
+            RecordAtom::DeltaRun { deltas_us, .. } => deltas_us.len() as u64 + 1,
+        }
+    }
+
+    /// The start time of repeat `k`, microseconds into the day.
+    ///
+    /// # Panics
+    /// If `k` is out of range.
+    pub fn start_of(&self, k: u64) -> u64 {
+        match self {
+            RecordAtom::Literal(t) => {
+                assert_eq!(k, 0, "literal atoms have one window");
+                t.time_us
+            }
+            RecordAtom::Periodic {
+                template,
+                period_us,
+                repeats,
+            } => {
+                assert!(k < u64::from(*repeats), "repeat out of range");
+                template.time_us + period_us * k
+            }
+            RecordAtom::DeltaRun {
+                template,
+                deltas_us,
+            } => {
+                assert!(k <= deltas_us.len() as u64, "repeat out of range");
+                template.time_us + deltas_us[..k as usize].iter().sum::<u64>()
+            }
+        }
+    }
+
+    /// Expands this atom into its windows, in time order.
+    pub fn expand(&self) -> impl Iterator<Item = ContactRecord> + '_ {
+        let template = *self.template();
+        (0..self.window_count()).map(move |k| ContactRecord {
+            time_us: self.start_of(k),
+            ..template
+        })
+    }
+}
+
+/// A compressed contact plan: atoms in `(day, first time)` order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordPlan {
+    atoms: Vec<RecordAtom>,
+}
+
+impl RecordPlan {
+    /// Builds a plan from atoms, stable-sorting them by
+    /// `(day, first time)` — the canonical order expansion ties break on.
+    pub fn new(mut atoms: Vec<RecordAtom>) -> Self {
+        atoms.sort_by_key(|a| (a.day(), a.first_time_us()));
+        Self { atoms }
+    }
+
+    /// The atoms, in canonical order.
+    pub fn atoms(&self) -> &[RecordAtom] {
+        &self.atoms
+    }
+
+    /// Number of atoms.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Total windows across all atoms.
+    pub fn window_count(&self) -> u64 {
+        self.atoms.iter().map(RecordAtom::window_count).sum()
+    }
+
+    /// Expands the whole plan back to records in `(day, time)` order with
+    /// ties broken by atom order — for a plan built by
+    /// [`compress_contacts`], exactly the input sequence.
+    pub fn expand(&self) -> Vec<ContactRecord> {
+        let mut out: Vec<(u32, u64, usize, ContactRecord)> = Vec::new();
+        for (i, atom) in self.atoms.iter().enumerate() {
+            for r in atom.expand() {
+                out.push((r.day, r.time_us, i, r));
+            }
+        }
+        out.sort_by_key(|&(day, t, i, _)| (day, t, i));
+        out.into_iter().map(|(_, _, _, r)| r).collect()
+    }
+
+    /// Serializes the plan to the compact binary format (`RPLN1`,
+    /// LEB128-varint fields).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.atoms.len() * 12);
+        out.extend_from_slice(MAGIC);
+        write_varint(&mut out, self.atoms.len() as u64);
+        for atom in &self.atoms {
+            let t = atom.template();
+            out.push(match atom {
+                RecordAtom::Literal(_) => 0,
+                RecordAtom::Periodic { .. } => 1,
+                RecordAtom::DeltaRun { .. } => 2,
+            });
+            for field in [
+                u64::from(t.day),
+                t.time_us,
+                u64::from(t.a),
+                u64::from(t.b),
+                t.bytes,
+                t.duration_us,
+            ] {
+                write_varint(&mut out, field);
+            }
+            match atom {
+                RecordAtom::Literal(_) => {}
+                RecordAtom::Periodic {
+                    period_us, repeats, ..
+                } => {
+                    write_varint(&mut out, *period_us);
+                    write_varint(&mut out, u64::from(*repeats));
+                }
+                RecordAtom::DeltaRun { deltas_us, .. } => {
+                    write_varint(&mut out, deltas_us.len() as u64);
+                    for &d in deltas_us {
+                        write_varint(&mut out, d);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Size of the binary encoding, bytes — the plan-representation size
+    /// the compression metrics compare against `window_count() *` the
+    /// per-record text/struct cost.
+    pub fn encoded_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Parses a plan previously written by [`RecordPlan::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PlanDecodeError> {
+        let rest = bytes.strip_prefix(MAGIC).ok_or(PlanDecodeError::BadMagic)?;
+        let mut cursor = Cursor { rest };
+        let count = cursor.varint()?;
+        let mut atoms = Vec::new();
+        for _ in 0..count {
+            let tag = cursor.byte()?;
+            let template = ContactRecord {
+                day: cursor.varint()? as u32,
+                time_us: cursor.varint()?,
+                a: cursor.varint()? as u32,
+                b: cursor.varint()? as u32,
+                bytes: cursor.varint()?,
+                duration_us: cursor.varint()?,
+            };
+            atoms.push(match tag {
+                0 => RecordAtom::Literal(template),
+                1 => RecordAtom::Periodic {
+                    template,
+                    period_us: cursor.varint()?,
+                    repeats: cursor.varint()? as u32,
+                },
+                2 => {
+                    let n = cursor.varint()? as usize;
+                    let mut deltas_us = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        deltas_us.push(cursor.varint()?);
+                    }
+                    RecordAtom::DeltaRun {
+                        template,
+                        deltas_us,
+                    }
+                }
+                t => return Err(PlanDecodeError::BadTag(t)),
+            });
+        }
+        if !cursor.rest.is_empty() {
+            return Err(PlanDecodeError::TrailingBytes);
+        }
+        Ok(Self::new(atoms))
+    }
+}
+
+/// Binary-plan magic header.
+const MAGIC: &[u8] = b"RPLN1\n";
+
+/// Decode failure for the binary plan format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanDecodeError {
+    /// The input does not start with the `RPLN1` magic.
+    BadMagic,
+    /// An atom tag byte was not 0/1/2.
+    BadTag(u8),
+    /// A varint or field ran past the end of the input.
+    Truncated,
+    /// Bytes remained after the declared atom count.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for PlanDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanDecodeError::BadMagic => write!(f, "missing RPLN1 magic"),
+            PlanDecodeError::BadTag(t) => write!(f, "unknown atom tag {t}"),
+            PlanDecodeError::Truncated => write!(f, "truncated plan"),
+            PlanDecodeError::TrailingBytes => write!(f, "trailing bytes after last atom"),
+        }
+    }
+}
+
+impl std::error::Error for PlanDecodeError {}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+struct Cursor<'a> {
+    rest: &'a [u8],
+}
+
+impl Cursor<'_> {
+    fn byte(&mut self) -> Result<u8, PlanDecodeError> {
+        let (&b, rest) = self.rest.split_first().ok_or(PlanDecodeError::Truncated)?;
+        self.rest = rest;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64, PlanDecodeError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(PlanDecodeError::Truncated);
+            }
+        }
+    }
+}
+
+/// One open run during compression.
+struct Run {
+    template: ContactRecord,
+    last_time_us: u64,
+    deltas_us: Vec<u64>,
+}
+
+impl Run {
+    fn into_atom(self) -> RecordAtom {
+        if self.deltas_us.is_empty() {
+            return RecordAtom::Literal(self.template);
+        }
+        let first = self.deltas_us[0];
+        if self.deltas_us.iter().all(|&d| d == first) {
+            return RecordAtom::Periodic {
+                template: self.template,
+                period_us: first,
+                repeats: self.deltas_us.len() as u32 + 1,
+            };
+        }
+        RecordAtom::DeltaRun {
+            template: self.template,
+            deltas_us: self.deltas_us,
+        }
+    }
+}
+
+/// Run-length/delta-compresses a `(day, time)`-ordered contact-record
+/// sequence (e.g. the contacts of [`crate::stream_records`]) into a
+/// [`RecordPlan`] whose expansion replays the input exactly.
+///
+/// Consecutive windows of the same `(day, a, b, bytes, duration)` key fold
+/// into one run; regular gaps become [`RecordAtom::Periodic`], irregular
+/// ones [`RecordAtom::DeltaRun`]. Memory while encoding is O(distinct
+/// keys) for run bookkeeping plus the output plan itself.
+///
+/// Ties are handled conservatively: within a group of records sharing one
+/// `(day, time)`, runs may only be extended in nondecreasing run-creation
+/// order — an extension that would interleave (and therefore reorder the
+/// expansion) closes the run and opens a fresh atom instead.
+///
+/// # Panics
+/// If the input is not `(day, time)`-ordered.
+pub fn compress_contacts<I: IntoIterator<Item = ContactRecord>>(records: I) -> RecordPlan {
+    type Key = (u32, u32, u32, u64, u64);
+    let mut runs: Vec<Run> = Vec::new();
+    let mut open: HashMap<Key, usize> = HashMap::new();
+    let mut last: Option<(u32, u64)> = None;
+    // Largest run index extended within the current tie group.
+    let mut tie_max: Option<usize> = None;
+
+    for r in records {
+        let at = (r.day, r.time_us);
+        if let Some(prev) = last {
+            assert!(prev <= at, "records must be (day, time) ordered");
+            if prev != at {
+                tie_max = None;
+            }
+        }
+        last = Some(at);
+
+        let key: Key = (r.day, r.a, r.b, r.bytes, r.duration_us);
+        let extendable = open
+            .get(&key)
+            .copied()
+            .filter(|&ri| tie_max.is_none_or(|m| m <= ri));
+        match extendable {
+            Some(ri) => {
+                let run = &mut runs[ri];
+                run.deltas_us.push(r.time_us - run.last_time_us);
+                run.last_time_us = r.time_us;
+                tie_max = Some(ri);
+            }
+            None => {
+                let ri = runs.len();
+                runs.push(Run {
+                    template: r,
+                    last_time_us: r.time_us,
+                    deltas_us: Vec::new(),
+                });
+                open.insert(key, ri);
+                tie_max = Some(ri);
+            }
+        }
+    }
+    RecordPlan::new(runs.into_iter().map(Run::into_atom).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(day: u32, time_us: u64, a: u32, b: u32, bytes: u64, duration_us: u64) -> ContactRecord {
+        ContactRecord {
+            day,
+            time_us,
+            a,
+            b,
+            bytes,
+            duration_us,
+        }
+    }
+
+    #[test]
+    fn periodic_run_compresses_to_one_atom() {
+        let input: Vec<_> = (0..100)
+            .map(|k| rec(0, 10 + 50 * k, 1, 2, 512, 0))
+            .collect();
+        let plan = compress_contacts(input.clone());
+        assert_eq!(plan.atom_count(), 1);
+        assert!(matches!(
+            plan.atoms()[0],
+            RecordAtom::Periodic {
+                period_us: 50,
+                repeats: 100,
+                ..
+            }
+        ));
+        assert_eq!(plan.window_count(), 100);
+        assert_eq!(plan.expand(), input);
+        // 100 records compress to a handful of bytes.
+        assert!(plan.encoded_len() < 32, "{} bytes", plan.encoded_len());
+    }
+
+    #[test]
+    fn irregular_run_becomes_delta_atom() {
+        let times = [5u64, 9, 20, 21, 100];
+        let input: Vec<_> = times.iter().map(|&t| rec(2, t, 3, 4, 64, 1000)).collect();
+        let plan = compress_contacts(input.clone());
+        assert_eq!(plan.atom_count(), 1);
+        match &plan.atoms()[0] {
+            RecordAtom::DeltaRun {
+                template,
+                deltas_us,
+            } => {
+                assert_eq!(template.time_us, 5);
+                assert_eq!(deltas_us, &vec![4, 11, 1, 79]);
+            }
+            other => panic!("expected delta run, got {other:?}"),
+        }
+        assert_eq!(plan.expand(), input);
+    }
+
+    #[test]
+    fn interleaved_pairs_round_trip() {
+        let input = vec![
+            rec(0, 0, 1, 2, 10, 0),
+            rec(0, 3, 3, 4, 20, 0),
+            rec(0, 5, 1, 2, 10, 0),
+            rec(0, 8, 3, 4, 20, 0),
+            rec(0, 10, 1, 2, 10, 0),
+            rec(1, 1, 1, 2, 10, 0),
+        ];
+        let plan = compress_contacts(input.clone());
+        // Pair (1,2) day 0 is periodic; (3,4) periodic; day 1 separate.
+        assert_eq!(plan.atom_count(), 3);
+        assert_eq!(plan.expand(), input);
+    }
+
+    #[test]
+    fn ties_never_reorder() {
+        // Run A opens at t=0; at t=5 the order is B then A — extending A
+        // after B would emit A's repeat before B's window on expansion, so
+        // the encoder must break A's run.
+        let input = vec![
+            rec(0, 0, 1, 2, 10, 0),
+            rec(0, 5, 3, 4, 20, 0),
+            rec(0, 5, 1, 2, 10, 0),
+            rec(0, 5, 1, 2, 10, 0),
+            rec(0, 9, 3, 4, 20, 0),
+        ];
+        let plan = compress_contacts(input.clone());
+        assert_eq!(plan.expand(), input);
+    }
+
+    #[test]
+    fn same_instant_same_key_repeats_stay_one_run() {
+        let input = vec![
+            rec(0, 7, 1, 2, 10, 0),
+            rec(0, 7, 1, 2, 10, 0),
+            rec(0, 7, 1, 2, 10, 0),
+        ];
+        let plan = compress_contacts(input.clone());
+        assert_eq!(plan.atom_count(), 1);
+        assert!(matches!(
+            plan.atoms()[0],
+            RecordAtom::Periodic {
+                period_us: 0,
+                repeats: 3,
+                ..
+            }
+        ));
+        assert_eq!(plan.expand(), input);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn out_of_order_input_panics() {
+        compress_contacts(vec![rec(0, 9, 1, 2, 1, 0), rec(0, 3, 1, 2, 1, 0)]);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let input = vec![
+            rec(0, 0, 1, 2, 10, 0),
+            rec(0, 3, 3, 4, u64::MAX, 5_000_000),
+            rec(0, 5, 1, 2, 10, 0),
+            rec(0, 7, 5, 6, 1, 0),
+            rec(0, 10, 1, 2, 10, 0),
+            rec(0, 11, 3, 4, u64::MAX, 5_000_000),
+            rec(0, 30, 1, 2, 10, 0),
+        ];
+        let plan = compress_contacts(input.clone());
+        let bytes = plan.to_bytes();
+        assert_eq!(bytes.len(), plan.encoded_len());
+        let back = RecordPlan::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back, plan);
+        assert_eq!(back.expand(), input);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            RecordPlan::from_bytes(b"nope"),
+            Err(PlanDecodeError::BadMagic)
+        );
+        let mut bytes = compress_contacts(vec![rec(0, 1, 1, 2, 3, 0)]).to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            RecordPlan::from_bytes(&bytes),
+            Err(PlanDecodeError::TrailingBytes)
+        );
+        bytes.pop();
+        bytes.pop();
+        assert_eq!(
+            RecordPlan::from_bytes(&bytes),
+            Err(PlanDecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_fine() {
+        let plan = compress_contacts(Vec::new());
+        assert_eq!(plan.atom_count(), 0);
+        assert_eq!(plan.window_count(), 0);
+        assert!(plan.expand().is_empty());
+        let back = RecordPlan::from_bytes(&plan.to_bytes()).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -102,7 +102,7 @@ impl Routing for FloodK {
         for from in [a, b] {
             let to = driver.peer_of(from);
             for id in driver.buffer(from).ids() {
-                let p = *driver.packets().get(id);
+                let p = driver.packets().get(id);
                 if p.dst == to {
                     let _ = driver.try_transfer(from, id);
                 } else if p.src == from
