@@ -1,0 +1,44 @@
+//! Eq. 4–9 kernel microbenchmark: scalar vs. the detected SIMD kernel,
+//! per queue shape. Writes `results/kernel_bench.json` and prints it.
+//!
+//! Knobs: `RAPID_KERNEL_BENCH_ITERS` (row sweeps per repeat, default
+//! 2000), `RAPID_KERNEL_BENCH_REPEATS` (best-of, default 5).
+
+use rapid_bench::kbench::measure_rows;
+use rapid_core::Kernel;
+
+fn main() {
+    let iters = rapid_bench::env_u64("RAPID_KERNEL_BENCH_ITERS", 2000).max(1);
+    let repeats = rapid_bench::env_u64("RAPID_KERNEL_BENCH_REPEATS", 5).max(1);
+    let detected = Kernel::detect();
+
+    let mut out = String::from("{\n  \"benches\": {\n");
+    let shapes = [48usize, 512, 4096];
+    for (si, &len) in shapes.iter().enumerate() {
+        let (scalar_ms, scalar_sum) = measure_rows(Kernel::Scalar, len, iters, repeats);
+        let (best_ms, best_sum) = if detected == Kernel::Scalar {
+            (scalar_ms, scalar_sum)
+        } else {
+            measure_rows(detected, len, iters, repeats)
+        };
+        assert_eq!(
+            scalar_sum.to_bits(),
+            best_sum.to_bits(),
+            "kernels disagree on the {len}-row checksum"
+        );
+        out.push_str(&format!(
+            "    \"kernel/rate_rows_{len}\": {{\n      \
+             \"kernel\": \"{detected:?}\",\n      \
+             \"min_ms\": {best_ms:.6},\n      \
+             \"scalar_min_ms\": {scalar_ms:.6},\n      \
+             \"speedup_vs_scalar\": {:.3},\n      \
+             \"iters\": {iters},\n      \"repeats\": {repeats}\n    }}{}\n",
+            scalar_ms / best_ms,
+            if si + 1 < shapes.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/kernel_bench.json", &out).expect("write results/kernel_bench.json");
+    print!("{out}");
+}

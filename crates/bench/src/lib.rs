@@ -30,6 +30,7 @@
 pub mod churn;
 pub mod experiments;
 pub mod families;
+pub mod kbench;
 pub mod proto;
 pub mod registry;
 pub mod runner;

@@ -205,6 +205,9 @@ pub fn run_spec(spec: &RunSpec, proto: Proto) -> SimReport {
         // either way. Composes with RAPID_JOBS (across-run workers): the
         // total worker budget is their product.
         intra_jobs: dtn_sim::intra_jobs_from_env(),
+        // Batch lookahead policy (RAPID_LOOKAHEAD, default adaptive);
+        // results are byte-identical at any setting.
+        lookahead: dtn_sim::par::Lookahead::from_env(),
     };
     let mut contacts = spec.contacts.source();
     let mut packets = spec.packets.source();
@@ -221,10 +224,11 @@ pub fn run_spec(spec: &RunSpec, proto: Proto) -> SimReport {
 }
 
 /// Worker count: `RAPID_JOBS` (default: available parallelism), capped at
-/// the job count.
+/// the job count. Rejects `0` and non-numeric values loudly instead of
+/// silently falling back to serial execution.
 fn worker_count(n: usize) -> usize {
     let default_jobs = std::thread::available_parallelism().map_or(4, |p| p.get());
-    let jobs = crate::env_u64("RAPID_JOBS", default_jobs as u64) as usize;
+    let jobs = dtn_sim::jobs_from_env("RAPID_JOBS", default_jobs);
     jobs.clamp(1, n.max(1))
 }
 

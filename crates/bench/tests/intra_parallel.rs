@@ -71,6 +71,38 @@ fn intra_jobs_reproduce_serial_byte_for_byte() {
                 "{proto:?} with RAPID_INTRA_JOBS={jobs} diverged from serial"
             );
         }
+        // Lookahead policy must not be observable either — fixed bounds
+        // straddling the batch sizes and the adaptive policy all replay
+        // the serial scan order.
+        for lookahead in ["1", "3", "adaptive"] {
+            std::env::set_var("RAPID_INTRA_JOBS", "4");
+            std::env::set_var("RAPID_LOOKAHEAD", lookahead);
+            let parallel = run_spec(&spec(0), proto);
+            assert_eq!(
+                serial, parallel,
+                "{proto:?} with RAPID_LOOKAHEAD={lookahead} diverged from serial"
+            );
+        }
+        std::env::remove_var("RAPID_LOOKAHEAD");
+    }
+
+    // Kernel equivalence end-to-end: a full RAPID run with the scalar
+    // Eq. 4–9 kernel must equal the detected (possibly AVX2) kernel's
+    // run bit-for-bit, serial and parallel alike.
+    {
+        std::env::set_var("RAPID_INTRA_JOBS", "1");
+        std::env::set_var("RAPID_KERNEL", "scalar");
+        let scalar = run_spec(&spec(0), Proto::RapidAvg);
+        std::env::set_var("RAPID_KERNEL", "auto");
+        std::env::set_var("RAPID_INTRA_JOBS", "4");
+        let detected = run_spec(&spec(0), Proto::RapidAvg);
+        assert_eq!(
+            scalar,
+            detected,
+            "detected kernel (RAPID_KERNEL=auto, {:?}) diverged from scalar",
+            rapid_core::Kernel::detect()
+        );
+        std::env::remove_var("RAPID_KERNEL");
     }
 
     // TSV-level equivalence across full figure plans: trace-driven

@@ -138,6 +138,53 @@ impl DelayCache {
     pub fn version(&self) -> u64 {
         self.version
     }
+
+    /// Batched validity sweep over one delivery queue: writes each
+    /// packet's still-valid cached rate (or `None` for a dirty packet)
+    /// into `row`, returning the number of misses. Equivalent to
+    /// [`DelayCache::get`] per packet, with the destination-epoch lookup
+    /// hoisted out of the loop — the refresh path for one dirty node
+    /// walks whole queues, not individual packets.
+    pub fn sweep_queue(
+        &self,
+        dst: NodeId,
+        ids: impl IntoIterator<Item = PacketId>,
+        row: &mut Vec<Option<f64>>,
+    ) -> usize {
+        let dst_epoch = self.dst_epoch[dst.index()];
+        row.clear();
+        let mut misses = 0;
+        row.extend(ids.into_iter().map(|id| {
+            let e = self.entries.get(id.index()).copied().unwrap_or(EMPTY);
+            let pkt_epoch = self.pkt_epoch.get(id.index()).copied().unwrap_or(0);
+            let hit = (e.node_epoch == self.node_epoch
+                && e.dst_epoch == dst_epoch
+                && e.pkt_epoch == pkt_epoch)
+                .then_some(e.rate);
+            misses += usize::from(hit.is_none());
+            hit
+        }));
+        misses
+    }
+
+    /// Stores one queue's freshly recomputed rates under the current
+    /// epochs — the write half of a batched sweep. Equivalent to
+    /// [`DelayCache::put`] per packet.
+    pub fn put_row(&mut self, dst: NodeId, rates: impl IntoIterator<Item = (PacketId, f64)>) {
+        let dst_epoch = self.dst_epoch[dst.index()];
+        for (id, rate) in rates {
+            let i = id.index();
+            if i >= self.entries.len() {
+                self.entries.resize(i + 1, EMPTY);
+            }
+            self.entries[i] = Entry {
+                node_epoch: self.node_epoch,
+                dst_epoch,
+                pkt_epoch: self.pkt_epoch.get(i).copied().unwrap_or(0),
+                rate,
+            };
+        }
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +225,30 @@ mod tests {
         c.touch_packet(PacketId(5));
         c.invalidate_all();
         assert_eq!(c.version(), v0 + 3);
+    }
+
+    #[test]
+    fn sweep_and_put_row_match_per_packet_calls() {
+        let mut c = DelayCache::new(3);
+        let dst = NodeId(1);
+        let ids = [PacketId(0), PacketId(3), PacketId(5)];
+        c.put(PacketId(0), dst, 0.5);
+        c.put(PacketId(5), dst, 0.25);
+        c.touch_packet(PacketId(5));
+
+        let mut row = Vec::new();
+        let misses = c.sweep_queue(dst, ids, &mut row);
+        assert_eq!(misses, 2);
+        assert_eq!(row, vec![Some(0.5), None, None]);
+        for (&id, &hit) in ids.iter().zip(&row) {
+            assert_eq!(c.get(id, dst), hit);
+        }
+
+        c.put_row(dst, [(PacketId(3), 1.5), (PacketId(5), 2.5)]);
+        assert_eq!(c.sweep_queue(dst, ids, &mut row), 0);
+        assert_eq!(row, vec![Some(0.5), Some(1.5), Some(2.5)]);
+        c.touch_dst(dst);
+        assert_eq!(c.sweep_queue(dst, ids, &mut row), 3);
     }
 
     #[test]

@@ -18,12 +18,41 @@
 //! One deliberate deviation, noted in DESIGN.md: the paper writes
 //! `⌈b_j(i)/B_j⌉` meetings, which is 0 for the head-of-queue packet; we use
 //! `⌊b_j(i)/B_j⌋ + 1` so the head packet needs exactly one meeting.
+//!
+//! # Batched kernels and the deterministic reduction
+//!
+//! The Eq. 4–5 chain (`meetings_needed` → `replica_delay` → delay cap) is
+//! element-wise over a delivery queue once the per-queue constants (the
+//! destination's expected meeting time, the believed opportunity size, the
+//! cap) are fixed — which is how the protocol consumes it: one row per
+//! destination queue. [`RateBatch`] evaluates that chain over a whole row
+//! at once from a SoA `bytes_ahead` layout, in fixed-width `f64` chunks
+//! the autovectorizer can lower directly, with an optional explicit AVX2
+//! path behind runtime feature detection ([`Kernel`]). Every row element
+//! is produced by the same IEEE-754 operation sequence as the scalar
+//! functions, so the rows are **bitwise identical** to per-packet calls on
+//! every kernel (property-tested in `tests/properties.rs`).
+//!
+//! The one order-sensitive quantity is the combined-rate *sum* (Eq. 8).
+//! [`combined_rate`] defines its reduction as a fixed [`RATE_LANES`]-stripe
+//! accumulation — element `i` adds into stripe `i % RATE_LANES` — closed by
+//! a fixed pairwise tree over the stripes ([`reduce_stripes`]). That order
+//! is exactly what a chunked vector loop computes, so the hardware lane
+//! width (scalar, SSE2, AVX2) can never change the bitwise result; trailing
+//! empty stripes hold `+0.0`, which is an exact no-op addend over the
+//! non-negative partial sums.
 
 use dtn_sim::buffer::queue_slice;
 use dtn_sim::{NodeBuffer, NodeId, NodeInterner, PacketId, QueueEntry, Time};
 
 /// Smallest representable per-replica delay (seconds); guards divisions.
 const MIN_DELAY_SECS: f64 = 1e-6;
+
+/// Logical stripe count of the deterministic combined-rate reduction (and
+/// the chunk width the batched kernels are laid out for): one AVX2 `f64`
+/// register. Fixed — never derived from the runtime vector width — so the
+/// reduction order is a property of the algorithm, not the machine.
+pub const RATE_LANES: usize = 4;
 
 /// Number of meetings with the destination needed before `i`'s turn:
 /// `⌊bytes_ahead / B⌋ + 1`.
@@ -52,15 +81,38 @@ pub fn replica_delay(expected_meeting_secs: f64, meetings: f64) -> f64 {
 /// [`prob_within_from_rate`]), which is what makes the rate the natural
 /// unit to cache incrementally (see `cache.rs`). Infinite delays
 /// (unreachable replicas) contribute nothing.
+///
+/// The summation order is the deterministic [`RATE_LANES`]-stripe
+/// reduction (module docs): element `j` accumulates into stripe
+/// `j % RATE_LANES`, and the stripes close under the fixed tree of
+/// [`reduce_stripes`]. The order is a function of element *count* only —
+/// never of the execution strategy — so scalar and vectorized evaluations
+/// of the same delay list are bitwise identical.
 pub fn combined_rate(replica_delays: impl IntoIterator<Item = f64>) -> f64 {
-    replica_delays.into_iter().map(rate_contribution).sum()
+    let mut acc = [0.0f64; RATE_LANES];
+    let mut lane = 0;
+    for a in replica_delays {
+        acc[lane] += rate_contribution(a);
+        lane = (lane + 1) % RATE_LANES;
+    }
+    reduce_stripes(acc)
+}
+
+/// Closes the stripe accumulators of the deterministic reduction under a
+/// fixed pairwise tree: `(s0 + s1) + (s2 + s3)`. One order, everywhere —
+/// the scalar [`combined_rate`], the batched [`RateBatch::combined_rate`],
+/// and the AVX2 lane extraction all end here.
+#[inline]
+pub fn reduce_stripes(acc: [f64; RATE_LANES]) -> f64 {
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
 }
 
 /// One replica's additive contribution to the combined rate: `1/a` for a
-/// finite delay, 0 for an unreachable replica. Summing contributions
-/// left-to-right is bit-identical to [`combined_rate`] (all partial sums
-/// are non-negative, so the zero terms are exact no-ops) — selection paths
-/// use this to extend a rate by one replica without re-summing.
+/// finite delay, 0 for an unreachable replica. Selection paths use this to
+/// extend an already-reduced rate by one replica (`rate + contribution`);
+/// that extension is a scoring formula in its own right, not a claim of
+/// bitwise equality with re-folding the full list through the striped
+/// [`combined_rate`].
 pub fn rate_contribution(a: f64) -> f64 {
     if a.is_finite() {
         1.0 / a.max(MIN_DELAY_SECS)
@@ -96,6 +148,290 @@ pub fn expected_remaining_delay(replica_delays: impl IntoIterator<Item = f64>) -
 /// `P(a(i) < t)` for the combined replicas (Eq. 7).
 pub fn prob_delivered_within(replica_delays: impl IntoIterator<Item = f64>, t_secs: f64) -> f64 {
     prob_within_from_rate(combined_rate(replica_delays), t_secs)
+}
+
+/// Execution strategy for the batched Eq. 4–9 kernels.
+///
+/// Every strategy computes the same IEEE-754 operation sequence, so the
+/// choice can never change a result bit — only how many elements move per
+/// instruction. `Scalar` is the portable chunked loop (autovectorizable);
+/// `Avx2` is the explicit `std::arch` path, only selectable where the CPU
+/// reports the feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Portable chunked loop over [`RATE_LANES`]-wide stripes.
+    Scalar,
+    /// Explicit 256-bit `std::arch` path (x86-64 with AVX2 only).
+    Avx2,
+}
+
+impl Kernel {
+    /// The best kernel the running CPU supports (AVX2 where detected).
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Kernel::Avx2;
+        }
+        Kernel::Scalar
+    }
+
+    /// Parses a `RAPID_KERNEL` value: `auto` (detect), `scalar`, or
+    /// `avx2`. Rejects anything else — and rejects `avx2` on hardware
+    /// without it — instead of silently falling back.
+    pub fn parse(value: Option<&str>) -> Result<Self, String> {
+        match value {
+            None => Ok(Self::detect()),
+            Some("auto") => Ok(Self::detect()),
+            Some("scalar") => Ok(Kernel::Scalar),
+            Some("avx2") => {
+                if Self::detect() == Kernel::Avx2 {
+                    Ok(Kernel::Avx2)
+                } else {
+                    Err("RAPID_KERNEL=avx2 requested but the CPU does not report AVX2".into())
+                }
+            }
+            Some(other) => Err(format!(
+                "invalid RAPID_KERNEL value {other:?}: expected auto, scalar, or avx2"
+            )),
+        }
+    }
+
+    /// [`Kernel::parse`] over the `RAPID_KERNEL` environment knob;
+    /// invalid values abort with a clear message rather than silently
+    /// running a different kernel.
+    pub fn from_env() -> Self {
+        let value = std::env::var("RAPID_KERNEL").ok();
+        Self::parse(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// Batched evaluation of the Eq. 4–5 chain over one delivery queue: a SoA
+/// `bytes_ahead` row in, a capped own-replica delay row out, with the
+/// per-queue constants (expected meeting time, opportunity size, delay
+/// cap) broadcast across the row.
+///
+/// The buffers are reusable scratch — `clear`/`push`/[`RateBatch::compute`]
+/// allocate nothing in steady state (the zero-allocation audit covers
+/// this). Rows are bitwise identical to calling
+/// `replica_delay(e, meetings_needed(b, opp)).min(cap)` per element, on
+/// every [`Kernel`].
+#[derive(Debug, Clone)]
+pub struct RateBatch {
+    kernel: Kernel,
+    /// SoA input row: per-packet bytes-ahead, pre-converted to `f64`
+    /// (the exact conversion `meetings_needed` performs).
+    bytes: Vec<f64>,
+    /// Output row: per-packet capped own-replica delay `a_j(i)`.
+    delays: Vec<f64>,
+}
+
+impl Default for RateBatch {
+    fn default() -> Self {
+        Self::new(Kernel::detect())
+    }
+}
+
+impl RateBatch {
+    /// An empty batch evaluating rows with `kernel`.
+    pub fn new(kernel: Kernel) -> Self {
+        Self {
+            kernel,
+            bytes: Vec::new(),
+            delays: Vec::new(),
+        }
+    }
+
+    /// The kernel this batch evaluates with.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Replaces the kernel (scratch buffers keep their capacity).
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
+    }
+
+    /// Drops the input row (keeps capacity).
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+    }
+
+    /// Appends one packet's bytes-ahead to the input row.
+    pub fn push(&mut self, bytes_ahead: u64) {
+        self.bytes.push(bytes_ahead as f64);
+    }
+
+    /// Loads a whole delivery queue's prefix sums as the input row.
+    pub fn load_queue(&mut self, queue: &[QueueEntry]) {
+        self.bytes.clear();
+        self.bytes
+            .extend(queue.iter().map(|e| e.bytes_ahead as f64));
+    }
+
+    /// Row length.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the input row is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Evaluates the fused Eq. 4–5 + cap chain over the loaded row:
+    /// `min(max(E · (⌊b/B⌋ + 1), MIN_DELAY), cap)` per element, with a
+    /// non-finite `E` behaving exactly like the scalar chain (an infinite
+    /// per-replica delay, then capped). Returns the output row.
+    pub fn compute(
+        &mut self,
+        expected_meeting_secs: f64,
+        avg_opportunity_bytes: f64,
+        cap_secs: f64,
+    ) -> &[f64] {
+        let b = avg_opportunity_bytes.max(1.0);
+        // The scalar chain routes any non-finite expected meeting time
+        // through `replica_delay`'s infinity arm; folding that into the
+        // broadcast constant keeps the row kernel branch-free (NaN would
+        // otherwise poison the multiply differently than the scalar path).
+        let e = if expected_meeting_secs.is_finite() {
+            expected_meeting_secs
+        } else {
+            f64::INFINITY
+        };
+        self.delays.clear();
+        self.delays.resize(self.bytes.len(), 0.0);
+        match self.kernel {
+            Kernel::Scalar => row_scalar(&self.bytes, &mut self.delays, e, b, cap_secs),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Kernel::Avx2` is only constructed through
+            // `detect`/`parse`, which gate on runtime AVX2 detection.
+            Kernel::Avx2 => unsafe { row_avx2(&self.bytes, &mut self.delays, e, b, cap_secs) },
+            #[cfg(not(target_arch = "x86_64"))]
+            Kernel::Avx2 => unreachable!("Avx2 is never selected off x86-64"),
+        }
+        &self.delays
+    }
+
+    /// The output row of the last [`RateBatch::compute`].
+    pub fn delays(&self) -> &[f64] {
+        &self.delays
+    }
+
+    /// The striped combined rate (Eq. 8) of the computed row — bitwise
+    /// identical to [`combined_rate`] over the same delays on every
+    /// kernel (`1/∞ = +0.0` is exactly the scalar arm's zero
+    /// contribution).
+    pub fn combined_rate(&self) -> f64 {
+        match self.kernel {
+            Kernel::Scalar => combined_rate(self.delays.iter().copied()),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as in `compute` — the variant implies detection.
+            Kernel::Avx2 => unsafe { rate_avx2(&self.delays) },
+            #[cfg(not(target_arch = "x86_64"))]
+            Kernel::Avx2 => unreachable!("Avx2 is never selected off x86-64"),
+        }
+    }
+}
+
+/// One element of the fused row chain — shared by the scalar kernel and
+/// every vector kernel's tail loop. `e` is pre-sanitized (finite or
+/// `+∞`), `b` is already clamped to ≥ 1.
+#[inline]
+fn row_elem(bytes: f64, e: f64, b: f64, cap: f64) -> f64 {
+    // `q.trunc()` equals `meetings_needed`'s `(q as u64) as f64` for the
+    // whole input range: below 2^53 both are the exact integer part, and
+    // from 2^53 every representable f64 is already integral, so the
+    // u64 round-trip is the identity.
+    let m = (bytes / b).trunc() + 1.0;
+    (e * m).max(MIN_DELAY_SECS).min(cap)
+}
+
+/// Portable chunked row kernel, laid out in [`RATE_LANES`]-wide stripes
+/// for the autovectorizer.
+fn row_scalar(bytes: &[f64], out: &mut [f64], e: f64, b: f64, cap: f64) {
+    let chunks = bytes.len() / RATE_LANES * RATE_LANES;
+    for (x, d) in bytes[..chunks]
+        .chunks_exact(RATE_LANES)
+        .zip(out[..chunks].chunks_exact_mut(RATE_LANES))
+    {
+        for lane in 0..RATE_LANES {
+            d[lane] = row_elem(x[lane], e, b, cap);
+        }
+    }
+    for (x, d) in bytes[chunks..].iter().zip(&mut out[chunks..]) {
+        *d = row_elem(*x, e, b, cap);
+    }
+}
+
+/// Explicit AVX2 row kernel: the same operation sequence as [`row_elem`],
+/// four lanes per instruction. `vdivpd`/`vroundpd`(truncate)/`vmulpd`/
+/// `vmaxpd`/`vminpd` are bit-exact IEEE-754 ops, so lanes match the scalar
+/// chain; no FMA contraction is used anywhere (the scalar path does not
+/// fuse either). NaNs cannot reach the min/max (e is sanitized, inputs are
+/// finite), so the asymmetric NaN rules of `vmaxpd`/`vminpd` never apply.
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn row_avx2(bytes: &[f64], out: &mut [f64], e: f64, b: f64, cap: f64) {
+    use std::arch::x86_64::*;
+    let vb = _mm256_set1_pd(b);
+    let ve = _mm256_set1_pd(e);
+    let vone = _mm256_set1_pd(1.0);
+    let vmin = _mm256_set1_pd(MIN_DELAY_SECS);
+    let vcap = _mm256_set1_pd(cap);
+    let n = bytes.len();
+    let mut i = 0;
+    while i + RATE_LANES <= n {
+        let x = _mm256_loadu_pd(bytes.as_ptr().add(i));
+        let q = _mm256_div_pd(x, vb);
+        let t = _mm256_round_pd::<{ _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC }>(q);
+        let m = _mm256_add_pd(t, vone);
+        let d = _mm256_min_pd(_mm256_max_pd(_mm256_mul_pd(ve, m), vmin), vcap);
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), d);
+        i += RATE_LANES;
+    }
+    while i < n {
+        out[i] = row_elem(bytes[i], e, b, cap);
+        i += 1;
+    }
+}
+
+/// Explicit AVX2 striped combined-rate reduction over a delay row. The
+/// stripe accumulators live in one 256-bit register (element `i` lands in
+/// lane `i % 4` by construction of the chunked loads — the exact stripe
+/// assignment of [`combined_rate`]), the tail accumulates into the same
+/// logical stripes scalar-wise, and the register closes under
+/// [`reduce_stripes`]'s fixed tree. `1/max(∞, MIN) = +0.0` reproduces the
+/// scalar zero contribution of unreachable replicas exactly.
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn rate_avx2(delays: &[f64]) -> f64 {
+    use std::arch::x86_64::*;
+    let vone = _mm256_set1_pd(1.0);
+    let vmin = _mm256_set1_pd(MIN_DELAY_SECS);
+    let mut vacc = _mm256_setzero_pd();
+    let n = delays.len();
+    let mut i = 0;
+    while i + RATE_LANES <= n {
+        let a = _mm256_loadu_pd(delays.as_ptr().add(i));
+        let c = _mm256_div_pd(vone, _mm256_max_pd(a, vmin));
+        vacc = _mm256_add_pd(vacc, c);
+        i += RATE_LANES;
+    }
+    let mut acc = [0.0f64; RATE_LANES];
+    _mm256_storeu_pd(acc.as_mut_ptr(), vacc);
+    let mut lane = 0;
+    while i < n {
+        acc[lane] += rate_contribution(delays[i]);
+        lane = (lane + 1) % RATE_LANES;
+        i += 1;
+    }
+    reduce_stripes(acc)
 }
 
 /// A snapshot of one node's buffer organised as per-destination delivery
@@ -320,6 +656,85 @@ mod tests {
         assert_eq!(prob_delivered_within([100.0], 0.0), 0.0);
         assert_eq!(prob_delivered_within([100.0], -5.0), 0.0);
         assert_eq!(prob_delivered_within(std::iter::empty(), 10.0), 0.0);
+    }
+
+    #[test]
+    fn kernel_parse_is_strict() {
+        assert_eq!(Kernel::parse(None).unwrap(), Kernel::detect());
+        assert_eq!(Kernel::parse(Some("auto")).unwrap(), Kernel::detect());
+        assert_eq!(Kernel::parse(Some("scalar")).unwrap(), Kernel::Scalar);
+        assert!(Kernel::parse(Some("sse2")).is_err());
+        assert!(Kernel::parse(Some("")).is_err());
+        match Kernel::parse(Some("avx2")) {
+            Ok(k) => assert_eq!(k, Kernel::Avx2),
+            Err(e) => assert!(e.contains("AVX2"), "unexpected error: {e}"),
+        }
+    }
+
+    /// Every kernel available on this machine, scalar always first.
+    fn available_kernels() -> Vec<Kernel> {
+        let mut ks = vec![Kernel::Scalar];
+        if Kernel::detect() == Kernel::Avx2 {
+            ks.push(Kernel::Avx2);
+        }
+        ks
+    }
+
+    #[test]
+    fn rate_batch_rows_match_scalar_chain_bitwise() {
+        let cap = 1.0e9;
+        let queues: &[&[u64]] = &[
+            &[],
+            &[0],
+            &[0, 999, 1000, 2500, 7777],
+            &[0, 1, 2, 3, 4, 5, 6, 7, 8], // exercises tail lanes
+            &[u64::MAX, 1 << 53, (1 << 53) + 1, 12_345_678_901_234],
+        ];
+        let meetings = [50.0, 0.0, f64::INFINITY, f64::NAN, 1.0e-12, 3.7e8];
+        let opps = [1000.0, 0.0, 1.0, 102_400.0, f64::INFINITY];
+        for &kernel in &available_kernels() {
+            let mut batch = RateBatch::new(kernel);
+            for &queue in queues {
+                for &e in &meetings {
+                    for &b in &opps {
+                        batch.clear();
+                        for &bytes in queue {
+                            batch.push(bytes);
+                        }
+                        let rows = batch.compute(e, b, cap).to_vec();
+                        let expect: Vec<f64> = queue
+                            .iter()
+                            .map(|&bytes| replica_delay(e, meetings_needed(bytes, b)).min(cap))
+                            .collect();
+                        assert_eq!(rows.len(), expect.len());
+                        for (got, want) in rows.iter().zip(&expect) {
+                            assert_eq!(
+                                got.to_bits(),
+                                want.to_bits(),
+                                "{kernel:?} e={e} b={b}: {got} != {want}"
+                            );
+                        }
+                        assert_eq!(
+                            batch.combined_rate().to_bits(),
+                            combined_rate(expect.iter().copied()).to_bits(),
+                            "{kernel:?} combined_rate diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn striped_reduction_is_lane_order_not_list_order() {
+        // The stripe assignment is positional, so the reduction is a fixed
+        // function of the sequence — permuting the list may change bits,
+        // but evaluating the same sequence twice never does.
+        let delays = [3.0, 7.0, 11.0, 13.0, 17.0, 19.0, 23.0];
+        let a = combined_rate(delays.iter().copied());
+        let b = combined_rate(delays.iter().copied());
+        assert_eq!(a.to_bits(), b.to_bits());
+        close(a, delays.iter().map(|d| 1.0 / d).sum(), 1e-12);
     }
 
     fn q(entries: &[(u32, u32, u64, u64)]) -> QueueSnapshot {

@@ -61,7 +61,7 @@ pub use control::{HolderEntry, MetaTable, PacketBelief};
 pub use dag_delay::{dag_delay, delay_of, estimate_delay_reference, QueueState};
 pub use estimate::{
     combined_rate, delay_from_rate, expected_remaining_delay, meetings_needed,
-    prob_delivered_within, prob_within_from_rate, replica_delay, QueueSnapshot,
+    prob_delivered_within, prob_within_from_rate, replica_delay, Kernel, QueueSnapshot, RateBatch,
 };
 pub use meetings::{expected_meeting_times_from, MeetingView};
 pub use protocol::Rapid;

@@ -38,7 +38,7 @@ use crate::config::{wire, ChannelMode, RapidConfig, RoutingMetric};
 use crate::control::{HolderEntry, MetaTable};
 use crate::estimate::{
     combined_rate, delay_from_rate, meetings_needed, prob_within_from_rate, rate_contribution,
-    replica_delay, InsertCursor, QueueSnapshot,
+    replica_delay, InsertCursor, Kernel, QueueSnapshot, RateBatch,
 };
 use crate::meetings::{expected_meeting_times_from, MeetingView};
 use dtn_sim::{
@@ -126,6 +126,9 @@ pub struct Rapid {
     cfg: RapidConfig,
     sim: SimConfig,
     states: Vec<NodeState>,
+    /// Eq. 4–9 kernel for every batched rate evaluation (the `RAPID_KERNEL`
+    /// knob; every kernel is bitwise-identical, see `estimate.rs`).
+    kernel: Kernel,
     /// Reusable contact scratch; `[0]` serves serial execution, and the
     /// vector grows to the pool's worker count for batch execution (one
     /// scratch per worker — workers never share).
@@ -133,8 +136,8 @@ pub struct Rapid {
 }
 
 /// Reusable per-contact scratch storage (queue snapshots, estimate
-/// vectors, id/candidate/exchange lists): refilled at every contact so
-/// steady-state contacts allocate nothing.
+/// vectors, rate rows, id/candidate/exchange lists): refilled at every
+/// contact so steady-state contacts allocate nothing.
 #[derive(Default)]
 struct ContactScratch {
     snap_a: QueueSnapshot,
@@ -150,12 +153,29 @@ struct ContactScratch {
     est_x_from_y: Vec<f64>,
     /// Relaxation scratch for the estimate computations.
     relax: Vec<f64>,
+    /// Batched Eq. 4–5 rows: own-side and peer-side replica delays of one
+    /// delivery queue, evaluated whole-queue per kernel.
+    row_self: RateBatch,
+    row_peer: RateBatch,
+    /// Cache-validity row for the batched `make_room` sweep.
+    rate_row: Vec<Option<f64>>,
+    /// Freshly recomputed `(id, rate)` pairs awaiting a `put_row`.
+    fresh_rates: Vec<(PacketId, f64)>,
     /// Exchange listings (§4.2 delta channel).
     acks_new: Vec<PacketId>,
     changed_rows: Vec<NodeId>,
     changed: Vec<(PacketId, usize, Time)>,
     own_changed: Vec<(PacketId, usize, Time)>,
     third_changed: Vec<(PacketId, usize, Time)>,
+}
+
+impl ContactScratch {
+    fn with_kernel(kernel: Kernel) -> Self {
+        let mut s = Self::default();
+        s.row_self.set_kernel(kernel);
+        s.row_peer.set_kernel(kernel);
+        s
+    }
 }
 
 /// The per-node states a contact execution may address: the full slice
@@ -250,19 +270,33 @@ struct ContactExec<'a> {
 }
 
 impl Rapid {
-    /// Creates a RAPID instance with the given configuration.
+    /// Creates a RAPID instance with the given configuration, evaluating
+    /// rate rows with the `RAPID_KERNEL` kernel (default: best detected).
     pub fn new(cfg: RapidConfig) -> Self {
+        Self::with_kernel(cfg, Kernel::from_env())
+    }
+
+    /// Creates a RAPID instance pinned to a specific Eq. 4–9 kernel
+    /// (kernels are bitwise-interchangeable; this exists for equivalence
+    /// tests and benchmarks).
+    pub fn with_kernel(cfg: RapidConfig, kernel: Kernel) -> Self {
         Self {
             cfg,
             sim: SimConfig::default(),
             states: Vec::new(),
-            scratch: vec![ContactScratch::default()],
+            kernel,
+            scratch: vec![ContactScratch::with_kernel(kernel)],
         }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &RapidConfig {
         &self.cfg
+    }
+
+    /// The Eq. 4–9 kernel in use.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 
     fn is_global(&self) -> bool {
@@ -376,7 +410,15 @@ impl ContactExec<'_> {
             est[packet.dst.index()],
             meetings_needed(bytes_ahead, b_self),
         ));
-        match state.meta.get(packet.id) {
+        self.rate_from_a_self(node, packet.id, a_self)
+    }
+
+    /// The remote-belief half of [`ContactExec::rate_with`]: folds the
+    /// believed remote-replica delays of `id` with an already-computed
+    /// own-replica delay — the exact sequence `rate_with` folds, so a
+    /// batched `a_self` row produces bitwise-identical rates.
+    fn rate_from_a_self(&self, node: NodeId, id: PacketId, a_self: f64) -> f64 {
+        match self.states.state(node).meta.get(id) {
             Some(b) => combined_rate(
                 b.entries
                     .iter()
@@ -386,40 +428,6 @@ impl ContactExec<'_> {
             ),
             None => combined_rate([a_self]),
         }
-    }
-
-    /// [`ContactExec::rate_with`] through the incremental cache, against
-    /// the node's *live* buffer queues: a valid cache entry is returned
-    /// as-is (its inputs are provably unchanged, so recomputation would be
-    /// bit-identical — re-verified here under `debug_assertions`); a dirty
-    /// packet is re-estimated and stored under the current epochs.
-    fn rate_cached(&mut self, node: NodeId, packet: &Packet, buffer: &NodeBuffer) -> f64 {
-        if let Some(rate) = self.states.state(node).cache.get(packet.id, packet.dst) {
-            #[cfg(debug_assertions)]
-            {
-                let fresh = self.rate_with(
-                    node,
-                    packet,
-                    buffer.bytes_ahead(packet.dst, packet.id, packet.created_at),
-                );
-                debug_assert!(
-                    rate.to_bits() == fresh.to_bits(),
-                    "stale delay-cache entry for {} at {node}: cached {rate}, fresh {fresh}",
-                    packet.id,
-                );
-            }
-            return rate;
-        }
-        let rate = self.rate_with(
-            node,
-            packet,
-            buffer.bytes_ahead(packet.dst, packet.id, packet.created_at),
-        );
-        self.states
-            .state_mut(node)
-            .cache
-            .put(packet.id, packet.dst, rate);
-        rate
     }
 
     /// Utility of a buffered packet from its combined rate (for eviction
@@ -438,6 +446,14 @@ impl ContactExec<'_> {
             }
         }
     }
+}
+
+/// The two whole-queue Eq. 4–5 rate rows of one enumeration — own-side
+/// and peer-side replica delays — borrowed from the contact scratch and
+/// refilled per destination queue.
+struct RateRows<'a> {
+    own: &'a mut RateBatch,
+    peer: &'a mut RateBatch,
 }
 
 /// One replication candidate, scored.
@@ -565,10 +581,69 @@ impl Routing for Rapid {
             .is_some_and(|o| o.version == version && o.now == now);
         if !reusable {
             let mut scored: Vec<(f64, PacketId, u64)> = Vec::with_capacity(buffer.len());
-            for (id, meta) in buffer.iter() {
-                let p = packets.get(id);
-                let rate = exec.rate_cached(node, &p, buffer);
-                scored.push((exec.utility_from_rate(rate, &p, now), id, meta.size_bytes));
+            let b_self = exec.opp_bytes(node, node);
+            let cap = exec.cfg.delay_cap_secs;
+            // Batched refresh, one delivery queue at a time: a single
+            // cache-validity sweep per queue, then one kernel row over
+            // just the dirty packets' queue positions (the per-queue
+            // constants — destination estimate, opportunity size, cap —
+            // broadcast across the row), then the remote-belief folds.
+            // Valid entries are reused as-is (recomputation would be
+            // bit-identical; re-verified under `debug_assertions`).
+            for (dst, queue) in buffer.queues() {
+                {
+                    let state = exec.states.state(node);
+                    let misses = state.cache.sweep_queue(
+                        dst,
+                        queue.iter().map(|q| q.id),
+                        &mut scratch.rate_row,
+                    );
+                    scratch.row_self.clear();
+                    if misses > 0 {
+                        let e_dst = state.est_cache[dst.index()];
+                        for (entry, hit) in queue.iter().zip(&scratch.rate_row) {
+                            if hit.is_none() {
+                                scratch.row_self.push(entry.bytes_ahead);
+                            }
+                        }
+                        scratch.row_self.compute(e_dst, b_self, cap);
+                    }
+                }
+                let mut fresh = scratch.row_self.delays().iter();
+                scratch.fresh_rates.clear();
+                for (entry, hit) in queue.iter().zip(&scratch.rate_row) {
+                    let p = packets.get(entry.id);
+                    let rate = match *hit {
+                        Some(rate) => {
+                            #[cfg(debug_assertions)]
+                            {
+                                let from_scratch = exec.rate_with(node, &p, entry.bytes_ahead);
+                                debug_assert!(
+                                    rate.to_bits() == from_scratch.to_bits(),
+                                    "stale delay-cache entry for {} at {node}: \
+                                     cached {rate}, fresh {from_scratch}",
+                                    entry.id,
+                                );
+                            }
+                            rate
+                        }
+                        None => {
+                            let a_self = *fresh.next().expect("one row value per miss");
+                            let rate = exec.rate_from_a_self(node, entry.id, a_self);
+                            scratch.fresh_rates.push((entry.id, rate));
+                            rate
+                        }
+                    };
+                    scored.push((
+                        exec.utility_from_rate(rate, &p, now),
+                        entry.id,
+                        entry.size_bytes,
+                    ));
+                }
+                exec.states
+                    .state_mut(node)
+                    .cache
+                    .put_row(dst, scratch.fresh_rates.drain(..));
             }
             // Lowest utility evicted first; id tiebreak for determinism.
             scored.sort_unstable_by(|a, b| cmp_utility_then_id((a.0, a.1), (b.0, b.1)));
@@ -651,7 +726,9 @@ impl Routing for Rapid {
         debug_assert!(!self.is_global(), "global channel declared Serial");
         let workers = pool.workers();
         if self.scratch.len() < workers {
-            self.scratch.resize_with(workers, ContactScratch::default);
+            let kernel = self.kernel;
+            self.scratch
+                .resize_with(workers, || ContactScratch::with_kernel(kernel));
         }
         let n = self.states.len();
         let cfg = &self.cfg;
@@ -789,6 +866,8 @@ impl ContactExec<'_> {
             est_y_from_x: est_b_from_a,
             est_x_from_y: est_a_from_b,
             relax,
+            row_self,
+            row_peer,
             ..
         } = scratch;
         self.fill_est(a, a, est_a, relax);
@@ -841,6 +920,8 @@ impl ContactExec<'_> {
             now,
             stored,
             candidates,
+            row_self,
+            row_peer,
         );
         self.replicate_side(
             driver,
@@ -853,6 +934,8 @@ impl ContactExec<'_> {
             now,
             stored,
             candidates,
+            row_self,
+            row_peer,
         );
 
         self.bound_meta(driver, a, b);
@@ -928,6 +1011,8 @@ impl ContactExec<'_> {
         now: Time,
         stored_this_contact: &mut HashSet<PacketId>,
         candidates: &mut Vec<Candidate>,
+        row_self: &mut RateBatch,
+        row_peer: &mut RateBatch,
     ) {
         let b_x = self.opp_bytes(x, x);
         let b_y = if self.is_global() {
@@ -950,6 +1035,10 @@ impl ContactExec<'_> {
         // the candidate *set* must match the live buffer: snapshot entries
         // evicted mid-contact are skipped via the O(1) membership check.
         candidates.clear();
+        let rows = RateRows {
+            own: row_self,
+            peer: row_peer,
+        };
         match snap_x {
             QueueView::Live(node) => self.enumerate_queues(
                 driver,
@@ -963,6 +1052,7 @@ impl ContactExec<'_> {
                 b_y,
                 now,
                 candidates,
+                rows,
                 &mut global_est,
                 &mut global_snap,
             ),
@@ -978,6 +1068,7 @@ impl ContactExec<'_> {
                 b_y,
                 now,
                 candidates,
+                rows,
                 &mut global_est,
                 &mut global_snap,
             ),
@@ -1061,6 +1152,7 @@ impl ContactExec<'_> {
         b_y: f64,
         now: Time,
         candidates: &mut Vec<Candidate>,
+        mut rows: RateRows<'_>,
         global_est: &mut HashMap<u32, Vec<f64>>,
         global_snap: &mut HashMap<u32, QueueSnapshot>,
     ) {
@@ -1078,6 +1170,7 @@ impl ContactExec<'_> {
                 b_y,
                 now,
                 candidates,
+                &mut rows,
                 global_est,
                 global_snap,
             );
@@ -1099,6 +1192,7 @@ impl ContactExec<'_> {
         b_y: f64,
         now: Time,
         candidates: &mut Vec<Candidate>,
+        rows: &mut RateRows<'_>,
         global_est: &mut HashMap<u32, Vec<f64>>,
         global_snap: &mut HashMap<u32, QueueSnapshot>,
     ) {
@@ -1106,13 +1200,32 @@ impl ContactExec<'_> {
             return; // destined packets belong to step 2, not step 3
         }
         let dst = dst_node.index();
+        // Pass 1: evaluate both Eq. 4–5 rows over the whole queue in one
+        // kernel call each. The own-side positions are the queue's prefix
+        // sums; the peer-side insertion points advance monotonically, so
+        // they are gathered for every entry — the cursor is a memoized
+        // monotone scan, and a query for a later-skipped entry cannot
+        // disturb the value any kept entry reads.
         let mut peer_pos = snap_y.insert_cursor(driver, dst_node);
-        for &QueueEntry {
-            created_at,
-            id,
-            size_bytes,
-            bytes_ahead,
-        } in queue
+        rows.own.load_queue(queue);
+        rows.peer.clear();
+        for entry in queue {
+            rows.peer
+                .push(peer_pos.bytes_ahead_if_inserted(entry.created_at));
+        }
+        let cap = self.cfg.delay_cap_secs;
+        rows.own.compute(est_x[dst], b_x, cap);
+        rows.peer.compute(est_y[dst], b_y, cap);
+        // Pass 2: score against the precomputed rows.
+        for (
+            i,
+            &QueueEntry {
+                created_at,
+                id,
+                size_bytes,
+                ..
+            },
+        ) in queue.iter().enumerate()
         {
             if !driver.buffer(x).contains(id) || driver.buffer(y).contains(id) {
                 continue;
@@ -1121,11 +1234,8 @@ impl ContactExec<'_> {
                 continue; // known delivered but not yet purged (can't happen after purge, kept defensively)
             }
             let t = now.since(created_at).as_secs_f64();
-            let a_self = self.cap(replica_delay(est_x[dst], meetings_needed(bytes_ahead, b_x)));
-            let a_peer = self.cap(replica_delay(
-                est_y[dst],
-                meetings_needed(peer_pos.bytes_ahead_if_inserted(created_at), b_y),
-            ));
+            let a_self = rows.own.delays()[i];
+            let a_peer = rows.peer.delays()[i];
 
             // Combined rate of the believed remote replicas (or the
             // true ones, by channel mode) — summed inline, no per-packet

@@ -8,8 +8,8 @@ use dtn_sim::{
 };
 use proptest::prelude::*;
 use rapid_core::{
-    expected_meeting_times_from, expected_remaining_delay, meetings_needed, prob_delivered_within,
-    replica_delay, QueueSnapshot, Rapid, RapidConfig,
+    combined_rate, expected_meeting_times_from, expected_remaining_delay, meetings_needed,
+    prob_delivered_within, replica_delay, Kernel, QueueSnapshot, Rapid, RapidConfig, RateBatch,
 };
 
 proptest! {
@@ -208,6 +208,56 @@ proptest! {
                 .map(|&(_, _, osize, _)| osize)
                 .sum();
             prop_assert_eq!(ahead, expect);
+        }
+    }
+
+    /// The batched Eq. 4–9 kernels must be **bitwise** equal to the scalar
+    /// chain for arbitrary queues — every tail width (`len % RATE_LANES`),
+    /// every available kernel (AVX2 included when the host supports it),
+    /// degenerate meeting estimates and opportunity sizes included.
+    #[test]
+    fn rate_batch_kernels_match_scalar_chain_bitwise(
+        bytes in prop::collection::vec(
+            prop_oneof![0u64..1 << 30, Just(0), Just(u64::MAX), Just(1u64 << 53)],
+            0..40,
+        ),
+        meeting in prop_oneof![
+            1e-12f64..1e9,
+            Just(0.0),
+            Just(f64::INFINITY),
+            Just(f64::NAN),
+        ],
+        opp in prop_oneof![1.0f64..1e9, Just(0.0), Just(f64::INFINITY)],
+    ) {
+        let cap = 1e9;
+        let kernels: &[Kernel] = if Kernel::detect() == Kernel::Scalar {
+            &[Kernel::Scalar]
+        } else {
+            &[Kernel::Scalar, Kernel::Avx2]
+        };
+        for &kernel in kernels {
+            let mut batch = RateBatch::new(kernel);
+            for &b in &bytes {
+                batch.push(b);
+            }
+            let rows = batch.compute(meeting, opp, cap);
+            prop_assert_eq!(rows.len(), bytes.len());
+            for (&b, &row) in bytes.iter().zip(rows) {
+                let scalar = replica_delay(meeting, meetings_needed(b, opp)).min(cap);
+                prop_assert_eq!(
+                    row.to_bits(),
+                    scalar.to_bits(),
+                    "kernel {:?} row for bytes={} diverges: {} vs {}",
+                    kernel, b, row, scalar
+                );
+            }
+            let batched_rate = batch.combined_rate();
+            let scalar_rate = combined_rate(
+                bytes
+                    .iter()
+                    .map(|&b| replica_delay(meeting, meetings_needed(b, opp)).min(cap)),
+            );
+            prop_assert_eq!(batched_rate.to_bits(), scalar_rate.to_bits());
         }
     }
 }

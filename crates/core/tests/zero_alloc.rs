@@ -1,14 +1,18 @@
-//! Steady-state allocation audit for the contact hot path's snapshot
-//! refill. A counting global allocator wraps the system allocator; after a
-//! warm-up refill has sized the snapshot's buffers, further refills from
-//! same-shaped buffers must perform **zero** heap allocations — the
-//! property the per-contact scratch reuse in `protocol.rs` relies on.
+//! Steady-state allocation audit for the contact hot path. A counting
+//! global allocator wraps the system allocator; after a warm-up pass has
+//! sized each structure's buffers, further same-shaped work must perform
+//! **zero** heap allocations. Audited phases: snapshot refill (the
+//! per-contact scratch reuse in `protocol.rs`), the [`RateBatch`] kernel
+//! rows (Eq. 4–9 over whole queues), the batch scheduler's
+//! `take_ready_into` drain (capacity ping-pong + in-place compaction),
+//! and the contact pool's work-stealing dispatch.
 //!
 //! One test only: the counter is process-global, and a sibling test's
 //! allocations would pollute the measurement.
 
-use dtn_sim::{NodeBuffer, NodeId, Packet, PacketId, Time};
-use rapid_core::QueueSnapshot;
+use dtn_sim::par::{Batcher, ContactPool, Lookahead, PendingDrive};
+use dtn_sim::{ContactWindow, NodeBuffer, NodeId, Packet, PacketId, Time};
+use rapid_core::{QueueSnapshot, RateBatch};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -87,4 +91,106 @@ fn steady_state_snapshot_refill_allocates_nothing() {
         1024,
         "second same-destination packet sits one packet deep"
     );
+
+    rate_batch_phase();
+    batcher_phase();
+    pool_phase();
+}
+
+/// Same-length Eq. 4–9 kernel rows must reuse the batch's lane storage.
+fn rate_batch_phase() {
+    let mut batch = RateBatch::default();
+    // Warm-up: sizes the input and output lanes.
+    for k in 0..33u64 {
+        batch.push(k * 1024);
+    }
+    batch.compute(120.0, 4096.0, 1e9);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    batch.clear();
+    for k in 0..33u64 {
+        batch.push(k * 2048 + 7);
+    }
+    let rows = batch.compute(90.0, 2048.0, 1e9);
+    assert_eq!(rows.len(), 33);
+    let rate = batch.combined_rate();
+    assert!(rate.is_finite() && rate > 0.0);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state RateBatch compute must not touch the heap"
+    );
+}
+
+fn drive(seq: u64, a: u32, b: u32) -> PendingDrive {
+    PendingDrive {
+        window: ContactWindow::instant(Time::from_secs(seq), NodeId(a), NodeId(b), 2048),
+        now: Time::from_secs(seq),
+        budget: 2048,
+        seq,
+        measured: true,
+    }
+}
+
+/// The batch scheduler's push/drain cycle must ping-pong the ready
+/// storage with the caller's vector and compact deferrals in place.
+fn batcher_phase() {
+    let mut batcher = Batcher::new(8, Lookahead::Fixed(6));
+    let mut out = Vec::new();
+    let fill = |batcher: &mut Batcher| {
+        // Two conflicting pairs exercise the deferral path too.
+        for (i, (a, b)) in [(0, 1), (2, 3), (0, 2), (4, 5), (6, 7), (1, 3)]
+            .into_iter()
+            .enumerate()
+        {
+            batcher.push(drive(i as u64, a, b));
+        }
+    };
+    // Warm-up: sizes ready, deferred and the caller's out vector.
+    fill(&mut batcher);
+    while !batcher.is_empty() {
+        batcher.take_ready_into(&mut out);
+    }
+    batcher.take_ready_into(&mut out);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut drained = 0;
+    fill(&mut batcher);
+    while !batcher.is_empty() {
+        batcher.take_ready_into(&mut out);
+        drained += out.len();
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(drained, 6, "every pushed drive drains exactly once");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state batcher drain must not touch the heap"
+    );
+}
+
+/// Work-stealing dispatch reuses the pool's packed deques: after the
+/// first batch, further batches allocate nothing.
+fn pool_phase() {
+    std::thread::scope(|scope| {
+        let pool = ContactPool::start(scope, 2);
+        let hits = AtomicUsize::new(0);
+        let task = |_worker: usize, _idx: usize| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        };
+        // Warm-up: first dispatch may fault in thread state.
+        pool.run(64, &task);
+
+        let before = ALLOCS.load(Ordering::Relaxed);
+        pool.run(64, &task);
+        pool.run(64, &task);
+        let after = ALLOCS.load(Ordering::Relaxed);
+        assert_eq!(hits.load(Ordering::Relaxed), 192);
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state pool dispatch must not touch the heap"
+        );
+    });
 }

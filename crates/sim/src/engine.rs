@@ -18,7 +18,7 @@
 //! are deterministic given the configuration seed.
 
 use crate::contact::{ContactWindow, Schedule};
-use crate::driver::{ContactDriver, WorldMut};
+use crate::driver::{ContactDriver, HolderOp, WorldMut};
 use crate::event::{EventQueue, NodeEvent, SimEvent, WindowIdx};
 use crate::ids::IndexSet;
 use crate::noise::NoiseModel;
@@ -34,10 +34,35 @@ use dtn_stats::sample::Exponential;
 use dtn_stats::stream;
 use rand::Rng;
 
-/// Bounded lookahead of the intra-run batch scheduler: the maximum number
-/// of contact drives held (ready + deferred) before a flush is forced.
-/// Bounds both the reordering window and the memory of pending drives.
-const INTRA_LOOKAHEAD: usize = 1024;
+/// Reusable storage for the batch flush loop: the drained ready set, the
+/// per-flush driver list, and a pool of holder-op log vectors — all
+/// recycled across flushes so steady-state batch execution allocates
+/// nothing.
+#[derive(Default)]
+struct FlushScratch {
+    /// The ready set drained from the batcher (capacity ping-pongs with
+    /// the batcher's internal vector).
+    ready: Vec<PendingDrive>,
+    /// The driver list's raw allocation, parked between flushes. The
+    /// `'static` here is nominal: the vector is always empty outside
+    /// `execute_ready`, which re-tags the lifetime via
+    /// [`recycle_drivers`].
+    drivers: Vec<ContactDriver<'static>>,
+    /// Holder-op logs returned by committed drivers, cleared for reuse.
+    logs: Vec<Vec<HolderOp>>,
+}
+
+/// Re-tags the lifetime parameter of an *empty* driver vector so its
+/// allocation can be reused for the next flush's borrows.
+fn recycle_drivers<'b>(v: Vec<ContactDriver<'_>>) -> Vec<ContactDriver<'b>> {
+    assert!(v.is_empty(), "only an empty driver vec can change lifetime");
+    let mut v = std::mem::ManuallyDrop::new(v);
+    let (ptr, cap) = (v.as_mut_ptr(), v.capacity());
+    // SAFETY: the vector is empty, so no value of the old lifetime
+    // survives; only the raw allocation is reused, and types differing
+    // solely in lifetime parameters share one layout.
+    unsafe { Vec::from_raw_parts(ptr.cast::<ContactDriver<'b>>(), 0, cap) }
+}
 
 /// A fully specified simulation run: configuration, contact-window schedule,
 /// packet workload and (optionally) node churn.
@@ -290,7 +315,8 @@ fn run_loop(
     // Intra-run parallel state: the batch scheduler and the contact
     // sequence counter (assigned in scan = serial drive order; also what
     // randomized protocols derive their per-contact RNG substreams from).
-    let mut batcher = pool.map(|_| Batcher::new(n, INTRA_LOOKAHEAD));
+    let mut batcher = pool.map(|_| Batcher::new(n, config.lookahead));
+    let mut flush_scratch = FlushScratch::default();
     let mut contact_seq: u64 = 0;
 
     const START_RANK: u8 = 3; // SimEvent::ContactStart
@@ -359,6 +385,7 @@ fn run_loop(
                                 &mut report,
                                 pool.expect("batcher implies pool"),
                                 batcher,
+                                &mut flush_scratch,
                             );
                         }
                     }
@@ -396,6 +423,7 @@ fn run_loop(
                     &mut report,
                     pool.expect("batcher implies pool"),
                     batcher,
+                    &mut flush_scratch,
                 );
             }
             let spec = next_packet.take().expect("packet candidate exists");
@@ -456,6 +484,7 @@ fn run_loop(
                     &mut report,
                     pool.expect("batcher implies pool"),
                     batcher,
+                    &mut flush_scratch,
                 );
             }
         }
@@ -518,6 +547,7 @@ fn run_loop(
                                     &mut report,
                                     pool.expect("batcher implies pool"),
                                     batcher,
+                                    &mut flush_scratch,
                                 );
                             }
                         }
@@ -561,6 +591,7 @@ fn run_loop(
             &mut report,
             pool.expect("batcher implies pool"),
             batcher,
+            &mut flush_scratch,
         );
     }
 
@@ -646,26 +677,35 @@ fn flush_batches(
     report: &mut SimReport,
     pool: &ContactPool,
     batcher: &mut Batcher,
+    scratch: &mut FlushScratch,
 ) {
     loop {
-        let ready = batcher.take_ready();
-        if ready.is_empty() {
+        batcher.take_ready_into(&mut scratch.ready);
+        if scratch.ready.is_empty() {
             debug_assert!(batcher.is_empty(), "take_ready drains everything");
             return;
         }
-        execute_ready(config, routing, world, report, pool, &ready);
+        execute_ready(config, routing, world, report, pool, scratch);
     }
 }
 
-/// Executes one pairwise node-disjoint set of drives and commits it.
+/// Executes one pairwise node-disjoint set of drives (`scratch.ready`) and
+/// commits it, returning the driver and log allocations to the scratch
+/// pool for the next flush.
 fn execute_ready(
     config: &SimConfig,
     routing: &mut dyn Routing,
     world: &mut EngineWorld,
     report: &mut SimReport,
     pool: &ContactPool,
-    ready: &[PendingDrive],
+    scratch: &mut FlushScratch,
 ) {
+    let FlushScratch {
+        ready,
+        drivers: parked,
+        logs,
+    } = scratch;
+    let ready: &[PendingDrive] = ready;
     debug_assert!(!config.allow_global_knowledge);
     #[cfg(debug_assertions)]
     {
@@ -690,39 +730,37 @@ fn execute_ready(
     } = world;
     let parts = SlicePartition::new(buffers.as_mut_slice());
     let delivered = RawSlice::new(delivered_at.as_mut_slice());
-    let mut drivers: Vec<ContactDriver<'_>> = ready
-        .iter()
-        .map(|p| {
-            // SAFETY: batch members are pairwise node-disjoint (asserted
-            // above, guaranteed by the batcher), so every buffer slot is
-            // borrowed at most once across this driver set.
-            let (buf_a, buf_b) = unsafe { parts.pair_mut(p.window.a.index(), p.window.b.index()) };
-            ContactDriver::new(
-                WorldMut::Pair {
-                    packets: store,
-                    a: p.window.a,
-                    buf_a,
-                    b: p.window.b,
-                    buf_b,
-                    delivered_at: delivered.share(),
-                    holder_log: Vec::new(),
-                },
-                p.now,
-                p.window.a,
-                p.window.b,
-                p.budget,
-                false,
-                p.seq,
-            )
-        })
-        .collect();
+    let mut drivers = recycle_drivers(std::mem::take(parked));
+    drivers.extend(ready.iter().map(|p| {
+        // SAFETY: batch members are pairwise node-disjoint (asserted
+        // above, guaranteed by the batcher), so every buffer slot is
+        // borrowed at most once across this driver set.
+        let (buf_a, buf_b) = unsafe { parts.pair_mut(p.window.a.index(), p.window.b.index()) };
+        ContactDriver::new(
+            WorldMut::Pair {
+                packets: store,
+                a: p.window.a,
+                buf_a,
+                b: p.window.b,
+                buf_b,
+                delivered_at: delivered.share(),
+                holder_log: logs.pop().unwrap_or_default(),
+            },
+            p.now,
+            p.window.a,
+            p.window.b,
+            p.budget,
+            false,
+            p.seq,
+        )
+    }));
 
     routing.on_contact_batch(&mut drivers, pool);
 
     // Commit in scan order: report accounting, deferred holder ops, and
     // the contact-end hook.
-    for (p, driver) in ready.iter().zip(drivers) {
-        let (ledger, log) = driver.into_commit();
+    for (p, driver) in ready.iter().zip(drivers.drain(..)) {
+        let (ledger, mut log) = driver.into_commit();
         if p.measured {
             report.contacts += 1;
             report.offered_bytes += 2 * p.budget;
@@ -730,15 +768,17 @@ fn execute_ready(
             report.metadata_bytes += ledger.metadata_bytes;
             report.replications += ledger.replications;
         }
-        for op in log {
+        for op in log.drain(..) {
             if op.added {
                 holders[op.id.index()].insert(op.node.index());
             } else {
                 holders[op.id.index()].remove(op.node.index());
             }
         }
+        logs.push(log);
         routing.on_contact_end(p.window.a, p.window.b, p.now, false);
     }
+    *parked = recycle_drivers(drivers);
 }
 
 /// The engine-owned world state, grouped so helpers can borrow it whole.

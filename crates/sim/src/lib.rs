@@ -75,7 +75,9 @@ pub use engine::{run_streaming, Simulation};
 pub use event::{EventQueue, NodeEvent, SimEvent};
 pub use ids::{IndexSet, NodeIdx, NodeInterner, PacketIdx, PacketInterner};
 pub use noise::NoiseModel;
-pub use par::{intra_jobs_from_env, ContactConcurrency, ContactPool, SlicePartition};
+pub use par::{
+    intra_jobs_from_env, jobs_from_env, ContactConcurrency, ContactPool, Lookahead, SlicePartition,
+};
 pub use plan::{CompiledPlan, PlanAtom, PlanStream};
 pub use report::{PacketOutcome, SimReport};
 pub use routing::{PacketStore, Routing, SimConfig, TransferOutcome};

@@ -10,13 +10,17 @@
 //! conservative parallel discrete-event layer:
 //!
 //! 1. [`Batcher`] scans the merged event stream over a bounded lookahead
-//!    window and greedily groups contact drives with pairwise-disjoint
-//!    node sets; a drive that conflicts with anything already grouped is
-//!    *deferred* to a later pass (never reordered against a conflicting
-//!    drive). Any non-contact event (creation, TTL expiry, churn) is a
-//!    barrier: every pending drive executes before it.
+//!    window ([`Lookahead`], adaptive by default) and greedily groups
+//!    contact drives with pairwise-disjoint node sets; a drive that
+//!    conflicts with anything already grouped is *deferred* to a later
+//!    pass (never reordered against a conflicting drive). Any non-contact
+//!    event (creation, TTL expiry, churn) is a barrier: every pending
+//!    drive executes before it.
 //! 2. [`ContactPool`] executes one batch across `RAPID_INTRA_JOBS` workers
-//!    (scoped threads; the caller participates, so `jobs = 1` never spawns).
+//!    (scoped threads; the caller participates, so `jobs = 1` never
+//!    spawns). Indices are pre-partitioned into per-worker deques and
+//!    rebalanced by steal-half work stealing, so one slow contact cannot
+//!    idle the other workers behind a shared cursor.
 //! 3. The engine commits results — report accounting, holder-table ops,
 //!    `on_contact_end` hooks — serially, in the scan order.
 //!
@@ -31,7 +35,7 @@
 //! argument.
 
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// How a routing protocol's contact handler may be scheduled within one
@@ -49,15 +53,98 @@ pub enum ContactConcurrency {
     NodeDisjoint,
 }
 
+/// Parses a worker-count value: a positive integer, nothing else. `0`
+/// and non-numeric values are errors — a typo'd jobs knob must abort,
+/// not silently run serial.
+pub fn parse_jobs(name: &str, value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(v) if v >= 1 => Ok(v),
+        Ok(_) => Err(format!(
+            "invalid {name} value {value:?}: must be >= 1 (use 1 for serial execution)"
+        )),
+        Err(_) => Err(format!(
+            "invalid {name} value {value:?}: expected a positive integer"
+        )),
+    }
+}
+
+/// Reads a worker-count knob from the environment; an unset knob yields
+/// `default`, an invalid one aborts with a clear message (see
+/// [`parse_jobs`]).
+pub fn jobs_from_env(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => parse_jobs(name, &v).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => default,
+    }
+}
+
 /// The intra-run worker count from `RAPID_INTRA_JOBS` (default 1 = the
 /// serial engine). Harness code plumbs this into
 /// [`crate::routing::SimConfig::intra_jobs`].
 pub fn intra_jobs_from_env() -> usize {
-    std::env::var("RAPID_INTRA_JOBS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v >= 1)
-        .unwrap_or(1)
+    jobs_from_env("RAPID_INTRA_JOBS", 1)
+}
+
+/// The batch scheduler's lookahead policy: how many contact drives the
+/// [`Batcher`] may hold before a flush is forced.
+///
+/// The bound trades batch width (more lookahead → wider node-disjoint
+/// groups → better worker utilization) against flush latency and
+/// conflict churn. `Adaptive` starts at `min` and resizes itself from
+/// observed conflict rates: a capacity-triggered flush whose window was
+/// conflict-free doubles the bound, a conflict-heavy window (deferred
+/// drives ≥ ¼ of held) halves it. Adaptation depends only on the serial
+/// drive stream, never on worker timing, so any policy at any
+/// `RAPID_INTRA_JOBS` commits byte-identical results — the policy moves
+/// only *where* the flush boundaries fall, and node-disjoint drives
+/// commute across them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookahead {
+    /// Flush after exactly `n` held drives (the pre-adaptive behavior;
+    /// `Fixed(1024)` reproduces it).
+    Fixed(usize),
+    /// Self-sizing bound within `[min, max]`.
+    Adaptive { min: usize, max: usize },
+}
+
+/// Default adaptive floor: small enough that conflict-heavy workloads
+/// (hub topologies) flush promptly.
+pub const LOOKAHEAD_MIN: usize = 64;
+/// Default adaptive ceiling: wide enough to feed every worker on
+/// conflict-free scale shapes.
+pub const LOOKAHEAD_MAX: usize = 8192;
+
+impl Default for Lookahead {
+    fn default() -> Self {
+        Lookahead::Adaptive {
+            min: LOOKAHEAD_MIN,
+            max: LOOKAHEAD_MAX,
+        }
+    }
+}
+
+impl Lookahead {
+    /// Parses a `RAPID_LOOKAHEAD` value: `adaptive` (the default) or a
+    /// fixed positive drive count. Anything else is an error.
+    pub fn parse(value: Option<&str>) -> Result<Self, String> {
+        match value {
+            None => Ok(Self::default()),
+            Some("adaptive") => Ok(Self::default()),
+            Some(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(Lookahead::Fixed(n)),
+                _ => Err(format!(
+                    "invalid RAPID_LOOKAHEAD value {v:?}: expected \"adaptive\" or a positive drive count"
+                )),
+            },
+        }
+    }
+
+    /// [`Lookahead::parse`] over the `RAPID_LOOKAHEAD` environment knob;
+    /// invalid values abort with a clear message.
+    pub fn from_env() -> Self {
+        let value = std::env::var("RAPID_LOOKAHEAD").ok();
+        Self::parse(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -86,10 +173,37 @@ struct PoolState {
     n: usize,
     /// Workers currently inside the drain loop of the current generation.
     /// `run` does not return (and no later generation can reuse the
-    /// cursor) until this reaches zero — which is what makes the raw task
+    /// deques) until this reaches zero — which is what makes the raw task
     /// pointer and the shared atomics sound across generations.
     active: usize,
     shutdown: bool,
+}
+
+/// One worker's deque of unclaimed batch indices, packed
+/// `(next << 32) | end` into a single atomic word so the owner's
+/// pop-front and a thief's steal-half are both one CAS — no separate
+/// next/end words that could tear.
+///
+/// Invariant: slot value `(next, end)` means exactly the indices
+/// `next..end` are unclaimed and owned by this slot. Every successful
+/// CAS transition transfers a suffix (steal) or the front index (pop)
+/// out of the slot, so a compare on the packed value is also a claim on
+/// the range it describes — the value *is* the resource, which is what
+/// makes the single-word CAS ABA-safe.
+///
+/// Padded to a cache line so workers hammering their own slots don't
+/// false-share.
+#[repr(align(64))]
+struct Deque(AtomicU64);
+
+#[inline]
+fn pack(next: u32, end: u32) -> u64 {
+    ((next as u64) << 32) | end as u64
+}
+
+#[inline]
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
 }
 
 struct PoolShared {
@@ -98,10 +212,79 @@ struct PoolShared {
     work: Condvar,
     /// The caller waits here for batch completion.
     done_cv: Condvar,
-    /// Next index to claim within the current batch.
-    cursor: AtomicUsize,
+    /// Per-worker index deques for the current batch (work stealing).
+    deques: Vec<Deque>,
     /// Indices completed within the current batch.
     done: AtomicUsize,
+}
+
+/// Drains batch work as `worker`: pop-front from the own deque, then
+/// steal the upper half of the first non-empty victim (scanned in a
+/// deterministic ring order) into the own deque, until no work is
+/// visible anywhere.
+///
+/// A worker never leaves while its own deque is non-empty, and stolen
+/// ranges are installed into the thief's own deque before execution —
+/// so an exit scan that races a steal-in-flight can at worst miss a
+/// *stealing opportunity* (mild imbalance), never an index: every
+/// unclaimed index is always owned by some worker's deque, and its
+/// owner drains it before leaving. Completion is still counted exactly
+/// by `done`.
+fn drain_batch(shared: &PoolShared, worker: usize, task: &(dyn Fn(usize, usize) + Sync)) {
+    let jobs = shared.deques.len();
+    'work: loop {
+        // Own deque, front to back.
+        let own = &shared.deques[worker].0;
+        loop {
+            let cur = own.load(Ordering::Acquire);
+            let (next, end) = unpack(cur);
+            if next >= end {
+                break;
+            }
+            if own
+                .compare_exchange_weak(
+                    cur,
+                    pack(next + 1, end),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                task(worker, next as usize);
+                shared.done.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+        // Own deque empty: steal half from the ring.
+        for off in 1..jobs {
+            let victim = &shared.deques[(worker + off) % jobs].0;
+            loop {
+                let cur = victim.load(Ordering::Acquire);
+                let (next, end) = unpack(cur);
+                if next >= end {
+                    break;
+                }
+                // Upper half, rounded up (a single leftover index is
+                // stolen whole).
+                let mid = next + (end - next) / 2;
+                if victim
+                    .compare_exchange_weak(
+                        cur,
+                        pack(next, mid),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    // Only the owner installs into its own deque, and
+                    // only while it is empty — a plain store cannot race
+                    // a steal (thieves CAS from a non-empty snapshot).
+                    own.store(pack(mid, end), Ordering::Release);
+                    continue 'work;
+                }
+            }
+        }
+        return; // every deque observed empty
+    }
 }
 
 /// A run-scoped worker pool executing index-addressed batch tasks.
@@ -135,7 +318,7 @@ impl ContactPool {
             }),
             work: Condvar::new(),
             done_cv: Condvar::new(),
-            cursor: AtomicUsize::new(0),
+            deques: (0..jobs).map(|_| Deque(AtomicU64::new(0))).collect(),
             done: AtomicUsize::new(0),
         });
         for worker in 1..jobs {
@@ -165,13 +348,22 @@ impl ContactPool {
             }
             return;
         }
+        assert!(n <= u32::MAX as usize, "batch too large for packed deques");
         {
             let mut state = self.shared.state.lock().expect("pool lock");
             // No drainer of an earlier generation can be live here: `run`
             // only returned once `active == 0`, and workers re-enter the
             // drain only for a fresh, uncompleted generation.
-            self.shared.cursor.store(0, Ordering::Relaxed);
             self.shared.done.store(0, Ordering::Relaxed);
+            // Seed the deques with an even contiguous partition of 0..n;
+            // work stealing rebalances from there.
+            let (base, rem) = (n / self.jobs, n % self.jobs);
+            let mut start = 0u32;
+            for (w, deque) in self.shared.deques.iter().enumerate() {
+                let end = start + base as u32 + u32::from(w < rem);
+                deque.0.store(pack(start, end), Ordering::Relaxed);
+                start = end;
+            }
             // SAFETY: lifetime erasure only — the pointer is dereferenced
             // solely for indices of this generation, all of which complete
             // before `run` returns (the completion wait below).
@@ -186,14 +378,7 @@ impl ContactPool {
         // The caller participates as worker 0 (through the safe
         // reference; worker threads go through the claimed-index raw
         // pointer path, see `worker_loop`).
-        loop {
-            let i = self.shared.cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
-                break;
-            }
-            task(0, i);
-            self.shared.done.fetch_add(1, Ordering::AcqRel);
-        }
+        drain_batch(&self.shared, 0, task);
 
         // Wait until every index completed AND every worker has left the
         // drain loop; only then may the task reference die or the atomics
@@ -219,7 +404,7 @@ impl Drop for ContactPool {
 fn worker_loop(shared: &PoolShared, worker: usize) {
     let mut last_seen = 0u64;
     loop {
-        let (task, n) = {
+        let task = {
             let mut state = shared.state.lock().expect("pool lock");
             loop {
                 if state.shutdown {
@@ -237,23 +422,13 @@ fn worker_loop(shared: &PoolShared, worker: usize) {
             }
             last_seen = state.generation;
             state.active += 1;
-            (
-                state.task.as_ref().expect("live generation has a task").0,
-                state.n,
-            )
+            state.task.as_ref().expect("live generation has a task").0
         };
-        loop {
-            let i = shared.cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
-                break;
-            }
-            // SAFETY: a successfully claimed index implies `run` is still
-            // blocked on this generation (it waits for done == n and
-            // active == 0), so the referent is alive.
-            let task: &(dyn Fn(usize, usize) + Sync) = unsafe { &*task };
-            task(worker, i);
-            shared.done.fetch_add(1, Ordering::AcqRel);
-        }
+        // SAFETY: while this worker counts as `active`, `run` is still
+        // blocked on this generation (it waits for done == n and
+        // active == 0), so the referent is alive.
+        let task: &(dyn Fn(usize, usize) + Sync) = unsafe { &*task };
+        drain_batch(shared, worker, task);
         let mut state = shared.state.lock().expect("pool lock");
         state.active -= 1;
         drop(state);
@@ -402,10 +577,10 @@ pub struct PendingDrive {
 ///
 /// Drives are `push`ed in serial scan order. A drive whose node set is
 /// disjoint from everything currently held joins the *ready* set; a
-/// conflicting drive is *deferred*. [`Batcher::take_ready`] yields the
-/// ready set for execution and promotes deferred drives (in order, again
-/// conflict-checked) into the next ready set, so two conflicting drives
-/// always execute in scan order, across distinct passes.
+/// conflicting drive is *deferred*. [`Batcher::take_ready_into`] yields
+/// the ready set for execution and promotes deferred drives (in order,
+/// again conflict-checked) into the next ready set, so two conflicting
+/// drives always execute in scan order, across distinct passes.
 #[derive(Debug)]
 pub struct Batcher {
     ready: Vec<PendingDrive>,
@@ -414,20 +589,32 @@ pub struct Batcher {
     /// drive (ready or deferred) uses the node.
     stamp: Vec<u64>,
     epoch: u64,
+    policy: Lookahead,
+    /// Current flush bound (fixed, or the adaptive policy's live value).
     lookahead: usize,
 }
 
 impl Batcher {
-    /// A batcher for `nodes` node ids with the given lookahead bound
-    /// (maximum drives held before a flush is forced).
-    pub fn new(nodes: usize, lookahead: usize) -> Self {
+    /// A batcher for `nodes` node ids under the given lookahead policy
+    /// (bounding the drives held before a flush is forced).
+    pub fn new(nodes: usize, policy: Lookahead) -> Self {
+        let lookahead = match policy {
+            Lookahead::Fixed(n) => n.max(1),
+            Lookahead::Adaptive { min, .. } => min.max(1),
+        };
         Self {
             ready: Vec::new(),
             deferred: Vec::new(),
             stamp: vec![0; nodes],
             epoch: 0,
-            lookahead: lookahead.max(1),
+            policy,
+            lookahead,
         }
+    }
+
+    /// The current flush bound (observable for tests and diagnostics).
+    pub fn lookahead(&self) -> usize {
+        self.lookahead
     }
 
     /// Number of drives currently held (ready + deferred).
@@ -468,26 +655,58 @@ impl Batcher {
         self.mark(b);
     }
 
-    /// Takes the ready set (pairwise node-disjoint, scan-ordered) for
-    /// execution, then promotes deferred drives into the next ready set.
-    /// Returns an empty vector when nothing is held. Call repeatedly until
-    /// empty to flush.
-    pub fn take_ready(&mut self) -> Vec<PendingDrive> {
-        let out = std::mem::take(&mut self.ready);
+    /// Takes the ready set (pairwise node-disjoint, scan-ordered) into
+    /// `out` for execution, then promotes deferred drives into the next
+    /// ready set. Leaves `out` empty when nothing is held. Call
+    /// repeatedly until empty to flush.
+    ///
+    /// Allocation-free in steady state: `out`'s storage is swapped with
+    /// the internal ready vector (capacities ping-pong between the two),
+    /// and the deferred list is compacted in place.
+    ///
+    /// An adaptive policy resizes itself here, exactly when the flush was
+    /// capacity-triggered (`full()` on entry): a window with no conflicts
+    /// doubles the bound, a conflict-heavy one (deferred ≥ ¼ of held)
+    /// halves it. The decision reads only the held drives — a pure
+    /// function of the serial drive stream, independent of worker count
+    /// and timing.
+    pub fn take_ready_into(&mut self, out: &mut Vec<PendingDrive>) {
+        if self.full() {
+            if let Lookahead::Adaptive { min, max } = self.policy {
+                if self.deferred.is_empty() {
+                    self.lookahead = (self.lookahead * 2).min(max.max(1));
+                } else if self.deferred.len() * 4 >= self.held() {
+                    self.lookahead = (self.lookahead / 2).max(min.max(1));
+                }
+            }
+        }
+        out.clear();
+        std::mem::swap(&mut self.ready, out);
         // Re-admit deferred drives in order under a fresh epoch; drives
-        // conflicting among themselves defer again.
-        let deferred = std::mem::take(&mut self.deferred);
+        // conflicting among themselves defer again (compacted in place —
+        // the write index never passes the read index).
         self.epoch += 1;
-        for drive in deferred {
+        let mut kept = 0;
+        for idx in 0..self.deferred.len() {
+            let drive = self.deferred[idx];
             let (a, b) = (drive.window.a.index(), drive.window.b.index());
             if self.uses(a) || self.uses(b) {
-                self.deferred.push(drive);
+                self.deferred[kept] = drive;
+                kept += 1;
             } else {
                 self.ready.push(drive);
             }
             self.mark(a);
             self.mark(b);
         }
+        self.deferred.truncate(kept);
+    }
+
+    /// [`Batcher::take_ready_into`] returning a fresh vector (test and
+    /// small-call convenience; the engine uses the reusable form).
+    pub fn take_ready(&mut self) -> Vec<PendingDrive> {
+        let mut out = Vec::new();
+        self.take_ready_into(&mut out);
         out
     }
 }
@@ -512,7 +731,7 @@ mod tests {
 
     #[test]
     fn batcher_groups_disjoint_and_defers_conflicts() {
-        let mut b = Batcher::new(10, 64);
+        let mut b = Batcher::new(10, Lookahead::Fixed(64));
         b.push(drive(0, 0, 1));
         b.push(drive(1, 2, 3)); // disjoint → same batch
         b.push(drive(2, 1, 4)); // conflicts with (0,1) → deferred
@@ -530,12 +749,107 @@ mod tests {
 
     #[test]
     fn batcher_lookahead_bounds_held_drives() {
-        let mut b = Batcher::new(100, 4);
+        let mut b = Batcher::new(100, Lookahead::Fixed(4));
         for i in 0..4 {
             assert!(!b.full());
             b.push(drive(i, 2 * i as u32, 2 * i as u32 + 1));
         }
         assert!(b.full());
+    }
+
+    #[test]
+    fn adaptive_lookahead_grows_when_conflict_free_and_shrinks_under_conflicts() {
+        let mut b = Batcher::new(100, Lookahead::Adaptive { min: 4, max: 16 });
+        assert_eq!(b.lookahead(), 4);
+        // Conflict-free capacity flush: the bound doubles.
+        for i in 0..4 {
+            b.push(drive(i, 2 * i as u32, 2 * i as u32 + 1));
+        }
+        assert!(b.full());
+        while !b.is_empty() {
+            b.take_ready();
+        }
+        assert_eq!(b.lookahead(), 8);
+        // Conflict-heavy capacity flush (every drive shares node 0): the
+        // bound halves again, and never below the floor.
+        for round in 0..4 {
+            for i in 0..b.lookahead() as u64 {
+                b.push(drive(i, 0, 1 + i as u32));
+            }
+            assert!(b.full());
+            while !b.is_empty() {
+                b.take_ready();
+            }
+            assert!(b.lookahead() >= 4, "round {round} went below the floor");
+        }
+        assert_eq!(b.lookahead(), 4);
+        // Barrier flushes (not full) never adapt.
+        b.push(drive(0, 50, 51));
+        while !b.is_empty() {
+            b.take_ready();
+        }
+        assert_eq!(b.lookahead(), 4);
+    }
+
+    #[test]
+    fn take_ready_into_reuses_storage() {
+        let mut b = Batcher::new(10, Lookahead::Fixed(64));
+        let mut out = Vec::with_capacity(8);
+        for round in 0..5u64 {
+            b.push(drive(round, 0, 1));
+            b.push(drive(round, 2, 3));
+            b.take_ready_into(&mut out);
+            assert_eq!(out.len(), 2);
+            assert!(out.capacity() >= 2, "swapped storage keeps usable capacity");
+            assert!(b.is_empty());
+        }
+    }
+
+    #[test]
+    fn parse_jobs_rejects_zero_and_garbage() {
+        assert_eq!(parse_jobs("RAPID_INTRA_JOBS", "1"), Ok(1));
+        assert_eq!(parse_jobs("RAPID_INTRA_JOBS", " 8 "), Ok(8));
+        assert!(parse_jobs("RAPID_INTRA_JOBS", "0")
+            .unwrap_err()
+            .contains("must be >= 1"));
+        for bad in ["", "four", "-2", "1.5"] {
+            assert!(
+                parse_jobs("RAPID_JOBS", bad)
+                    .unwrap_err()
+                    .contains("positive integer"),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn lookahead_parse_is_strict() {
+        assert_eq!(Lookahead::parse(None), Ok(Lookahead::default()));
+        assert_eq!(Lookahead::parse(Some("adaptive")), Ok(Lookahead::default()));
+        assert_eq!(Lookahead::parse(Some("1024")), Ok(Lookahead::Fixed(1024)));
+        for bad in ["0", "", "fast", "-1"] {
+            assert!(Lookahead::parse(Some(bad)).is_err(), "{bad:?} must error");
+        }
+    }
+
+    #[test]
+    fn pool_steals_across_uneven_work() {
+        // Front-loaded work: the initial even partition gives worker 0 all
+        // the slow indices; completion requires stealing to have spread
+        // them without losing or duplicating any index.
+        std::thread::scope(|scope| {
+            let pool = ContactPool::start(scope, 4);
+            let hits: Vec<AtomicUsize> = (0..256).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(hits.len(), &|_, i| {
+                if i < 64 {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} ran once");
+            }
+        });
     }
 
     #[test]

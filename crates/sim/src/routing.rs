@@ -52,6 +52,11 @@ pub struct SimConfig {
     /// knowledge. Harness code plumbs `RAPID_INTRA_JOBS` in here
     /// ([`crate::par::intra_jobs_from_env`]).
     pub intra_jobs: usize,
+    /// Lookahead policy for the batch scheduler (adaptive by default; any
+    /// policy commits byte-identical results — see [`crate::par`]).
+    /// Harness code plumbs `RAPID_LOOKAHEAD` in here
+    /// ([`crate::par::Lookahead::from_env`]).
+    pub lookahead: crate::par::Lookahead,
 }
 
 impl Default for SimConfig {
@@ -66,6 +71,7 @@ impl Default for SimConfig {
             seed: 0,
             measure_from: Time::ZERO,
             intra_jobs: 1,
+            lookahead: crate::par::Lookahead::default(),
         }
     }
 }

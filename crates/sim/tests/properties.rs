@@ -365,7 +365,7 @@ proptest! {
             continue;
         }
 
-        let mut batcher = Batcher::new(12, lookahead);
+        let mut batcher = Batcher::new(12, dtn_sim::par::Lookahead::Fixed(lookahead));
         let mut passes: Vec<Vec<PendingDrive>> = Vec::new();
         let flush = |batcher: &mut Batcher, passes: &mut Vec<Vec<PendingDrive>>| {
             loop {
@@ -487,7 +487,14 @@ proptest! {
         contacts in prop::collection::vec((1u64..200, 0u32..10, 0u32..10, 256u64..4096), 1..120),
         packets in prop::collection::vec((0u64..150, 0u32..10, 0u32..10, 128u64..1024), 1..40),
         ttl in prop::option::of(5u64..100),
+        churn in prop::collection::vec((1u64..250, 0u32..10, any::<bool>()), 0..12),
         jobs in 2usize..5,
+        lookahead in prop_oneof![
+            (1usize..16).prop_map(dtn_sim::par::Lookahead::Fixed),
+            (1usize..4, 4usize..64).prop_map(|(min, max)| {
+                dtn_sim::par::Lookahead::Adaptive { min, max }
+            }),
+        ],
     ) {
         let mut windows: Vec<Contact> = contacts
             .iter()
@@ -510,20 +517,37 @@ proptest! {
             continue;
         }
 
-        let run = |intra_jobs: usize| {
+        let mut churn_events: Vec<dtn_sim::NodeEvent> = churn
+            .iter()
+            .map(|&(t, node, up)| dtn_sim::NodeEvent {
+                time: Time::from_secs(t),
+                node: NodeId(node),
+                up,
+            })
+            .collect();
+        churn_events.sort_by_key(|e| e.time);
+
+        let run = |intra_jobs: usize, lookahead: dtn_sim::par::Lookahead| {
             let cfg = SimConfig {
                 nodes: 10,
                 buffer_capacity: 4096,
                 horizon: Time::from_secs(300),
                 ttl: ttl.map(TimeDelta::from_secs),
                 intra_jobs,
+                lookahead,
                 ..SimConfig::default()
             };
             Simulation::new(cfg, Schedule::new(windows.clone()), Workload::new(specs.clone()))
+                .with_churn(churn_events.clone())
                 .run(&mut ParFlood)
         };
-        let serial = run(1);
-        let parallel = run(jobs);
+        // The serial baseline uses the default policy; work-stealing
+        // replay must be byte-identical at any job count AND any
+        // lookahead policy, under churn and TTL expiry.
+        let serial = run(1, dtn_sim::par::Lookahead::default());
+        let parallel = run(jobs, lookahead);
         prop_assert_eq!(serial, parallel, "intra-run parallel run diverged from serial");
+        let serial_same_policy = run(1, lookahead);
+        prop_assert_eq!(serial_same_policy, parallel, "lookahead policy changed results");
     }
 }
