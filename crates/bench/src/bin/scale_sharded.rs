@@ -1,0 +1,8 @@
+//! Thin dispatch into the experiment registry: `scale_sharded`.
+//! See `rapid_bench::registry` for the plan (axes, TSV schema) and
+//! `rapid_bench::scale` for the implementation and the `RAPID_SCALE_*` /
+//! `RAPID_SHARDS` knobs.
+
+fn main() {
+    rapid_bench::registry::run_or_exit("scale_sharded");
+}

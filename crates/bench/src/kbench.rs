@@ -34,6 +34,13 @@ pub fn queue_bytes(len: usize, seed: u64) -> Vec<u64> {
 /// dead-code elimination and doubles as a cross-kernel agreement check
 /// (bitwise-identical kernels produce bitwise-identical sums).
 pub fn measure_rows(kernel: Kernel, len: usize, iters: u64, repeats: u64) -> (f64, f64) {
+    let (min_ms, _, checksum) = measure_rows_stats(kernel, len, iters, repeats);
+    (min_ms, checksum)
+}
+
+/// [`measure_rows`] with the per-repeat mean alongside the min — the
+/// smoke gate reports both. Returns `(min_ms, mean_ms, checksum)`.
+pub fn measure_rows_stats(kernel: Kernel, len: usize, iters: u64, repeats: u64) -> (f64, f64, f64) {
     let bytes = queue_bytes(len, 7);
     let mut batch = RateBatch::new(kernel);
     for &b in &bytes {
@@ -44,6 +51,7 @@ pub fn measure_rows(kernel: Kernel, len: usize, iters: u64, repeats: u64) -> (f6
 
     let mut sink = 0.0f64;
     let mut best_ms = f64::INFINITY;
+    let mut sum_ms = 0.0;
     // One warmup repeat outside the measurement.
     for repeat in 0..=repeats.max(1) {
         let start = Instant::now();
@@ -54,9 +62,14 @@ pub fn measure_rows(kernel: Kernel, len: usize, iters: u64, repeats: u64) -> (f6
         let ms = start.elapsed().as_secs_f64() * 1e3;
         if repeat > 0 {
             best_ms = best_ms.min(ms);
+            sum_ms += ms;
         }
     }
-    (best_ms, std::hint::black_box(sink))
+    (
+        best_ms,
+        sum_ms / repeats.max(1) as f64,
+        std::hint::black_box(sink),
+    )
 }
 
 #[cfg(test)]

@@ -48,12 +48,12 @@ pub use scale::ScaleLab;
 pub use synth::{Mobility, SynthLab};
 pub use trace_exp::TraceLab;
 
-/// Reads an environment knob with a default.
+/// Reads an environment knob with a default, through the workspace's
+/// strict parser (`dtn_sim::env`): unset yields the default, a malformed
+/// value aborts with a message naming the knob — a typo'd knob must not
+/// silently run the default experiment shape.
 pub fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    dtn_sim::env::u64_from_env(name, default)
 }
 
 /// Trace days per data point (deployment experiments override this).

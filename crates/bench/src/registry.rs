@@ -204,6 +204,26 @@ pub const PLANS: &[ExperimentPlan] = &[
         run: scale::run_scale_compressed,
     },
     ExperimentPlan {
+        id: "scale_sharded",
+        title:
+            "Sharded scale family: regional fleet, per-shard event loops, conservative sync horizon",
+        axes: "RAPID_SCALE_RUNS runs x RAPID_SHARDS partitioned event loops",
+        columns: &[
+            "run",
+            "nodes",
+            "windows_planned",
+            "contacts_driven",
+            "packets_created",
+            "delivery_rate",
+            "expired",
+            "shards",
+            "free_run_horizon_s",
+            "wall_s",
+            "peak_rss_mb",
+        ],
+        run: scale::run_scale_sharded,
+    },
+    ExperimentPlan {
         id: "ttest",
         title: "Paired t-test on per-(src,dst) mean delays: RAPID vs MaxProp",
         axes: "load x {Rapid, MaxProp}",

@@ -10,8 +10,8 @@ use crate::proto::Proto;
 use dtn_sim::source::{ContactSource, ScheduleStream, WorkloadSource, WorkloadStream};
 use dtn_sim::workload::Workload;
 use dtn_sim::{
-    run_streaming, CompiledPlan, NodeEvent, NoiseModel, Schedule, SimConfig, SimReport, Time,
-    TimeDelta,
+    run_sharded, run_streaming, CompiledPlan, ContactConcurrency, NodeEvent, NoiseModel, Partition,
+    Schedule, SimConfig, SimReport, Time, TimeDelta,
 };
 use std::collections::BTreeMap;
 use std::fmt;
@@ -189,6 +189,12 @@ pub struct RunSpec {
 
 /// Executes one job with one protocol, streaming the scenario through the
 /// engine — no per-run clones of schedules or workloads.
+///
+/// `RAPID_SHARDS=N` (default 1 = today's engine) routes the run through
+/// the sharded runtime over an even node partition; results are
+/// byte-identical at any shard count. Protocols that are not
+/// [`ContactConcurrency::Stateless`] (and global-knowledge runs) fall
+/// back to the serial engine — same report, one event loop.
 pub fn run_spec(spec: &RunSpec, proto: Proto) -> SimReport {
     let config = SimConfig {
         nodes: spec.nodes,
@@ -213,6 +219,22 @@ pub fn run_spec(spec: &RunSpec, proto: Proto) -> SimReport {
     let mut packets = spec.packets.source();
     let measured_len = TimeDelta(spec.horizon.0.saturating_sub(spec.measure_from.0));
     let mut routing = proto.build(spec.deadline, measured_len);
+    let shards = dtn_sim::shards_from_env();
+    if shards > 1
+        && !config.allow_global_knowledge
+        && routing.contact_concurrency() == ContactConcurrency::Stateless
+    {
+        let partition = Partition::even(spec.nodes, shards);
+        return run_sharded(
+            &config,
+            &partition,
+            contacts.as_mut(),
+            packets.as_mut(),
+            &spec.churn,
+            spec.noise,
+            &mut || proto.build(spec.deadline, measured_len),
+        );
+    }
     run_streaming(
         &config,
         contacts.as_mut(),

@@ -19,9 +19,12 @@ use crate::proto::Proto;
 use crate::runner::{run_spec, ContactsSpec, PacketsSpec, RunSpec};
 use crate::tsv::{f, Tsv};
 use crate::{env_u64, root_seed};
-use dtn_mobility::ScaleFleet;
-use dtn_sim::{CompiledPlan, Time, TimeDelta};
-use dtn_stats::{Extrema, StreamingMean};
+use dtn_mobility::{RegionalFleet, ScaleFleet};
+use dtn_sim::{
+    run_sharded_with_stats, run_streaming, CompiledPlan, Partition, ShardStats, SimConfig, Time,
+    TimeDelta,
+};
+use dtn_stats::{Extrema, ShardSlots, StreamingMean};
 use std::sync::Arc;
 
 /// Packet size (matches the rest of the harness: 1 KB).
@@ -360,6 +363,200 @@ pub fn run_scale_compressed() {
     }
 }
 
+/// The regional wrapper for the sharded family: `RAPID_SCALE_REGIONS`
+/// contiguous regions (default 64) with `RAPID_SCALE_LOCALITY` of the
+/// meetings staying inside one region (default 0.95) — ScaleFleet's
+/// hub-gateway structure arranged so shard boundaries fall on region
+/// boundaries and only the gateway backbone crosses them.
+pub fn regional_fleet(lab: &ScaleLab) -> RegionalFleet {
+    let regions = env_u64("RAPID_SCALE_REGIONS", 64) as usize;
+    let locality = dtn_sim::env::f64_from_env("RAPID_SCALE_LOCALITY", 0.95);
+    assert!(locality <= 1.0, "RAPID_SCALE_LOCALITY is a probability");
+    RegionalFleet {
+        fleet: lab.fleet,
+        regions,
+        locality,
+    }
+}
+
+/// The engine configuration the sharded family runs under (the same
+/// shape [`run_spec`] builds, minus the spec indirection).
+fn sharded_config(lab: &ScaleLab, run: u32) -> SimConfig {
+    SimConfig {
+        nodes: lab.fleet.nodes,
+        buffer_capacity: lab.buffer,
+        deadline: Some(lab.deadline),
+        ttl: Some(lab.ttl),
+        horizon: lab.fleet.horizon,
+        allow_global_knowledge: false,
+        seed: lab.seed ^ u64::from(run),
+        measure_from: Time::ZERO,
+        intra_jobs: dtn_sim::intra_jobs_from_env(),
+        lookahead: dtn_sim::par::Lookahead::from_env(),
+    }
+}
+
+/// One run of the regional scenario: the compiled regional plan expanded
+/// lazily into either the serial engine (one shard) or the sharded
+/// runtime (per-shard event loops under conservative barriers). The
+/// report is byte-identical at any shard count; the `Vec<ShardStats>` is
+/// empty on the serial path.
+pub fn run_regional(
+    lab: &ScaleLab,
+    rf: &RegionalFleet,
+    partition: &Partition,
+    plan: &Arc<CompiledPlan>,
+    run: u32,
+) -> (dtn_sim::SimReport, Vec<ShardStats>) {
+    let config = sharded_config(lab, run);
+    let mut contacts = ContactsSpec::compiled(Arc::clone(plan)).source();
+    let mut packets =
+        Box::new(rf.packet_stream(lab.packets, PACKET_BYTES, lab.seed, u64::from(run)));
+    let measured_len = TimeDelta(lab.fleet.horizon.0);
+    if partition.shards() == 1 {
+        let mut routing = Proto::Random.build(lab.deadline, measured_len);
+        let report = run_streaming(
+            &config,
+            contacts.as_mut(),
+            packets.as_mut(),
+            &[],
+            None,
+            routing.as_mut(),
+        );
+        (report, Vec::new())
+    } else {
+        run_sharded_with_stats(
+            &config,
+            partition,
+            contacts.as_mut(),
+            packets.as_mut(),
+            &[],
+            None,
+            &mut || Proto::Random.build(lab.deadline, measured_len),
+        )
+    }
+}
+
+/// The `scale_sharded` experiment: the scale family on the regional
+/// fleet, partitioned into `RAPID_SHARDS` per-shard event loops (default
+/// 1 = the serial engine). Aggregate columns (1–7) are byte-identical at
+/// any shard count — CI diffs them between `RAPID_SHARDS=1` and `=4` —
+/// while the shard-dependent telemetry (shard count, static free-run
+/// horizon, wall, RSS) sits after them. Per-shard timing lands in
+/// `results/scale_sharded_shards.tsv`.
+pub fn run_scale_sharded() {
+    let seed = root_seed();
+    let lab = ScaleLab::from_env(seed);
+    let rf = regional_fleet(&lab);
+    let shards = dtn_sim::shards_from_env();
+    let partition = rf.partition(shards);
+    let routes = lab.routes_from_env();
+    let runs = env_u64("RAPID_SCALE_RUNS", 1).max(1) as u32;
+    let max_rss_mb = env_u64("RAPID_SCALE_MAX_RSS_MB", 0);
+
+    let mut tsv = Tsv::new("scale_sharded");
+    tsv.comment(
+        "Sharded scale family: regional fleet, per-shard event loops, conservative sync horizon",
+    );
+    tsv.comment(&format!(
+        "shards = {shards}, regions = {}, locality = {}, nodes = {}, routes = {routes}, \
+         expected windows = {}, expected packets = {}, horizon = {} s, seed = {seed}",
+        rf.regions,
+        rf.locality,
+        lab.fleet.nodes,
+        lab.fleet.contacts,
+        lab.packets,
+        lab.fleet.horizon.as_secs_f64(),
+    ));
+    tsv.row(&[
+        "run",
+        "nodes",
+        "windows_planned",
+        "contacts_driven",
+        "packets_created",
+        "delivery_rate",
+        "expired",
+        "shards",
+        "free_run_horizon_s",
+        "wall_s",
+        "peak_rss_mb",
+    ]);
+
+    let mut shard_tsv = Tsv::new("scale_sharded_shards");
+    shard_tsv.comment("Per-shard timing for the scale_sharded family");
+    shard_tsv.row(&["run", "shard", "nodes", "drives", "creations", "busy_s"]);
+
+    let mut delivery = StreamingMean::new();
+    let mut wall = StreamingMean::new();
+    let mut rss = Extrema::new();
+    let mut busy: ShardSlots<StreamingMean> = ShardSlots::new(partition.shards());
+    for run in 0..runs {
+        // Reset before compiling so the plan is part of the run's own
+        // footprint.
+        reset_peak_rss();
+        let plan = Arc::new(rf.periodic_plan(routes, seed, u64::from(run)));
+        let windows = plan.window_count();
+        // The static conservative horizon: shards free-run to the first
+        // cross-shard window's start before any barrier can occur.
+        let free_run = plan.first_cross_shard_start(&partition);
+        let t0 = std::time::Instant::now();
+        let (report, stats) = run_regional(&lab, &rf, &partition, &plan, run);
+        let wall_s = t0.elapsed().as_secs_f64();
+        let peak = peak_rss_mb().unwrap_or(0.0);
+        delivery.push(report.delivery_rate());
+        wall.push(wall_s);
+        rss.push(peak);
+        tsv.row(&[
+            format!("{run}"),
+            format!("{}", lab.fleet.nodes),
+            format!("{windows}"),
+            format!("{}", report.contacts),
+            format!("{}", report.created()),
+            f(report.delivery_rate()),
+            format!("{}", report.expired),
+            format!("{shards}"),
+            free_run.map_or_else(|| "-".into(), |t| f(t.as_secs_f64())),
+            f(wall_s),
+            f(peak),
+        ]);
+        for s in &stats {
+            busy.slot_mut(s.shard).push(s.busy.as_secs_f64());
+            shard_tsv.row(&[
+                format!("{run}"),
+                format!("{}", s.shard),
+                format!("{}", s.nodes),
+                format!("{}", s.drives),
+                format!("{}", s.creations),
+                f(s.busy.as_secs_f64()),
+            ]);
+        }
+    }
+    let total_busy = busy.clone().fold();
+    if total_busy.count() > 0 {
+        shard_tsv.comment(&format!(
+            "mean busy per shard = {} s ({} shard-run samples, shard-order fold)",
+            f(total_busy.mean().unwrap_or(0.0)),
+            total_busy.count(),
+        ));
+    }
+    tsv.comment(&format!(
+        "mean delivery = {}, mean wall = {} s, peak rss = {} MB",
+        f(delivery.mean().unwrap_or(0.0)),
+        f(wall.mean().unwrap_or(0.0)),
+        f(rss.max().unwrap_or(0.0)),
+    ));
+
+    if max_rss_mb > 0 {
+        let peak = rss.max().unwrap_or(0.0);
+        assert!(
+            peak <= max_rss_mb as f64,
+            "scale_sharded FAILED: peak RSS {peak:.1} MB exceeds the \
+             RAPID_SCALE_MAX_RSS_MB bound ({max_rss_mb} MB)"
+        );
+        eprintln!("scale_sharded: peak RSS {peak:.1} MB within the {max_rss_mb} MB bound");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,5 +634,50 @@ mod tests {
             lazy.contacts
         );
         assert!(lazy.created() > 300, "workload created {}", lazy.created());
+    }
+
+    #[test]
+    fn regional_sharded_run_matches_serial_engine() {
+        let lab = ScaleLab {
+            fleet: ScaleFleet {
+                nodes: 2_000,
+                contacts: 5_000,
+                opportunity_bytes: 16 * 1024,
+                contact_duration: TimeDelta::ZERO,
+                horizon: Time::from_secs(1800),
+                hubs: 16,
+                hub_bias: 0.5,
+            },
+            packets: 500,
+            buffer: 64 * 1024,
+            deadline: TimeDelta::from_secs(60),
+            ttl: TimeDelta::from_secs(600),
+            seed: 11,
+        };
+        let rf = RegionalFleet {
+            fleet: lab.fleet,
+            regions: 8,
+            locality: 0.9,
+        };
+        let plan = Arc::new(rf.periodic_plan(50, lab.seed, 0));
+        let (serial, no_stats) = run_regional(&lab, &rf, &rf.partition(1), &plan, 0);
+        assert!(no_stats.is_empty(), "serial path has no shard telemetry");
+        assert!(serial.contacts > 4_000, "plan drove {}", serial.contacts);
+        assert!(
+            serial.created() > 300,
+            "workload created {}",
+            serial.created()
+        );
+        for shards in [2, 4, 8] {
+            let part = rf.partition(shards);
+            let (sharded, stats) = run_regional(&lab, &rf, &part, &plan, 0);
+            assert_eq!(serial, sharded, "{shards}-shard run must match the engine");
+            assert_eq!(stats.len(), shards);
+            assert_eq!(
+                stats.iter().map(|s| s.nodes).sum::<usize>(),
+                lab.fleet.nodes,
+                "shard telemetry covers the node space"
+            );
+        }
     }
 }

@@ -196,12 +196,12 @@ impl Kernel {
         }
     }
 
-    /// [`Kernel::parse`] over the `RAPID_KERNEL` environment knob;
-    /// invalid values abort with a clear message rather than silently
-    /// running a different kernel.
+    /// [`Kernel::parse`] over the `RAPID_KERNEL` environment knob, read
+    /// through the workspace's strict knob path (`dtn_sim::env`); invalid
+    /// values abort with a clear message rather than silently running a
+    /// different kernel.
     pub fn from_env() -> Self {
-        let value = std::env::var("RAPID_KERNEL").ok();
-        Self::parse(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
+        dtn_sim::env::from_env_or("RAPID_KERNEL", Self::detect(), |v| Self::parse(Some(v)))
     }
 }
 

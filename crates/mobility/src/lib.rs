@@ -33,5 +33,8 @@ pub mod stream;
 pub use dieselnet::{DayTrace, DayWindowStream, DieselNet, DieselNetConfig};
 pub use exponential::UniformExponential;
 pub use powerlaw::PowerLaw;
-pub use scale::{ScaleContactStream, ScaleFleet, ScalePacketStream};
+pub use scale::{
+    RegionalContactStream, RegionalFleet, RegionalPacketStream, ScaleContactStream, ScaleFleet,
+    ScalePacketStream,
+};
 pub use stream::PairPoissonStream;

@@ -25,7 +25,7 @@
 //! substream scheme the rest of the workspace uses.
 
 use dtn_sim::workload::PacketSpec;
-use dtn_sim::{CompiledPlan, ContactWindow, NodeId, PlanAtom, Time, TimeDelta};
+use dtn_sim::{CompiledPlan, ContactWindow, NodeId, Partition, PlanAtom, Time, TimeDelta};
 use dtn_stats::sample::Exponential;
 use dtn_stats::SeedStream;
 use rand::rngs::StdRng;
@@ -176,6 +176,289 @@ impl ScaleFleet {
                 .derive("scale-packets")
                 .rng_indexed("run", run),
         }
+    }
+}
+
+/// A region-structured fleet: the partition-aware emission the sharded
+/// runtime ([`dtn_sim::shard`]) feeds on.
+///
+/// The node space is cut into `regions` contiguous blocks; the first
+/// nodes of each block are its *gateways* (the fleet-wide hub budget
+/// `fleet.hubs` spread across regions, at least one each). Meetings keep
+/// the global-Poisson clock of [`ScaleFleet`], but the pair draw is
+/// region-aware:
+///
+/// * with probability `locality` the meeting is **intra-region** — a
+///   uniformly random pair inside one region, biased toward the region's
+///   own gateways by `fleet.hub_bias`;
+/// * otherwise it is a **gateway meeting** — one gateway from each of
+///   two distinct regions (the hub-to-hub backbone).
+///
+/// Packets are user-to-gateway traffic *within* a region, so routing is
+/// region-local except for what crosses the backbone. A [`Partition`]
+/// from [`RegionalFleet::partition`] puts region boundaries on shard
+/// boundaries, making every intra-region contact shard-local: the only
+/// cross-shard (barrier) events are gateway meetings between regions of
+/// different shards — a `1 - locality` sliver of the plan, which is what
+/// lets shards free-run between sync horizons.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionalFleet {
+    /// The underlying fleet shape (nodes, contact budget, opportunity,
+    /// horizon; `hubs` is the fleet-wide gateway budget and `hub_bias`
+    /// the intra-region gateway attraction).
+    pub fleet: ScaleFleet,
+    /// Number of contiguous regions.
+    pub regions: usize,
+    /// Probability a meeting stays inside one region.
+    pub locality: f64,
+}
+
+impl RegionalFleet {
+    /// Validates the region structure (callers hit this before streaming).
+    fn check(&self) {
+        assert!(self.regions >= 2, "need at least two regions");
+        assert!(
+            self.fleet.nodes / self.regions >= 2,
+            "every region needs at least two nodes"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.locality),
+            "locality is a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.fleet.hub_bias),
+            "hub bias is a probability"
+        );
+    }
+
+    /// Gateways per region: the fleet-wide hub budget spread evenly, at
+    /// least one per region (the backbone needs an endpoint everywhere).
+    pub fn gateways_per_region(&self) -> usize {
+        (self.fleet.hubs / self.regions).max(1)
+    }
+
+    /// The even region layout over the node space.
+    fn region_layout(&self) -> Partition {
+        Partition::even(self.fleet.nodes, self.regions)
+    }
+
+    /// A shard partition aligned to region boundaries: shard `s` owns a
+    /// contiguous run of whole regions, so every intra-region contact is
+    /// shard-local by construction. `shards` must not exceed `regions`.
+    pub fn partition(&self, shards: usize) -> Partition {
+        self.check();
+        assert!(shards >= 1, "need at least one shard");
+        assert!(
+            shards <= self.regions,
+            "cannot split {} regions across {shards} shards",
+            self.regions
+        );
+        let layout = self.region_layout();
+        let mut bounds = Vec::with_capacity(shards + 1);
+        for s in 0..shards {
+            bounds.push(layout.range(s * self.regions / shards).start as u32);
+        }
+        bounds.push(self.fleet.nodes as u32);
+        Partition::from_bounds(bounds)
+    }
+
+    /// Streams the region-structured contact plan for one run
+    /// (deterministic in `(seed, run)` via its own labelled substream).
+    pub fn contact_stream(&self, seed: u64, run: u64) -> RegionalContactStream {
+        self.check();
+        assert!(self.fleet.contacts > 0, "need a positive contact count");
+        assert!(self.fleet.horizon > Time::ZERO, "need a positive horizon");
+        let rate = self.fleet.contacts as f64 / self.fleet.horizon.as_secs_f64();
+        RegionalContactStream {
+            fleet: *self,
+            layout: self.region_layout(),
+            gap: Exponential::new(rate),
+            t: 0.0,
+            rng: SeedStream::new(seed)
+                .derive("regional-contacts")
+                .rng_indexed("run", run),
+        }
+    }
+
+    /// Streams region-local user-to-gateway packet traffic, the regional
+    /// twin of [`ScaleFleet::packet_stream`].
+    pub fn packet_stream(
+        &self,
+        packets: u64,
+        size_bytes: u64,
+        seed: u64,
+        run: u64,
+    ) -> RegionalPacketStream {
+        self.check();
+        assert!(packets > 0, "need a positive expected packet count");
+        let rate = packets as f64 / self.fleet.horizon.as_secs_f64();
+        RegionalPacketStream {
+            fleet: *self,
+            layout: self.region_layout(),
+            size_bytes,
+            gap: Exponential::new(rate),
+            t: 0.0,
+            rng: SeedStream::new(seed)
+                .derive("regional-packets")
+                .rng_indexed("run", run),
+        }
+    }
+
+    /// Compiles the regional fleet as recurring periodic routes — the
+    /// [`CompiledPlan`] emission whose
+    /// [`first_cross_shard_start`](CompiledPlan::first_cross_shard_start)
+    /// against [`RegionalFleet::partition`] is the sharded runtime's
+    /// static sync horizon. A `locality` share of the routes is
+    /// intra-region; the rest are gateway routes between distinct
+    /// regions. Deterministic in `(seed, run)`.
+    pub fn periodic_plan(&self, routes: usize, seed: u64, run: u64) -> CompiledPlan {
+        self.check();
+        assert!(routes > 0, "need a positive route count");
+        assert!(self.fleet.contacts > 0, "need a positive contact count");
+        assert!(self.fleet.horizon > Time::ZERO, "need a positive horizon");
+        let layout = self.region_layout();
+        let mut rng = SeedStream::new(seed)
+            .derive("regional-routes")
+            .rng_indexed("run", run);
+        let period_us = (self.fleet.horizon.0 * routes as u64 / self.fleet.contacts).max(1);
+        let last_start = self
+            .fleet
+            .horizon
+            .0
+            .saturating_sub(self.fleet.contact_duration.0)
+            .saturating_sub(1);
+        let rate = if self.fleet.contact_duration == TimeDelta::ZERO {
+            0
+        } else {
+            (self.fleet.opportunity_bytes as f64 / self.fleet.contact_duration.as_secs_f64())
+                .floor()
+                .max(1.0) as u64
+        };
+        let mut atoms = Vec::with_capacity(routes);
+        for _ in 0..routes {
+            let (a, b) = self.draw_pair(&layout, &mut rng);
+            let phase = rng.gen_range(0..period_us).min(last_start);
+            let template = if self.fleet.contact_duration == TimeDelta::ZERO {
+                ContactWindow::instant(Time(phase), a, b, self.fleet.opportunity_bytes)
+            } else {
+                ContactWindow::new(
+                    Time(phase),
+                    Time(phase + self.fleet.contact_duration.0),
+                    a,
+                    b,
+                    rate,
+                )
+            };
+            let repeats = (last_start - phase) / period_us + 1;
+            atoms.push(if repeats >= 2 {
+                PlanAtom::Periodic {
+                    template,
+                    period: TimeDelta(period_us),
+                    repeats: u32::try_from(repeats).expect("repeats fit u32"),
+                }
+            } else {
+                PlanAtom::Literal(template)
+            });
+        }
+        CompiledPlan::new(atoms)
+    }
+
+    /// One region-aware pair draw (shared by the stream and the plan).
+    fn draw_pair(&self, layout: &Partition, rng: &mut StdRng) -> (NodeId, NodeId) {
+        let gws = self.gateways_per_region();
+        if rng.gen::<f64>() < self.locality {
+            // Intra-region: uniform pair inside one region, gateway-biased.
+            let r = rng.gen_range(0..self.regions);
+            let range = layout.range(r);
+            let a = range.start + rng.gen_range(0..range.len());
+            let local = a - range.start;
+            // Bias toward the region's gateways, unless `a` is the sole
+            // gateway (no distinct peer in that pool).
+            let pool = gws.min(range.len());
+            let b = if rng.gen::<f64>() < self.fleet.hub_bias && !(pool == 1 && local == 0) {
+                range.start + distinct_from(pool, local, rng)
+            } else {
+                range.start + distinct_from(range.len(), local, rng)
+            };
+            (NodeId(a as u32), NodeId(b as u32))
+        } else {
+            // Backbone: one gateway from each of two distinct regions.
+            let r1 = rng.gen_range(0..self.regions);
+            let r2 = distinct_from(self.regions, r1, rng);
+            let (g1, g2) = (layout.range(r1), layout.range(r2));
+            let a = g1.start + rng.gen_range(0..gws.min(g1.len()));
+            let b = g2.start + rng.gen_range(0..gws.min(g2.len()));
+            (NodeId(a as u32), NodeId(b as u32))
+        }
+    }
+}
+
+/// The region-structured contact stream; O(1) state, nondecreasing
+/// starts.
+#[derive(Debug)]
+pub struct RegionalContactStream {
+    fleet: RegionalFleet,
+    layout: Partition,
+    gap: Exponential,
+    t: f64,
+    rng: StdRng,
+}
+
+impl Iterator for RegionalContactStream {
+    type Item = ContactWindow;
+
+    fn next(&mut self) -> Option<ContactWindow> {
+        self.t += self.gap.sample(&mut self.rng);
+        let f = &self.fleet.fleet;
+        if self.t >= f.horizon.as_secs_f64() {
+            return None;
+        }
+        let (a, b) = self.fleet.draw_pair(&self.layout, &mut self.rng);
+        let start = Time::from_secs_f64(self.t);
+        Some(if f.contact_duration == TimeDelta::ZERO {
+            ContactWindow::instant(start, a, b, f.opportunity_bytes)
+        } else {
+            let rate = (f.opportunity_bytes as f64 / f.contact_duration.as_secs_f64())
+                .floor()
+                .max(1.0) as u64;
+            let end = (start + f.contact_duration).min(f.horizon).max(start);
+            ContactWindow::new(start, end, a, b, rate)
+        })
+    }
+}
+
+/// Region-local user-to-gateway packet traffic; O(1) state.
+#[derive(Debug)]
+pub struct RegionalPacketStream {
+    fleet: RegionalFleet,
+    layout: Partition,
+    size_bytes: u64,
+    gap: Exponential,
+    t: f64,
+    rng: StdRng,
+}
+
+impl Iterator for RegionalPacketStream {
+    type Item = PacketSpec;
+
+    fn next(&mut self) -> Option<PacketSpec> {
+        self.t += self.gap.sample(&mut self.rng);
+        if self.t >= self.fleet.fleet.horizon.as_secs_f64() {
+            return None;
+        }
+        // Addressed to a gateway of the source's own region: deliveries
+        // resolve locally, so shard-local routing does real work.
+        let r = self.rng.gen_range(0..self.fleet.regions);
+        let range = self.layout.range(r);
+        let gws = self.fleet.gateways_per_region().min(range.len());
+        let dst = range.start + self.rng.gen_range(0..gws);
+        let src = range.start + distinct_from(range.len(), dst - range.start, &mut self.rng);
+        Some(PacketSpec {
+            time: Time::from_secs_f64(self.t),
+            src: NodeId(src as u32),
+            dst: NodeId(dst as u32),
+            size_bytes: self.size_bytes,
+        })
     }
 }
 
@@ -410,5 +693,118 @@ mod tests {
         assert!(windows.iter().all(|w| w.a != w.b));
         let packets: Vec<_> = f.packet_stream(1000, 1024, 4, 0).collect();
         assert!(packets.iter().all(|p| p.dst.index() < 16 && p.src != p.dst));
+    }
+
+    fn regional() -> RegionalFleet {
+        RegionalFleet {
+            fleet: ScaleFleet {
+                hubs: 32,
+                hub_bias: 0.3,
+                ..fleet()
+            },
+            regions: 8,
+            locality: 0.9,
+        }
+    }
+
+    #[test]
+    fn regional_partition_aligns_with_region_boundaries() {
+        let rf = regional();
+        for shards in [1, 2, 4, 8] {
+            let p = rf.partition(shards);
+            assert_eq!(p.shards(), shards);
+            assert_eq!(p.nodes(), rf.fleet.nodes);
+            // Every shard boundary is also a region boundary.
+            let layout = Partition::even(rf.fleet.nodes, rf.regions);
+            for s in 0..shards {
+                let start = p.range(s).start;
+                assert!(
+                    (0..rf.regions).any(|r| layout.range(r).start == start),
+                    "shard {s} starts mid-region at node {start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn regional_contacts_are_local_or_gateway_backbone() {
+        let rf = regional();
+        let part = rf.partition(4);
+        let layout = Partition::even(rf.fleet.nodes, rf.regions);
+        let gws = rf.gateways_per_region();
+        let windows: Vec<_> = rf.contact_stream(11, 0).take(5000).collect();
+        assert!(!windows.is_empty());
+        let mut cross = 0usize;
+        for w in &windows {
+            assert!(w.a != w.b);
+            let (ra, rb) = (
+                layout.shard_of(w.a), // region of a (layout = region partition)
+                layout.shard_of(w.b),
+            );
+            if ra != rb {
+                // Cross-region meetings happen only between gateways.
+                for (n, r) in [(w.a, ra), (w.b, rb)] {
+                    assert!(
+                        n.index() - layout.range(r).start < gws,
+                        "cross-region endpoint {n} is not a gateway"
+                    );
+                }
+            }
+            if part.shard_of(w.a) != part.shard_of(w.b) {
+                cross += 1;
+            }
+        }
+        // With locality 0.9 the cross-shard share is a sliver, but the
+        // backbone must exist.
+        assert!(cross >= 1, "no backbone meetings at all");
+        assert!(
+            (cross as f64) < 0.2 * windows.len() as f64,
+            "cross-shard share too large: {cross}/{}",
+            windows.len()
+        );
+    }
+
+    #[test]
+    fn regional_packets_stay_in_region_and_streams_are_deterministic() {
+        let rf = regional();
+        let layout = Partition::even(rf.fleet.nodes, rf.regions);
+        let gws = rf.gateways_per_region();
+        let packets: Vec<_> = rf.packet_stream(2000, 1024, 11, 0).collect();
+        assert!(!packets.is_empty());
+        for p in &packets {
+            assert!(p.src != p.dst);
+            let r = layout.shard_of(p.dst);
+            assert_eq!(layout.shard_of(p.src), r, "packet crosses regions");
+            assert!(
+                p.dst.index() - layout.range(r).start < gws,
+                "dst not a gateway"
+            );
+        }
+        let again: Vec<_> = rf.packet_stream(2000, 1024, 11, 0).collect();
+        assert_eq!(packets, again);
+        let w1: Vec<_> = rf.contact_stream(11, 3).take(500).collect();
+        let w2: Vec<_> = rf.contact_stream(11, 3).take(500).collect();
+        assert_eq!(w1, w2);
+        assert_ne!(
+            w1,
+            rf.contact_stream(11, 4).take(500).collect::<Vec<_>>(),
+            "runs must differ"
+        );
+    }
+
+    #[test]
+    fn regional_plan_yields_a_finite_cross_shard_horizon() {
+        let rf = regional();
+        let plan = rf.periodic_plan(4000, 11, 0);
+        assert!(plan.window_count() > 0);
+        let part = rf.partition(4);
+        let horizon = plan
+            .first_cross_shard_start(&part)
+            .expect("backbone routes exist");
+        assert!(horizon < rf.fleet.horizon);
+        // Single shard: everything is local, no barrier needed.
+        assert_eq!(plan.first_cross_shard_start(&rf.partition(1)), None);
+        // Deterministic compilation.
+        assert_eq!(plan, rf.periodic_plan(4000, 11, 0));
     }
 }

@@ -69,8 +69,10 @@ impl Routing for Epidemic {
 
     fn contact_concurrency(&self) -> ContactConcurrency {
         // Flooding keeps no protocol state at all: contacts are a pure
-        // function of the driver, so node-disjoint ones commute.
-        ContactConcurrency::NodeDisjoint
+        // function of the driver, so node-disjoint ones commute and
+        // identically-built instances are interchangeable (the sharded
+        // runtime's contract).
+        ContactConcurrency::Stateless
     }
 
     fn on_contact_batch(&mut self, batch: &mut [ContactDriver<'_>], pool: &ContactPool) {

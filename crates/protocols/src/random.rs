@@ -10,10 +10,12 @@
 //! protocol stream. Statistically nothing changes (each shuffle still sees
 //! an independent uniform stream), but contact decisions become a pure
 //! function of the contact itself — which is what lets Random declare
-//! [`ContactConcurrency::NodeDisjoint`] and run under the engine's
-//! intra-run parallel batch layer with byte-identical results.
-//! Creation-time `make_room` (an engine-serial path) keeps a persistent
-//! stream of its own.
+//! [`ContactConcurrency::Stateless`] and run under both the engine's
+//! intra-run parallel batch layer and the sharded runtime with
+//! byte-identical results. Creation-time `make_room` follows the same
+//! discipline: a per-call substream derived from the incoming packet id,
+//! so the draw is a pure function of the eviction site rather than of
+//! how many evictions this *instance* happened to serve before.
 
 use crate::common::{deliver_destined, evict_until, replication_candidates};
 use dtn_sim::{
@@ -30,9 +32,8 @@ const ACK_BYTES: u64 = 4;
 /// The Random baseline.
 pub struct Random {
     with_acks: bool,
-    /// Creation-time eviction stream (`make_room` only — contacts derive
-    /// per-contact substreams, see the module docs).
-    rng: StdRng,
+    /// Factory for the per-eviction `make_room` substreams.
+    makeroom: SeedStream,
     acks: AckTable,
     /// Factory for the per-contact substreams.
     contacts: SeedStream,
@@ -43,7 +44,7 @@ impl Random {
     pub fn new() -> Self {
         Self {
             with_acks: false,
-            rng: dtn_stats::stream(0, "random-protocol"),
+            makeroom: SeedStream::new(0).derive("random-makeroom"),
             acks: AckTable::new(0),
             contacts: SeedStream::new(0).derive("random-contact"),
         }
@@ -138,7 +139,7 @@ impl Routing for Random {
     }
 
     fn on_init(&mut self, config: &SimConfig) {
-        self.rng = dtn_stats::stream(config.seed, "random-protocol");
+        self.makeroom = SeedStream::new(config.seed).derive("random-makeroom");
         self.acks = AckTable::new(config.nodes);
         self.contacts = SeedStream::new(config.seed).derive("random-contact");
     }
@@ -146,16 +147,21 @@ impl Routing for Random {
     fn make_room(
         &mut self,
         _node: NodeId,
-        _incoming: &Packet,
+        incoming: &Packet,
         needed: u64,
         buffer: &NodeBuffer,
         _packets: &PacketStore,
         _now: Time,
     ) -> Vec<PacketId> {
         // Random deletion (§6.3.2: "Spray and Wait and Random deletes
-        // packets randomly").
+        // packets randomly"), drawn from a substream of the incoming
+        // packet — each creation happens exactly once, so the draw is
+        // identical no matter which instance (shard) serves it.
+        let mut rng: StdRng = self
+            .makeroom
+            .rng_indexed("packet", u64::from(incoming.id.0));
         let mut ids = buffer.ids();
-        ids.shuffle(&mut self.rng);
+        ids.shuffle(&mut rng);
         let mut victims = Vec::new();
         let mut freed = 0u64;
         for id in ids {
@@ -201,11 +207,14 @@ impl Routing for Random {
 
     fn contact_concurrency(&self) -> ContactConcurrency {
         // The ack table rows are per-node, but `exchange` walks both rows
-        // through one `&mut self` path; keep the ack variant serial.
+        // through one `&mut self` path; keep the ack variant serial. The
+        // plain variant keeps no evolving state at all — contact and
+        // eviction draws are derived substreams — so identically-built
+        // instances are interchangeable (the sharded runtime's contract).
         if self.with_acks {
             ContactConcurrency::Serial
         } else {
-            ContactConcurrency::NodeDisjoint
+            ContactConcurrency::Stateless
         }
     }
 

@@ -22,9 +22,7 @@ use crate::driver::{ContactDriver, HolderOp, WorldMut};
 use crate::event::{EventQueue, NodeEvent, SimEvent, WindowIdx};
 use crate::ids::IndexSet;
 use crate::noise::NoiseModel;
-use crate::par::{
-    Batcher, ContactConcurrency, ContactPool, PendingDrive, RawSlice, SlicePartition,
-};
+use crate::par::{Batcher, ContactPool, PendingDrive, RawSlice, SlicePartition};
 use crate::report::SimReport;
 use crate::routing::{PacketStore, Routing, SimConfig};
 use crate::source::{ContactSource, WorkloadSource};
@@ -194,7 +192,8 @@ struct OpenWindow {
 /// # Intra-run parallelism
 ///
 /// With `config.intra_jobs > 1`, on runs without global knowledge and for
-/// protocols declaring [`ContactConcurrency::NodeDisjoint`], the engine
+/// protocols declaring [`crate::par::ContactConcurrency::NodeDisjoint`]
+/// (or the stronger `Stateless`), the engine
 /// layers a conservative parallel scheduler over the same drain order: it
 /// scans ahead (bounded lookahead), greedily groups contact drives whose
 /// node sets are pairwise disjoint, executes each group on a scoped
@@ -213,7 +212,7 @@ pub fn run_streaming(
     let jobs = config.intra_jobs.max(1);
     let parallel = jobs > 1
         && !config.allow_global_knowledge
-        && routing.contact_concurrency() == ContactConcurrency::NodeDisjoint;
+        && routing.contact_concurrency().is_node_disjoint();
     if parallel {
         std::thread::scope(|scope| {
             let pool = ContactPool::start(scope, jobs);

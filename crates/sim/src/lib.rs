@@ -55,6 +55,7 @@ pub mod buffer;
 pub mod contact;
 pub mod driver;
 pub mod engine;
+pub mod env;
 pub mod event;
 pub mod ids;
 pub mod noise;
@@ -62,6 +63,7 @@ pub mod par;
 pub mod plan;
 pub mod report;
 pub mod routing;
+pub mod shard;
 pub mod source;
 pub mod time;
 pub mod types;
@@ -72,6 +74,7 @@ pub use buffer::{NodeBuffer, QueueEntry, StoredMeta};
 pub use contact::{Contact, ContactWindow, Schedule};
 pub use driver::{ContactDriver, ContactLedger, GlobalView};
 pub use engine::{run_streaming, Simulation};
+pub use env::{from_env_or, shards_from_env};
 pub use event::{EventQueue, NodeEvent, SimEvent};
 pub use ids::{IndexSet, NodeIdx, NodeInterner, PacketIdx, PacketInterner};
 pub use noise::NoiseModel;
@@ -81,6 +84,7 @@ pub use par::{
 pub use plan::{CompiledPlan, PlanAtom, PlanStream};
 pub use report::{PacketOutcome, SimReport};
 pub use routing::{PacketStore, Routing, SimConfig, TransferOutcome};
+pub use shard::{run_sharded, run_sharded_with_stats, Partition, ShardStats};
 pub use source::{ContactSource, ScheduleStream, WorkloadSource, WorkloadStream};
 pub use time::{Time, TimeDelta};
 pub use types::{NodeId, Packet, PacketId};

@@ -51,39 +51,29 @@ pub enum ContactConcurrency {
     /// randomness is derived from the driver's contact sequence number
     /// rather than a shared stream.
     NodeDisjoint,
+    /// [`ContactConcurrency::NodeDisjoint`], plus: two identically-built
+    /// instances of the protocol are interchangeable — every observable
+    /// decision is a pure function of `(config, driver)`, with no
+    /// instance state that evolves across contacts (lazy per-contact
+    /// RNG substreams and per-call derived streams are fine; a
+    /// persistent mutated stream is not). This is the contract the
+    /// sharded runtime ([`crate::shard`]) needs: each shard drives its
+    /// own instance and the results must match one instance driving
+    /// everything.
+    Stateless,
 }
 
-/// Parses a worker-count value: a positive integer, nothing else. `0`
-/// and non-numeric values are errors — a typo'd jobs knob must abort,
-/// not silently run serial.
-pub fn parse_jobs(name: &str, value: &str) -> Result<usize, String> {
-    match value.trim().parse::<usize>() {
-        Ok(v) if v >= 1 => Ok(v),
-        Ok(_) => Err(format!(
-            "invalid {name} value {value:?}: must be >= 1 (use 1 for serial execution)"
-        )),
-        Err(_) => Err(format!(
-            "invalid {name} value {value:?}: expected a positive integer"
-        )),
+impl ContactConcurrency {
+    /// Whether node-disjoint contacts may be driven concurrently within
+    /// one instance (the intra-run batch scheduler's gate).
+    pub fn is_node_disjoint(self) -> bool {
+        matches!(self, Self::NodeDisjoint | Self::Stateless)
     }
 }
 
-/// Reads a worker-count knob from the environment; an unset knob yields
-/// `default`, an invalid one aborts with a clear message (see
-/// [`parse_jobs`]).
-pub fn jobs_from_env(name: &str, default: usize) -> usize {
-    match std::env::var(name) {
-        Ok(v) => parse_jobs(name, &v).unwrap_or_else(|e| panic!("{e}")),
-        Err(_) => default,
-    }
-}
-
-/// The intra-run worker count from `RAPID_INTRA_JOBS` (default 1 = the
-/// serial engine). Harness code plumbs this into
-/// [`crate::routing::SimConfig::intra_jobs`].
-pub fn intra_jobs_from_env() -> usize {
-    jobs_from_env("RAPID_INTRA_JOBS", 1)
-}
+// The strict knob-parsing helpers began life here; re-exported from
+// their consolidated home for compatibility.
+pub use crate::env::{intra_jobs_from_env, jobs_from_env, parse_jobs};
 
 /// The batch scheduler's lookahead policy: how many contact drives the
 /// [`Batcher`] may hold before a flush is forced.
@@ -142,8 +132,7 @@ impl Lookahead {
     /// [`Lookahead::parse`] over the `RAPID_LOOKAHEAD` environment knob;
     /// invalid values abort with a clear message.
     pub fn from_env() -> Self {
-        let value = std::env::var("RAPID_LOOKAHEAD").ok();
-        Self::parse(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
+        crate::env::from_env_or("RAPID_LOOKAHEAD", Self::default(), |v| Self::parse(Some(v)))
     }
 }
 

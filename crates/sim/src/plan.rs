@@ -351,6 +351,22 @@ impl CompiledPlan {
         self.to_record_plan().encoded_len()
     }
 
+    /// Start of the earliest window whose endpoints span two shards of
+    /// `partition`, or `None` when every window is shard-local.
+    ///
+    /// This is the sharded runtime's static sync horizon: every repeat
+    /// of an atom shares the template's endpoints, so scanning atoms (in
+    /// first-start order) yields the exact first cross-shard start
+    /// without expanding a single window — a conservative lower bound on
+    /// when the first inter-shard barrier can possibly occur. Shards can
+    /// free-run from time zero up to this instant.
+    pub fn first_cross_shard_start(&self, partition: &crate::shard::Partition) -> Option<Time> {
+        self.atoms
+            .iter()
+            .find(|a| !partition.is_local(a.template()))
+            .map(|a| a.first_start())
+    }
+
     /// Largest node index mentioned, plus one (0 when empty) — the
     /// compressed twin of [`Schedule::node_count_hint`].
     pub fn node_count_hint(&self) -> usize {
@@ -575,6 +591,29 @@ mod tests {
             period: TimeDelta(10),
             repeats: 2,
         }]);
+    }
+
+    #[test]
+    fn first_cross_shard_start_is_the_static_horizon() {
+        use crate::shard::Partition;
+        // Nodes 0..4 in shard 0, 4..8 in shard 1.
+        let p = Partition::even(8, 2);
+        let plan = CompiledPlan::new(vec![
+            PlanAtom::Periodic {
+                template: inst(10, 0, 1, 1), // shard-local forever
+                period: TimeDelta(50),
+                repeats: 100,
+            },
+            PlanAtom::Literal(inst(70, 5, 6, 1)), // shard-local
+            PlanAtom::Periodic {
+                template: inst(300, 3, 4, 1), // gateway: crosses the cut
+                period: TimeDelta(50),
+                repeats: 10,
+            },
+        ]);
+        assert_eq!(plan.first_cross_shard_start(&p), Some(Time(300)));
+        // One big shard: nothing ever crosses.
+        assert_eq!(plan.first_cross_shard_start(&Partition::even(8, 1)), None);
     }
 
     #[test]

@@ -1,0 +1,1072 @@
+//! The sharded simulation runtime: partitioned event loops under a
+//! conservative sync horizon.
+//!
+//! Intra-run parallelism (`RAPID_INTRA_JOBS`, see [`crate::par`])
+//! parallelizes *within* one event loop: one thread scans, batches and
+//! commits, and workers only execute node-disjoint contact drives. That
+//! tops out well before the ROADMAP's million-node worlds, because the
+//! scan itself — window pulls, noise draws, churn, TTL bookkeeping — is
+//! serial. This module partitions the *node space* instead:
+//!
+//! * A [`Partition`] maps contiguous `NodeId` ranges to shards —
+//!   `ScaleFleet`'s hub-gateway topology emits hub-local contacts, so
+//!   region boundaries are a natural seam with few cross-shard windows.
+//! * A *director* (the calling thread) replays the engine's exact merge
+//!   of contact windows, packet creations and queued events — same
+//!   noise-RNG draws, same suppression checks, same contact sequence
+//!   numbers — but instead of executing each action it *routes* it:
+//!   an action whose node set lies inside one shard is appended to that
+//!   shard's message queue; anything cross-shard (a gateway contact, a
+//!   TTL expiry touching arbitrary holders) is a *barrier*.
+//! * Between barriers the shards free-run: at each epoch flush every
+//!   shard drains its queue serially — its own routing instance, its own
+//!   node-buffer range, the shared read-only packet arena — on a
+//!   work-stealing [`ContactPool`]. The epoch boundary is the
+//!   conservative sync horizon: every queued action is ordered (in the
+//!   engine's total `(time, rank, seq)` order) *before* the barrier
+//!   action that forced the flush, so no shard ever sees state from its
+//!   future.
+//! * Cross-shard actions execute on the director's own *coordinator*
+//!   routing instance against the full world, exactly like the serial
+//!   engine.
+//!
+//! # Determinism
+//!
+//! `RAPID_SHARDS=N` is byte-identical to the serial engine for any `N`
+//! and any partition, because every ingredient of the report is either
+//! computed by the director in serial order (noise draws, suppression,
+//! contact seq numbers, expiry accounting) or commutes across shards
+//! within an epoch:
+//!
+//! * **Buffers** — shards own disjoint node ranges; the coordinator only
+//!   touches buffers between epochs.
+//! * **`delivered_at`** — slot `p` is only written by the contact whose
+//!   endpoint is `dst(p)`; within an epoch that is exactly one shard
+//!   (the coordinator only reads/writes between epochs). The engine's
+//!   serial order among the drives of one shard is preserved by the
+//!   queue, so first-delivery resolution is identical.
+//! * **Holder sets** — shards never mutate the shared holder table;
+//!   drives and creations log [`HolderOp`]s, applied by the director in
+//!   shard order after every epoch. All ops for a fixed `(packet, node)`
+//!   pair originate from `node`'s own shard (in queue order), so the
+//!   final state per pair — the only thing later barriers observe — is
+//!   exact.
+//! * **Report sums** — per-shard `u64` counters folded in shard order;
+//!   integer addition is associative and commutative.
+//!
+//! The protocol contract making per-shard instances sound is
+//! [`ContactConcurrency::Stateless`]: every observable decision is a
+//! pure function of `(config, driver)`, so N instances driving disjoint
+//! contact subsets behave like one instance driving everything.
+
+use crate::contact::ContactWindow;
+use crate::driver::{ContactDriver, HolderOp, WorldMut};
+use crate::event::{EventQueue, NodeEvent, SimEvent, WindowIdx};
+use crate::ids::IndexSet;
+use crate::noise::NoiseModel;
+use crate::par::{ContactConcurrency, ContactPool, PendingDrive, RawSlice, SlicePartition};
+use crate::report::SimReport;
+use crate::routing::{PacketStore, Routing, SimConfig};
+use crate::source::{ContactSource, WorkloadSource};
+use crate::time::{Time, TimeDelta};
+use crate::types::{NodeId, PacketId};
+use crate::NodeBuffer;
+use dtn_stats::sample::Exponential;
+use dtn_stats::stream;
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+/// Pending same-shard actions across all queues before a flush is forced
+/// even without a barrier — bounds queue memory on long free-runs.
+const EPOCH_ACTION_CAP: usize = 8192;
+
+/// A contiguous partition of the node id space `0..nodes` into shards.
+///
+/// Shard `s` owns nodes `bounds[s]..bounds[s+1]`; ranges are disjoint,
+/// cover the space, and may be empty (a degenerate shard simply never
+/// receives work — useful for property tests over arbitrary cuts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `shards + 1` nondecreasing fence posts; first 0, last == nodes.
+    bounds: Vec<u32>,
+}
+
+impl Partition {
+    /// An even split of `0..nodes` into `shards` contiguous ranges (the
+    /// first `nodes % shards` ranges get one extra node).
+    pub fn even(nodes: usize, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(nodes <= u32::MAX as usize, "node space too large");
+        let (base, rem) = (nodes / shards, nodes % shards);
+        let mut bounds = Vec::with_capacity(shards + 1);
+        let mut at = 0u32;
+        bounds.push(at);
+        for s in 0..shards {
+            at += base as u32 + u32::from(s < rem);
+            bounds.push(at);
+        }
+        Self { bounds }
+    }
+
+    /// A partition from explicit fence posts: `bounds[s]..bounds[s+1]`
+    /// is shard `s`. Must start at 0, be nondecreasing, and contain at
+    /// least one shard; the last post is the node count.
+    pub fn from_bounds(bounds: Vec<u32>) -> Self {
+        assert!(bounds.len() >= 2, "need at least one shard range");
+        assert_eq!(bounds[0], 0, "partition must start at node 0");
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "partition bounds must be nondecreasing"
+        );
+        Self { bounds }
+    }
+
+    /// Number of shards (including empty ones).
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total number of nodes covered.
+    pub fn nodes(&self) -> usize {
+        *self.bounds.last().expect("nonempty bounds") as usize
+    }
+
+    /// The node-index range owned by shard `s`.
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        self.bounds[s] as usize..self.bounds[s + 1] as usize
+    }
+
+    /// The shard owning `node`.
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        debug_assert!(node.index() < self.nodes(), "{node} outside partition");
+        // The last fence post <= node, skipping the leading 0: empty
+        // shards collapse to the successor actually owning the node.
+        self.bounds.partition_point(|&b| b as usize <= node.index()) - 1
+    }
+
+    /// Whether both endpoints of `w` fall in one shard.
+    pub fn is_local(&self, w: &ContactWindow) -> bool {
+        self.shard_of(w.a) == self.shard_of(w.b)
+    }
+}
+
+/// Per-shard execution telemetry from a sharded run (the timing TSVs the
+/// scale harness uploads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Nodes owned by the shard.
+    pub nodes: usize,
+    /// Contact drives the shard executed.
+    pub drives: u64,
+    /// Packet-creation actions the shard executed.
+    pub creations: u64,
+    /// Wall time spent draining this shard's queues (sum over epochs).
+    pub busy: Duration,
+}
+
+/// One routed action in a shard's queue. Emitted by the director in the
+/// engine's total event order, so within one queue the order *is* the
+/// serial execution order.
+enum ShardMsg {
+    /// Drive a contact whose endpoints both belong to this shard.
+    Drive {
+        drive: PendingDrive,
+        interrupted: bool,
+    },
+    /// Execute the source-buffer side of a packet creation (the packet is
+    /// already in the shared arena). `src_up` is the director's
+    /// availability verdict at creation time.
+    Create { id: PacketId, src_up: bool },
+    /// Lifecycle hook: the node (owned by this shard) came up.
+    NodeUp(NodeId, Time),
+    /// Lifecycle hook: the node (owned by this shard) went down.
+    NodeDown(NodeId, Time),
+}
+
+/// One shard's routing instance, action queue, holder-op log and report
+/// counters. Disjoint across shards; drained by one worker per epoch.
+struct ShardState {
+    routing: Box<dyn Routing + Send>,
+    msgs: Vec<ShardMsg>,
+    holder_log: Vec<HolderOp>,
+    // Report counters, folded in shard order at the end of the run.
+    contacts: u64,
+    offered_bytes: u64,
+    data_bytes: u64,
+    metadata_bytes: u64,
+    replications: u64,
+    // Telemetry.
+    drives: u64,
+    creations: u64,
+    busy: Duration,
+}
+
+/// The shared world of a sharded run. Buffers are range-owned by shards
+/// during an epoch; everything else follows the access contract in the
+/// module docs.
+struct ShardWorld {
+    buffers: Vec<NodeBuffer>,
+    store: PacketStore,
+    delivered_at: Vec<Option<Time>>,
+    holders: Vec<IndexSet>,
+    entered: Vec<bool>,
+}
+
+/// A durative window currently open (director-side mirror of the
+/// engine's open set, ascending window-index order).
+struct OpenWindow {
+    idx: WindowIdx,
+    window: ContactWindow,
+    loss: u64,
+}
+
+/// [`run_sharded_with_stats`] without the telemetry.
+pub fn run_sharded(
+    config: &SimConfig,
+    partition: &Partition,
+    contacts: &mut dyn ContactSource,
+    workload: &mut dyn WorkloadSource,
+    churn: &[NodeEvent],
+    noise: Option<NoiseModel>,
+    factory: &mut dyn FnMut() -> Box<dyn Routing + Send>,
+) -> SimReport {
+    run_sharded_with_stats(config, partition, contacts, workload, churn, noise, factory).0
+}
+
+/// Executes one run under `partition`, one routing instance per shard
+/// plus a coordinator instance for cross-shard work, and returns the
+/// report (byte-identical to [`crate::engine::run_streaming`] with the
+/// same inputs) plus per-shard telemetry.
+///
+/// `factory` builds one routing instance per shard and one coordinator;
+/// every instance must declare [`ContactConcurrency::Stateless`] —
+/// identically-built instances must be interchangeable. Runs with
+/// global knowledge cannot shard (the instant global channel reads
+/// arbitrary remote state mid-contact).
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded_with_stats(
+    config: &SimConfig,
+    partition: &Partition,
+    contacts: &mut dyn ContactSource,
+    workload: &mut dyn WorkloadSource,
+    churn: &[NodeEvent],
+    noise: Option<NoiseModel>,
+    factory: &mut dyn FnMut() -> Box<dyn Routing + Send>,
+) -> (SimReport, Vec<ShardStats>) {
+    assert_eq!(
+        partition.nodes(),
+        config.nodes,
+        "partition must cover exactly the configured node space"
+    );
+    assert!(
+        !config.allow_global_knowledge,
+        "global-knowledge runs cannot be sharded"
+    );
+
+    let mut coord = factory();
+    assert_eq!(
+        coord.contact_concurrency(),
+        ContactConcurrency::Stateless,
+        "sharded execution requires a Stateless protocol (got {})",
+        coord.name()
+    );
+    coord.on_init(config);
+
+    let mut states: Vec<ShardState> = (0..partition.shards())
+        .map(|_| {
+            let mut routing = factory();
+            debug_assert_eq!(routing.contact_concurrency(), ContactConcurrency::Stateless);
+            routing.on_init(config);
+            ShardState {
+                routing,
+                msgs: Vec::new(),
+                holder_log: Vec::new(),
+                contacts: 0,
+                offered_bytes: 0,
+                data_bytes: 0,
+                metadata_bytes: 0,
+                replications: 0,
+                drives: 0,
+                creations: 0,
+                busy: Duration::ZERO,
+            }
+        })
+        .collect();
+
+    let report = std::thread::scope(|scope| {
+        let pool = ContactPool::start(scope, partition.shards());
+        let mut director = Director {
+            config,
+            partition,
+            states: &mut states,
+            world: ShardWorld {
+                buffers: (0..config.nodes)
+                    .map(|_| NodeBuffer::new(config.buffer_capacity))
+                    .collect(),
+                store: PacketStore::default(),
+                delivered_at: Vec::new(),
+                holders: Vec::new(),
+                entered: Vec::new(),
+            },
+            coord: coord.as_mut(),
+            report: SimReport {
+                horizon: config.horizon,
+                deadline: config.deadline,
+                ..SimReport::default()
+            },
+            pending: 0,
+        };
+        director.run(&pool, contacts, workload, churn, noise);
+        director.report
+    });
+
+    let stats = states
+        .iter()
+        .enumerate()
+        .map(|(s, st)| ShardStats {
+            shard: s,
+            nodes: partition.range(s).len(),
+            drives: st.drives,
+            creations: st.creations,
+            busy: st.busy,
+        })
+        .collect();
+    (report, stats)
+}
+
+/// The serial director: replays the engine's event merge, routes actions
+/// to shard queues, and executes barriers against the full world.
+struct Director<'a> {
+    config: &'a SimConfig,
+    partition: &'a Partition,
+    states: &'a mut [ShardState],
+    world: ShardWorld,
+    coord: &'a mut (dyn Routing + Send),
+    report: SimReport,
+    /// Same-shard actions queued since the last epoch flush.
+    pending: usize,
+}
+
+impl Director<'_> {
+    /// The engine loop, action execution replaced by routing. Every
+    /// structural decision (merge order, asserts, noise draws, seq
+    /// assignment) mirrors `engine::run_loop` — divergence here is a
+    /// determinism bug.
+    fn run(
+        &mut self,
+        pool: &ContactPool,
+        contacts: &mut dyn ContactSource,
+        workload: &mut dyn WorkloadSource,
+        churn: &[NodeEvent],
+        noise: Option<NoiseModel>,
+    ) {
+        let n = self.config.nodes;
+        let mut noise_rng = stream(self.config.seed, "sim-noise");
+
+        let mut queue = EventQueue::new();
+        for ev in churn {
+            assert!(ev.node.index() < n, "churn references node outside 0..{n}");
+            let event = if ev.up {
+                SimEvent::NodeUp(ev.node)
+            } else {
+                SimEvent::NodeDown(ev.node)
+            };
+            queue.push(ev.time, event);
+        }
+
+        let mut up = vec![true; n];
+        let mut open: Vec<OpenWindow> = Vec::new();
+
+        let pull_window = |contacts: &mut dyn ContactSource, last_start: &mut Time| {
+            let w = contacts.next_window()?;
+            assert!(
+                w.a.index() < n && w.b.index() < n,
+                "contact references node outside 0..{n}"
+            );
+            assert!(
+                w.start >= *last_start,
+                "contact source must yield nondecreasing start times"
+            );
+            *last_start = w.start;
+            Some(w)
+        };
+        let pull_packet = |workload: &mut dyn WorkloadSource, last_time: &mut Time| {
+            let s = workload.next_packet()?;
+            assert!(
+                s.src.index() < n && s.dst.index() < n,
+                "packet references node outside 0..{n}"
+            );
+            assert!(
+                s.time >= *last_time,
+                "workload source must yield nondecreasing creation times"
+            );
+            *last_time = s.time;
+            Some(s)
+        };
+
+        let mut last_window_start = Time::ZERO;
+        let mut last_packet_time = Time::ZERO;
+        let mut next_window = pull_window(contacts, &mut last_window_start);
+        let mut next_window_idx: WindowIdx = 0;
+        let mut next_packet = pull_packet(workload, &mut last_packet_time);
+        let mut contact_seq: u64 = 0;
+
+        const START_RANK: u8 = 3; // SimEvent::ContactStart
+        const CREATED_RANK: u8 = 4; // SimEvent::PacketCreated
+
+        loop {
+            let queue_key = queue.peek_key();
+            let window_key = next_window.as_ref().map(|w| (w.start, START_RANK));
+            let packet_key = next_packet.as_ref().map(|s| (s.time, CREATED_RANK));
+            let best = [queue_key, window_key, packet_key]
+                .into_iter()
+                .flatten()
+                .min();
+            let Some(best) = best else { break };
+
+            if window_key == Some(best) {
+                let w = next_window.take().expect("window candidate exists");
+                let i = next_window_idx;
+                next_window_idx += 1;
+                next_window = pull_window(contacts, &mut last_window_start);
+                let now = w.start;
+
+                if !up[w.a.index()] || !up[w.b.index()] {
+                    if now >= self.config.measure_from {
+                        self.report.contacts_suppressed += 1;
+                    }
+                    continue;
+                }
+                let measured = now >= self.config.measure_from;
+                let mut loss = 0u64;
+                if let Some(noise) = &noise {
+                    if noise_rng.gen::<f64>() < noise.contact_failure_prob {
+                        if measured {
+                            self.report.contacts_failed += 1;
+                        }
+                        continue;
+                    }
+                    if noise.setup_loss_bytes_mean > 0.0 {
+                        loss = Exponential::with_mean(noise.setup_loss_bytes_mean)
+                            .sample(&mut noise_rng) as u64;
+                    }
+                }
+                if w.is_instantaneous() {
+                    let budget = w.lump_bytes.saturating_sub(loss);
+                    let seq = contact_seq;
+                    contact_seq += 1;
+                    self.route_drive(
+                        pool,
+                        PendingDrive {
+                            window: w,
+                            now,
+                            budget,
+                            seq,
+                            measured,
+                        },
+                        false,
+                    );
+                } else {
+                    queue.push(w.end, SimEvent::ContactEnd(i));
+                    open.push(OpenWindow {
+                        idx: i,
+                        window: w,
+                        loss,
+                    });
+                }
+                continue;
+            }
+
+            if packet_key == Some(best) {
+                let spec = next_packet.take().expect("packet candidate exists");
+                next_packet = pull_packet(workload, &mut last_packet_time);
+
+                let ttl_deadline = self
+                    .config
+                    .ttl
+                    .map_or(PacketStore::NO_TTL, |ttl| spec.time + ttl);
+                let id = self.world.store.push(
+                    spec.src,
+                    spec.dst,
+                    spec.size_bytes,
+                    spec.time,
+                    ttl_deadline,
+                );
+                self.world.delivered_at.push(None);
+                self.world.holders.push(IndexSet::new());
+                // The home shard flips this during its epoch if the
+                // insert succeeds; the slot is single-writer (see module
+                // docs).
+                self.world.entered.push(false);
+
+                let src_up = up[spec.src.index()];
+                self.enqueue(
+                    pool,
+                    self.partition.shard_of(spec.src),
+                    ShardMsg::Create { id, src_up },
+                );
+                // The engine schedules the expiry only on a successful
+                // insert, which the director cannot know yet; schedule it
+                // whenever it *could* succeed. The expiry handler skips
+                // packets that never entered, so the extra events are
+                // no-op barriers, not report drift.
+                if src_up && ttl_deadline != PacketStore::NO_TTL {
+                    queue.push(ttl_deadline, SimEvent::PacketExpired(id));
+                }
+                continue;
+            }
+
+            let (now, event) = queue.pop().expect("queue candidate exists");
+            match event {
+                SimEvent::NodeUp(node) => {
+                    up[node.index()] = true;
+                    let s = self.partition.shard_of(node);
+                    self.enqueue(pool, s, ShardMsg::NodeUp(node, now));
+                }
+                SimEvent::NodeDown(node) => {
+                    // Interrupt active windows in ascending window-index
+                    // order, exactly like the engine.
+                    let mut k = 0;
+                    while k < open.len() {
+                        if open[k].window.involves(node) {
+                            let ow = open.remove(k);
+                            let budget = ow.window.capacity_until(now).saturating_sub(ow.loss);
+                            let seq = contact_seq;
+                            contact_seq += 1;
+                            self.route_drive(
+                                pool,
+                                PendingDrive {
+                                    window: ow.window,
+                                    now,
+                                    budget,
+                                    seq,
+                                    measured: ow.window.start >= self.config.measure_from,
+                                },
+                                true,
+                            );
+                        } else {
+                            k += 1;
+                        }
+                    }
+                    up[node.index()] = false;
+                    let s = self.partition.shard_of(node);
+                    self.enqueue(pool, s, ShardMsg::NodeDown(node, now));
+                }
+                SimEvent::ContactEnd(i) => {
+                    if let Some(pos) = open.iter().position(|ow| ow.idx == i) {
+                        let ow = open.remove(pos);
+                        let budget = ow.window.capacity_until(now).saturating_sub(ow.loss);
+                        let seq = contact_seq;
+                        contact_seq += 1;
+                        self.route_drive(
+                            pool,
+                            PendingDrive {
+                                window: ow.window,
+                                now,
+                                budget,
+                                seq,
+                                measured: ow.window.start >= self.config.measure_from,
+                            },
+                            false,
+                        );
+                    }
+                }
+                SimEvent::PacketExpired(id) => {
+                    // Expiry reads/writes arbitrary holders and buffers:
+                    // a barrier.
+                    self.flush_epoch(pool);
+                    self.coord_expire(id);
+                }
+                SimEvent::ContactStart(_) | SimEvent::PacketCreated(_) => {
+                    unreachable!("contact starts and creations come from the sources")
+                }
+            }
+        }
+
+        self.flush_epoch(pool);
+
+        // Delivery jitter: the draw order over delivered slots is packet
+        // order, identical to the serial engine (the decisions above were
+        // unaffected either way).
+        if let Some(noise) = &noise {
+            if noise.processing_delay_mean > TimeDelta::ZERO {
+                let jitter = Exponential::with_mean(noise.processing_delay_mean.as_secs_f64());
+                for slot in self.world.delivered_at.iter_mut().flatten() {
+                    *slot += TimeDelta::from_secs_f64(jitter.sample(&mut noise_rng));
+                }
+            }
+        }
+
+        // Fold per-shard counters in shard order (commutative sums, but a
+        // fixed fold order keeps the merge obviously deterministic).
+        for s in self.states.iter() {
+            self.report.contacts += s.contacts;
+            self.report.offered_bytes += s.offered_bytes;
+            self.report.data_bytes += s.data_bytes;
+            self.report.metadata_bytes += s.metadata_bytes;
+            self.report.replications += s.replications;
+        }
+
+        let outcomes = SimReport::from_parts(
+            self.world
+                .store
+                .iter()
+                .zip(self.world.delivered_at.iter().copied())
+                .zip(self.world.entered.iter().copied())
+                .map(|((p, d), e)| (p, d, e)),
+            self.config.horizon,
+            self.config.deadline,
+        );
+        self.report.outcomes = outcomes.outcomes;
+    }
+
+    /// Routes one contact drive: same-shard endpoints queue to the owning
+    /// shard; a cross-shard (gateway) drive is a barrier executed by the
+    /// coordinator against the full world.
+    fn route_drive(&mut self, pool: &ContactPool, drive: PendingDrive, interrupted: bool) {
+        let (sa, sb) = (
+            self.partition.shard_of(drive.window.a),
+            self.partition.shard_of(drive.window.b),
+        );
+        if sa == sb {
+            self.enqueue(pool, sa, ShardMsg::Drive { drive, interrupted });
+        } else {
+            self.flush_epoch(pool);
+            self.coord_drive(&drive, interrupted);
+        }
+    }
+
+    /// Appends a routed action to shard `s`'s queue, flushing first if
+    /// the pending-action cap is reached (bounds queue memory).
+    fn enqueue(&mut self, pool: &ContactPool, s: usize, msg: ShardMsg) {
+        if self.pending >= EPOCH_ACTION_CAP {
+            self.flush_epoch(pool);
+        }
+        self.states[s].msgs.push(msg);
+        self.pending += 1;
+    }
+
+    /// One epoch: every shard drains its queue on the pool (serially
+    /// within the shard, shards concurrently), then the director applies
+    /// the holder-op logs in shard order. On return all queues are empty
+    /// and the full world is consistent — the barrier may proceed.
+    fn flush_epoch(&mut self, pool: &ContactPool) {
+        if self.pending == 0 {
+            return;
+        }
+        self.pending = 0;
+        {
+            let store = &self.world.store;
+            let buffers = SlicePartition::new(self.world.buffers.as_mut_slice());
+            let delivered = RawSlice::new(self.world.delivered_at.as_mut_slice());
+            let entered = RawSlice::new(self.world.entered.as_mut_slice());
+            let shards = SlicePartition::new(&mut *self.states);
+            pool.run(shards.len(), &|_, s| {
+                // SAFETY: the pool claims each index exactly once per
+                // run, so this is the sole reference to shard `s`.
+                let state = unsafe { shards.get_mut(s) };
+                if state.msgs.is_empty() {
+                    return;
+                }
+                let t0 = Instant::now();
+                drain_shard(state, &buffers, &delivered, &entered, store);
+                state.busy += t0.elapsed();
+            });
+        }
+        // Holder ops in shard order: all ops for a (packet, node) pair
+        // come from node's own shard in queue order, so per-pair final
+        // state is exact regardless of the cross-shard fold order.
+        for state in self.states.iter_mut() {
+            for op in state.holder_log.drain(..) {
+                if op.added {
+                    self.world.holders[op.id.index()].insert(op.node.index());
+                } else {
+                    self.world.holders[op.id.index()].remove(op.node.index());
+                }
+            }
+        }
+    }
+
+    /// Executes a cross-shard drive on the coordinator instance with the
+    /// full world — identical to the serial engine's `drive_contact`.
+    fn coord_drive(&mut self, drive: &PendingDrive, interrupted: bool) {
+        let w = &drive.window;
+        if drive.measured {
+            self.report.contacts += 1;
+            self.report.offered_bytes += 2 * drive.budget;
+        }
+        let mut driver = ContactDriver::new(
+            WorldMut::Full {
+                packets: &self.world.store,
+                buffers: &mut self.world.buffers,
+                delivered_at: &mut self.world.delivered_at,
+                holders: &mut self.world.holders,
+            },
+            drive.now,
+            w.a,
+            w.b,
+            drive.budget,
+            false,
+            drive.seq,
+        );
+        self.coord.on_contact(&mut driver);
+        let (ledger, log) = driver.into_commit();
+        debug_assert!(log.is_empty(), "full-world drivers mutate holders in place");
+        if drive.measured {
+            self.report.data_bytes += ledger.data_bytes;
+            self.report.metadata_bytes += ledger.metadata_bytes;
+            self.report.replications += ledger.replications;
+        }
+        self.coord.on_contact_end(w.a, w.b, drive.now, interrupted);
+    }
+
+    /// TTL expiry against the full world. Packets that never entered the
+    /// network carry no replicas and were never scheduled by the serial
+    /// engine — skipping them keeps `expired` exact despite the
+    /// director's optimistic scheduling.
+    fn coord_expire(&mut self, id: PacketId) {
+        if !self.world.entered[id.index()] || self.world.delivered_at[id.index()].is_some() {
+            return;
+        }
+        let holders = std::mem::take(&mut self.world.holders[id.index()]);
+        for h in holders.iter() {
+            self.world.buffers[h].remove(id);
+        }
+        self.report.expired += 1;
+        self.coord.on_packet_expired(&self.world.store.get(id));
+    }
+}
+
+/// Drains one shard's queue in order against its node range. Runs on a
+/// pool worker; everything it touches is either owned by the shard
+/// (routing instance, buffers in its range, its holder log) or governed
+/// by a single-writer contract (`delivered_at`, `entered` — see the
+/// module docs).
+fn drain_shard(
+    state: &mut ShardState,
+    buffers: &SlicePartition<NodeBuffer>,
+    delivered: &RawSlice<Option<Time>>,
+    entered: &RawSlice<bool>,
+    store: &PacketStore,
+) {
+    let ShardState {
+        routing,
+        msgs,
+        holder_log,
+        contacts,
+        offered_bytes,
+        data_bytes,
+        metadata_bytes,
+        replications,
+        drives,
+        creations,
+        ..
+    } = state;
+    for msg in msgs.drain(..) {
+        match msg {
+            ShardMsg::Drive { drive, interrupted } => {
+                *drives += 1;
+                if drive.measured {
+                    *contacts += 1;
+                    *offered_bytes += 2 * drive.budget;
+                }
+                let (a, b) = (drive.window.a, drive.window.b);
+                // SAFETY: both endpoints belong to this shard's node
+                // range; ranges are disjoint across shards and the
+                // director does not touch buffers during an epoch.
+                let (buf_a, buf_b) = unsafe { buffers.pair_mut(a.index(), b.index()) };
+                let mut driver = ContactDriver::new(
+                    WorldMut::Pair {
+                        packets: store,
+                        a,
+                        buf_a,
+                        b,
+                        buf_b,
+                        delivered_at: delivered.share(),
+                        holder_log: std::mem::take(holder_log),
+                    },
+                    drive.now,
+                    a,
+                    b,
+                    drive.budget,
+                    false,
+                    drive.seq,
+                );
+                routing.on_contact(&mut driver);
+                let (ledger, log) = driver.into_commit();
+                *holder_log = log;
+                if drive.measured {
+                    *data_bytes += ledger.data_bytes;
+                    *metadata_bytes += ledger.metadata_bytes;
+                    *replications += ledger.replications;
+                }
+                routing.on_contact_end(a, b, drive.now, interrupted);
+            }
+            ShardMsg::Create { id, src_up } => {
+                *creations += 1;
+                let packet = store.get(id);
+                if !src_up {
+                    routing.on_creation_dropped(&packet);
+                    continue;
+                }
+                let src = packet.src;
+                // SAFETY: creations route to the source's shard, and the
+                // source node is in this shard's exclusive range.
+                let buf = unsafe { buffers.get_mut(src.index()) };
+                if buf.free_bytes() < packet.size_bytes {
+                    let needed = packet.size_bytes - buf.free_bytes();
+                    let victims =
+                        routing.make_room(src, &packet, needed, buf, store, packet.created_at);
+                    for v in victims {
+                        if buf.remove(v) {
+                            holder_log.push(HolderOp {
+                                id: v,
+                                node: src,
+                                added: false,
+                            });
+                        }
+                    }
+                }
+                if buf.insert(&packet, packet.created_at) {
+                    holder_log.push(HolderOp {
+                        id,
+                        node: src,
+                        added: true,
+                    });
+                    // SAFETY: `entered[id]` is written only here (the
+                    // packet's home shard) during an epoch, read only by
+                    // the director between epochs.
+                    unsafe { entered.set(id.index(), true) };
+                    routing.on_packet_created(&packet);
+                } else {
+                    routing.on_creation_dropped(&packet);
+                }
+            }
+            ShardMsg::NodeUp(node, t) => routing.on_node_up(node, t),
+            ShardMsg::NodeDown(node, t) => routing.on_node_down(node, t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulation;
+    use crate::routing::TransferOutcome;
+    use crate::workload::{PacketSpec, Workload};
+    use crate::Schedule;
+
+    #[test]
+    fn even_partition_covers_and_balances() {
+        let p = Partition::even(10, 3);
+        assert_eq!(p.shards(), 3);
+        assert_eq!(p.nodes(), 10);
+        assert_eq!(p.range(0), 0..4);
+        assert_eq!(p.range(1), 4..7);
+        assert_eq!(p.range(2), 7..10);
+        for node in 0..10u32 {
+            let s = p.shard_of(NodeId(node));
+            assert!(p.range(s).contains(&(node as usize)), "node {node}");
+        }
+    }
+
+    #[test]
+    fn empty_shards_are_skipped_by_ownership() {
+        let p = Partition::from_bounds(vec![0, 5, 5, 10]);
+        assert_eq!(p.shards(), 3);
+        assert_eq!(p.shard_of(NodeId(4)), 0);
+        assert_eq!(p.shard_of(NodeId(5)), 2, "empty shard 1 owns nothing");
+        assert!(p.range(1).is_empty());
+    }
+
+    #[test]
+    fn single_shard_partition_is_trivially_local() {
+        let p = Partition::even(7, 1);
+        let w = ContactWindow::instant(Time::ZERO, NodeId(0), NodeId(6), 1);
+        assert!(p.is_local(&w));
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn from_bounds_rejects_descending_posts() {
+        let _ = Partition::from_bounds(vec![0, 6, 4, 10]);
+    }
+
+    /// Flooding with the Stateless contract: decisions are a pure
+    /// function of the driver, so any instance is interchangeable.
+    struct ShardFlood;
+
+    impl Routing for ShardFlood {
+        fn name(&self) -> String {
+            "shard-flood-test".into()
+        }
+
+        fn contact_concurrency(&self) -> ContactConcurrency {
+            ContactConcurrency::Stateless
+        }
+
+        fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+            let (a, b) = driver.endpoints();
+            for from in [a, b] {
+                let to = driver.peer_of(from);
+                let mut ids = driver.buffer(from).ids();
+                ids.sort_by_key(|&id| driver.packets().get(id).dst != to);
+                for id in ids {
+                    if driver.try_transfer(from, id) == TransferOutcome::NoBandwidth {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn spec(t: u64, src: u32, dst: u32, size: u64) -> PacketSpec {
+        PacketSpec {
+            time: Time::from_secs(t),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            size_bytes: size,
+        }
+    }
+
+    /// A small but semantically dense scenario: intra- and cross-shard
+    /// contacts (instantaneous and durative), TTL, churn interrupting a
+    /// window, and a creation on a down node.
+    fn scenario() -> Simulation {
+        let cfg = SimConfig {
+            nodes: 9,
+            buffer_capacity: 4096,
+            horizon: Time::from_secs(300),
+            ttl: Some(TimeDelta::from_secs(60)),
+            seed: 7,
+            ..SimConfig::default()
+        };
+        let schedule = Schedule::new(vec![
+            // Intra-shard (0..3): instantaneous.
+            ContactWindow::instant(Time::from_secs(10), NodeId(0), NodeId(1), 4096),
+            // Cross-shard gateway contact (shard 0 ↔ shard 1).
+            ContactWindow::instant(Time::from_secs(20), NodeId(2), NodeId(3), 4096),
+            // Durative intra-shard window in shard 1, interrupted by churn.
+            ContactWindow::new(
+                Time::from_secs(25),
+                Time::from_secs(80),
+                NodeId(4),
+                NodeId(5),
+                64,
+            ),
+            // Intra-shard in shard 2.
+            ContactWindow::instant(Time::from_secs(40), NodeId(6), NodeId(7), 4096),
+            // Cross-shard again, late (shard 2 ↔ shard 0).
+            ContactWindow::instant(Time::from_secs(90), NodeId(8), NodeId(0), 4096),
+            // Suppressed: node 5 is down over [45, 85].
+            ContactWindow::instant(Time::from_secs(50), NodeId(4), NodeId(5), 4096),
+        ]);
+        let workload = Workload::new(vec![
+            spec(1, 0, 2, 512),  // intra-shard relay
+            spec(2, 1, 8, 512),  // must cross shards to deliver
+            spec(3, 4, 5, 1024), // rides the interrupted window
+            spec(35, 6, 3, 512), // expires before any useful contact
+            spec(50, 5, 6, 512), // created while node 5 is down → dropped
+        ]);
+        Simulation::new(cfg, schedule, workload).with_churn(vec![
+            NodeEvent {
+                time: Time::from_secs(45),
+                node: NodeId(5),
+                up: false,
+            },
+            NodeEvent {
+                time: Time::from_secs(85),
+                node: NodeId(5),
+                up: true,
+            },
+        ])
+    }
+
+    fn run_scenario_sharded(partition: &Partition) -> (SimReport, Vec<ShardStats>) {
+        let sim = scenario();
+        let mut contacts = sim.schedule().windows().iter().copied();
+        let mut workload = sim.workload().specs().iter().copied();
+        run_sharded_with_stats(
+            sim.config(),
+            partition,
+            &mut contacts,
+            &mut workload,
+            sim.churn(),
+            None,
+            &mut || Box::new(ShardFlood),
+        )
+    }
+
+    #[test]
+    fn sharded_matches_serial_engine() {
+        let serial = scenario().run(&mut ShardFlood);
+        for shards in [1, 2, 3, 4] {
+            let (sharded, stats) = run_scenario_sharded(&Partition::even(9, shards));
+            assert_eq!(sharded, serial, "{shards} shards diverged");
+            assert_eq!(stats.len(), shards);
+        }
+        // Sanity: the scenario is not vacuous.
+        assert!(serial.delivered() >= 1);
+        assert!(serial.expired >= 1);
+        assert_eq!(serial.contacts_suppressed, 1);
+    }
+
+    #[test]
+    fn sharded_matches_serial_under_noise() {
+        let noise = NoiseModel {
+            contact_failure_prob: 0.3,
+            setup_loss_bytes_mean: 128.0,
+            processing_delay_mean: TimeDelta::from_secs(2),
+        };
+        let serial = scenario().with_noise(noise).run(&mut ShardFlood);
+        let sim = scenario();
+        let mut contacts = sim.schedule().windows().iter().copied();
+        let mut workload = sim.workload().specs().iter().copied();
+        let sharded = run_sharded(
+            sim.config(),
+            &Partition::even(9, 3),
+            &mut contacts,
+            &mut workload,
+            sim.churn(),
+            Some(noise),
+            &mut || Box::new(ShardFlood),
+        );
+        assert_eq!(sharded, serial);
+    }
+
+    #[test]
+    fn uneven_partitions_agree_too() {
+        let serial = scenario().run(&mut ShardFlood);
+        for bounds in [vec![0, 1, 9], vec![0, 8, 9], vec![0, 3, 3, 9]] {
+            let p = Partition::from_bounds(bounds.clone());
+            let (sharded, _) = run_scenario_sharded(&p);
+            assert_eq!(sharded, serial, "bounds {bounds:?} diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Stateless")]
+    fn non_stateless_protocols_are_rejected() {
+        struct SerialOnly;
+        impl Routing for SerialOnly {
+            fn name(&self) -> String {
+                "serial-only".into()
+            }
+            fn on_contact(&mut self, _driver: &mut ContactDriver<'_>) {}
+        }
+        let sim = scenario();
+        let mut contacts = sim.schedule().windows().iter().copied();
+        let mut workload = sim.workload().specs().iter().copied();
+        let _ = run_sharded(
+            sim.config(),
+            &Partition::even(9, 2),
+            &mut contacts,
+            &mut workload,
+            &[],
+            None,
+            &mut || Box::new(SerialOnly),
+        );
+    }
+}

@@ -551,3 +551,141 @@ proptest! {
         prop_assert_eq!(serial_same_policy, parallel, "lookahead policy changed results");
     }
 }
+
+// --- Sharded runtime ------------------------------------------------------
+//
+// The shard layer (`dtn_sim::shard`) claims byte-identical reports for a
+// Stateless protocol under ANY partition of the node space — however
+// lopsided, wherever the cut lands relative to the contact structure's
+// "gateways" — with churn, TTL expiry, and durative windows in play. The
+// proptest draws arbitrary fence posts (which is what arbitrary gateway
+// placement reduces to: a boundary either severs a pair or it doesn't)
+// and replays the same scenario through the serial engine and the
+// sharded runtime.
+
+/// A Stateless flooding protocol: destination-first transfer order, no
+/// protocol state at all, so identically-built instances are
+/// interchangeable across shards.
+struct ShardFlood;
+
+impl Routing for ShardFlood {
+    fn name(&self) -> String {
+        "shard-flood".into()
+    }
+
+    fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+        let (a, b) = driver.endpoints();
+        for from in [a, b] {
+            let to = driver.peer_of(from);
+            let mut ids = driver.buffer(from).ids();
+            ids.sort_by_key(|&id| driver.packets().get(id).dst != to);
+            for id in ids {
+                if driver.try_transfer(from, id) == TransferOutcome::NoBandwidth {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn contact_concurrency(&self) -> ContactConcurrency {
+        ContactConcurrency::Stateless
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn sharded_engine_equals_serial(
+        contacts in prop::collection::vec(
+            (1u64..200, 0u32..10, 0u32..10, 256u64..4096, prop::option::of(1u64..40)),
+            1..120,
+        ),
+        packets in prop::collection::vec((0u64..150, 0u32..10, 0u32..10, 128u64..1024), 1..40),
+        ttl in prop::option::of(5u64..100),
+        churn in prop::collection::vec((1u64..250, 0u32..10, any::<bool>()), 0..12),
+        posts in prop::collection::vec(0u32..=10, 0..5),
+    ) {
+        // Durative windows (Some duration) and instantaneous ones mixed.
+        let mut windows: Vec<ContactWindow> = contacts
+            .iter()
+            .filter(|&&(_, a, b, _, _)| a != b)
+            .map(|&(t, a, b, bytes, dur)| match dur {
+                None => ContactWindow::instant(
+                    Time::from_secs(t), NodeId(a), NodeId(b), bytes,
+                ),
+                Some(d) => ContactWindow::new(
+                    Time::from_secs(t),
+                    Time::from_secs(t + d),
+                    NodeId(a),
+                    NodeId(b),
+                    bytes.max(64),
+                ),
+            })
+            .collect();
+        windows.sort_by_key(|w| w.start);
+        let mut specs: Vec<PacketSpec> = packets
+            .iter()
+            .filter(|&&(_, s, d, _)| s != d)
+            .map(|&(t, src, dst, size)| PacketSpec {
+                time: Time::from_secs(t),
+                src: NodeId(src),
+                dst: NodeId(dst),
+                size_bytes: size,
+            })
+            .collect();
+        specs.sort_by_key(|s| s.time);
+        if windows.is_empty() || specs.is_empty() {
+            continue;
+        }
+        let mut churn_events: Vec<dtn_sim::NodeEvent> = churn
+            .iter()
+            .map(|&(t, node, up)| dtn_sim::NodeEvent {
+                time: Time::from_secs(t),
+                node: NodeId(node),
+                up,
+            })
+            .collect();
+        churn_events.sort_by_key(|e| e.time);
+
+        // Arbitrary partition of the 10-node space: proptest-drawn fence
+        // posts, so shard ranges may be empty, singleton, or lopsided.
+        let mut bounds = posts;
+        bounds.push(0);
+        bounds.push(10);
+        bounds.sort_unstable();
+        let partition = dtn_sim::Partition::from_bounds(bounds);
+
+        let cfg = SimConfig {
+            nodes: 10,
+            buffer_capacity: 4096,
+            horizon: Time::from_secs(300),
+            ttl: ttl.map(TimeDelta::from_secs),
+            ..SimConfig::default()
+        };
+        let serial = Simulation::new(
+            cfg.clone(),
+            Schedule::new(windows.clone()),
+            Workload::new(specs.clone()),
+        )
+        .with_churn(churn_events.clone())
+        .run(&mut ShardFlood);
+
+        let mut contact_src = windows.iter().copied();
+        let mut packet_src = specs.iter().copied();
+        let sharded = dtn_sim::run_sharded(
+            &cfg,
+            &partition,
+            &mut contact_src,
+            &mut packet_src,
+            &churn_events,
+            None,
+            &mut || Box::new(ShardFlood),
+        );
+        prop_assert_eq!(
+            serial,
+            sharded,
+            "sharded run diverged from the serial engine under partition {:?}",
+            partition
+        );
+    }
+}

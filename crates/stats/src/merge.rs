@@ -108,6 +108,79 @@ impl Mergeable for Extrema {
     }
 }
 
+/// Per-shard accumulator slots with a deterministic shard-order fold.
+///
+/// The sharded runtime hands each shard its own accumulator; folding
+/// partial sums in whatever order shards finish would make aggregate
+/// floats depend on thread timing. `ShardSlots` pins one slot per shard
+/// and [`fold`](ShardSlots::fold)s them **in shard index order**, so the
+/// aggregate is bit-identical for a fixed seed at any shard count and on
+/// every run — the merge order is part of the result's definition, not
+/// an accident of scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSlots<T> {
+    slots: Vec<T>,
+}
+
+impl<T: Default> ShardSlots<T> {
+    /// One default-initialized slot per shard.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            slots: (0..shards).map(|_| T::default()).collect(),
+        }
+    }
+}
+
+impl<T> ShardSlots<T> {
+    /// Number of slots.
+    pub fn shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The accumulator owned by shard `s`.
+    pub fn slot_mut(&mut self, s: usize) -> &mut T {
+        &mut self.slots[s]
+    }
+
+    /// Read-only view of shard `s`'s accumulator.
+    pub fn slot(&self, s: usize) -> &T {
+        &self.slots[s]
+    }
+
+    /// Iterates `(shard, accumulator)` in shard order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.slots.iter().enumerate()
+    }
+}
+
+impl<T: Mergeable + Default> ShardSlots<T> {
+    /// Collapses the slots into one accumulator, merging in shard index
+    /// order — the deterministic reduction the sharded runtime's
+    /// aggregates rely on.
+    pub fn fold(self) -> T {
+        let mut out = T::default();
+        for slot in self.slots {
+            out.merge(slot);
+        }
+        out
+    }
+}
+
+impl<T: Mergeable> Mergeable for ShardSlots<T> {
+    /// Slot-wise merge: shard `s` of `other` folds into shard `s` of
+    /// `self` (combining the same shard's state across runs or workers).
+    fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.slots.len(),
+            other.slots.len(),
+            "shard slot counts must match"
+        );
+        for (mine, theirs) in self.slots.iter_mut().zip(other.slots) {
+            mine.merge(theirs);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +204,51 @@ mod tests {
         // Merging an empty accumulator changes nothing.
         a.merge(StreamingMean::new());
         assert_eq!(a.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn shard_slots_fold_in_shard_order() {
+        // Push out of shard order; the fold must still be the shard-order
+        // reduction (slot 0, then 1, then 2).
+        let mut slots: ShardSlots<StreamingMean> = ShardSlots::new(3);
+        slots.slot_mut(2).push(30.0);
+        slots.slot_mut(0).push(10.0);
+        slots.slot_mut(1).push(20.0);
+        assert_eq!(slots.shards(), 3);
+        assert_eq!(slots.slot(1).mean(), Some(20.0));
+
+        let order: Vec<u64> = slots.iter().map(|(_, m)| m.count()).collect();
+        assert_eq!(order, vec![1, 1, 1]);
+
+        let folded = slots.fold();
+        assert_eq!(folded.count(), 3);
+        assert_eq!(folded.mean(), Some(20.0));
+
+        // Reference: a sequential shard-order fold of the same values.
+        let mut reference = StreamingMean::new();
+        for v in [10.0, 20.0, 30.0] {
+            reference.push(v);
+        }
+        assert_eq!(folded, reference, "fold order is shard index order");
+    }
+
+    #[test]
+    fn shard_slots_merge_slotwise() {
+        let mut a: ShardSlots<StreamingMean> = ShardSlots::new(2);
+        a.slot_mut(0).push(1.0);
+        let mut b: ShardSlots<StreamingMean> = ShardSlots::new(2);
+        b.slot_mut(0).push(3.0);
+        b.slot_mut(1).push(5.0);
+        a.merge(b);
+        assert_eq!(a.slot(0).mean(), Some(2.0));
+        assert_eq!(a.slot(1).mean(), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "slot counts must match")]
+    fn shard_slots_reject_mismatched_merge() {
+        let mut a: ShardSlots<StreamingMean> = ShardSlots::new(2);
+        a.merge(ShardSlots::new(3));
     }
 
     #[test]
