@@ -1,0 +1,74 @@
+//! One cell of the BENCH_pr9.json shards×windows matrix: the in-band
+//! RAPID gate shape (400-node regional fleet, the same one `bench_smoke`
+//! pins), run once through the sharded runtime with wall/RSS printed.
+//!
+//! Usage: `cargo run --release -p rapid-bench --example rapid_gate_probe
+//! -- [shards] [nodes] [windows]` (defaults 4 / 400 / 300000). The
+//! printed `concurrency=` field is the executed tier — it must say
+//! `NodeDisjoint`, never a silent serial fallback.
+
+use dtn_mobility::{RegionalFleet, ScaleFleet};
+use dtn_sim::{run_sharded_with_stats, SimConfig, Time, TimeDelta};
+use rapid_bench::scale::{peak_rss_mb, reset_peak_rss};
+use rapid_bench::Proto;
+use std::time::Instant;
+
+fn main() {
+    let shards: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let nodes: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let contacts: usize = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300_000);
+    let rf = RegionalFleet {
+        fleet: ScaleFleet {
+            nodes,
+            contacts: contacts as u64,
+            opportunity_bytes: 2 * 1024,
+            contact_duration: TimeDelta::ZERO,
+            horizon: Time::from_secs(7200),
+            hubs: 16,
+            hub_bias: 0.3,
+        },
+        regions: 8,
+        locality: 0.95,
+    };
+    let partition = rf.partition(shards);
+    let config = SimConfig {
+        nodes: rf.fleet.nodes,
+        buffer_capacity: 16 * 1024,
+        deadline: Some(TimeDelta::from_secs(600)),
+        ttl: Some(TimeDelta::from_secs(900)),
+        horizon: rf.fleet.horizon,
+        seed: 7,
+        ..SimConfig::default()
+    };
+    let build = || Proto::RapidAvg.build(TimeDelta::from_secs(600), TimeDelta::from_secs(7200));
+    reset_peak_rss();
+    let mut windows = rf.contact_stream(7, 0);
+    let mut packets = rf.packet_stream(50, 1024, 7, 0);
+    let start = Instant::now();
+    let (report, stats) = run_sharded_with_stats(
+        &config,
+        &partition,
+        &mut windows,
+        &mut packets,
+        &[],
+        None,
+        &mut || build(),
+    );
+    println!(
+        "shards={shards} nodes={nodes} contacts_planned={contacts} wall={:.1} ms contacts={} delivered={} concurrency={:?} peak_rss_mb={:.1}",
+        start.elapsed().as_secs_f64() * 1e3,
+        report.contacts,
+        report.delivered(),
+        stats.first().map(|s| s.concurrency),
+        peak_rss_mb().unwrap_or(0.0),
+    );
+}

@@ -207,7 +207,7 @@ pub const PLANS: &[ExperimentPlan] = &[
         id: "scale_sharded",
         title:
             "Sharded scale family: regional fleet, per-shard event loops, conservative sync horizon",
-        axes: "RAPID_SCALE_RUNS runs x RAPID_SHARDS partitioned event loops",
+        axes: "RAPID_SCALE_RUNS runs x RAPID_SHARDS partitioned event loops x RAPID_SCALE_PROTO {random, rapid}",
         columns: &[
             "run",
             "nodes",

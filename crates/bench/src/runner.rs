@@ -10,8 +10,8 @@ use crate::proto::Proto;
 use dtn_sim::source::{ContactSource, ScheduleStream, WorkloadSource, WorkloadStream};
 use dtn_sim::workload::Workload;
 use dtn_sim::{
-    run_sharded, run_streaming, CompiledPlan, ContactConcurrency, NodeEvent, NoiseModel, Partition,
-    Schedule, SimConfig, SimReport, Time, TimeDelta,
+    run_sharded, run_streaming, CompiledPlan, NodeEvent, NoiseModel, Partition, Schedule,
+    SimConfig, SimReport, Time, TimeDelta,
 };
 use std::collections::BTreeMap;
 use std::fmt;
@@ -192,9 +192,12 @@ pub struct RunSpec {
 ///
 /// `RAPID_SHARDS=N` (default 1 = today's engine) routes the run through
 /// the sharded runtime over an even node partition; results are
-/// byte-identical at any shard count. Protocols that are not
-/// [`ContactConcurrency::Stateless`] (and global-knowledge runs) fall
-/// back to the serial engine — same report, one event loop.
+/// byte-identical at any shard count. Any node-disjoint protocol tier
+/// qualifies — `Stateless` protocols get per-shard instances, and
+/// `NodeDisjoint` ones (in-band/local RAPID) a single partitioned
+/// instance. `Serial` protocols and global-knowledge runs fall back to
+/// the serial engine — same report, one event loop — with a one-shot
+/// warning naming the protocol and the reason (no silent fallback).
 pub fn run_spec(spec: &RunSpec, proto: Proto) -> SimReport {
     let config = SimConfig {
         nodes: spec.nodes,
@@ -219,21 +222,34 @@ pub fn run_spec(spec: &RunSpec, proto: Proto) -> SimReport {
     let mut packets = spec.packets.source();
     let measured_len = TimeDelta(spec.horizon.0.saturating_sub(spec.measure_from.0));
     let mut routing = proto.build(spec.deadline, measured_len);
-    let shards = dtn_sim::shards_from_env();
-    if shards > 1
-        && !config.allow_global_knowledge
-        && routing.contact_concurrency() == ContactConcurrency::Stateless
-    {
-        let partition = Partition::even(spec.nodes, shards);
-        return run_sharded(
-            &config,
-            &partition,
-            contacts.as_mut(),
-            packets.as_mut(),
-            &spec.churn,
-            spec.noise,
-            &mut || proto.build(spec.deadline, measured_len),
-        );
+    let shards = dtn_sim::clamp_shards(dtn_sim::shards_from_env(), spec.nodes);
+    if shards > 1 {
+        if !config.allow_global_knowledge && routing.contact_concurrency().is_node_disjoint() {
+            let partition = Partition::even(spec.nodes, shards);
+            return run_sharded(
+                &config,
+                &partition,
+                contacts.as_mut(),
+                packets.as_mut(),
+                &spec.churn,
+                spec.noise,
+                &mut || proto.build(spec.deadline, measured_len),
+            );
+        }
+        // Loud serial fallback: say once per process why RAPID_SHARDS had
+        // no effect, instead of quietly timing the serial engine.
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| {
+            let reason = if config.allow_global_knowledge {
+                "it needs global knowledge (an oracle, not a protocol state partition)"
+            } else {
+                "its contact handling declares ContactConcurrency::Serial"
+            };
+            eprintln!(
+                "warning: RAPID_SHARDS={shards} ignored for {}: {reason}; running serial",
+                routing.name()
+            );
+        });
     }
     run_streaming(
         &config,

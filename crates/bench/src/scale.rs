@@ -396,6 +396,19 @@ fn sharded_config(lab: &ScaleLab, run: u32) -> SimConfig {
     }
 }
 
+/// The protocol the scale_sharded family drives: `RAPID_SCALE_PROTO` is
+/// `random` (default, the PR 8 baseline) or `rapid` (in-band RAPID, the
+/// paper's protocol on the sharded runtime). Anything else aborts — a
+/// typo must not silently time the wrong protocol.
+pub fn scale_proto() -> Proto {
+    match std::env::var("RAPID_SCALE_PROTO") {
+        Err(_) => Proto::Random,
+        Ok(v) if v == "random" => Proto::Random,
+        Ok(v) if v == "rapid" => Proto::RapidAvg,
+        Ok(v) => panic!("RAPID_SCALE_PROTO must be `random` or `rapid`, got `{v}`"),
+    }
+}
+
 /// One run of the regional scenario: the compiled regional plan expanded
 /// lazily into either the serial engine (one shard) or the sharded
 /// runtime (per-shard event loops under conservative barriers). The
@@ -407,6 +420,7 @@ pub fn run_regional(
     partition: &Partition,
     plan: &Arc<CompiledPlan>,
     run: u32,
+    proto: Proto,
 ) -> (dtn_sim::SimReport, Vec<ShardStats>) {
     let config = sharded_config(lab, run);
     let mut contacts = ContactsSpec::compiled(Arc::clone(plan)).source();
@@ -414,7 +428,7 @@ pub fn run_regional(
         Box::new(rf.packet_stream(lab.packets, PACKET_BYTES, lab.seed, u64::from(run)));
     let measured_len = TimeDelta(lab.fleet.horizon.0);
     if partition.shards() == 1 {
-        let mut routing = Proto::Random.build(lab.deadline, measured_len);
+        let mut routing = proto.build(lab.deadline, measured_len);
         let report = run_streaming(
             &config,
             contacts.as_mut(),
@@ -432,7 +446,7 @@ pub fn run_regional(
             packets.as_mut(),
             &[],
             None,
-            &mut || Proto::Random.build(lab.deadline, measured_len),
+            &mut || proto.build(lab.deadline, measured_len),
         )
     }
 }
@@ -448,8 +462,9 @@ pub fn run_scale_sharded() {
     let seed = root_seed();
     let lab = ScaleLab::from_env(seed);
     let rf = regional_fleet(&lab);
-    let shards = dtn_sim::shards_from_env();
+    let shards = dtn_sim::clamp_shards(dtn_sim::shards_from_env(), lab.fleet.nodes);
     let partition = rf.partition(shards);
+    let proto = scale_proto();
     let routes = lab.routes_from_env();
     let runs = env_u64("RAPID_SCALE_RUNS", 1).max(1) as u32;
     let max_rss_mb = env_u64("RAPID_SCALE_MAX_RSS_MB", 0);
@@ -459,8 +474,10 @@ pub fn run_scale_sharded() {
         "Sharded scale family: regional fleet, per-shard event loops, conservative sync horizon",
     );
     tsv.comment(&format!(
-        "shards = {shards}, regions = {}, locality = {}, nodes = {}, routes = {routes}, \
-         expected windows = {}, expected packets = {}, horizon = {} s, seed = {seed}",
+        "shards = {shards}, proto = {}, regions = {}, locality = {}, nodes = {}, \
+         routes = {routes}, expected windows = {}, expected packets = {}, \
+         horizon = {} s, seed = {seed}",
+        proto.label(),
         rf.regions,
         rf.locality,
         lab.fleet.nodes,
@@ -484,7 +501,15 @@ pub fn run_scale_sharded() {
 
     let mut shard_tsv = Tsv::new("scale_sharded_shards");
     shard_tsv.comment("Per-shard timing for the scale_sharded family");
-    shard_tsv.row(&["run", "shard", "nodes", "drives", "creations", "busy_s"]);
+    shard_tsv.row(&[
+        "run",
+        "shard",
+        "nodes",
+        "drives",
+        "creations",
+        "busy_s",
+        "concurrency",
+    ]);
 
     let mut delivery = StreamingMean::new();
     let mut wall = StreamingMean::new();
@@ -500,7 +525,7 @@ pub fn run_scale_sharded() {
         // cross-shard window's start before any barrier can occur.
         let free_run = plan.first_cross_shard_start(&partition);
         let t0 = std::time::Instant::now();
-        let (report, stats) = run_regional(&lab, &rf, &partition, &plan, run);
+        let (report, stats) = run_regional(&lab, &rf, &partition, &plan, run, proto);
         let wall_s = t0.elapsed().as_secs_f64();
         let peak = peak_rss_mb().unwrap_or(0.0);
         delivery.push(report.delivery_rate());
@@ -528,6 +553,7 @@ pub fn run_scale_sharded() {
                 format!("{}", s.drives),
                 format!("{}", s.creations),
                 f(s.busy.as_secs_f64()),
+                s.concurrency.label().into(),
             ]);
         }
     }
@@ -660,7 +686,7 @@ mod tests {
             locality: 0.9,
         };
         let plan = Arc::new(rf.periodic_plan(50, lab.seed, 0));
-        let (serial, no_stats) = run_regional(&lab, &rf, &rf.partition(1), &plan, 0);
+        let (serial, no_stats) = run_regional(&lab, &rf, &rf.partition(1), &plan, 0, Proto::Random);
         assert!(no_stats.is_empty(), "serial path has no shard telemetry");
         assert!(serial.contacts > 4_000, "plan drove {}", serial.contacts);
         assert!(
@@ -670,13 +696,60 @@ mod tests {
         );
         for shards in [2, 4, 8] {
             let part = rf.partition(shards);
-            let (sharded, stats) = run_regional(&lab, &rf, &part, &plan, 0);
+            let (sharded, stats) = run_regional(&lab, &rf, &part, &plan, 0, Proto::Random);
             assert_eq!(serial, sharded, "{shards}-shard run must match the engine");
             assert_eq!(stats.len(), shards);
             assert_eq!(
                 stats.iter().map(|s| s.nodes).sum::<usize>(),
                 lab.fleet.nodes,
                 "shard telemetry covers the node space"
+            );
+            assert!(
+                stats
+                    .iter()
+                    .all(|s| s.concurrency == dtn_sim::ContactConcurrency::Stateless),
+                "Random rides the per-shard-instance tier"
+            );
+        }
+
+        // The paper's own protocol on a smaller regional plan (debug-mode
+        // RAPID recomputes its eviction oracle from scratch, so the fleet
+        // is sized for test time): in-band RAPID is NodeDisjoint (one
+        // shared instance, per-node partitions) and must also replay the
+        // serial engine byte-for-byte.
+        let lab = ScaleLab {
+            fleet: ScaleFleet {
+                nodes: 300,
+                contacts: 2_500,
+                opportunity_bytes: 4 * 1024,
+                contact_duration: TimeDelta::ZERO,
+                horizon: Time::from_secs(1800),
+                hubs: 8,
+                hub_bias: 0.5,
+            },
+            packets: 200,
+            buffer: 16 * 1024,
+            deadline: TimeDelta::from_secs(60),
+            ttl: TimeDelta::from_secs(600),
+            seed: 11,
+        };
+        let rf = RegionalFleet {
+            fleet: lab.fleet,
+            regions: 8,
+            locality: 0.9,
+        };
+        let plan = Arc::new(rf.periodic_plan(30, lab.seed, 0));
+        let (serial, _) = run_regional(&lab, &rf, &rf.partition(1), &plan, 0, Proto::RapidAvg);
+        assert!(serial.contacts > 2_000, "plan drove {}", serial.contacts);
+        for shards in [2, 4] {
+            let part = rf.partition(shards);
+            let (sharded, stats) = run_regional(&lab, &rf, &part, &plan, 0, Proto::RapidAvg);
+            assert_eq!(serial, sharded, "{shards}-shard RAPID diverged");
+            assert!(
+                stats
+                    .iter()
+                    .all(|s| s.concurrency == dtn_sim::ContactConcurrency::NodeDisjoint),
+                "in-band RAPID rides the single-instance tier"
             );
         }
     }

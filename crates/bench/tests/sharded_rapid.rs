@@ -1,0 +1,192 @@
+//! Sharded RAPID equivalence: the paper's own protocol under
+//! `RAPID_SHARDS > 1` must be observationally identical to the serial
+//! engine — same reports under churn/TTL and arbitrary partitions, and
+//! byte-identical figure TSVs with intra-run parallelism composed on top.
+//!
+//! Everything lives in **one** test function: the figure plans and the
+//! `RAPID_SHARDS`/`RAPID_INTRA_JOBS` knobs are driven through process
+//! environment variables, so concurrent tests in this binary would race
+//! on them.
+
+use dtn_mobility::ScaleFleet;
+use dtn_sim::{run_sharded, run_streaming, NodeEvent, NodeId, Partition, SimConfig};
+use dtn_sim::{Time, TimeDelta};
+use rapid_bench::registry;
+use rapid_bench::runner::{run_spec, ContactsSpec, PacketsSpec, RunSpec};
+use rapid_bench::Proto;
+
+fn fleet() -> ScaleFleet {
+    ScaleFleet {
+        nodes: 600,
+        contacts: 4_000,
+        opportunity_bytes: 2 * 1024,
+        contact_duration: TimeDelta::ZERO,
+        horizon: Time::from_secs(1800),
+        hubs: 16,
+        hub_bias: 0.3,
+    }
+}
+
+/// Churn that lands inside the contact structure: hubs flap, so sharded
+/// runs must replay the suppressed contacts and cache invalidations in
+/// the engine's exact order.
+fn churn() -> Vec<NodeEvent> {
+    vec![
+        NodeEvent {
+            time: Time::from_secs(400),
+            node: NodeId(3),
+            up: false,
+        },
+        NodeEvent {
+            time: Time::from_secs(900),
+            node: NodeId(3),
+            up: true,
+        },
+        NodeEvent {
+            time: Time::from_secs(600),
+            node: NodeId(17),
+            up: false,
+        },
+        NodeEvent {
+            time: Time::from_secs(1000),
+            node: NodeId(17),
+            up: true,
+        },
+    ]
+}
+
+/// A sparse-fleet run spec (hub traffic, tight buffers, TTL, churn) that
+/// exercises replication, eviction, expiry and full-buffer contacts.
+fn spec(run: u32) -> RunSpec {
+    let fleet = fleet();
+    RunSpec {
+        contacts: ContactsSpec::streaming(move || {
+            Box::new(fleet.contact_stream(11, u64::from(run)))
+        }),
+        packets: PacketsSpec::streaming(move || {
+            Box::new(fleet.packet_stream(300, 1024, 11, u64::from(run)))
+        }),
+        nodes: fleet.nodes,
+        buffer: 8 * 1024,
+        deadline: TimeDelta::from_secs(300),
+        horizon: fleet.horizon,
+        seed: 11,
+        noise: None,
+        measure_from: Time::ZERO,
+        churn: churn(),
+        ttl: Some(TimeDelta::from_secs(600)),
+    }
+}
+
+fn run_plan(id: &str) -> String {
+    let plan = registry::find(id).unwrap_or_else(|| panic!("unknown plan {id}"));
+    (plan.run)();
+    std::fs::read_to_string(format!("results/{id}.tsv"))
+        .unwrap_or_else(|e| panic!("results/{id}.tsv unreadable: {e}"))
+}
+
+#[test]
+fn sharded_rapid_reproduces_serial_byte_for_byte() {
+    // Shrink every figure to its smoke shape (mirrors the CI smoke).
+    std::env::set_var("RAPID_DAYS", "1");
+    std::env::set_var("RAPID_RUNS", "1");
+    std::env::set_var("RAPID_FIG3_DAYS", "1");
+    std::env::set_var("RAPID_SYNTH_LOADS", "1");
+
+    // Report equivalence for the node-disjoint RAPID variants across
+    // shard counts, with churn and TTL expiry in play.
+    for proto in [Proto::RapidAvg, Proto::RapidAvgLocal] {
+        std::env::set_var("RAPID_SHARDS", "1");
+        let serial = run_spec(&spec(0), proto);
+        for shards in ["2", "4", "7"] {
+            std::env::set_var("RAPID_SHARDS", shards);
+            let sharded = run_spec(&spec(0), proto);
+            assert_eq!(
+                serial, sharded,
+                "{proto:?} with RAPID_SHARDS={shards} diverged from serial"
+            );
+        }
+        // Composed with intra-run parallel contact batches: the two
+        // runtimes multiply, the report must not move.
+        std::env::set_var("RAPID_SHARDS", "4");
+        std::env::set_var("RAPID_INTRA_JOBS", "8");
+        let composed = run_spec(&spec(0), proto);
+        assert_eq!(
+            serial, composed,
+            "{proto:?} with RAPID_SHARDS=4 + RAPID_INTRA_JOBS=8 diverged from serial"
+        );
+        std::env::remove_var("RAPID_INTRA_JOBS");
+        std::env::remove_var("RAPID_SHARDS");
+    }
+
+    // Arbitrary (lopsided, singleton-shard) partitions through the
+    // sharded runtime directly — gateway placement must not matter.
+    {
+        let fleet = fleet();
+        let cfg = SimConfig {
+            nodes: fleet.nodes,
+            buffer_capacity: 8 * 1024,
+            deadline: Some(TimeDelta::from_secs(300)),
+            ttl: Some(TimeDelta::from_secs(600)),
+            horizon: fleet.horizon,
+            seed: 11,
+            ..SimConfig::default()
+        };
+        let build = || Proto::RapidAvg.build(TimeDelta::from_secs(300), TimeDelta(fleet.horizon.0));
+        let serial = {
+            let mut contacts = fleet.contact_stream(11, 0);
+            let mut packets = fleet.packet_stream(300, 1024, 11, 0);
+            let mut routing = build();
+            run_streaming(
+                &cfg,
+                &mut contacts,
+                &mut packets,
+                &churn(),
+                None,
+                routing.as_mut(),
+            )
+        };
+        for bounds in [
+            vec![0, 1, 600],
+            vec![0, 599, 600],
+            vec![0, 37, 37, 301, 600],
+        ] {
+            let partition = Partition::from_bounds(bounds.clone());
+            let mut contacts = fleet.contact_stream(11, 0);
+            let mut packets = fleet.packet_stream(300, 1024, 11, 0);
+            let sharded = run_sharded(
+                &cfg,
+                &partition,
+                &mut contacts,
+                &mut packets,
+                &churn(),
+                None,
+                &mut || build(),
+            );
+            assert_eq!(serial, sharded, "RAPID diverged under bounds {bounds:?}");
+        }
+    }
+
+    // TSV-level equivalence across figure plans: fig03 is all-RAPID
+    // (trace-driven validation), fig16_18 carries labeled Rapid rows in
+    // the synthetic load sweep. Both must be byte-identical when the
+    // sharded runtime and intra-run batches are both on.
+    for (id, rapid_marker) in [("fig03", "sim_avg_delay_min"), ("fig16_18", "Rapid")] {
+        std::env::set_var("RAPID_SHARDS", "1");
+        std::env::set_var("RAPID_INTRA_JOBS", "1");
+        let serial = run_plan(id);
+        assert!(
+            serial.contains(rapid_marker),
+            "{id} TSV lost its Rapid rows — the diff below would be vacuous"
+        );
+        std::env::set_var("RAPID_SHARDS", "4");
+        std::env::set_var("RAPID_INTRA_JOBS", "8");
+        let sharded = run_plan(id);
+        assert_eq!(
+            serial, sharded,
+            "{id} TSV not byte-identical under RAPID_SHARDS=4 + RAPID_INTRA_JOBS=8"
+        );
+        std::env::remove_var("RAPID_SHARDS");
+        std::env::remove_var("RAPID_INTRA_JOBS");
+    }
+}

@@ -43,7 +43,8 @@ use crate::estimate::{
 use crate::meetings::{expected_meeting_times_from, MeetingView};
 use dtn_sim::{
     ContactConcurrency, ContactDriver, ContactPool, NodeBuffer, NodeId, Packet, PacketId,
-    PacketSet, PacketStore, QueueEntry, Routing, SimConfig, SlicePartition, Time, TransferOutcome,
+    PacketSet, PacketStore, Partition, QueueEntry, Routing, SimConfig, SlicePartition, Time,
+    TransferOutcome,
 };
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
@@ -178,10 +179,11 @@ impl ContactScratch {
     }
 }
 
-/// The per-node states a contact execution may address: the full slice
-/// (serial; global modes read arbitrary nodes) or exactly the two
-/// endpoints (batch execution — any out-of-pair access is a bug and
-/// panics).
+/// The per-node states an execution may address: the full slice (serial;
+/// global modes read arbitrary nodes), exactly the two endpoints of a
+/// contact (batch and sharded execution), or a single node (sharded
+/// storage decisions — `make_room` is a one-node operation). Any access
+/// outside the leased states is a bug and panics.
 enum StatePair<'a> {
     Full(&'a mut [NodeState]),
     Pair {
@@ -189,6 +191,10 @@ enum StatePair<'a> {
         sa: &'a mut NodeState,
         b: NodeId,
         sb: &'a mut NodeState,
+    },
+    Solo {
+        x: NodeId,
+        sx: &'a mut NodeState,
     },
 }
 
@@ -205,6 +211,13 @@ impl StatePair<'_> {
                     panic!("{x} is outside this contact's state pair")
                 }
             }
+            StatePair::Solo { x: n, sx } => {
+                if x == *n {
+                    sx
+                } else {
+                    panic!("{x} is outside this solo state lease")
+                }
+            }
         }
     }
 
@@ -218,6 +231,13 @@ impl StatePair<'_> {
                     sb
                 } else {
                     panic!("{x} is outside this contact's state pair")
+                }
+            }
+            StatePair::Solo { x: n, sx } => {
+                if x == *n {
+                    sx
+                } else {
+                    panic!("{x} is outside this solo state lease")
                 }
             }
         }
@@ -246,6 +266,9 @@ impl StatePair<'_> {
                     panic!("({x}, {y}) is not this contact's state pair")
                 }
             }
+            StatePair::Solo { .. } => {
+                panic!("({x}, {y}) requested from a solo state lease")
+            }
         }
     }
 
@@ -253,7 +276,7 @@ impl StatePair<'_> {
     fn all(&self) -> &[NodeState] {
         match self {
             StatePair::Full(states) => states,
-            StatePair::Pair { .. } => {
+            StatePair::Pair { .. } | StatePair::Solo { .. } => {
                 unreachable!("global-knowledge paths never run under batch execution")
             }
         }
@@ -446,6 +469,155 @@ impl ContactExec<'_> {
             }
         }
     }
+
+    /// §3.4 storage decision: the lowest-utility victims freeing `needed`
+    /// bytes at `node`. Touches only `node`'s state (that it runs under
+    /// [`StatePair::Solo`] in sharded execution is the compile-time proof),
+    /// so the serial, batch and sharded paths share this implementation.
+    #[allow(clippy::too_many_arguments)]
+    fn make_room(
+        &mut self,
+        node: NodeId,
+        incoming: &Packet,
+        needed: u64,
+        buffer: &NodeBuffer,
+        packets: &PacketStore,
+        now: Time,
+        scratch: &mut ContactScratch,
+    ) -> Vec<PacketId> {
+        self.ensure_est_cache(node, &mut scratch.relax);
+        // Lazy re-sorting: reuse the node's sorted eviction order while no
+        // invalidation touched the cache (a dropped creation leaves the
+        // order valid for the next storage decision); rebuild it from
+        // cached rates — only dirty packets re-run Estimate Delay —
+        // otherwise.
+        let version = self.states.state(node).cache.version();
+        let reusable = self
+            .states
+            .state(node)
+            .evict_order
+            .as_ref()
+            .is_some_and(|o| o.version == version && o.now == now);
+        if !reusable {
+            let mut scored: Vec<(f64, PacketId, u64)> = Vec::with_capacity(buffer.len());
+            let b_self = self.opp_bytes(node, node);
+            let cap = self.cfg.delay_cap_secs;
+            // Batched refresh, one delivery queue at a time: a single
+            // cache-validity sweep per queue, then one kernel row over
+            // just the dirty packets' queue positions (the per-queue
+            // constants — destination estimate, opportunity size, cap —
+            // broadcast across the row), then the remote-belief folds.
+            // Valid entries are reused as-is (recomputation would be
+            // bit-identical; re-verified under `debug_assertions`).
+            for (dst, queue) in buffer.queues() {
+                {
+                    let state = self.states.state(node);
+                    let misses = state.cache.sweep_queue(
+                        dst,
+                        queue.iter().map(|q| q.id),
+                        &mut scratch.rate_row,
+                    );
+                    scratch.row_self.clear();
+                    if misses > 0 {
+                        let e_dst = state.est_cache[dst.index()];
+                        for (entry, hit) in queue.iter().zip(&scratch.rate_row) {
+                            if hit.is_none() {
+                                scratch.row_self.push(entry.bytes_ahead);
+                            }
+                        }
+                        scratch.row_self.compute(e_dst, b_self, cap);
+                    }
+                }
+                let mut fresh = scratch.row_self.delays().iter();
+                scratch.fresh_rates.clear();
+                for (entry, hit) in queue.iter().zip(&scratch.rate_row) {
+                    let p = packets.get(entry.id);
+                    let rate = match *hit {
+                        Some(rate) => {
+                            #[cfg(debug_assertions)]
+                            {
+                                let from_scratch = self.rate_with(node, &p, entry.bytes_ahead);
+                                debug_assert!(
+                                    rate.to_bits() == from_scratch.to_bits(),
+                                    "stale delay-cache entry for {} at {node}: \
+                                     cached {rate}, fresh {from_scratch}",
+                                    entry.id,
+                                );
+                            }
+                            rate
+                        }
+                        None => {
+                            let a_self = *fresh.next().expect("one row value per miss");
+                            let rate = self.rate_from_a_self(node, entry.id, a_self);
+                            scratch.fresh_rates.push((entry.id, rate));
+                            rate
+                        }
+                    };
+                    scored.push((
+                        self.utility_from_rate(rate, &p, now),
+                        entry.id,
+                        entry.size_bytes,
+                    ));
+                }
+                self.states
+                    .state_mut(node)
+                    .cache
+                    .put_row(dst, scratch.fresh_rates.drain(..));
+            }
+            // Lowest utility evicted first; id tiebreak for determinism.
+            scored.sort_unstable_by(|a, b| cmp_utility_then_id((a.0, a.1), (b.0, b.1)));
+            self.states.state_mut(node).evict_order = Some(EvictOrder {
+                version,
+                now,
+                order: scored.into_iter().map(|(_, id, size)| (id, size)).collect(),
+            });
+        }
+
+        // §3.4 protects a source's own unacked packets from being displaced
+        // by *incoming replicas*; when the incoming packet is the node's own
+        // creation, the source manages its own queue and may shed its own
+        // lowest-utility packets (otherwise a saturated source would drop
+        // every new packet at birth).
+        let own_creation = incoming.src == node;
+        let state = self.states.state(node);
+        let order = &state.evict_order.as_ref().expect("just ensured").order;
+        let mut victims = Vec::new();
+        let mut freed = 0u64;
+        for &(id, size) in order {
+            if freed >= needed {
+                break;
+            }
+            let p = packets.get(id);
+            if own_creation || p.src != node || state.acks.contains(id) {
+                victims.push(id);
+                freed += size;
+            }
+        }
+
+        #[cfg(debug_assertions)]
+        self.assert_victims_match_reference(node, own_creation, needed, buffer, packets, now, {
+            if freed >= needed {
+                &victims
+            } else {
+                &[]
+            }
+        });
+
+        if freed >= needed {
+            for &v in &victims {
+                let dst = packets.get(v).dst;
+                let st = self.states.state_mut(node);
+                st.meta.remove_holder(v, node);
+                // The eviction changes this queue's positions and v's own
+                // remote-belief set: dirty both.
+                st.cache.touch_dst(dst);
+                st.cache.touch_packet(v);
+            }
+            victims
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 /// The two whole-queue Eq. 4–5 rate rows of one enumeration — own-side
@@ -566,140 +738,8 @@ impl Routing for Rapid {
             n,
             states: StatePair::Full(states),
         };
-        exec.ensure_est_cache(node, &mut scratch.relax);
-        // Lazy re-sorting: reuse the node's sorted eviction order while no
-        // invalidation touched the cache (a dropped creation leaves the
-        // order valid for the next storage decision); rebuild it from
-        // cached rates — only dirty packets re-run Estimate Delay —
-        // otherwise.
-        let version = exec.states.state(node).cache.version();
-        let reusable = exec
-            .states
-            .state(node)
-            .evict_order
-            .as_ref()
-            .is_some_and(|o| o.version == version && o.now == now);
-        if !reusable {
-            let mut scored: Vec<(f64, PacketId, u64)> = Vec::with_capacity(buffer.len());
-            let b_self = exec.opp_bytes(node, node);
-            let cap = exec.cfg.delay_cap_secs;
-            // Batched refresh, one delivery queue at a time: a single
-            // cache-validity sweep per queue, then one kernel row over
-            // just the dirty packets' queue positions (the per-queue
-            // constants — destination estimate, opportunity size, cap —
-            // broadcast across the row), then the remote-belief folds.
-            // Valid entries are reused as-is (recomputation would be
-            // bit-identical; re-verified under `debug_assertions`).
-            for (dst, queue) in buffer.queues() {
-                {
-                    let state = exec.states.state(node);
-                    let misses = state.cache.sweep_queue(
-                        dst,
-                        queue.iter().map(|q| q.id),
-                        &mut scratch.rate_row,
-                    );
-                    scratch.row_self.clear();
-                    if misses > 0 {
-                        let e_dst = state.est_cache[dst.index()];
-                        for (entry, hit) in queue.iter().zip(&scratch.rate_row) {
-                            if hit.is_none() {
-                                scratch.row_self.push(entry.bytes_ahead);
-                            }
-                        }
-                        scratch.row_self.compute(e_dst, b_self, cap);
-                    }
-                }
-                let mut fresh = scratch.row_self.delays().iter();
-                scratch.fresh_rates.clear();
-                for (entry, hit) in queue.iter().zip(&scratch.rate_row) {
-                    let p = packets.get(entry.id);
-                    let rate = match *hit {
-                        Some(rate) => {
-                            #[cfg(debug_assertions)]
-                            {
-                                let from_scratch = exec.rate_with(node, &p, entry.bytes_ahead);
-                                debug_assert!(
-                                    rate.to_bits() == from_scratch.to_bits(),
-                                    "stale delay-cache entry for {} at {node}: \
-                                     cached {rate}, fresh {from_scratch}",
-                                    entry.id,
-                                );
-                            }
-                            rate
-                        }
-                        None => {
-                            let a_self = *fresh.next().expect("one row value per miss");
-                            let rate = exec.rate_from_a_self(node, entry.id, a_self);
-                            scratch.fresh_rates.push((entry.id, rate));
-                            rate
-                        }
-                    };
-                    scored.push((
-                        exec.utility_from_rate(rate, &p, now),
-                        entry.id,
-                        entry.size_bytes,
-                    ));
-                }
-                exec.states
-                    .state_mut(node)
-                    .cache
-                    .put_row(dst, scratch.fresh_rates.drain(..));
-            }
-            // Lowest utility evicted first; id tiebreak for determinism.
-            scored.sort_unstable_by(|a, b| cmp_utility_then_id((a.0, a.1), (b.0, b.1)));
-            exec.states.state_mut(node).evict_order = Some(EvictOrder {
-                version,
-                now,
-                order: scored.into_iter().map(|(_, id, size)| (id, size)).collect(),
-            });
-        }
-
-        // §3.4 protects a source's own unacked packets from being displaced
-        // by *incoming replicas*; when the incoming packet is the node's own
-        // creation, the source manages its own queue and may shed its own
-        // lowest-utility packets (otherwise a saturated source would drop
-        // every new packet at birth).
-        let own_creation = incoming.src == node;
-        let state = exec.states.state(node);
-        let order = &state.evict_order.as_ref().expect("just ensured").order;
-        let mut victims = Vec::new();
-        let mut freed = 0u64;
-        for &(id, size) in order {
-            if freed >= needed {
-                break;
-            }
-            let p = packets.get(id);
-            if own_creation || p.src != node || state.acks.contains(id) {
-                victims.push(id);
-                freed += size;
-            }
-        }
-
-        #[cfg(debug_assertions)]
-        exec.assert_victims_match_reference(node, own_creation, needed, buffer, packets, now, {
-            if freed >= needed {
-                &victims
-            } else {
-                &[]
-            }
-        });
-
-        if freed >= needed {
-            for &v in &victims {
-                let dst = packets.get(v).dst;
-                let st = exec.states.state_mut(node);
-                st.meta.remove_holder(v, node);
-                // The eviction changes this queue's positions and v's own
-                // remote-belief set: dirty both.
-                st.cache.touch_dst(dst);
-                st.cache.touch_packet(v);
-            }
-            victims
-        } else {
-            Vec::new()
-        }
+        exec.make_room(node, incoming, needed, buffer, packets, now, scratch)
     }
-
     fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
         let n = self.states.len();
         let (cfg, states, scratch) = (&self.cfg, &mut self.states, &mut self.scratch[0]);
@@ -754,6 +794,45 @@ impl Routing for Rapid {
         });
     }
 
+    fn on_shard_epoch(
+        &mut self,
+        partition: &Partition,
+        pool: &ContactPool,
+        drain: &(dyn Fn(usize, &mut dyn Routing) + Sync),
+    ) -> bool {
+        debug_assert!(!self.is_global(), "global channel declared Serial");
+        let shards = partition.shards();
+        if self.scratch.len() < shards {
+            let kernel = self.kernel;
+            self.scratch
+                .resize_with(shards, || ContactScratch::with_kernel(kernel));
+        }
+        let n = self.states.len();
+        let cfg = &self.cfg;
+        let states = SlicePartition::new(&mut self.states);
+        let scratches = SlicePartition::new(&mut self.scratch);
+        pool.run(shards, &|_worker, s| {
+            // SAFETY: partition ranges are disjoint and each shard index
+            // is claimed by exactly one worker (`ContactPool::run`), so
+            // shard `s`'s run of node states and scratch slot `s` are
+            // borrowed by no other concurrent execution. The drained
+            // messages address only nodes the shard owns (the director's
+            // routing contract), which `RapidShardView` enforces by
+            // construction: its lease is exactly `partition.range(s)`.
+            let range = partition.range(s);
+            let base = range.start;
+            let mut view = RapidShardView {
+                cfg,
+                n,
+                base,
+                states: unsafe { states.range_mut(range) },
+                scratch: unsafe { scratches.get_mut(s) },
+            };
+            drain(s, &mut view);
+        });
+        true
+    }
+
     fn on_packet_created(&mut self, packet: &Packet) {
         // The source's delivery queue for this destination gained an entry.
         let st = &mut self.states[packet.src.index()];
@@ -777,6 +856,100 @@ impl Routing for Rapid {
 
     fn on_node_down(&mut self, node: NodeId, _now: Time) {
         self.states[node.index()].cache.invalidate_all();
+    }
+}
+
+/// One shard's lease over its contiguous run of RAPID node states during
+/// a sharded epoch ([`Rapid::on_shard_epoch`]). The director delivers the
+/// epoch's messages through the [`Routing`] interface with *global* node
+/// ids; every hook here re-bases them onto the local subslice, so a
+/// message addressing a node outside the shard's partition range is an
+/// out-of-bounds panic rather than a data race.
+///
+/// Cross-endpoint effects need no special handling: an intra-shard
+/// contact owns both endpoint states ([`StatePair::Pair`]), and
+/// cross-shard contacts are director barriers that run on the coordinator
+/// instance with the full slice — the in-band metadata rows those
+/// contacts exchange flow through the same serial path as before.
+struct RapidShardView<'a> {
+    cfg: &'a RapidConfig,
+    /// Total node count (estimate vectors are world-sized even though the
+    /// lease is not).
+    n: usize,
+    /// First node id owned by this shard; local index = `id - base`.
+    base: usize,
+    states: &'a mut [NodeState],
+    scratch: &'a mut ContactScratch,
+}
+
+impl RapidShardView<'_> {
+    fn local_mut(&mut self, node: NodeId) -> &mut NodeState {
+        &mut self.states[node.index() - self.base]
+    }
+}
+
+impl Routing for RapidShardView<'_> {
+    fn name(&self) -> String {
+        "RAPID(shard-view)".into()
+    }
+
+    fn contact_concurrency(&self) -> ContactConcurrency {
+        ContactConcurrency::NodeDisjoint
+    }
+
+    fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+        let (a, b) = driver.endpoints();
+        let (ai, bi) = (a.index() - self.base, b.index() - self.base);
+        let (sa, sb) = if ai < bi {
+            let (lo, hi) = self.states.split_at_mut(bi);
+            (&mut lo[ai], &mut hi[0])
+        } else {
+            let (lo, hi) = self.states.split_at_mut(ai);
+            (&mut hi[0], &mut lo[bi])
+        };
+        let mut exec = ContactExec {
+            cfg: self.cfg,
+            n: self.n,
+            states: StatePair::Pair { a, sa, b, sb },
+        };
+        exec.contact(driver, self.scratch);
+    }
+
+    fn make_room(
+        &mut self,
+        node: NodeId,
+        incoming: &Packet,
+        needed: u64,
+        buffer: &NodeBuffer,
+        packets: &PacketStore,
+        now: Time,
+    ) -> Vec<PacketId> {
+        let sx = &mut self.states[node.index() - self.base];
+        let mut exec = ContactExec {
+            cfg: self.cfg,
+            n: self.n,
+            states: StatePair::Solo { x: node, sx },
+        };
+        exec.make_room(node, incoming, needed, buffer, packets, now, self.scratch)
+    }
+
+    fn on_packet_created(&mut self, packet: &Packet) {
+        let (dst, id) = (packet.dst, packet.id);
+        let st = self.local_mut(packet.src);
+        st.cache.touch_dst(dst);
+        st.cache.touch_packet(id);
+    }
+
+    fn on_packet_expired(&mut self, _packet: &Packet) {
+        unreachable!("TTL expiry is a director barrier and runs on the coordinator instance")
+    }
+
+    fn on_node_up(&mut self, node: NodeId, _now: Time) {
+        self.local_mut(node).cache.invalidate_all();
+    }
+
+    fn on_node_down(&mut self, node: NodeId, _now: Time) {
+        self.local_mut(node).cache.invalidate_all();
     }
 }
 

@@ -84,7 +84,7 @@ pub use par::{
 pub use plan::{CompiledPlan, PlanAtom, PlanStream};
 pub use report::{PacketOutcome, SimReport};
 pub use routing::{PacketStore, Routing, SimConfig, TransferOutcome};
-pub use shard::{run_sharded, run_sharded_with_stats, Partition, ShardStats};
+pub use shard::{clamp_shards, run_sharded, run_sharded_with_stats, Partition, ShardStats};
 pub use source::{ContactSource, ScheduleStream, WorkloadSource, WorkloadStream};
 pub use time::{Time, TimeDelta};
 pub use types::{NodeId, Packet, PacketId};

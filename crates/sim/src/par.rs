@@ -69,6 +69,22 @@ impl ContactConcurrency {
     pub fn is_node_disjoint(self) -> bool {
         matches!(self, Self::NodeDisjoint | Self::Stateless)
     }
+
+    /// Stable snake-case label for telemetry columns (the per-shard
+    /// timing TSV's `concurrency` field).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Serial => "serial",
+            Self::NodeDisjoint => "node_disjoint",
+            Self::Stateless => "stateless",
+        }
+    }
+}
+
+impl std::fmt::Display for ContactConcurrency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 // The strict knob-parsing helpers began life here; re-exported from
@@ -487,6 +503,23 @@ impl<'a, T> SlicePartition<'a, T> {
     pub unsafe fn pair_mut(&self, i: usize, j: usize) -> (&mut T, &mut T) {
         assert_ne!(i, j, "pair indices must be distinct");
         (self.get_mut(i), self.get_mut(j))
+    }
+
+    /// Exclusive access to the contiguous subslice `r` — how the sharded
+    /// runtime leases each shard's node range of a single protocol
+    /// instance's per-node state to one worker.
+    ///
+    /// # Safety
+    /// As [`SlicePartition::get_mut`], for every index in `r`: no other
+    /// live reference may address any of them for the borrow's lifetime.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn range_mut(&self, r: std::ops::Range<usize>) -> &mut [T] {
+        assert!(
+            r.start <= r.end && r.end <= self.len,
+            "range {r:?} out of bounds ({})",
+            self.len
+        );
+        std::slice::from_raw_parts_mut(self.ptr.add(r.start), r.end - r.start)
     }
 }
 

@@ -12,6 +12,7 @@
 use crate::buffer::NodeBuffer;
 use crate::driver::ContactDriver;
 use crate::par::{ContactConcurrency, ContactPool};
+use crate::shard::Partition;
 use crate::time::{Time, TimeDelta};
 use crate::types::{NodeId, Packet, PacketId};
 
@@ -160,6 +161,16 @@ pub trait Routing {
     /// randomness is derived from [`ContactDriver::contact_seq`] — which
     /// lets the engine drive node-disjoint contacts concurrently with
     /// byte-identical results (see [`crate::par`]).
+    ///
+    /// The promise extends to the per-node lifecycle hooks:
+    /// [`Routing::make_room`], [`Routing::on_packet_created`] /
+    /// [`Routing::on_creation_dropped`] and [`Routing::on_node_up`] /
+    /// [`Routing::on_node_down`] may touch only the subject node's state.
+    /// (Only [`Routing::on_packet_expired`] may read arbitrary nodes —
+    /// the runtimes always execute it as a serial barrier.) This is what
+    /// lets the sharded runtime ([`crate::shard`]) drain shard queues of
+    /// a *single* `NodeDisjoint` instance in any shard order within an
+    /// epoch: every queued action touches only state owned by its shard.
     fn contact_concurrency(&self) -> ContactConcurrency {
         ContactConcurrency::Serial
     }
@@ -185,6 +196,37 @@ pub trait Routing {
     /// closed. `interrupted` is true when churn cut the window short.
     /// Default: no-op (protocols that only care about transfers ignore it).
     fn on_contact_end(&mut self, _a: NodeId, _b: NodeId, _now: Time, _interrupted: bool) {}
+
+    /// Drains one sharded-runtime epoch against this (single, shared)
+    /// instance — the `NodeDisjoint` analogue of [`Routing::on_contact_batch`].
+    ///
+    /// Only called by [`crate::shard`] for protocols that declare
+    /// [`ContactConcurrency::NodeDisjoint`] without the
+    /// [`ContactConcurrency::Stateless`] instance-interchangeability
+    /// promise: there is exactly one protocol instance, and the runtime
+    /// asks it to split its per-node state along `partition` and drain
+    /// every shard's action queue. The implementation must call
+    /// `drain(s, view)` exactly once for every shard `s in
+    /// 0..partition.shards()`, where `view` is a [`Routing`] value whose
+    /// hooks address shard `s`'s node range of this instance's state;
+    /// calls for distinct shards may run concurrently on `pool` because
+    /// every queued action touches only its own shard's nodes (the
+    /// extended `NodeDisjoint` contract).
+    ///
+    /// Returns whether the epoch was drained. The default returns `false`
+    /// without calling `drain`: the runtime then drains every shard
+    /// serially, in shard order, against this instance directly — correct
+    /// for any `NodeDisjoint` protocol (intra-epoch actions of distinct
+    /// shards commute), just without intra-epoch parallelism.
+    fn on_shard_epoch(
+        &mut self,
+        partition: &Partition,
+        pool: &ContactPool,
+        drain: &(dyn Fn(usize, &mut dyn Routing) + Sync),
+    ) -> bool {
+        let _ = (partition, pool, drain);
+        false
+    }
 
     /// Called when the engine evicts every replica of `packet` because its
     /// TTL elapsed undelivered (see [`SimConfig::ttl`]). Beliefs about the

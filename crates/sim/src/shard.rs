@@ -54,10 +54,24 @@
 //! * **Report sums** — per-shard `u64` counters folded in shard order;
 //!   integer addition is associative and commutative.
 //!
-//! The protocol contract making per-shard instances sound is
-//! [`ContactConcurrency::Stateless`]: every observable decision is a
-//! pure function of `(config, driver)`, so N instances driving disjoint
-//! contact subsets behave like one instance driving everything.
+//! The runtime has two execution modes, keyed on the protocol's
+//! [`ContactConcurrency`] tier:
+//!
+//! * **`Stateless`** — one routing instance *per shard* plus the
+//!   coordinator. Sound because every observable decision is a pure
+//!   function of `(config, driver)`, so N instances driving disjoint
+//!   contact subsets behave like one instance driving everything.
+//! * **`NodeDisjoint`** (without the `Stateless` promise) — one *single*
+//!   shared instance (the coordinator). Per-node protocol state makes
+//!   instances non-interchangeable, but the extended `NodeDisjoint`
+//!   contract ([`Routing::contact_concurrency`]) guarantees every queued
+//!   epoch action touches only its own shard's nodes, so shard queues
+//!   commute within an epoch. Each flush asks the instance to drain the
+//!   epoch itself via [`Routing::on_shard_epoch`] (splitting its per-node
+//!   state across the pool); a protocol without that override is drained
+//!   serially in shard order — same bytes, no intra-epoch parallelism.
+//!
+//! `Serial` protocols cannot shard at all and are rejected loudly.
 
 use crate::contact::ContactWindow;
 use crate::driver::{ContactDriver, HolderOp, WorldMut};
@@ -150,6 +164,26 @@ impl Partition {
     }
 }
 
+/// Clamps a requested shard count to the node count, warning once when
+/// the request exceeded it: `RAPID_SHARDS > nodes` would pass env
+/// validation yet produce shards that own no nodes — each still costing
+/// a pool worker and a queue while doing no work. The result is always
+/// at least 1 (a zero-node world still needs one shard for
+/// [`Partition::even`]).
+pub fn clamp_shards(shards: usize, nodes: usize) -> usize {
+    let clamped = shards.min(nodes).max(1);
+    if clamped < shards {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| {
+            eprintln!(
+                "warning: RAPID_SHARDS={shards} exceeds the {nodes}-node world; \
+                 clamping to {clamped} (extra shards would own no nodes)"
+            );
+        });
+    }
+    clamped
+}
+
 /// Per-shard execution telemetry from a sharded run (the timing TSVs the
 /// scale harness uploads).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +198,12 @@ pub struct ShardStats {
     pub creations: u64,
     /// Wall time spent draining this shard's queues (sum over epochs).
     pub busy: Duration,
+    /// The concurrency tier the run executed under — which of the two
+    /// sharded modes served this shard (`stateless` = per-shard
+    /// instances, `node_disjoint` = single shared instance). Harnesses
+    /// that fall back to the serial engine report `serial` here so the
+    /// per-shard TSV says *why* a run didn't parallelize.
+    pub concurrency: ContactConcurrency,
 }
 
 /// One routed action in a shard's queue. Emitted by the director in the
@@ -188,7 +228,10 @@ enum ShardMsg {
 /// One shard's routing instance, action queue, holder-op log and report
 /// counters. Disjoint across shards; drained by one worker per epoch.
 struct ShardState {
-    routing: Box<dyn Routing + Send>,
+    /// The shard's own instance under the `Stateless` mode; `None` under
+    /// the single-instance `NodeDisjoint` mode, where every drain runs
+    /// against a view of the coordinator's state.
+    routing: Option<Box<dyn Routing + Send>>,
     msgs: Vec<ShardMsg>,
     holder_log: Vec<HolderOp>,
     // Report counters, folded in shard order at the end of the run.
@@ -235,16 +278,18 @@ pub fn run_sharded(
     run_sharded_with_stats(config, partition, contacts, workload, churn, noise, factory).0
 }
 
-/// Executes one run under `partition`, one routing instance per shard
-/// plus a coordinator instance for cross-shard work, and returns the
-/// report (byte-identical to [`crate::engine::run_streaming`] with the
-/// same inputs) plus per-shard telemetry.
+/// Executes one run under `partition` and returns the report
+/// (byte-identical to [`crate::engine::run_streaming`] with the same
+/// inputs) plus per-shard telemetry.
 ///
-/// `factory` builds one routing instance per shard and one coordinator;
-/// every instance must declare [`ContactConcurrency::Stateless`] —
-/// identically-built instances must be interchangeable. Runs with
-/// global knowledge cannot shard (the instant global channel reads
-/// arbitrary remote state mid-contact).
+/// `factory` builds the coordinator instance and — under the
+/// [`ContactConcurrency::Stateless`] mode — one routing instance per
+/// shard. Every instance must declare a node-disjoint tier
+/// ([`ContactConcurrency::is_node_disjoint`]); a `Serial` protocol is
+/// rejected loudly. Protocols that are `NodeDisjoint` but not
+/// `Stateless` run in the single-instance mode (see the module docs).
+/// Runs with global knowledge cannot shard (the instant global channel
+/// reads arbitrary remote state mid-contact).
 #[allow(clippy::too_many_arguments)]
 pub fn run_sharded_with_stats(
     config: &SimConfig,
@@ -266,19 +311,24 @@ pub fn run_sharded_with_stats(
     );
 
     let mut coord = factory();
-    assert_eq!(
-        coord.contact_concurrency(),
-        ContactConcurrency::Stateless,
-        "sharded execution requires a Stateless protocol (got {})",
+    let concurrency = coord.contact_concurrency();
+    assert!(
+        concurrency.is_node_disjoint(),
+        "sharded execution requires a node-disjoint protocol tier \
+         (NodeDisjoint or Stateless); {} declared Serial",
         coord.name()
     );
     coord.on_init(config);
+    let stateless = concurrency == ContactConcurrency::Stateless;
 
     let mut states: Vec<ShardState> = (0..partition.shards())
         .map(|_| {
-            let mut routing = factory();
-            debug_assert_eq!(routing.contact_concurrency(), ContactConcurrency::Stateless);
-            routing.on_init(config);
+            let routing = stateless.then(|| {
+                let mut routing = factory();
+                debug_assert_eq!(routing.contact_concurrency(), ContactConcurrency::Stateless);
+                routing.on_init(config);
+                routing
+            });
             ShardState {
                 routing,
                 msgs: Vec::new(),
@@ -301,6 +351,7 @@ pub fn run_sharded_with_stats(
             config,
             partition,
             states: &mut states,
+            stateless,
             world: ShardWorld {
                 buffers: (0..config.nodes)
                     .map(|_| NodeBuffer::new(config.buffer_capacity))
@@ -331,6 +382,7 @@ pub fn run_sharded_with_stats(
             drives: st.drives,
             creations: st.creations,
             busy: st.busy,
+            concurrency,
         })
         .collect();
     (report, stats)
@@ -342,6 +394,9 @@ struct Director<'a> {
     config: &'a SimConfig,
     partition: &'a Partition,
     states: &'a mut [ShardState],
+    /// Whether shards own per-shard instances (`Stateless` mode) or every
+    /// epoch drains the single coordinator instance (`NodeDisjoint`).
+    stateless: bool,
     world: ShardWorld,
     coord: &'a mut (dyn Routing + Send),
     report: SimReport,
@@ -663,17 +718,56 @@ impl Director<'_> {
             let delivered = RawSlice::new(self.world.delivered_at.as_mut_slice());
             let entered = RawSlice::new(self.world.entered.as_mut_slice());
             let shards = SlicePartition::new(&mut *self.states);
-            pool.run(shards.len(), &|_, s| {
-                // SAFETY: the pool claims each index exactly once per
-                // run, so this is the sole reference to shard `s`.
-                let state = unsafe { shards.get_mut(s) };
-                if state.msgs.is_empty() {
-                    return;
+            if self.stateless {
+                pool.run(shards.len(), &|_, s| {
+                    // SAFETY: the pool claims each index exactly once per
+                    // run, so this is the sole reference to shard `s`.
+                    let state = unsafe { shards.get_mut(s) };
+                    if state.msgs.is_empty() {
+                        return;
+                    }
+                    let t0 = Instant::now();
+                    let mut routing = state
+                        .routing
+                        .take()
+                        .expect("stateless shards own instances");
+                    drain_shard(
+                        routing.as_mut(),
+                        state,
+                        &buffers,
+                        &delivered,
+                        &entered,
+                        store,
+                    );
+                    state.routing = Some(routing);
+                    state.busy += t0.elapsed();
+                });
+            } else {
+                // Single-instance mode: shard queues drain against views
+                // of the coordinator's per-node state. The protocol
+                // splits that state itself (`on_shard_epoch`); without an
+                // override, drain serially in shard order — intra-epoch
+                // actions of distinct shards commute under the extended
+                // NodeDisjoint contract, so any fixed order is exact.
+                let drain = |s: usize, routing: &mut dyn Routing| {
+                    // SAFETY: `on_shard_epoch` calls each shard index
+                    // exactly once per epoch (its documented contract;
+                    // the serial fallback below trivially satisfies it),
+                    // so this is the sole reference to shard `s`.
+                    let state = unsafe { shards.get_mut(s) };
+                    if state.msgs.is_empty() {
+                        return;
+                    }
+                    let t0 = Instant::now();
+                    drain_shard(routing, state, &buffers, &delivered, &entered, store);
+                    state.busy += t0.elapsed();
+                };
+                if !self.coord.on_shard_epoch(self.partition, pool, &drain) {
+                    for s in 0..shards.len() {
+                        drain(s, &mut *self.coord);
+                    }
                 }
-                let t0 = Instant::now();
-                drain_shard(state, &buffers, &delivered, &entered, store);
-                state.busy += t0.elapsed();
-            });
+            }
         }
         // Holder ops in shard order: all ops for a (packet, node) pair
         // come from node's own shard in queue order, so per-pair final
@@ -739,12 +833,15 @@ impl Director<'_> {
     }
 }
 
-/// Drains one shard's queue in order against its node range. Runs on a
-/// pool worker; everything it touches is either owned by the shard
-/// (routing instance, buffers in its range, its holder log) or governed
-/// by a single-writer contract (`delivered_at`, `entered` — see the
-/// module docs).
+/// Drains one shard's queue in order against its node range, through
+/// `routing` — the shard's own instance (`Stateless` mode) or a
+/// shard-range view of the single shared instance (`NodeDisjoint` mode).
+/// Runs on a pool worker; everything it touches is either owned by the
+/// shard (routing state, buffers in its range, its holder log) or
+/// governed by a single-writer contract (`delivered_at`, `entered` —
+/// see the module docs).
 fn drain_shard(
+    routing: &mut dyn Routing,
     state: &mut ShardState,
     buffers: &SlicePartition<NodeBuffer>,
     delivered: &RawSlice<Option<Time>>,
@@ -752,7 +849,6 @@ fn drain_shard(
     store: &PacketStore,
 ) {
     let ShardState {
-        routing,
         msgs,
         holder_log,
         contacts,
@@ -855,6 +951,7 @@ mod tests {
     use super::*;
     use crate::engine::Simulation;
     use crate::routing::TransferOutcome;
+    use crate::types::Packet;
     use crate::workload::{PacketSpec, Workload};
     use crate::Schedule;
 
@@ -1047,8 +1144,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "Stateless")]
-    fn non_stateless_protocols_are_rejected() {
+    #[should_panic(expected = "declared Serial")]
+    fn serial_protocols_are_rejected() {
         struct SerialOnly;
         impl Routing for SerialOnly {
             fn name(&self) -> String {
@@ -1068,5 +1165,111 @@ mod tests {
             None,
             &mut || Box::new(SerialOnly),
         );
+    }
+
+    /// Flooding with genuinely evolving per-node state: each node
+    /// remembers every id it ever offered and offers unseen ids first.
+    /// Two fresh instances are NOT interchangeable (the memory warms up),
+    /// so this is `NodeDisjoint` without the `Stateless` promise — it
+    /// exercises the single-shared-instance mode and its default
+    /// serial-drain epoch path.
+    struct MemoryFlood {
+        seen: Vec<crate::acks::PacketSet>,
+    }
+
+    impl MemoryFlood {
+        fn new() -> Self {
+            Self { seen: Vec::new() }
+        }
+    }
+
+    impl Routing for MemoryFlood {
+        fn name(&self) -> String {
+            "memory-flood-test".into()
+        }
+
+        fn on_init(&mut self, config: &SimConfig) {
+            self.seen = (0..config.nodes)
+                .map(|_| crate::acks::PacketSet::new())
+                .collect();
+        }
+
+        fn contact_concurrency(&self) -> ContactConcurrency {
+            ContactConcurrency::NodeDisjoint
+        }
+
+        fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+            let (a, b) = driver.endpoints();
+            for from in [a, b] {
+                let to = driver.peer_of(from);
+                let mut ids = driver.buffer(from).ids();
+                ids.sort_by_key(|&id| {
+                    (
+                        driver.packets().get(id).dst != to,
+                        self.seen[from.index()].contains(id),
+                        id,
+                    )
+                });
+                for id in ids {
+                    if driver.try_transfer(from, id) == TransferOutcome::NoBandwidth {
+                        break;
+                    }
+                    self.seen[from.index()].insert(id);
+                }
+            }
+        }
+
+        fn on_packet_created(&mut self, packet: &Packet) {
+            self.seen[packet.src.index()].insert(packet.id);
+        }
+
+        fn on_node_up(&mut self, node: NodeId, _now: Time) {
+            self.seen[node.index()] = crate::acks::PacketSet::new();
+        }
+    }
+
+    #[test]
+    fn node_disjoint_single_instance_matches_serial() {
+        let serial = scenario().run(&mut MemoryFlood::new());
+        for shards in [1, 2, 3, 4] {
+            let sim = scenario();
+            let mut contacts = sim.schedule().windows().iter().copied();
+            let mut workload = sim.workload().specs().iter().copied();
+            let (sharded, stats) = run_sharded_with_stats(
+                sim.config(),
+                &Partition::even(9, shards),
+                &mut contacts,
+                &mut workload,
+                sim.churn(),
+                None,
+                &mut || Box::new(MemoryFlood::new()),
+            );
+            assert_eq!(sharded, serial, "{shards} shards diverged");
+            assert!(stats
+                .iter()
+                .all(|s| s.concurrency == ContactConcurrency::NodeDisjoint));
+        }
+        assert!(serial.delivered() >= 1, "scenario must not be vacuous");
+    }
+
+    #[test]
+    fn stats_report_the_stateless_tier() {
+        let (_, stats) = run_scenario_sharded(&Partition::even(9, 3));
+        assert!(stats
+            .iter()
+            .all(|s| s.concurrency == ContactConcurrency::Stateless));
+    }
+
+    #[test]
+    fn clamp_shards_caps_at_node_count() {
+        assert_eq!(clamp_shards(4, 100), 4);
+        assert_eq!(clamp_shards(16, 16), 16);
+        assert_eq!(clamp_shards(16, 9), 9, "more shards than nodes clamps");
+        assert_eq!(clamp_shards(3, 0), 1, "zero-node world keeps one shard");
+        // A clamped partition has no empty shards.
+        let p = Partition::even(9, clamp_shards(16, 9));
+        for s in 0..p.shards() {
+            assert!(!p.range(s).is_empty());
+        }
     }
 }

@@ -592,6 +592,67 @@ impl Routing for ShardFlood {
     }
 }
 
+/// A stateful node-disjoint protocol, the in-band RAPID shape: per-node
+/// memory of offered ids biases each node's transfer order, and per-node
+/// lifecycle hooks (creation, churn) mutate that memory. Fresh instances
+/// are NOT interchangeable, so the sharded runtime must route every hook
+/// to the one shared instance's per-node partitions — exactly the
+/// single-instance mode `Rapid` rides.
+struct MemFlood {
+    seen: Vec<dtn_sim::PacketSet>,
+}
+
+impl MemFlood {
+    fn new() -> Self {
+        Self { seen: Vec::new() }
+    }
+}
+
+impl Routing for MemFlood {
+    fn name(&self) -> String {
+        "memory-flood".into()
+    }
+
+    fn on_init(&mut self, config: &SimConfig) {
+        self.seen = (0..config.nodes)
+            .map(|_| dtn_sim::PacketSet::new())
+            .collect();
+    }
+
+    fn contact_concurrency(&self) -> ContactConcurrency {
+        ContactConcurrency::NodeDisjoint
+    }
+
+    fn on_contact(&mut self, driver: &mut ContactDriver<'_>) {
+        let (a, b) = driver.endpoints();
+        for from in [a, b] {
+            let to = driver.peer_of(from);
+            let mut ids = driver.buffer(from).ids();
+            ids.sort_by_key(|&id| {
+                (
+                    driver.packets().get(id).dst != to,
+                    self.seen[from.index()].contains(id),
+                    id,
+                )
+            });
+            for id in ids {
+                if driver.try_transfer(from, id) == TransferOutcome::NoBandwidth {
+                    break;
+                }
+                self.seen[from.index()].insert(id);
+            }
+        }
+    }
+
+    fn on_packet_created(&mut self, packet: &dtn_sim::Packet) {
+        self.seen[packet.src.index()].insert(packet.id);
+    }
+
+    fn on_node_up(&mut self, node: NodeId, _now: Time) {
+        self.seen[node.index()] = dtn_sim::PacketSet::new();
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
     #[test]
@@ -687,5 +748,36 @@ proptest! {
             "sharded run diverged from the serial engine under partition {:?}",
             partition
         );
+
+        // Same scenario and partition through the stateful NodeDisjoint
+        // tier: one shared instance, hooks routed to per-node partitions.
+        let serial_mem = Simulation::new(
+            cfg.clone(),
+            Schedule::new(windows.clone()),
+            Workload::new(specs.clone()),
+        )
+        .with_churn(churn_events.clone())
+        .run(&mut MemFlood::new());
+
+        let mut contact_src = windows.iter().copied();
+        let mut packet_src = specs.iter().copied();
+        let (sharded_mem, stats) = dtn_sim::run_sharded_with_stats(
+            &cfg,
+            &partition,
+            &mut contact_src,
+            &mut packet_src,
+            &churn_events,
+            None,
+            &mut || Box::new(MemFlood::new()),
+        );
+        prop_assert_eq!(
+            serial_mem,
+            sharded_mem,
+            "stateful NodeDisjoint sharded run diverged under partition {:?}",
+            partition
+        );
+        prop_assert!(stats
+            .iter()
+            .all(|s| s.concurrency == ContactConcurrency::NodeDisjoint));
     }
 }
