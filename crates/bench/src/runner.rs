@@ -7,14 +7,18 @@
 //! while generator-backed scenarios are never materialized at all.
 
 use crate::proto::Proto;
+use dtn_sim::checkpoint::routing_checkpointable;
 use dtn_sim::source::{ContactSource, ScheduleStream, WorkloadSource, WorkloadStream};
 use dtn_sim::workload::Workload;
 use dtn_sim::{
-    run_sharded, run_streaming, CompiledPlan, NodeEvent, NoiseModel, Partition, Schedule,
+    config_digest, diag, load_latest, run_sharded_hooked, run_streaming_hooked, Checkpointer,
+    CompiledPlan, Fault, FaultPlan, NodeEvent, NoiseModel, Partition, RunHooks, Schedule,
     SimConfig, SimReport, Time, TimeDelta,
 };
 use std::collections::BTreeMap;
 use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
@@ -199,7 +203,19 @@ pub struct RunSpec {
 /// the serial engine — same report, one event loop — with a one-shot
 /// warning naming the protocol and the reason (no silent fallback).
 pub fn run_spec(spec: &RunSpec, proto: Proto) -> SimReport {
-    let config = SimConfig {
+    let config = spec_config(spec, proto);
+    let measured_len = TimeDelta(spec.horizon.0.saturating_sub(spec.measure_from.0));
+    let probe = proto.build(spec.deadline, measured_len);
+    let checkpointable = routing_checkpointable(probe.as_ref());
+    run_with_recovery(&config, &probe.name(), checkpointable, &mut |hooks| {
+        run_spec_hooked(spec, proto, hooks)
+    })
+}
+
+/// The engine [`SimConfig`] for one job (shared by the direct and the
+/// checkpointed paths — the snapshot config digest hangs off it).
+fn spec_config(spec: &RunSpec, proto: Proto) -> SimConfig {
+    SimConfig {
         nodes: spec.nodes,
         buffer_capacity: spec.buffer,
         deadline: Some(spec.deadline),
@@ -217,7 +233,14 @@ pub fn run_spec(spec: &RunSpec, proto: Proto) -> SimReport {
         // Batch lookahead policy (RAPID_LOOKAHEAD, default adaptive);
         // results are byte-identical at any setting.
         lookahead: dtn_sim::par::Lookahead::from_env(),
-    };
+    }
+}
+
+/// One attempt at a job, with whatever checkpoint/resume/fault hooks the
+/// caller supplies. Scenario sources are opened fresh per call, so retries
+/// replay the identical input streams.
+fn run_spec_hooked(spec: &RunSpec, proto: Proto, hooks: RunHooks<'_>) -> SimReport {
+    let config = spec_config(spec, proto);
     let mut contacts = spec.contacts.source();
     let mut packets = spec.packets.source();
     let measured_len = TimeDelta(spec.horizon.0.saturating_sub(spec.measure_from.0));
@@ -226,7 +249,7 @@ pub fn run_spec(spec: &RunSpec, proto: Proto) -> SimReport {
     if shards > 1 {
         if !config.allow_global_knowledge && routing.contact_concurrency().is_node_disjoint() {
             let partition = Partition::even(spec.nodes, shards);
-            return run_sharded(
+            return run_sharded_hooked(
                 &config,
                 &partition,
                 contacts.as_mut(),
@@ -234,31 +257,262 @@ pub fn run_spec(spec: &RunSpec, proto: Proto) -> SimReport {
                 &spec.churn,
                 spec.noise,
                 &mut || proto.build(spec.deadline, measured_len),
-            );
+                hooks,
+            )
+            .0;
         }
         // Loud serial fallback: say once per process why RAPID_SHARDS had
         // no effect, instead of quietly timing the serial engine.
-        static WARNED: std::sync::Once = std::sync::Once::new();
-        WARNED.call_once(|| {
-            let reason = if config.allow_global_knowledge {
-                "it needs global knowledge (an oracle, not a protocol state partition)"
-            } else {
-                "its contact handling declares ContactConcurrency::Serial"
-            };
-            eprintln!(
-                "warning: RAPID_SHARDS={shards} ignored for {}: {reason}; running serial",
+        let reason = if config.allow_global_knowledge {
+            "it needs global knowledge (an oracle, not a protocol state partition)"
+        } else {
+            "its contact handling declares ContactConcurrency::Serial"
+        };
+        diag::warn_once(
+            "serial-fallback",
+            &format!(
+                "RAPID_SHARDS={shards} ignored for {}: {reason}; running serial",
                 routing.name()
-            );
-        });
+            ),
+            &[
+                ("proto", routing.name()),
+                ("shards", shards.to_string()),
+                (
+                    "reason",
+                    if config.allow_global_knowledge {
+                        "global-knowledge".into()
+                    } else {
+                        "serial-concurrency".into()
+                    },
+                ),
+            ],
+        );
     }
-    run_streaming(
+    run_streaming_hooked(
         &config,
         contacts.as_mut(),
         packets.as_mut(),
         &spec.churn,
         spec.noise,
         routing.as_mut(),
+        hooks,
     )
+}
+
+/// Checkpoint policy from the environment:
+///
+/// * `RAPID_CKPT_EVERY_S` — snapshot cadence in sim seconds; unset or
+///   absent = checkpointing off (the zero-overhead default).
+/// * `RAPID_CKPT_DIR` — checkpoint directory (default `rapid-ckpt`).
+///   Each job writes under a subdirectory keyed by its config digest and
+///   protocol, so a killed process restarted with the same environment
+///   resumes the right run.
+/// * `RAPID_CKPT_KEEP` — snapshots retained per job (default 3); older
+///   ones are pruned, and a corrupt newest degrades to the previous.
+/// * `RAPID_CKPT_RETRIES` — in-process crash-retry budget (default 3).
+struct CkptPolicy {
+    dir: PathBuf,
+    every: TimeDelta,
+    keep: usize,
+    retries: u64,
+}
+
+impl CkptPolicy {
+    fn from_env() -> Option<Self> {
+        let every = dtn_sim::from_env_or("RAPID_CKPT_EVERY_S", None, |v| {
+            match v.trim().parse::<f64>() {
+                Ok(x) if x.is_finite() && x > 0.0 => Ok(Some(TimeDelta::from_secs_f64(x))),
+                _ => Err(format!(
+                    "invalid RAPID_CKPT_EVERY_S value {v:?}: expected a finite positive number of seconds"
+                )),
+            }
+        })?;
+        Some(Self {
+            dir: std::env::var("RAPID_CKPT_DIR")
+                .unwrap_or_else(|_| "rapid-ckpt".into())
+                .into(),
+            every,
+            keep: dtn_sim::env::u64_from_env("RAPID_CKPT_KEEP", 3).max(1) as usize,
+            retries: dtn_sim::env::u64_from_env("RAPID_CKPT_RETRIES", 3).max(1),
+        })
+    }
+}
+
+/// Scheduled fault injection from `RAPID_FAULT_CRASH_S`: a comma-separated
+/// list of sim-time seconds at which the run panics (once each). A testing
+/// and CI hook — with checkpointing on, the retry loop must recover and
+/// the final report must match an undisturbed run.
+fn fault_plan_from_env() -> Option<FaultPlan> {
+    dtn_sim::from_env_or("RAPID_FAULT_CRASH_S", None, |v| {
+        let mut faults = Vec::new();
+        for part in v.split(',') {
+            match part.trim().parse::<f64>() {
+                Ok(x) if x.is_finite() && x >= 0.0 => faults.push(Fault::Crash {
+                    at: Time::from_secs_f64(x),
+                }),
+                _ => {
+                    return Err(format!(
+                        "invalid RAPID_FAULT_CRASH_S value {v:?}: expected comma-separated seconds"
+                    ))
+                }
+            }
+        }
+        Ok(Some(FaultPlan::scheduled(faults)))
+    })
+}
+
+/// Runs one job under the environment's checkpoint policy: resume from
+/// the last good snapshot if one exists, checkpoint on cadence, and on a
+/// crash retry from the freshest surviving snapshot with bounded backoff.
+/// Every recovery step is reported through [`diag`] (grep
+/// `diag=run-retry`, `diag=resume-from-checkpoint`); exhausting the retry
+/// budget re-raises the original panic.
+///
+/// `attempt` is one full run of the job with the supplied hooks; it must
+/// open its scenario sources fresh per call so retries replay identical
+/// input streams. With `RAPID_CKPT_EVERY_S` unset (the default) this is a
+/// single hook-free call with zero overhead. Both [`run_spec`] and the
+/// scale-family runner route through here, so the knobs and the crash
+/// recovery behave identically for spec-driven and scale-driven jobs.
+pub fn run_with_recovery(
+    config: &SimConfig,
+    name: &str,
+    checkpointable: bool,
+    attempt_fn: &mut dyn FnMut(RunHooks<'_>) -> SimReport,
+) -> SimReport {
+    let policy = match CkptPolicy::from_env() {
+        Some(policy) => policy,
+        None => return attempt_fn(RunHooks::default()),
+    };
+    if !checkpointable {
+        diag::warn_once(
+            "ckpt-unsupported",
+            &format!(
+                "RAPID_CKPT_EVERY_S ignored for {name}: no save_state and contacts are not Stateless"
+            ),
+            &[("proto", name.to_string())],
+        );
+        return attempt_fn(RunHooks::default());
+    }
+    let digest = config_digest(config);
+    let slug: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    let run_dir = policy.dir.join(format!("{digest:016x}-{slug}"));
+
+    let mut faults = fault_plan_from_env();
+    let mut backoff = std::time::Duration::from_millis(50);
+    for attempt in 1..=policy.retries {
+        let resume = match load_latest(&run_dir) {
+            Ok(Some(loaded)) if loaded.snapshot.config_digest == digest => {
+                diag::warn(
+                    "resume-from-checkpoint",
+                    &format!(
+                        "resuming {name} from {} (sim time {})",
+                        loaded.path.display(),
+                        loaded.snapshot.now
+                    ),
+                    &[
+                        ("proto", name.to_string()),
+                        ("path", loaded.path.display().to_string()),
+                        ("at_us", loaded.snapshot.now.0.to_string()),
+                    ],
+                );
+                Some(loaded.snapshot)
+            }
+            Ok(Some(loaded)) => {
+                diag::warn(
+                    "ckpt-stale",
+                    &format!(
+                        "ignoring checkpoint {}: config digest mismatch (snapshot {:016x}, run {digest:016x})",
+                        loaded.path.display(),
+                        loaded.snapshot.config_digest
+                    ),
+                    &[("path", loaded.path.display().to_string())],
+                );
+                None
+            }
+            Ok(None) => None,
+            Err(e) => {
+                diag::warn(
+                    "ckpt-dir-unreadable",
+                    &format!("cannot scan {}: {e}; starting fresh", run_dir.display()),
+                    &[("dir", run_dir.display().to_string())],
+                );
+                None
+            }
+        };
+        let mut ckpt = Checkpointer::new(&run_dir, policy.every, policy.keep).unwrap_or_else(|e| {
+            panic!(
+                "cannot create checkpoint dir {}: {e} [diag=ckpt-dir-failed]",
+                run_dir.display()
+            )
+        });
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            attempt_fn(RunHooks {
+                checkpoint: Some(&mut ckpt),
+                resume,
+                faults: faults.as_mut(),
+            })
+        }));
+        match outcome {
+            Ok(report) => {
+                // The run completed; its snapshots have served their
+                // purpose (a later identical invocation should start
+                // fresh, not replay the tail of this one).
+                let _ = std::fs::remove_dir_all(&run_dir);
+                return report;
+            }
+            Err(payload) => {
+                let msg = panic_message(&payload);
+                if attempt == policy.retries {
+                    diag::warn(
+                        "run-failed",
+                        &format!("{name} failed after {attempt} attempts: {msg}"),
+                        &[
+                            ("proto", name.to_string()),
+                            ("attempts", attempt.to_string()),
+                        ],
+                    );
+                    resume_unwind(payload);
+                }
+                diag::warn(
+                    "run-retry",
+                    &format!(
+                        "attempt {attempt}/{} of {name} crashed ({msg}); retrying from last good checkpoint in {}",
+                        policy.retries,
+                        run_dir.display()
+                    ),
+                    &[
+                        ("proto", name.to_string()),
+                        ("attempt", attempt.to_string()),
+                        ("of", policy.retries.to_string()),
+                    ],
+                );
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(std::time::Duration::from_secs(2));
+            }
+        }
+    }
+    unreachable!("retry loop either returns or re-raises")
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
 }
 
 /// Worker count: `RAPID_JOBS` (default: available parallelism), capped at

@@ -16,12 +16,13 @@
 //! the CI memory check).
 
 use crate::proto::Proto;
-use crate::runner::{run_spec, ContactsSpec, PacketsSpec, RunSpec};
+use crate::runner::{run_spec, run_with_recovery, ContactsSpec, PacketsSpec, RunSpec};
 use crate::tsv::{f, Tsv};
 use crate::{env_u64, root_seed};
 use dtn_mobility::{RegionalFleet, ScaleFleet};
+use dtn_sim::checkpoint::routing_checkpointable;
 use dtn_sim::{
-    run_sharded_with_stats, run_streaming, CompiledPlan, Partition, ShardStats, SimConfig, Time,
+    run_sharded_hooked, run_streaming_hooked, CompiledPlan, Partition, ShardStats, SimConfig, Time,
     TimeDelta,
 };
 use dtn_stats::{Extrema, ShardSlots, StreamingMean};
@@ -414,6 +415,12 @@ pub fn scale_proto() -> Proto {
 /// runtime (per-shard event loops under conservative barriers). The
 /// report is byte-identical at any shard count; the `Vec<ShardStats>` is
 /// empty on the serial path.
+///
+/// Routed through [`run_with_recovery`], so the `RAPID_CKPT_*` knobs
+/// apply to the scale family too: a killed `scale_sharded` process
+/// restarted with the same environment resumes from its last good
+/// snapshot instead of starting over (the CI kill-resume smoke drives
+/// exactly this path).
 pub fn run_regional(
     lab: &ScaleLab,
     rf: &RegionalFleet,
@@ -423,32 +430,42 @@ pub fn run_regional(
     proto: Proto,
 ) -> (dtn_sim::SimReport, Vec<ShardStats>) {
     let config = sharded_config(lab, run);
-    let mut contacts = ContactsSpec::compiled(Arc::clone(plan)).source();
-    let mut packets =
-        Box::new(rf.packet_stream(lab.packets, PACKET_BYTES, lab.seed, u64::from(run)));
     let measured_len = TimeDelta(lab.fleet.horizon.0);
-    if partition.shards() == 1 {
-        let mut routing = proto.build(lab.deadline, measured_len);
-        let report = run_streaming(
-            &config,
-            contacts.as_mut(),
-            packets.as_mut(),
-            &[],
-            None,
-            routing.as_mut(),
-        );
-        (report, Vec::new())
-    } else {
-        run_sharded_with_stats(
-            &config,
-            partition,
-            contacts.as_mut(),
-            packets.as_mut(),
-            &[],
-            None,
-            &mut || proto.build(lab.deadline, measured_len),
-        )
-    }
+    let probe = proto.build(lab.deadline, measured_len);
+    let checkpointable = routing_checkpointable(probe.as_ref());
+    let mut stats = Vec::new();
+    let report = run_with_recovery(&config, &probe.name(), checkpointable, &mut |hooks| {
+        let mut contacts = ContactsSpec::compiled(Arc::clone(plan)).source();
+        let mut packets =
+            Box::new(rf.packet_stream(lab.packets, PACKET_BYTES, lab.seed, u64::from(run)));
+        if partition.shards() == 1 {
+            let mut routing = proto.build(lab.deadline, measured_len);
+            stats = Vec::new();
+            run_streaming_hooked(
+                &config,
+                contacts.as_mut(),
+                packets.as_mut(),
+                &[],
+                None,
+                routing.as_mut(),
+                hooks,
+            )
+        } else {
+            let (report, shard_stats) = run_sharded_hooked(
+                &config,
+                partition,
+                contacts.as_mut(),
+                packets.as_mut(),
+                &[],
+                None,
+                &mut || proto.build(lab.deadline, measured_len),
+                hooks,
+            );
+            stats = shard_stats;
+            report
+        }
+    });
+    (report, stats)
 }
 
 /// The `scale_sharded` experiment: the scale family on the regional

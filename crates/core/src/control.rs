@@ -146,13 +146,31 @@ impl MetaTable {
 
     /// Iterates the occupied `(id, belief)` pairs in slot (first-heard)
     /// order.
-    fn iter_live(&self) -> impl Iterator<Item = (PacketId, &PacketBelief)> + '_ {
+    pub fn iter_live(&self) -> impl Iterator<Item = (PacketId, &PacketBelief)> + '_ {
         self.live.iter().map(|slot| {
             let belief = self.beliefs[slot]
                 .as_ref()
                 .expect("live slot holds a belief");
             (self.packets.id(dtn_sim::PacketIdx(slot as u32)), belief)
         })
+    }
+
+    /// Installs a checkpointed belief verbatim (checkpoint restore). The
+    /// stamp-wins discipline of [`MetaTable::upsert`] cannot reproduce a
+    /// `changed_at` that outlived removed holders, so restore bypasses it.
+    /// Slot assignment follows restore order, which is unobservable: every
+    /// exported listing sorts by content keys, never slots.
+    pub fn restore_belief(&mut self, id: PacketId, belief: PacketBelief) {
+        assert!(
+            belief.entries.windows(2).all(|w| w[0].holder < w[1].holder),
+            "belief entries must be sorted by holder"
+        );
+        let slot = self.packets.intern(id).index();
+        if slot >= self.beliefs.len() {
+            self.beliefs.resize(slot + 1, None);
+        }
+        self.live.insert(slot);
+        self.beliefs[slot] = Some(belief);
     }
 
     /// Packets whose belief changed after `since`, with the number of

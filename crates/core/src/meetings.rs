@@ -125,6 +125,36 @@ impl MeetingView {
         expected_meeting_times_from(&self.rows, self.me, hop_limit)
     }
 
+    /// Checkpoint capture: the view's raw parts, owned. Meeting rows are
+    /// mostly `INFINITY` in practice, so the caller is expected to encode
+    /// them sparsely; this hands over the dense truth.
+    pub fn checkpoint(&self) -> MeetingCheckpoint {
+        MeetingCheckpoint {
+            rows: self.rows.clone(),
+            row_stamp: self.row_stamp.clone(),
+            my_avg: self.my_avg.iter().map(|m| m.state()).collect(),
+            last_met: self.last_met.clone(),
+        }
+    }
+
+    /// Restores a checkpointed view onto this (freshly constructed) one.
+    /// The parts must be shaped for the same `n` this view was built with.
+    pub fn restore(&mut self, ck: MeetingCheckpoint) {
+        assert_eq!(ck.rows.len(), self.n, "meeting checkpoint shape mismatch");
+        assert!(ck.rows.iter().all(|r| r.len() == self.n));
+        assert_eq!(ck.row_stamp.len(), self.n);
+        assert_eq!(ck.my_avg.len(), self.n);
+        assert_eq!(ck.last_met.len(), self.n);
+        self.rows = ck.rows;
+        self.row_stamp = ck.row_stamp;
+        self.my_avg = ck
+            .my_avg
+            .into_iter()
+            .map(|(mean, count)| RunningMean::from_state(mean, count))
+            .collect();
+        self.last_met = ck.last_met;
+    }
+
     /// [`MeetingView::expected_meeting_times`] evaluated from an arbitrary
     /// start node `from` *through this view's believed rows*, written into
     /// reusable buffers — the allocation-free form the per-contact hot
@@ -140,6 +170,21 @@ impl MeetingView {
     ) {
         expected_meeting_times_from_into(&self.rows, from, hop_limit, dist, scratch);
     }
+}
+
+/// The raw parts of a [`MeetingView`] for checkpoint capture/restore:
+/// believed rows, their stamps, the own-row running averages as
+/// `(mean, count)` pairs, and the last-met instants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeetingCheckpoint {
+    /// Believed mean direct inter-meeting times, dense.
+    pub rows: Vec<Vec<f64>>,
+    /// Last-updated stamp per row.
+    pub row_stamp: Vec<Time>,
+    /// Own-row [`RunningMean`] states.
+    pub my_avg: Vec<(f64, u64)>,
+    /// Last direct meeting per peer.
+    pub last_met: Vec<Option<Time>>,
 }
 
 /// [`expected_meeting_times_from`] into reusable buffers: `dist` receives

@@ -46,6 +46,7 @@ use dtn_sim::{
     PacketSet, PacketStore, Partition, QueueEntry, Routing, SimConfig, SlicePartition, Time,
     TransferOutcome,
 };
+use dtn_trace::{write_varint, ByteCursor};
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
 
@@ -857,6 +858,241 @@ impl Routing for Rapid {
     fn on_node_down(&mut self, node: NodeId, _now: Time) {
         self.states[node.index()].cache.invalidate_all();
     }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        write_varint(&mut out, self.states.len() as u64);
+        for st in &self.states {
+            encode_node_state(&mut out, st);
+        }
+        Some(out)
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut cur = ByteCursor::new(bytes);
+        let n = cur.varint().map_err(|e| format!("node count: {e}"))? as usize;
+        if n != self.states.len() {
+            return Err(format!(
+                "RAPID state for {n} nodes, world has {}",
+                self.states.len()
+            ));
+        }
+        let mut states = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut st = NodeState::new(NodeId(i as u32), n);
+            decode_node_state(&mut cur, &mut st, n)
+                .map_err(|e| format!("node {i} (offset {}): {e}", cur.offset()))?;
+            states.push(st);
+        }
+        if !cur.is_empty() {
+            return Err(format!(
+                "{} trailing bytes after RAPID state",
+                cur.remaining()
+            ));
+        }
+        self.states = states;
+        Ok(())
+    }
+}
+
+/// Appends one node's checkpointable belief state. Derived/caching fields
+/// (`est_cache`, `cache`, `evict_order`) are rebuilt empty on restore —
+/// they are lazily recomputed and never observed directly. All sparse maps
+/// iterate in ascending peer/slot order, so a save of a restored instance
+/// is byte-identical.
+fn encode_node_state(out: &mut Vec<u8>, st: &NodeState) {
+    let f64_bytes = |out: &mut Vec<u8>, v: f64| out.extend_from_slice(&v.to_bits().to_le_bytes());
+
+    // Meeting view: rows are mostly INFINITY, so emit only rows that carry
+    // information (a stamp or any finite mean), and within a row only the
+    // finite cells — restore starts from the INFINITY matrix.
+    let mv = st.meetings.checkpoint();
+    let live_rows: Vec<usize> = (0..mv.rows.len())
+        .filter(|&u| mv.row_stamp[u] != Time::ZERO || mv.rows[u].iter().any(|v| v.is_finite()))
+        .collect();
+    write_varint(out, live_rows.len() as u64);
+    for u in live_rows {
+        write_varint(out, u as u64);
+        write_varint(out, mv.row_stamp[u].0);
+        let finite: Vec<usize> = (0..mv.rows[u].len())
+            .filter(|&c| mv.rows[u][c].is_finite())
+            .collect();
+        write_varint(out, finite.len() as u64);
+        for c in finite {
+            write_varint(out, c as u64);
+            f64_bytes(out, mv.rows[u][c]);
+        }
+    }
+    let avgs: Vec<usize> = (0..mv.my_avg.len())
+        .filter(|&p| mv.my_avg[p].1 > 0)
+        .collect();
+    write_varint(out, avgs.len() as u64);
+    for p in avgs {
+        write_varint(out, p as u64);
+        f64_bytes(out, mv.my_avg[p].0);
+        write_varint(out, mv.my_avg[p].1);
+    }
+    let met: Vec<usize> = (0..mv.last_met.len())
+        .filter(|&p| mv.last_met[p].is_some())
+        .collect();
+    write_varint(out, met.len() as u64);
+    for p in met {
+        write_varint(out, p as u64);
+        write_varint(out, mv.last_met[p].unwrap().0);
+    }
+
+    // Replica beliefs, in slot (first-heard) order so restore reproduces
+    // the interner's slot assignment exactly.
+    let beliefs: Vec<_> = st.meta.iter_live().collect();
+    write_varint(out, beliefs.len() as u64);
+    for (id, belief) in beliefs {
+        write_varint(out, id.0 as u64);
+        write_varint(out, belief.changed_at.0);
+        write_varint(out, belief.entries.len() as u64);
+        for e in &belief.entries {
+            write_varint(out, e.holder.0 as u64);
+            f64_bytes(out, e.delay_secs);
+            write_varint(out, e.stamp.0);
+        }
+    }
+
+    write_varint(out, st.acks.len() as u64);
+    for id in st.acks.iter() {
+        write_varint(out, id.0 as u64);
+    }
+
+    let sent: Vec<usize> = (0..st.last_sent.len())
+        .filter(|&p| st.last_sent[p] != Time::ZERO)
+        .collect();
+    write_varint(out, sent.len() as u64);
+    for p in sent {
+        write_varint(out, p as u64);
+        write_varint(out, st.last_sent[p].0);
+    }
+
+    let (mean, count) = st.avg_opp.state();
+    f64_bytes(out, mean);
+    write_varint(out, count);
+
+    let opp: Vec<usize> = (0..st.believed_opp.len())
+        .filter(|&p| st.believed_opp[p] != (0.0, Time::ZERO))
+        .collect();
+    write_varint(out, opp.len() as u64);
+    for p in opp {
+        write_varint(out, p as u64);
+        f64_bytes(out, st.believed_opp[p].0);
+        write_varint(out, st.believed_opp[p].1 .0);
+    }
+}
+
+/// Restores one node's belief state onto a fresh [`NodeState`]. Inverse of
+/// [`encode_node_state`]; every index is validated against `n`.
+fn decode_node_state(
+    cur: &mut dtn_trace::ByteCursor<'_>,
+    st: &mut NodeState,
+    n: usize,
+) -> Result<(), String> {
+    let wire = |e: dtn_trace::WireError| e.to_string();
+    let f64_at = |cur: &mut dtn_trace::ByteCursor<'_>| -> Result<f64, String> {
+        let b = cur.take(8).map_err(wire)?;
+        Ok(f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
+    };
+    let peer = |v: u64| -> Result<usize, String> {
+        let p = v as usize;
+        if p >= n {
+            return Err(format!("peer index {p} out of range (n={n})"));
+        }
+        Ok(p)
+    };
+
+    let mut mv = crate::meetings::MeetingCheckpoint {
+        rows: vec![vec![f64::INFINITY; n]; n],
+        row_stamp: vec![Time::ZERO; n],
+        my_avg: vec![(0.0, 0); n],
+        last_met: vec![None; n],
+    };
+    let rows = cur.varint().map_err(wire)?;
+    for _ in 0..rows {
+        let u = peer(cur.varint().map_err(wire)?)?;
+        mv.row_stamp[u] = Time(cur.varint().map_err(wire)?);
+        let cells = cur.varint().map_err(wire)?;
+        for _ in 0..cells {
+            let c = peer(cur.varint().map_err(wire)?)?;
+            mv.rows[u][c] = f64_at(cur)?;
+        }
+    }
+    let avgs = cur.varint().map_err(wire)?;
+    for _ in 0..avgs {
+        let p = peer(cur.varint().map_err(wire)?)?;
+        let mean = f64_at(cur)?;
+        let count = cur.varint().map_err(wire)?;
+        mv.my_avg[p] = (mean, count);
+    }
+    let met = cur.varint().map_err(wire)?;
+    for _ in 0..met {
+        let p = peer(cur.varint().map_err(wire)?)?;
+        mv.last_met[p] = Some(Time(cur.varint().map_err(wire)?));
+    }
+    st.meetings.restore(mv);
+
+    let beliefs = cur.varint().map_err(wire)?;
+    for _ in 0..beliefs {
+        let id =
+            PacketId(u32::try_from(cur.varint().map_err(wire)?).map_err(|_| "packet id overflow")?);
+        let changed_at = Time(cur.varint().map_err(wire)?);
+        let entries_len = cur.varint().map_err(wire)?;
+        let mut entries = Vec::with_capacity(entries_len.min(1 << 16) as usize);
+        for _ in 0..entries_len {
+            let holder = NodeId(peer(cur.varint().map_err(wire)?)? as u32);
+            let delay_secs = f64_at(cur)?;
+            let stamp = Time(cur.varint().map_err(wire)?);
+            entries.push(HolderEntry {
+                holder,
+                delay_secs,
+                stamp,
+            });
+        }
+        if !entries.windows(2).all(|w| w[0].holder < w[1].holder) {
+            return Err(format!("belief entries for packet {} not sorted", id.0));
+        }
+        st.meta.restore_belief(
+            id,
+            crate::control::PacketBelief {
+                entries,
+                changed_at,
+            },
+        );
+    }
+
+    let acks = cur.varint().map_err(wire)?;
+    let mut prev: Option<u32> = None;
+    for _ in 0..acks {
+        let id = u32::try_from(cur.varint().map_err(wire)?).map_err(|_| "ack id overflow")?;
+        if prev.is_some_and(|p| p >= id) {
+            return Err("ack ids not strictly ascending".into());
+        }
+        prev = Some(id);
+        st.acks.insert(PacketId(id));
+    }
+
+    let sent = cur.varint().map_err(wire)?;
+    for _ in 0..sent {
+        let p = peer(cur.varint().map_err(wire)?)?;
+        st.last_sent[p] = Time(cur.varint().map_err(wire)?);
+    }
+
+    let mean = f64_at(cur)?;
+    let count = cur.varint().map_err(wire)?;
+    st.avg_opp = dtn_stats::RunningMean::from_state(mean, count);
+
+    let opp = cur.varint().map_err(wire)?;
+    for _ in 0..opp {
+        let p = peer(cur.varint().map_err(wire)?)?;
+        let size = f64_at(cur)?;
+        let stamp = Time(cur.varint().map_err(wire)?);
+        st.believed_opp[p] = (size, stamp);
+    }
+    Ok(())
 }
 
 /// One shard's lease over its contiguous run of RAPID node states during
@@ -1953,6 +2189,99 @@ mod tests {
         // Data bytes: replication (0→1) + delivery (0→2) only; the purged
         // replica at 1 must not cross to 2 at t=50.
         assert_eq!(r.data_bytes, 2 * 1024);
+    }
+
+    /// Populates a Rapid instance with non-trivial state: meetings learned,
+    /// replicas believed, acks recorded, metadata watermarks advanced.
+    fn populated_rapid() -> (Rapid, SimConfig) {
+        let cfg = config(3);
+        let sim = Simulation::new(
+            cfg.clone(),
+            Schedule::new(vec![
+                contact(1, 1, 2, 1 << 20),
+                contact(5, 1, 2, 1 << 20),
+                contact(20, 0, 1, 1 << 20),
+                contact(30, 0, 2, 1 << 20),
+                contact(40, 0, 1, 1 << 20),
+                contact(50, 1, 2, 1 << 20),
+            ]),
+            Workload::new(vec![spec(10, 0, 2), spec(15, 1, 0)]),
+        );
+        let mut rapid = Rapid::new(RapidConfig::avg_delay());
+        let r = sim.run(&mut rapid);
+        assert!(r.delivered() >= 1);
+        (rapid, cfg)
+    }
+
+    #[test]
+    fn save_load_save_is_byte_identical() {
+        let (rapid, cfg) = populated_rapid();
+        let saved = rapid.save_state().expect("RAPID is checkpointable");
+        assert!(!saved.is_empty());
+
+        let mut restored = Rapid::new(RapidConfig::avg_delay());
+        restored.on_init(&cfg);
+        restored.load_state(&saved).expect("round trip");
+        let resaved = restored.save_state().unwrap();
+        assert_eq!(
+            saved, resaved,
+            "restored state must re-save byte-identically"
+        );
+    }
+
+    #[test]
+    fn restore_reproduces_observable_state() {
+        // The restored instance must report the same beliefs through every
+        // read path a contact would use: meeting rows, expected meeting
+        // times, replica listings, acks. (Behavioral continuation under
+        // the engine is covered by the resume integration tests.)
+        let (original, cfg) = populated_rapid();
+        let saved = original.save_state().unwrap();
+        let mut restored = Rapid::new(RapidConfig::avg_delay());
+        restored.on_init(&cfg);
+        restored.load_state(&saved).unwrap();
+
+        for (a, b) in original.states.iter().zip(restored.states.iter()) {
+            for u in 0..cfg.nodes {
+                assert_eq!(a.meetings.row(u), b.meetings.row(u));
+            }
+            assert_eq!(
+                a.meetings.expected_meeting_times(3),
+                b.meetings.expected_meeting_times(3)
+            );
+            assert_eq!(a.meta.len(), b.meta.len());
+            for ((ia, ba), (ib, bb)) in a.meta.iter_live().zip(b.meta.iter_live()) {
+                assert_eq!(ia, ib);
+                assert_eq!(ba, bb);
+            }
+            assert_eq!(
+                a.acks.iter().collect::<Vec<_>>(),
+                b.acks.iter().collect::<Vec<_>>()
+            );
+            assert_eq!(a.last_sent, b.last_sent);
+            assert_eq!(a.avg_opp.state(), b.avg_opp.state());
+            assert_eq!(a.believed_opp, b.believed_opp);
+        }
+    }
+
+    #[test]
+    fn load_rejects_malformed_state() {
+        let (rapid, cfg) = populated_rapid();
+        let saved = rapid.save_state().unwrap();
+
+        let mut fresh = Rapid::new(RapidConfig::avg_delay());
+        fresh.on_init(&config(5));
+        let err = fresh.load_state(&saved).unwrap_err();
+        assert!(err.contains("3 nodes"), "node-count mismatch named: {err}");
+
+        let mut fresh = Rapid::new(RapidConfig::avg_delay());
+        fresh.on_init(&cfg);
+        assert!(fresh.load_state(&saved[..saved.len() / 2]).is_err());
+        assert!(fresh.load_state(&[0xff; 16]).is_err());
+        let mut trailing = saved.clone();
+        trailing.push(0);
+        let err = fresh.load_state(&trailing).unwrap_err();
+        assert!(err.contains("trailing"), "trailing bytes named: {err}");
     }
 
     #[test]

@@ -339,6 +339,28 @@ impl NodeBuffer {
             .map(|(&dst, q)| (dst, q.as_slice()))
     }
 
+    /// Every destination ever interned, in first-seen order — including
+    /// destinations whose queues have since drained. The intern order is
+    /// protocol-observable ([`NodeBuffer::queues`] iterates it), so a
+    /// checkpoint must capture and restore it exactly; rebuilding it from
+    /// live replicas alone would renumber the queues.
+    pub fn interned_dsts(&self) -> &[NodeId] {
+        &self.dsts
+    }
+
+    /// Re-interns destinations in the given first-seen order — the restore
+    /// path paired with [`NodeBuffer::interned_dsts`]. Must run on a fresh
+    /// buffer, before replicas are re-inserted.
+    pub fn restore_interned_dsts(&mut self, dsts: &[NodeId]) {
+        assert!(
+            self.slots.is_empty() && self.dsts.is_empty(),
+            "interned destinations must be restored into a fresh buffer"
+        );
+        for &dst in dsts {
+            self.intern_dst(dst);
+        }
+    }
+
     /// Bytes queued ahead of a *stored* packet in the `dst` delivery queue
     /// (Estimate Delay's `b(i)`, Eq. 5).
     ///

@@ -1,0 +1,82 @@
+//! Structured runtime diagnostics.
+//!
+//! Every warning the runtime emits on stderr goes through this module so
+//! the format is uniform and machine-checkable: a human sentence followed
+//! by a `[diag=<key> k=v ...]` tail. CI jobs grep for `diag=<key>` instead
+//! of matching prose, so the wording can improve without breaking the
+//! harness, and the `k=v` fields carry the numbers a log scraper needs.
+//!
+//! Two emit modes:
+//!
+//! * [`warn`] — every occurrence matters (a resume, an injected fault, a
+//!   skipped snapshot). Always prints.
+//! * [`warn_once`] — a configuration nit that would otherwise repeat per
+//!   run in a sweep (a clamped `RAPID_SHARDS`, a serial fallback). Prints
+//!   on the first occurrence of its `key` per process.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// Keys already emitted by [`warn_once`].
+static EMITTED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+
+/// Formats the structured tail: `[diag=<key> k=v ...]`.
+fn tail(key: &str, fields: &[(&str, String)]) -> String {
+    let mut t = format!("[diag={key}");
+    for (k, v) in fields {
+        t.push(' ');
+        t.push_str(k);
+        t.push('=');
+        t.push_str(v);
+    }
+    t.push(']');
+    t
+}
+
+/// Emits one structured warning on stderr:
+/// `warning: <human> [diag=<key> k=v ...]`.
+pub fn warn(key: &str, human: &str, fields: &[(&str, String)]) {
+    eprintln!("warning: {human} {}", tail(key, fields));
+}
+
+/// Like [`warn`], but at most once per process for a given `key`.
+pub fn warn_once(key: &'static str, human: &str, fields: &[(&str, String)]) {
+    let mut emitted = EMITTED.lock().expect("diag registry poisoned");
+    if emitted.insert(key) {
+        eprintln!("warning: {human} {}", tail(key, fields));
+    }
+}
+
+/// Whether [`warn_once`] has already fired for `key` — lets tests assert
+/// the one-shot behavior without capturing stderr.
+pub fn warned(key: &str) -> bool {
+    EMITTED
+        .lock()
+        .expect("diag registry poisoned")
+        .contains(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_is_greppable() {
+        assert_eq!(
+            tail("resume", &[("from", "ckpt-3".into()), ("t", "120".into())]),
+            "[diag=resume from=ckpt-3 t=120]"
+        );
+        assert_eq!(tail("empty", &[]), "[diag=empty]");
+    }
+
+    #[test]
+    fn warn_once_fires_once() {
+        assert!(!warned("diag-test-key"));
+        warn_once("diag-test-key", "first", &[]);
+        assert!(warned("diag-test-key"));
+        // The second call is a no-op; nothing observable beyond `warned`,
+        // but it must not panic or double-register.
+        warn_once("diag-test-key", "second", &[]);
+        assert!(warned("diag-test-key"));
+    }
+}

@@ -17,6 +17,9 @@
 //! seed engine's behaviour byte-for-byte for instantaneous schedules. Runs
 //! are deterministic given the configuration seed.
 
+use crate::checkpoint::{
+    config_digest, require_checkpointable, Counters, OpenSnap, RoutingState, RunHooks, Snapshot,
+};
 use crate::contact::{ContactWindow, Schedule};
 use crate::driver::{ContactDriver, HolderOp, WorldMut};
 use crate::event::{EventQueue, NodeEvent, SimEvent, WindowIdx};
@@ -209,6 +212,33 @@ pub fn run_streaming(
     noise: Option<NoiseModel>,
     routing: &mut dyn Routing,
 ) -> SimReport {
+    run_streaming_hooked(
+        config,
+        contacts,
+        workload,
+        churn,
+        noise,
+        routing,
+        RunHooks::default(),
+    )
+}
+
+/// [`run_streaming`] with crash-safety hooks: periodic checkpoints,
+/// resume from a [`Snapshot`], and fault injection. A resumed run is
+/// byte-identical to the uninterrupted run from the same inputs — the
+/// snapshot holds the full serial-order state (see [`crate::checkpoint`]).
+pub fn run_streaming_hooked(
+    config: &SimConfig,
+    contacts: &mut dyn ContactSource,
+    workload: &mut dyn WorkloadSource,
+    churn: &[NodeEvent],
+    noise: Option<NoiseModel>,
+    routing: &mut dyn Routing,
+    hooks: RunHooks<'_>,
+) -> SimReport {
+    if hooks.checkpoint.is_some() || hooks.resume.is_some() {
+        require_checkpointable(routing);
+    }
     let jobs = config.intra_jobs.max(1);
     let parallel = jobs > 1
         && !config.allow_global_knowledge
@@ -224,15 +254,19 @@ pub fn run_streaming(
                 noise,
                 routing,
                 Some(&pool),
+                hooks,
             )
         })
     } else {
-        run_loop(config, contacts, workload, churn, noise, routing, None)
+        run_loop(
+            config, contacts, workload, churn, noise, routing, None, hooks,
+        )
     }
 }
 
 /// The engine loop behind [`run_streaming`]; `pool` is `Some` only for
 /// intra-run parallel execution.
+#[allow(clippy::too_many_arguments)]
 fn run_loop(
     config: &SimConfig,
     contacts: &mut dyn ContactSource,
@@ -241,6 +275,7 @@ fn run_loop(
     noise: Option<NoiseModel>,
     routing: &mut dyn Routing,
     pool: Option<&ContactPool>,
+    mut hooks: RunHooks<'_>,
 ) -> SimReport {
     let n = config.nodes;
     let mut world = EngineWorld {
@@ -257,16 +292,20 @@ fn run_loop(
     routing.on_init(config);
 
     // Only churn is seeded; window closes and TTL expiries are scheduled
-    // as their windows open / packets enter.
+    // as their windows open / packets enter. On a resume the snapshot's
+    // queue already holds the remaining churn events, so churn is *not*
+    // re-seeded.
     let mut queue = EventQueue::new();
-    for ev in churn {
-        assert!(ev.node.index() < n, "churn references node outside 0..{n}");
-        let event = if ev.up {
-            SimEvent::NodeUp(ev.node)
-        } else {
-            SimEvent::NodeDown(ev.node)
-        };
-        queue.push(ev.time, event);
+    if hooks.resume.is_none() {
+        for ev in churn {
+            assert!(ev.node.index() < n, "churn references node outside 0..{n}");
+            let event = if ev.up {
+                SimEvent::NodeUp(ev.node)
+            } else {
+                SimEvent::NodeDown(ev.node)
+            };
+            queue.push(ev.time, event);
+        }
     }
 
     let mut up = vec![true; n];
@@ -307,16 +346,104 @@ fn run_loop(
 
     let mut last_window_start = Time::ZERO;
     let mut last_packet_time = Time::ZERO;
-    let mut next_window = pull_window(contacts, &mut last_window_start);
     let mut next_window_idx: WindowIdx = 0;
-    let mut next_packet = pull_packet(workload, &mut last_packet_time);
+    let mut contact_seq: u64 = 0;
+    let (mut next_window, mut next_packet);
+
+    if let Some(snap) = hooks.resume.take() {
+        assert_eq!(
+            snap.config_digest,
+            config_digest(config),
+            "snapshot was taken under a different scenario configuration \
+             [diag=resume-config-mismatch]"
+        );
+        // World state, verbatim from the snapshot.
+        world.store = snap.restore_store();
+        let (buffers, holders) = snap.restore_buffers(config.buffer_capacity, &world.store);
+        world.buffers = buffers;
+        world.holders = holders;
+        world.delivered_at = snap.delivered_at.clone();
+        world.entered = snap.entered.clone();
+        queue = snap.restore_queue();
+        assert_eq!(snap.up.len(), n, "snapshot node count mismatch");
+        up = snap.up.clone();
+        open = snap
+            .open
+            .iter()
+            .map(|o| OpenWindow {
+                idx: o.idx as WindowIdx,
+                window: o.window,
+                loss: o.loss,
+            })
+            .collect();
+        noise_rng = rand::rngs::StdRng::from_state(snap.noise_rng);
+        contact_seq = snap.contact_seq;
+        let c = snap.counters;
+        report.contacts = c.contacts;
+        report.contacts_failed = c.contacts_failed;
+        report.contacts_suppressed = c.contacts_suppressed;
+        report.expired = c.expired;
+        report.offered_bytes = c.offered_bytes;
+        report.data_bytes = c.data_bytes;
+        report.metadata_bytes = c.metadata_bytes;
+        report.replications = c.replications;
+
+        // Sources are replayed by count from the beginning (they are
+        // deterministic), then the lookahead item each source had already
+        // yielded is re-pulled and checked against the snapshot — a full
+        // integrity check that the scenario inputs are the ones the
+        // snapshot was taken from.
+        for _ in 0..snap.windows_consumed {
+            pull_window(contacts, &mut last_window_start)
+                .expect("contact source ended before the snapshot's position");
+        }
+        next_window_idx = snap.windows_consumed as WindowIdx;
+        next_window = pull_window(contacts, &mut last_window_start);
+        assert_eq!(
+            next_window, snap.next_window,
+            "contact source diverged from the snapshot [diag=resume-source-mismatch]"
+        );
+        for _ in 0..snap.packets.len() {
+            pull_packet(workload, &mut last_packet_time)
+                .expect("workload source ended before the snapshot's position");
+        }
+        next_packet = pull_packet(workload, &mut last_packet_time);
+        assert_eq!(
+            next_packet, snap.next_packet,
+            "workload source diverged from the snapshot [diag=resume-source-mismatch]"
+        );
+
+        // Protocol state. Stateless protocols have nothing to restore; a
+        // fresh instance is exact by contract.
+        if let Some(rs) = &snap.routing {
+            assert_eq!(
+                rs.name,
+                routing.name(),
+                "snapshot holds {} state but the run uses {} [diag=resume-proto-mismatch]",
+                rs.name,
+                routing.name()
+            );
+            routing
+                .load_state(&rs.bytes)
+                .unwrap_or_else(|e| panic!("protocol state restore failed: {e}"));
+        }
+
+        if let Some(faults) = hooks.faults.as_deref_mut() {
+            faults.ack_crashes_before(snap.now);
+        }
+        if let Some(ckpt) = hooks.checkpoint.as_deref_mut() {
+            ckpt.align(snap.now);
+        }
+    } else {
+        next_window = pull_window(contacts, &mut last_window_start);
+        next_packet = pull_packet(workload, &mut last_packet_time);
+    }
 
     // Intra-run parallel state: the batch scheduler and the contact
     // sequence counter (assigned in scan = serial drive order; also what
     // randomized protocols derive their per-contact RNG substreams from).
     let mut batcher = pool.map(|_| Batcher::new(n, config.lookahead));
     let mut flush_scratch = FlushScratch::default();
-    let mut contact_seq: u64 = 0;
 
     const START_RANK: u8 = 3; // SimEvent::ContactStart
     const CREATED_RANK: u8 = 4; // SimEvent::PacketCreated
@@ -332,6 +459,68 @@ fn run_loop(
             .flatten()
             .min();
         let Some(best) = best else { break };
+
+        if let Some(faults) = hooks.faults.as_deref_mut() {
+            faults.trip_crash(best.0);
+        }
+        if hooks.checkpoint.as_ref().is_some_and(|c| c.due(best.0)) {
+            // The snapshot must be quiescent: commit pending batched
+            // drives first (an early flush is byte-identical — see
+            // `crate::par`).
+            if let Some(batcher) = &mut batcher {
+                flush_batches(
+                    config,
+                    routing,
+                    &mut world,
+                    &mut report,
+                    pool.expect("batcher implies pool"),
+                    batcher,
+                    &mut flush_scratch,
+                );
+            }
+            let snap = Snapshot {
+                config_digest: config_digest(config),
+                now: best.0,
+                windows_consumed: next_window_idx as u64,
+                contact_seq,
+                next_window,
+                next_packet,
+                noise_rng: noise_rng.state(),
+                events: queue.snapshot_events(),
+                packets: Snapshot::capture_store(&world.store),
+                delivered_at: world.delivered_at.clone(),
+                entered: world.entered.clone(),
+                buffers: Snapshot::capture_buffers(&world.buffers),
+                up: up.clone(),
+                open: open
+                    .iter()
+                    .map(|ow| OpenSnap {
+                        idx: ow.idx as u64,
+                        window: ow.window,
+                        loss: ow.loss,
+                    })
+                    .collect(),
+                counters: Counters {
+                    contacts: report.contacts,
+                    contacts_failed: report.contacts_failed,
+                    contacts_suppressed: report.contacts_suppressed,
+                    expired: report.expired,
+                    offered_bytes: report.offered_bytes,
+                    data_bytes: report.data_bytes,
+                    metadata_bytes: report.metadata_bytes,
+                    replications: report.replications,
+                },
+                routing: routing.save_state().map(|bytes| RoutingState {
+                    name: routing.name(),
+                    bytes,
+                }),
+            };
+            let ckpt = hooks.checkpoint.as_deref_mut().expect("checked above");
+            ckpt.save(&snap, hooks.faults.as_deref())
+                .unwrap_or_else(|e| {
+                    panic!("checkpoint write failed: {e} [diag=ckpt-write-failed]")
+                });
+        }
 
         if window_key == Some(best) {
             let w = next_window.take().expect("window candidate exists");
@@ -401,7 +590,15 @@ fn run_loop(
                     ),
                 }
             } else {
-                queue.push(w.end, SimEvent::ContactEnd(i));
+                // An injected abort fault cuts the window short: it closes
+                // at the abort instant with only the capacity accrued by
+                // then (the same semantics as a churn interruption).
+                let end = hooks
+                    .faults
+                    .as_deref()
+                    .and_then(|f| f.abort_for(i, w.start, w.end))
+                    .unwrap_or(w.end);
+                queue.push(end, SimEvent::ContactEnd(i));
                 open.push(OpenWindow {
                     idx: i,
                     window: w,
@@ -565,8 +762,13 @@ fn run_loop(
                 }
             }
             SimEvent::PacketExpired(id) => {
-                if world.delivered_at[id.index()].is_some() {
-                    continue; // delivered before the TTL: nothing to do
+                // Skip packets that were delivered first, and packets that
+                // never entered the network — the engine only schedules
+                // expiries for entered packets, but a snapshot produced by
+                // the sharded director schedules them optimistically
+                // before the creation verdict is known.
+                if !world.entered[id.index()] || world.delivered_at[id.index()].is_some() {
+                    continue;
                 }
                 let holders = std::mem::take(&mut world.holders[id.index()]);
                 for h in holders.iter() {

@@ -118,7 +118,7 @@ impl PartialOrd for Queued {
 /// `(time, rank, seq)` — the backbone holds strictly smaller `seq`s than
 /// any overlay event, so equal `(time, rank)` keys drain backbone-first,
 /// which is FIFO.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EventQueue {
     /// Seed events; sorted at first pop, then immutable. `cursor` marks
     /// the drain position.
@@ -193,6 +193,28 @@ impl EventQueue {
             self.backbone.sort_by_key(|q| (q.time, q.rank));
             self.sorted = true;
         }
+    }
+
+    /// Every pending event in drain order, without consuming the queue —
+    /// the checkpoint capture. Replaying the returned pairs through
+    /// [`EventQueue::from_events`] rebuilds a queue with the identical
+    /// drain order (`seq` values are renumbered but their relative order,
+    /// which is all the total order consumes, is preserved).
+    pub fn snapshot_events(&self) -> Vec<(Time, SimEvent)> {
+        let mut scratch = self.clone();
+        std::iter::from_fn(|| scratch.pop()).collect()
+    }
+
+    /// Rebuilds a queue from [`EventQueue::snapshot_events`] output. The
+    /// input must be in drain order (nondecreasing `(time, rank)`); pushes
+    /// after restore interleave exactly as they would have in the original
+    /// queue.
+    pub fn from_events(events: impl IntoIterator<Item = (Time, SimEvent)>) -> Self {
+        let mut queue = Self::new();
+        for (time, event) in events {
+            queue.push(time, event);
+        }
+        queue
     }
 
     /// Number of pending events.

@@ -52,11 +52,14 @@
 
 pub mod acks;
 pub mod buffer;
+pub mod checkpoint;
 pub mod contact;
+pub mod diag;
 pub mod driver;
 pub mod engine;
 pub mod env;
 pub mod event;
+pub mod fault;
 pub mod ids;
 pub mod noise;
 pub mod par;
@@ -71,11 +74,15 @@ pub mod workload;
 
 pub use acks::{AckTable, PacketSet};
 pub use buffer::{NodeBuffer, QueueEntry, StoredMeta};
+pub use checkpoint::{
+    config_digest, load_latest, Checkpointer, LoadedSnapshot, RunHooks, Snapshot,
+};
 pub use contact::{Contact, ContactWindow, Schedule};
 pub use driver::{ContactDriver, ContactLedger, GlobalView};
-pub use engine::{run_streaming, Simulation};
+pub use engine::{run_streaming, run_streaming_hooked, Simulation};
 pub use env::{from_env_or, shards_from_env};
 pub use event::{EventQueue, NodeEvent, SimEvent};
+pub use fault::{corrupt_bytes, corrupt_file, CorruptMode, Fault, FaultPlan};
 pub use ids::{IndexSet, NodeIdx, NodeInterner, PacketIdx, PacketInterner};
 pub use noise::NoiseModel;
 pub use par::{
@@ -84,7 +91,9 @@ pub use par::{
 pub use plan::{CompiledPlan, PlanAtom, PlanStream};
 pub use report::{PacketOutcome, SimReport};
 pub use routing::{PacketStore, Routing, SimConfig, TransferOutcome};
-pub use shard::{clamp_shards, run_sharded, run_sharded_with_stats, Partition, ShardStats};
+pub use shard::{
+    clamp_shards, run_sharded, run_sharded_hooked, run_sharded_with_stats, Partition, ShardStats,
+};
 pub use source::{ContactSource, ScheduleStream, WorkloadSource, WorkloadStream};
 pub use time::{Time, TimeDelta};
 pub use types::{NodeId, Packet, PacketId};

@@ -240,6 +240,34 @@ pub trait Routing {
     /// Called when a node goes down (after its active windows were
     /// interrupted and driven).
     fn on_node_down(&mut self, _node: NodeId, _now: Time) {}
+
+    /// Serializes the protocol's internal state for a checkpoint, or
+    /// `None` if the protocol does not implement state capture.
+    ///
+    /// Protocols declaring [`ContactConcurrency::Stateless`] are
+    /// checkpointable without overriding this — instances are
+    /// interchangeable, so there is nothing to save. Every *stateful*
+    /// protocol must override both this and [`Routing::load_state`] to be
+    /// usable on checkpointed runs: the checkpoint layer refuses to save
+    /// otherwise (loudly), rather than silently resuming with amnesiac
+    /// protocol beliefs.
+    ///
+    /// Derived caches may be omitted and rebuilt after restore, as long as
+    /// the rebuilt values are bit-identical to what the uninterrupted run
+    /// would have computed.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state captured by [`Routing::save_state`] onto a freshly
+    /// constructed instance ([`Routing::on_init`] has already run).
+    /// Returns a descriptive error on malformed input.
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), String> {
+        Err(format!(
+            "{} does not implement checkpoint restore",
+            self.name()
+        ))
+    }
 }
 
 /// The immutable packet arena: every packet ever created this run, indexed

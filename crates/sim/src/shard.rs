@@ -73,6 +73,9 @@
 //!
 //! `Serial` protocols cannot shard at all and are rejected loudly.
 
+use crate::checkpoint::{
+    config_digest, require_checkpointable, Counters, OpenSnap, RoutingState, RunHooks, Snapshot,
+};
 use crate::contact::ContactWindow;
 use crate::driver::{ContactDriver, HolderOp, WorldMut};
 use crate::event::{EventQueue, NodeEvent, SimEvent, WindowIdx};
@@ -173,13 +176,18 @@ impl Partition {
 pub fn clamp_shards(shards: usize, nodes: usize) -> usize {
     let clamped = shards.min(nodes).max(1);
     if clamped < shards {
-        static WARNED: std::sync::Once = std::sync::Once::new();
-        WARNED.call_once(|| {
-            eprintln!(
-                "warning: RAPID_SHARDS={shards} exceeds the {nodes}-node world; \
+        crate::diag::warn_once(
+            "shards-clamped",
+            &format!(
+                "RAPID_SHARDS={shards} exceeds the {nodes}-node world; \
                  clamping to {clamped} (extra shards would own no nodes)"
-            );
-        });
+            ),
+            &[
+                ("requested", shards.to_string()),
+                ("nodes", nodes.to_string()),
+                ("clamped", clamped.to_string()),
+            ],
+        );
     }
     clamped
 }
@@ -300,6 +308,36 @@ pub fn run_sharded_with_stats(
     noise: Option<NoiseModel>,
     factory: &mut dyn FnMut() -> Box<dyn Routing + Send>,
 ) -> (SimReport, Vec<ShardStats>) {
+    run_sharded_hooked(
+        config,
+        partition,
+        contacts,
+        workload,
+        churn,
+        noise,
+        factory,
+        RunHooks::default(),
+    )
+}
+
+/// [`run_sharded_with_stats`] with crash-safety hooks: periodic
+/// checkpoints, resume from a [`Snapshot`], and fault injection.
+///
+/// Snapshots are partition-independent — everything captured is the
+/// global serial-order state the shard modes agree on — so a run
+/// checkpointed at one `RAPID_SHARDS` resumes byte-identically at any
+/// other (or on the serial engine).
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded_hooked(
+    config: &SimConfig,
+    partition: &Partition,
+    contacts: &mut dyn ContactSource,
+    workload: &mut dyn WorkloadSource,
+    churn: &[NodeEvent],
+    noise: Option<NoiseModel>,
+    factory: &mut dyn FnMut() -> Box<dyn Routing + Send>,
+    hooks: RunHooks<'_>,
+) -> (SimReport, Vec<ShardStats>) {
     assert_eq!(
         partition.nodes(),
         config.nodes,
@@ -319,6 +357,9 @@ pub fn run_sharded_with_stats(
         coord.name()
     );
     coord.on_init(config);
+    if hooks.checkpoint.is_some() || hooks.resume.is_some() {
+        require_checkpointable(coord.as_ref());
+    }
     let stateless = concurrency == ContactConcurrency::Stateless;
 
     let mut states: Vec<ShardState> = (0..partition.shards())
@@ -369,7 +410,7 @@ pub fn run_sharded_with_stats(
             },
             pending: 0,
         };
-        director.run(&pool, contacts, workload, churn, noise);
+        director.run(&pool, contacts, workload, churn, noise, hooks);
         director.report
     });
 
@@ -416,19 +457,24 @@ impl Director<'_> {
         workload: &mut dyn WorkloadSource,
         churn: &[NodeEvent],
         noise: Option<NoiseModel>,
+        mut hooks: RunHooks<'_>,
     ) {
         let n = self.config.nodes;
         let mut noise_rng = stream(self.config.seed, "sim-noise");
 
+        // On a resume the snapshot's queue already holds the remaining
+        // churn events, so churn is *not* re-seeded.
         let mut queue = EventQueue::new();
-        for ev in churn {
-            assert!(ev.node.index() < n, "churn references node outside 0..{n}");
-            let event = if ev.up {
-                SimEvent::NodeUp(ev.node)
-            } else {
-                SimEvent::NodeDown(ev.node)
-            };
-            queue.push(ev.time, event);
+        if hooks.resume.is_none() {
+            for ev in churn {
+                assert!(ev.node.index() < n, "churn references node outside 0..{n}");
+                let event = if ev.up {
+                    SimEvent::NodeUp(ev.node)
+                } else {
+                    SimEvent::NodeDown(ev.node)
+                };
+                queue.push(ev.time, event);
+            }
         }
 
         let mut up = vec![true; n];
@@ -463,10 +509,96 @@ impl Director<'_> {
 
         let mut last_window_start = Time::ZERO;
         let mut last_packet_time = Time::ZERO;
-        let mut next_window = pull_window(contacts, &mut last_window_start);
         let mut next_window_idx: WindowIdx = 0;
-        let mut next_packet = pull_packet(workload, &mut last_packet_time);
         let mut contact_seq: u64 = 0;
+        let (mut next_window, mut next_packet);
+
+        if let Some(snap) = hooks.resume.take() {
+            assert_eq!(
+                snap.config_digest,
+                config_digest(self.config),
+                "snapshot was taken under a different scenario configuration \
+                 [diag=resume-config-mismatch]"
+            );
+            self.world.store = snap.restore_store();
+            let (buffers, holders) =
+                snap.restore_buffers(self.config.buffer_capacity, &self.world.store);
+            self.world.buffers = buffers;
+            self.world.holders = holders;
+            self.world.delivered_at = snap.delivered_at.clone();
+            self.world.entered = snap.entered.clone();
+            queue = snap.restore_queue();
+            assert_eq!(snap.up.len(), n, "snapshot node count mismatch");
+            up = snap.up.clone();
+            open = snap
+                .open
+                .iter()
+                .map(|o| OpenWindow {
+                    idx: o.idx as WindowIdx,
+                    window: o.window,
+                    loss: o.loss,
+                })
+                .collect();
+            noise_rng = rand::rngs::StdRng::from_state(snap.noise_rng);
+            contact_seq = snap.contact_seq;
+            let c = snap.counters;
+            self.report.contacts = c.contacts;
+            self.report.contacts_failed = c.contacts_failed;
+            self.report.contacts_suppressed = c.contacts_suppressed;
+            self.report.expired = c.expired;
+            self.report.offered_bytes = c.offered_bytes;
+            self.report.data_bytes = c.data_bytes;
+            self.report.metadata_bytes = c.metadata_bytes;
+            self.report.replications = c.replications;
+
+            // Replay the deterministic sources by count, then check the
+            // lookahead items against the snapshot (see
+            // `crate::checkpoint` — an end-to-end input integrity check).
+            for _ in 0..snap.windows_consumed {
+                pull_window(contacts, &mut last_window_start)
+                    .expect("contact source ended before the snapshot's position");
+            }
+            next_window_idx = snap.windows_consumed as WindowIdx;
+            next_window = pull_window(contacts, &mut last_window_start);
+            assert_eq!(
+                next_window, snap.next_window,
+                "contact source diverged from the snapshot [diag=resume-source-mismatch]"
+            );
+            for _ in 0..snap.packets.len() {
+                pull_packet(workload, &mut last_packet_time)
+                    .expect("workload source ended before the snapshot's position");
+            }
+            next_packet = pull_packet(workload, &mut last_packet_time);
+            assert_eq!(
+                next_packet, snap.next_packet,
+                "workload source diverged from the snapshot [diag=resume-source-mismatch]"
+            );
+
+            // Coordinator protocol state (shard instances, when they
+            // exist, are Stateless: fresh ones are exact by contract).
+            if let Some(rs) = &snap.routing {
+                assert_eq!(
+                    rs.name,
+                    self.coord.name(),
+                    "snapshot holds {} state but the run uses {} [diag=resume-proto-mismatch]",
+                    rs.name,
+                    self.coord.name()
+                );
+                self.coord
+                    .load_state(&rs.bytes)
+                    .unwrap_or_else(|e| panic!("protocol state restore failed: {e}"));
+            }
+
+            if let Some(faults) = hooks.faults.as_deref_mut() {
+                faults.ack_crashes_before(snap.now);
+            }
+            if let Some(ckpt) = hooks.checkpoint.as_deref_mut() {
+                ckpt.align(snap.now);
+            }
+        } else {
+            next_window = pull_window(contacts, &mut last_window_start);
+            next_packet = pull_packet(workload, &mut last_packet_time);
+        }
 
         const START_RANK: u8 = 3; // SimEvent::ContactStart
         const CREATED_RANK: u8 = 4; // SimEvent::PacketCreated
@@ -480,6 +612,59 @@ impl Director<'_> {
                 .flatten()
                 .min();
             let Some(best) = best else { break };
+
+            if let Some(faults) = hooks.faults.as_deref_mut() {
+                faults.trip_crash(best.0);
+            }
+            if hooks.checkpoint.as_ref().is_some_and(|c| c.due(best.0)) {
+                // Quiescence: drain every shard queue and apply holder
+                // logs, then fold (and zero) the shard counters so the
+                // snapshot's report is the full serial-order prefix.
+                self.flush_epoch(pool);
+                self.fold_shard_counters();
+                let snap = Snapshot {
+                    config_digest: config_digest(self.config),
+                    now: best.0,
+                    windows_consumed: next_window_idx as u64,
+                    contact_seq,
+                    next_window,
+                    next_packet,
+                    noise_rng: noise_rng.state(),
+                    events: queue.snapshot_events(),
+                    packets: Snapshot::capture_store(&self.world.store),
+                    delivered_at: self.world.delivered_at.clone(),
+                    entered: self.world.entered.clone(),
+                    buffers: Snapshot::capture_buffers(&self.world.buffers),
+                    up: up.clone(),
+                    open: open
+                        .iter()
+                        .map(|ow| OpenSnap {
+                            idx: ow.idx as u64,
+                            window: ow.window,
+                            loss: ow.loss,
+                        })
+                        .collect(),
+                    counters: Counters {
+                        contacts: self.report.contacts,
+                        contacts_failed: self.report.contacts_failed,
+                        contacts_suppressed: self.report.contacts_suppressed,
+                        expired: self.report.expired,
+                        offered_bytes: self.report.offered_bytes,
+                        data_bytes: self.report.data_bytes,
+                        metadata_bytes: self.report.metadata_bytes,
+                        replications: self.report.replications,
+                    },
+                    routing: self.coord.save_state().map(|bytes| RoutingState {
+                        name: self.coord.name(),
+                        bytes,
+                    }),
+                };
+                let ckpt = hooks.checkpoint.as_deref_mut().expect("checked above");
+                ckpt.save(&snap, hooks.faults.as_deref())
+                    .unwrap_or_else(|e| {
+                        panic!("checkpoint write failed: {e} [diag=ckpt-write-failed]")
+                    });
+            }
 
             if window_key == Some(best) {
                 let w = next_window.take().expect("window candidate exists");
@@ -524,7 +709,14 @@ impl Director<'_> {
                         false,
                     );
                 } else {
-                    queue.push(w.end, SimEvent::ContactEnd(i));
+                    // An injected abort fault cuts the window short, with
+                    // churn-interruption semantics (mirrors the engine).
+                    let end = hooks
+                        .faults
+                        .as_deref()
+                        .and_then(|f| f.abort_for(i, w.start, w.end))
+                        .unwrap_or(w.end);
+                    queue.push(end, SimEvent::ContactEnd(i));
                     open.push(OpenWindow {
                         idx: i,
                         window: w,
@@ -654,15 +846,7 @@ impl Director<'_> {
             }
         }
 
-        // Fold per-shard counters in shard order (commutative sums, but a
-        // fixed fold order keeps the merge obviously deterministic).
-        for s in self.states.iter() {
-            self.report.contacts += s.contacts;
-            self.report.offered_bytes += s.offered_bytes;
-            self.report.data_bytes += s.data_bytes;
-            self.report.metadata_bytes += s.metadata_bytes;
-            self.report.replications += s.replications;
-        }
+        self.fold_shard_counters();
 
         let outcomes = SimReport::from_parts(
             self.world
@@ -675,6 +859,22 @@ impl Director<'_> {
             self.config.deadline,
         );
         self.report.outcomes = outcomes.outcomes;
+    }
+
+    /// Folds per-shard report counters into the director's report in
+    /// shard order (commutative sums, but a fixed fold order keeps the
+    /// merge obviously deterministic) and zeroes them. Running it early —
+    /// at a checkpoint — is behavior-preserving: the end-of-run fold adds
+    /// whatever accumulated afterwards. Telemetry counters (`drives`,
+    /// `creations`, `busy`) are left untouched.
+    fn fold_shard_counters(&mut self) {
+        for s in self.states.iter_mut() {
+            self.report.contacts += std::mem::take(&mut s.contacts);
+            self.report.offered_bytes += std::mem::take(&mut s.offered_bytes);
+            self.report.data_bytes += std::mem::take(&mut s.data_bytes);
+            self.report.metadata_bytes += std::mem::take(&mut s.metadata_bytes);
+            self.report.replications += std::mem::take(&mut s.replications);
+        }
     }
 
     /// Routes one contact drive: same-shard endpoints queue to the owning

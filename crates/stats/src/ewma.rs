@@ -40,6 +40,17 @@ impl RunningMean {
     pub fn count(&self) -> u64 {
         self.count
     }
+
+    /// Raw `(mean, count)` state, for snapshot serialization. The raw mean
+    /// is meaningful only when `count > 0`.
+    pub fn state(&self) -> (f64, u64) {
+        (self.mean, self.count)
+    }
+
+    /// Rebuilds an estimator from [`RunningMean::state`] output, bit-exact.
+    pub fn from_state(mean: f64, count: u64) -> Self {
+        Self { mean, count }
+    }
 }
 
 /// Exponentially weighted moving average with smoothing factor `alpha`.

@@ -33,9 +33,13 @@
 
 pub mod plan;
 pub mod record;
+pub mod snapshot;
+pub mod wire;
 
 pub use plan::{compress_contacts, PlanDecodeError, RecordAtom, RecordPlan};
 pub use record::{ContactRecord, PacketRecord, Record};
+pub use snapshot::{SnapshotDecodeError, SnapshotReader, SnapshotWriter, SNAPSHOT_MAGIC};
+pub use wire::{crc32, write_varint, ByteCursor, WireError};
 
 use std::fmt;
 

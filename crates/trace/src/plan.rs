@@ -28,6 +28,7 @@
 //! materialized expansion are identical by construction.
 
 use crate::record::ContactRecord;
+use crate::wire::{crc32, write_varint, ByteCursor, WireError};
 use std::collections::HashMap;
 
 /// One atom of a compressed contact plan.
@@ -167,15 +168,18 @@ impl RecordPlan {
         out.into_iter().map(|(_, _, _, r)| r).collect()
     }
 
-    /// Serializes the plan to the compact binary format (`RPLN1`,
-    /// LEB128-varint fields).
+    /// Serializes the plan to the compact binary format: the `RPLN1` magic,
+    /// then a varint body length and a CRC32 of the body, then the body
+    /// (varint atom count followed by the atoms). The length framing and
+    /// checksum let [`RecordPlan::from_bytes`] reject truncated or
+    /// bit-flipped files with an error naming the byte offset instead of
+    /// decoding garbage.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16 + self.atoms.len() * 12);
-        out.extend_from_slice(MAGIC);
-        write_varint(&mut out, self.atoms.len() as u64);
+        let mut body = Vec::with_capacity(8 + self.atoms.len() * 12);
+        write_varint(&mut body, self.atoms.len() as u64);
         for atom in &self.atoms {
             let t = atom.template();
-            out.push(match atom {
+            body.push(match atom {
                 RecordAtom::Literal(_) => 0,
                 RecordAtom::Periodic { .. } => 1,
                 RecordAtom::DeltaRun { .. } => 2,
@@ -188,24 +192,29 @@ impl RecordPlan {
                 t.bytes,
                 t.duration_us,
             ] {
-                write_varint(&mut out, field);
+                write_varint(&mut body, field);
             }
             match atom {
                 RecordAtom::Literal(_) => {}
                 RecordAtom::Periodic {
                     period_us, repeats, ..
                 } => {
-                    write_varint(&mut out, *period_us);
-                    write_varint(&mut out, u64::from(*repeats));
+                    write_varint(&mut body, *period_us);
+                    write_varint(&mut body, u64::from(*repeats));
                 }
                 RecordAtom::DeltaRun { deltas_us, .. } => {
-                    write_varint(&mut out, deltas_us.len() as u64);
+                    write_varint(&mut body, deltas_us.len() as u64);
                     for &d in deltas_us {
-                        write_varint(&mut out, d);
+                        write_varint(&mut body, d);
                     }
                 }
             }
         }
+        let mut out = Vec::with_capacity(MAGIC.len() + 8 + body.len());
+        out.extend_from_slice(MAGIC);
+        write_varint(&mut out, body.len() as u64);
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
         out
     }
 
@@ -217,117 +226,186 @@ impl RecordPlan {
     }
 
     /// Parses a plan previously written by [`RecordPlan::to_bytes`].
+    ///
+    /// Every failure mode — missing magic, a truncated file, a length that
+    /// disagrees with the bytes present, a checksum mismatch from a flipped
+    /// bit, a malformed atom — returns a descriptive [`PlanDecodeError`]
+    /// naming the byte offset; nothing panics on hostile input.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, PlanDecodeError> {
-        let rest = bytes.strip_prefix(MAGIC).ok_or(PlanDecodeError::BadMagic)?;
-        let mut cursor = Cursor { rest };
-        let count = cursor.varint()?;
+        let framed = bytes.strip_prefix(MAGIC).ok_or(PlanDecodeError::BadMagic)?;
+        let base = MAGIC.len();
+        let mut framing = ByteCursor::new(framed);
+        let declared = framing.varint().map_err(wire_at(base))?;
+        let expected = framing.u32_le().map_err(wire_at(base))?;
+        let body_offset = base + framing.offset();
+        if u64::try_from(framing.remaining()).expect("usize fits u64") < declared {
+            return Err(PlanDecodeError::BadLength {
+                declared,
+                available: framing.remaining(),
+                offset: body_offset,
+            });
+        }
+        let body = framing
+            .take(declared as usize)
+            .expect("length checked above");
+        if !framing.is_empty() {
+            return Err(PlanDecodeError::TrailingBytes {
+                offset: base + framing.offset(),
+            });
+        }
+        let found = crc32(body);
+        if found != expected {
+            return Err(PlanDecodeError::BadChecksum {
+                expected,
+                found,
+                offset: body_offset,
+            });
+        }
+
+        let mut cursor = ByteCursor::new(body);
+        let at = wire_at(body_offset);
+        let count = cursor.varint().map_err(at)?;
         let mut atoms = Vec::new();
         for _ in 0..count {
-            let tag = cursor.byte()?;
+            let tag_offset = body_offset + cursor.offset();
+            let tag = cursor.byte().map_err(at)?;
             let template = ContactRecord {
-                day: cursor.varint()? as u32,
-                time_us: cursor.varint()?,
-                a: cursor.varint()? as u32,
-                b: cursor.varint()? as u32,
-                bytes: cursor.varint()?,
-                duration_us: cursor.varint()?,
+                day: cursor.varint().map_err(at)? as u32,
+                time_us: cursor.varint().map_err(at)?,
+                a: cursor.varint().map_err(at)? as u32,
+                b: cursor.varint().map_err(at)? as u32,
+                bytes: cursor.varint().map_err(at)?,
+                duration_us: cursor.varint().map_err(at)?,
             };
             atoms.push(match tag {
                 0 => RecordAtom::Literal(template),
                 1 => RecordAtom::Periodic {
                     template,
-                    period_us: cursor.varint()?,
-                    repeats: cursor.varint()? as u32,
+                    period_us: cursor.varint().map_err(at)?,
+                    repeats: cursor.varint().map_err(at)? as u32,
                 },
                 2 => {
-                    let n = cursor.varint()? as usize;
-                    let mut deltas_us = Vec::with_capacity(n);
+                    let n = cursor.varint().map_err(at)? as usize;
+                    let mut deltas_us = Vec::with_capacity(n.min(1 << 16));
                     for _ in 0..n {
-                        deltas_us.push(cursor.varint()?);
+                        deltas_us.push(cursor.varint().map_err(at)?);
                     }
                     RecordAtom::DeltaRun {
                         template,
                         deltas_us,
                     }
                 }
-                t => return Err(PlanDecodeError::BadTag(t)),
+                tag => {
+                    return Err(PlanDecodeError::BadTag {
+                        tag,
+                        offset: tag_offset,
+                    })
+                }
             });
         }
-        if !cursor.rest.is_empty() {
-            return Err(PlanDecodeError::TrailingBytes);
+        if !cursor.is_empty() {
+            return Err(PlanDecodeError::TrailingBytes {
+                offset: body_offset + cursor.offset(),
+            });
         }
         Ok(Self::new(atoms))
+    }
+}
+
+/// Maps a region-relative [`WireError`] to a file-absolute decode error.
+fn wire_at(base: usize) -> impl Fn(WireError) -> PlanDecodeError + Copy {
+    move |e| match e {
+        WireError::Truncated { offset } | WireError::VarintOverflow { offset } => {
+            PlanDecodeError::Truncated {
+                offset: base + offset,
+            }
+        }
     }
 }
 
 /// Binary-plan magic header.
 const MAGIC: &[u8] = b"RPLN1\n";
 
-/// Decode failure for the binary plan format.
+/// Decode failure for the binary plan format. Every variant except
+/// [`PlanDecodeError::BadMagic`] names the byte offset at fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlanDecodeError {
     /// The input does not start with the `RPLN1` magic.
     BadMagic,
     /// An atom tag byte was not 0/1/2.
-    BadTag(u8),
+    BadTag {
+        /// The unrecognized tag value.
+        tag: u8,
+        /// Byte offset of the tag.
+        offset: usize,
+    },
     /// A varint or field ran past the end of the input.
-    Truncated,
-    /// Bytes remained after the declared atom count.
-    TrailingBytes,
+    Truncated {
+        /// Byte offset where the failed read started.
+        offset: usize,
+    },
+    /// Bytes remained after the framed body or the declared atom count.
+    TrailingBytes {
+        /// Byte offset of the first unexpected byte.
+        offset: usize,
+    },
+    /// The header's declared body length exceeds the bytes present — the
+    /// signature of a truncated file.
+    BadLength {
+        /// Body length the header promises.
+        declared: u64,
+        /// Bytes actually available after the header.
+        available: usize,
+        /// Byte offset where the body starts.
+        offset: usize,
+    },
+    /// The body failed its CRC32 — a bit flip or partial overwrite.
+    BadChecksum {
+        /// Checksum recorded in the header.
+        expected: u32,
+        /// Checksum of the body actually present.
+        found: u32,
+        /// Byte offset where the body starts.
+        offset: usize,
+    },
 }
 
 impl std::fmt::Display for PlanDecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PlanDecodeError::BadMagic => write!(f, "missing RPLN1 magic"),
-            PlanDecodeError::BadTag(t) => write!(f, "unknown atom tag {t}"),
-            PlanDecodeError::Truncated => write!(f, "truncated plan"),
-            PlanDecodeError::TrailingBytes => write!(f, "trailing bytes after last atom"),
+            PlanDecodeError::BadTag { tag, offset } => {
+                write!(f, "unknown atom tag {tag} at byte offset {offset}")
+            }
+            PlanDecodeError::Truncated { offset } => {
+                write!(f, "plan truncated at byte offset {offset}")
+            }
+            PlanDecodeError::TrailingBytes { offset } => {
+                write!(f, "trailing bytes after plan body at byte offset {offset}")
+            }
+            PlanDecodeError::BadLength {
+                declared,
+                available,
+                offset,
+            } => write!(
+                f,
+                "plan body at byte offset {offset} declares {declared} bytes \
+                 but only {available} are present (truncated file?)"
+            ),
+            PlanDecodeError::BadChecksum {
+                expected,
+                found,
+                offset,
+            } => write!(
+                f,
+                "plan body at byte offset {offset} fails its checksum: \
+                 recorded {expected:#010x}, computed {found:#010x} (corrupted file?)"
+            ),
         }
     }
 }
 
 impl std::error::Error for PlanDecodeError {}
-
-fn write_varint(out: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(byte);
-            return;
-        }
-        out.push(byte | 0x80);
-    }
-}
-
-struct Cursor<'a> {
-    rest: &'a [u8],
-}
-
-impl Cursor<'_> {
-    fn byte(&mut self) -> Result<u8, PlanDecodeError> {
-        let (&b, rest) = self.rest.split_first().ok_or(PlanDecodeError::Truncated)?;
-        self.rest = rest;
-        Ok(b)
-    }
-
-    fn varint(&mut self) -> Result<u64, PlanDecodeError> {
-        let mut v = 0u64;
-        let mut shift = 0u32;
-        loop {
-            let b = self.byte()?;
-            v |= u64::from(b & 0x7f) << shift;
-            if b & 0x80 == 0 {
-                return Ok(v);
-            }
-            shift += 7;
-            if shift >= 64 {
-                return Err(PlanDecodeError::Truncated);
-            }
-        }
-    }
-}
 
 /// One open run during compression.
 struct Run {
@@ -555,17 +633,91 @@ mod tests {
             RecordPlan::from_bytes(b"nope"),
             Err(PlanDecodeError::BadMagic)
         );
-        let mut bytes = compress_contacts(vec![rec(0, 1, 1, 2, 3, 0)]).to_bytes();
-        bytes.push(0);
+        let bytes = compress_contacts(vec![rec(0, 1, 1, 2, 3, 0)]).to_bytes();
+
+        // Appended bytes: the framing pins the body length, so the extras
+        // are trailing and named by offset.
+        let mut extended = bytes.clone();
+        extended.push(0);
         assert_eq!(
-            RecordPlan::from_bytes(&bytes),
-            Err(PlanDecodeError::TrailingBytes)
+            RecordPlan::from_bytes(&extended),
+            Err(PlanDecodeError::TrailingBytes {
+                offset: bytes.len()
+            })
         );
-        bytes.pop();
-        bytes.pop();
+
+        // Dropped bytes: the declared length no longer fits.
+        let mut truncated = bytes.clone();
+        truncated.pop();
+        truncated.pop();
+        match RecordPlan::from_bytes(&truncated) {
+            Err(PlanDecodeError::BadLength {
+                declared,
+                available,
+                ..
+            }) => assert_eq!(available as u64 + 2, declared),
+            other => panic!("expected BadLength, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_with_an_offset() {
+        let bytes = compress_contacts(vec![
+            rec(0, 1, 1, 2, 3, 0),
+            rec(0, 5, 1, 2, 3, 0),
+            rec(0, 20, 1, 2, 3, 0),
+            rec(0, 21, 3, 4, 9, 7),
+        ])
+        .to_bytes();
+        for len in 0..bytes.len() {
+            let err = RecordPlan::from_bytes(&bytes[..len]).expect_err("truncated");
+            match err {
+                PlanDecodeError::BadMagic
+                | PlanDecodeError::Truncated { .. }
+                | PlanDecodeError::BadLength { .. } => {}
+                other => panic!("unexpected error for len {len}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_rejected() {
+        let plan = compress_contacts(vec![
+            rec(0, 1, 1, 2, 3, 0),
+            rec(0, 5, 1, 2, 3, 0),
+            rec(0, 20, 1, 2, 3, 0),
+        ]);
+        let bytes = plan.to_bytes();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[i] ^= 1 << bit;
+                assert!(
+                    RecordPlan::from_bytes(&corrupt) != Ok(plan.clone()),
+                    "flip of bit {bit} at byte {i} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_tag_names_its_offset() {
+        // Build a framed body by hand: one atom with tag 9.
+        let mut body = Vec::new();
+        crate::wire::write_varint(&mut body, 1); // atom count
+        body.push(9); // bogus tag
+        body.extend_from_slice(&[0u8; 6]); // template fields
+        let mut bytes = b"RPLN1\n".to_vec();
+        crate::wire::write_varint(&mut bytes, body.len() as u64);
+        bytes.extend_from_slice(&crate::wire::crc32(&body).to_le_bytes());
+        let tag_offset = bytes.len() + 1; // after the atom count varint
+        bytes.extend_from_slice(&body);
         assert_eq!(
             RecordPlan::from_bytes(&bytes),
-            Err(PlanDecodeError::Truncated)
+            Err(PlanDecodeError::BadTag {
+                tag: 9,
+                offset: tag_offset
+            })
         );
     }
 

@@ -1,0 +1,359 @@
+//! `RSNP1` — the versioned run-snapshot container, sibling of the `RPLN1`
+//! compressed contact plan.
+//!
+//! A snapshot is a sequence of *named sections*, each independently
+//! length-framed and CRC32-protected:
+//!
+//! ```text
+//! "RSNP1\n"
+//! varint(section_count)
+//! repeat section_count times:
+//!   varint(name_len) name_bytes varint(payload_len) crc32_le payload
+//! ```
+//!
+//! The CRC covers the section *record* — header fields (both varints and
+//! the name) plus the payload, everything except the checksum field itself
+//! — so a flipped bit anywhere in a section is detected, not just one in
+//! the payload. The up-front section count catches the one corruption the
+//! per-section framing cannot: a file cut cleanly at a section boundary.
+//!
+//! The container knows nothing about section contents — `dtn-sim`'s
+//! checkpoint module defines the payloads (event queue, buffers, RNG
+//! cursors, routing state, …). Keeping the framing here means every
+//! corruption mode (truncation, bit flips, a partial write that lost the
+//! tail) is detected at load time with an error naming the section and the
+//! byte offset, which is what lets a resume loop fall back to the previous
+//! snapshot instead of silently resuming from garbage.
+
+use crate::wire::{crc32, write_varint, ByteCursor, WireError};
+
+/// Snapshot-container magic header.
+pub const SNAPSHOT_MAGIC: &[u8] = b"RSNP1\n";
+
+/// Builds an `RSNP1` byte stream section by section.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotWriter {
+    sections: Vec<u8>,
+    count: u64,
+}
+
+impl SnapshotWriter {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one named section. Names should be short ASCII identifiers;
+    /// writing the same name twice is a bug (the reader rejects it).
+    pub fn section(&mut self, name: &str, payload: &[u8]) {
+        let mut header = Vec::with_capacity(name.len() + 8);
+        write_varint(&mut header, name.len() as u64);
+        header.extend_from_slice(name.as_bytes());
+        write_varint(&mut header, payload.len() as u64);
+        let crc = section_crc(&header, payload);
+        self.sections.extend_from_slice(&header);
+        self.sections.extend_from_slice(&crc.to_le_bytes());
+        self.sections.extend_from_slice(payload);
+        self.count += 1;
+    }
+
+    /// The finished byte stream.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SNAPSHOT_MAGIC.len() + 4 + self.sections.len());
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        write_varint(&mut out, self.count);
+        out.extend_from_slice(&self.sections);
+        out
+    }
+}
+
+/// Why an `RSNP1` stream failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotDecodeError {
+    /// The input does not start with the `RSNP1` magic.
+    BadMagic,
+    /// The input ended mid-section.
+    Truncated {
+        /// Byte offset where the failed read started.
+        offset: usize,
+    },
+    /// A section name was not valid UTF-8.
+    BadSectionName {
+        /// Byte offset of the name field.
+        offset: usize,
+    },
+    /// A section's payload failed its CRC32 — a bit flip or partial write.
+    BadChecksum {
+        /// Name of the damaged section.
+        section: String,
+        /// Byte offset of the section's payload.
+        offset: usize,
+        /// Checksum recorded in the file.
+        expected: u32,
+        /// Checksum of the payload actually present.
+        found: u32,
+    },
+    /// The same section name appeared twice.
+    DuplicateSection {
+        /// The repeated name.
+        section: String,
+        /// Byte offset of the second occurrence.
+        offset: usize,
+    },
+    /// Bytes remained after the declared section count.
+    TrailingBytes {
+        /// Byte offset of the first unexpected byte.
+        offset: usize,
+    },
+    /// A required section is absent (reported by [`SnapshotReader::require`]).
+    MissingSection {
+        /// The absent name.
+        section: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotDecodeError::BadMagic => write!(f, "missing RSNP1 magic"),
+            SnapshotDecodeError::Truncated { offset } => {
+                write!(f, "snapshot truncated at byte offset {offset}")
+            }
+            SnapshotDecodeError::BadSectionName { offset } => {
+                write!(f, "non-UTF-8 section name at byte offset {offset}")
+            }
+            SnapshotDecodeError::BadChecksum {
+                section,
+                offset,
+                expected,
+                found,
+            } => write!(
+                f,
+                "section `{section}` checksum mismatch at byte offset {offset}: \
+                 recorded {expected:#010x}, computed {found:#010x}"
+            ),
+            SnapshotDecodeError::DuplicateSection { section, offset } => {
+                write!(f, "duplicate section `{section}` at byte offset {offset}")
+            }
+            SnapshotDecodeError::TrailingBytes { offset } => {
+                write!(
+                    f,
+                    "trailing bytes after last section at byte offset {offset}"
+                )
+            }
+            SnapshotDecodeError::MissingSection { section } => {
+                write!(f, "required section `{section}` is missing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotDecodeError {}
+
+impl From<WireError> for SnapshotDecodeError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Truncated { offset } | WireError::VarintOverflow { offset } => {
+                SnapshotDecodeError::Truncated { offset }
+            }
+        }
+    }
+}
+
+/// Parsed view over an `RSNP1` byte stream: every section located and
+/// CRC-verified up front, then looked up by name.
+#[derive(Debug, Clone)]
+pub struct SnapshotReader<'a> {
+    sections: Vec<(&'a str, &'a [u8])>,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Validates the whole container (magic, framing, every CRC).
+    pub fn new(bytes: &'a [u8]) -> Result<Self, SnapshotDecodeError> {
+        let body = bytes
+            .strip_prefix(SNAPSHOT_MAGIC)
+            .ok_or(SnapshotDecodeError::BadMagic)?;
+        let mut cursor = ByteCursor::new(body);
+        let base = SNAPSHOT_MAGIC.len();
+        let count = cursor.varint().map_err(at(base))?;
+        let mut sections: Vec<(&str, &[u8])> = Vec::new();
+        for _ in 0..count {
+            let record_start = cursor.offset();
+            let name_offset = base + record_start;
+            let name_len = cursor.varint().map_err(at(base))? as usize;
+            let name =
+                std::str::from_utf8(cursor.take(name_len).map_err(at(base))?).map_err(|_| {
+                    SnapshotDecodeError::BadSectionName {
+                        offset: name_offset,
+                    }
+                })?;
+            let payload_len = cursor.varint().map_err(at(base))? as usize;
+            let header = &body[record_start..cursor.offset()];
+            let expected = cursor.u32_le().map_err(at(base))?;
+            let payload_offset = base + cursor.offset();
+            let payload = cursor.take(payload_len).map_err(at(base))?;
+            let found = section_crc(header, payload);
+            if found != expected {
+                return Err(SnapshotDecodeError::BadChecksum {
+                    section: name.to_string(),
+                    offset: payload_offset,
+                    expected,
+                    found,
+                });
+            }
+            if sections.iter().any(|&(n, _)| n == name) {
+                return Err(SnapshotDecodeError::DuplicateSection {
+                    section: name.to_string(),
+                    offset: name_offset,
+                });
+            }
+            sections.push((name, payload));
+        }
+        if !cursor.is_empty() {
+            return Err(SnapshotDecodeError::TrailingBytes {
+                offset: base + cursor.offset(),
+            });
+        }
+        Ok(Self { sections })
+    }
+
+    /// The payload of section `name`, if present.
+    pub fn section(&self, name: &str) -> Option<&'a [u8]> {
+        self.sections
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, p)| p)
+    }
+
+    /// The payload of section `name`, or a [`SnapshotDecodeError::MissingSection`].
+    pub fn require(&self, name: &str) -> Result<&'a [u8], SnapshotDecodeError> {
+        self.section(name)
+            .ok_or_else(|| SnapshotDecodeError::MissingSection {
+                section: name.to_string(),
+            })
+    }
+
+    /// Section names in file order.
+    pub fn names(&self) -> impl Iterator<Item = &'a str> + '_ {
+        self.sections.iter().map(|&(n, _)| n)
+    }
+}
+
+/// The section CRC: header fields (name and both length varints) chained
+/// with the payload, skipping the checksum field itself.
+fn section_crc(header: &[u8], payload: &[u8]) -> u32 {
+    let mut joined = Vec::with_capacity(header.len() + payload.len());
+    joined.extend_from_slice(header);
+    joined.extend_from_slice(payload);
+    crc32(&joined)
+}
+
+/// Maps a body-relative [`WireError`] to a file-absolute decode error.
+fn at(base: usize) -> impl Fn(WireError) -> SnapshotDecodeError {
+    move |e| match e {
+        WireError::Truncated { offset } | WireError::VarintOverflow { offset } => {
+            SnapshotDecodeError::Truncated {
+                offset: base + offset,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.section("meta", b"\x01\x02\x03");
+        w.section("queue", b"");
+        w.section("world", &[0xAA; 300]);
+        w.finish()
+    }
+
+    #[test]
+    fn round_trip() {
+        let bytes = sample();
+        let r = SnapshotReader::new(&bytes).unwrap();
+        assert_eq!(r.section("meta"), Some(&b"\x01\x02\x03"[..]));
+        assert_eq!(r.section("queue"), Some(&b""[..]));
+        assert_eq!(r.require("world").unwrap().len(), 300);
+        assert_eq!(
+            r.names().collect::<Vec<_>>(),
+            vec!["meta", "queue", "world"]
+        );
+        assert!(r.section("absent").is_none());
+        assert!(matches!(
+            r.require("absent"),
+            Err(SnapshotDecodeError::MissingSection { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            SnapshotReader::new(b"RPLN1\n").err(),
+            Some(SnapshotDecodeError::BadMagic)
+        );
+        assert_eq!(
+            SnapshotReader::new(b"").err(),
+            Some(SnapshotDecodeError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn every_truncation_point_is_detected() {
+        let bytes = sample();
+        for len in SNAPSHOT_MAGIC.len()..bytes.len() {
+            let err = SnapshotReader::new(&bytes[..len]).expect_err("truncated");
+            match err {
+                SnapshotDecodeError::Truncated { offset } => assert!(offset <= len),
+                other => panic!("unexpected error for len {len}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_payload_bit_flip_is_detected() {
+        let bytes = sample();
+        for i in SNAPSHOT_MAGIC.len()..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            // Any single flipped bit must fail to load — which section of
+            // the framing it lands in decides the variant.
+            assert!(
+                SnapshotReader::new(&corrupt).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_error_names_section_and_offset() {
+        let bytes = sample();
+        let payload_start = bytes.len() - 300;
+        let mut corrupt = bytes.clone();
+        corrupt[payload_start] ^= 0xFF;
+        match SnapshotReader::new(&corrupt).expect_err("corrupt payload") {
+            SnapshotDecodeError::BadChecksum {
+                section, offset, ..
+            } => {
+                assert_eq!(section, "world");
+                assert_eq!(offset, payload_start);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_sections_rejected() {
+        let mut w = SnapshotWriter::new();
+        w.section("meta", b"a");
+        w.section("meta", b"b");
+        let bytes = w.finish();
+        assert!(matches!(
+            SnapshotReader::new(&bytes),
+            Err(SnapshotDecodeError::DuplicateSection { .. })
+        ));
+    }
+}

@@ -1,0 +1,205 @@
+//! Shared binary-format plumbing: LEB128 varints, CRC32 (IEEE), and a
+//! bounds-checked cursor that reports byte offsets on failure.
+//!
+//! Both on-disk formats in this crate — the `RPLN1` compressed contact plan
+//! and the `RSNP1` run snapshot — are built from these primitives, so a
+//! truncated or bit-flipped file fails with an error naming the offset
+//! instead of panicking (or worse, decoding to garbage).
+
+/// Appends `v` as an LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) of `bytes` — the
+/// same checksum gzip and PNG use, computed with a compile-time table.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+static CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Why a [`ByteCursor`] read failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the read completed; `offset` is where the
+    /// read started.
+    Truncated {
+        /// Byte offset of the failed read.
+        offset: usize,
+    },
+    /// A varint ran past 64 bits; `offset` is where it started.
+    VarintOverflow {
+        /// Byte offset of the overlong varint.
+        offset: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { offset } => {
+                write!(f, "input truncated at byte offset {offset}")
+            }
+            WireError::VarintOverflow { offset } => {
+                write!(f, "varint longer than 64 bits at byte offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Bounds-checked reader over a byte slice that tracks its absolute offset,
+/// so every decode error can name where in the file it happened.
+#[derive(Debug, Clone, Copy)]
+pub struct ByteCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteCursor<'a> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Current absolute byte offset.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads one byte.
+    pub fn byte(&mut self) -> Result<u8, WireError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(WireError::Truncated { offset: self.pos })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let start = self.pos;
+        let end = start
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(WireError::Truncated { offset: start })?;
+        self.pos = end;
+        Ok(&self.bytes[start..end])
+    }
+
+    /// Reads a little-endian `u32` (the checksum field width).
+    pub fn u32_le(&mut self) -> Result<u32, WireError> {
+        let raw = self.take(4)?;
+        Ok(u32::from_le_bytes(raw.try_into().expect("4-byte slice")))
+    }
+
+    /// Reads an LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, WireError> {
+        let start = self.pos;
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self
+                .byte()
+                .map_err(|_| WireError::Truncated { offset: start })?;
+            if shift == 63 && b > 1 {
+                return Err(WireError::VarintOverflow { offset: start });
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(WireError::VarintOverflow { offset: start });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut c = ByteCursor::new(&buf);
+            assert_eq!(c.varint().unwrap(), v);
+            assert!(c.is_empty());
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn truncated_reads_name_offsets() {
+        let mut c = ByteCursor::new(&[0x80]);
+        assert_eq!(c.varint(), Err(WireError::Truncated { offset: 0 }));
+        let mut c = ByteCursor::new(&[7, 0x80]);
+        c.byte().unwrap();
+        assert_eq!(c.varint(), Err(WireError::Truncated { offset: 1 }));
+        let mut c = ByteCursor::new(&[1, 2]);
+        assert_eq!(c.take(3), Err(WireError::Truncated { offset: 0 }));
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        let mut buf = vec![0xffu8; 10];
+        buf.push(0x01);
+        let mut c = ByteCursor::new(&buf);
+        assert_eq!(c.varint(), Err(WireError::VarintOverflow { offset: 0 }));
+    }
+}

@@ -250,6 +250,21 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state words, for snapshot serialization.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from [`StdRng::state`] output. The all-zero
+        /// state is rejected because xoshiro cannot escape it; it can only
+        /// come from a corrupted snapshot, never from `state()`.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s != [0; 4], "xoshiro256++ state must not be all zero");
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         type Seed = [u8; 32];
 
